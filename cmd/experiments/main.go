@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp table2 -scale small
+//	experiments -exp all -scale tiny -csv
+//
+// Every experiment prints an ASCII table (or CSV with -csv) whose rows
+// mirror the corresponding paper artifact, plus the paper's reported
+// values for side-by-side comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"samplednn/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		scale  = flag.String("scale", "small", "tiny | small | paper")
+		csv    = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
+		outDir = flag.String("out", "", "also write <id>.csv files into this directory")
+		list   = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	s, err := bench.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		res, err := e.Run(s)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.Render())
+			fmt.Printf("(%s scale, %.1fs)\n\n", s, time.Since(start).Seconds())
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fatal(fmt.Errorf("writing %s: %w", path, err))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command mips probes the ALSH maximum-inner-product-search engine in
+// isolation: it indexes the columns of a random weight matrix, runs
+// queries, and reports recall against brute force, candidate-set size,
+// and query latency across hash parameter settings — the K/L/m trade-off
+// behind ALSH-approx's node selection (§5.2).
+//
+// Usage:
+//
+//	mips -dim 128 -items 1000 -queries 200 -topk 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"samplednn/internal/lsh"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func main() {
+	var (
+		dim     = flag.Int("dim", 128, "vector dimensionality (layer fan-in)")
+		items   = flag.Int("items", 1000, "indexed columns (layer width)")
+		queries = flag.Int("queries", 200, "number of probe queries")
+		topk    = flag.Int("topk", 10, "ground-truth set size for recall")
+		seed    = flag.Uint64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	g := rng.New(*seed)
+	w := tensor.New(*dim, *items)
+	g.GaussianSlice(w.Data, 0, 1)
+
+	qs := make([][]float64, *queries)
+	for i := range qs {
+		qs[i] = make([]float64, *dim)
+		g.GaussianSlice(qs[i], 0, 1)
+	}
+
+	fmt.Printf("MIPS probe: %d items x %d dims, %d queries, recall@%d\n\n", *items, *dim, *queries, *topk)
+	fmt.Printf("%-14s %-10s %-12s %-12s %-12s\n", "params", "recall", "cand-frac", "query-lat", "build-time")
+	fmt.Println("(srp = Sign-ALSH signed random projections; l2 = original L2-ALSH)")
+
+	paramSets := []lsh.Params{
+		{K: 4, L: 3, M: 3, U: 0.83},
+		{K: 6, L: 5, M: 3, U: 0.83}, // the paper's setting
+		{K: 6, L: 10, M: 3, U: 0.83},
+		{K: 8, L: 10, M: 3, U: 0.83},
+		{K: 8, L: 20, M: 3, U: 0.83},
+		{K: 6, L: 30, M: 3, U: 0.83, Family: lsh.FamilyL2, R: 0.5}, // original L2-ALSH
+	}
+	for _, p := range paramSets {
+		idx, err := lsh.NewMIPSIndex(*dim, *items, p, rng.New(*seed+1))
+		if err != nil {
+			fatal(err)
+		}
+		buildStart := time.Now()
+		idx.Rebuild(w)
+		buildTime := time.Since(buildStart)
+
+		var recall, candFrac float64
+		queryStart := time.Now()
+		var buf []int
+		for _, q := range qs {
+			buf = idx.Query(q, buf)
+			truth := lsh.BruteForceTopK(w, q, *topk)
+			recall += lsh.Recall(buf, truth)
+			candFrac += float64(len(buf)) / float64(*items)
+		}
+		lat := time.Since(queryStart) / time.Duration(len(qs))
+		fam := "srp"
+		if p.Family == lsh.FamilyL2 {
+			fam = "l2"
+		}
+		fmt.Printf("K=%d L=%-2d %-4s %-10.3f %-12.3f %-12s %-12s\n",
+			p.K, p.L, fam,
+			recall/float64(len(qs)), candFrac/float64(len(qs)),
+			lat, buildTime)
+	}
+
+	fmt.Println("\nhigher L → higher recall and larger candidate sets; higher K → sharper buckets;")
+	fmt.Println("the l2 family needs far more tables for the same recall — the weakness that")
+	fmt.Println("motivated Sign-ALSH.")
+	fmt.Println("the paper's K=6, L=5 trades ~5% candidates for moderate recall (§5.2, §8.4).")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mips:", err)
+	os.Exit(1)
+}

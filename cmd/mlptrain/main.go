@@ -1,0 +1,135 @@
+// Command mlptrain trains one MLP with a chosen sampling method and
+// prints per-epoch progress, the timing split, and the final confusion
+// matrix.
+//
+// Usage:
+//
+//	mlptrain -dataset mnist -method mc -layers 3 -units 128 -batch 20 \
+//	         -epochs 5 -lr 0.05 -train 2000 -test 500
+//
+// Methods: standard, dropout, adaptive-dropout, alsh, alsh-parallel, mc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/lsh"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/train"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "mnist", "benchmark: mnist, kmnist, fashion, emnist, norb, cifar10")
+		method   = flag.String("method", "standard", "training method: standard, dropout, adaptive-dropout, alsh, alsh-parallel, mc")
+		layers   = flag.Int("layers", 3, "hidden layers")
+		units    = flag.Int("units", 128, "hidden units per layer")
+		epochs   = flag.Int("epochs", 5, "training epochs")
+		batch    = flag.Int("batch", 20, "batch size (1 = stochastic)")
+		lr       = flag.Float64("lr", 0.05, "learning rate")
+		optName  = flag.String("opt", "", "optimizer: sgd, momentum, adagrad, adam (default sgd; alsh defaults to adam)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		trainCap = flag.Int("train", 2000, "training samples (0 = paper split)")
+		testCap  = flag.Int("test", 500, "test samples (0 = paper split)")
+		keep     = flag.Float64("keep", 0.05, "dropout keep probability")
+		mcK      = flag.Int("mck", 10, "MC-approx sample count")
+		workers  = flag.Int("workers", 0, "worker goroutines for alsh-parallel (0 = one per CPU)")
+		confuse  = flag.Bool("confusion", true, "print the final confusion matrix and per-class report")
+		savePath = flag.String("save", "", "checkpoint the best model to this file")
+		loadPath = flag.String("load", "", "initialize weights from a saved model instead of random init")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Generate(*dsName, dataset.Options{
+		Seed: *seed, MaxTrain: *trainCap, MaxTest: *testCap, MaxVal: 200,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: %d train / %d test, dim %d, %d classes\n",
+		*dsName, ds.Train.Len(), ds.Test.Len(), ds.Spec.Dim(), ds.Spec.Classes)
+
+	var net *nn.Network
+	if *loadPath != "" {
+		net, err = nn.LoadFile(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded model from %s (%d parameters)\n", *loadPath, net.NumParams())
+	} else {
+		net, err = nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), *units, *layers, ds.Spec.Classes), rng.New(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("network: %d hidden layers x %d units, %d parameters\n", *layers, *units, net.NumParams())
+	}
+
+	name := *optName
+	if name == "" {
+		if *method == "alsh" {
+			name = "adam"
+		} else {
+			name = "sgd"
+		}
+	}
+	optim, err := opt.ByName(name, *lr)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.DefaultOptions(*seed)
+	opts.DropoutKeep = *keep
+	opts.MC.K = *mcK
+	opts.Workers = *workers
+	opts.ALSH = core.ALSHConfig{Params: lsh.Params{K: 5, L: 12, M: 3, U: 0.83}, MinActive: 10}
+	m, err := core.New(*method, net, optim, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	tr, err := train.New(m, ds, train.Config{
+		Epochs:          *epochs,
+		BatchSize:       *batch,
+		Seed:            *seed,
+		MaxEvalSamples:  1000,
+		RebuildPerEpoch: *method == "alsh" || *method == "alsh-parallel",
+		CheckpointPath:  *savePath,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range hist.Epochs {
+		fmt.Printf("epoch %2d  loss %.4f  test-acc %5.2f%%  ff %6.3fs  bp %6.3fs  maint %6.3fs\n",
+			e.Epoch, e.TrainLoss, 100*e.TestAccuracy,
+			e.Timing.Forward.Seconds(), e.Timing.Backward.Seconds(), e.Timing.Maintain.Seconds())
+	}
+	fmt.Printf("best accuracy: %.2f%%\n", 100*hist.BestAccuracy())
+
+	rec := core.Recommend(*batch, *layers, false)
+	fmt.Printf("§10.4 recommendation for this setting: %s (%s)\n", rec.Method, rec.Reason)
+
+	if *confuse {
+		cm := train.Confusion(m, ds.Test, ds.Spec.Classes, 1000)
+		fmt.Println(cm.Render())
+		fmt.Println(cm.Report())
+		fmt.Printf("prediction coverage %.2f, entropy %.2f\n", cm.PredictionCoverage(), cm.PredictionEntropy())
+	}
+	if *savePath != "" {
+		fmt.Printf("best model checkpointed to %s\n", *savePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlptrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package samplednn is a from-scratch Go reproduction of "Evaluating the
+// Feasibility of Sampling-Based Techniques for Training Multilayer
+// Perceptrons" (Ebrahimi, Advani, Asudeh; EDBT 2025).
+//
+// The library lives under internal/: tensor kernels, an LSH/ALSH MIPS
+// engine, approximate matrix multiplication, an MLP substrate with
+// optimizers, synthetic versions of the paper's six benchmarks, the five
+// training methods the paper evaluates, the §7 error-propagation theory,
+// and an experiment harness that regenerates every table and figure.
+// This root package holds the module-level integration tests and the
+// benchmark suite (bench_test.go) — one testing.B benchmark per paper
+// artifact plus the ablations DESIGN.md lists.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment
+// index), and EXPERIMENTS.md (paper-vs-measured results).
+package samplednn

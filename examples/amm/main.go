@@ -1,0 +1,66 @@
+// AMM: approximate matrix multiplication on its own — the §6.1 substrate
+// of MC-approx. Compares the Drineas CR estimator, the Adelman Bernoulli
+// estimator (Eq. 7), deterministic top-k, and uniform sampling on
+// matrices with skewed magnitudes, at several sample budgets.
+//
+//	go run ./examples/amm
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"samplednn/internal/approxmm"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func main() {
+	g := rng.New(42)
+	const m, n, p = 64, 512, 64
+
+	// Skewed data: a handful of heavy column-row pairs dominate the
+	// product, the regime where magnitude-aware sampling wins (§6.1).
+	a := tensor.New(m, n)
+	b := tensor.New(n, p)
+	g.GaussianSlice(a.Data, 0, 1)
+	g.GaussianSlice(b.Data, 0, 1)
+	for j := 0; j < 8; j++ {
+		for i := 0; i < m; i++ {
+			a.Data[i*n+j] *= 12
+		}
+		for i := 0; i < p; i++ {
+			b.Data[j*p+i] *= 12
+		}
+	}
+
+	exactStart := time.Now()
+	exact := tensor.MatMul(a, b)
+	exactTime := time.Since(exactStart)
+	fmt.Printf("exact %dx%dx%d product: %s\n\n", m, n, p, exactTime)
+
+	fmt.Printf("%-18s %-10s %-12s %-10s\n", "estimator", "samples", "rel-error", "time")
+	for _, c := range []int{16, 64, 128} {
+		ests := []approxmm.Approximator{
+			approxmm.NewCRSampler(c, g),
+			approxmm.NewBernoulliSampler(c, g),
+			approxmm.NewTopKSampler(c),
+			approxmm.NewUniformSampler(c, g),
+		}
+		for _, est := range ests {
+			const trials = 5
+			var errSum float64
+			start := time.Now()
+			for t := 0; t < trials; t++ {
+				errSum += approxmm.RelativeError(est.Multiply(a, b), exact)
+			}
+			elapsed := time.Since(start) / trials
+			fmt.Printf("%-18s %-10d %-12.4f %-10s\n", est.Name(), c, errSum/trials, elapsed)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("analytic E||AB−CR||²_F at c=64: %.1f (Drineas et al. bound)\n",
+		approxmm.ExpectedErrorCR(a, b, 64))
+	fmt.Println("\nnonuniform (cr/bernoulli/topk) beats uniform under skew — the Eq. 6/7 claim.")
+}

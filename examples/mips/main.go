@@ -1,0 +1,69 @@
+// MIPS: use the asymmetric-LSH engine the way ALSH-approx does during
+// training (§5.2) — index the columns of a layer's weight matrix, query
+// with an activation vector, and compare the hash-selected active set
+// against the exact top inner products. Also demonstrates incremental
+// column re-hashing after a simulated gradient update.
+//
+//	go run ./examples/mips
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"samplednn/internal/lsh"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func main() {
+	g := rng.New(3)
+	const fanIn, width = 64, 500
+
+	// A hidden layer's weight matrix: one column per node (Figure 2).
+	w := tensor.New(fanIn, width)
+	g.GaussianSlice(w.Data, 0, 0.2)
+
+	idx, err := lsh.NewMIPSIndex(fanIn, width, lsh.Params{K: 6, L: 8, M: 3, U: 0.83}, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx.Rebuild(w)
+
+	// An incoming activation vector plays the query role.
+	act := make([]float64, fanIn)
+	g.GaussianSlice(act, 0, 1)
+
+	cands := idx.Query(act, nil)
+	truth := lsh.BruteForceTopK(w, act, 10)
+	fmt.Printf("layer: %d nodes, query = activation vector of %d dims\n", width, fanIn)
+	fmt.Printf("active set: %d nodes (%.1f%% of the layer)\n", len(cands), 100*float64(len(cands))/width)
+	fmt.Printf("recall of true top-10 inner products: %.2f\n", lsh.Recall(cands, truth))
+	fmt.Printf("exact top-5 nodes: %v\n\n", truth[:5])
+
+	// Collision theory: per-bit probability is 1 − θ/π; a (K, L) index
+	// retrieves with probability 1 − (1−p^K)^L.
+	col := make([]float64, fanIn)
+	w.Col(truth[0], col)
+	pBit := lsh.CollisionProbability(act, col)
+	fmt.Printf("top node: per-bit collision p = %.3f → retrieval prob %.3f at K=6, L=8\n",
+		pBit, lsh.RetrievalProbability(pBit, 6, 8))
+
+	// Simulate a sparse gradient update touching 20 nodes, then re-hash
+	// only those columns — the maintenance path ALSH-approx runs during
+	// training (§9.2).
+	touched := g.SampleWithoutReplacement(width, 20)
+	colBuf := make([]float64, fanIn)
+	for _, j := range touched {
+		w.Col(j, colBuf)
+		for i := range colBuf {
+			colBuf[i] += 0.1 * g.NormFloat64()
+		}
+		w.SetCol(j, colBuf)
+	}
+	idx.UpdateColumns(w, touched)
+	rebuilds, queries := idx.Stats()
+	fmt.Printf("\nafter sparse update of %d columns: %d full rebuilds, %d queries served\n",
+		len(touched), rebuilds, queries)
+	fmt.Printf("index memory: %.1f KB (the §9.4 'table setup' cost)\n", float64(idx.MemoryFootprint())/1024)
+}

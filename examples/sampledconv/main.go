@@ -1,0 +1,69 @@
+// Sampledconv: the CNN extension the paper defers to its technical
+// report (§1) — once convolution is lowered to matrix products (im2col),
+// the Monte-Carlo row-sampling estimator of MC-approx applies to the
+// convolutional weight gradients. Trains a small ConvNet on a spatial
+// two-class task with exact and sampled gradients and compares accuracy
+// and backward cost.
+//
+//	go run ./examples/sampledconv
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"samplednn/internal/conv"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func main() {
+	const side, n = 12, 80
+	g := rng.New(3)
+
+	// Two classes distinguished by where a bright 3x3 block sits.
+	x := tensor.New(n, side*side)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = 0.1 * g.Float64()
+		}
+		c := i % 2
+		y[i] = c
+		off := 0
+		if c == 1 {
+			off = (side - 3) * (side + 1)
+		}
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				row[off+dy*side+dx] = 1
+			}
+		}
+	}
+
+	fmt.Printf("%-22s %-10s %-12s\n", "gradient estimator", "accuracy", "step time")
+	for _, sampleK := range []int{0, 16, 64} {
+		cn, err := conv.NewConvNet(side, 1, []int{6}, []int{16}, 2, rng.New(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "exact"
+		if sampleK > 0 {
+			cn.SetSampleK(sampleK, rng.New(7))
+			label = fmt.Sprintf("sampled (k=%d)", sampleK)
+		}
+		optim := opt.NewSGD(0.1)
+		start := time.Now()
+		const iters = 120
+		for iter := 0; iter < iters; iter++ {
+			cn.Step(x, y, optim)
+		}
+		per := time.Since(start) / iters
+		fmt.Printf("%-22s %8.1f%%  %-12s\n", label, 100*cn.Accuracy(x, y), per)
+	}
+	fmt.Println("\nEq. 7 sampling over the batch·pixels dimension keeps the conv gradient")
+	fmt.Println("unbiased while cutting its cost — the same trade MC-approx makes for MLPs.")
+}

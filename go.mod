@@ -1,0 +1,3 @@
+module samplednn
+
+go 1.22

@@ -1,0 +1,212 @@
+package samplednn
+
+// Cross-module integration tests: end-to-end flows that exercise the
+// dataset generators, every training method, the trainer, the metrics,
+// model serialization, and the theory module together — the paths the
+// cmd/ tools and examples depend on.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/lsh"
+	"samplednn/internal/metrics"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/theory"
+	"samplednn/internal/train"
+)
+
+func smallBenchmark(t *testing.T, name string, seed uint64) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(name, dataset.Options{
+		Seed: seed, MaxTrain: 400, MaxTest: 150, MaxVal: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// Every method must train end to end on a real benchmark geometry and
+// beat chance.
+func TestEndToEndAllMethodsBeatChance(t *testing.T) {
+	ds := smallBenchmark(t, "mnist", 1)
+	for _, name := range append(core.MethodNames(), "alsh-parallel") {
+		t.Run(name, func(t *testing.T) {
+			net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 64, 2, ds.Spec.Classes), rng.New(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.DefaultOptions(3)
+			opts.DropoutKeep = 0.5
+			opts.Workers = 2
+			opts.ALSH = core.ALSHConfig{Params: lsh.Params{K: 3, L: 5, M: 3, U: 0.83}, MinActive: 6}
+			batch := 20
+			var optim opt.Optimizer = opt.NewSGD(0.05)
+			if name == "alsh" {
+				batch = 1
+				optim = opt.NewAdam(0.01)
+			}
+			m, err := core.New(name, net, optim, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := train.New(m, ds, train.Config{
+				Epochs: 3, BatchSize: batch, Seed: 4, MaxEvalSamples: 150,
+				RebuildPerEpoch: name == "alsh" || name == "alsh-parallel",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist, err := tr.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc := hist.Final().TestAccuracy; acc < 0.2 {
+				t.Fatalf("%s accuracy %v, chance is 0.1", name, acc)
+			}
+		})
+	}
+}
+
+// Train → checkpoint → reload → predictions identical to the live model.
+func TestTrainSerializeReload(t *testing.T) {
+	ds := smallBenchmark(t, "fashion", 5)
+	net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 48, 2, ds.Spec.Classes), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewStandard(net, opt.NewSGD(0.05))
+	path := filepath.Join(t.TempDir(), "fashion.snn")
+	tr, err := train.New(m, ds, train.Config{
+		Epochs: 3, BatchSize: 20, Seed: 7, CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := loaded.Accuracy(ds.Test.X, ds.Test.Y)
+	if math.Abs(acc-hist.BestAccuracy()) > 1e-12 {
+		t.Fatalf("reloaded checkpoint accuracy %v, best %v", acc, hist.BestAccuracy())
+	}
+}
+
+// The paper's central comparison, end to end: on the same initialization
+// and data, ALSH-approx degrades on a deep network while exact training
+// does not (§7, Figure 7).
+func TestDeepALSHDegradesWhereStandardDoesNot(t *testing.T) {
+	ds := smallBenchmark(t, "mnist", 8)
+	const depth = 6
+	runOne := func(name string) float64 {
+		net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 64, depth, ds.Spec.Classes), rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var optim opt.Optimizer = opt.NewSGD(0.02)
+		opts := core.DefaultOptions(10)
+		opts.ALSH = core.ALSHConfig{Params: lsh.Params{K: 3, L: 4, M: 3, U: 0.83}, MinActive: 4}
+		if name == "alsh" {
+			optim = opt.NewAdam(0.01)
+		}
+		m, err := core.New(name, net, optim, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := train.New(m, ds, train.Config{
+			Epochs: 4, BatchSize: 1, Seed: 11, MaxEvalSamples: 150,
+			RebuildPerEpoch: name == "alsh",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist.Final().TestAccuracy
+	}
+	std := runOne("standard")
+	alsh := runOne("alsh")
+	if alsh >= std {
+		t.Fatalf("at depth %d ALSH (%v) should trail exact training (%v)", depth, alsh, std)
+	}
+	if std < 0.5 {
+		t.Fatalf("standard training should still learn at depth %d, got %v", depth, std)
+	}
+}
+
+// The §10.3 observation, end to end: prediction entropy of a deep
+// ALSH-trained model collapses relative to a shallow one.
+func TestPredictionEntropyCollapsesWithDepth(t *testing.T) {
+	ds, err := dataset.Generate("mnist", dataset.Options{Seed: 12, MaxTrain: 800, MaxTest: 200, MaxVal: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entropyAt := func(depth int) float64 {
+		net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 96, depth, ds.Spec.Classes), rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.NewALSHApprox(net, opt.NewAdam(0.005), core.ALSHConfig{
+			Params: lsh.Params{K: 4, L: 5, M: 3, U: 0.83}, MinActive: 5,
+		}, rng.New(14))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := train.New(m, ds, train.Config{
+			Epochs: 3, BatchSize: 1, Seed: 15, MaxEvalSamples: 150, RebuildPerEpoch: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Run(); err != nil {
+			t.Fatal(err)
+		}
+		cm := metrics.NewConfusionMatrix(ds.Spec.Classes)
+		cm.AddBatch(ds.Test.Y, m.Net().Predict(ds.Test.X))
+		return cm.PredictionEntropy()
+	}
+	shallow := entropyAt(1)
+	deep := entropyAt(7)
+	if deep >= shallow {
+		t.Fatalf("prediction entropy should collapse with depth: shallow %v, deep %v", shallow, deep)
+	}
+}
+
+// The theory module's depth limit agrees with the trained behaviour
+// regime: error exceeds estimate beyond 3 layers at the paper's c=5.
+func TestTheoryMatchesPaperHeadline(t *testing.T) {
+	if got := theory.DepthLimit(5, 1); got != 3 {
+		t.Fatalf("DepthLimit(5,1) = %d", got)
+	}
+	table := theory.PaperTable()
+	if table[0] != 0.19999999999999996 && math.Abs(table[0]-0.2) > 1e-12 {
+		t.Fatalf("first ratio %v", table[0])
+	}
+}
+
+// The §10.4 decision tree is consistent with the experiment outcomes:
+// mini-batch → mc, stochastic deep → standard.
+func TestRecommendationsConsistent(t *testing.T) {
+	if core.Recommend(20, 3, false).Method != "mc" {
+		t.Fatal("mini-batch recommendation should be mc")
+	}
+	if core.Recommend(1, 7, true).Method != "standard" {
+		t.Fatal("deep stochastic recommendation should be standard")
+	}
+	if core.Recommend(1, 3, true).Method != "alsh" {
+		t.Fatal("shallow stochastic parallel recommendation should be alsh")
+	}
+}

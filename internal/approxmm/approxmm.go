@@ -1,0 +1,322 @@
+// Package approxmm implements sampling-based approximate matrix
+// multiplication (AMM), the substrate behind the "sampling from the
+// previous layer" family of training methods (§6 of the paper).
+//
+// Given A (m x n) and B (n x p), the exact product is a sum of n outer
+// products: AB = Σ_i A[:,i] · B[i,:]. Every estimator here replaces that
+// sum with a sample of column-row pairs, rescaled so the estimate is
+// unbiased:
+//
+//   - CRSampler: the Drineas-Kannan-Mahoney estimator (§6.1) — c i.i.d.
+//     draws with probability p_i ∝ ||A[:,i]||·||B[i,:]|| (Eq. 6), each
+//     scaled by 1/(c·p_i). This distribution minimizes E||AB − CR||²_F.
+//   - BernoulliSampler: the Adelman et al. estimator (§6.2) — each pair i
+//     kept independently with probability p_i = min(k·||A[:,i]||·||B[i,:]||
+//     / Σ_j ||A[:,j]||·||B[j,:]||, 1) (Eq. 7) and scaled by 1/p_i, so on
+//     average k pairs survive.
+//   - TopKSampler: the deterministic variant that keeps the k largest
+//     magnitude pairs, unscaled; biased but low-variance.
+//   - UniformSampler: c uniform draws with replacement — the strawman
+//     Drineas et al. argue against.
+//
+// Estimators share the Approximator interface so training code and the
+// AMM benchmarks can swap them freely.
+package approxmm
+
+import (
+	"fmt"
+	"sort"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Approximator estimates the product of two matrices.
+type Approximator interface {
+	// Multiply returns an estimate of a*b.
+	Multiply(a, b *tensor.Matrix) *tensor.Matrix
+	// Name identifies the estimator in experiment output.
+	Name() string
+}
+
+// Exact computes the product exactly; it anchors benchmarks and tests.
+type Exact struct{}
+
+// Multiply returns a*b.
+func (Exact) Multiply(a, b *tensor.Matrix) *tensor.Matrix { return tensor.MatMul(a, b) }
+
+// Name returns "exact".
+func (Exact) Name() string { return "exact" }
+
+// pairWeights returns w_i = ||A[:,i]|| * ||B[i,:]|| for every column-row
+// pair, the magnitude signal both nonuniform estimators sample from.
+func pairWeights(a, b *tensor.Matrix) []float64 {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("approxmm: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	ca := a.ColNorms()
+	rb := b.RowNorms()
+	w := make([]float64, a.Cols)
+	for i := range w {
+		w[i] = ca[i] * rb[i]
+	}
+	return w
+}
+
+// addOuterScaled accumulates out += scale * A[:,i] * B[i,:].
+func addOuterScaled(out, a, b *tensor.Matrix, i int, scale float64) {
+	brow := b.RowView(i)
+	for r := 0; r < a.Rows; r++ {
+		av := a.Data[r*a.Cols+i] * scale
+		if av == 0 {
+			continue
+		}
+		tensor.Axpy(av, brow, out.RowView(r))
+	}
+}
+
+// CRSampler implements the Drineas et al. nonuniform estimator.
+type CRSampler struct {
+	// C is the number of column-row pairs sampled per product.
+	C int
+	// Rand supplies the draws; it is mutated by Multiply.
+	Rand *rng.RNG
+}
+
+// NewCRSampler returns a CR estimator drawing c pairs per product.
+func NewCRSampler(c int, g *rng.RNG) *CRSampler {
+	if c <= 0 {
+		panic("approxmm: CRSampler needs c > 0")
+	}
+	return &CRSampler{C: c, Rand: g}
+}
+
+// Name returns a label including the sample count.
+func (s *CRSampler) Name() string { return fmt.Sprintf("cr(c=%d)", s.C) }
+
+// Multiply estimates a*b with c draws from the optimal distribution of
+// Eq. 6. If the magnitude signal is entirely zero (a or b is a zero
+// matrix) the exact product — a zero matrix — is returned directly.
+func (s *CRSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
+	w := pairWeights(a, b)
+	out := tensor.New(a.Rows, b.Cols)
+	table, err := rng.NewAlias(w)
+	if err != nil {
+		return out // all-zero weights: product is exactly zero
+	}
+	inv := 1 / float64(s.C)
+	for t := 0; t < s.C; t++ {
+		i := table.Draw(s.Rand)
+		addOuterScaled(out, a, b, i, inv/table.Prob(i))
+	}
+	return out
+}
+
+// BernoulliSampler implements the Adelman et al. estimator of Eq. 7.
+type BernoulliSampler struct {
+	// K is the expected number of surviving column-row pairs.
+	K int
+	// Rand supplies the draws; it is mutated by Multiply.
+	Rand *rng.RNG
+}
+
+// NewBernoulliSampler returns the Eq. 7 estimator keeping ~k pairs.
+func NewBernoulliSampler(k int, g *rng.RNG) *BernoulliSampler {
+	if k <= 0 {
+		panic("approxmm: BernoulliSampler needs k > 0")
+	}
+	return &BernoulliSampler{K: k, Rand: g}
+}
+
+// Name returns a label including the expected sample count.
+func (s *BernoulliSampler) Name() string { return fmt.Sprintf("bernoulli(k=%d)", s.K) }
+
+// Probabilities returns the keep probability of every column-row pair,
+// p_i = min(k·w_i/Σw, 1), renormalized after clipping so the expected
+// sample count stays at min(k, n) even when some pairs saturate at 1.
+func (s *BernoulliSampler) Probabilities(a, b *tensor.Matrix) []float64 {
+	return KeepProbabilities(pairWeights(a, b), s.K)
+}
+
+// KeepProbabilities computes the Eq. 7 keep probabilities p_i =
+// min(k·w_i/Σw, 1) for arbitrary pair weights with iterative mass redistribution:
+// clipped pairs keep probability 1 and the residual budget is spread over
+// the rest in proportion to their weights.
+func KeepProbabilities(w []float64, k int) []float64 {
+	n := len(w)
+	p := make([]float64, n)
+	if k >= n {
+		for i := range p {
+			p[i] = 1
+		}
+		return p
+	}
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if total == 0 {
+		// No magnitude signal; fall back to uniform k/n.
+		for i := range p {
+			p[i] = float64(k) / float64(n)
+		}
+		return p
+	}
+	saturated := make([]bool, n)
+	budget := float64(k)
+	for iter := 0; iter < n; iter++ {
+		var free float64
+		for i, v := range w {
+			if !saturated[i] {
+				free += v
+			}
+		}
+		if free == 0 {
+			break
+		}
+		clippedAny := false
+		for i, v := range w {
+			if saturated[i] {
+				continue
+			}
+			pi := budget * v / free
+			if pi >= 1 {
+				saturated[i] = true
+				p[i] = 1
+				budget--
+				clippedAny = true
+			}
+		}
+		if !clippedAny {
+			for i, v := range w {
+				if !saturated[i] {
+					p[i] = budget * v / free
+				}
+			}
+			break
+		}
+	}
+	for i := range p {
+		if p[i] < 0 {
+			p[i] = 0
+		}
+	}
+	return p
+}
+
+// Multiply estimates a*b keeping each pair i with probability p_i and
+// scaling survivors by 1/p_i, which makes the estimator unbiased.
+func (s *BernoulliSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
+	p := s.Probabilities(a, b)
+	out := tensor.New(a.Rows, b.Cols)
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		if s.Rand.Bernoulli(pi) {
+			addOuterScaled(out, a, b, i, 1/pi)
+		}
+	}
+	return out
+}
+
+// TopKSampler keeps the k column-row pairs with the largest magnitude
+// product, unscaled. It is deterministic and biased; Adelman et al.
+// discuss it as the low-variance alternative.
+type TopKSampler struct {
+	// K is the number of pairs retained.
+	K int
+}
+
+// NewTopKSampler returns the deterministic top-k estimator.
+func NewTopKSampler(k int) *TopKSampler {
+	if k <= 0 {
+		panic("approxmm: TopKSampler needs k > 0")
+	}
+	return &TopKSampler{K: k}
+}
+
+// Name returns a label including k.
+func (s *TopKSampler) Name() string { return fmt.Sprintf("topk(k=%d)", s.K) }
+
+// Multiply sums the k heaviest outer products.
+func (s *TopKSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
+	w := pairWeights(a, b)
+	idx := make([]int, len(w))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return w[idx[x]] > w[idx[y]] })
+	k := s.K
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := tensor.New(a.Rows, b.Cols)
+	for _, i := range idx[:k] {
+		addOuterScaled(out, a, b, i, 1)
+	}
+	return out
+}
+
+// UniformSampler draws c pairs uniformly with replacement, each scaled by
+// n/c. Drineas et al. argue this adds high error when magnitudes are
+// skewed; it is kept as the baseline their analysis beats.
+type UniformSampler struct {
+	// C is the number of draws per product.
+	C int
+	// Rand supplies the draws; it is mutated by Multiply.
+	Rand *rng.RNG
+}
+
+// NewUniformSampler returns the uniform-with-replacement estimator.
+func NewUniformSampler(c int, g *rng.RNG) *UniformSampler {
+	if c <= 0 {
+		panic("approxmm: UniformSampler needs c > 0")
+	}
+	return &UniformSampler{C: c, Rand: g}
+}
+
+// Name returns a label including the sample count.
+func (s *UniformSampler) Name() string { return fmt.Sprintf("uniform(c=%d)", s.C) }
+
+// Multiply estimates a*b from c uniform draws.
+func (s *UniformSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("approxmm: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := tensor.New(a.Rows, b.Cols)
+	n := a.Cols
+	if n == 0 {
+		return out
+	}
+	scale := float64(n) / float64(s.C)
+	for t := 0; t < s.C; t++ {
+		addOuterScaled(out, a, b, s.Rand.IntN(n), scale)
+	}
+	return out
+}
+
+// ExpectedErrorCR returns the expected squared Frobenius error of the CR
+// estimator with the optimal distribution: (Σ_i w_i)²/c − ||AB||²_F/c,
+// with w_i the pair weights. It is the analytic bound of Drineas et al.
+func ExpectedErrorCR(a, b *tensor.Matrix, c int) float64 {
+	w := pairWeights(a, b)
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	ab := tensor.MatMul(a, b)
+	f := ab.FrobeniusNorm()
+	return (sum*sum - f*f) / float64(c)
+}
+
+// RelativeError returns ||est − exact||_F / max(||exact||_F, eps), the
+// metric the AMM experiments report.
+func RelativeError(est, exact *tensor.Matrix) float64 {
+	diff := tensor.Sub(est, exact)
+	d := exact.FrobeniusNorm()
+	if d < 1e-300 {
+		d = 1e-300
+	}
+	return diff.FrobeniusNorm() / d
+}

@@ -1,0 +1,313 @@
+package approxmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func randMat(g *rng.RNG, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	g.GaussianSlice(m.Data, 0, 1)
+	return m
+}
+
+func TestExact(t *testing.T) {
+	g := rng.New(1)
+	a, b := randMat(g, 4, 5), randMat(g, 5, 6)
+	ex := Exact{}
+	if !tensor.EqualApprox(ex.Multiply(a, b), tensor.MatMul(a, b), 0) {
+		t.Fatal("Exact must equal MatMul")
+	}
+	if ex.Name() != "exact" {
+		t.Fatal("name")
+	}
+}
+
+// Every sampling estimator with sample count equal to the inner dimension
+// and all-equal magnitudes should still produce a finite, roughly correct
+// estimate; with c >> n the CR estimator should converge.
+func TestCRSamplerUnbiased(t *testing.T) {
+	g := rng.New(2)
+	a, b := randMat(g, 6, 10), randMat(g, 10, 7)
+	exact := tensor.MatMul(a, b)
+	// Average many independent estimates: the mean should approach the
+	// exact product (unbiasedness).
+	mean := tensor.New(6, 7)
+	const trials = 3000
+	s := NewCRSampler(4, g)
+	for i := 0; i < trials; i++ {
+		tensor.AddInPlace(mean, s.Multiply(a, b))
+	}
+	mean.Scale(1.0 / trials)
+	if RelativeError(mean, exact) > 0.08 {
+		t.Fatalf("CR estimator biased: rel err of mean %v", RelativeError(mean, exact))
+	}
+}
+
+func TestCRSamplerConvergence(t *testing.T) {
+	g := rng.New(3)
+	a, b := randMat(g, 8, 50), randMat(g, 50, 8)
+	exact := tensor.MatMul(a, b)
+	errSmall := RelativeError(NewCRSampler(5, g).Multiply(a, b), exact)
+	var errLargeSum float64
+	for i := 0; i < 5; i++ {
+		errLargeSum += RelativeError(NewCRSampler(2000, g).Multiply(a, b), exact)
+	}
+	errLarge := errLargeSum / 5
+	if errLarge >= errSmall {
+		t.Fatalf("more samples should shrink error: c=5 → %v, c=2000 → %v", errSmall, errLarge)
+	}
+	if errLarge > 0.25 {
+		t.Fatalf("c=2000 error too high: %v", errLarge)
+	}
+}
+
+func TestCRSamplerZeroMatrix(t *testing.T) {
+	g := rng.New(4)
+	a := tensor.New(3, 4)
+	b := randMat(g, 4, 5)
+	out := NewCRSampler(3, g).Multiply(a, b)
+	if out.FrobeniusNorm() != 0 {
+		t.Fatal("zero A must give zero estimate")
+	}
+}
+
+func TestBernoulliProbabilities(t *testing.T) {
+	g := rng.New(5)
+	a, b := randMat(g, 6, 12), randMat(g, 12, 6)
+	s := NewBernoulliSampler(5, g)
+	p := s.Probabilities(a, b)
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-5) > 1e-9 {
+		t.Fatalf("expected sample count %v, want 5", sum)
+	}
+}
+
+func TestBernoulliProbabilitiesClipping(t *testing.T) {
+	// One dominant pair: its probability must clip at 1 and the rest of
+	// the budget must be redistributed.
+	a := tensor.FromRows([][]float64{{100, 1, 1, 1}})
+	b := tensor.FromRows([][]float64{{100}, {1}, {1}, {1}})
+	s := NewBernoulliSampler(2, rng.New(6))
+	p := s.Probabilities(a, b)
+	if p[0] != 1 {
+		t.Fatalf("dominant pair should clip to 1, got %v", p[0])
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-2) > 1e-9 {
+		t.Fatalf("after clipping, expected count %v, want 2", sum)
+	}
+}
+
+func TestBernoulliKAtLeastN(t *testing.T) {
+	g := rng.New(7)
+	a, b := randMat(g, 3, 4), randMat(g, 4, 3)
+	s := NewBernoulliSampler(10, g)
+	p := s.Probabilities(a, b)
+	for _, v := range p {
+		if v != 1 {
+			t.Fatal("k >= n must keep every pair")
+		}
+	}
+	if !tensor.EqualApprox(s.Multiply(a, b), tensor.MatMul(a, b), 1e-9) {
+		t.Fatal("k >= n must reproduce the exact product")
+	}
+}
+
+func TestBernoulliUnbiased(t *testing.T) {
+	g := rng.New(8)
+	a, b := randMat(g, 5, 10), randMat(g, 10, 5)
+	exact := tensor.MatMul(a, b)
+	mean := tensor.New(5, 5)
+	const trials = 3000
+	s := NewBernoulliSampler(4, g)
+	for i := 0; i < trials; i++ {
+		tensor.AddInPlace(mean, s.Multiply(a, b))
+	}
+	mean.Scale(1.0 / trials)
+	if RelativeError(mean, exact) > 0.08 {
+		t.Fatalf("Bernoulli estimator biased: %v", RelativeError(mean, exact))
+	}
+}
+
+func TestBernoulliZeroWeightsUniformFallback(t *testing.T) {
+	a := tensor.New(2, 6)
+	b := tensor.New(6, 2)
+	s := NewBernoulliSampler(3, rng.New(9))
+	p := s.Probabilities(a, b)
+	for _, v := range p {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("zero-signal fallback should be uniform k/n, got %v", p)
+		}
+	}
+}
+
+func TestTopKDeterministicAndOrdered(t *testing.T) {
+	g := rng.New(10)
+	a, b := randMat(g, 6, 20), randMat(g, 20, 6)
+	s := NewTopKSampler(8)
+	x := s.Multiply(a, b)
+	y := s.Multiply(a, b)
+	if !tensor.Equal(x, y) {
+		t.Fatal("TopK must be deterministic")
+	}
+	exact := tensor.MatMul(a, b)
+	// Keeping all pairs reproduces the exact product.
+	if !tensor.EqualApprox(NewTopKSampler(20).Multiply(a, b), exact, 1e-9) {
+		t.Fatal("TopK with k=n must be exact")
+	}
+	// k beyond n also exact.
+	if !tensor.EqualApprox(NewTopKSampler(100).Multiply(a, b), exact, 1e-9) {
+		t.Fatal("TopK with k>n must be exact")
+	}
+	// More pairs, at most equal error.
+	e8 := RelativeError(s.Multiply(a, b), exact)
+	e16 := RelativeError(NewTopKSampler(16).Multiply(a, b), exact)
+	if e16 > e8+1e-12 {
+		t.Fatalf("TopK error should shrink with k: k=8 %v, k=16 %v", e8, e16)
+	}
+}
+
+func TestUniformVsCROnSkewedData(t *testing.T) {
+	// Skewed magnitudes are exactly where Drineas et al. predict uniform
+	// sampling loses: one huge pair dominates.
+	g := rng.New(11)
+	n := 100
+	a := randMat(g, 10, n)
+	b := randMat(g, n, 10)
+	for i := 0; i < 10; i++ { // inflate one column/row pair
+		a.Set(i, 0, a.At(i, 0)*50)
+		b.Set(0, i, b.At(0, i)*50)
+	}
+	exact := tensor.MatMul(a, b)
+	var crErr, unifErr float64
+	const trials = 30
+	cr := NewCRSampler(10, g)
+	unif := NewUniformSampler(10, g)
+	for i := 0; i < trials; i++ {
+		crErr += RelativeError(cr.Multiply(a, b), exact)
+		unifErr += RelativeError(unif.Multiply(a, b), exact)
+	}
+	if crErr >= unifErr {
+		t.Fatalf("nonuniform CR should beat uniform on skewed data: cr %v vs uniform %v", crErr/trials, unifErr/trials)
+	}
+}
+
+func TestExpectedErrorCRMatchesEmpirical(t *testing.T) {
+	g := rng.New(12)
+	a, b := randMat(g, 6, 30), randMat(g, 30, 6)
+	exact := tensor.MatMul(a, b)
+	c := 8
+	want := ExpectedErrorCR(a, b, c)
+	var got float64
+	const trials = 4000
+	s := NewCRSampler(c, g)
+	for i := 0; i < trials; i++ {
+		d := tensor.Sub(s.Multiply(a, b), exact)
+		f := d.FrobeniusNorm()
+		got += f * f
+	}
+	got /= trials
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("analytic expected error %v vs empirical %v", want, got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"cr":        func() { NewCRSampler(0, rng.New(1)) },
+		"bernoulli": func() { NewBernoulliSampler(0, rng.New(1)) },
+		"topk":      func() { NewTopKSampler(-1) },
+		"uniform":   func() { NewUniformSampler(0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	g := rng.New(13)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	NewCRSampler(2, g).Multiply(tensor.New(2, 3), tensor.New(4, 2))
+}
+
+func TestNames(t *testing.T) {
+	g := rng.New(14)
+	for _, tc := range []struct {
+		ap   Approximator
+		want string
+	}{
+		{NewCRSampler(3, g), "cr(c=3)"},
+		{NewBernoulliSampler(4, g), "bernoulli(k=4)"},
+		{NewTopKSampler(5), "topk(k=5)"},
+		{NewUniformSampler(6, g), "uniform(c=6)"},
+	} {
+		if tc.ap.Name() != tc.want {
+			t.Fatalf("Name() = %q, want %q", tc.ap.Name(), tc.want)
+		}
+	}
+}
+
+// Property: KeepProbabilities always returns values in [0,1] summing to
+// min(k, n) (within tolerance), for arbitrary weights.
+func TestKeepProbabilitiesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		n := 1 + g.IntN(40)
+		k := 1 + g.IntN(50)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = g.Float64() * math.Pow(10, float64(g.IntN(4)))
+		}
+		p := KeepProbabilities(w, k)
+		var sum float64
+		for _, v := range p {
+			if v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+			sum += v
+		}
+		want := float64(k)
+		if k > n {
+			want = float64(n)
+		}
+		return math.Abs(sum-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeErrorZeroDenominator(t *testing.T) {
+	z := tensor.New(2, 2)
+	e := tensor.FromRows([][]float64{{1, 0}, {0, 0}})
+	if v := RelativeError(e, z); math.IsNaN(v) || math.IsInf(v, 0) && v < 0 {
+		t.Fatalf("RelativeError with zero exact should be finite-ish, got %v", v)
+	}
+	if RelativeError(z, z) != 0 {
+		t.Fatal("identical matrices must have zero error")
+	}
+}

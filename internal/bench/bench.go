@@ -1,0 +1,154 @@
+// Package bench is the experiment harness: every table and figure of the
+// paper's evaluation (§8-§9) is a registered Experiment that regenerates
+// the corresponding rows or series, at three scales.
+//
+// The Paper scale uses the published configuration (§8.4: 3 hidden layers
+// of 1000 units, 50 epochs, full splits, batch 20 for the mini-batch
+// setting, K=6/L=5/m=3 for ALSH-approx, k=10 for MC-approx). The Small
+// and Tiny scales shrink sample counts, layer widths, and epochs so the
+// sweep finishes on one CPU core — absolute numbers shrink with them, but
+// the comparisons the paper draws (who wins, where ALSH-approx collapses,
+// where the MC-approx batch-size crossover sits) are preserved, and
+// learning rates are raised to keep the shortened runs in the same
+// training regime. EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scale selects an experiment size.
+type Scale int
+
+// Available scales.
+const (
+	// Tiny finishes in seconds; used by unit tests.
+	Tiny Scale = iota
+	// Small finishes in minutes on one core; the bench_test.go default.
+	Small
+	// Paper uses the published configuration.
+	Paper
+)
+
+// ParseScale converts a flag string.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "small":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("bench: unknown scale %q (want tiny, small, or paper)", s)
+}
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Paper:
+		return "paper"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// settings carries the scaled experiment parameters.
+type settings struct {
+	units       int // hidden-layer width
+	epochs      int
+	trainCap    int // per-dataset training-sample cap (0 = paper split)
+	testCap     int
+	bigTrainCap int // caps for the high-dimensional sets (NORB, CIFAR)
+	bigTestCap  int
+	evalCap     int     // per-epoch evaluation cap
+	lr          float64 // SGD learning rate, mini-batch setting
+	lrStoch     float64 // SGD learning rate, stochastic setting (batch 1)
+	lrLow       float64 // the paper's "lowered" rate (1e-4 analogue)
+	adamLR      float64 // ALSH-approx uses Adam (§8.4)
+	batch       int     // mini-batch size (paper: 20)
+	mcK         int     // MC-approx sample count (paper: 10)
+	alshK       int     // hash bits; fewer at small widths so buckets stay occupied
+	alshL       int
+	minActive   int
+}
+
+func settingsFor(s Scale) settings {
+	switch s {
+	case Tiny:
+		return settings{
+			units: 32, epochs: 1,
+			trainCap: 200, testCap: 100, bigTrainCap: 80, bigTestCap: 50,
+			evalCap: 100,
+			lr:      0.1, lrStoch: 0.05, lrLow: 0.01, adamLR: 0.01,
+			batch: 20, mcK: 10, alshK: 3, alshL: 4, minActive: 4,
+		}
+	case Small:
+		return settings{
+			units: 96, epochs: 8,
+			trainCap: 1200, testCap: 400, bigTrainCap: 350, bigTestCap: 150,
+			evalCap: 400,
+			lr:      0.05, lrStoch: 0.015, lrLow: 0.005, adamLR: 0.002,
+			batch: 20, mcK: 32, alshK: 5, alshL: 12, minActive: 10,
+		}
+	default: // Paper
+		return settings{
+			units: 1000, epochs: 50,
+			evalCap: 0,
+			lr:      1e-3, lrStoch: 1e-3, lrLow: 1e-4, adamLR: 1e-3,
+			batch: 20, mcK: 10, alshK: 6, alshL: 5, minActive: 10,
+		}
+	}
+}
+
+// Result is a regenerated table or figure in row form.
+type Result struct {
+	// ID matches the experiment id ("table2", "fig7", …).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperRef summarizes what the paper reports, for side-by-side
+	// comparison.
+	PaperRef string
+	// Columns and Rows hold the regenerated data.
+	Columns []string
+	Rows    [][]string
+	// Notes carries free-form observations (e.g. rendered confusion
+	// matrices, shape checks).
+	Notes []string
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the registry key.
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment at a scale.
+	Run func(s Scale) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments lists every registered experiment sorted by id.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

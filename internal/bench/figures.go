@@ -1,0 +1,430 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"samplednn/internal/core"
+	"samplednn/internal/train"
+)
+
+func init() {
+	register(Experiment{ID: "fig3", Title: "Figure 3: confusion matrices across methods × depths", Run: runFig3})
+	register(Experiment{ID: "fig4", Title: "Figure 4: ALSH-approx accuracy collapse with depth", Run: func(s Scale) (*Result, error) {
+		r, err := runPredCollapse(s)
+		if r != nil {
+			r.ID = "fig4"
+		}
+		return r, err
+	}})
+	register(Experiment{ID: "fig5", Title: "Figure 5: MC-M vs Standard-M accuracy across depths", Run: runFig5})
+	register(Experiment{ID: "fig6", Title: "Figure 6: MC-S accuracy with the lowered learning rate", Run: runFig6})
+	register(Experiment{ID: "fig7", Title: "Figure 7: accuracy vs number of hidden layers (1..7)", Run: runFig7})
+	register(Experiment{ID: "fig8", Title: "Figure 8: training time vs number of hidden layers", Run: runFig8})
+	register(Experiment{ID: "fig9", Title: "Figure 9: time-vs-accuracy frontier", Run: runFig9})
+	register(Experiment{ID: "fig10", Title: "Figure 10: MC-approx accuracy vs batch size (fixed LR)", Run: runFig10})
+	register(Experiment{ID: "fig11", Title: "Figure 11: MC-approx epoch time vs batch size", Run: runFig11})
+	register(Experiment{ID: "fig12", Title: "Figure 12: MC-S accuracy vs depth (stochastic scalability)", Run: runFig12})
+	register(Experiment{ID: "pred-collapse", Title: "§10.3: ALSH prediction-distribution collapse with depth", Run: runPredCollapse})
+	register(Experiment{ID: "mem", Title: "§9.4: memory footprint by method", Run: runMem})
+}
+
+func depthsFor(s Scale) []int {
+	if s == Tiny {
+		return []int{1, 3, 5}
+	}
+	return []int{1, 2, 3, 4, 5, 6, 7}
+}
+
+func runFig3(s Scale) (*Result, error) {
+	res := &Result{
+		ID:       "fig3",
+		Title:    "Confusion-matrix summary: accuracy / prediction coverage per method × depth",
+		PaperRef: "paper: Standard/Adaptive/MC stay diagonal at all depths; ALSH loses the diagonal beyond ~3 layers",
+		Columns:  []string{"method", "depth", "accuracy%", "pred-coverage", "pred-entropy"},
+	}
+	depths := depthsFor(s)
+	methods := []struct {
+		label, name string
+		batch       int
+	}{
+		{"Standard-S", "standard", 1},
+		{"Dropout-S", "dropout", 1},
+		{"AdaptiveDropout-S", "adaptive-dropout", 1},
+		{"ALSH", "alsh", 1},
+		{"MC-M", "mc", 0},
+	}
+	cfg := settingsFor(s)
+	var collapsed, diagonal string
+	for mi, m := range methods {
+		for _, depth := range depths {
+			batch := m.batch
+			if batch == 0 {
+				batch = cfg.batch
+			}
+			out, err := run(runSpec{
+				dataset: "mnist", method: m.name, depth: depth, batch: batch,
+				seed: uint64(4000 + 100*mi + depth),
+			}, s)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s depth %d: %w", m.label, depth, err)
+			}
+			cm := train.Confusion(out.method, out.data.Test, out.data.Spec.Classes, cfg.evalCap)
+			res.Rows = append(res.Rows, []string{
+				m.label, fmt.Sprint(depth),
+				fmtPct(cm.Accuracy()),
+				fmt.Sprintf("%.2f", cm.PredictionCoverage()),
+				fmt.Sprintf("%.2f", cm.PredictionEntropy()),
+			})
+			if m.name == "alsh" && depth == depths[len(depths)-1] {
+				collapsed = cm.Render()
+			}
+			if m.name == "standard" && depth == depths[0] {
+				diagonal = cm.Render()
+			}
+		}
+	}
+	if diagonal != "" {
+		res.Notes = append(res.Notes, "Standard, depth "+fmt.Sprint(depths[0])+":\n"+diagonal)
+	}
+	if collapsed != "" {
+		res.Notes = append(res.Notes, "ALSH, depth "+fmt.Sprint(depths[len(depths)-1])+":\n"+collapsed)
+	}
+	return res, nil
+}
+
+// accuracyVsDepth sweeps depth for a fixed method configuration.
+func accuracyVsDepth(s Scale, name string, batch int, lr float64, seedBase uint64) (map[int]float64, error) {
+	out := map[int]float64{}
+	for _, depth := range depthsFor(s) {
+		r, err := run(runSpec{
+			dataset: "mnist", method: name, depth: depth, batch: batch, lr: lr,
+			seed: seedBase + uint64(depth),
+		}, s)
+		if err != nil {
+			return nil, err
+		}
+		out[depth] = r.hist.Final().TestAccuracy
+	}
+	return out, nil
+}
+
+func runFig7(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "fig7",
+		Title:    "Accuracy vs hidden layers, MNIST",
+		PaperRef: "paper: MC-M ≥92.7% at every depth; ALSH drops from 70.07% (5 layers) to 25.14% (7 layers)",
+		Columns:  []string{"depth", "Standard-S", "ALSH", "MC-M"},
+	}
+	std, err := accuracyVsDepth(s, "standard", 1, 0, 5000)
+	if err != nil {
+		return nil, err
+	}
+	alsh, err := accuracyVsDepth(s, "alsh", 1, 0, 5100)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := accuracyVsDepth(s, "mc", cfg.batch, 0, 5200)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range depthsFor(s) {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(d), fmtPct(std[d]), fmtPct(alsh[d]), fmtPct(mc[d]),
+		})
+	}
+	depths := depthsFor(s)
+	first, last := depths[0], depths[len(depths)-1]
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"shape check: ALSH %s%% → %s%% from depth %d to %d (paper shows a collapse); MC stays flat",
+		fmtPct(alsh[first]), fmtPct(alsh[last]), first, last))
+	return res, nil
+}
+
+func runFig5(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "fig5",
+		Title:    "MC-M vs Standard-M accuracy across depths, MNIST",
+		PaperRef: "paper: MC-M matches or beats Standard-M by 2-4 points at most depths",
+		Columns:  []string{"depth", "Standard-M", "MC-M"},
+	}
+	std, err := accuracyVsDepth(s, "standard", cfg.batch, 0, 5300)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := accuracyVsDepth(s, "mc", cfg.batch, 0, 5400)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range depthsFor(s) {
+		res.Rows = append(res.Rows, []string{fmt.Sprint(d), fmtPct(std[d]), fmtPct(mc[d])})
+	}
+	return res, nil
+}
+
+func runFig6(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "fig6",
+		Title:    "MC-S accuracy: default vs lowered learning rate, MNIST, 3 hidden layers",
+		PaperRef: "paper: lowering the LR (1e-3 → 1e-4) repairs MC-S overfitting; accuracy recovers to 98.38%",
+		Columns:  []string{"learning rate", "final accuracy%", "best accuracy%"},
+	}
+	for _, lr := range []float64{cfg.lr, cfg.lrLow} {
+		out, err := run(runSpec{
+			dataset: "mnist", method: "mc", depth: 3, batch: 1, lr: lr, seed: 5500,
+		}, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%g", lr),
+			fmtPct(out.hist.Final().TestAccuracy),
+			fmtPct(out.hist.BestAccuracy()),
+		})
+	}
+	return res, nil
+}
+
+func runFig8(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "fig8",
+		Title:    "Per-epoch training time vs hidden layers, MNIST",
+		PaperRef: "paper: ALSH grows fastest with depth (single core); MC-M fastest up to ~3 layers",
+		Columns:  []string{"depth", "Standard-S", "Standard-M", "ALSH", "MC-M"},
+	}
+	type cell struct {
+		label string
+		name  string
+		batch int
+	}
+	cells := []cell{
+		{"Standard-S", "standard", 1},
+		{"Standard-M", "standard", cfg.batch},
+		{"ALSH", "alsh", 1},
+		{"MC-M", "mc", cfg.batch},
+	}
+	depths := depthsFor(s)
+	times := make(map[string]map[int]time.Duration)
+	for ci, c := range cells {
+		times[c.label] = map[int]time.Duration{}
+		for _, d := range depths {
+			out, err := run(runSpec{
+				dataset: "mnist", method: c.name, depth: d, batch: c.batch,
+				seed: uint64(6000 + 100*ci + d),
+			}, s)
+			if err != nil {
+				return nil, err
+			}
+			t := out.hist.TotalTiming()
+			times[c.label][d] = time.Duration(float64(t.Total()) / float64(len(out.hist.Epochs)))
+		}
+	}
+	for _, d := range depths {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(d),
+			fmtDur(times["Standard-S"][d]),
+			fmtDur(times["Standard-M"][d]),
+			fmtDur(times["ALSH"][d]),
+			fmtDur(times["MC-M"][d]),
+		})
+	}
+	return res, nil
+}
+
+func runFig9(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "fig9",
+		Title:    "Training-time vs accuracy frontier, MNIST, 3 hidden layers",
+		PaperRef: "paper: MC-approx dominates on both speed and accuracy",
+		Columns:  []string{"method", "total time", "accuracy%"},
+	}
+	points := []struct {
+		label string
+		name  string
+		batch int
+		low   bool
+	}{
+		{"Standard-S", "standard", 1, false},
+		{"Standard-M", "standard", cfg.batch, false},
+		{"Dropout-S", "dropout", 1, false},
+		{"AdaptiveDropout-S", "adaptive-dropout", 1, false},
+		{"ALSH", "alsh", 1, false},
+		{"MC-S", "mc", 1, true},
+		{"MC-M", "mc", cfg.batch, false},
+	}
+	for pi, p := range points {
+		spec := runSpec{dataset: "mnist", method: p.name, depth: 3, batch: p.batch, seed: uint64(7000 + pi)}
+		if p.low {
+			spec.lr = cfg.lrLow
+		}
+		out, err := run(spec, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			p.label,
+			fmtDur(out.hist.TotalTiming().Total()),
+			fmtPct(out.hist.Final().TestAccuracy),
+		})
+	}
+	return res, nil
+}
+
+// batchesFor sweeps up to the paper's mini-batch size of 20; larger
+// batches at fixed epochs would confound the figure with step-count
+// underfitting at the scaled-down sample counts.
+func batchesFor(s Scale) []int {
+	if s == Tiny {
+		return []int{1, 5, 20}
+	}
+	return []int{1, 2, 5, 10, 20}
+}
+
+func runFig10(s Scale) (*Result, error) {
+	res := &Result{
+		ID:       "fig10",
+		Title:    "MC-approx accuracy vs batch size at a fixed learning rate, MNIST",
+		PaperRef: "paper: accuracy drops from 98% to 64% as the batch shrinks at the same LR",
+		Columns:  []string{"batch", "accuracy%"},
+	}
+	cfg := settingsFor(s)
+	for _, b := range batchesFor(s) {
+		out, err := run(runSpec{
+			// The figure's premise is one fixed learning rate across
+			// batch sizes; bypass the per-setting LR defaults.
+			dataset: "mnist", method: "mc", depth: 3, batch: b, lr: cfg.lr,
+			seed: uint64(7100 + b),
+		}, s)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{fmt.Sprint(b), fmtPct(out.hist.Final().TestAccuracy)})
+	}
+	return res, nil
+}
+
+func runFig11(s Scale) (*Result, error) {
+	res := &Result{
+		ID:       "fig11",
+		Title:    "Per-epoch time vs batch size: MC-approx against Standard, MNIST",
+		PaperRef: "paper: MC-approx time blows up as the batch shrinks (per-step sampling overhead); crossover vs Standard near small batches",
+		Columns:  []string{"batch", "MC epoch", "Standard epoch", "MC/Standard"},
+	}
+	for _, b := range batchesFor(s) {
+		mcOut, err := run(runSpec{dataset: "mnist", method: "mc", depth: 3, batch: b, seed: uint64(7200 + b)}, s)
+		if err != nil {
+			return nil, err
+		}
+		stdOut, err := run(runSpec{dataset: "mnist", method: "standard", depth: 3, batch: b, seed: uint64(7300 + b)}, s)
+		if err != nil {
+			return nil, err
+		}
+		mcT := float64(mcOut.hist.TotalTiming().Total()) / float64(len(mcOut.hist.Epochs))
+		stdT := float64(stdOut.hist.TotalTiming().Total()) / float64(len(stdOut.hist.Epochs))
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(b),
+			fmtDur(time.Duration(mcT)),
+			fmtDur(time.Duration(stdT)),
+			fmt.Sprintf("%.2f", mcT/stdT),
+		})
+	}
+	return res, nil
+}
+
+func runFig12(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "fig12",
+		Title:    "MC-S accuracy vs depth (lowered LR), MNIST",
+		PaperRef: "paper: MC-S degrades for deep networks — singleton batches make the Eq. 7 estimates unreliable",
+		Columns:  []string{"depth", "MC-S accuracy%", "Standard-S accuracy%"},
+	}
+	mc, err := accuracyVsDepth(s, "mc", 1, cfg.lrLow, 7400)
+	if err != nil {
+		return nil, err
+	}
+	std, err := accuracyVsDepth(s, "standard", 1, 0, 7500)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range depthsFor(s) {
+		res.Rows = append(res.Rows, []string{fmt.Sprint(d), fmtPct(mc[d]), fmtPct(std[d])})
+	}
+	return res, nil
+}
+
+func runPredCollapse(s Scale) (*Result, error) {
+	res := &Result{
+		ID:       "pred-collapse",
+		Title:    "ALSH-approx prediction-distribution collapse with depth, MNIST",
+		PaperRef: "paper §10.3: as depth grows the same few nodes stay active, so predictions concentrate on a few classes",
+		Columns:  []string{"depth", "accuracy%", "pred-coverage", "pred-entropy", "active-frac"},
+	}
+	cfg := settingsFor(s)
+	for _, d := range depthsFor(s) {
+		out, err := run(runSpec{
+			dataset: "mnist", method: "alsh", depth: d, batch: 1, seed: uint64(7600 + d),
+		}, s)
+		if err != nil {
+			return nil, err
+		}
+		cm := train.Confusion(out.method, out.data.Test, out.data.Spec.Classes, cfg.evalCap)
+		alsh := out.method.(*core.ALSHApprox)
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(d),
+			fmtPct(cm.Accuracy()),
+			fmt.Sprintf("%.2f", cm.PredictionCoverage()),
+			fmt.Sprintf("%.2f", cm.PredictionEntropy()),
+			fmt.Sprintf("%.3f", alsh.ActiveFraction()),
+		})
+	}
+	return res, nil
+}
+
+func runMem(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "mem",
+		Title:    "Memory footprint by method, MNIST, 3 hidden layers",
+		PaperRef: "paper §9.4: ALSH needs 24 MB of table setup and grows; MC +45 MB; Dropout/Adaptive ~16 MB",
+		Columns:  []string{"method", "batch", "model bytes", "index bytes", "alloc/epoch", "live heap"},
+	}
+	points := []struct {
+		label string
+		name  string
+		batch int
+	}{
+		{"Standard-M", "standard", cfg.batch},
+		{"Dropout-S", "dropout", 1},
+		{"AdaptiveDropout-S", "adaptive-dropout", 1},
+		{"ALSH", "alsh", 1},
+		{"MC-M", "mc", cfg.batch},
+	}
+	for pi, p := range points {
+		out, err := run(runSpec{
+			dataset: "mnist", method: p.name, depth: 3, batch: p.batch,
+			seed: uint64(7700 + pi), track: true,
+		}, s)
+		if err != nil {
+			return nil, err
+		}
+		indexBytes := 0
+		if a, ok := out.method.(*core.ALSHApprox); ok {
+			indexBytes = a.IndexMemory()
+		}
+		final := out.hist.Final()
+		res.Rows = append(res.Rows, []string{
+			p.label, fmt.Sprint(p.batch),
+			fmt.Sprint(out.method.Net().NumParams() * 8),
+			fmt.Sprint(indexBytes),
+			fmt.Sprint(final.AllocBytes),
+			fmt.Sprint(final.HeapBytes),
+		})
+	}
+	return res, nil
+}

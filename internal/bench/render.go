@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the result as an aligned ASCII table with its title,
+// paper reference, and notes.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s [%s] ==\n", r.Title, r.ID)
+	if r.PaperRef != "" {
+		fmt.Fprintf(&b, "   %s\n", r.PaperRef)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, v := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as RFC-4180-ish CSV (quotes around cells
+// containing commas or quotes).
+func (r *Result) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, v := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(v, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(v, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/lsh"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/train"
+)
+
+// runSpec fully describes one training run of an experiment.
+type runSpec struct {
+	dataset string
+	method  string // "standard", "dropout", "adaptive-dropout", "alsh", "mc"
+	depth   int    // hidden layers
+	batch   int    // 1 = stochastic
+	lr      float64
+	epochs  int
+	seed    uint64
+	mcWhere core.MCWhere
+	mcK     int
+	track   bool // memory tracking
+}
+
+// runOutcome couples the history with the objects the experiments probe.
+type runOutcome struct {
+	hist   *train.History
+	method core.Method
+	data   *dataset.Dataset
+}
+
+// loadDataset generates the scaled benchmark, caching per (name, scale)
+// so sweeps over methods and depths reuse the same data.
+var dsCache = map[string]*dataset.Dataset{}
+
+func loadDataset(name string, s Scale, cfg settings) (*dataset.Dataset, error) {
+	key := fmt.Sprintf("%s@%s", name, s)
+	if d, ok := dsCache[key]; ok {
+		return d, nil
+	}
+	trainCap, testCap := cfg.trainCap, cfg.testCap
+	if name == "norb" || name == "cifar10" {
+		trainCap, testCap = cfg.bigTrainCap, cfg.bigTestCap
+	}
+	valCap := testCap
+	if valCap > 200 {
+		valCap = 200
+	}
+	d, err := dataset.Generate(name, dataset.Options{
+		Seed: 1234, MaxTrain: trainCap, MaxTest: testCap, MaxVal: valCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dsCache[key] = d
+	return d, nil
+}
+
+// run executes one training run.
+func run(spec runSpec, s Scale) (*runOutcome, error) {
+	cfg := settingsFor(s)
+	ds, err := loadDataset(spec.dataset, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if spec.epochs == 0 {
+		spec.epochs = cfg.epochs
+		// The scaled-down high-dimensional sets have far fewer samples
+		// per epoch; triple the epochs so every dataset sees a comparable
+		// optimization-step count (no effect at Paper scale, which uses
+		// the full splits).
+		if s != Paper && (spec.dataset == "norb" || spec.dataset == "cifar10") {
+			spec.epochs *= 3
+		}
+	}
+	if spec.batch == 0 {
+		spec.batch = 1
+	}
+	if spec.lr == 0 {
+		// The paper tunes the rate per setting (§8.4: 1e-3 or 1e-4); the
+		// scaled settings do likewise, with a gentler rate for the
+		// noisier stochastic updates.
+		if spec.batch == 1 {
+			spec.lr = cfg.lrStoch
+		} else {
+			spec.lr = cfg.lr
+		}
+		// First-layer gradient magnitudes grow with the input width, so
+		// the high-dimensional sets (NORB 9216, CIFAR 3072) need a
+		// proportionally gentler rate to stay in the same regime as the
+		// 784-dimensional sets the defaults are tuned on.
+		if dim := ds.Spec.Dim(); dim > 784 {
+			spec.lr *= math.Sqrt(784 / float64(dim))
+		}
+	}
+	if spec.depth == 0 {
+		spec.depth = 3 // the paper's default architecture
+	}
+	if spec.mcK == 0 {
+		spec.mcK = cfg.mcK
+	}
+
+	net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), cfg.units, spec.depth, ds.Spec.Classes), rng.New(spec.seed))
+	if err != nil {
+		return nil, err
+	}
+
+	// ALSH-approx uses Adam (§8.4); everything else plain SGD.
+	var optim opt.Optimizer
+	if spec.method == "alsh" {
+		optim = opt.NewAdam(cfg.adamLR)
+	} else {
+		optim = opt.NewSGD(spec.lr)
+	}
+
+	opts := core.DefaultOptions(spec.seed)
+	opts.MC = core.MCConfig{K: spec.mcK, Where: spec.mcWhere}
+	opts.ALSH = core.ALSHConfig{
+		Params:    lsh.Params{K: cfg.alshK, L: cfg.alshL, M: 3, U: 0.83},
+		MinActive: cfg.minActive,
+	}
+	m, err := core.New(spec.method, net, optim, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	tr, err := train.New(m, ds, train.Config{
+		Epochs:          spec.epochs,
+		BatchSize:       spec.batch,
+		Seed:            spec.seed + 17,
+		MaxEvalSamples:  cfg.evalCap,
+		RebuildPerEpoch: spec.method == "alsh",
+		TrackMemory:     spec.track,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &runOutcome{hist: hist, method: m, data: ds}, nil
+}

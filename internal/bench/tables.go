@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"samplednn/internal/theory"
+)
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f", 100*v) }
+
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+func init() {
+	register(Experiment{
+		ID:    "theory-table",
+		Title: "§7 in-text table: error-to-estimate ratio vs depth (c=5)",
+		Run:   runTheoryTable,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: test accuracy (%), 3 hidden layers, all datasets × methods",
+		Run:   runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: training time per epoch, stochastic setting (batch 1)",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: training time per epoch, mini-batch setting (batch 20)",
+		Run:   runTable4,
+	})
+}
+
+func runTheoryTable(Scale) (*Result, error) {
+	res := &Result{
+		ID:       "theory-table",
+		Title:    "Error-to-estimate ratio ε/â = ((c+1)/c)^k − 1 at c = 5",
+		PaperRef: "paper: 0.2, 0.44, 0.72, 1.07, 1.48, 1.98 for k = 1..6",
+		Columns:  []string{"k", "ratio (closed form)", "ratio (exact-c simulation)", "paper"},
+	}
+	paper := []string{"0.2", "0.44", "0.72", "1.07", "1.48", "1.98"}
+	sim := theory.SimulateUniform(60, 50, 6) // m/(n−m) = 5
+	for k := 1; k <= 6; k++ {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprintf("%.4f", theory.ErrorRatio(5, k)),
+			fmt.Sprintf("%.4f", sim.Ratios[k-1]),
+			paper[k-1],
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("error exceeds estimate beyond depth %d (paper: beyond 3)", theory.DepthLimit(5, 1)))
+	return res, nil
+}
+
+// table2Methods lists the six method columns of Table 2:
+// (name, batch, useLowLR).
+var table2Methods = []struct {
+	label string
+	name  string
+	batch int
+	low   bool
+}{
+	{"ALSH", "alsh", 1, false},
+	{"MC-M", "mc", 0, false}, // batch 0 → scale default (20)
+	{"MC-S", "mc", 1, true},  // §9.3: stochastic MC uses the lowered LR
+	{"Dropout-S", "dropout", 1, false},
+	{"AdaptiveDropout-S", "adaptive-dropout", 1, false},
+	{"Standard-S", "standard", 1, false},
+}
+
+func runTable2(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "table2",
+		Title:    "Test accuracy (%) for a network with 3 hidden layers",
+		PaperRef: "paper (MNIST row): ALSH 94.15, MC-M 98.10, MC-S 98.38, Dropout-S 90.21, Adaptive 98.06, Standard-S 96.46",
+		Columns:  append([]string{"dataset"}, methodLabels(table2Methods)...),
+	}
+	datasets := []string{"mnist", "kmnist", "fashion", "emnist", "norb", "cifar10"}
+	if s == Tiny {
+		datasets = []string{"mnist", "cifar10"}
+	}
+	for di, dsName := range datasets {
+		row := []string{dsName}
+		for mi, m := range table2Methods {
+			spec := runSpec{
+				dataset: dsName, method: m.name, depth: 3,
+				batch: m.batch, seed: uint64(1000 + 10*di + mi),
+			}
+			if m.batch == 0 {
+				spec.batch = cfg.batch
+			}
+			if m.low {
+				spec.lr = cfg.lrLow
+			}
+			out, err := run(spec, s)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s/%s: %w", dsName, m.label, err)
+			}
+			row = append(row, fmtPct(out.hist.Final().TestAccuracy))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"shape check: MC variants should lead, Dropout-S (keep 5%) should trail, ALSH between")
+	return res, nil
+}
+
+func methodLabels(ms []struct {
+	label string
+	name  string
+	batch int
+	low   bool
+}) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.label
+	}
+	return out
+}
+
+func runTable3(s Scale) (*Result, error) {
+	res := &Result{
+		ID:       "table3",
+		Title:    "Per-epoch training time, stochastic setting (batch 1), 3 hidden layers, MNIST",
+		PaperRef: "paper: ALSH slowest without parallelism; MC-S slower than Standard-S (per-sample overhead); backprop ≫ feedforward",
+		Columns:  []string{"method", "epoch", "feedforward", "backprop", "maintain"},
+	}
+	methods := []struct {
+		label string
+		name  string
+		low   bool
+	}{
+		{"Standard-S", "standard", false},
+		{"Dropout-S", "dropout", false},
+		{"AdaptiveDropout-S", "adaptive-dropout", false},
+		{"ALSH", "alsh", false},
+		{"MC-S", "mc", true},
+	}
+	cfg := settingsFor(s)
+	for mi, m := range methods {
+		spec := runSpec{dataset: "mnist", method: m.name, depth: 3, batch: 1, seed: uint64(2000 + mi)}
+		if m.low {
+			spec.lr = cfg.lrLow
+		}
+		out, err := run(spec, s)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", m.label, err)
+		}
+		t := out.hist.TotalTiming()
+		n := float64(len(out.hist.Epochs))
+		perEpoch := time.Duration(float64(t.Total()) / n)
+		res.Rows = append(res.Rows, []string{
+			m.label,
+			fmtDur(perEpoch),
+			fmtDur(time.Duration(float64(t.Forward) / n)),
+			fmtDur(time.Duration(float64(t.Backward) / n)),
+			fmtDur(time.Duration(float64(t.Maintain) / n)),
+		})
+	}
+	return res, nil
+}
+
+func runTable4(s Scale) (*Result, error) {
+	cfg := settingsFor(s)
+	res := &Result{
+		ID:       "table4",
+		Title:    fmt.Sprintf("Per-epoch training time, mini-batch setting (batch %d), 3 hidden layers, MNIST", cfg.batch),
+		PaperRef: "paper: MC-M significantly fastest; Adaptive-Dropout slower than Standard (mask overhead)",
+		Columns:  []string{"method", "epoch", "feedforward", "backprop"},
+	}
+	methods := []struct {
+		label string
+		name  string
+	}{
+		{"Standard-M", "standard"},
+		{"Dropout-M", "dropout"},
+		{"AdaptiveDropout-M", "adaptive-dropout"},
+		{"MC-M", "mc"},
+	}
+	for mi, m := range methods {
+		spec := runSpec{dataset: "mnist", method: m.name, depth: 3, batch: cfg.batch, seed: uint64(3000 + mi)}
+		out, err := run(spec, s)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %w", m.label, err)
+		}
+		t := out.hist.TotalTiming()
+		n := float64(len(out.hist.Epochs))
+		res.Rows = append(res.Rows, []string{
+			m.label,
+			fmtDur(time.Duration(float64(t.Total()) / n)),
+			fmtDur(time.Duration(float64(t.Forward) / n)),
+			fmtDur(time.Duration(float64(t.Backward) / n)),
+		})
+	}
+	return res, nil
+}

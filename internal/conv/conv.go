@@ -1,0 +1,187 @@
+// Package conv implements the convolutional setting of the paper's §8.4:
+// a convolutional feature extractor in front of a fully connected
+// classifier, with "the approximation limited to the classifier and the
+// convolutional operations kept exact". The paper uses a ResNet-18
+// backbone; this substrate provides the same experimental structure — a
+// frozen, exactly-evaluated convolutional pipeline producing feature
+// vectors that any core.Method then trains on — with a compact
+// random-projection convolutional stack in place of pretrained ResNet
+// weights (no pretrained weights exist offline; random convolutional
+// features are the standard substitute and preserve the property under
+// test, namely that only the classifier is approximated).
+package conv
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Conv2D is a single exact 2-D convolution layer with ReLU: square
+// kernels, stride 1, no padding, float64 throughout.
+type Conv2D struct {
+	// InChannels, OutChannels give the channel geometry.
+	InChannels, OutChannels int
+	// KernelSize is the square kernel side length.
+	KernelSize int
+	// Weights holds OutChannels x (InChannels*KernelSize*KernelSize)
+	// filters; Bias one value per output channel.
+	Weights *tensor.Matrix
+	Bias    []float64
+}
+
+// NewConv2D draws a He-initialized convolution layer.
+func NewConv2D(inCh, outCh, k int, g *rng.RNG) *Conv2D {
+	if inCh <= 0 || outCh <= 0 || k <= 0 {
+		panic(fmt.Sprintf("conv: bad geometry in=%d out=%d k=%d", inCh, outCh, k))
+	}
+	c := &Conv2D{
+		InChannels: inCh, OutChannels: outCh, KernelSize: k,
+		Weights: tensor.New(outCh, inCh*k*k),
+		Bias:    make([]float64, outCh),
+	}
+	g.GaussianSlice(c.Weights.Data, 0, math.Sqrt(2/float64(inCh*k*k)))
+	return c
+}
+
+// OutSize returns the spatial output size for an input of side n.
+func (c *Conv2D) OutSize(n int) int { return n - c.KernelSize + 1 }
+
+// Forward convolves one image (channel-major planes of side n) and
+// applies ReLU. src has InChannels*n*n values; the result has
+// OutChannels*m*m values with m = OutSize(n).
+func (c *Conv2D) Forward(src []float64, n int) []float64 {
+	if len(src) != c.InChannels*n*n {
+		panic(fmt.Sprintf("conv: input len %d, want %d", len(src), c.InChannels*n*n))
+	}
+	m := c.OutSize(n)
+	if m <= 0 {
+		panic(fmt.Sprintf("conv: kernel %d too large for input side %d", c.KernelSize, n))
+	}
+	out := make([]float64, c.OutChannels*m*m)
+	k := c.KernelSize
+	for oc := 0; oc < c.OutChannels; oc++ {
+		w := c.Weights.RowView(oc)
+		for y := 0; y < m; y++ {
+			for x := 0; x < m; x++ {
+				sum := c.Bias[oc]
+				wi := 0
+				for ic := 0; ic < c.InChannels; ic++ {
+					plane := src[ic*n*n:]
+					for ky := 0; ky < k; ky++ {
+						row := plane[(y+ky)*n+x:]
+						for kx := 0; kx < k; kx++ {
+							sum += w[wi] * row[kx]
+							wi++
+						}
+					}
+				}
+				if sum < 0 {
+					sum = 0 // ReLU
+				}
+				out[oc*m*m+y*m+x] = sum
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2 downsamples each channel plane by 2x2 max pooling (stride 2).
+// Odd trailing rows/columns are dropped, as in common implementations.
+func MaxPool2(src []float64, channels, n int) ([]float64, int) {
+	if len(src) != channels*n*n {
+		panic(fmt.Sprintf("conv: pool input len %d, want %d", len(src), channels*n*n))
+	}
+	m := n / 2
+	out := make([]float64, channels*m*m)
+	for c := 0; c < channels; c++ {
+		plane := src[c*n*n:]
+		for y := 0; y < m; y++ {
+			for x := 0; x < m; x++ {
+				v := plane[2*y*n+2*x]
+				if w := plane[2*y*n+2*x+1]; w > v {
+					v = w
+				}
+				if w := plane[(2*y+1)*n+2*x]; w > v {
+					v = w
+				}
+				if w := plane[(2*y+1)*n+2*x+1]; w > v {
+					v = w
+				}
+				out[c*m*m+y*m+x] = v
+			}
+		}
+	}
+	return out, m
+}
+
+// FeatureExtractor is a frozen stack of conv+pool blocks mapping square
+// multi-channel images to flat feature vectors. It is evaluated exactly;
+// training methods only ever see its output, mirroring §8.4's "keep the
+// convolutional operations exact".
+type FeatureExtractor struct {
+	// InputSide and InputChannels describe the expected images.
+	InputSide, InputChannels int
+	layers                   []*Conv2D
+	outDim                   int
+}
+
+// NewFeatureExtractor builds a frozen extractor for side x side images
+// with the given channel count. channelsPerBlock lists the output
+// channels of each conv block (kernel 3, ReLU, 2x2 max pool).
+func NewFeatureExtractor(side, inChannels int, channelsPerBlock []int, g *rng.RNG) (*FeatureExtractor, error) {
+	if side <= 0 || inChannels <= 0 {
+		return nil, fmt.Errorf("conv: bad input geometry %dx%d ch %d", side, side, inChannels)
+	}
+	if len(channelsPerBlock) == 0 {
+		return nil, fmt.Errorf("conv: need at least one block")
+	}
+	fe := &FeatureExtractor{InputSide: side, InputChannels: inChannels}
+	ch, n := inChannels, side
+	for i, outCh := range channelsPerBlock {
+		if outCh <= 0 {
+			return nil, fmt.Errorf("conv: block %d has %d channels", i, outCh)
+		}
+		l := NewConv2D(ch, outCh, 3, g.Split())
+		n = l.OutSize(n) / 2 // conv then 2x2 pool
+		if n < 1 {
+			return nil, fmt.Errorf("conv: input side %d too small for %d blocks", side, len(channelsPerBlock))
+		}
+		fe.layers = append(fe.layers, l)
+		ch = outCh
+	}
+	fe.outDim = ch * n * n
+	return fe, nil
+}
+
+// OutDim returns the flat feature dimensionality.
+func (fe *FeatureExtractor) OutDim() int { return fe.outDim }
+
+// Extract maps one flat image (channel-major) to its feature vector.
+func (fe *FeatureExtractor) Extract(img []float64) []float64 {
+	cur := img
+	n := fe.InputSide
+	ch := fe.InputChannels
+	for _, l := range fe.layers {
+		cur = l.Forward(cur, n)
+		cur, n = MaxPool2(cur, l.OutChannels, l.OutSize(n))
+		ch = l.OutChannels
+	}
+	_ = ch
+	return cur
+}
+
+// ExtractBatch maps every row of x (flat images) to feature rows.
+func (fe *FeatureExtractor) ExtractBatch(x *tensor.Matrix) *tensor.Matrix {
+	want := fe.InputChannels * fe.InputSide * fe.InputSide
+	if x.Cols != want {
+		panic(fmt.Sprintf("conv: batch images have %d values, want %d", x.Cols, want))
+	}
+	out := tensor.New(x.Rows, fe.outDim)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.RowView(i), fe.Extract(x.RowView(i)))
+	}
+	return out
+}

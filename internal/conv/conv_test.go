@@ -1,0 +1,251 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 1 input channel, 1 output channel, 2x2 kernel of ones, zero bias:
+	// each output is the sum of a 2x2 window.
+	c := NewConv2D(1, 1, 2, rng.New(1))
+	c.Weights.Fill(1)
+	c.Bias[0] = 0
+	img := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	out := c.Forward(img, 3)
+	want := []float64{12, 16, 24, 28} // window sums
+	if len(out) != 4 {
+		t.Fatalf("out len %d", len(out))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestConv2DReLUClamps(t *testing.T) {
+	c := NewConv2D(1, 1, 1, rng.New(3))
+	c.Weights.Set(0, 0, 1)
+	c.Bias[0] = -5
+	out := c.Forward([]float64{3}, 1)
+	if out[0] != 0 {
+		t.Fatalf("ReLU should clamp 3-5 to 0, got %v", out[0])
+	}
+	c.Bias[0] = 5
+	out = c.Forward([]float64{3}, 1)
+	if out[0] != 8 {
+		t.Fatalf("bias not applied: %v", out[0])
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	// Two input channels with distinct weights; verify the sum across
+	// channels.
+	c := NewConv2D(2, 1, 1, rng.New(4))
+	c.Weights.Set(0, 0, 2) // channel 0 weight
+	c.Weights.Set(0, 1, 3) // channel 1 weight
+	c.Bias[0] = 0
+	out := c.Forward([]float64{1, 10}, 1) // ch0=[1], ch1=[10]
+	if out[0] != 2+30 {
+		t.Fatalf("multi-channel conv = %v, want 32", out[0])
+	}
+}
+
+func TestConv2DShapePanics(t *testing.T) {
+	c := NewConv2D(1, 1, 3, rng.New(5))
+	t.Run("len", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		c.Forward(make([]float64, 5), 3)
+	})
+	t.Run("kernel", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		c.Forward(make([]float64, 4), 2) // kernel 3 > side 2
+	})
+}
+
+func TestMaxPool2(t *testing.T) {
+	src := []float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 1, 2, 3,
+		1, 1, 4, 0,
+	}
+	out, m := MaxPool2(src, 1, 4)
+	if m != 2 {
+		t.Fatalf("pooled side %d", m)
+	}
+	want := []float64{4, 8, 9, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("pool = %v, want %v", out, want)
+		}
+	}
+	// Odd side drops the trailing row/column.
+	odd := make([]float64, 9)
+	for i := range odd {
+		odd[i] = float64(i)
+	}
+	out, m = MaxPool2(odd, 1, 3)
+	if m != 1 || out[0] != 4 {
+		t.Fatalf("odd pool = %v side %d", out, m)
+	}
+}
+
+func TestFeatureExtractorGeometry(t *testing.T) {
+	g := rng.New(6)
+	fe, err := NewFeatureExtractor(32, 3, []int{8, 16}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 → conv3 → 30 → pool → 15 → conv3 → 13 → pool → 6; 16 channels.
+	if fe.OutDim() != 16*6*6 {
+		t.Fatalf("OutDim = %d, want %d", fe.OutDim(), 16*6*6)
+	}
+	img := make([]float64, 3*32*32)
+	g.GaussianSlice(img, 0, 1)
+	feat := fe.Extract(img)
+	if len(feat) != fe.OutDim() {
+		t.Fatalf("feature len %d", len(feat))
+	}
+	for _, v := range feat {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatal("ReLU features must be non-negative and finite")
+		}
+	}
+}
+
+func TestFeatureExtractorValidation(t *testing.T) {
+	g := rng.New(7)
+	if _, err := NewFeatureExtractor(0, 1, []int{4}, g); err == nil {
+		t.Fatal("bad side must error")
+	}
+	if _, err := NewFeatureExtractor(8, 1, nil, g); err == nil {
+		t.Fatal("no blocks must error")
+	}
+	if _, err := NewFeatureExtractor(8, 1, []int{4, 4, 4, 4}, g); err == nil {
+		t.Fatal("too many blocks for a tiny image must error")
+	}
+	if _, err := NewFeatureExtractor(8, 1, []int{0}, g); err == nil {
+		t.Fatal("zero channels must error")
+	}
+}
+
+func TestExtractBatch(t *testing.T) {
+	g := rng.New(8)
+	fe, err := NewFeatureExtractor(8, 1, []int{4}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, 64)
+	g.GaussianSlice(x.Data, 0, 1)
+	out := fe.ExtractBatch(x)
+	if out.Rows != 3 || out.Cols != fe.OutDim() {
+		t.Fatalf("batch features %dx%d", out.Rows, out.Cols)
+	}
+	// Row i of the batch must equal Extract of row i.
+	single := fe.Extract(x.RowView(1))
+	for j, v := range single {
+		if out.At(1, j) != v {
+			t.Fatal("batch extraction differs from single")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong image size")
+		}
+	}()
+	fe.ExtractBatch(tensor.New(1, 63))
+}
+
+func TestFeatureExtractorDeterministic(t *testing.T) {
+	a, _ := NewFeatureExtractor(8, 1, []int{4}, rng.New(9))
+	b, _ := NewFeatureExtractor(8, 1, []int{4}, rng.New(9))
+	img := make([]float64, 64)
+	for i := range img {
+		img[i] = float64(i) / 64
+	}
+	fa, fb := a.Extract(img), b.Extract(img)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatal("same seed must give same features")
+		}
+	}
+}
+
+// Features must be discriminative enough that a linear probe beats
+// chance on a simple two-class image task — the property the §8.4
+// convolutional setting relies on.
+func TestFeaturesAreDiscriminative(t *testing.T) {
+	g := rng.New(10)
+	fe, err := NewFeatureExtractor(12, 1, []int{6}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	feats := tensor.New(n, fe.OutDim())
+	labels := make([]int, n)
+	img := make([]float64, 144)
+	for i := 0; i < n; i++ {
+		for j := range img {
+			img[j] = 0.1 * g.Float64()
+		}
+		c := i % 2
+		labels[i] = c
+		// Class 0: bright top-left block; class 1: bright bottom-right.
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				if c == 0 {
+					img[y*12+x] = 1
+				} else {
+					img[(y+8)*12+x+8] = 1
+				}
+			}
+		}
+		copy(feats.RowView(i), fe.Extract(img))
+	}
+	// Nearest-centroid probe on features.
+	cent := tensor.New(2, fe.OutDim())
+	counts := [2]float64{}
+	for i := 0; i < n; i++ {
+		tensor.Axpy(1, feats.RowView(i), cent.RowView(labels[i]))
+		counts[labels[i]]++
+	}
+	for c := 0; c < 2; c++ {
+		tensor.ScaleVec(1/counts[c], cent.RowView(c))
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		d0, d1 := 0.0, 0.0
+		row := feats.RowView(i)
+		for j := range row {
+			d0 += (row[j] - cent.At(0, j)) * (row[j] - cent.At(0, j))
+			d1 += (row[j] - cent.At(1, j)) * (row[j] - cent.At(1, j))
+		}
+		pred := 0
+		if d1 < d0 {
+			pred = 1
+		}
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.95 {
+		t.Fatalf("linear probe on conv features = %v", acc)
+	}
+}

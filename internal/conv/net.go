@@ -1,0 +1,223 @@
+package conv
+
+import (
+	"fmt"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// MaxPool2Indexed is MaxPool2 recording, for each pooled value, the flat
+// source index it came from, so the pooling operation can be
+// backpropagated.
+func MaxPool2Indexed(src []float64, channels, n int) (out []float64, m int, idx []int32) {
+	if len(src) != channels*n*n {
+		panic(fmt.Sprintf("conv: pool input len %d, want %d", len(src), channels*n*n))
+	}
+	m = n / 2
+	out = make([]float64, channels*m*m)
+	idx = make([]int32, channels*m*m)
+	for c := 0; c < channels; c++ {
+		base := c * n * n
+		for y := 0; y < m; y++ {
+			for x := 0; x < m; x++ {
+				best := base + 2*y*n + 2*x
+				v := src[best]
+				for _, cand := range [3]int{base + 2*y*n + 2*x + 1, base + (2*y+1)*n + 2*x, base + (2*y+1)*n + 2*x + 1} {
+					if src[cand] > v {
+						v, best = src[cand], cand
+					}
+				}
+				o := c*m*m + y*m + x
+				out[o] = v
+				idx[o] = int32(best)
+			}
+		}
+	}
+	return out, m, idx
+}
+
+// MaxPool2Backward routes pooled-space gradients back to the recorded
+// argmax positions.
+func MaxPool2Backward(dOut []float64, idx []int32, srcLen int) []float64 {
+	dSrc := make([]float64, srcLen)
+	for i, d := range dOut {
+		dSrc[idx[i]] += d
+	}
+	return dSrc
+}
+
+// ConvNet is an end-to-end trainable convolutional classifier: a stack of
+// (TrainableConv2D → ReLU → 2x2 max pool) blocks feeding a fully
+// connected head. It realizes the CNN extension the paper's §1 defers to
+// the technical report: with convolution lowered to matrix products
+// (im2col), the same Monte-Carlo row-sampling estimator used by MC-approx
+// applies to the convolutional weight gradients — set SampleK on the
+// blocks to enable it.
+type ConvNet struct {
+	InputSide, InputChannels int
+	Blocks                   []*TrainableConv2D
+	Head                     *nn.Network
+
+	// per-block forward caches
+	sides    []int            // input side of each block
+	zs       []*tensor.Matrix // pre-activations per block
+	poolIdx  [][]int32        // per image-major flattened batch: pooled index maps
+	poolDims []int            // pooled side per block
+}
+
+// NewConvNet builds a trainable convolutional classifier.
+// blockChannels lists each block's output channels (kernel 3); headHidden
+// the fully connected hidden widths.
+func NewConvNet(side, inCh int, blockChannels, headHidden []int, classes int, g *rng.RNG) (*ConvNet, error) {
+	if len(blockChannels) == 0 {
+		return nil, fmt.Errorf("conv: ConvNet needs at least one block")
+	}
+	cn := &ConvNet{InputSide: side, InputChannels: inCh}
+	ch, n := inCh, side
+	for _, outCh := range blockChannels {
+		b := NewTrainableConv2D(ch, outCh, 3, g.Split())
+		n = b.OutSide(n) / 2
+		if n < 1 {
+			return nil, fmt.Errorf("conv: input side %d too small for %d blocks", side, len(blockChannels))
+		}
+		cn.Blocks = append(cn.Blocks, b)
+		ch = outCh
+	}
+	featDim := ch * n * n
+	head, err := nn.NewNetwork(nn.Config{
+		Inputs: featDim, Hidden: headHidden, Outputs: classes, Activation: "relu",
+	}, g.Split())
+	if err != nil {
+		return nil, err
+	}
+	cn.Head = head
+	return cn, nil
+}
+
+// SetSampleK enables Eq. 7 gradient sampling on every conv block.
+func (cn *ConvNet) SetSampleK(k int, g *rng.RNG) {
+	for _, b := range cn.Blocks {
+		b.SampleK = k
+		b.Rand = g.Split()
+	}
+}
+
+// NumParams returns the total trainable parameter count.
+func (cn *ConvNet) NumParams() int {
+	total := cn.Head.NumParams()
+	for _, b := range cn.Blocks {
+		total += b.NumParams()
+	}
+	return total
+}
+
+// Forward maps a batch of flat images to logits, caching everything the
+// backward pass needs.
+func (cn *ConvNet) Forward(x *tensor.Matrix) *tensor.Matrix {
+	batch := x.Rows
+	cn.sides = cn.sides[:0]
+	cn.zs = cn.zs[:0]
+	cn.poolIdx = cn.poolIdx[:0]
+	cn.poolDims = cn.poolDims[:0]
+
+	cur := x
+	n := cn.InputSide
+	for _, b := range cn.Blocks {
+		cn.sides = append(cn.sides, n)
+		z := b.Forward(cur, n) // batch x outCh*m*m
+		cn.zs = append(cn.zs, z)
+		m := b.OutSide(n)
+		pooledSide := m / 2
+		pooled := tensor.New(batch, b.OutChannels*pooledSide*pooledSide)
+		idxAll := make([]int32, batch*b.OutChannels*pooledSide*pooledSide)
+		for i := 0; i < batch; i++ {
+			// ReLU then pool, per image.
+			zr := z.RowView(i)
+			relu := make([]float64, len(zr))
+			for k, v := range zr {
+				if v > 0 {
+					relu[k] = v
+				}
+			}
+			out, _, idx := MaxPool2Indexed(relu, b.OutChannels, m)
+			copy(pooled.RowView(i), out)
+			copy(idxAll[i*len(idx):], idx)
+		}
+		cn.poolIdx = append(cn.poolIdx, idxAll)
+		cn.poolDims = append(cn.poolDims, pooledSide)
+		cur = pooled
+		n = pooledSide
+	}
+	return cn.Head.Forward(cur)
+}
+
+// Loss evaluates mean NLL on a batch.
+func (cn *ConvNet) Loss(x *tensor.Matrix, y []int) float64 {
+	return cn.Head.Head.Loss(cn.Forward(x), y)
+}
+
+// Predict returns argmax classes.
+func (cn *ConvNet) Predict(x *tensor.Matrix) []int {
+	return cn.Head.Head.Predictions(cn.Forward(x))
+}
+
+// Accuracy measures classification accuracy on labelled data.
+func (cn *ConvNet) Accuracy(x *tensor.Matrix, y []int) float64 {
+	pred := cn.Predict(x)
+	hits := 0
+	for i, p := range pred {
+		if p == y[i] {
+			hits++
+		}
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	return float64(hits) / float64(len(y))
+}
+
+// Step performs one full forward/backward/update pass using optim for
+// every parameter group (head layers get ids 1000+i; blocks get ids i).
+func (cn *ConvNet) Step(x *tensor.Matrix, y []int, optim opt.Optimizer) float64 {
+	logits := cn.Forward(x)
+	loss := cn.Head.Head.Loss(logits, y)
+
+	headGrads, dFeat := cn.Head.BackwardWithInput(logits, y)
+	for i, l := range cn.Head.Layers {
+		optim.Step(1000+i, l.W, l.B, headGrads[i])
+	}
+
+	// Back through the blocks in reverse.
+	d := dFeat // batch x (ch*pooledSide²) of the last block
+	batch := x.Rows
+	for bi := len(cn.Blocks) - 1; bi >= 0; bi-- {
+		b := cn.Blocks[bi]
+		m := b.OutSide(cn.sides[bi])
+		pooledSide := cn.poolDims[bi]
+		perImg := b.OutChannels * pooledSide * pooledSide
+		srcLen := b.OutChannels * m * m
+
+		// Pool backward then ReLU mask, per image, into dZ.
+		dZ := tensor.New(batch, srcLen)
+		z := cn.zs[bi]
+		for i := 0; i < batch; i++ {
+			idx := cn.poolIdx[bi][i*perImg : (i+1)*perImg]
+			dSrc := MaxPool2Backward(d.RowView(i), idx, srcLen)
+			zr := z.RowView(i)
+			out := dZ.RowView(i)
+			for k, v := range dSrc {
+				if zr[k] > 0 { // ReLU gate
+					out[k] = v
+				}
+			}
+		}
+
+		gradW, gradB, dX := b.Backward(dZ)
+		optim.Step(bi, b.W, b.B, nn.Grads{W: gradW, B: gradB})
+		d = dX
+	}
+	return loss
+}

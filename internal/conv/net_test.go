@@ -1,0 +1,186 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestMaxPool2IndexedMatchesPlain(t *testing.T) {
+	g := rng.New(1)
+	src := make([]float64, 2*6*6)
+	g.GaussianSlice(src, 0, 1)
+	plain, m1 := MaxPool2(src, 2, 6)
+	indexed, m2, idx := MaxPool2Indexed(src, 2, 6)
+	if m1 != m2 || len(plain) != len(indexed) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range plain {
+		if plain[i] != indexed[i] {
+			t.Fatal("values differ")
+		}
+		if src[idx[i]] != indexed[i] {
+			t.Fatalf("index %d does not point at the max", i)
+		}
+	}
+}
+
+func TestMaxPool2BackwardRoutesToArgmax(t *testing.T) {
+	src := []float64{
+		1, 2,
+		3, 4,
+	}
+	_, _, idx := MaxPool2Indexed(src, 1, 2)
+	d := MaxPool2Backward([]float64{7}, idx, 4)
+	if d[3] != 7 || d[0] != 0 || d[1] != 0 || d[2] != 0 {
+		t.Fatalf("pool backward = %v", d)
+	}
+}
+
+func buildTinyConvNet(t *testing.T, seed uint64) *ConvNet {
+	t.Helper()
+	cn, err := NewConvNet(8, 1, []int{3}, []int{8}, 2, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cn
+}
+
+func TestConvNetConstruction(t *testing.T) {
+	cn := buildTinyConvNet(t, 1)
+	// 8 → conv3 → 6 → pool → 3; features 3*3*3 = 27.
+	if cn.Head.Layers[0].FanIn() != 27 {
+		t.Fatalf("head fan-in %d", cn.Head.Layers[0].FanIn())
+	}
+	if cn.NumParams() <= cn.Head.NumParams() {
+		t.Fatal("NumParams must include conv blocks")
+	}
+	if _, err := NewConvNet(4, 1, []int{3, 3, 3}, nil, 2, rng.New(2)); err == nil {
+		t.Fatal("too-deep net for tiny image must error")
+	}
+	if _, err := NewConvNet(8, 1, nil, nil, 2, rng.New(3)); err == nil {
+		t.Fatal("no blocks must error")
+	}
+}
+
+// Full numerical gradient check through conv, ReLU, pooling, and the
+// head — the strongest correctness statement for the CNN extension.
+func TestConvNetGradientsNumerical(t *testing.T) {
+	cn := buildTinyConvNet(t, 4)
+	g := rng.New(5)
+	x := tensor.New(2, 64)
+	g.GaussianSlice(x.Data, 0, 1)
+	y := []int{0, 1}
+
+	// Collect analytic gradients via a probe optimizer that records them.
+	rec := &recordingOptimizer{}
+	cn.Step(x, y, rec)
+
+	const h = 1e-6
+	check := func(name string, params []float64, grads []float64) {
+		t.Helper()
+		for i := range params {
+			orig := params[i]
+			params[i] = orig + h
+			lp := cn.Loss(x, y)
+			params[i] = orig - h
+			lm := cn.Loss(x, y)
+			params[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-grads[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v, numerical %v", name, i, grads[i], num)
+			}
+		}
+	}
+	check("convW", cn.Blocks[0].W.Data, rec.byID[0].W.Data)
+	check("convB", cn.Blocks[0].B, rec.byID[0].B)
+	check("headW0", cn.Head.Layers[0].W.Data, rec.byID[1000].W.Data)
+	check("headB0", cn.Head.Layers[0].B, rec.byID[1000].B)
+}
+
+// recordingOptimizer captures gradients without changing parameters.
+type recordingOptimizer struct {
+	byID map[int]nn.Grads
+}
+
+func (r *recordingOptimizer) Name() string { return "recording" }
+func (r *recordingOptimizer) Step(id int, _ *tensor.Matrix, _ []float64, g nn.Grads) {
+	if r.byID == nil {
+		r.byID = map[int]nn.Grads{}
+	}
+	r.byID[id] = nn.Grads{W: g.W.Clone(), B: append([]float64(nil), g.B...)}
+}
+func (r *recordingOptimizer) StepCols(id int, w *tensor.Matrix, b []float64, g nn.Grads, _ []int) {
+	r.Step(id, w, b, g)
+}
+func (r *recordingOptimizer) Reset() {}
+
+// blobTask builds a two-class spatial task only convolution-like features
+// solve robustly: a bright block in opposite corners.
+func blobTask(g *rng.RNG, n, side int) (*tensor.Matrix, []int) {
+	x := tensor.New(n, side*side)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = 0.1 * g.Float64()
+		}
+		c := i % 2
+		y[i] = c
+		off := 0
+		if c == 1 {
+			off = (side - 3) * (side + 1)
+		}
+		for dy := 0; dy < 3; dy++ {
+			for dx := 0; dx < 3; dx++ {
+				row[off+dy*side+dx] = 1
+			}
+		}
+	}
+	return x, y
+}
+
+func TestConvNetLearnsSpatialTask(t *testing.T) {
+	for _, sampleK := range []int{0, 32} {
+		cn := buildTinyConvNet(t, 6)
+		if sampleK > 0 {
+			cn.SetSampleK(sampleK, rng.New(7))
+		}
+		g := rng.New(8)
+		x, y := blobTask(g, 40, 8)
+		optim := opt.NewSGD(0.1)
+		var loss float64
+		for iter := 0; iter < 150; iter++ {
+			loss = cn.Step(x, y, optim)
+			if math.IsNaN(loss) {
+				t.Fatalf("sampleK=%d diverged", sampleK)
+			}
+		}
+		if acc := cn.Accuracy(x, y); acc < 0.95 {
+			t.Fatalf("sampleK=%d: accuracy %v", sampleK, acc)
+		}
+	}
+}
+
+func TestConvNetPredictShapes(t *testing.T) {
+	cn := buildTinyConvNet(t, 9)
+	g := rng.New(10)
+	x := tensor.New(5, 64)
+	g.GaussianSlice(x.Data, 0, 1)
+	p := cn.Predict(x)
+	if len(p) != 5 {
+		t.Fatalf("predictions %d", len(p))
+	}
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatalf("class %d out of range", v)
+		}
+	}
+	if cn.Accuracy(tensor.New(0, 64), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}

@@ -1,0 +1,248 @@
+package conv
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/approxmm"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// TrainableConv2D is a convolution layer with learnable weights,
+// implemented by im2col lowering: each image becomes a patch matrix
+// (one row per output pixel, one column per kernel tap), so the forward
+// pass is a matrix product patches · Wᵀ and both backward products are
+// matrix products too. That is exactly the structure the paper's CNN
+// extension (the technical report referenced in §1, and the §8.4
+// convolutional experiments) relies on: once convolution is a matmul,
+// the same row-sampling estimator used by MC-approx applies — here over
+// the spatial (output-pixel) dimension of the weight-gradient product.
+//
+// Linear layer (no built-in activation): compose with nn activations at
+// the caller. Stride 1, no padding.
+type TrainableConv2D struct {
+	InChannels, OutChannels, KernelSize int
+	// W is OutChannels x (InChannels*K*K); B one bias per out channel.
+	W *tensor.Matrix
+	B []float64
+
+	// SampleK, when positive, estimates the weight gradient by sampling
+	// ~SampleK of the batch·outPixels patch rows with the Eq. 7
+	// probabilities, instead of using all of them.
+	SampleK int
+	// Rand drives the sampling (required when SampleK > 0).
+	Rand *rng.RNG
+
+	// caches from Forward
+	patches *tensor.Matrix // (batch*m*m) x (inCh*K*K)
+	inSide  int
+	batch   int
+}
+
+// NewTrainableConv2D allocates a He-initialized trainable convolution.
+func NewTrainableConv2D(inCh, outCh, k int, g *rng.RNG) *TrainableConv2D {
+	if inCh <= 0 || outCh <= 0 || k <= 0 {
+		panic(fmt.Sprintf("conv: bad geometry in=%d out=%d k=%d", inCh, outCh, k))
+	}
+	c := &TrainableConv2D{
+		InChannels: inCh, OutChannels: outCh, KernelSize: k,
+		W: tensor.New(outCh, inCh*k*k),
+		B: make([]float64, outCh),
+	}
+	g.GaussianSlice(c.W.Data, 0, math.Sqrt(2/float64(inCh*k*k)))
+	return c
+}
+
+// OutSide returns the output spatial side for input side n.
+func (c *TrainableConv2D) OutSide(n int) int { return n - c.KernelSize + 1 }
+
+// Im2Col lowers one image (channel-major planes of side n) into a patch
+// matrix with m*m rows (m = n−k+1) and inCh*k*k columns; row (y*m+x)
+// holds the receptive field of output pixel (x, y), ordered channel,
+// then kernel row, then kernel column — matching the weight layout.
+func Im2Col(src []float64, inCh, n, k int, dst *tensor.Matrix) *tensor.Matrix {
+	if len(src) != inCh*n*n {
+		panic(fmt.Sprintf("conv: Im2Col input len %d, want %d", len(src), inCh*n*n))
+	}
+	m := n - k + 1
+	if m <= 0 {
+		panic(fmt.Sprintf("conv: kernel %d too large for side %d", k, n))
+	}
+	cols := inCh * k * k
+	if dst == nil || dst.Rows != m*m || dst.Cols != cols {
+		dst = tensor.New(m*m, cols)
+	}
+	for y := 0; y < m; y++ {
+		for x := 0; x < m; x++ {
+			row := dst.RowView(y*m + x)
+			wi := 0
+			for ic := 0; ic < inCh; ic++ {
+				plane := src[ic*n*n:]
+				for ky := 0; ky < k; ky++ {
+					copy(row[wi:wi+k], plane[(y+ky)*n+x:(y+ky)*n+x+k])
+					wi += k
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Col2Im scatters patch-space gradients back to image space, accumulating
+// overlapping taps; the adjoint of Im2Col.
+func Col2Im(dPatches *tensor.Matrix, inCh, n, k int, dst []float64) []float64 {
+	m := n - k + 1
+	if dPatches.Rows != m*m || dPatches.Cols != inCh*k*k {
+		panic(fmt.Sprintf("conv: Col2Im got %dx%d, want %dx%d", dPatches.Rows, dPatches.Cols, m*m, inCh*k*k))
+	}
+	if dst == nil {
+		dst = make([]float64, inCh*n*n)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for y := 0; y < m; y++ {
+		for x := 0; x < m; x++ {
+			row := dPatches.RowView(y*m + x)
+			wi := 0
+			for ic := 0; ic < inCh; ic++ {
+				plane := dst[ic*n*n:]
+				for ky := 0; ky < k; ky++ {
+					base := (y+ky)*n + x
+					for kx := 0; kx < k; kx++ {
+						plane[base+kx] += row[wi]
+						wi++
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Forward convolves a batch of flat images (rows of x, channel-major,
+// side n) and returns pre-activations as a (batch) x (outCh*m*m) matrix,
+// channel-major per row. Patches are cached for Backward.
+func (c *TrainableConv2D) Forward(x *tensor.Matrix, n int) *tensor.Matrix {
+	if x.Cols != c.InChannels*n*n {
+		panic(fmt.Sprintf("conv: forward input %d values, want %d", x.Cols, c.InChannels*n*n))
+	}
+	m := c.OutSide(n)
+	c.inSide = n
+	c.batch = x.Rows
+	rowsPer := m * m
+	c.patches = tensor.New(x.Rows*rowsPer, c.InChannels*c.KernelSize*c.KernelSize)
+
+	out := tensor.New(x.Rows, c.OutChannels*rowsPer)
+	scratch := tensor.New(rowsPer, c.patches.Cols)
+	for i := 0; i < x.Rows; i++ {
+		Im2Col(x.RowView(i), c.InChannels, n, c.KernelSize, scratch)
+		copy(c.patches.Data[i*rowsPer*scratch.Cols:], scratch.Data)
+		// z = patches · Wᵀ : rowsPer x outCh
+		z := tensor.MatMulTransB(scratch, c.W)
+		orow := out.RowView(i)
+		for p := 0; p < rowsPer; p++ {
+			zr := z.RowView(p)
+			for oc := 0; oc < c.OutChannels; oc++ {
+				orow[oc*rowsPer+p] = zr[oc] + c.B[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward consumes dL/dZ (same shape as Forward's output) and returns
+// the weight gradient, bias gradient, and dL/dX. When SampleK > 0 the
+// weight-gradient product is estimated by Eq. 7 sampling over the
+// batch·outPixels patch rows.
+func (c *TrainableConv2D) Backward(dZ *tensor.Matrix) (gradW *tensor.Matrix, gradB []float64, dX *tensor.Matrix) {
+	if c.patches == nil {
+		panic("conv: Backward before Forward")
+	}
+	m := c.OutSide(c.inSide)
+	rowsPer := m * m
+	if dZ.Rows != c.batch || dZ.Cols != c.OutChannels*rowsPer {
+		panic(fmt.Sprintf("conv: dZ is %dx%d, want %dx%d", dZ.Rows, dZ.Cols, c.batch, c.OutChannels*rowsPer))
+	}
+
+	// Rearrange dZ to patch-major: (batch*rowsPer) x outCh.
+	dzp := tensor.New(c.batch*rowsPer, c.OutChannels)
+	for i := 0; i < c.batch; i++ {
+		drow := dZ.RowView(i)
+		for p := 0; p < rowsPer; p++ {
+			out := dzp.RowView(i*rowsPer + p)
+			for oc := 0; oc < c.OutChannels; oc++ {
+				out[oc] = drow[oc*rowsPer+p]
+			}
+		}
+	}
+
+	// gradW = dzpᵀ · patches, shared dimension = batch·outPixels rows.
+	if c.SampleK > 0 {
+		gradW = c.sampledGradW(dzp)
+	} else {
+		gradW = tensor.MatMulTransA(dzp, c.patches)
+	}
+
+	gradB = make([]float64, c.OutChannels)
+	for r := 0; r < dzp.Rows; r++ {
+		row := dzp.RowView(r)
+		for oc, v := range row {
+			gradB[oc] += v
+		}
+	}
+
+	// dPatches = dzp · W ; scatter per image via Col2Im.
+	dX = tensor.New(c.batch, c.InChannels*c.inSide*c.inSide)
+	dPatches := tensor.MatMul(dzp, c.W)
+	img := make([]float64, c.InChannels*c.inSide*c.inSide)
+	sub := tensor.New(rowsPer, dPatches.Cols)
+	for i := 0; i < c.batch; i++ {
+		copy(sub.Data, dPatches.Data[i*rowsPer*dPatches.Cols:(i+1)*rowsPer*dPatches.Cols])
+		img = Col2Im(sub, c.InChannels, c.inSide, c.KernelSize, img)
+		copy(dX.RowView(i), img)
+	}
+	return gradW, gradB, dX
+}
+
+// sampledGradW estimates gradW = dzpᵀ·patches by keeping each patch row
+// r with the Eq. 7 probability derived from ‖dzp_r‖·‖patches_r‖ and
+// rescaling survivors by 1/p_r — unbiased, with cost proportional to the
+// kept rows.
+func (c *TrainableConv2D) sampledGradW(dzp *tensor.Matrix) *tensor.Matrix {
+	if c.Rand == nil {
+		panic("conv: SampleK > 0 requires Rand")
+	}
+	n := dzp.Rows
+	w := make([]float64, n)
+	for r := 0; r < n; r++ {
+		w[r] = tensor.Norm(dzp.RowView(r)) * tensor.Norm(c.patches.RowView(r))
+	}
+	p := approxmm.KeepProbabilities(w, c.SampleK)
+	gradW := tensor.New(c.OutChannels, c.patches.Cols)
+	for r := 0; r < n; r++ {
+		pr := p[r]
+		if pr <= 0 {
+			continue
+		}
+		if pr < 1 && !c.Rand.Bernoulli(pr) {
+			continue
+		}
+		scale := 1 / pr
+		dzr := dzp.RowView(r)
+		pat := c.patches.RowView(r)
+		for oc, dv := range dzr {
+			if dv != 0 {
+				tensor.Axpy(dv*scale, pat, gradW.RowView(oc))
+			}
+		}
+	}
+	return gradW
+}
+
+// NumParams returns the trainable parameter count.
+func (c *TrainableConv2D) NumParams() int {
+	return c.W.Rows*c.W.Cols + len(c.B)
+}

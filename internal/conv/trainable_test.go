@@ -1,0 +1,262 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestIm2ColKnownLayout(t *testing.T) {
+	// 3x3 single-channel image, 2x2 kernel → 4 patches of 4 taps.
+	img := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	p := Im2Col(img, 1, 3, 2, nil)
+	if p.Rows != 4 || p.Cols != 4 {
+		t.Fatalf("patch shape %dx%d", p.Rows, p.Cols)
+	}
+	want := [][]float64{
+		{1, 2, 4, 5},
+		{2, 3, 5, 6},
+		{4, 5, 7, 8},
+		{5, 6, 8, 9},
+	}
+	for r := range want {
+		for c := range want[r] {
+			if p.At(r, c) != want[r][c] {
+				t.Fatalf("patch[%d] = %v, want %v", r, p.RowView(r), want[r])
+			}
+		}
+	}
+}
+
+func TestIm2ColMultiChannelOrdering(t *testing.T) {
+	// Two 2x2 channels, 2x2 kernel → 1 patch: all of ch0 then all of ch1.
+	img := []float64{1, 2, 3, 4, 10, 20, 30, 40}
+	p := Im2Col(img, 2, 2, 2, nil)
+	if p.Rows != 1 || p.Cols != 8 {
+		t.Fatalf("shape %dx%d", p.Rows, p.Cols)
+	}
+	want := []float64{1, 2, 3, 4, 10, 20, 30, 40}
+	for i, v := range want {
+		if p.At(0, i) != v {
+			t.Fatalf("patch = %v", p.RowView(0))
+		}
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// <Im2Col(x), y> == <x, Col2Im(y)> for random x, y — the defining
+	// adjoint property that makes the backward pass correct.
+	g := rng.New(1)
+	const inCh, n, k = 2, 5, 3
+	m := n - k + 1
+	x := make([]float64, inCh*n*n)
+	g.GaussianSlice(x, 0, 1)
+	y := tensor.New(m*m, inCh*k*k)
+	g.GaussianSlice(y.Data, 0, 1)
+
+	px := Im2Col(x, inCh, n, k, nil)
+	var lhs float64
+	for i := range px.Data {
+		lhs += px.Data[i] * y.Data[i]
+	}
+	back := Col2Im(y, inCh, n, k, nil)
+	var rhs float64
+	for i := range x {
+		rhs += x[i] * back[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestTrainableForwardMatchesDirectConv(t *testing.T) {
+	// The im2col forward must agree with the direct (frozen) Conv2D
+	// forward before its ReLU.
+	g := rng.New(2)
+	const inCh, outCh, k, n = 2, 3, 3, 6
+	tc := NewTrainableConv2D(inCh, outCh, k, g)
+	direct := &Conv2D{InChannels: inCh, OutChannels: outCh, KernelSize: k,
+		Weights: tc.W.Clone(), Bias: append([]float64(nil), tc.B...)}
+
+	x := tensor.New(2, inCh*n*n)
+	g.GaussianSlice(x.Data, 0, 1)
+	z := tc.Forward(x, n)
+
+	m := n - k + 1
+	for i := 0; i < 2; i++ {
+		ref := direct.Forward(x.RowView(i), n) // includes ReLU
+		row := z.RowView(i)
+		for j, v := range row {
+			relu := v
+			if relu < 0 {
+				relu = 0
+			}
+			if math.Abs(relu-ref[j]) > 1e-10 {
+				t.Fatalf("image %d tap %d: im2col %v (relu %v) vs direct %v", i, j, v, relu, ref[j])
+			}
+		}
+		_ = m
+	}
+}
+
+// Exhaustive numerical gradient check of the exact backward pass.
+func TestTrainableBackwardNumerical(t *testing.T) {
+	g := rng.New(3)
+	const inCh, outCh, k, n, batch = 1, 2, 2, 4, 2
+	c := NewTrainableConv2D(inCh, outCh, k, g)
+	x := tensor.New(batch, inCh*n*n)
+	g.GaussianSlice(x.Data, 0, 1)
+
+	// Loss = 0.5‖Z‖² so dL/dZ = Z.
+	loss := func() float64 {
+		z := c.Forward(x, n)
+		var s float64
+		for _, v := range z.Data {
+			s += 0.5 * v * v
+		}
+		return s
+	}
+	z := c.Forward(x, n)
+	gradW, gradB, dX := c.Backward(z.Clone())
+
+	const h = 1e-6
+	for i := range c.W.Data {
+		orig := c.W.Data[i]
+		c.W.Data[i] = orig + h
+		lp := loss()
+		c.W.Data[i] = orig - h
+		lm := loss()
+		c.W.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gradW.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("gradW[%d]: analytic %v, numerical %v", i, gradW.Data[i], num)
+		}
+	}
+	for i := range c.B {
+		orig := c.B[i]
+		c.B[i] = orig + h
+		lp := loss()
+		c.B[i] = orig - h
+		lm := loss()
+		c.B[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-gradB[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("gradB[%d]: analytic %v, numerical %v", i, gradB[i], num)
+		}
+	}
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := loss()
+		x.Data[i] = orig - h
+		lm := loss()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dX.Data[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("dX[%d]: analytic %v, numerical %v", i, dX.Data[i], num)
+		}
+	}
+}
+
+// The sampled weight gradient must be unbiased: its mean over many draws
+// approaches the exact gradient.
+func TestSampledGradWUnbiased(t *testing.T) {
+	g := rng.New(4)
+	const inCh, outCh, k, n, batch = 1, 2, 2, 5, 3
+	c := NewTrainableConv2D(inCh, outCh, k, g)
+	c.Rand = rng.New(5)
+	x := tensor.New(batch, inCh*n*n)
+	g.GaussianSlice(x.Data, 0, 1)
+	z := c.Forward(x, n)
+	dZ := z.Clone()
+
+	c.SampleK = 0
+	exactW, _, _ := c.Backward(dZ)
+
+	c.SampleK = 8 // of batch*16 = 48 patch rows
+	mean := tensor.New(exactW.Rows, exactW.Cols)
+	const trials = 1500
+	for i := 0; i < trials; i++ {
+		gw, _, _ := c.Backward(dZ)
+		tensor.AddInPlace(mean, gw)
+	}
+	mean.Scale(1.0 / trials)
+	rel := tensor.Sub(mean, exactW).FrobeniusNorm() / exactW.FrobeniusNorm()
+	if rel > 0.08 {
+		t.Fatalf("sampled conv gradW biased: rel error of mean %v", rel)
+	}
+}
+
+func TestSampledGradWNeedsRand(t *testing.T) {
+	g := rng.New(6)
+	c := NewTrainableConv2D(1, 1, 2, g)
+	x := tensor.New(1, 9)
+	z := c.Forward(x, 3)
+	c.SampleK = 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without Rand")
+		}
+	}()
+	c.Backward(z)
+}
+
+func TestTrainableConvLearnsFilter(t *testing.T) {
+	// Recover a known target filter by gradient descent on the conv
+	// layer alone — with and without gradient sampling.
+	for _, sampleK := range []int{0, 24} {
+		g := rng.New(7)
+		const n = 6
+		target := NewTrainableConv2D(1, 1, 3, g)
+		student := NewTrainableConv2D(1, 1, 3, g.Split())
+		student.SampleK = sampleK
+		student.Rand = rng.New(8)
+
+		x := tensor.New(8, n*n)
+		g.GaussianSlice(x.Data, 0, 1)
+		want := target.Forward(x, n)
+
+		for iter := 0; iter < 400; iter++ {
+			z := student.Forward(x, n)
+			dZ := tensor.Sub(z, want)
+			gw, gb, _ := student.Backward(dZ)
+			tensor.AxpyInPlace(student.W, -0.002, gw)
+			tensor.Axpy(-0.002, gb, student.B)
+		}
+		diff := tensor.Sub(student.W, target.W).FrobeniusNorm() / target.W.FrobeniusNorm()
+		if diff > 0.15 {
+			t.Fatalf("sampleK=%d: filter not recovered, rel err %v", sampleK, diff)
+		}
+	}
+}
+
+func TestTrainableShapeChecks(t *testing.T) {
+	g := rng.New(9)
+	c := NewTrainableConv2D(1, 1, 3, g)
+	t.Run("forward", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		c.Forward(tensor.New(1, 8), 3)
+	})
+	t.Run("backward-before-forward", func(t *testing.T) {
+		c2 := NewTrainableConv2D(1, 1, 2, g)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		c2.Backward(tensor.New(1, 4))
+	})
+	if c.NumParams() != 9+1 {
+		t.Fatalf("NumParams = %d", c.NumParams())
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"samplednn/internal/lsh"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// ALSHConfig tunes the hash-based node sampler.
+type ALSHConfig struct {
+	// Params are the LSH index hyperparameters (paper: K=6, L=5, m=3).
+	Params lsh.Params
+	// MinActive floors the active-set size per layer; when the hash
+	// lookup returns fewer candidates, random nodes pad the set (the
+	// fallback of the original implementation). Zero means max(4, n/100).
+	MinActive int
+	// MaxActiveFrac caps the active set at this fraction of the layer,
+	// keeping the cost bounded when buckets are crowded. Zero means no
+	// cap.
+	MaxActiveFrac float64
+	// EarlyRebuildEvery and LateRebuildEvery give the hash-maintenance
+	// cadence in samples: the paper re-hashes every 100 samples for the
+	// first 10000 samples and every 1000 after (§9.2). Zero selects those
+	// defaults.
+	EarlyRebuildEvery, LateRebuildEvery, EarlyPhaseSamples int
+}
+
+func (c *ALSHConfig) setDefaults() {
+	if c.Params == (lsh.Params{}) {
+		c.Params = lsh.DefaultParams()
+	}
+	if c.EarlyRebuildEvery == 0 {
+		c.EarlyRebuildEvery = 100
+	}
+	if c.LateRebuildEvery == 0 {
+		c.LateRebuildEvery = 1000
+	}
+	if c.EarlyPhaseSamples == 0 {
+		c.EarlyPhaseSamples = 10000
+	}
+}
+
+// ALSHApprox is the Spring-Shrivastava hash-based trainer (§5.2,
+// ALSH-approx in the paper): every hidden layer owns a MIPS index over
+// the columns of its weight matrix; the incoming activation vector
+// queries the index; the union of colliding columns across L tables
+// becomes the layer's active node set; forward, backward, and the
+// optimizer step run only on that set. Updated columns are re-hashed on
+// the paper's growing cadence.
+//
+// Unlike Dropout there is no 1/p rescaling: the method treats the skipped
+// inner products as exactly zero, which is the estimation-error source
+// the §7 analysis bounds.
+type ALSHApprox struct {
+	net    *nn.Network
+	optim  opt.Optimizer
+	cfg    ALSHConfig
+	g      *rng.RNG
+	minAct []int
+
+	indexes []*lsh.MIPSIndex
+	states  []*activeState
+	grads   []nn.Grads
+	touched []map[int]struct{} // columns updated since last re-hash
+	samples int                // training samples processed
+	lastUpd int                // samples count at last re-hash
+	timing  Timing
+
+	queryBuf []int
+}
+
+// NewALSHApprox builds per-hidden-layer MIPS indexes over net's weights.
+func NewALSHApprox(net *nn.Network, optim opt.Optimizer, cfg ALSHConfig, g *rng.RNG) (*ALSHApprox, error) {
+	if net == nil || optim == nil || g == nil {
+		panic("core: ALSHApprox needs a network, optimizer, and RNG")
+	}
+	cfg.setDefaults()
+	a := &ALSHApprox{
+		net: net, optim: optim, cfg: cfg, g: g,
+		indexes: make([]*lsh.MIPSIndex, len(net.Layers)),
+		states:  make([]*activeState, len(net.Layers)),
+		grads:   make([]nn.Grads, len(net.Layers)),
+		touched: make([]map[int]struct{}, len(net.Layers)),
+		minAct:  make([]int, len(net.Layers)),
+	}
+	last := len(net.Layers) - 1
+	for i, l := range net.Layers {
+		if i == last {
+			continue // output layer stays exact
+		}
+		idx, err := lsh.NewMIPSIndex(l.FanIn(), l.FanOut(), cfg.Params, g.Split())
+		if err != nil {
+			return nil, fmt.Errorf("core: layer %d index: %w", i, err)
+		}
+		idx.Rebuild(l.W)
+		a.indexes[i] = idx
+		a.states[i] = &activeState{}
+		a.touched[i] = make(map[int]struct{})
+		a.minAct[i] = cfg.MinActive
+		if a.minAct[i] <= 0 {
+			a.minAct[i] = max(4, l.FanOut()/100)
+		}
+	}
+	return a, nil
+}
+
+// Name returns "alsh".
+func (a *ALSHApprox) Name() string { return "alsh" }
+
+// Axis returns AxisColumns.
+func (a *ALSHApprox) Axis() Axis { return AxisColumns }
+
+// Net returns the wrapped network.
+func (a *ALSHApprox) Net() *nn.Network { return a.net }
+
+// Timing returns the cumulative phase timings. Maintain covers the hash
+// re-hashing work.
+func (a *ALSHApprox) Timing() Timing { return a.timing }
+
+// ResetTiming zeroes the timings.
+func (a *ALSHApprox) ResetTiming() { a.timing = Timing{} }
+
+// ActiveFraction reports the mean fraction of nodes active in the most
+// recent step, the paper's sparsity headline (~5%).
+func (a *ALSHApprox) ActiveFraction() float64 {
+	var frac float64
+	n := 0
+	for i, st := range a.states {
+		if st == nil || a.indexes[i] == nil {
+			continue
+		}
+		frac += float64(len(st.cols)) / float64(a.net.Layers[i].FanOut())
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return frac / float64(n)
+}
+
+// IndexMemory returns the summed footprint estimate of all hash indexes,
+// the "table setup" cost of the §9.4 memory analysis.
+func (a *ALSHApprox) IndexMemory() int {
+	total := 0
+	for _, idx := range a.indexes {
+		if idx != nil {
+			total += idx.MemoryFootprint()
+		}
+	}
+	return total
+}
+
+// activeSet queries the layer's index with every row of x and unions the
+// candidates, padding with random nodes up to the floor and truncating at
+// the cap.
+func (a *ALSHApprox) activeSet(layer int, x *tensor.Matrix) []int {
+	idx := a.indexes[layer]
+	n := a.net.Layers[layer].FanOut()
+	if x.Rows == 1 {
+		a.queryBuf = idx.Query(x.RowView(0), a.queryBuf)
+	} else {
+		set := map[int]struct{}{}
+		for i := 0; i < x.Rows; i++ {
+			a.queryBuf = idx.Query(x.RowView(i), a.queryBuf)
+			for _, c := range a.queryBuf {
+				set[c] = struct{}{}
+			}
+		}
+		a.queryBuf = a.queryBuf[:0]
+		for c := range set {
+			a.queryBuf = append(a.queryBuf, c)
+		}
+	}
+	return padActive(a.queryBuf, n, a.minAct[layer], a.cfg.MaxActiveFrac, a.g)
+}
+
+// Step performs one hash-sampled training pass.
+func (a *ALSHApprox) Step(x *tensor.Matrix, y []int) float64 {
+	layers := a.net.Layers
+	last := len(layers) - 1
+
+	t0 := time.Now()
+	act := x
+	for i, l := range layers {
+		if i == last {
+			act = l.Forward(act)
+			continue
+		}
+		st := a.states[i]
+		st.cols = a.activeSet(i, act)
+		act = forwardActive(l, act, st, 1)
+	}
+	logits := act
+	loss := a.net.Head.Loss(logits, y)
+	t1 := time.Now()
+
+	delta := a.net.Head.Delta(logits, y)
+	gOut, dA := layers[last].Backward(delta)
+	a.optim.Step(last, layers[last].W, layers[last].B, gOut)
+	for i := last - 1; i >= 0; i-- {
+		l := layers[i]
+		st := a.states[i]
+		gw, gb, dPrev := backwardActive(l, dA, st, 1)
+		a.grads[i] = scatterGrads(l, gw, gb, st.cols, a.grads[i])
+		a.optim.StepCols(i, l.W, l.B, a.grads[i], st.cols)
+		clearGradCols(a.grads[i], st.cols)
+		for _, c := range st.cols {
+			a.touched[i][c] = struct{}{}
+		}
+		dA = dPrev
+	}
+	t2 := time.Now()
+
+	a.samples += x.Rows
+	a.maintain()
+	t3 := time.Now()
+
+	a.timing.Forward += t1.Sub(t0)
+	a.timing.Backward += t2.Sub(t1)
+	a.timing.Maintain += t3.Sub(t2)
+	return loss
+}
+
+// maintain re-hashes updated columns on the paper's growing cadence:
+// every EarlyRebuildEvery samples for the first EarlyPhaseSamples, then
+// every LateRebuildEvery.
+func (a *ALSHApprox) maintain() {
+	every := a.cfg.EarlyRebuildEvery
+	if a.samples > a.cfg.EarlyPhaseSamples {
+		every = a.cfg.LateRebuildEvery
+	}
+	if a.samples-a.lastUpd < every {
+		return
+	}
+	a.lastUpd = a.samples
+	for i, idx := range a.indexes {
+		if idx == nil || len(a.touched[i]) == 0 {
+			continue
+		}
+		cols := make([]int, 0, len(a.touched[i]))
+		for c := range a.touched[i] {
+			cols = append(cols, c)
+		}
+		idx.UpdateColumns(a.net.Layers[i].W, cols)
+		for c := range a.touched[i] {
+			delete(a.touched[i], c)
+		}
+	}
+}
+
+// RebuildAll refits every index's transform scaling and re-hashes all
+// columns — the full rebuild typically run between epochs.
+func (a *ALSHApprox) RebuildAll() {
+	t0 := time.Now()
+	for i, idx := range a.indexes {
+		if idx != nil {
+			idx.Rebuild(a.net.Layers[i].W)
+		}
+	}
+	a.timing.Maintain += time.Since(t0)
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Dropout implements the Srivastava et al. method (§5.1): each hidden
+// layer keeps every node independently with probability P per step, and
+// only the kept nodes participate in the forward pass, backpropagation,
+// and weight update. Kept activations are scaled by 1/P ("inverted
+// dropout") so inference uses the unmodified network.
+//
+// The paper's experiments set P = 0.05 to match the ~5% active sets of
+// ALSH-approx (§8.4), which is why DropoutS accuracy collapses on harder
+// datasets in Table 2 — at that rate the kept set is random and tiny.
+type Dropout struct {
+	net   *nn.Network
+	optim opt.Optimizer
+	// P is the keep probability of each hidden node.
+	P float64
+	// MinKeep is the floor on the kept-set size per layer (at least 1).
+	MinKeep int
+
+	g      *rng.RNG
+	states []*activeState
+	grads  []nn.Grads
+	timing Timing
+}
+
+// NewDropout wraps net in uniform node dropout with keep probability p.
+func NewDropout(net *nn.Network, optim opt.Optimizer, p float64, g *rng.RNG) *Dropout {
+	if net == nil || optim == nil || g == nil {
+		panic("core: Dropout needs a network, optimizer, and RNG")
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("core: dropout keep probability %v must be in (0,1]", p))
+	}
+	return &Dropout{
+		net: net, optim: optim, P: p, MinKeep: 1, g: g,
+		states: make([]*activeState, len(net.Layers)),
+		grads:  make([]nn.Grads, len(net.Layers)),
+	}
+}
+
+// Name returns "dropout".
+func (d *Dropout) Name() string { return "dropout" }
+
+// Axis returns AxisColumns: dropout samples nodes of the current layer.
+func (d *Dropout) Axis() Axis { return AxisColumns }
+
+// Net returns the wrapped network.
+func (d *Dropout) Net() *nn.Network { return d.net }
+
+// Timing returns the cumulative phase timings.
+func (d *Dropout) Timing() Timing { return d.timing }
+
+// ResetTiming zeroes the timings.
+func (d *Dropout) ResetTiming() { d.timing = Timing{} }
+
+// sampleCols draws the kept-node set for a layer of width n.
+func (d *Dropout) sampleCols(n int) []int {
+	cols := make([]int, 0, int(float64(n)*d.P)+4)
+	for j := 0; j < n; j++ {
+		if d.g.Bernoulli(d.P) {
+			cols = append(cols, j)
+		}
+	}
+	min := d.MinKeep
+	if min < 1 {
+		min = 1
+	}
+	for len(cols) < min {
+		j := d.g.IntN(n)
+		dup := false
+		for _, c := range cols {
+			if c == j {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cols = append(cols, j)
+		}
+	}
+	return cols
+}
+
+// Step performs one dropout-sampled training pass.
+func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
+	layers := d.net.Layers
+	last := len(layers) - 1
+	scale := 1 / d.P
+
+	t0 := time.Now()
+	a := x
+	for i, l := range layers {
+		if i == last {
+			a = l.Forward(a) // output layer is always exact
+			continue
+		}
+		if d.states[i] == nil {
+			d.states[i] = &activeState{}
+		}
+		d.states[i].cols = d.sampleCols(l.FanOut())
+		a = forwardActive(l, a, d.states[i], scale)
+	}
+	logits := a
+	loss := d.net.Head.Loss(logits, y)
+	t1 := time.Now()
+
+	// Backward: output layer dense, hidden layers through active sets.
+	delta := d.net.Head.Delta(logits, y)
+	gOut, dA := layers[last].Backward(delta)
+	d.optim.Step(last, layers[last].W, layers[last].B, gOut)
+	for i := last - 1; i >= 0; i-- {
+		l := layers[i]
+		st := d.states[i]
+		gw, gb, dPrev := backwardActive(l, dA, st, scale)
+		d.grads[i] = scatterGrads(l, gw, gb, st.cols, d.grads[i])
+		d.optim.StepCols(i, l.W, l.B, d.grads[i], st.cols)
+		clearGradCols(d.grads[i], st.cols)
+		dA = dPrev
+	}
+	t2 := time.Now()
+	d.timing.Forward += t1.Sub(t0)
+	d.timing.Backward += t2.Sub(t1)
+	return loss
+}
+
+// AdaptiveDropout implements the Ba-Frey "standout" sampler (§5.1): the
+// keep probability of node j is a sigmoid of its own pre-activation,
+// π_j = σ(Alpha·z_j + Beta), so nodes that would fire strongly are kept
+// with high probability — a data-dependent approximation of the Bayesian
+// posterior over architectures. This is what lets it avoid "randomly
+// dropping significant nodes": useful nodes raise their own keep rate.
+//
+// Following Ba and Frey, training multiplies activations by the raw 0/1
+// mask (no 1/π rescaling — at the paper's 5% base rate an inverted mask
+// would amplify survivors 20x and drown the signal in noise), and
+// inference uses the expectation network a = π(z) ⊙ f(z), exposed via
+// PredictBatch.
+//
+// Computing π requires the full pre-activation vector, so unlike Dropout
+// and ALSH-approx this method does all the forward work before discarding
+// nodes — the computational overhead the paper measures in Table 4
+// (Adaptive-Dropout slower per epoch than Standard).
+type AdaptiveDropout struct {
+	net   *nn.Network
+	optim opt.Optimizer
+	// Alpha scales and Beta shifts the standout sigmoid. Beta controls
+	// the base keep rate: σ(Beta) is the keep probability of a neutral
+	// node. The paper matches the 5% rate of ALSH-approx.
+	Alpha, Beta float64
+
+	g      *rng.RNG
+	masks  []*tensor.Matrix
+	timing Timing
+}
+
+// NewAdaptiveDropout wraps net in standout sampling. baseKeep sets Beta =
+// logit(baseKeep), so a node with zero pre-activation is kept with
+// probability baseKeep.
+func NewAdaptiveDropout(net *nn.Network, optim opt.Optimizer, alpha, baseKeep float64, g *rng.RNG) *AdaptiveDropout {
+	if net == nil || optim == nil || g == nil {
+		panic("core: AdaptiveDropout needs a network, optimizer, and RNG")
+	}
+	if baseKeep <= 0 || baseKeep >= 1 {
+		panic(fmt.Sprintf("core: baseKeep %v must be in (0,1)", baseKeep))
+	}
+	return &AdaptiveDropout{
+		net: net, optim: optim,
+		Alpha: alpha, Beta: math.Log(baseKeep / (1 - baseKeep)),
+		g:     g,
+		masks: make([]*tensor.Matrix, len(net.Layers)),
+	}
+}
+
+// Name returns "adaptive-dropout".
+func (a *AdaptiveDropout) Name() string { return "adaptive-dropout" }
+
+// Axis returns AxisColumns.
+func (a *AdaptiveDropout) Axis() Axis { return AxisColumns }
+
+// Net returns the wrapped network.
+func (a *AdaptiveDropout) Net() *nn.Network { return a.net }
+
+// Timing returns the cumulative phase timings.
+func (a *AdaptiveDropout) Timing() Timing { return a.timing }
+
+// ResetTiming zeroes the timings.
+func (a *AdaptiveDropout) ResetTiming() { a.timing = Timing{} }
+
+// keepProb returns π = σ(Alpha·z + Beta).
+func (a *AdaptiveDropout) keepProb(z float64) float64 {
+	v := a.Alpha*z + a.Beta
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+// Step performs one standout-sampled training pass with 0/1 masks.
+func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
+	layers := a.net.Layers
+	last := len(layers) - 1
+
+	t0 := time.Now()
+	act := x
+	for i, l := range layers {
+		act = l.Forward(act) // full pre-activations needed for π
+		if i == last {
+			continue
+		}
+		if a.masks[i] == nil || a.masks[i].Rows != act.Rows || a.masks[i].Cols != act.Cols {
+			a.masks[i] = tensor.New(act.Rows, act.Cols)
+		}
+		mask := a.masks[i]
+		for k, z := range l.Z.Data {
+			if a.g.Bernoulli(a.keepProb(z)) {
+				mask.Data[k] = 1
+			} else {
+				mask.Data[k] = 0
+			}
+		}
+		// The masked activation feeds the next layer; l.A itself stays
+		// unmasked so the activation derivative in the backward pass is
+		// computed from the true f(z).
+		act = tensor.Hadamard(l.A, mask)
+	}
+	logits := act
+	loss := a.net.Head.Loss(logits, y)
+	t1 := time.Now()
+
+	delta := a.net.Head.Delta(logits, y)
+	for i := last; i >= 0; i-- {
+		l := layers[i]
+		grads, dPrev := l.Backward(delta)
+		a.optim.Step(i, l.W, l.B, grads)
+		if i > 0 {
+			below := layers[i-1]
+			// Gradient flows only through kept nodes, with the same
+			// inverted scaling the forward applied.
+			tensor.HadamardInPlace(dPrev, a.masks[i-1])
+			dPrev = applyDerivative(below, dPrev)
+			delta = dPrev
+		}
+	}
+	t2 := time.Now()
+	a.timing.Forward += t1.Sub(t0)
+	a.timing.Backward += t2.Sub(t1)
+	return loss
+}
+
+// PredictBatch runs the standout expectation network: each hidden
+// activation is scaled by its keep probability, a = π(z) ⊙ f(z), the
+// Ba-Frey test-time rule. Trainers and evaluators should prefer this
+// over the plain network forward.
+func (a *AdaptiveDropout) PredictBatch(x *tensor.Matrix) []int {
+	layers := a.net.Layers
+	last := len(layers) - 1
+	act := x
+	for i, l := range layers {
+		z := tensor.MatMul(act, l.W)
+		z.AddRowVector(l.B)
+		out := l.Act.Forward(z)
+		if i != last {
+			for k, zv := range z.Data {
+				out.Data[k] *= a.keepProb(zv)
+			}
+		}
+		act = out
+	}
+	return a.net.Head.Predictions(act)
+}

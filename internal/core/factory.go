@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+)
+
+// Options collects the per-method hyperparameters with the paper's
+// defaults (§8.4).
+type Options struct {
+	// Seed drives every method-internal random choice.
+	Seed uint64
+	// DropoutKeep is the keep probability for Dropout and the base keep
+	// rate for Adaptive-Dropout (paper: 0.05 to match ALSH's active
+	// fraction).
+	DropoutKeep float64
+	// StandoutAlpha scales the standout sigmoid (default 4: strong
+	// pre-activations must be able to raise their keep probability well
+	// above the 5% base rate, which is what separates Adaptive-Dropout
+	// from plain Dropout in Table 2).
+	StandoutAlpha float64
+	// ALSH configures the hash-based sampler.
+	ALSH ALSHConfig
+	// MC configures the Monte-Carlo sampler.
+	MC MCConfig
+	// Workers sets the goroutine count for "alsh-parallel"
+	// (default: one per CPU).
+	Workers int
+}
+
+// DefaultOptions returns the paper's §8.4 configuration.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Seed:          seed,
+		DropoutKeep:   0.05,
+		StandoutAlpha: 4,
+		MC:            MCConfig{K: 10, Where: MCBackward},
+	}
+}
+
+// MethodNames lists the five methods in the paper's presentation order.
+func MethodNames() []string {
+	return []string{"standard", "dropout", "adaptive-dropout", "alsh", "mc"}
+}
+
+// New constructs a training method by name over the given network and
+// optimizer.
+func New(name string, net *nn.Network, optim opt.Optimizer, o Options) (Method, error) {
+	if o.DropoutKeep == 0 {
+		o.DropoutKeep = 0.05
+	}
+	if o.StandoutAlpha == 0 {
+		o.StandoutAlpha = 4
+	}
+	g := rng.New(o.Seed ^ 0xa5a5a5a5)
+	switch name {
+	case "standard":
+		return NewStandard(net, optim), nil
+	case "dropout":
+		return NewDropout(net, optim, o.DropoutKeep, g), nil
+	case "adaptive-dropout":
+		return NewAdaptiveDropout(net, optim, o.StandoutAlpha, o.DropoutKeep, g), nil
+	case "alsh":
+		return NewALSHApprox(net, optim, o.ALSH, g)
+	case "alsh-parallel":
+		workers := o.Workers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		return NewParallelALSH(net, optim, o.ALSH, workers, g)
+	case "mc":
+		return NewMCApprox(net, optim, o.MC, g), nil
+	}
+	return nil, fmt.Errorf("core: unknown method %q (want one of %v)", name, MethodNames())
+}

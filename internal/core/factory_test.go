@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"samplednn/internal/opt"
+)
+
+func TestFactoryBuildsEveryMethod(t *testing.T) {
+	for _, name := range MethodNames() {
+		net := mlp(t, 1, 6, 16, 3)
+		m, err := New(name, net, opt.NewSGD(0.01), DefaultOptions(42))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, m.Name())
+		}
+		if m.Net() != net {
+			t.Fatalf("%s does not wrap the given network", name)
+		}
+	}
+	if _, err := New("magic", mlp(t, 2, 4, 4, 2), opt.NewSGD(0.01), DefaultOptions(1)); err == nil {
+		t.Fatal("unknown method must error")
+	}
+}
+
+func TestFactoryAxesMatchTaxonomy(t *testing.T) {
+	want := map[string]Axis{
+		"standard":         AxisNone,
+		"dropout":          AxisColumns,
+		"adaptive-dropout": AxisColumns,
+		"alsh":             AxisColumns,
+		"mc":               AxisRows,
+	}
+	for name, axis := range want {
+		m, err := New(name, mlp(t, 3, 6, 16, 3), opt.NewSGD(0.01), DefaultOptions(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Axis() != axis {
+			t.Fatalf("%s axis = %v, want %v", name, m.Axis(), axis)
+		}
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if AxisNone.String() != "none" || AxisColumns.String() != "columns" || AxisRows.String() != "rows" {
+		t.Fatal("axis names wrong")
+	}
+	if Axis(9).String() == "" {
+		t.Fatal("unknown axis should render")
+	}
+}
+
+func TestTimingAccumulatesAndResets(t *testing.T) {
+	x, y := separableTask(4, 10, 6, 3)
+	m, err := New("standard", mlp(t, 5, 6, 16, 3), opt.NewSGD(0.01), DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(x, y)
+	tm := m.Timing()
+	if tm.Forward <= 0 || tm.Backward <= 0 {
+		t.Fatalf("timings not recorded: %+v", tm)
+	}
+	if tm.Total() != tm.Forward+tm.Backward+tm.Maintain {
+		t.Fatal("Total inconsistent")
+	}
+	m.ResetTiming()
+	if m.Timing().Total() != time.Duration(0) {
+		t.Fatal("ResetTiming failed")
+	}
+}
+
+func TestRecommendDecisionTree(t *testing.T) {
+	cases := []struct {
+		batch, depth int
+		parallel     bool
+		want         string
+	}{
+		{20, 3, false, "mc"},
+		{20, 7, true, "mc"},
+		{2, 1, false, "mc"},
+		{1, 3, true, "alsh"},
+		{1, 4, true, "alsh"},
+		{1, 5, true, "standard"},
+		{1, 3, false, "standard"},
+		{1, 7, false, "standard"},
+	}
+	for _, c := range cases {
+		got := Recommend(c.batch, c.depth, c.parallel)
+		if got.Method != c.want {
+			t.Fatalf("Recommend(%d, %d, %v) = %q, want %q", c.batch, c.depth, c.parallel, got.Method, c.want)
+		}
+		if got.Reason == "" {
+			t.Fatal("recommendation must cite a reason")
+		}
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions(1)
+	if o.DropoutKeep != 0.05 {
+		t.Fatalf("dropout keep %v, want the paper's 0.05", o.DropoutKeep)
+	}
+	if o.MC.K != 10 || o.MC.Where != MCBackward {
+		t.Fatalf("MC defaults %+v", o.MC)
+	}
+}
+
+func TestDropoutConstructorValidation(t *testing.T) {
+	net := mlp(t, 6, 4, 8, 2)
+	for _, p := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("keep=%v should panic", p)
+				}
+			}()
+			NewDropout(net, opt.NewSGD(0.1), p, nil)
+		}()
+	}
+}
+
+func TestFactoryBuildsParallelALSH(t *testing.T) {
+	net := mlp(t, 7, 6, 16, 3)
+	opts := DefaultOptions(9)
+	opts.ALSH.Params = lshParamsForTest()
+	opts.Workers = 2
+	m, err := New("alsh-parallel", net, opt.NewAdam(0.01), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "alsh-parallel" || m.Axis() != AxisColumns {
+		t.Fatal("identity accessors wrong")
+	}
+	x, y := separableTask(10, 6, 6, 3)
+	if loss := m.Step(x, y); loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// With K at least as large as every sampled dimension, the Eq. 7
+// probabilities are all 1 and MC-approx must take exactly the same step
+// as Standard on an identical network.
+func TestMCWithLargeKEqualsStandard(t *testing.T) {
+	x, y := separableTask(1, 12, 6, 3)
+	netA := mlp(t, 2, 6, 10, 3)
+	netB := netA.Clone()
+
+	std := NewStandard(netA, opt.NewSGD(0.1))
+	mc := NewMCApprox(netB, opt.NewSGD(0.1), MCConfig{K: 100, Where: MCBackward}, rng.New(3))
+
+	lossA := std.Step(x, y)
+	lossB := mc.Step(x, y)
+	if math.Abs(lossA-lossB) > 1e-12 {
+		t.Fatalf("losses differ: %v vs %v", lossA, lossB)
+	}
+	for i := range netA.Layers {
+		if !tensor.EqualApprox(netA.Layers[i].W, netB.Layers[i].W, 1e-10) {
+			t.Fatalf("layer %d weights diverged", i)
+		}
+		for j := range netA.Layers[i].B {
+			if math.Abs(netA.Layers[i].B[j]-netB.Layers[i].B[j]) > 1e-10 {
+				t.Fatalf("layer %d biases diverged", i)
+			}
+		}
+	}
+}
+
+// The backward-only estimator must be unbiased: averaging the gradW
+// estimate over many trials approaches the exact gradient.
+func TestMCGradientUnbiased(t *testing.T) {
+	x, y := separableTask(4, 16, 6, 3)
+	net := mlp(t, 5, 6, 12, 3)
+	logits := net.Forward(x)
+	exact := net.Backward(logits, y)
+
+	mc := NewMCApprox(net.Clone(), opt.NewSGD(1), MCConfig{K: 4, Where: MCBackward}, rng.New(6))
+	mc.net = net // share caches with the forwarded network
+
+	layer := net.Layers[len(net.Layers)-1]
+	delta := net.Head.Delta(logits, y)
+	mean := tensor.New(layer.FanIn(), layer.FanOut())
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		g := mc.estimateGradW(layer, delta)
+		tensor.AddInPlace(mean, g.W)
+	}
+	mean.Scale(1.0 / trials)
+	exactW := exact[len(exact)-1].W
+	diff := tensor.Sub(mean, exactW)
+	rel := diff.FrobeniusNorm() / exactW.FrobeniusNorm()
+	if rel > 0.1 {
+		t.Fatalf("gradW estimator biased: rel error of mean %v", rel)
+	}
+}
+
+func TestMCDeltaPrevUnbiased(t *testing.T) {
+	x, y := separableTask(7, 10, 6, 3)
+	net := mlp(t, 8, 6, 20, 3)
+	logits := net.Forward(x)
+	delta := net.Head.Delta(logits, y)
+	layer := net.Layers[len(net.Layers)-1]
+
+	exact := tensor.MatMulTransB(delta, layer.W)
+	mc := NewMCApprox(net, opt.NewSGD(1), MCConfig{K: 5, Where: MCBackward}, rng.New(9))
+	mean := tensor.New(delta.Rows, layer.FanIn())
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		tensor.AddInPlace(mean, mc.estimateDeltaPrev(layer, delta))
+	}
+	mean.Scale(1.0 / trials)
+	rel := tensor.Sub(mean, exact).FrobeniusNorm() / exact.FrobeniusNorm()
+	if rel > 0.1 {
+		t.Fatalf("deltaPrev estimator biased: rel error of mean %v", rel)
+	}
+}
+
+func TestMCLearnsMiniBatch(t *testing.T) {
+	x, y := separableTask(10, 60, 8, 4)
+	net := mlp(t, 11, 8, 48, 4)
+	m := NewMCApprox(net, opt.NewSGD(0.2), MCConfig{K: 10, Where: MCBackward}, rng.New(12))
+	if acc := trainAndEval(t, m, x, y, 400, 20); acc < 0.9 {
+		t.Fatalf("mc minibatch accuracy %v", acc)
+	}
+	if m.Name() != "mc" || m.Axis() != AxisRows {
+		t.Fatal("identity accessors wrong")
+	}
+}
+
+func TestMCForwardApproxPopulatesCaches(t *testing.T) {
+	x, _ := separableTask(13, 6, 6, 3)
+	net := mlp(t, 14, 6, 10, 3)
+	m := NewMCApprox(net, opt.NewSGD(0.1), MCConfig{K: 3, Where: MCForward}, rng.New(15))
+	logits := m.forwardApprox(x)
+	if logits.Rows != 6 || logits.Cols != 3 {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+	for _, l := range net.Layers {
+		if l.In == nil || l.Z == nil || l.A == nil {
+			t.Fatal("forwardApprox must populate caches for backprop")
+		}
+	}
+	// With K >= width the approximate forward equals the exact forward.
+	mExact := NewMCApprox(net, opt.NewSGD(0.1), MCConfig{K: 1000, Where: MCForward}, rng.New(16))
+	approx := mExact.forwardApprox(x)
+	if !tensor.EqualApprox(approx, net.Forward(x), 1e-10) {
+		t.Fatal("forwardApprox with huge K must equal exact forward")
+	}
+}
+
+func TestMCAllPlacementsTrainWithoutDivergence(t *testing.T) {
+	x, y := separableTask(17, 40, 8, 4)
+	for _, where := range []MCWhere{MCBackward, MCForward, MCBoth} {
+		net := mlp(t, 18, 8, 24, 4)
+		m := NewMCApprox(net, opt.NewSGD(0.05), MCConfig{K: 8, Where: where}, rng.New(19))
+		for s := 0; s < 50; s++ {
+			loss := m.Step(x, y)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				t.Fatalf("placement %v diverged", where)
+			}
+		}
+	}
+}
+
+func TestMCWhereString(t *testing.T) {
+	if MCBackward.String() != "backward" || MCForward.String() != "forward" || MCBoth.String() != "both" {
+		t.Fatal("MCWhere names wrong")
+	}
+	if MCWhere(9).String() == "" {
+		t.Fatal("unknown placement should still render")
+	}
+}
+
+func TestMCStochasticGradWIsExact(t *testing.T) {
+	// Batch size 1: the batch dimension has a single pair, so the gradW
+	// "estimate" must be exact — the paper's no-benefit case.
+	x, y := separableTask(20, 1, 6, 3)
+	net := mlp(t, 21, 6, 10, 3)
+	logits := net.Forward(x)
+	exact := net.Backward(logits, y)
+	m := NewMCApprox(net, opt.NewSGD(1), MCConfig{K: 10, Where: MCBackward}, rng.New(22))
+	delta := net.Head.Delta(logits, y)
+	layer := net.Layers[len(net.Layers)-1]
+	got := m.estimateGradW(layer, delta)
+	if !tensor.EqualApprox(got.W, exact[len(exact)-1].W, 1e-12) {
+		t.Fatal("batch-1 gradW must be exact")
+	}
+}
+
+func TestMCEstimatorString(t *testing.T) {
+	if MCBernoulli.String() != "bernoulli" || MCCR.String() != "cr" || MCTopK.String() != "topk" {
+		t.Fatal("estimator names wrong")
+	}
+	if MCEstimator(9).String() == "" {
+		t.Fatal("unknown estimator should render")
+	}
+}
+
+// The CR estimator must also be unbiased for the backward products.
+func TestMCCREstimatorUnbiased(t *testing.T) {
+	x, y := separableTask(30, 10, 6, 3)
+	net := mlp(t, 31, 6, 20, 3)
+	logits := net.Forward(x)
+	delta := net.Head.Delta(logits, y)
+	layer := net.Layers[len(net.Layers)-1]
+	exact := tensor.MatMulTransB(delta, layer.W)
+
+	m := NewMCApprox(net, opt.NewSGD(1), MCConfig{K: 5, Where: MCBackward, Estimator: MCCR}, rng.New(32))
+	mean := tensor.New(delta.Rows, layer.FanIn())
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		tensor.AddInPlace(mean, m.estimateDeltaPrev(layer, delta))
+	}
+	mean.Scale(1.0 / trials)
+	rel := tensor.Sub(mean, exact).FrobeniusNorm() / exact.FrobeniusNorm()
+	if rel > 0.1 {
+		t.Fatalf("CR deltaPrev estimator biased: %v", rel)
+	}
+}
+
+// Top-k is deterministic: identical draws every step.
+func TestMCTopKDeterministic(t *testing.T) {
+	x, y := separableTask(33, 8, 6, 3)
+	net := mlp(t, 34, 6, 20, 3)
+	logits := net.Forward(x)
+	delta := net.Head.Delta(logits, y)
+	layer := net.Layers[len(net.Layers)-1]
+	m := NewMCApprox(net, opt.NewSGD(1), MCConfig{K: 5, Estimator: MCTopK}, rng.New(35))
+	a := m.estimateDeltaPrev(layer, delta)
+	b := m.estimateDeltaPrev(layer, delta)
+	if !tensor.Equal(a, b) {
+		t.Fatal("top-k estimator must be deterministic")
+	}
+}
+
+// All estimators train a separable task without divergence.
+func TestMCAllEstimatorsTrain(t *testing.T) {
+	x, y := separableTask(36, 40, 8, 4)
+	for _, est := range []MCEstimator{MCBernoulli, MCCR, MCTopK} {
+		net := mlp(t, 37, 8, 32, 4)
+		m := NewMCApprox(net, opt.NewSGD(0.1), MCConfig{K: 8, Estimator: est}, rng.New(38))
+		if acc := trainAndEval(t, m, x, y, 300, 10); acc < 0.8 {
+			t.Fatalf("estimator %v: accuracy %v", est, acc)
+		}
+	}
+}

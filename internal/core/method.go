@@ -1,0 +1,153 @@
+// Package core implements the five training methods the paper evaluates
+// (§8.3) over a shared MLP substrate:
+//
+//   - Standard — exact feedforward and backpropagation (the baseline).
+//   - Dropout — uniform node sampling in each hidden layer (§5.1).
+//   - AdaptiveDropout — the Ba-Frey "standout" data-dependent sampler
+//     (§5.1), whose keep probabilities track the current network.
+//   - ALSHApprox — the Spring-Shrivastava hash-based node sampler
+//     (§5.2): per-layer asymmetric-LSH MIPS indexes select the active
+//     nodes before any inner product is computed.
+//   - MCApprox — the Adelman et al. Monte-Carlo matrix-multiplication
+//     approximation (§6.2), applied during backpropagation only (§10.1).
+//
+// The package makes the paper's central observation concrete in the type
+// system: every method is a special case of sampled matrix
+// multiplication, differing only in which Axis of each layer's weight
+// matrix it samples — Columns (nodes of the current layer: Dropout,
+// Adaptive-Dropout, ALSH) or Rows (nodes of the previous layer:
+// MC-approx).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/tensor"
+)
+
+// Axis says which dimension of the weight matrix a method samples — the
+// paper's §4.2 taxonomy.
+type Axis int
+
+// Sampling axes.
+const (
+	// AxisNone marks exact training.
+	AxisNone Axis = iota
+	// AxisColumns marks "sampling from the current layer": a subset of
+	// W's columns (nodes) gets exact inner products; the rest are skipped.
+	AxisColumns
+	// AxisRows marks "sampling from the previous layer": every column is
+	// kept but each inner product is estimated from a subset of W's rows.
+	AxisRows
+)
+
+// String names the axis.
+func (a Axis) String() string {
+	switch a {
+	case AxisNone:
+		return "none"
+	case AxisColumns:
+		return "columns"
+	case AxisRows:
+		return "rows"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Timing splits a method's cumulative training time into the phases the
+// paper reports (§9.2, §10.1): feedforward, backpropagation (including
+// the optimizer step), and index maintenance (hash updates/rebuilds,
+// ALSH-approx only).
+type Timing struct {
+	Forward  time.Duration
+	Backward time.Duration
+	Maintain time.Duration
+}
+
+// Total returns the sum of all phases.
+func (t Timing) Total() time.Duration { return t.Forward + t.Backward + t.Maintain }
+
+// Method is one training approach: it owns a network and knows how to
+// perform a sampled (or exact) training step on a batch.
+type Method interface {
+	// Name identifies the method in experiment output ("standard",
+	// "dropout", "adaptive-dropout", "alsh", "mc").
+	Name() string
+	// Axis reports which weight-matrix dimension the method samples.
+	Axis() Axis
+	// Step trains on one batch and returns the training loss the method
+	// observed (computed from its own, possibly approximate, forward
+	// pass).
+	Step(x *tensor.Matrix, y []int) float64
+	// Net returns the underlying network. Inference uses the exact
+	// forward pass.
+	Net() *nn.Network
+	// Timing returns cumulative phase timings since the last reset.
+	Timing() Timing
+	// ResetTiming zeroes the phase timings.
+	ResetTiming()
+}
+
+// BatchPredictor is implemented by methods whose inference pass differs
+// from the plain network forward (Adaptive-Dropout's expectation
+// network). Predict and the trainer prefer it when present.
+type BatchPredictor interface {
+	// PredictBatch returns the predicted class per row of x.
+	PredictBatch(x *tensor.Matrix) []int
+}
+
+// Predict runs a method's inference pass: its own BatchPredictor if it
+// has one, otherwise the exact network forward.
+func Predict(m Method, x *tensor.Matrix) []int {
+	if p, ok := m.(BatchPredictor); ok {
+		return p.PredictBatch(x)
+	}
+	return m.Net().Predict(x)
+}
+
+// EvalAccuracy measures inference accuracy of a method on labelled data.
+func EvalAccuracy(m Method, x *tensor.Matrix, y []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := Predict(m, x)
+	hits := 0
+	for i, p := range pred {
+		if p == y[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(y))
+}
+
+// Recommendation is the outcome of the paper's §10.4 decision tree.
+type Recommendation struct {
+	// Method is the suggested training approach.
+	Method string
+	// Reason cites the paper evidence behind the choice.
+	Reason string
+}
+
+// Recommend applies the §10.4 decision tree: mini-batch training →
+// MC-approx; stochastic training on shallow networks with parallel
+// hardware → ALSH-approx; otherwise standard training.
+func Recommend(batchSize, hiddenLayers int, parallel bool) Recommendation {
+	if batchSize > 1 {
+		return Recommendation{
+			Method: "mc",
+			Reason: "mini-batch SGD: MC-approx dominates on speed and accuracy (§9.3, Table 4)",
+		}
+	}
+	if hiddenLayers <= 4 && parallel {
+		return Recommendation{
+			Method: "alsh",
+			Reason: "stochastic + shallow (≤4 layers) + parallel hardware: ALSH-approx scales with processors (§10.4)",
+		}
+	}
+	return Recommendation{
+		Method: "standard",
+		Reason: "stochastic setting without parallel hardware (or deep network): sampling overhead exceeds savings (Table 3, §7)",
+	}
+}

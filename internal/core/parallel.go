@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"samplednn/internal/lsh"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// ParallelALSH is the multi-worker variant of ALSH-approx the paper
+// repeatedly credits for the method's practical speed (§5.2, §9.2,
+// §10.4): each sample in a batch is processed independently — its own
+// hash lookups, its own sparse forward/backward over its own active sets
+// — across Workers goroutines, and the resulting sparse gradients are
+// merged and applied once per layer.
+//
+// The weights are read-only during the parallel phase and updated in a
+// single merge step, so the scheme is race-free (a deliberate departure
+// from SLIDE's lock-free HOGWILD updates; the gradient merge preserves
+// the same sparse-update structure while keeping results reproducible
+// for a fixed worker count).
+type ParallelALSH struct {
+	*ALSHApprox
+	// Workers is the goroutine count; on a w-core machine w workers give
+	// near-linear speedup because per-sample work is independent.
+	Workers int
+
+	workers  []*alshWorker
+	results  []workerResult
+	unionBuf map[int][]int
+}
+
+// alshWorker holds one goroutine's private buffers.
+type alshWorker struct {
+	states    []*activeState
+	scratches []*lsh.QueryScratch // one per hidden layer
+	g         *rng.RNG
+	buf       []int
+}
+
+// workerResult carries one sample's sparse gradients.
+type workerResult struct {
+	loss float64
+	// Per hidden layer: active columns and compact gradients.
+	cols  [][]int
+	gradW []*tensor.Matrix // fanIn x |cols|
+	gradB [][]float64
+	outW  *tensor.Matrix // dense output-layer gradient
+	outB  []float64
+}
+
+// NewParallelALSH builds the multi-worker trainer.
+func NewParallelALSH(net *nn.Network, optim opt.Optimizer, cfg ALSHConfig, workers int, g *rng.RNG) (*ParallelALSH, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("core: worker count %d must be positive", workers)
+	}
+	base, err := NewALSHApprox(net, optim, cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	p := &ParallelALSH{ALSHApprox: base, Workers: workers, unionBuf: map[int][]int{}}
+	for w := 0; w < workers; w++ {
+		aw := &alshWorker{
+			states:    make([]*activeState, len(net.Layers)),
+			scratches: make([]*lsh.QueryScratch, len(net.Layers)),
+			g:         g.Split(),
+		}
+		for i := range net.Layers {
+			if base.indexes[i] != nil {
+				aw.states[i] = &activeState{}
+				aw.scratches[i] = base.indexes[i].NewQueryScratch()
+			}
+		}
+		p.workers = append(p.workers, aw)
+	}
+	return p, nil
+}
+
+// Name returns "alsh-parallel".
+func (p *ParallelALSH) Name() string { return "alsh-parallel" }
+
+// Step processes every row of the batch in parallel, each with its own
+// per-sample active sets, then merges and applies the sparse gradients.
+func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("core: %d rows vs %d labels", x.Rows, len(y)))
+	}
+	layers := p.net.Layers
+	last := len(layers) - 1
+
+	t0 := time.Now()
+	if cap(p.results) < x.Rows {
+		p.results = make([]workerResult, x.Rows)
+	}
+	results := p.results[:x.Rows]
+
+	var wg sync.WaitGroup
+	rows := make(chan int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		rows <- i
+	}
+	close(rows)
+	nw := p.Workers
+	if nw > x.Rows {
+		nw = x.Rows
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(aw *alshWorker) {
+			defer wg.Done()
+			for i := range rows {
+				results[i] = p.processSample(aw, x.RowView(i), y[i])
+			}
+		}(p.workers[w])
+	}
+	wg.Wait()
+	t1 := time.Now()
+
+	// Merge: output layer densely, hidden layers by column union.
+	var loss float64
+	outW := tensor.New(layers[last].FanIn(), layers[last].FanOut())
+	outB := make([]float64, layers[last].FanOut())
+	for _, r := range results {
+		loss += r.loss
+		tensor.AddInPlace(outW, r.outW)
+		tensor.Axpy(1, r.outB, outB)
+	}
+	inv := 1 / float64(x.Rows)
+	outW.Scale(inv)
+	tensor.ScaleVec(inv, outB)
+	p.optim.Step(last, layers[last].W, layers[last].B, nn.Grads{W: outW, B: outB})
+
+	for li := 0; li < last; li++ {
+		l := layers[li]
+		if p.grads[li].W == nil {
+			p.grads[li] = l.ZeroGrads()
+		}
+		union := p.unionBuf[li][:0]
+		seen := make(map[int]bool)
+		for ri := range results {
+			r := &results[ri]
+			for ci, col := range r.cols[li] {
+				if !seen[col] {
+					seen[col] = true
+					union = append(union, col)
+				}
+				// Accumulate the compact gradient column into the
+				// full-width scratch.
+				for row := 0; row < l.FanIn(); row++ {
+					p.grads[li].W.Data[row*l.FanOut()+col] += inv * r.gradW[li].Data[row*r.gradW[li].Cols+ci]
+				}
+				p.grads[li].B[col] += inv * r.gradB[li][ci]
+			}
+		}
+		p.unionBuf[li] = union
+		p.optim.StepCols(li, l.W, l.B, p.grads[li], union)
+		clearGradCols(p.grads[li], union)
+		for _, c := range union {
+			p.touched[li][c] = struct{}{}
+		}
+	}
+	t2 := time.Now()
+
+	p.samples += x.Rows
+	p.maintain()
+	t3 := time.Now()
+
+	p.timing.Forward += t1.Sub(t0) // parallel compute phase
+	p.timing.Backward += t2.Sub(t1)
+	p.timing.Maintain += t3.Sub(t2)
+	return loss * inv
+}
+
+// processSample runs one sample's sparse forward/backward on read-only
+// weights and returns its sparse gradients.
+func (p *ParallelALSH) processSample(aw *alshWorker, row []float64, label int) workerResult {
+	layers := p.net.Layers
+	last := len(layers) - 1
+	x := tensor.FromSlice(1, len(row), row)
+
+	res := workerResult{
+		cols:  make([][]int, last),
+		gradW: make([]*tensor.Matrix, last),
+		gradB: make([][]float64, last),
+	}
+
+	// Forward through per-sample active sets.
+	act := x
+	for i := 0; i < last; i++ {
+		st := aw.states[i]
+		aw.buf = p.indexes[i].QueryWith(aw.scratches[i], act.RowView(0), aw.buf)
+		st.cols = padActive(aw.buf, layers[i].FanOut(), p.minAct[i], p.cfg.MaxActiveFrac, aw.g)
+		act = forwardActive(layers[i], act, st, 1)
+		res.cols[i] = append([]int(nil), st.cols...)
+	}
+	// Output layer forward must not touch the shared layer caches, so
+	// compute it locally.
+	out := layers[last]
+	logits := tensor.MatMul(act, out.W)
+	logits.AddRowVector(out.B)
+	res.loss = p.net.Head.Loss(logits, []int{label})
+
+	// Backward.
+	delta := p.net.Head.Delta(logits, []int{label})
+	res.outW = tensor.MatMulTransA(act, delta)
+	res.outB = append([]float64(nil), delta.RowView(0)...)
+	dA := tensor.MatMulTransB(delta, out.W)
+	for i := last - 1; i >= 0; i-- {
+		st := aw.states[i]
+		gw, gb, dPrev := backwardActive(layers[i], dA, st, 1)
+		res.gradW[i] = gw
+		res.gradB[i] = gb
+		dA = dPrev
+	}
+	return res
+}
+
+// padActive copies cols, pads it with distinct random nodes up to the
+// floor, and truncates at the cap — the shared active-set policy of the
+// sequential and parallel ALSH trainers.
+func padActive(cols []int, n, minActive int, maxFrac float64, g *rng.RNG) []int {
+	out := append([]int(nil), cols...)
+	if maxFrac > 0 {
+		limit := int(maxFrac * float64(n))
+		if limit < minActive {
+			limit = minActive
+		}
+		if len(out) > limit {
+			g.Shuffle(out)
+			out = out[:limit]
+		}
+	}
+	for len(out) < minActive {
+		j := g.IntN(n)
+		dup := false
+		for _, c := range out {
+			if c == j {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestParallelALSHValidation(t *testing.T) {
+	net := mlp(t, 1, 6, 16, 3)
+	if _, err := NewParallelALSH(net, opt.NewAdam(0.01), ALSHConfig{Params: lshParamsForTest()}, 0, rng.New(2)); err == nil {
+		t.Fatal("zero workers must error")
+	}
+}
+
+func TestParallelALSHLearns(t *testing.T) {
+	x, y := separableTask(3, 60, 8, 4)
+	net := mlp(t, 4, 8, 64, 4)
+	m, err := NewParallelALSH(net, opt.NewAdam(0.01), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 8,
+	}, 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "alsh-parallel" || m.Axis() != AxisColumns {
+		t.Fatal("identity accessors wrong")
+	}
+	if acc := trainAndEval(t, m, x, y, 300, 4); acc < 0.75 {
+		t.Fatalf("parallel alsh accuracy %v", acc)
+	}
+}
+
+func TestParallelALSHMatchesSequentialStructure(t *testing.T) {
+	// With one worker and batch rows processed sequentially, the
+	// parallel trainer must produce finite losses and touch only active
+	// columns, like the sequential trainer.
+	x, y := separableTask(6, 12, 6, 3)
+	net := mlp(t, 7, 6, 20, 3)
+	before := net.Layers[0].W.Clone()
+	m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 3,
+	}, 1, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := m.Step(x, y)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss %v", loss)
+	}
+	// Some columns changed; count them.
+	changed := 0
+	for j := 0; j < 20; j++ {
+		c0 := before.Col(j, nil)
+		c1 := net.Layers[0].W.Col(j, nil)
+		for i := range c0 {
+			if c0[i] != c1[i] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 || changed == 20 {
+		t.Fatalf("expected sparse column updates, got %d/20 changed", changed)
+	}
+}
+
+func TestParallelALSHWorkerCountInvariance(t *testing.T) {
+	// The merge is order-independent (sum of per-sample gradients), so
+	// 1 worker vs 4 workers must give identical updates when the workers'
+	// active sets are identical. Force identical active sets by using a
+	// MinActive equal to the layer width (every node active).
+	x, y := separableTask(9, 8, 6, 3)
+	mk := func(workers int) *tensor.Matrix {
+		net := mlp(t, 10, 6, 12, 3)
+		m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+			Params: lshParamsForTest(), MinActive: 12,
+		}, workers, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Step(x, y)
+		return net.Layers[0].W.Clone()
+	}
+	w1 := mk(1)
+	w4 := mk(4)
+	if !tensor.EqualApprox(w1, w4, 1e-9) {
+		t.Fatal("full-active parallel step must be worker-count invariant")
+	}
+}
+
+func TestPadActive(t *testing.T) {
+	g := rng.New(12)
+	// Pads to the floor with distinct nodes.
+	out := padActive([]int{2}, 10, 4, 0, g)
+	if len(out) < 4 {
+		t.Fatalf("floor violated: %v", out)
+	}
+	seen := map[int]bool{}
+	for _, c := range out {
+		if seen[c] {
+			t.Fatalf("duplicates: %v", out)
+		}
+		seen[c] = true
+	}
+	// Caps at maxFrac.
+	many := make([]int, 10)
+	for i := range many {
+		many[i] = i
+	}
+	out = padActive(many, 10, 2, 0.3, g)
+	if len(out) != 3 {
+		t.Fatalf("cap violated: %v", out)
+	}
+	// Does not mutate the input.
+	if many[0] != 0 || many[9] != 9 {
+		t.Fatal("padActive must not mutate its input")
+	}
+}

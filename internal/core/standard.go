@@ -1,0 +1,57 @@
+package core
+
+import (
+	"time"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/tensor"
+)
+
+// Standard trains with exact feedforward and backpropagation — the
+// paper's STANDARD baseline ("training the neural network without
+// sampling").
+type Standard struct {
+	net    *nn.Network
+	optim  opt.Optimizer
+	timing Timing
+}
+
+// NewStandard wraps a network and optimizer in the exact training method.
+func NewStandard(net *nn.Network, optim opt.Optimizer) *Standard {
+	if net == nil || optim == nil {
+		panic("core: Standard needs a network and an optimizer")
+	}
+	return &Standard{net: net, optim: optim}
+}
+
+// Name returns "standard".
+func (s *Standard) Name() string { return "standard" }
+
+// Axis returns AxisNone.
+func (s *Standard) Axis() Axis { return AxisNone }
+
+// Net returns the wrapped network.
+func (s *Standard) Net() *nn.Network { return s.net }
+
+// Timing returns the cumulative phase timings.
+func (s *Standard) Timing() Timing { return s.timing }
+
+// ResetTiming zeroes the timings.
+func (s *Standard) ResetTiming() { s.timing = Timing{} }
+
+// Step performs one exact forward/backward/update pass.
+func (s *Standard) Step(x *tensor.Matrix, y []int) float64 {
+	t0 := time.Now()
+	logits := s.net.Forward(x)
+	loss := s.net.Head.Loss(logits, y)
+	t1 := time.Now()
+	grads := s.net.Backward(logits, y)
+	for i, l := range s.net.Layers {
+		s.optim.Step(i, l.W, l.B, grads[i])
+	}
+	t2 := time.Now()
+	s.timing.Forward += t1.Sub(t0)
+	s.timing.Backward += t2.Sub(t1)
+	return loss
+}

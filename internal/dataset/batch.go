@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"fmt"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Batcher iterates a split in shuffled mini-batches, reusing its buffers
+// across batches so an epoch performs a bounded number of allocations.
+// Batch size 1 reproduces the paper's "stochastic" setting; the paper's
+// mini-batch default is 20 (§8.4).
+type Batcher struct {
+	split *Split
+	size  int
+	g     *rng.RNG
+
+	order []int
+	pos   int
+	bx    *tensor.Matrix
+	by    []int
+}
+
+// NewBatcher returns a batcher over split with the given batch size.
+func NewBatcher(split *Split, size int, g *rng.RNG) *Batcher {
+	if size <= 0 {
+		panic(fmt.Sprintf("dataset: batch size %d must be positive", size))
+	}
+	b := &Batcher{split: split, size: size, g: g}
+	b.order = make([]int, split.Len())
+	for i := range b.order {
+		b.order[i] = i
+	}
+	b.bx = tensor.New(size, split.X.Cols)
+	b.by = make([]int, size)
+	b.Reset()
+	return b
+}
+
+// Reset reshuffles and restarts the epoch.
+func (b *Batcher) Reset() {
+	b.g.Shuffle(b.order)
+	b.pos = 0
+}
+
+// Next returns the next batch, or (nil, nil) at the end of the epoch.
+// The returned matrix and labels are reused by subsequent calls; callers
+// that retain them must copy. The final batch of an epoch may be smaller
+// than the batch size.
+func (b *Batcher) Next() (*tensor.Matrix, []int) {
+	if b.pos >= len(b.order) {
+		return nil, nil
+	}
+	n := b.size
+	if rem := len(b.order) - b.pos; rem < n {
+		n = rem
+	}
+	x := b.bx
+	y := b.by
+	if n != b.size {
+		x = tensor.New(n, b.split.X.Cols)
+		y = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		j := b.order[b.pos+i]
+		copy(x.RowView(i), b.split.X.RowView(j))
+		y[i] = b.split.Y[j]
+	}
+	b.pos += n
+	return x, y
+}
+
+// NumBatches returns the number of batches per epoch.
+func (b *Batcher) NumBatches() int {
+	return (b.split.Len() + b.size - 1) / b.size
+}

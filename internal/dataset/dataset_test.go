@@ -1,0 +1,279 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestSpecsMatchPaper(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 6 {
+		t.Fatalf("want 6 benchmarks, got %d", len(specs))
+	}
+	cases := []struct {
+		name             string
+		dim, classes     int
+		train, test, val int
+	}{
+		{"mnist", 784, 10, 55000, 10000, 5000},
+		{"kmnist", 784, 10, 55000, 10000, 5000},
+		{"fashion", 784, 10, 55000, 10000, 5000},
+		{"emnist", 784, 26, 104800, 20000, 20000},
+		{"norb", 9216, 5, 22300, 24300, 2000},
+		{"cifar10", 3072, 10, 45000, 10000, 5000},
+	}
+	for _, c := range cases {
+		s, err := SpecByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Dim() != c.dim || s.Classes != c.classes {
+			t.Fatalf("%s geometry: dim=%d classes=%d", c.name, s.Dim(), s.Classes)
+		}
+		if s.Train != c.train || s.Test != c.test || s.Val != c.val {
+			t.Fatalf("%s split: %d/%d/%d", c.name, s.Train, s.Test, s.Val)
+		}
+	}
+	if _, err := SpecByName("imagenet"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func smallOpts(seed uint64) Options {
+	return Options{Seed: seed, MaxTrain: 300, MaxTest: 120, MaxVal: 60}
+}
+
+func TestGenerateShapesAndDeterminism(t *testing.T) {
+	a, err := Generate("mnist", smallOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Train.Len() != 300 || a.Test.Len() != 120 || a.Val.Len() != 60 {
+		t.Fatalf("split sizes %d/%d/%d", a.Train.Len(), a.Test.Len(), a.Val.Len())
+	}
+	if a.Train.X.Cols != 784 {
+		t.Fatal("dim wrong")
+	}
+	b, _ := Generate("mnist", smallOpts(1))
+	if !tensor.Equal(a.Train.X, b.Train.X) {
+		t.Fatal("same seed must give identical data")
+	}
+	c, _ := Generate("mnist", smallOpts(2))
+	if tensor.Equal(a.Train.X, c.Train.X) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateDatasetsDiffer(t *testing.T) {
+	// Same seed, different benchmarks must not produce identical data.
+	a, _ := Generate("mnist", smallOpts(1))
+	b, _ := Generate("kmnist", smallOpts(1))
+	if tensor.Equal(a.Train.X, b.Train.X) {
+		t.Fatal("mnist and kmnist must differ")
+	}
+}
+
+func TestPixelRangeAndLabels(t *testing.T) {
+	ds, _ := Generate("cifar10", smallOpts(3))
+	for _, v := range ds.Train.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v out of [0,1]", v)
+		}
+	}
+	for _, y := range ds.Train.Y {
+		if y < 0 || y >= 10 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	ds, _ := Generate("mnist", Options{Seed: 4, MaxTrain: 1000, MaxTest: 10, MaxVal: 10})
+	counts := make([]int, 10)
+	for _, y := range ds.Train.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n < 60 || n > 140 {
+			t.Fatalf("class %d has %d/1000 samples (want ~100)", c, n)
+		}
+	}
+}
+
+// The task must be learnable: classes should be much closer to their own
+// class centroid than to other centroids on average.
+func TestClassSeparability(t *testing.T) {
+	ds, _ := Generate("mnist", Options{Seed: 5, MaxTrain: 600, MaxTest: 10, MaxVal: 10})
+	dim := ds.Train.X.Cols
+	cent := tensor.New(10, dim)
+	counts := make([]float64, 10)
+	for i := 0; i < ds.Train.Len(); i++ {
+		tensor.Axpy(1, ds.Train.X.RowView(i), cent.RowView(ds.Train.Y[i]))
+		counts[ds.Train.Y[i]]++
+	}
+	for c := 0; c < 10; c++ {
+		if counts[c] > 0 {
+			tensor.ScaleVec(1/counts[c], cent.RowView(c))
+		}
+	}
+	correct := 0
+	for i := 0; i < ds.Train.Len(); i++ {
+		row := ds.Train.X.RowView(i)
+		best, bc := math.Inf(1), -1
+		for c := 0; c < 10; c++ {
+			var d float64
+			cr := cent.RowView(c)
+			for j := range row {
+				d += (row[j] - cr[j]) * (row[j] - cr[j])
+			}
+			if d < best {
+				best, bc = d, c
+			}
+		}
+		if bc == ds.Train.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Train.Len())
+	if acc < 0.6 {
+		t.Fatalf("nearest-centroid accuracy %v — dataset not learnable", acc)
+	}
+	if acc > 0.999 {
+		t.Fatalf("nearest-centroid accuracy %v — dataset trivially separable", acc)
+	}
+}
+
+func TestDifficultyOrdering(t *testing.T) {
+	// CIFAR-10 (hardest per Table 2) should have lower nearest-centroid
+	// accuracy than MNIST.
+	nc := func(name string) float64 {
+		ds, _ := Generate(name, Options{Seed: 6, MaxTrain: 600, MaxTest: 10, MaxVal: 10})
+		k := ds.Spec.Classes
+		dim := ds.Train.X.Cols
+		cent := tensor.New(k, dim)
+		counts := make([]float64, k)
+		for i := 0; i < ds.Train.Len(); i++ {
+			tensor.Axpy(1, ds.Train.X.RowView(i), cent.RowView(ds.Train.Y[i]))
+			counts[ds.Train.Y[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				tensor.ScaleVec(1/counts[c], cent.RowView(c))
+			}
+		}
+		correct := 0
+		for i := 0; i < ds.Train.Len(); i++ {
+			row := ds.Train.X.RowView(i)
+			best, bc := math.Inf(1), -1
+			for c := 0; c < k; c++ {
+				var d float64
+				cr := cent.RowView(c)
+				for j := range row {
+					d += (row[j] - cr[j]) * (row[j] - cr[j])
+				}
+				if d < best {
+					best, bc = d, c
+				}
+			}
+			if bc == ds.Train.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(ds.Train.Len())
+	}
+	if nc("cifar10") >= nc("mnist") {
+		t.Fatal("cifar10 should be harder than mnist")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds, _ := Generate("mnist", smallOpts(7))
+	sub := ds.Train.Subset([]int{0, 5, 10})
+	if sub.Len() != 3 {
+		t.Fatal("subset length")
+	}
+	for i, j := range []int{0, 5, 10} {
+		if sub.Y[i] != ds.Train.Y[j] {
+			t.Fatal("subset labels wrong")
+		}
+		for k, v := range sub.X.RowView(i) {
+			if v != ds.Train.X.At(j, k) {
+				t.Fatal("subset rows wrong")
+			}
+		}
+	}
+}
+
+func TestBatcherCoversEpochExactly(t *testing.T) {
+	ds, _ := Generate("mnist", Options{Seed: 8, MaxTrain: 103, MaxTest: 10, MaxVal: 10})
+	b := NewBatcher(ds.Train, 20, rng.New(1))
+	if b.NumBatches() != 6 {
+		t.Fatalf("NumBatches = %d", b.NumBatches())
+	}
+	seen := 0
+	batches := 0
+	for {
+		x, y := b.Next()
+		if x == nil {
+			break
+		}
+		if x.Rows != len(y) {
+			t.Fatal("batch shape mismatch")
+		}
+		seen += x.Rows
+		batches++
+	}
+	if seen != 103 || batches != 6 {
+		t.Fatalf("epoch covered %d samples in %d batches", seen, batches)
+	}
+	// After Reset a new epoch runs.
+	b.Reset()
+	x, _ := b.Next()
+	if x == nil || x.Rows != 20 {
+		t.Fatal("Reset did not restart epoch")
+	}
+}
+
+func TestBatcherShufflesBetweenEpochs(t *testing.T) {
+	ds, _ := Generate("mnist", Options{Seed: 9, MaxTrain: 64, MaxTest: 10, MaxVal: 10})
+	b := NewBatcher(ds.Train, 64, rng.New(2))
+	x1, _ := b.Next()
+	first := x1.Clone()
+	b.Reset()
+	x2, _ := b.Next()
+	if tensor.Equal(first, x2) {
+		t.Fatal("epochs should be differently shuffled")
+	}
+}
+
+func TestBatcherStochasticSetting(t *testing.T) {
+	ds, _ := Generate("mnist", Options{Seed: 10, MaxTrain: 10, MaxTest: 10, MaxVal: 10})
+	b := NewBatcher(ds.Train, 1, rng.New(3))
+	n := 0
+	for {
+		x, y := b.Next()
+		if x == nil {
+			break
+		}
+		if x.Rows != 1 || len(y) != 1 {
+			t.Fatal("batch size 1 violated")
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("SGD epoch saw %d samples", n)
+	}
+}
+
+func TestBatcherPanicsOnBadSize(t *testing.T) {
+	ds, _ := Generate("mnist", smallOpts(11))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatcher(ds.Train, 0, rng.New(1))
+}

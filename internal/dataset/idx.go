@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"samplednn/internal/tensor"
+)
+
+// IDX is the binary format of the original MNIST distribution (and its
+// K-MNIST / Fashion-MNIST / EMNIST siblings). This reader/writer lets the
+// real benchmark files replace the synthetic generators when present: load
+// a (images, labels) pair with LoadIDXPair and slot the result into a
+// Dataset.
+//
+// Layout: a 4-byte magic (0x00000800 | dtype<<8 | ndims... actually
+// 0, 0, dtype, ndims), then ndims big-endian uint32 sizes, then the data.
+// Only dtype 0x08 (unsigned byte) is supported, matching the MNIST files.
+
+const (
+	idxTypeUint8 = 0x08
+)
+
+// WriteIDXImages writes n images of h x w bytes (values 0..255) to path.
+// Rows of x are clamped from [0,1] floats to bytes.
+func WriteIDXImages(path string, x *tensor.Matrix, h, w int) error {
+	if x.Cols != h*w {
+		return fmt.Errorf("dataset: matrix has %d cols, want %d", x.Cols, h*w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	header := []uint32{uint32(x.Rows), uint32(h), uint32(w)}
+	if err := writeIDXHeader(bw, 3, header); err != nil {
+		return err
+	}
+	buf := make([]byte, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.RowView(i)
+		for j, v := range row {
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			buf[j] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels writes labels (each 0..255) to path.
+func WriteIDXLabels(path string, y []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := writeIDXHeader(bw, 1, []uint32{uint32(len(y))}); err != nil {
+		return err
+	}
+	for _, v := range y {
+		if v < 0 || v > 255 {
+			return fmt.Errorf("dataset: label %d out of byte range", v)
+		}
+		if err := bw.WriteByte(byte(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeIDXHeader(w io.Writer, ndims int, sizes []uint32) error {
+	magic := []byte{0, 0, idxTypeUint8, byte(ndims)}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	for _, s := range sizes {
+		if err := binary.Write(w, binary.BigEndian, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadIDXImages reads an image file, returning one row per image with
+// pixel values scaled to [0, 1].
+func ReadIDXImages(path string) (*tensor.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	sizes, err := readIDXHeader(br, 3)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	n, h, w := int(sizes[0]), int(sizes[1]), int(sizes[2])
+	x := tensor.New(n, h*w)
+	buf := make([]byte, h*w)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: %s: truncated at image %d: %w", path, i, err)
+		}
+		row := x.RowView(i)
+		for j, b := range buf {
+			row[j] = float64(b) / 255
+		}
+	}
+	return x, nil
+}
+
+// ReadIDXLabels reads a label file.
+func ReadIDXLabels(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	sizes, err := readIDXHeader(br, 1)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", path, err)
+	}
+	n := int(sizes[0])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("dataset: %s: truncated labels: %w", path, err)
+	}
+	y := make([]int, n)
+	for i, b := range buf {
+		y[i] = int(b)
+	}
+	return y, nil
+}
+
+func readIDXHeader(r io.Reader, wantDims int) ([]uint32, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, fmt.Errorf("bad magic %x", magic)
+	}
+	if magic[2] != idxTypeUint8 {
+		return nil, fmt.Errorf("unsupported dtype 0x%02x (only uint8 supported)", magic[2])
+	}
+	if int(magic[3]) != wantDims {
+		return nil, fmt.Errorf("got %d dims, want %d", magic[3], wantDims)
+	}
+	sizes := make([]uint32, wantDims)
+	for i := range sizes {
+		if err := binary.Read(r, binary.BigEndian, &sizes[i]); err != nil {
+			return nil, fmt.Errorf("reading size %d: %w", i, err)
+		}
+	}
+	return sizes, nil
+}
+
+// LoadIDXPair loads an (images, labels) pair into a Split, validating
+// that the counts agree.
+func LoadIDXPair(imagesPath, labelsPath string) (*Split, error) {
+	x, err := ReadIDXImages(imagesPath)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ReadIDXLabels(labelsPath)
+	if err != nil {
+		return nil, err
+	}
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("dataset: %d images but %d labels", x.Rows, len(y))
+	}
+	return &Split{X: x, Y: y}, nil
+}

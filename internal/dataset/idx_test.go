@@ -1,0 +1,122 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"samplednn/internal/tensor"
+)
+
+func TestIDXRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "images.idx")
+	lblPath := filepath.Join(dir, "labels.idx")
+
+	x := tensor.New(5, 4) // 2x2 "images"
+	for i := range x.Data {
+		x.Data[i] = float64(i%256) / 255
+	}
+	y := []int{0, 1, 2, 3, 9}
+
+	if err := WriteIDXImages(imgPath, x, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(lblPath, y); err != nil {
+		t.Fatal(err)
+	}
+
+	split, err := LoadIDXPair(imgPath, lblPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Len() != 5 || split.X.Cols != 4 {
+		t.Fatalf("loaded %dx%d", split.X.Rows, split.X.Cols)
+	}
+	for i := range y {
+		if split.Y[i] != y[i] {
+			t.Fatal("labels roundtrip failed")
+		}
+	}
+	// Byte quantization: equal within 1/255.
+	if !tensor.EqualApprox(split.X, x, 1.0/255+1e-9) {
+		t.Fatal("image roundtrip exceeded quantization error")
+	}
+}
+
+func TestIDXWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	x := tensor.New(2, 4)
+	if err := WriteIDXImages(filepath.Join(dir, "x.idx"), x, 3, 3); err == nil {
+		t.Fatal("mismatched geometry must error")
+	}
+	if err := WriteIDXLabels(filepath.Join(dir, "y.idx"), []int{300}); err == nil {
+		t.Fatal("out-of-byte-range label must error")
+	}
+}
+
+func TestIDXReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadIDXImages(filepath.Join(dir, "missing.idx")); err == nil {
+		t.Fatal("missing file must error")
+	}
+
+	// Corrupt magic.
+	bad := filepath.Join(dir, "bad.idx")
+	if err := os.WriteFile(bad, []byte{9, 9, 9, 9, 0, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDXImages(bad); err == nil {
+		t.Fatal("bad magic must error")
+	}
+
+	// Wrong dimension count: labels file read as images.
+	lbl := filepath.Join(dir, "labels.idx")
+	if err := WriteIDXLabels(lbl, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDXImages(lbl); err == nil {
+		t.Fatal("dims mismatch must error")
+	}
+
+	// Truncated image payload.
+	trunc := filepath.Join(dir, "trunc.idx")
+	if err := os.WriteFile(trunc, []byte{0, 0, 0x08, 3, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2, 1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDXImages(trunc); err == nil {
+		t.Fatal("truncated payload must error")
+	}
+}
+
+func TestLoadIDXPairCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "x.idx")
+	lblPath := filepath.Join(dir, "y.idx")
+	x := tensor.New(3, 4)
+	if err := WriteIDXImages(imgPath, x, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(lblPath, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDXPair(imgPath, lblPath); err == nil {
+		t.Fatal("count mismatch must error")
+	}
+}
+
+func TestIDXClampsPixels(t *testing.T) {
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "clamp.idx")
+	x := tensor.FromRows([][]float64{{-0.5, 0.5, 1.5, 1}})
+	if err := WriteIDXImages(imgPath, x, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDXImages(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 0 || got.At(0, 2) != 1 {
+		t.Fatalf("clamping failed: %v", got)
+	}
+}

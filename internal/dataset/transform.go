@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/tensor"
+)
+
+// Standardizer centers and scales features to zero mean and unit
+// variance, fit on the training split and applied to all splits — the
+// conventional preprocessing for MLP training on raw pixels.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer estimates per-feature mean and standard deviation from
+// a split. Features with zero variance get Std 1 so they pass through
+// centered.
+func FitStandardizer(s *Split) (*Standardizer, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, fmt.Errorf("dataset: cannot fit standardizer on an empty split")
+	}
+	d := s.X.Cols
+	st := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	n := float64(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		row := s.X.RowView(i)
+		for j, v := range row {
+			st.Mean[j] += v
+		}
+	}
+	for j := range st.Mean {
+		st.Mean[j] /= n
+	}
+	for i := 0; i < s.Len(); i++ {
+		row := s.X.RowView(i)
+		for j, v := range row {
+			dlt := v - st.Mean[j]
+			st.Std[j] += dlt * dlt
+		}
+	}
+	for j := range st.Std {
+		st.Std[j] = math.Sqrt(st.Std[j] / n)
+		if st.Std[j] == 0 {
+			st.Std[j] = 1
+		}
+	}
+	return st, nil
+}
+
+// Apply standardizes x in place.
+func (st *Standardizer) Apply(x *tensor.Matrix) {
+	if x.Cols != len(st.Mean) {
+		panic(fmt.Sprintf("dataset: standardizer fit on %d features, got %d", len(st.Mean), x.Cols))
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.RowView(i)
+		for j := range row {
+			row[j] = (row[j] - st.Mean[j]) / st.Std[j]
+		}
+	}
+}
+
+// ApplyDataset standardizes every split of ds in place.
+func (st *Standardizer) ApplyDataset(ds *Dataset) {
+	for _, s := range []*Split{ds.Train, ds.Test, ds.Val} {
+		if s != nil {
+			st.Apply(s.X)
+		}
+	}
+}
+
+// AugmentShift returns a copy of the split with each image also present
+// shifted by (dx, dy) pixels (zero fill), doubling the sample count —
+// the light geometric augmentation image benchmarks conventionally use.
+// The split's images must be single-channel side x side.
+func AugmentShift(s *Split, side, dx, dy int) (*Split, error) {
+	if s.X.Cols != side*side {
+		return nil, fmt.Errorf("dataset: augment expects %d features, got %d", side*side, s.X.Cols)
+	}
+	out := &Split{X: tensor.New(2*s.Len(), s.X.Cols), Y: make([]int, 2*s.Len())}
+	for i := 0; i < s.Len(); i++ {
+		copy(out.X.RowView(i), s.X.RowView(i))
+		out.Y[i] = s.Y[i]
+
+		src := s.X.RowView(i)
+		dst := out.X.RowView(s.Len() + i)
+		out.Y[s.Len()+i] = s.Y[i]
+		for y := 0; y < side; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= side {
+				continue
+			}
+			for x := 0; x < side; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= side {
+					continue
+				}
+				dst[y*side+x] = src[sy*side+sx]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/tensor"
+)
+
+func TestStandardizerFitApply(t *testing.T) {
+	s := &Split{
+		X: tensor.FromRows([][]float64{
+			{1, 10, 5},
+			{3, 10, 7},
+			{5, 10, 9},
+		}),
+		Y: []int{0, 1, 2},
+	}
+	st, err := FitStandardizer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean[0] != 3 || st.Mean[1] != 10 || st.Mean[2] != 7 {
+		t.Fatalf("means = %v", st.Mean)
+	}
+	// Zero-variance feature gets Std 1.
+	if st.Std[1] != 1 {
+		t.Fatalf("constant feature std = %v, want 1", st.Std[1])
+	}
+	st.Apply(s.X)
+	// After standardizing: column means 0, non-constant columns unit std.
+	for j := 0; j < 3; j++ {
+		var mean float64
+		for i := 0; i < 3; i++ {
+			mean += s.X.At(i, j)
+		}
+		if math.Abs(mean/3) > 1e-12 {
+			t.Fatalf("column %d not centered", j)
+		}
+	}
+	var varr float64
+	for i := 0; i < 3; i++ {
+		varr += s.X.At(i, 0) * s.X.At(i, 0)
+	}
+	if math.Abs(varr/3-1) > 1e-12 {
+		t.Fatalf("column 0 variance %v", varr/3)
+	}
+}
+
+func TestStandardizerErrorsAndPanics(t *testing.T) {
+	if _, err := FitStandardizer(nil); err == nil {
+		t.Fatal("nil split must error")
+	}
+	if _, err := FitStandardizer(&Split{X: tensor.New(0, 3)}); err == nil {
+		t.Fatal("empty split must error")
+	}
+	st, _ := FitStandardizer(&Split{X: tensor.FromRows([][]float64{{1, 2}}), Y: []int{0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on feature mismatch")
+		}
+	}()
+	st.Apply(tensor.New(1, 3))
+}
+
+func TestStandardizerApplyDataset(t *testing.T) {
+	ds, _ := Generate("mnist", Options{Seed: 1, MaxTrain: 100, MaxTest: 40, MaxVal: 20})
+	st, err := FitStandardizer(ds.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ds.Test.X.At(0, 300)
+	st.ApplyDataset(ds)
+	// Train means ~0 per feature.
+	var mean float64
+	for i := 0; i < ds.Train.Len(); i++ {
+		mean += ds.Train.X.At(i, 300)
+	}
+	if math.Abs(mean/float64(ds.Train.Len())) > 1e-9 {
+		t.Fatalf("train feature not centered: %v", mean)
+	}
+	if ds.Test.X.At(0, 300) == before {
+		t.Fatal("test split not transformed")
+	}
+}
+
+func TestAugmentShift(t *testing.T) {
+	// 3x3 image with a single bright pixel at (0,0); shift by (1,1).
+	s := &Split{
+		X: tensor.FromRows([][]float64{{1, 0, 0, 0, 0, 0, 0, 0, 0}}),
+		Y: []int{1},
+	}
+	out, err := AugmentShift(s, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 || out.Y[0] != 1 || out.Y[1] != 1 {
+		t.Fatalf("augmented split %d samples, labels %v", out.Len(), out.Y)
+	}
+	// Original preserved.
+	if out.X.At(0, 0) != 1 {
+		t.Fatal("original row changed")
+	}
+	// Shifted copy has the pixel at (1,1) = flat index 4.
+	if out.X.At(1, 4) != 1 || out.X.At(1, 0) != 0 {
+		t.Fatalf("shifted row = %v", out.X.RowView(1))
+	}
+	if _, err := AugmentShift(s, 4, 1, 1); err == nil {
+		t.Fatal("wrong side must error")
+	}
+}

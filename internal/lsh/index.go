@@ -1,0 +1,367 @@
+package lsh
+
+import (
+	"fmt"
+	"sort"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Family selects the LSH hash family of an index.
+type Family int
+
+// Supported hash families.
+const (
+	// FamilySRP is signed random projections (SimHash) — the Sign-ALSH
+	// construction and the default.
+	FamilySRP Family = iota
+	// FamilyL2 is p-stable Gaussian quantization — the original L2-ALSH
+	// construction Definition 5.1 is stated for.
+	FamilyL2
+)
+
+// Params are the tunable hyperparameters of a MIPS index. The paper's
+// defaults (§8.4, following Spring and Shrivastava) are K=6, L=5, m=3.
+type Params struct {
+	// K is the signature width in bits (2^K buckets per table).
+	K int
+	// L is the number of independent tables.
+	L int
+	// M is the number of asymmetric padding terms.
+	M int
+	// U is the norm cap of the asymmetric transform, in (0,1).
+	U float64
+	// Family selects the hash family (default FamilySRP).
+	Family Family
+	// R is the L2 family's bucket width (default 2; ignored for SRP).
+	R float64
+	// Probes enables multi-probe querying: each table is additionally
+	// probed at this many perturbed buckets (SRP family only; 0 probes
+	// only the base bucket). More probes raise recall without extra
+	// tables — trading query time for the table memory of §9.4.
+	Probes int
+}
+
+// DefaultParams returns the paper's configuration: K=6, L=5, m=3, U=0.83.
+func DefaultParams() Params { return Params{K: 6, L: 5, M: 3, U: 0.83} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K <= 0 || p.K > 30 {
+		return fmt.Errorf("lsh: K=%d out of range (1..30)", p.K)
+	}
+	if p.L <= 0 {
+		return fmt.Errorf("lsh: L=%d must be positive", p.L)
+	}
+	if p.M <= 0 {
+		return fmt.Errorf("lsh: M=%d must be positive", p.M)
+	}
+	if p.U <= 0 || p.U >= 1 {
+		return fmt.Errorf("lsh: U=%v must be in (0,1)", p.U)
+	}
+	if p.Family != FamilySRP && p.Family != FamilyL2 {
+		return fmt.Errorf("lsh: unknown hash family %d", p.Family)
+	}
+	if p.Family == FamilyL2 && p.R < 0 {
+		return fmt.Errorf("lsh: L2 bucket width R=%v must be non-negative", p.R)
+	}
+	if p.Probes < 0 {
+		return fmt.Errorf("lsh: Probes=%d must be non-negative", p.Probes)
+	}
+	if p.Probes > 0 && p.Family != FamilySRP {
+		return fmt.Errorf("lsh: multi-probe is only supported for the SRP family")
+	}
+	return nil
+}
+
+// MIPSIndex answers approximate maximum-inner-product queries over the
+// columns of a weight matrix. It is the data structure at the heart of
+// ALSH-approx: the columns of W^k are indexed once before training, the
+// incoming activation vector is used as the query, and the union of the
+// buckets it lands in across L tables becomes the layer's active node
+// set.
+type MIPSIndex struct {
+	params    Params
+	dim       int // original item dimensionality (rows of W)
+	nItems    int // number of indexed columns
+	transform *Transform
+	hashes    []Hasher     // one K-bit function per table, over dim+M
+	tables    []*HashTable // one per hash function
+
+	// scratch is the built-in workspace used by the single-threaded
+	// Query/insert paths.
+	scratch QueryScratch
+
+	rebuilds int
+	queries  int
+}
+
+// NewMIPSIndex allocates an index for nItems columns of dim-dimensional
+// vectors. Build or Rebuild must be called before Query.
+func NewMIPSIndex(dim, nItems int, p Params, g *rng.RNG) (*MIPSIndex, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 || nItems <= 0 {
+		return nil, fmt.Errorf("lsh: index needs positive dim (%d) and items (%d)", dim, nItems)
+	}
+	idx := &MIPSIndex{
+		params:    p,
+		dim:       dim,
+		nItems:    nItems,
+		transform: NewTransform(p.M, p.U),
+		hashes:    make([]Hasher, p.L),
+		tables:    make([]*HashTable, p.L),
+		scratch: QueryScratch{
+			expanded: make([]float64, dim+p.M),
+			seen:     make([]uint32, nItems),
+		},
+	}
+	r := p.R
+	if r == 0 {
+		r = 2
+	}
+	for i := 0; i < p.L; i++ {
+		switch p.Family {
+		case FamilyL2:
+			idx.hashes[i] = NewL2Hash(p.K, dim+p.M, r, g.Split())
+		default:
+			idx.hashes[i] = NewSRPHash(p.K, dim+p.M, g.Split())
+		}
+		idx.tables[i] = NewHashTable(p.K, nItems)
+	}
+	return idx, nil
+}
+
+// Params returns the index configuration.
+func (idx *MIPSIndex) Params() Params { return idx.params }
+
+// NumItems returns the number of indexed columns.
+func (idx *MIPSIndex) NumItems() int { return idx.nItems }
+
+// Rebuild re-fits the transform scaling to the current column norms of w
+// and re-hashes every column into every table. w must be dim x nItems.
+func (idx *MIPSIndex) Rebuild(w *tensor.Matrix) {
+	idx.checkShape(w)
+	idx.transform.Fit(w.ColNorms())
+	for _, t := range idx.tables {
+		t.Clear()
+	}
+	col := make([]float64, idx.dim)
+	for j := 0; j < idx.nItems; j++ {
+		w.Col(j, col)
+		idx.insert(j, col)
+	}
+	idx.rebuilds++
+}
+
+// UpdateColumns re-hashes only the given columns, keeping the existing
+// transform scaling. This is the cheap maintenance path ALSH-approx runs
+// after sparse gradient updates; a periodic Rebuild re-fits the scaling.
+func (idx *MIPSIndex) UpdateColumns(w *tensor.Matrix, cols []int) {
+	idx.checkShape(w)
+	col := make([]float64, idx.dim)
+	for _, j := range cols {
+		if j < 0 || j >= idx.nItems {
+			panic(fmt.Sprintf("lsh: UpdateColumns index %d out of range", j))
+		}
+		w.Col(j, col)
+		idx.insert(j, col)
+	}
+}
+
+func (idx *MIPSIndex) insert(id int, item []float64) {
+	p := idx.transform.P(item, idx.scratch.expanded)
+	for i, h := range idx.hashes {
+		idx.tables[i].Insert(id, h.Signature(p))
+	}
+}
+
+func (idx *MIPSIndex) checkShape(w *tensor.Matrix) {
+	if w.Rows != idx.dim || w.Cols != idx.nItems {
+		panic(fmt.Sprintf("lsh: index built for %dx%d, got %dx%d", idx.dim, idx.nItems, w.Rows, w.Cols))
+	}
+}
+
+// QueryScratch holds the per-caller workspace of a query. Concurrent
+// queries against a quiescent index (no Rebuild/UpdateColumns in flight)
+// are safe as long as each goroutine uses its own scratch.
+type QueryScratch struct {
+	expanded []float64
+	seen     []uint32
+	stamp    uint32
+	probes   []uint32
+}
+
+// NewQueryScratch allocates a workspace for this index.
+func (idx *MIPSIndex) NewQueryScratch() *QueryScratch {
+	return &QueryScratch{
+		expanded: make([]float64, idx.dim+idx.params.M),
+		seen:     make([]uint32, idx.nItems),
+	}
+}
+
+// Query returns the ids of the candidate columns for query vector a: the
+// union of the buckets Q(a) hashes to across all L tables, deduplicated,
+// in ascending order. The result is appended to dst (reset to length 0).
+// Query is not safe for concurrent use; concurrent readers should use
+// QueryWith with per-goroutine scratches.
+func (idx *MIPSIndex) Query(a []float64, dst []int) []int {
+	idx.queries++
+	return idx.queryInto(&idx.scratch, a, dst)
+}
+
+// QueryWith is Query using caller-owned workspace, safe to call from
+// multiple goroutines simultaneously while the index is not being
+// mutated. The query counter is not updated on this path to keep it
+// synchronization-free.
+func (idx *MIPSIndex) QueryWith(sc *QueryScratch, a []float64, dst []int) []int {
+	if len(sc.seen) != idx.nItems || len(sc.expanded) != idx.dim+idx.params.M {
+		panic("lsh: scratch does not match index geometry")
+	}
+	return idx.queryInto(sc, a, dst)
+}
+
+func (idx *MIPSIndex) queryInto(sc *QueryScratch, a []float64, dst []int) []int {
+	if len(a) != idx.dim {
+		panic(fmt.Sprintf("lsh: query dim %d, want %d", len(a), idx.dim))
+	}
+	sc.stamp++
+	if sc.stamp == 0 { // stamp wrapped; reset the array
+		for i := range sc.seen {
+			sc.seen[i] = 0
+		}
+		sc.stamp = 1
+	}
+	q := idx.transform.Q(a, sc.expanded)
+	dst = dst[:0]
+	for i, h := range idx.hashes {
+		if idx.params.Probes > 0 {
+			mh := h.(MultiprobeHasher) // guaranteed by Validate: SRP only
+			sc.probes = mh.ProbeSequence(q, idx.params.Probes, sc.probes)
+			for _, sig := range sc.probes {
+				for _, id := range idx.tables[i].Bucket(sig) {
+					if sc.seen[id] != sc.stamp {
+						sc.seen[id] = sc.stamp
+						dst = append(dst, int(id))
+					}
+				}
+			}
+			continue
+		}
+		for _, id := range idx.tables[i].Bucket(h.Signature(q)) {
+			if sc.seen[id] != sc.stamp {
+				sc.seen[id] = sc.stamp
+				dst = append(dst, int(id))
+			}
+		}
+	}
+	sort.Ints(dst)
+	return dst
+}
+
+// Stats returns maintenance counters: total rebuilds and queries served.
+func (idx *MIPSIndex) Stats() (rebuilds, queries int) {
+	return idx.rebuilds, idx.queries
+}
+
+// MemoryFootprint estimates the index's resident bytes: bucket headers,
+// stored ids, hyperplanes, and scratch. The §9.4 memory experiment reads
+// this to reproduce the table-setup cost of ALSH-approx.
+func (idx *MIPSIndex) MemoryFootprint() int {
+	bytes := len(idx.scratch.seen)*4 + len(idx.scratch.expanded)*8
+	for _, t := range idx.tables {
+		bytes += len(t.slot) * 4
+		bytes += len(t.buckets) * 24 // slice headers
+		for _, b := range t.buckets {
+			bytes += cap(b) * 4
+		}
+	}
+	for _, h := range idx.hashes {
+		bytes += h.Bits() * h.Dim() * 8 // hyperplane storage
+	}
+	return bytes
+}
+
+// BruteForceTopK returns the k columns of w with the largest inner
+// product against a, in descending order of inner product. It is the
+// exact MIPS oracle used for recall measurement and for the "assume
+// active nodes are detected exactly" premise of the §7 analysis.
+func BruteForceTopK(w *tensor.Matrix, a []float64, k int) []int {
+	if len(a) != w.Rows {
+		panic(fmt.Sprintf("lsh: BruteForceTopK query dim %d, want %d", len(a), w.Rows))
+	}
+	if k > w.Cols {
+		k = w.Cols
+	}
+	if k <= 0 {
+		return nil
+	}
+	prods := make([]float64, w.Cols)
+	for i := 0; i < w.Rows; i++ {
+		av := a[i]
+		if av == 0 {
+			continue
+		}
+		row := w.RowView(i)
+		tensor.Axpy(av, row, prods)
+	}
+	idx := make([]int, w.Cols)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return prods[idx[x]] > prods[idx[y]] })
+	return idx[:k:k]
+}
+
+// Recall returns |candidates ∩ truth| / |truth|, the fraction of the true
+// top inner-product columns the index retrieved.
+func Recall(candidates, truth []int) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(candidates))
+	for _, c := range candidates {
+		in[c] = true
+	}
+	hit := 0
+	for _, t := range truth {
+		if in[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// QueryTopK answers a MIPS query end to end the way vector databases do
+// (§1's Vector-DB connection): retrieve the hash candidates, rerank them
+// by exact inner product against w's columns, and return the best k in
+// descending inner-product order. When the candidate set is smaller than
+// k, all candidates are returned.
+func (idx *MIPSIndex) QueryTopK(w *tensor.Matrix, a []float64, k int) []int {
+	idx.checkShape(w)
+	cands := idx.Query(a, nil)
+	if k <= 0 || len(cands) == 0 {
+		return nil
+	}
+	type scored struct {
+		id int
+		ip float64
+	}
+	col := make([]float64, idx.dim)
+	ss := make([]scored, len(cands))
+	for i, id := range cands {
+		w.Col(id, col)
+		ss[i] = scored{id, tensor.Dot(a, col)}
+	}
+	sort.Slice(ss, func(x, y int) bool { return ss[x].ip > ss[y].ip })
+	if k > len(ss) {
+		k = len(ss)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].id
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package lsh
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestHashTableInsertQueryMove(t *testing.T) {
+	ht := NewHashTable(4, 10)
+	ht.Insert(3, 7)
+	ht.Insert(5, 7)
+	if got := ht.Bucket(7); len(got) != 2 {
+		t.Fatalf("bucket 7 = %v", got)
+	}
+	// Moving an item must remove it from its old bucket.
+	ht.Insert(3, 9)
+	if got := ht.Bucket(7); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("after move, bucket 7 = %v", got)
+	}
+	if got := ht.Bucket(9); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after move, bucket 9 = %v", got)
+	}
+	if ht.Len() != 2 {
+		t.Fatalf("Len = %d", ht.Len())
+	}
+	ne, ml := ht.Stats()
+	if ne != 2 || ml != 1 {
+		t.Fatalf("Stats = %d, %d", ne, ml)
+	}
+	ht.Clear()
+	if ht.Len() != 0 || len(ht.Bucket(7)) != 0 {
+		t.Fatal("Clear failed")
+	}
+	// Re-insert after clear works.
+	ht.Insert(3, 1)
+	if ht.Len() != 1 {
+		t.Fatal("insert after clear failed")
+	}
+}
+
+func TestHashTableBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHashTable(0, 5)
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []Params{
+		{K: 0, L: 5, M: 3, U: 0.8},
+		{K: 31, L: 5, M: 3, U: 0.8},
+		{K: 6, L: 0, M: 3, U: 0.8},
+		{K: 6, L: 5, M: 0, U: 0.8},
+		{K: 6, L: 5, M: 3, U: 0},
+		{K: 6, L: 5, M: 3, U: 1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestIndexConstructorErrors(t *testing.T) {
+	g := rng.New(1)
+	if _, err := NewMIPSIndex(0, 5, DefaultParams(), g); err == nil {
+		t.Fatal("dim=0 must error")
+	}
+	if _, err := NewMIPSIndex(5, 0, DefaultParams(), g); err == nil {
+		t.Fatal("items=0 must error")
+	}
+	if _, err := NewMIPSIndex(5, 5, Params{}, g); err == nil {
+		t.Fatal("zero params must error")
+	}
+}
+
+func buildIndex(t *testing.T, g *rng.RNG, dim, n int, p Params) (*MIPSIndex, *tensor.Matrix) {
+	t.Helper()
+	w := tensor.New(dim, n)
+	g.GaussianSlice(w.Data, 0, 1)
+	idx, err := NewMIPSIndex(dim, n, p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Rebuild(w)
+	return idx, w
+}
+
+func TestQueryReturnsSortedUnique(t *testing.T) {
+	g := rng.New(2)
+	idx, w := buildIndex(t, g, 16, 200, Params{K: 4, L: 6, M: 3, U: 0.83})
+	_ = w
+	a := make([]float64, 16)
+	g.GaussianSlice(a, 0, 1)
+	got := idx.Query(a, nil)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("candidates not sorted-unique: %v", got)
+		}
+	}
+	for _, id := range got {
+		if id < 0 || id >= 200 {
+			t.Fatalf("candidate %d out of range", id)
+		}
+	}
+}
+
+func TestQueryRecallBeatsRandom(t *testing.T) {
+	// With generous parameters the index should retrieve the true MIPS
+	// winners far more often than a random subset of the same size would.
+	g := rng.New(3)
+	dim, n := 24, 400
+	idx, w := buildIndex(t, g, dim, n, Params{K: 5, L: 12, M: 3, U: 0.83})
+
+	const queries = 40
+	const topK = 5
+	var recallSum, candFrac float64
+	a := make([]float64, dim)
+	for qi := 0; qi < queries; qi++ {
+		g.GaussianSlice(a, 0, 1)
+		cands := idx.Query(a, nil)
+		truth := BruteForceTopK(w, a, topK)
+		recallSum += Recall(cands, truth)
+		candFrac += float64(len(cands)) / float64(n)
+	}
+	recall := recallSum / queries
+	frac := candFrac / queries
+	if recall <= frac+0.1 {
+		t.Fatalf("LSH recall %v barely beats random baseline %v", recall, frac)
+	}
+}
+
+func TestQuerySelectivity(t *testing.T) {
+	// The paper reports active sets as small as 5%%; with K=6,L=5 on
+	// random Gaussian columns the candidate fraction must be well below
+	// half the layer.
+	g := rng.New(4)
+	idx, _ := buildIndex(t, g, 32, 1000, DefaultParams())
+	a := make([]float64, 32)
+	var frac float64
+	const queries = 30
+	for i := 0; i < queries; i++ {
+		g.GaussianSlice(a, 0, 1)
+		frac += float64(len(idx.Query(a, nil))) / 1000
+	}
+	frac /= queries
+	if frac > 0.5 {
+		t.Fatalf("candidate fraction %v too large for K=6,L=5", frac)
+	}
+	if frac == 0 {
+		t.Fatal("index never returns candidates")
+	}
+}
+
+func TestUpdateColumnsMovesItems(t *testing.T) {
+	g := rng.New(5)
+	idx, w := buildIndex(t, g, 8, 50, Params{K: 3, L: 4, M: 3, U: 0.83})
+
+	// Drastically change column 7 and re-hash only it; queries aligned
+	// with the new direction should now find it.
+	newCol := make([]float64, 8)
+	for i := range newCol {
+		newCol[i] = 10
+	}
+	w.SetCol(7, newCol)
+	idx.UpdateColumns(w, []int{7})
+
+	found := false
+	for trial := 0; trial < 20 && !found; trial++ {
+		q := make([]float64, 8)
+		for i := range q {
+			q[i] = 1 + 0.01*g.NormFloat64()
+		}
+		for _, id := range idx.Query(q, nil) {
+			if id == 7 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("updated column never retrieved by aligned queries")
+	}
+}
+
+func TestUpdateColumnsOutOfRangePanics(t *testing.T) {
+	g := rng.New(6)
+	idx, w := buildIndex(t, g, 4, 10, Params{K: 3, L: 2, M: 2, U: 0.8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.UpdateColumns(w, []int{10})
+}
+
+func TestIndexShapeChecks(t *testing.T) {
+	g := rng.New(7)
+	idx, _ := buildIndex(t, g, 4, 10, Params{K: 3, L: 2, M: 2, U: 0.8})
+	t.Run("rebuild", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		idx.Rebuild(tensor.New(5, 10))
+	})
+	t.Run("query", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		idx.Query(make([]float64, 3), nil)
+	})
+}
+
+func TestIndexStatsAndMemory(t *testing.T) {
+	g := rng.New(8)
+	idx, w := buildIndex(t, g, 8, 100, Params{K: 4, L: 3, M: 2, U: 0.8})
+	idx.Rebuild(w)
+	a := make([]float64, 8)
+	idx.Query(a, nil)
+	idx.Query(a, nil)
+	rebuilds, queries := idx.Stats()
+	if rebuilds != 2 || queries != 2 {
+		t.Fatalf("Stats = %d, %d", rebuilds, queries)
+	}
+	if idx.MemoryFootprint() <= 0 {
+		t.Fatal("memory footprint should be positive")
+	}
+	if idx.NumItems() != 100 || idx.Params().K != 4 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBruteForceTopK(t *testing.T) {
+	w := tensor.FromRows([][]float64{
+		{1, 0, -1, 2},
+		{0, 1, 0, 2},
+	})
+	a := []float64{1, 1}
+	got := BruteForceTopK(w, a, 2)
+	// inner products: col0=1, col1=1, col2=-1, col3=4
+	if got[0] != 3 {
+		t.Fatalf("top-1 should be column 3, got %v", got)
+	}
+	if got[1] != 0 && got[1] != 1 {
+		t.Fatalf("top-2 should be column 0 or 1, got %v", got)
+	}
+	if len(BruteForceTopK(w, a, 0)) != 0 {
+		t.Fatal("k=0 should be empty")
+	}
+	if len(BruteForceTopK(w, a, 10)) != 4 {
+		t.Fatal("k>cols should clamp")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	if Recall([]int{1, 2, 3}, []int{2, 3, 4}) != 2.0/3 {
+		t.Fatal("Recall wrong")
+	}
+	if Recall(nil, nil) != 1 {
+		t.Fatal("empty truth should be 1")
+	}
+	if Recall(nil, []int{1}) != 0 {
+		t.Fatal("no candidates should be 0")
+	}
+}
+
+func TestQueryStampWraparound(t *testing.T) {
+	// Force the dedup stamp to wrap and confirm queries stay correct.
+	g := rng.New(9)
+	idx, _ := buildIndex(t, g, 4, 20, Params{K: 2, L: 2, M: 2, U: 0.8})
+	idx.scratch.stamp = math.MaxUint32 - 1
+	a := make([]float64, 4)
+	g.GaussianSlice(a, 0, 1)
+	r1 := append([]int(nil), idx.Query(a, nil)...)
+	r2 := append([]int(nil), idx.Query(a, nil)...) // crosses the wrap
+	r3 := append([]int(nil), idx.Query(a, nil)...)
+	equal := func(x, y []int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !equal(r1, r2) || !equal(r2, r3) {
+		t.Fatalf("wraparound changed results: %v %v %v", r1, r2, r3)
+	}
+}
+
+func TestQueryWithConcurrent(t *testing.T) {
+	g := rng.New(40)
+	idx, _ := buildIndex(t, g, 16, 200, Params{K: 4, L: 5, M: 3, U: 0.83})
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = make([]float64, 16)
+		g.GaussianSlice(queries[i], 0, 1)
+	}
+	// Sequential reference.
+	want := make([][]int, len(queries))
+	for i, q := range queries {
+		want[i] = append([]int(nil), idx.Query(q, nil)...)
+	}
+	// Concurrent readers with per-goroutine scratch must agree.
+	var wg sync.WaitGroup
+	errs := make([]string, len(queries))
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := idx.NewQueryScratch()
+			for rep := 0; rep < 50; rep++ {
+				got := idx.QueryWith(sc, queries[i], nil)
+				if len(got) != len(want[i]) {
+					errs[i] = "length mismatch"
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						errs[i] = "content mismatch"
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("query %d: %s", i, e)
+		}
+	}
+}
+
+func TestQueryWithScratchValidation(t *testing.T) {
+	g := rng.New(41)
+	idx, _ := buildIndex(t, g, 8, 50, Params{K: 3, L: 2, M: 2, U: 0.8})
+	other, _ := buildIndex(t, g, 8, 60, Params{K: 3, L: 2, M: 2, U: 0.8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched scratch must panic")
+		}
+	}()
+	idx.QueryWith(other.NewQueryScratch(), make([]float64, 8), nil)
+}

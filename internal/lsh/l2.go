@@ -1,0 +1,93 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/rng"
+)
+
+// Hasher is a K-bucket hash function over expanded vectors. Two families
+// are provided: SRPHash (signed random projections — the Sign-ALSH
+// construction) and L2Hash (p-stable projections — the original
+// L2-ALSH construction of Shrivastava and Li, which Definition 5.1 is
+// stated for). MIPSIndex works with either.
+type Hasher interface {
+	// Signature hashes x into [0, 2^Bits).
+	Signature(x []float64) uint32
+	// Bits returns the signature width.
+	Bits() int
+	// Dim returns the expected input dimensionality.
+	Dim() int
+}
+
+// L2Hash is a K-component p-stable (Gaussian) LSH function: component i
+// is floor((a_i·x + b_i)/r) for a Gaussian direction a_i and uniform
+// offset b_i in [0, r). The K integer components are mixed into a bucket
+// index. Nearby vectors in l2 distance collide with high probability, so
+// composed with the P/Q transform it answers MIPS queries (Eq. 3).
+type L2Hash struct {
+	bits   int
+	r      float64
+	planes [][]float64
+	offs   []float64
+}
+
+// NewL2Hash draws a K-component L2 hash over dim-dimensional inputs with
+// bucket width r (a good default is ~2 for unit-scale data).
+func NewL2Hash(bits, dim int, r float64, g *rng.RNG) *L2Hash {
+	if bits <= 0 || bits > 30 {
+		panic(fmt.Sprintf("lsh: L2 bits %d out of range (1..30)", bits))
+	}
+	if dim <= 0 {
+		panic("lsh: L2 dim must be positive")
+	}
+	if r <= 0 {
+		panic(fmt.Sprintf("lsh: L2 bucket width r=%v must be positive", r))
+	}
+	h := &L2Hash{bits: bits, r: r, planes: make([][]float64, bits), offs: make([]float64, bits)}
+	for i := range h.planes {
+		p := make([]float64, dim)
+		g.GaussianSlice(p, 0, 1)
+		h.planes[i] = p
+		h.offs[i] = g.Float64() * r
+	}
+	return h
+}
+
+// Bits returns K.
+func (h *L2Hash) Bits() int { return h.bits }
+
+// Dim returns the input dimensionality.
+func (h *L2Hash) Dim() int { return len(h.planes[0]) }
+
+// Signature hashes x: each component's quantized projection is mixed
+// into the bucket index with a Fibonacci multiplier so nearby buckets
+// spread across the table.
+func (h *L2Hash) Signature(x []float64) uint32 {
+	if len(x) != h.Dim() {
+		panic(fmt.Sprintf("lsh: Signature input dim %d, want %d", len(x), h.Dim()))
+	}
+	var sig uint32
+	for i, p := range h.planes {
+		var dot float64
+		for j, v := range x {
+			dot += p[j] * v
+		}
+		q := int64(math.Floor((dot + h.offs[i]) / h.r))
+		sig = sig*0x9e3779b1 + uint32(uint64(q)) // mixes negative q fine
+	}
+	return sig & ((1 << uint(h.bits)) - 1)
+}
+
+// L2CollisionProbability returns the per-component collision probability
+// of two vectors at l2 distance d under bucket width r (Datar et al.):
+// p(d) = 1 − 2Φ(−r/d) − (2d/(√(2π)r))(1 − e^{−r²/(2d²)}).
+func L2CollisionProbability(d, r float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	c := r / d
+	phi := 0.5 * math.Erfc(c/math.Sqrt2) // Φ(−c)
+	return 1 - 2*phi - (2/(math.Sqrt(2*math.Pi)*c))*(1-math.Exp(-c*c/2))
+}

@@ -1,0 +1,182 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestL2HashBasics(t *testing.T) {
+	g := rng.New(1)
+	h := NewL2Hash(6, 10, 2, g)
+	if h.Bits() != 6 || h.Dim() != 10 {
+		t.Fatal("accessors wrong")
+	}
+	x := make([]float64, 10)
+	g.GaussianSlice(x, 0, 1)
+	s := h.Signature(x)
+	if s >= 64 {
+		t.Fatalf("signature %d exceeds 2^6", s)
+	}
+	if h.Signature(x) != s {
+		t.Fatal("signature must be deterministic")
+	}
+	// Nearby points usually collide, far points usually do not.
+	near := append([]float64(nil), x...)
+	near[0] += 0.01
+	far := make([]float64, 10)
+	g.GaussianSlice(far, 0, 20)
+	collNear, collFar := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		hh := NewL2Hash(1, 10, 2, g.Split())
+		if hh.Signature(x) == hh.Signature(near) {
+			collNear++
+		}
+		if hh.Signature(x) == hh.Signature(far) {
+			collFar++
+		}
+	}
+	if collNear <= collFar {
+		t.Fatalf("near collisions %d should exceed far %d", collNear, collFar)
+	}
+}
+
+func TestL2HashPanics(t *testing.T) {
+	g := rng.New(2)
+	for _, f := range []func(){
+		func() { NewL2Hash(0, 4, 2, g) },
+		func() { NewL2Hash(4, 0, 2, g) },
+		func() { NewL2Hash(4, 4, 0, g) },
+		func() { NewL2Hash(4, 4, 2, g).Signature(make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestL2CollisionProbability(t *testing.T) {
+	if L2CollisionProbability(0, 2) != 1 {
+		t.Fatal("zero distance must collide")
+	}
+	// Monotone decreasing in distance.
+	if !(L2CollisionProbability(0.5, 2) > L2CollisionProbability(2, 2)) {
+		t.Fatal("collision probability must fall with distance")
+	}
+	if !(L2CollisionProbability(2, 2) > L2CollisionProbability(10, 2)) {
+		t.Fatal("collision probability must fall with distance")
+	}
+	// Empirical check at d = r: compare against the formula.
+	g := rng.New(3)
+	x := []float64{0, 0, 0, 0}
+	y := []float64{2, 0, 0, 0} // d = 2 = r
+	hits := 0
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		h := NewL2Hash(1, 4, 2, g.Split())
+		// Compare raw quantized projections via 1-bit signature — but a
+		// 1-bit signature aliases buckets, inflating collisions. Use the
+		// analytic form only as a loose reference.
+		if h.Signature(x) == h.Signature(y) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	want := L2CollisionProbability(2, 2)
+	// 1-bit aliasing means got ≥ want; allow generous slack but require
+	// the same ballpark.
+	if got < want-0.05 || got > want+0.35 {
+		t.Fatalf("empirical collision %v vs analytic %v", got, want)
+	}
+}
+
+func TestL2FamilyIndexWorks(t *testing.T) {
+	g := rng.New(4)
+	dim, n := 24, 300
+	w := tensor.New(dim, n)
+	g.GaussianSlice(w.Data, 0, 1)
+	idx, err := NewMIPSIndex(dim, n, Params{K: 6, L: 30, M: 3, U: 0.83, Family: FamilyL2, R: 0.5}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Rebuild(w)
+	var recall, frac float64
+	const queries = 30
+	a := make([]float64, dim)
+	for i := 0; i < queries; i++ {
+		g.GaussianSlice(a, 0, 1)
+		cands := idx.Query(a, nil)
+		truth := BruteForceTopK(w, a, 5)
+		recall += Recall(cands, truth)
+		frac += float64(len(cands)) / float64(n)
+	}
+	recall /= queries
+	frac /= queries
+	// L2-ALSH discriminates MIPS weakly on isotropic data — the
+	// documented weakness that motivated the Sign-ALSH follow-up (which
+	// FamilySRP implements). Require it to beat the random baseline, but
+	// only by the modest margin the construction actually achieves.
+	if recall <= frac+0.03 {
+		t.Fatalf("L2 family recall %v does not beat random %v", recall, frac)
+	}
+}
+
+func TestFamilyValidation(t *testing.T) {
+	if (Params{K: 4, L: 2, M: 2, U: 0.8, Family: Family(9)}).Validate() == nil {
+		t.Fatal("unknown family must be invalid")
+	}
+	if (Params{K: 4, L: 2, M: 2, U: 0.8, Family: FamilyL2, R: -1}).Validate() == nil {
+		t.Fatal("negative R must be invalid")
+	}
+	if (Params{K: 4, L: 2, M: 2, U: 0.8, Family: FamilyL2}).Validate() != nil {
+		t.Fatal("R=0 should default, not fail")
+	}
+}
+
+func TestQueryTopKRerank(t *testing.T) {
+	g := rng.New(5)
+	dim, n := 16, 200
+	w := tensor.New(dim, n)
+	g.GaussianSlice(w.Data, 0, 1)
+	idx, err := NewMIPSIndex(dim, n, Params{K: 4, L: 10, M: 3, U: 0.83}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Rebuild(w)
+	a := make([]float64, dim)
+	g.GaussianSlice(a, 0, 1)
+
+	top := idx.QueryTopK(w, a, 5)
+	if len(top) == 0 {
+		t.Fatal("no results")
+	}
+	// Results must be in descending exact inner-product order and drawn
+	// from the candidate set.
+	col := make([]float64, dim)
+	var prev = math.Inf(1)
+	cands := map[int]bool{}
+	for _, c := range idx.Query(a, nil) {
+		cands[c] = true
+	}
+	for _, id := range top {
+		if !cands[id] {
+			t.Fatalf("result %d not among candidates", id)
+		}
+		w.Col(id, col)
+		ip := tensor.Dot(a, col)
+		if ip > prev+1e-12 {
+			t.Fatal("results not sorted by inner product")
+		}
+		prev = ip
+	}
+	if idx.QueryTopK(w, a, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}

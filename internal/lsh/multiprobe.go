@@ -1,0 +1,62 @@
+package lsh
+
+import (
+	"sort"
+
+	"samplednn/internal/tensor"
+)
+
+// MultiprobeHasher is implemented by hash families that can enumerate
+// additional likely buckets for a query — the multi-probe LSH technique:
+// instead of buying recall with more tables (more memory, the §9.4 cost
+// of ALSH-approx), the query also probes the buckets it almost landed in.
+type MultiprobeHasher interface {
+	Hasher
+	// ProbeSequence appends to dst the base signature followed by up to
+	// n perturbed signatures in decreasing collision likelihood.
+	ProbeSequence(x []float64, n int, dst []uint32) []uint32
+}
+
+// ProbeSequence for SRP flips the signature bits whose projections are
+// closest to zero — the bits most likely to differ for a true near
+// neighbor.
+func (h *SRPHash) ProbeSequence(x []float64, n int, dst []uint32) []uint32 {
+	if len(x) != h.planes.Cols {
+		panic("lsh: ProbeSequence input dim mismatch")
+	}
+	dst = dst[:0]
+	projs := make([]float64, h.bits)
+	var base uint32
+	for i := 0; i < h.bits; i++ {
+		p := tensor.Dot(h.planes.RowView(i), x)
+		projs[i] = p
+		if p >= 0 {
+			base |= 1 << uint(i)
+		}
+	}
+	dst = append(dst, base)
+	if n <= 0 {
+		return dst
+	}
+	order := make([]int, h.bits)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return abs(projs[order[a]]) < abs(projs[order[b]])
+	})
+	if n > h.bits {
+		n = h.bits
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, base^(1<<uint(order[i])))
+	}
+	return dst
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package lsh
+
+import (
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestProbeSequenceBasics(t *testing.T) {
+	g := rng.New(1)
+	h := NewSRPHash(6, 12, g)
+	x := make([]float64, 12)
+	g.GaussianSlice(x, 0, 1)
+
+	seq := h.ProbeSequence(x, 3, nil)
+	if len(seq) != 4 {
+		t.Fatalf("sequence length %d, want 1 base + 3 probes", len(seq))
+	}
+	if seq[0] != h.Signature(x) {
+		t.Fatal("first element must be the base signature")
+	}
+	// Each probe differs from the base in exactly one bit, all distinct.
+	seen := map[uint32]bool{seq[0]: true}
+	for _, sig := range seq[1:] {
+		diff := sig ^ seq[0]
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("probe %b differs from base %b in != 1 bit", sig, seq[0])
+		}
+		if seen[sig] {
+			t.Fatal("duplicate probe")
+		}
+		seen[sig] = true
+	}
+	// n beyond the bit count clamps.
+	if got := h.ProbeSequence(x, 100, nil); len(got) != 7 {
+		t.Fatalf("clamped sequence length %d, want 7", len(got))
+	}
+	// n=0 returns only the base.
+	if got := h.ProbeSequence(x, 0, nil); len(got) != 1 {
+		t.Fatal("n=0 should return only the base")
+	}
+}
+
+func TestProbeSequenceFlipsLeastConfidentFirst(t *testing.T) {
+	g := rng.New(2)
+	h := NewSRPHash(4, 4, g)
+	// Construct an input with one projection near zero: perturb along
+	// each plane and find which bit the first probe flips.
+	x := make([]float64, 4)
+	g.GaussianSlice(x, 0, 1)
+	seq := h.ProbeSequence(x, 4, nil)
+	// The first flipped bit must correspond to the smallest |projection|.
+	minAbs, minBit := 1e300, -1
+	for i := 0; i < 4; i++ {
+		p := tensor.Dot(h.planes.RowView(i), x)
+		if a := abs(p); a < minAbs {
+			minAbs, minBit = a, i
+		}
+	}
+	if seq[1]^seq[0] != 1<<uint(minBit) {
+		t.Fatalf("first probe flips bit %b, least-confident is %d", seq[1]^seq[0], minBit)
+	}
+}
+
+func TestMultiprobeRaisesRecallAtFixedTables(t *testing.T) {
+	g := rng.New(3)
+	dim, n := 24, 400
+	w := tensor.New(dim, n)
+	g.GaussianSlice(w.Data, 0, 1)
+
+	measure := func(probes int) (recall, frac float64) {
+		idx, err := NewMIPSIndex(dim, n, Params{K: 6, L: 4, M: 3, U: 0.83, Probes: probes}, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx.Rebuild(w)
+		a := make([]float64, dim)
+		gg := rng.New(5)
+		const queries = 40
+		for i := 0; i < queries; i++ {
+			gg.GaussianSlice(a, 0, 1)
+			c := idx.Query(a, nil)
+			recall += Recall(c, BruteForceTopK(w, a, 5))
+			frac += float64(len(c)) / float64(n)
+		}
+		return recall / queries, frac / queries
+	}
+
+	r0, f0 := measure(0)
+	r3, f3 := measure(3)
+	if r3 <= r0 {
+		t.Fatalf("3 probes should raise recall: %v → %v", r0, r3)
+	}
+	if f3 <= f0 {
+		t.Fatal("probing should enlarge candidate sets")
+	}
+	// The probe buckets are informative: the recall gain should exceed
+	// what the extra candidates alone would explain at random.
+	if (r3-r0)/(f3-f0) < 1 {
+		t.Fatalf("probe recall gain %v not informative vs candidate growth %v", r3-r0, f3-f0)
+	}
+}
+
+func TestMultiprobeValidation(t *testing.T) {
+	if (Params{K: 4, L: 2, M: 2, U: 0.8, Probes: -1}).Validate() == nil {
+		t.Fatal("negative probes must be invalid")
+	}
+	if (Params{K: 4, L: 2, M: 2, U: 0.8, Family: FamilyL2, Probes: 2}).Validate() == nil {
+		t.Fatal("multi-probe with L2 family must be invalid")
+	}
+	if (Params{K: 4, L: 2, M: 2, U: 0.8, Probes: 2}).Validate() != nil {
+		t.Fatal("SRP multi-probe should validate")
+	}
+}

@@ -1,0 +1,81 @@
+// Package lsh implements the hashing substrate of ALSH-approx (§5.2 of
+// the paper): a signed-random-projection (SimHash) hash family, the
+// asymmetric P/Q transformations of Shrivastava and Li that reduce
+// maximum inner-product search (MIPS) to near-neighbor search (Eq. 2-3),
+// multi-table hash indexes over the columns of a weight matrix, and a
+// brute-force MIPS reference used for recall measurement.
+//
+// The index follows the construction of Spring and Shrivastava: L
+// independent tables, each with 2^K buckets addressed by a K-bit
+// signature; querying unions the buckets the query lands in across all
+// tables, giving each item a retrieval probability of 1−(1−p^K)^L where p
+// is its per-bit collision probability with the query.
+package lsh
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// SRPHash is one K-bit signed-random-projection hash function: bit i of a
+// signature is the sign of the projection onto hyperplane i.
+type SRPHash struct {
+	bits   int
+	planes *tensor.Matrix // bits x dim, rows are hyperplane normals
+}
+
+// NewSRPHash draws a K-bit SRP function over dim-dimensional inputs.
+func NewSRPHash(bits, dim int, g *rng.RNG) *SRPHash {
+	if bits <= 0 || bits > 30 {
+		panic(fmt.Sprintf("lsh: SRP bits %d out of range (1..30)", bits))
+	}
+	if dim <= 0 {
+		panic("lsh: SRP dim must be positive")
+	}
+	p := tensor.New(bits, dim)
+	g.GaussianSlice(p.Data, 0, 1)
+	return &SRPHash{bits: bits, planes: p}
+}
+
+// Bits returns K, the signature width.
+func (h *SRPHash) Bits() int { return h.bits }
+
+// Dim returns the input dimensionality.
+func (h *SRPHash) Dim() int { return h.planes.Cols }
+
+// Signature hashes x to a K-bit bucket index.
+func (h *SRPHash) Signature(x []float64) uint32 {
+	if len(x) != h.planes.Cols {
+		panic(fmt.Sprintf("lsh: Signature input dim %d, want %d", len(x), h.planes.Cols))
+	}
+	var sig uint32
+	for i := 0; i < h.bits; i++ {
+		if tensor.Dot(h.planes.RowView(i), x) >= 0 {
+			sig |= 1 << uint(i)
+		}
+	}
+	return sig
+}
+
+// CollisionProbability returns the per-bit SRP collision probability of
+// two vectors, 1 − θ/π with θ the angle between them. Retrieval analysis
+// (and tests) compare empirical bucket collisions against this.
+func CollisionProbability(a, b []float64) float64 {
+	na, nb := tensor.Norm(a), tensor.Norm(b)
+	if na == 0 || nb == 0 {
+		return 0.5 // sign of a zero projection is arbitrary
+	}
+	cos := tensor.Dot(a, b) / (na * nb)
+	cos = math.Max(-1, math.Min(1, cos))
+	return 1 - math.Acos(cos)/math.Pi
+}
+
+// RetrievalProbability returns the probability that an item whose per-bit
+// collision probability with the query is p survives a (K, L) index:
+// 1 − (1 − p^K)^L.
+func RetrievalProbability(p float64, k, l int) float64 {
+	return 1 - math.Pow(1-math.Pow(p, float64(k)), float64(l))
+}

@@ -1,0 +1,152 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+)
+
+func TestSRPDeterministicAndScaleInvariant(t *testing.T) {
+	g := rng.New(1)
+	h := NewSRPHash(8, 16, g)
+	x := make([]float64, 16)
+	g.GaussianSlice(x, 0, 1)
+	s1 := h.Signature(x)
+	if h.Signature(x) != s1 {
+		t.Fatal("signature must be deterministic")
+	}
+	scaled := make([]float64, 16)
+	for i, v := range x {
+		scaled[i] = 3.7 * v
+	}
+	if h.Signature(scaled) != s1 {
+		t.Fatal("SRP must be invariant to positive scaling")
+	}
+}
+
+func TestSRPSignatureRange(t *testing.T) {
+	g := rng.New(2)
+	h := NewSRPHash(5, 8, g)
+	if h.Bits() != 5 || h.Dim() != 8 {
+		t.Fatal("accessors wrong")
+	}
+	x := make([]float64, 8)
+	for i := 0; i < 200; i++ {
+		g.GaussianSlice(x, 0, 1)
+		if s := h.Signature(x); s >= 32 {
+			t.Fatalf("signature %d exceeds 2^5", s)
+		}
+	}
+}
+
+func TestSRPOppositeVectors(t *testing.T) {
+	g := rng.New(3)
+	h := NewSRPHash(10, 12, g)
+	x := make([]float64, 12)
+	g.GaussianSlice(x, 0, 1)
+	neg := make([]float64, 12)
+	for i, v := range x {
+		neg[i] = -v
+	}
+	// Opposite vectors should (almost surely) disagree on every bit.
+	if h.Signature(x) == h.Signature(neg) {
+		t.Fatal("antipodal vectors should not collide on all 10 bits")
+	}
+}
+
+func TestSRPDimMismatchPanics(t *testing.T) {
+	g := rng.New(4)
+	h := NewSRPHash(4, 8, g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Signature(make([]float64, 7))
+}
+
+func TestSRPBadParamsPanic(t *testing.T) {
+	g := rng.New(5)
+	for _, f := range []func(){
+		func() { NewSRPHash(0, 4, g) },
+		func() { NewSRPHash(31, 4, g) },
+		func() { NewSRPHash(4, 0, g) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCollisionProbabilityAnalytic(t *testing.T) {
+	// Parallel vectors collide with probability 1, orthogonal 1/2,
+	// antipodal 0.
+	a := []float64{1, 0}
+	cases := []struct {
+		b    []float64
+		want float64
+	}{
+		{[]float64{2, 0}, 1},
+		{[]float64{0, 1}, 0.5},
+		{[]float64{-1, 0}, 0},
+		{[]float64{1, 1}, 0.75},
+	}
+	for _, c := range cases {
+		if got := CollisionProbability(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("CollisionProbability(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	if CollisionProbability(a, []float64{0, 0}) != 0.5 {
+		t.Fatal("zero vector should return 0.5")
+	}
+}
+
+func TestCollisionProbabilityEmpirical(t *testing.T) {
+	// Empirical per-bit collision frequency of two vectors at a known
+	// angle should match 1 − θ/π.
+	g := rng.New(6)
+	a := []float64{1, 0, 0}
+	b := []float64{1, 1, 0} // 45°: p = 0.75
+	const trials = 6000
+	collide := 0
+	for i := 0; i < trials; i++ {
+		h := NewSRPHash(1, 3, g.Split())
+		if h.Signature(a) == h.Signature(b) {
+			collide++
+		}
+	}
+	got := float64(collide) / trials
+	if math.Abs(got-0.75) > 0.03 {
+		t.Fatalf("empirical collision %v, want ~0.75", got)
+	}
+}
+
+func TestRetrievalProbability(t *testing.T) {
+	// p=1 must retrieve always, p=0 never; monotone in p and L.
+	if RetrievalProbability(1, 6, 5) != 1 {
+		t.Fatal("p=1")
+	}
+	if RetrievalProbability(0, 6, 5) != 0 {
+		t.Fatal("p=0")
+	}
+	if !(RetrievalProbability(0.9, 6, 5) > RetrievalProbability(0.5, 6, 5)) {
+		t.Fatal("monotone in p")
+	}
+	if !(RetrievalProbability(0.8, 6, 10) > RetrievalProbability(0.8, 6, 5)) {
+		t.Fatal("monotone in L")
+	}
+	if !(RetrievalProbability(0.8, 4, 5) > RetrievalProbability(0.8, 8, 5)) {
+		t.Fatal("more bits must be more selective")
+	}
+	// Exact value: 1-(1-p^K)^L.
+	want := 1 - math.Pow(1-math.Pow(0.8, 6), 5)
+	if math.Abs(RetrievalProbability(0.8, 6, 5)-want) > 1e-12 {
+		t.Fatal("formula mismatch")
+	}
+}

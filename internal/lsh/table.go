@@ -1,0 +1,89 @@
+package lsh
+
+import "fmt"
+
+// HashTable is one of the L tables of a MIPS index: 2^K buckets, each
+// holding the ids of the items whose signature maps there. It tracks each
+// item's current bucket so a changed item can be moved without a full
+// rebuild — the mechanism behind the incremental re-hashing ALSH-approx
+// performs after weight updates.
+type HashTable struct {
+	buckets [][]int32
+	slot    []int32 // slot[id] = bucket of id, or -1 if absent
+}
+
+// NewHashTable returns a table with 2^bits buckets for items 0..nItems-1.
+func NewHashTable(bits, nItems int) *HashTable {
+	if bits <= 0 || bits > 30 {
+		panic(fmt.Sprintf("lsh: table bits %d out of range", bits))
+	}
+	t := &HashTable{
+		buckets: make([][]int32, 1<<uint(bits)),
+		slot:    make([]int32, nItems),
+	}
+	for i := range t.slot {
+		t.slot[i] = -1
+	}
+	return t
+}
+
+// Insert places id in the bucket for sig, moving it from any previous
+// bucket first.
+func (t *HashTable) Insert(id int, sig uint32) {
+	if t.slot[id] >= 0 {
+		t.remove(id)
+	}
+	t.buckets[sig] = append(t.buckets[sig], int32(id))
+	t.slot[id] = int32(sig)
+}
+
+func (t *HashTable) remove(id int) {
+	b := t.buckets[t.slot[id]]
+	for i, v := range b {
+		if v == int32(id) {
+			b[i] = b[len(b)-1]
+			t.buckets[t.slot[id]] = b[:len(b)-1]
+			break
+		}
+	}
+	t.slot[id] = -1
+}
+
+// Bucket returns the ids currently hashed to sig. The slice aliases the
+// table; callers must not retain it across mutations.
+func (t *HashTable) Bucket(sig uint32) []int32 { return t.buckets[sig] }
+
+// Len returns the number of inserted items.
+func (t *HashTable) Len() int {
+	n := 0
+	for _, s := range t.slot {
+		if s >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear empties every bucket, retaining allocated capacity.
+func (t *HashTable) Clear() {
+	for i := range t.buckets {
+		t.buckets[i] = t.buckets[i][:0]
+	}
+	for i := range t.slot {
+		t.slot[i] = -1
+	}
+}
+
+// Stats summarizes bucket occupancy for diagnostics: the number of
+// non-empty buckets and the largest bucket size.
+func (t *HashTable) Stats() (nonEmpty, maxLen int) {
+	for _, b := range t.buckets {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+	}
+	return nonEmpty, maxLen
+}

@@ -1,0 +1,131 @@
+package lsh
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/tensor"
+)
+
+// Transform implements the asymmetric P/Q expansions of Shrivastava and
+// Li (Definition 5.1, Eq. 2): data vectors w (columns of a weight matrix)
+// are scaled so every norm is at most U < 1 and padded with m terms
+// ||w||^2, ||w||^4, …, ||w||^(2^m); queries are normalized to unit length
+// and padded with m copies of 1/2. In the expanded space, minimizing
+// ||Q(a) − P(w)|| is equivalent to maximizing <a, w> (Eq. 3), so an
+// ordinary near-neighbor hash solves MIPS.
+type Transform struct {
+	// M is the number of padding terms (paper default 3).
+	M int
+	// U is the norm cap after scaling (must be in (0, 1); default 0.83,
+	// the value recommended by Shrivastava and Li).
+	U float64
+	// scale is U / max_j ||w_j||, fixed by Fit.
+	scale float64
+}
+
+// NewTransform returns an unfitted transform with the given padding count
+// and norm cap.
+func NewTransform(m int, u float64) *Transform {
+	if m <= 0 {
+		panic("lsh: transform needs m > 0 padding terms")
+	}
+	if u <= 0 || u >= 1 {
+		panic(fmt.Sprintf("lsh: transform norm cap U=%v must be in (0,1)", u))
+	}
+	return &Transform{M: m, U: u, scale: 1}
+}
+
+// Fit sets the data scaling from the maximum norm among the given
+// vectors' norms. Call it with the column norms of the weight matrix
+// before hashing; Fit with all-zero norms leaves scale at 1.
+func (t *Transform) Fit(norms []float64) {
+	var maxN float64
+	for _, n := range norms {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		t.scale = 1
+		return
+	}
+	t.scale = t.U / maxN
+}
+
+// Scale returns the fitted data scaling factor.
+func (t *Transform) Scale() float64 { return t.scale }
+
+// ExpandedDim returns the dimensionality of the transformed space for
+// dim-dimensional inputs.
+func (t *Transform) ExpandedDim(dim int) int { return dim + t.M }
+
+// P writes the data-side expansion of w into dst (len dim+M) and returns
+// it: dst = [scale·w ; (scale·||w||)^2 ; (scale·||w||)^4 ; …].
+func (t *Transform) P(w []float64, dst []float64) []float64 {
+	dst = t.ensure(len(w), dst)
+	s := t.scale
+	var sq float64
+	for i, v := range w {
+		sv := s * v
+		dst[i] = sv
+		sq += sv * sv
+	}
+	// sq = ||scale·w||²; successive squaring yields norm^(2^i).
+	term := sq
+	for i := 0; i < t.M; i++ {
+		dst[len(w)+i] = term
+		term *= term
+	}
+	return dst
+}
+
+// Q writes the query-side expansion of a into dst (len dim+M) and returns
+// it: dst = [a/||a|| ; 1/2 ; … ; 1/2]. A zero query is left unnormalized.
+func (t *Transform) Q(a []float64, dst []float64) []float64 {
+	dst = t.ensure(len(a), dst)
+	n := tensor.Norm(a)
+	inv := 1.0
+	if n > 0 {
+		inv = 1 / n
+	}
+	for i, v := range a {
+		dst[i] = inv * v
+	}
+	for i := 0; i < t.M; i++ {
+		dst[len(a)+i] = 0.5
+	}
+	return dst
+}
+
+func (t *Transform) ensure(dim int, dst []float64) []float64 {
+	want := dim + t.M
+	if dst == nil {
+		return make([]float64, want)
+	}
+	if len(dst) != want {
+		panic(fmt.Sprintf("lsh: transform dst len %d, want %d", len(dst), want))
+	}
+	return dst
+}
+
+// DistanceGap returns ||Q(a)||² + ||P(w)||² − 2<Q(a),P(w)>, the squared
+// expanded-space distance. Tests use it to verify Eq. 3: the column
+// maximizing the inner product minimizes this distance (up to the
+// vanishing ||scale·w||^(2^(m+1)) term).
+func (t *Transform) DistanceGap(a, w []float64) float64 {
+	q := t.Q(a, nil)
+	p := t.P(w, nil)
+	var d float64
+	for i := range q {
+		d += (q[i] - p[i]) * (q[i] - p[i])
+	}
+	return d
+}
+
+// TailTerm returns (scale·||w||)^(2^(m+1)), the residual in Eq. 3 that the
+// transform drives to zero as m grows.
+func (t *Transform) TailTerm(w []float64) float64 {
+	n := t.scale * tensor.Norm(w)
+	return math.Pow(n, math.Pow(2, float64(t.M+1)))
+}

@@ -1,0 +1,192 @@
+package lsh
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestTransformShapes(t *testing.T) {
+	tr := NewTransform(3, 0.83)
+	if tr.ExpandedDim(10) != 13 {
+		t.Fatal("ExpandedDim wrong")
+	}
+	p := tr.P([]float64{1, 2}, nil)
+	q := tr.Q([]float64{1, 2}, nil)
+	if len(p) != 5 || len(q) != 5 {
+		t.Fatal("expansion length wrong")
+	}
+}
+
+func TestTransformBadParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTransform(0, 0.8) },
+		func() { NewTransform(3, 0) },
+		func() { NewTransform(3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTransformFitCapsNorms(t *testing.T) {
+	tr := NewTransform(3, 0.83)
+	norms := []float64{1, 5, 2}
+	tr.Fit(norms)
+	// The largest vector must land exactly at U.
+	w := make([]float64, 4)
+	w[0] = 5
+	p := tr.P(w, nil)
+	if math.Abs(tensor.Norm(p[:4])-0.83) > 1e-12 {
+		t.Fatalf("max-norm item scaled to %v, want 0.83", tensor.Norm(p[:4]))
+	}
+	tr.Fit([]float64{0, 0})
+	if tr.Scale() != 1 {
+		t.Fatal("all-zero fit should keep scale 1")
+	}
+}
+
+func TestTransformPaddingValues(t *testing.T) {
+	tr := NewTransform(3, 0.83)
+	tr.Fit([]float64{2}) // scale = 0.415
+	w := []float64{2, 0}
+	p := tr.P(w, nil)
+	n2 := 0.83 * 0.83
+	if math.Abs(p[2]-n2) > 1e-12 {
+		t.Fatalf("first padding term %v, want ||w||² = %v", p[2], n2)
+	}
+	if math.Abs(p[3]-n2*n2) > 1e-12 {
+		t.Fatal("second padding term should be norm^4")
+	}
+	if math.Abs(p[4]-n2*n2*n2*n2) > 1e-12 {
+		t.Fatal("third padding term should be norm^8")
+	}
+
+	q := tr.Q([]float64{3, 4}, nil)
+	if math.Abs(tensor.Norm(q[:2])-1) > 1e-12 {
+		t.Fatal("query must be normalized")
+	}
+	for _, v := range q[2:] {
+		if v != 0.5 {
+			t.Fatal("query padding must be 1/2")
+		}
+	}
+}
+
+func TestTransformQZeroVector(t *testing.T) {
+	tr := NewTransform(2, 0.5)
+	q := tr.Q([]float64{0, 0}, nil)
+	if q[0] != 0 || q[1] != 0 || q[2] != 0.5 {
+		t.Fatalf("zero query expansion wrong: %v", q)
+	}
+}
+
+func TestTransformDstReuse(t *testing.T) {
+	tr := NewTransform(2, 0.5)
+	buf := make([]float64, 4)
+	p := tr.P([]float64{1, 1}, buf)
+	if &p[0] != &buf[0] {
+		t.Fatal("P should reuse dst")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst length")
+		}
+	}()
+	tr.P([]float64{1, 1}, make([]float64, 3))
+}
+
+// The heart of ALSH (Eq. 3): argmax_w <a,w> == argmin_w ||Q(a) − P(w)||.
+func TestMIPSEquivalence(t *testing.T) {
+	g := rng.New(7)
+	f := func(seed uint64) bool {
+		gg := rng.New(seed)
+		dim := 2 + gg.IntN(10)
+		n := 2 + gg.IntN(30)
+		w := tensor.New(dim, n)
+		g.GaussianSlice(w.Data, 0, 1)
+		a := make([]float64, dim)
+		g.GaussianSlice(a, 0, 1)
+
+		tr := NewTransform(6, 0.83) // large m so the tail term vanishes
+		tr.Fit(w.ColNorms())
+
+		col := make([]float64, dim)
+		bestIP, bestIPj := math.Inf(-1), -1
+		bestD, bestDj := math.Inf(1), -1
+		for j := 0; j < n; j++ {
+			w.Col(j, col)
+			if ip := tensor.Dot(a, col); ip > bestIP {
+				bestIP, bestIPj = ip, j
+			}
+			if d := tr.DistanceGap(a, col); d < bestD {
+				bestD, bestDj = d, j
+			}
+		}
+		return bestIPj == bestDj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailTermVanishes(t *testing.T) {
+	w := []float64{1, 1, 1}
+	var last float64 = math.Inf(1)
+	for m := 1; m <= 5; m++ {
+		tr := NewTransform(m, 0.83)
+		tr.Fit([]float64{tensor.Norm(w)})
+		tt := tr.TailTerm(w)
+		if tt >= last {
+			t.Fatalf("tail term must shrink with m: m=%d gives %v (prev %v)", m, tt, last)
+		}
+		last = tt
+	}
+	if last > 1e-3 {
+		t.Fatalf("tail term at m=5 still %v", last)
+	}
+}
+
+// Distance ordering should track inner-product ordering across all
+// columns, not just the argmax (rank correlation check on top half).
+func TestDistanceOrderingTracksInnerProduct(t *testing.T) {
+	g := rng.New(8)
+	dim, n := 8, 40
+	w := tensor.New(dim, n)
+	g.GaussianSlice(w.Data, 0, 1)
+	a := make([]float64, dim)
+	g.GaussianSlice(a, 0, 1)
+	tr := NewTransform(5, 0.83)
+	tr.Fit(w.ColNorms())
+
+	type pair struct {
+		ip, d float64
+	}
+	pairs := make([]pair, n)
+	col := make([]float64, dim)
+	for j := 0; j < n; j++ {
+		w.Col(j, col)
+		pairs[j] = pair{tensor.Dot(a, col), tr.DistanceGap(a, col)}
+	}
+	sort.Slice(pairs, func(x, y int) bool { return pairs[x].ip > pairs[y].ip })
+	// Distances should be (weakly) increasing as inner product decreases.
+	violations := 0
+	for i := 1; i < n; i++ {
+		if pairs[i].d < pairs[i-1].d-1e-9 {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d ordering violations between IP and expanded distance", violations)
+	}
+}

@@ -1,0 +1,215 @@
+// Package metrics implements the evaluation measurements of the paper:
+// accuracy, the confusion matrices of Figure 3, per-class statistics, and
+// the prediction-distribution diagnostics behind the §10.3 observation
+// that ALSH-approx's predictions collapse onto a few classes as depth
+// grows.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ConfusionMatrix counts (true label, predicted label) pairs.
+type ConfusionMatrix struct {
+	classes int
+	counts  []int // row-major: counts[true*classes+pred]
+	total   int
+}
+
+// NewConfusionMatrix returns an empty matrix over the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	if classes <= 0 {
+		panic(fmt.Sprintf("metrics: classes %d must be positive", classes))
+	}
+	return &ConfusionMatrix{classes: classes, counts: make([]int, classes*classes)}
+}
+
+// Classes returns the class count.
+func (c *ConfusionMatrix) Classes() int { return c.classes }
+
+// Total returns the number of recorded observations.
+func (c *ConfusionMatrix) Total() int { return c.total }
+
+// Add records one observation.
+func (c *ConfusionMatrix) Add(truth, pred int) {
+	if truth < 0 || truth >= c.classes || pred < 0 || pred >= c.classes {
+		panic(fmt.Sprintf("metrics: (truth=%d, pred=%d) out of range for %d classes", truth, pred, c.classes))
+	}
+	c.counts[truth*c.classes+pred]++
+	c.total++
+}
+
+// AddBatch records aligned truth/prediction slices.
+func (c *ConfusionMatrix) AddBatch(truth, pred []int) {
+	if len(truth) != len(pred) {
+		panic(fmt.Sprintf("metrics: %d truths vs %d predictions", len(truth), len(pred)))
+	}
+	for i := range truth {
+		c.Add(truth[i], pred[i])
+	}
+}
+
+// At returns the count of (truth, pred) observations.
+func (c *ConfusionMatrix) At(truth, pred int) int {
+	return c.counts[truth*c.classes+pred]
+}
+
+// Accuracy returns the fraction of diagonal observations (0 when empty).
+func (c *ConfusionMatrix) Accuracy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := 0; i < c.classes; i++ {
+		diag += c.counts[i*c.classes+i]
+	}
+	return float64(diag) / float64(c.total)
+}
+
+// Precision returns TP/(TP+FP) for a class (0 when the class is never
+// predicted).
+func (c *ConfusionMatrix) Precision(class int) float64 {
+	var predicted int
+	for t := 0; t < c.classes; t++ {
+		predicted += c.counts[t*c.classes+class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(c.At(class, class)) / float64(predicted)
+}
+
+// Recall returns TP/(TP+FN) for a class (0 when the class never occurs).
+func (c *ConfusionMatrix) Recall(class int) float64 {
+	var actual int
+	for p := 0; p < c.classes; p++ {
+		actual += c.counts[class*c.classes+p]
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(c.At(class, class)) / float64(actual)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (c *ConfusionMatrix) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 returns the unweighted mean F1 across classes.
+func (c *ConfusionMatrix) MacroF1() float64 {
+	var s float64
+	for i := 0; i < c.classes; i++ {
+		s += c.F1(i)
+	}
+	return s / float64(c.classes)
+}
+
+// PredictionHistogram returns how often each class was predicted.
+func (c *ConfusionMatrix) PredictionHistogram() []int {
+	h := make([]int, c.classes)
+	for t := 0; t < c.classes; t++ {
+		for p := 0; p < c.classes; p++ {
+			h[p] += c.counts[t*c.classes+p]
+		}
+	}
+	return h
+}
+
+// PredictionEntropy returns the Shannon entropy (nats) of the prediction
+// distribution. §10.3 observes this collapsing toward 0 for ALSH-approx
+// as depth grows: the same few nodes stay active regardless of input, so
+// the same few classes get predicted.
+func (c *ConfusionMatrix) PredictionEntropy() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var h float64
+	for _, n := range c.PredictionHistogram() {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / float64(c.total)
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// PredictionCoverage returns the fraction of classes predicted at least
+// once — the coarser §10.3 collapse signal.
+func (c *ConfusionMatrix) PredictionCoverage() float64 {
+	used := 0
+	for _, n := range c.PredictionHistogram() {
+		if n > 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(c.classes)
+}
+
+// Render draws the matrix as an ASCII grid with truth on rows and
+// predictions on columns, the textual equivalent of one cell of Figure 3.
+func (c *ConfusionMatrix) Render() string {
+	var b strings.Builder
+	width := 1
+	for _, n := range c.counts {
+		if w := len(fmt.Sprint(n)); w > width {
+			width = w
+		}
+	}
+	fmt.Fprintf(&b, "%*s |", width+5, "true\\pred")
+	for p := 0; p < c.classes; p++ {
+		fmt.Fprintf(&b, " %*d", width, p)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", width+7+(width+1)*c.classes))
+	b.WriteByte('\n')
+	for t := 0; t < c.classes; t++ {
+		fmt.Fprintf(&b, "%*d |", width+5, t)
+		for p := 0; p < c.classes; p++ {
+			fmt.Fprintf(&b, " %*d", width, c.At(t, p))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Accuracy returns the fraction of positions where pred equals truth.
+func Accuracy(truth, pred []int) float64 {
+	if len(truth) != len(pred) {
+		panic(fmt.Sprintf("metrics: %d truths vs %d predictions", len(truth), len(pred)))
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range truth {
+		if truth[i] == pred[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// Report renders a per-class precision/recall/F1 table plus the overall
+// accuracy and macro-F1 — the classification report the cmd tools print.
+func (c *ConfusionMatrix) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-10s %-10s %-10s %-8s\n", "class", "precision", "recall", "f1", "support")
+	for cls := 0; cls < c.classes; cls++ {
+		support := 0
+		for p := 0; p < c.classes; p++ {
+			support += c.counts[cls*c.classes+p]
+		}
+		fmt.Fprintf(&b, "%-7d %-10.3f %-10.3f %-10.3f %-8d\n",
+			cls, c.Precision(cls), c.Recall(cls), c.F1(cls), support)
+	}
+	fmt.Fprintf(&b, "accuracy %.4f, macro-F1 %.4f, %d samples\n", c.Accuracy(), c.MacroF1(), c.total)
+	return b.String()
+}

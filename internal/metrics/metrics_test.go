@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusionMatrix(3)
+	c.AddBatch([]int{0, 0, 1, 2, 2}, []int{0, 1, 1, 2, 0})
+	if c.Total() != 5 || c.Classes() != 3 {
+		t.Fatal("size accessors wrong")
+	}
+	if c.At(0, 0) != 1 || c.At(0, 1) != 1 || c.At(2, 0) != 1 {
+		t.Fatal("counts wrong")
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	t.Run("range", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		c.Add(0, 2)
+	})
+	t.Run("lengths", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		c.AddBatch([]int{0}, []int{0, 1})
+	})
+	t.Run("classes", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewConfusionMatrix(0)
+	})
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	// class 0: TP=3, FP=1, FN=2
+	c.AddBatch(
+		[]int{0, 0, 0, 0, 0, 1, 1},
+		[]int{0, 0, 0, 1, 1, 0, 1},
+	)
+	if math.Abs(c.Precision(0)-0.75) > 1e-12 {
+		t.Fatalf("precision = %v", c.Precision(0))
+	}
+	if math.Abs(c.Recall(0)-0.6) > 1e-12 {
+		t.Fatalf("recall = %v", c.Recall(0))
+	}
+	wantF1 := 2 * 0.75 * 0.6 / (0.75 + 0.6)
+	if math.Abs(c.F1(0)-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %v", c.F1(0))
+	}
+	if c.MacroF1() <= 0 || c.MacroF1() > 1 {
+		t.Fatalf("MacroF1 = %v", c.MacroF1())
+	}
+}
+
+func TestDegenerateStats(t *testing.T) {
+	c := NewConfusionMatrix(3)
+	if c.Accuracy() != 0 || c.PredictionEntropy() != 0 {
+		t.Fatal("empty matrix stats should be 0")
+	}
+	if c.Precision(0) != 0 || c.Recall(0) != 0 || c.F1(0) != 0 {
+		t.Fatal("empty class stats should be 0")
+	}
+}
+
+func TestPredictionHistogramEntropyCoverage(t *testing.T) {
+	c := NewConfusionMatrix(4)
+	// All predictions land on class 2 — the §10.3 collapse pattern.
+	c.AddBatch([]int{0, 1, 2, 3}, []int{2, 2, 2, 2})
+	h := c.PredictionHistogram()
+	if h[2] != 4 || h[0] != 0 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if c.PredictionEntropy() != 0 {
+		t.Fatalf("collapsed entropy = %v, want 0", c.PredictionEntropy())
+	}
+	if c.PredictionCoverage() != 0.25 {
+		t.Fatalf("coverage = %v", c.PredictionCoverage())
+	}
+
+	// Uniform predictions maximize entropy at ln(4).
+	u := NewConfusionMatrix(4)
+	u.AddBatch([]int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+	if math.Abs(u.PredictionEntropy()-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform entropy = %v", u.PredictionEntropy())
+	}
+	if u.PredictionCoverage() != 1 {
+		t.Fatal("uniform coverage should be 1")
+	}
+}
+
+func TestRender(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	c.Add(0, 0)
+	c.Add(1, 0)
+	s := c.Render()
+	if !strings.Contains(s, "true\\pred") {
+		t.Fatalf("render missing header: %s", s)
+	}
+	if strings.Count(s, "\n") < 3 {
+		t.Fatalf("render too short: %s", s)
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 0, 3}) != 2.0/3 {
+		t.Fatal("Accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestReport(t *testing.T) {
+	c := NewConfusionMatrix(2)
+	c.AddBatch([]int{0, 0, 1, 1}, []int{0, 1, 1, 1})
+	r := c.Report()
+	for _, want := range []string{"precision", "recall", "f1", "support", "accuracy 0.7500", "macro-F1"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("report missing %q:\n%s", want, r)
+		}
+	}
+	// Support column must reflect per-class truth counts.
+	if !strings.Contains(r, "2") {
+		t.Fatal("support missing")
+	}
+}

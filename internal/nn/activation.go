@@ -1,0 +1,156 @@
+// Package nn implements the multilayer-perceptron substrate of the paper
+// (§4.1): fully connected layers in matrix form, the standard activation
+// functions, log-softmax with negative log-likelihood loss, and weight
+// initialization. The exact feedforward/backpropagation pair here
+// (Eq. 1) is the Θ(n²)-per-layer computation all the sampling-based
+// methods in internal/core approximate.
+package nn
+
+import (
+	"math"
+
+	"samplednn/internal/tensor"
+)
+
+// Activation is an elementwise nonlinearity with its derivative.
+// Derivative may be computed from the pre-activation z or the cached
+// activation a, whichever is cheaper for the function.
+type Activation interface {
+	// Name identifies the function in configs and output.
+	Name() string
+	// Forward returns f(z) as a new matrix.
+	Forward(z *tensor.Matrix) *tensor.Matrix
+	// Derivative returns f'(z) as a new matrix, given both the
+	// pre-activation z and the activation a = f(z).
+	Derivative(z, a *tensor.Matrix) *tensor.Matrix
+}
+
+// ReLU is max(0, z) — the paper's default hidden activation (§8.4).
+type ReLU struct{}
+
+// Name returns "relu".
+func (ReLU) Name() string { return "relu" }
+
+// Forward clamps negatives to zero.
+func (ReLU) Forward(z *tensor.Matrix) *tensor.Matrix {
+	return z.Map(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Derivative is the step function.
+func (ReLU) Derivative(z, _ *tensor.Matrix) *tensor.Matrix {
+	return z.Map(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// LeakyReLU is max(alpha·z, z).
+type LeakyReLU struct {
+	// Alpha is the negative-side slope (e.g. 0.01).
+	Alpha float64
+}
+
+// Name returns "leakyrelu".
+func (LeakyReLU) Name() string { return "leakyrelu" }
+
+// Forward applies the leaky ramp.
+func (l LeakyReLU) Forward(z *tensor.Matrix) *tensor.Matrix {
+	return z.Map(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return l.Alpha * v
+	})
+}
+
+// Derivative is 1 on the positive side, Alpha otherwise.
+func (l LeakyReLU) Derivative(z, _ *tensor.Matrix) *tensor.Matrix {
+	return z.Map(func(v float64) float64 {
+		if v > 0 {
+			return 1
+		}
+		return l.Alpha
+	})
+}
+
+// Sigmoid is 1/(1+e^(−z)); Adaptive-Dropout's standout distribution is a
+// sigmoid of the same pre-activations.
+type Sigmoid struct{}
+
+// Name returns "sigmoid".
+func (Sigmoid) Name() string { return "sigmoid" }
+
+// Forward applies the logistic function.
+func (Sigmoid) Forward(z *tensor.Matrix) *tensor.Matrix {
+	return z.Map(sigmoidScalar)
+}
+
+// Derivative uses the cached activation: f'(z) = a(1−a).
+func (Sigmoid) Derivative(_, a *tensor.Matrix) *tensor.Matrix {
+	return a.Map(func(v float64) float64 { return v * (1 - v) })
+}
+
+func sigmoidScalar(v float64) float64 {
+	// Branch on sign for numeric stability at large |v|.
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+// Tanh is the hyperbolic tangent.
+type Tanh struct{}
+
+// Name returns "tanh".
+func (Tanh) Name() string { return "tanh" }
+
+// Forward applies tanh.
+func (Tanh) Forward(z *tensor.Matrix) *tensor.Matrix { return z.Map(math.Tanh) }
+
+// Derivative uses the cached activation: 1 − a².
+func (Tanh) Derivative(_, a *tensor.Matrix) *tensor.Matrix {
+	return a.Map(func(v float64) float64 { return 1 - v*v })
+}
+
+// Identity is f(z) = z, the linear activation of the §7 analysis
+// (Lemma 7.1 and Theorem 7.2 assume it).
+type Identity struct{}
+
+// Name returns "identity".
+func (Identity) Name() string { return "identity" }
+
+// Forward copies z.
+func (Identity) Forward(z *tensor.Matrix) *tensor.Matrix { return z.Clone() }
+
+// Derivative is all ones.
+func (Identity) Derivative(z, _ *tensor.Matrix) *tensor.Matrix {
+	d := tensor.New(z.Rows, z.Cols)
+	d.Fill(1)
+	return d
+}
+
+// ActivationByName resolves a config string to an Activation, defaulting
+// LeakyReLU's slope to 0.01. Unknown names return nil.
+func ActivationByName(name string) Activation {
+	switch name {
+	case "relu":
+		return ReLU{}
+	case "leakyrelu":
+		return LeakyReLU{Alpha: 0.01}
+	case "sigmoid":
+		return Sigmoid{}
+	case "tanh":
+		return Tanh{}
+	case "identity", "linear":
+		return Identity{}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestReLU(t *testing.T) {
+	z := tensor.FromRows([][]float64{{-1, 0, 2}})
+	a := ReLU{}.Forward(z)
+	want := tensor.FromRows([][]float64{{0, 0, 2}})
+	if !tensor.Equal(a, want) {
+		t.Fatalf("ReLU forward = %v", a)
+	}
+	d := ReLU{}.Derivative(z, a)
+	wantD := tensor.FromRows([][]float64{{0, 0, 1}})
+	if !tensor.Equal(d, wantD) {
+		t.Fatalf("ReLU derivative = %v", d)
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	l := LeakyReLU{Alpha: 0.1}
+	z := tensor.FromRows([][]float64{{-2, 3}})
+	a := l.Forward(z)
+	if a.At(0, 0) != -0.2 || a.At(0, 1) != 3 {
+		t.Fatalf("LeakyReLU forward = %v", a)
+	}
+	d := l.Derivative(z, a)
+	if d.At(0, 0) != 0.1 || d.At(0, 1) != 1 {
+		t.Fatalf("LeakyReLU derivative = %v", d)
+	}
+}
+
+func TestSigmoidValuesAndStability(t *testing.T) {
+	s := Sigmoid{}
+	z := tensor.FromRows([][]float64{{0, 1000, -1000}})
+	a := s.Forward(z)
+	if a.At(0, 0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	if a.At(0, 1) != 1 || a.At(0, 2) != 0 {
+		t.Fatalf("sigmoid extremes: %v", a)
+	}
+	for _, v := range a.Data {
+		if math.IsNaN(v) {
+			t.Fatal("sigmoid produced NaN")
+		}
+	}
+}
+
+func TestTanhAndIdentity(t *testing.T) {
+	z := tensor.FromRows([][]float64{{0.5}})
+	a := Tanh{}.Forward(z)
+	if math.Abs(a.At(0, 0)-math.Tanh(0.5)) > 1e-15 {
+		t.Fatal("tanh value wrong")
+	}
+	id := Identity{}
+	ai := id.Forward(z)
+	if !tensor.Equal(ai, z) {
+		t.Fatal("identity must copy")
+	}
+	ai.Set(0, 0, 9)
+	if z.At(0, 0) == 9 {
+		t.Fatal("identity must not alias input")
+	}
+	d := id.Derivative(z, ai)
+	if d.At(0, 0) != 1 {
+		t.Fatal("identity derivative must be 1")
+	}
+}
+
+// Property: every activation's Derivative matches a central finite
+// difference of its Forward.
+func TestActivationDerivativesNumerically(t *testing.T) {
+	acts := []Activation{ReLU{}, LeakyReLU{Alpha: 0.01}, Sigmoid{}, Tanh{}, Identity{}}
+	g := rng.New(1)
+	const h = 1e-6
+	for _, act := range acts {
+		f := func(seed uint64) bool {
+			gg := rng.New(seed)
+			v := 4 * (gg.Float64() - 0.5)
+			if math.Abs(v) < 1e-3 {
+				v = 0.5 // avoid the ReLU kink
+			}
+			z := tensor.FromRows([][]float64{{v}})
+			a := act.Forward(z)
+			d := act.Derivative(z, a).At(0, 0)
+			zp := tensor.FromRows([][]float64{{v + h}})
+			zm := tensor.FromRows([][]float64{{v - h}})
+			num := (act.Forward(zp).At(0, 0) - act.Forward(zm).At(0, 0)) / (2 * h)
+			return math.Abs(d-num) < 1e-4
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%s: %v", act.Name(), err)
+		}
+	}
+	_ = g
+}
+
+func TestActivationByName(t *testing.T) {
+	for _, name := range []string{"relu", "leakyrelu", "sigmoid", "tanh", "identity", "linear"} {
+		if ActivationByName(name) == nil {
+			t.Fatalf("ActivationByName(%q) = nil", name)
+		}
+	}
+	if ActivationByName("nope") != nil {
+		t.Fatal("unknown name should return nil")
+	}
+	if ActivationByName("relu").Name() != "relu" {
+		t.Fatal("name roundtrip failed")
+	}
+}

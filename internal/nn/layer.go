@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Init selects a weight-initialization scheme.
+type Init int
+
+// Supported initializers.
+const (
+	// InitHe draws N(0, 2/fanIn) — the standard pairing with ReLU.
+	InitHe Init = iota
+	// InitXavier draws N(0, 2/(fanIn+fanOut)).
+	InitXavier
+	// InitUniform draws U(−1/√fanIn, 1/√fanIn).
+	InitUniform
+)
+
+// Layer is one fully connected layer: W is fanIn x fanOut (so column j
+// holds the weights of node j, matching the paper's "each column
+// corresponds to a node" view in Figure 2), B is the bias row vector.
+//
+// Forward caches the input, pre-activation, and activation so Backward
+// and the sampling-based methods can reuse them.
+type Layer struct {
+	W   *tensor.Matrix
+	B   []float64
+	Act Activation
+
+	// Caches from the most recent Forward.
+	In *tensor.Matrix // input batch (batch x fanIn)
+	Z  *tensor.Matrix // pre-activations (batch x fanOut)
+	A  *tensor.Matrix // activations (batch x fanOut)
+}
+
+// Grads carries one layer's parameter gradients.
+type Grads struct {
+	W *tensor.Matrix
+	B []float64
+}
+
+// NewLayer allocates and initializes a fanIn x fanOut layer.
+func NewLayer(fanIn, fanOut int, act Activation, init Init, g *rng.RNG) *Layer {
+	if fanIn <= 0 || fanOut <= 0 {
+		panic(fmt.Sprintf("nn: layer dims %dx%d must be positive", fanIn, fanOut))
+	}
+	if act == nil {
+		panic("nn: layer needs an activation")
+	}
+	l := &Layer{
+		W:   tensor.New(fanIn, fanOut),
+		B:   make([]float64, fanOut),
+		Act: act,
+	}
+	switch init {
+	case InitHe:
+		g.GaussianSlice(l.W.Data, 0, math.Sqrt(2/float64(fanIn)))
+	case InitXavier:
+		g.GaussianSlice(l.W.Data, 0, math.Sqrt(2/float64(fanIn+fanOut)))
+	case InitUniform:
+		lim := 1 / math.Sqrt(float64(fanIn))
+		for i := range l.W.Data {
+			l.W.Data[i] = (2*g.Float64() - 1) * lim
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown init %d", init))
+	}
+	return l
+}
+
+// FanIn returns the input width.
+func (l *Layer) FanIn() int { return l.W.Rows }
+
+// FanOut returns the number of nodes (columns of W).
+func (l *Layer) FanOut() int { return l.W.Cols }
+
+// Forward computes Z = x·W + B and A = f(Z), caching all three.
+func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.W.Rows {
+		panic(fmt.Sprintf("nn: layer input %dx%d vs weights %dx%d", x.Rows, x.Cols, l.W.Rows, l.W.Cols))
+	}
+	l.In = x
+	l.Z = tensor.MatMul(x, l.W)
+	l.Z.AddRowVector(l.B)
+	l.A = l.Act.Forward(l.Z)
+	return l.A
+}
+
+// Backward consumes dL/dZ for this layer and returns the parameter
+// gradients and dL/dA of the previous layer (Eq. 1):
+//
+//	gradW = Inᵀ · delta        gradB = column sums of delta
+//	deltaPrevA = delta · Wᵀ
+//
+// The caller applies the previous layer's activation derivative.
+func (l *Layer) Backward(delta *tensor.Matrix) (Grads, *tensor.Matrix) {
+	if l.In == nil {
+		panic("nn: Backward before Forward")
+	}
+	if delta.Rows != l.In.Rows || delta.Cols != l.W.Cols {
+		panic(fmt.Sprintf("nn: delta %dx%d, want %dx%d", delta.Rows, delta.Cols, l.In.Rows, l.W.Cols))
+	}
+	gw := tensor.MatMulTransA(l.In, delta)
+	gb := make([]float64, l.W.Cols)
+	for i := 0; i < delta.Rows; i++ {
+		row := delta.RowView(i)
+		for j, v := range row {
+			gb[j] += v
+		}
+	}
+	prev := tensor.MatMulTransB(delta, l.W)
+	return Grads{W: gw, B: gb}, prev
+}
+
+// ZeroGrads returns an empty gradient matching the layer's shapes.
+func (l *Layer) ZeroGrads() Grads {
+	return Grads{W: tensor.New(l.W.Rows, l.W.Cols), B: make([]float64, len(l.B))}
+}
+
+// NumParams returns the layer's parameter count.
+func (l *Layer) NumParams() int { return l.W.Rows*l.W.Cols + len(l.B) }

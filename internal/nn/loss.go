@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/tensor"
+)
+
+// LogSoftmaxNLL combines the paper's output head (§8.4): a log-softmax
+// output activation with negative log-likelihood loss. Fusing them makes
+// the output-layer error signal the familiar softmax(z) − onehot(y),
+// which is both faster and numerically stable.
+type LogSoftmaxNLL struct{}
+
+// LogProbs returns row-wise log-softmax of the logits.
+func (LogSoftmaxNLL) LogProbs(logits *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.RowView(i)
+		orow := out.RowView(i)
+		logSoftmaxRow(row, orow)
+	}
+	return out
+}
+
+func logSoftmaxRow(z, dst []float64) {
+	maxV := math.Inf(-1)
+	for _, v := range z {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range z {
+		sum += math.Exp(v - maxV)
+	}
+	lse := maxV + math.Log(sum)
+	for j, v := range z {
+		dst[j] = v - lse
+	}
+}
+
+// Loss returns the mean negative log-likelihood of the true labels under
+// the logits.
+func (l LogSoftmaxNLL) Loss(logits *tensor.Matrix, labels []int) float64 {
+	checkLabels(logits, labels)
+	lp := make([]float64, logits.Cols)
+	var total float64
+	for i := 0; i < logits.Rows; i++ {
+		logSoftmaxRow(logits.RowView(i), lp)
+		total -= lp[labels[i]]
+	}
+	return total / float64(logits.Rows)
+}
+
+// Delta returns dL/dz at the output layer: (softmax(z) − onehot(y)) / batch.
+func (LogSoftmaxNLL) Delta(logits *tensor.Matrix, labels []int) *tensor.Matrix {
+	checkLabels(logits, labels)
+	out := tensor.New(logits.Rows, logits.Cols)
+	inv := 1 / float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.RowView(i)
+		orow := out.RowView(i)
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] = orow[j] / sum * inv
+		}
+		orow[labels[i]] -= inv
+	}
+	return out
+}
+
+// Predictions returns the row-wise argmax class of the logits (identical
+// under softmax, so it works on raw logits or log-probs).
+func (LogSoftmaxNLL) Predictions(logits *tensor.Matrix) []int {
+	return logits.ArgMaxRows()
+}
+
+func checkLabels(logits *tensor.Matrix, labels []int) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), logits.Rows))
+	}
+	for i, y := range labels {
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("nn: label %d at row %d out of range [0,%d)", y, i, logits.Cols))
+		}
+	}
+}
+
+// MSE is mean squared error against a dense target, used by the
+// regression-style unit tests and the theory experiments.
+type MSE struct{}
+
+// Loss returns mean over all elements of (pred − target)².
+func (MSE) Loss(pred, target *tensor.Matrix) float64 {
+	d := tensor.Sub(pred, target)
+	var s float64
+	for _, v := range d.Data {
+		s += v * v
+	}
+	return s / float64(len(d.Data))
+}
+
+// Delta returns dL/dpred = 2(pred − target)/N.
+func (MSE) Delta(pred, target *tensor.Matrix) *tensor.Matrix {
+	d := tensor.Sub(pred, target)
+	d.Scale(2 / float64(len(d.Data)))
+	return d
+}

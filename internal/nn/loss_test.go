@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestLogProbsNormalized(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	logits := tensor.FromRows([][]float64{{1, 2, 3}, {-5, 0, 5}})
+	lp := head.LogProbs(logits)
+	for i := 0; i < lp.Rows; i++ {
+		var sum float64
+		for _, v := range lp.RowView(i) {
+			if v > 0 {
+				t.Fatal("log-probs must be non-positive")
+			}
+			sum += math.Exp(v)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d probs sum to %v", i, sum)
+		}
+	}
+}
+
+func TestLogProbsStability(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	logits := tensor.FromRows([][]float64{{1e8, 1e8 + 1}})
+	lp := head.LogProbs(logits)
+	for _, v := range lp.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("log-probs overflowed: %v", lp.Data)
+		}
+	}
+}
+
+func TestNLLLossValues(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	// Uniform logits over 4 classes: loss = ln 4.
+	logits := tensor.New(2, 4)
+	got := head.Loss(logits, []int{0, 3})
+	if math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform NLL = %v, want ln4", got)
+	}
+	// Confident correct prediction → loss near 0.
+	conf := tensor.FromRows([][]float64{{50, 0, 0, 0}})
+	if head.Loss(conf, []int{0}) > 1e-9 {
+		t.Fatal("confident correct prediction should have ~0 loss")
+	}
+	// Confident wrong prediction → large loss.
+	if head.Loss(conf, []int{1}) < 10 {
+		t.Fatal("confident wrong prediction should have large loss")
+	}
+}
+
+func TestDeltaRowsSumToZero(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	g := rng.New(1)
+	logits := tensor.New(5, 7)
+	g.GaussianSlice(logits.Data, 0, 3)
+	labels := []int{0, 1, 2, 3, 4}
+	d := head.Delta(logits, labels)
+	for i := 0; i < d.Rows; i++ {
+		if s := tensor.SumVec(d.RowView(i)); math.Abs(s) > 1e-12 {
+			t.Fatalf("delta row %d sums to %v (softmax − onehot must sum to 0)", i, s)
+		}
+	}
+}
+
+func TestDeltaMatchesNumericalGradient(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	g := rng.New(2)
+	logits := tensor.New(3, 5)
+	g.GaussianSlice(logits.Data, 0, 1)
+	labels := []int{1, 4, 0}
+	d := head.Delta(logits, labels)
+	const h = 1e-6
+	for idx := range logits.Data {
+		orig := logits.Data[idx]
+		logits.Data[idx] = orig + h
+		lp := head.Loss(logits, labels)
+		logits.Data[idx] = orig - h
+		lm := head.Loss(logits, labels)
+		logits.Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-d.Data[idx]) > 1e-5 {
+			t.Fatalf("delta[%d] = %v, numerical %v", idx, d.Data[idx], num)
+		}
+	}
+}
+
+func TestPredictions(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	logits := tensor.FromRows([][]float64{{0, 5, 1}, {9, 0, 0}})
+	p := head.Predictions(logits)
+	if p[0] != 1 || p[1] != 0 {
+		t.Fatalf("Predictions = %v", p)
+	}
+}
+
+func TestLabelValidation(t *testing.T) {
+	head := LogSoftmaxNLL{}
+	logits := tensor.New(2, 3)
+	t.Run("count", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		head.Loss(logits, []int{0})
+	})
+	t.Run("range", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		head.Delta(logits, []int{0, 3})
+	})
+}
+
+func TestMSE(t *testing.T) {
+	pred := tensor.FromRows([][]float64{{1, 2}})
+	target := tensor.FromRows([][]float64{{0, 0}})
+	mse := MSE{}
+	if mse.Loss(pred, target) != 2.5 {
+		t.Fatalf("MSE = %v", mse.Loss(pred, target))
+	}
+	d := mse.Delta(pred, target)
+	if d.At(0, 0) != 1 || d.At(0, 1) != 2 {
+		t.Fatalf("MSE delta = %v", d)
+	}
+	// Numerical check.
+	const h = 1e-6
+	for idx := range pred.Data {
+		orig := pred.Data[idx]
+		pred.Data[idx] = orig + h
+		lp := (MSE{}).Loss(pred, target)
+		pred.Data[idx] = orig - h
+		lm := (MSE{}).Loss(pred, target)
+		pred.Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-d.Data[idx]) > 1e-6 {
+			t.Fatalf("MSE delta[%d] = %v, numerical %v", idx, d.Data[idx], num)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Config describes an MLP architecture. The paper's default (§8.4) is
+// three hidden layers of 1000 ReLU units with a log-softmax output.
+type Config struct {
+	// Inputs is the input dimensionality m_i.
+	Inputs int
+	// Hidden lists the hidden-layer widths in order.
+	Hidden []int
+	// Outputs is the class count m_o.
+	Outputs int
+	// Activation names the hidden nonlinearity ("relu" by default).
+	Activation string
+	// Init selects the weight initializer (He by default).
+	Init Init
+}
+
+// Uniform returns a Config with depth hidden layers of width units —
+// the shape the depth-scaling experiments sweep.
+func Uniform(inputs, units, depth, outputs int) Config {
+	h := make([]int, depth)
+	for i := range h {
+		h[i] = units
+	}
+	return Config{Inputs: inputs, Hidden: h, Outputs: outputs}
+}
+
+// Network is a feedforward MLP: hidden layers with a shared nonlinearity
+// and a linear output layer feeding the LogSoftmaxNLL head.
+type Network struct {
+	Layers []*Layer
+	Head   LogSoftmaxNLL
+}
+
+// NewNetwork builds and initializes an MLP from cfg using g for weight
+// draws.
+func NewNetwork(cfg Config, g *rng.RNG) (*Network, error) {
+	if cfg.Inputs <= 0 || cfg.Outputs <= 0 {
+		return nil, fmt.Errorf("nn: inputs (%d) and outputs (%d) must be positive", cfg.Inputs, cfg.Outputs)
+	}
+	actName := cfg.Activation
+	if actName == "" {
+		actName = "relu"
+	}
+	act := ActivationByName(actName)
+	if act == nil {
+		return nil, fmt.Errorf("nn: unknown activation %q", actName)
+	}
+	dims := append([]int{cfg.Inputs}, cfg.Hidden...)
+	dims = append(dims, cfg.Outputs)
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: layer %d width %d must be positive", i, d)
+		}
+	}
+	net := &Network{}
+	for i := 0; i+1 < len(dims); i++ {
+		a := act
+		if i+2 == len(dims) {
+			a = Identity{} // linear logits; the head applies log-softmax
+		}
+		net.Layers = append(net.Layers, NewLayer(dims[i], dims[i+1], a, cfg.Init, g.Split()))
+	}
+	return net, nil
+}
+
+// Depth returns the number of hidden layers.
+func (n *Network) Depth() int { return len(n.Layers) - 1 }
+
+// NumParams returns the total trainable parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.NumParams()
+	}
+	return total
+}
+
+// Forward runs the exact feedforward pass (Eq. 1 of §4.1) and returns the
+// output logits, caching intermediates in each layer.
+func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	a := x
+	for _, l := range n.Layers {
+		a = l.Forward(a)
+	}
+	return a
+}
+
+// Backward runs exact backpropagation from the cached forward pass and
+// returns per-layer gradients, index-aligned with Layers.
+func (n *Network) Backward(logits *tensor.Matrix, labels []int) []Grads {
+	grads, _ := n.BackwardWithInput(logits, labels)
+	return grads
+}
+
+// BackwardWithInput is Backward but additionally returns dL/dX, the
+// gradient with respect to the network's input batch — needed when the
+// MLP is the classifier head of a larger model (the convolutional
+// setting of §8.4).
+func (n *Network) BackwardWithInput(logits *tensor.Matrix, labels []int) ([]Grads, *tensor.Matrix) {
+	grads := make([]Grads, len(n.Layers))
+	delta := n.Head.Delta(logits, labels) // dL/dZ of the output layer
+	var dInput *tensor.Matrix
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		l := n.Layers[i]
+		g, prevA := l.Backward(delta)
+		grads[i] = g
+		if i > 0 {
+			below := n.Layers[i-1]
+			deriv := below.Act.Derivative(below.Z, below.A)
+			tensor.HadamardInPlace(prevA, deriv)
+			delta = prevA
+		} else {
+			dInput = prevA
+		}
+	}
+	return grads, dInput
+}
+
+// Loss evaluates mean NLL on a batch without caching gradients.
+func (n *Network) Loss(x *tensor.Matrix, labels []int) float64 {
+	return n.Head.Loss(n.Forward(x), labels)
+}
+
+// Predict returns the argmax class per row of x.
+func (n *Network) Predict(x *tensor.Matrix) []int {
+	return n.Head.Predictions(n.Forward(x))
+}
+
+// Accuracy returns the fraction of rows of x predicted as their label.
+func (n *Network) Accuracy(x *tensor.Matrix, labels []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := n.Predict(x)
+	hits := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(labels))
+}
+
+// Clone deep-copies the network (weights and biases; caches excluded) so
+// experiments can train the same initialization under different methods.
+func (n *Network) Clone() *Network {
+	c := &Network{Head: n.Head}
+	for _, l := range n.Layers {
+		c.Layers = append(c.Layers, &Layer{
+			W:   l.W.Clone(),
+			B:   append([]float64(nil), l.B...),
+			Act: l.Act,
+		})
+	}
+	return c
+}

@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestNewLayerShapesAndInit(t *testing.T) {
+	g := rng.New(1)
+	l := NewLayer(100, 50, ReLU{}, InitHe, g)
+	if l.FanIn() != 100 || l.FanOut() != 50 {
+		t.Fatal("fan accessors wrong")
+	}
+	if l.NumParams() != 100*50+50 {
+		t.Fatal("NumParams wrong")
+	}
+	// He std should be near sqrt(2/100).
+	var varr float64
+	for _, v := range l.W.Data {
+		varr += v * v
+	}
+	varr /= float64(len(l.W.Data))
+	want := 2.0 / 100
+	if math.Abs(varr-want)/want > 0.2 {
+		t.Fatalf("He init variance %v, want ~%v", varr, want)
+	}
+	for _, b := range l.B {
+		if b != 0 {
+			t.Fatal("biases must start at zero")
+		}
+	}
+}
+
+func TestLayerInitVariants(t *testing.T) {
+	g := rng.New(2)
+	x := NewLayer(10, 10, Tanh{}, InitXavier, g)
+	u := NewLayer(10, 10, Tanh{}, InitUniform, g)
+	if x.W.MaxAbs() == 0 || u.W.MaxAbs() == 0 {
+		t.Fatal("init produced zero weights")
+	}
+	lim := 1 / math.Sqrt(10.0)
+	if u.W.MaxAbs() > lim {
+		t.Fatalf("uniform init out of bounds: %v > %v", u.W.MaxAbs(), lim)
+	}
+}
+
+func TestLayerConstructorPanics(t *testing.T) {
+	g := rng.New(3)
+	for name, f := range map[string]func(){
+		"dims": func() { NewLayer(0, 5, ReLU{}, InitHe, g) },
+		"act":  func() { NewLayer(5, 5, nil, InitHe, g) },
+		"init": func() { NewLayer(5, 5, ReLU{}, Init(99), g) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLayerForwardComputesAffine(t *testing.T) {
+	g := rng.New(4)
+	l := NewLayer(2, 2, Identity{}, InitHe, g)
+	l.W = tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	l.B = []float64{10, 20}
+	x := tensor.FromRows([][]float64{{1, 1}})
+	a := l.Forward(x)
+	want := tensor.FromRows([][]float64{{14, 26}})
+	if !tensor.Equal(a, want) {
+		t.Fatalf("forward = %v, want %v", a, want)
+	}
+	if l.In != x || l.Z == nil || l.A == nil {
+		t.Fatal("caches not populated")
+	}
+}
+
+func TestLayerBackwardBeforeForwardPanics(t *testing.T) {
+	g := rng.New(5)
+	l := NewLayer(2, 2, ReLU{}, InitHe, g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Backward(tensor.New(1, 2))
+}
+
+func buildNet(t *testing.T, cfg Config, seed uint64) *Network {
+	t.Helper()
+	net, err := NewNetwork(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNetworkConstruction(t *testing.T) {
+	net := buildNet(t, Uniform(8, 16, 3, 4), 1)
+	if len(net.Layers) != 4 || net.Depth() != 3 {
+		t.Fatalf("layers = %d, depth = %d", len(net.Layers), net.Depth())
+	}
+	if net.Layers[0].FanIn() != 8 || net.Layers[3].FanOut() != 4 {
+		t.Fatal("boundary dims wrong")
+	}
+	// Output layer must be linear (head applies log-softmax).
+	if _, ok := net.Layers[3].Act.(Identity); !ok {
+		t.Fatal("output layer must have identity activation")
+	}
+	want := (8*16 + 16) + 2*(16*16+16) + (16*4 + 4)
+	if net.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", net.NumParams(), want)
+	}
+}
+
+func TestNetworkConfigErrors(t *testing.T) {
+	g := rng.New(1)
+	if _, err := NewNetwork(Config{Inputs: 0, Outputs: 2}, g); err == nil {
+		t.Fatal("inputs=0 must error")
+	}
+	if _, err := NewNetwork(Config{Inputs: 2, Outputs: 2, Activation: "bogus"}, g); err == nil {
+		t.Fatal("bad activation must error")
+	}
+	if _, err := NewNetwork(Config{Inputs: 2, Hidden: []int{0}, Outputs: 2}, g); err == nil {
+		t.Fatal("zero hidden width must error")
+	}
+	// Zero hidden layers is legal: logistic regression.
+	if _, err := NewNetwork(Config{Inputs: 2, Outputs: 2}, g); err != nil {
+		t.Fatalf("no-hidden-layer net should build: %v", err)
+	}
+}
+
+// Full end-to-end gradient check: backprop gradients must match central
+// finite differences of the loss for every parameter of a small network.
+func TestBackpropMatchesNumericalGradients(t *testing.T) {
+	for _, act := range []string{"tanh", "sigmoid", "identity"} {
+		net := buildNet(t, Config{Inputs: 3, Hidden: []int{4, 3}, Outputs: 3, Activation: act}, 7)
+		g := rng.New(8)
+		x := tensor.New(5, 3)
+		g.GaussianSlice(x.Data, 0, 1)
+		labels := []int{0, 1, 2, 1, 0}
+
+		logits := net.Forward(x)
+		grads := net.Backward(logits, labels)
+
+		const h = 1e-6
+		for li, l := range net.Layers {
+			for idx := range l.W.Data {
+				orig := l.W.Data[idx]
+				l.W.Data[idx] = orig + h
+				lp := net.Loss(x, labels)
+				l.W.Data[idx] = orig - h
+				lm := net.Loss(x, labels)
+				l.W.Data[idx] = orig
+				num := (lp - lm) / (2 * h)
+				if math.Abs(num-grads[li].W.Data[idx]) > 1e-4 {
+					t.Fatalf("%s: layer %d W[%d]: analytic %v, numerical %v",
+						act, li, idx, grads[li].W.Data[idx], num)
+				}
+			}
+			for bi := range l.B {
+				orig := l.B[bi]
+				l.B[bi] = orig + h
+				lp := net.Loss(x, labels)
+				l.B[bi] = orig - h
+				lm := net.Loss(x, labels)
+				l.B[bi] = orig
+				num := (lp - lm) / (2 * h)
+				if math.Abs(num-grads[li].B[bi]) > 1e-4 {
+					t.Fatalf("%s: layer %d B[%d]: analytic %v, numerical %v",
+						act, li, bi, grads[li].B[bi], num)
+				}
+			}
+		}
+	}
+}
+
+// ReLU has a kink at 0 so it is excluded from the exhaustive check above;
+// verify it on inputs that keep pre-activations away from zero.
+func TestBackpropReLUAwayFromKink(t *testing.T) {
+	net := buildNet(t, Config{Inputs: 2, Hidden: []int{3}, Outputs: 2, Activation: "relu"}, 9)
+	x := tensor.FromRows([][]float64{{1.5, -2.5}})
+	labels := []int{1}
+	logits := net.Forward(x)
+	grads := net.Backward(logits, labels)
+	const h = 1e-6
+	l := net.Layers[0]
+	for idx := range l.W.Data {
+		orig := l.W.Data[idx]
+		l.W.Data[idx] = orig + h
+		lp := net.Loss(x, labels)
+		l.W.Data[idx] = orig - h
+		lm := net.Loss(x, labels)
+		l.W.Data[idx] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grads[0].W.Data[idx]) > 1e-4 {
+			t.Fatalf("relu W[%d]: analytic %v, numerical %v", idx, grads[0].W.Data[idx], num)
+		}
+	}
+}
+
+func TestGradientDescentReducesLoss(t *testing.T) {
+	net := buildNet(t, Config{Inputs: 4, Hidden: []int{16}, Outputs: 3, Activation: "relu"}, 10)
+	g := rng.New(11)
+	x := tensor.New(30, 4)
+	labels := make([]int, 30)
+	for i := 0; i < 30; i++ {
+		c := i % 3
+		labels[i] = c
+		row := x.RowView(i)
+		g.GaussianSlice(row, 0, 0.3)
+		row[c] += 2 // separable classes
+	}
+	before := net.Loss(x, labels)
+	for iter := 0; iter < 200; iter++ {
+		logits := net.Forward(x)
+		grads := net.Backward(logits, labels)
+		for li, l := range net.Layers {
+			tensor.AxpyInPlace(l.W, -0.5, grads[li].W)
+			tensor.Axpy(-0.5, grads[li].B, l.B)
+		}
+	}
+	after := net.Loss(x, labels)
+	if after >= before/2 {
+		t.Fatalf("descent did not learn: %v → %v", before, after)
+	}
+	if acc := net.Accuracy(x, labels); acc < 0.9 {
+		t.Fatalf("accuracy after training = %v", acc)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	net := buildNet(t, Uniform(4, 8, 2, 3), 12)
+	c := net.Clone()
+	c.Layers[0].W.Set(0, 0, 99)
+	c.Layers[0].B[0] = 42
+	if net.Layers[0].W.At(0, 0) == 99 || net.Layers[0].B[0] == 42 {
+		t.Fatal("Clone must deep-copy parameters")
+	}
+	// Identical parameters → identical outputs.
+	g := rng.New(13)
+	x := tensor.New(3, 4)
+	g.GaussianSlice(x.Data, 0, 1)
+	c2 := net.Clone()
+	if !tensor.Equal(net.Forward(x), c2.Forward(x)) {
+		t.Fatal("Clone must preserve function")
+	}
+}
+
+func TestAccuracyEmptyInput(t *testing.T) {
+	net := buildNet(t, Uniform(4, 4, 1, 2), 14)
+	if net.Accuracy(tensor.New(0, 4), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := buildNet(t, Uniform(6, 10, 2, 4), 99)
+	b := buildNet(t, Uniform(6, 10, 2, 4), 99)
+	for i := range a.Layers {
+		if !tensor.Equal(a.Layers[i].W, b.Layers[i].W) {
+			t.Fatal("same seed must give same weights")
+		}
+	}
+}
+
+func TestUniformHelper(t *testing.T) {
+	cfg := Uniform(784, 1000, 3, 10)
+	if cfg.Inputs != 784 || cfg.Outputs != 10 || len(cfg.Hidden) != 3 {
+		t.Fatalf("Uniform = %+v", cfg)
+	}
+	for _, h := range cfg.Hidden {
+		if h != 1000 {
+			t.Fatal("hidden widths wrong")
+		}
+	}
+	if cfg2 := Uniform(5, 9, 0, 2); len(cfg2.Hidden) != 0 {
+		t.Fatal("zero-depth Uniform should have no hidden layers")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	l := NewLayer(3, 4, ReLU{}, InitHe, rng.New(30))
+	g := l.ZeroGrads()
+	if g.W.Rows != 3 || g.W.Cols != 4 || len(g.B) != 4 {
+		t.Fatalf("ZeroGrads shapes %dx%d/%d", g.W.Rows, g.W.Cols, len(g.B))
+	}
+	if g.W.FrobeniusNorm() != 0 {
+		t.Fatal("ZeroGrads must be zero")
+	}
+}

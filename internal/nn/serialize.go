@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"samplednn/internal/tensor"
+)
+
+// Network serialization: a compact little-endian binary format so trained
+// models survive process restarts (fine-tuning on personal devices — the
+// paper's §2 motivation — implies persisting and reloading models).
+//
+// Layout: magic "SNN1", layer count, then per layer: activation name
+// (length-prefixed), fanIn, fanOut, W row-major, B.
+
+const magic = "SNN1"
+
+// Save writes the network to w.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(n.Layers))); err != nil {
+		return err
+	}
+	for i, l := range n.Layers {
+		name := l.Act.Name()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(l.FanIn())); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(l.FanOut())); err != nil {
+			return err
+		}
+		if err := writeFloats(bw, l.W.Data); err != nil {
+			return fmt.Errorf("nn: layer %d weights: %w", i, err)
+		}
+		if err := writeFloats(bw, l.B); err != nil {
+			return fmt.Errorf("nn: layer %d biases: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the network to a file path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := n.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a network written by Save.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("nn: bad magic %q", head)
+	}
+	var layerCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &layerCount); err != nil {
+		return nil, err
+	}
+	if layerCount == 0 || layerCount > 1<<16 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", layerCount)
+	}
+	net := &Network{}
+	for i := uint32(0); i < layerCount; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 64 {
+			return nil, fmt.Errorf("nn: layer %d activation name length %d", i, nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		act := ActivationByName(string(nameBuf))
+		if act == nil {
+			return nil, fmt.Errorf("nn: layer %d has unknown activation %q", i, nameBuf)
+		}
+		var fanIn, fanOut uint32
+		if err := binary.Read(br, binary.LittleEndian, &fanIn); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &fanOut); err != nil {
+			return nil, err
+		}
+		if fanIn == 0 || fanOut == 0 || uint64(fanIn)*uint64(fanOut) > 1<<32 {
+			return nil, fmt.Errorf("nn: layer %d has implausible shape %dx%d", i, fanIn, fanOut)
+		}
+		l := &Layer{
+			W:   tensor.New(int(fanIn), int(fanOut)),
+			B:   make([]float64, fanOut),
+			Act: act,
+		}
+		if err := readFloats(br, l.W.Data); err != nil {
+			return nil, fmt.Errorf("nn: layer %d weights: %w", i, err)
+		}
+		if err := readFloats(br, l.B); err != nil {
+			return nil, fmt.Errorf("nn: layer %d biases: %w", i, err)
+		}
+		if len(net.Layers) > 0 {
+			prev := net.Layers[len(net.Layers)-1]
+			if prev.FanOut() != l.FanIn() {
+				return nil, fmt.Errorf("nn: layer %d fan-in %d does not match previous fan-out %d",
+					i, l.FanIn(), prev.FanOut())
+			}
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net, nil
+}
+
+// LoadFile reads a network from a file path.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeFloats(w io.Writer, vals []float64) error {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, dst []float64) error {
+	buf := make([]byte, 8*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	net := buildNet(t, Config{Inputs: 5, Hidden: []int{7, 4}, Outputs: 3, Activation: "tanh"}, 1)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Layers) != len(net.Layers) {
+		t.Fatalf("layer count %d", len(got.Layers))
+	}
+	for i := range net.Layers {
+		if !tensor.Equal(got.Layers[i].W, net.Layers[i].W) {
+			t.Fatalf("layer %d weights differ", i)
+		}
+		if got.Layers[i].Act.Name() != net.Layers[i].Act.Name() {
+			t.Fatalf("layer %d activation differs", i)
+		}
+	}
+	// Function equality: identical outputs on random input.
+	g := rng.New(2)
+	x := tensor.New(4, 5)
+	g.GaussianSlice(x.Data, 0, 1)
+	if !tensor.Equal(net.Forward(x), got.Forward(x)) {
+		t.Fatal("loaded network computes differently")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	net := buildNet(t, Uniform(4, 6, 1, 2), 3)
+	path := filepath.Join(t.TempDir(), "model.snn")
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumParams() != net.NumParams() {
+		t.Fatal("param count mismatch after file roundtrip")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.snn")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	net := buildNet(t, Uniform(3, 4, 1, 2), 4)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("XXXX\x01\x00\x00\x00"),
+		"truncated": full[:len(full)/2],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+
+	// Unknown activation name.
+	bad := append([]byte(nil), full...)
+	idx := bytes.Index(bad, []byte("relu"))
+	if idx < 0 {
+		t.Fatal("fixture missing activation name")
+	}
+	copy(bad[idx:], "rexu")
+	if _, err := Load(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "activation") {
+		t.Fatalf("unknown activation should error, got %v", err)
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	// Hand-craft two layers whose fan-out/fan-in disagree.
+	a := buildNet(t, Uniform(3, 4, 1, 2), 5)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with a mismatched second layer by splicing saves: simpler
+	// to corrupt the fanIn field of layer 1. Find it structurally: magic
+	// (4) + count (4) + name len (4) + "relu" (4) + fanIn/fanOut (8) +
+	// W (3*4*8) + B (4*8) + name len (4) + "identity" (8) → fanIn at
+	// that offset.
+	data := buf.Bytes()
+	off := 4 + 4 + 4 + 4 + 8 + 3*4*8 + 4*8 + 4 + 8
+	data[off] = 9 // fanIn 4 → 9
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("mismatched chain should error")
+	}
+}

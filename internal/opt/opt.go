@@ -1,0 +1,328 @@
+// Package opt implements the first-order optimizers the paper's
+// experiments use: plain SGD (the default training algorithm of §8.4),
+// SGD with momentum, Adagrad (the optimizer of the original ALSH-approx
+// implementation), and Adam (which §8.4 found works better for
+// ALSH-approx and adopts).
+//
+// Every optimizer supports two update paths: Step applies a dense update
+// to a whole layer, while StepCols touches only the given columns of the
+// weight matrix and their biases. The sparse path is what makes
+// hash-based node sampling pay off — after ALSH-approx selects ~5% of a
+// layer's nodes, both the gradient and the optimizer state update must be
+// proportional to the active set, not the layer width.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/tensor"
+)
+
+// Optimizer updates layer parameters from gradients. Implementations
+// keep per-layer state keyed by the caller-assigned layer id.
+type Optimizer interface {
+	// Name identifies the optimizer in experiment output.
+	Name() string
+	// Step applies a dense update: w -= f(grads.W), b -= f(grads.B).
+	Step(layerID int, w *tensor.Matrix, b []float64, grads nn.Grads)
+	// StepCols applies the update only to the listed columns of w and
+	// entries of b. grads must be full-shaped; entries outside cols are
+	// ignored.
+	StepCols(layerID int, w *tensor.Matrix, b []float64, grads nn.Grads, cols []int)
+	// Reset drops all accumulated state.
+	Reset()
+}
+
+func checkShapes(w *tensor.Matrix, b []float64, grads nn.Grads) {
+	if grads.W.Rows != w.Rows || grads.W.Cols != w.Cols {
+		panic(fmt.Sprintf("opt: grad W %dx%d vs param %dx%d", grads.W.Rows, grads.W.Cols, w.Rows, w.Cols))
+	}
+	if len(grads.B) != len(b) {
+		panic(fmt.Sprintf("opt: grad B len %d vs param %d", len(grads.B), len(b)))
+	}
+}
+
+// SGD is plain stochastic gradient descent with learning rate LR.
+type SGD struct {
+	// LR is the learning rate (paper: 1e-3 or 1e-4 depending on setting).
+	LR float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr float64) *SGD {
+	if lr <= 0 {
+		panic("opt: learning rate must be positive")
+	}
+	return &SGD{LR: lr}
+}
+
+// Name returns "sgd".
+func (s *SGD) Name() string { return "sgd" }
+
+// Step applies w -= lr·gw.
+func (s *SGD) Step(_ int, w *tensor.Matrix, b []float64, grads nn.Grads) {
+	checkShapes(w, b, grads)
+	tensor.AxpyInPlace(w, -s.LR, grads.W)
+	tensor.Axpy(-s.LR, grads.B, b)
+}
+
+// StepCols applies the SGD update to selected columns only.
+func (s *SGD) StepCols(_ int, w *tensor.Matrix, b []float64, grads nn.Grads, cols []int) {
+	checkShapes(w, b, grads)
+	for _, j := range cols {
+		for i := 0; i < w.Rows; i++ {
+			w.Data[i*w.Cols+j] -= s.LR * grads.W.Data[i*w.Cols+j]
+		}
+		b[j] -= s.LR * grads.B[j]
+	}
+}
+
+// Reset is a no-op: SGD is stateless.
+func (s *SGD) Reset() {}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	// LR is the learning rate; Mu the momentum coefficient (e.g. 0.9).
+	LR, Mu float64
+	state  map[int]*momentState
+}
+
+type momentState struct {
+	vW *tensor.Matrix
+	vB []float64
+}
+
+// NewMomentum returns a momentum optimizer.
+func NewMomentum(lr, mu float64) *Momentum {
+	if lr <= 0 || mu < 0 || mu >= 1 {
+		panic("opt: bad momentum parameters")
+	}
+	return &Momentum{LR: lr, Mu: mu, state: map[int]*momentState{}}
+}
+
+// Name returns "momentum".
+func (m *Momentum) Name() string { return "momentum" }
+
+func (m *Momentum) stateFor(id int, w *tensor.Matrix, b []float64) *momentState {
+	st, ok := m.state[id]
+	if !ok {
+		st = &momentState{vW: tensor.New(w.Rows, w.Cols), vB: make([]float64, len(b))}
+		m.state[id] = st
+	}
+	return st
+}
+
+// Step applies v = mu·v + g; w -= lr·v.
+func (m *Momentum) Step(id int, w *tensor.Matrix, b []float64, grads nn.Grads) {
+	checkShapes(w, b, grads)
+	st := m.stateFor(id, w, b)
+	for i := range st.vW.Data {
+		st.vW.Data[i] = m.Mu*st.vW.Data[i] + grads.W.Data[i]
+		w.Data[i] -= m.LR * st.vW.Data[i]
+	}
+	for i := range st.vB {
+		st.vB[i] = m.Mu*st.vB[i] + grads.B[i]
+		b[i] -= m.LR * st.vB[i]
+	}
+}
+
+// StepCols applies the momentum update to selected columns only.
+func (m *Momentum) StepCols(id int, w *tensor.Matrix, b []float64, grads nn.Grads, cols []int) {
+	checkShapes(w, b, grads)
+	st := m.stateFor(id, w, b)
+	for _, j := range cols {
+		for i := 0; i < w.Rows; i++ {
+			k := i*w.Cols + j
+			st.vW.Data[k] = m.Mu*st.vW.Data[k] + grads.W.Data[k]
+			w.Data[k] -= m.LR * st.vW.Data[k]
+		}
+		st.vB[j] = m.Mu*st.vB[j] + grads.B[j]
+		b[j] -= m.LR * st.vB[j]
+	}
+}
+
+// Reset drops all velocity state.
+func (m *Momentum) Reset() { m.state = map[int]*momentState{} }
+
+// Adagrad accumulates squared gradients and scales updates by their
+// inverse square root — the optimizer of the original Spring-Shrivastava
+// ALSH-approx implementation.
+type Adagrad struct {
+	// LR is the learning rate; Eps the denominator floor (default 1e-8).
+	LR, Eps float64
+	state   map[int]*adagradState
+}
+
+type adagradState struct {
+	hW *tensor.Matrix
+	hB []float64
+}
+
+// NewAdagrad returns an Adagrad optimizer with eps = 1e-8.
+func NewAdagrad(lr float64) *Adagrad {
+	if lr <= 0 {
+		panic("opt: learning rate must be positive")
+	}
+	return &Adagrad{LR: lr, Eps: 1e-8, state: map[int]*adagradState{}}
+}
+
+// Name returns "adagrad".
+func (a *Adagrad) Name() string { return "adagrad" }
+
+func (a *Adagrad) stateFor(id int, w *tensor.Matrix, b []float64) *adagradState {
+	st, ok := a.state[id]
+	if !ok {
+		st = &adagradState{hW: tensor.New(w.Rows, w.Cols), hB: make([]float64, len(b))}
+		a.state[id] = st
+	}
+	return st
+}
+
+// Step applies h += g²; w -= lr·g/(√h + eps).
+func (a *Adagrad) Step(id int, w *tensor.Matrix, b []float64, grads nn.Grads) {
+	checkShapes(w, b, grads)
+	st := a.stateFor(id, w, b)
+	for i := range w.Data {
+		g := grads.W.Data[i]
+		st.hW.Data[i] += g * g
+		w.Data[i] -= a.LR * g / (math.Sqrt(st.hW.Data[i]) + a.Eps)
+	}
+	for i := range b {
+		g := grads.B[i]
+		st.hB[i] += g * g
+		b[i] -= a.LR * g / (math.Sqrt(st.hB[i]) + a.Eps)
+	}
+}
+
+// StepCols applies the Adagrad update to selected columns only.
+func (a *Adagrad) StepCols(id int, w *tensor.Matrix, b []float64, grads nn.Grads, cols []int) {
+	checkShapes(w, b, grads)
+	st := a.stateFor(id, w, b)
+	for _, j := range cols {
+		for i := 0; i < w.Rows; i++ {
+			k := i*w.Cols + j
+			g := grads.W.Data[k]
+			st.hW.Data[k] += g * g
+			w.Data[k] -= a.LR * g / (math.Sqrt(st.hW.Data[k]) + a.Eps)
+		}
+		g := grads.B[j]
+		st.hB[j] += g * g
+		b[j] -= a.LR * g / (math.Sqrt(st.hB[j]) + a.Eps)
+	}
+}
+
+// Reset drops all accumulator state.
+func (a *Adagrad) Reset() { a.state = map[int]*adagradState{} }
+
+// Adam is the adaptive-moment optimizer (Kingma-Ba), used by the paper's
+// ALSH-approx experiments (§8.4). Bias correction uses a per-layer step
+// counter; the sparse path advances per-column counters so rarely-active
+// nodes are corrected by their own age, the standard "sparse Adam"
+// semantics.
+type Adam struct {
+	// LR is the learning rate; Beta1/Beta2 the moment decays; Eps the
+	// denominator floor.
+	LR, Beta1, Beta2, Eps float64
+	state                 map[int]*adamState
+}
+
+type adamState struct {
+	mW, vW *tensor.Matrix
+	mB, vB []float64
+	t      int   // dense step counter
+	tCol   []int // per-column counters for the sparse path
+}
+
+// NewAdam returns Adam with the standard defaults beta1=0.9, beta2=0.999,
+// eps=1e-8.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic("opt: learning rate must be positive")
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, state: map[int]*adamState{}}
+}
+
+// Name returns "adam".
+func (a *Adam) Name() string { return "adam" }
+
+func (a *Adam) stateFor(id int, w *tensor.Matrix, b []float64) *adamState {
+	st, ok := a.state[id]
+	if !ok {
+		st = &adamState{
+			mW: tensor.New(w.Rows, w.Cols), vW: tensor.New(w.Rows, w.Cols),
+			mB: make([]float64, len(b)), vB: make([]float64, len(b)),
+			tCol: make([]int, w.Cols),
+		}
+		a.state[id] = st
+	}
+	return st
+}
+
+// Step applies the dense Adam update.
+func (a *Adam) Step(id int, w *tensor.Matrix, b []float64, grads nn.Grads) {
+	checkShapes(w, b, grads)
+	st := a.stateFor(id, w, b)
+	st.t++
+	for j := range st.tCol {
+		st.tCol[j] = st.t
+	}
+	c1 := 1 - math.Pow(a.Beta1, float64(st.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(st.t))
+	for i := range w.Data {
+		g := grads.W.Data[i]
+		st.mW.Data[i] = a.Beta1*st.mW.Data[i] + (1-a.Beta1)*g
+		st.vW.Data[i] = a.Beta2*st.vW.Data[i] + (1-a.Beta2)*g*g
+		w.Data[i] -= a.LR * (st.mW.Data[i] / c1) / (math.Sqrt(st.vW.Data[i]/c2) + a.Eps)
+	}
+	for i := range b {
+		g := grads.B[i]
+		st.mB[i] = a.Beta1*st.mB[i] + (1-a.Beta1)*g
+		st.vB[i] = a.Beta2*st.vB[i] + (1-a.Beta2)*g*g
+		b[i] -= a.LR * (st.mB[i] / c1) / (math.Sqrt(st.vB[i]/c2) + a.Eps)
+	}
+}
+
+// StepCols applies the Adam update to selected columns only, advancing
+// each touched column's bias-correction age independently.
+func (a *Adam) StepCols(id int, w *tensor.Matrix, b []float64, grads nn.Grads, cols []int) {
+	checkShapes(w, b, grads)
+	st := a.stateFor(id, w, b)
+	for _, j := range cols {
+		st.tCol[j]++
+		t := float64(st.tCol[j])
+		c1 := 1 - math.Pow(a.Beta1, t)
+		c2 := 1 - math.Pow(a.Beta2, t)
+		for i := 0; i < w.Rows; i++ {
+			k := i*w.Cols + j
+			g := grads.W.Data[k]
+			st.mW.Data[k] = a.Beta1*st.mW.Data[k] + (1-a.Beta1)*g
+			st.vW.Data[k] = a.Beta2*st.vW.Data[k] + (1-a.Beta2)*g*g
+			w.Data[k] -= a.LR * (st.mW.Data[k] / c1) / (math.Sqrt(st.vW.Data[k]/c2) + a.Eps)
+		}
+		g := grads.B[j]
+		st.mB[j] = a.Beta1*st.mB[j] + (1-a.Beta1)*g
+		st.vB[j] = a.Beta2*st.vB[j] + (1-a.Beta2)*g*g
+		b[j] -= a.LR * (st.mB[j] / c1) / (math.Sqrt(st.vB[j]/c2) + a.Eps)
+	}
+}
+
+// Reset drops all moment state.
+func (a *Adam) Reset() { a.state = map[int]*adamState{} }
+
+// ByName constructs an optimizer from a config string. Supported:
+// "sgd", "momentum", "adagrad", "adam".
+func ByName(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return NewSGD(lr), nil
+	case "momentum":
+		return NewMomentum(lr, 0.9), nil
+	case "adagrad":
+		return NewAdagrad(lr), nil
+	case "adam":
+		return NewAdam(lr), nil
+	}
+	return nil, fmt.Errorf("opt: unknown optimizer %q", name)
+}

@@ -1,0 +1,327 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func grad(w *tensor.Matrix, b []float64, v float64) nn.Grads {
+	gw := tensor.New(w.Rows, w.Cols)
+	gw.Fill(v)
+	gb := make([]float64, len(b))
+	for i := range gb {
+		gb[i] = v
+	}
+	return nn.Grads{W: gw, B: gb}
+}
+
+func TestSGDStep(t *testing.T) {
+	w := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := []float64{1, 1}
+	s := NewSGD(0.5)
+	s.Step(0, w, b, grad(w, b, 2))
+	want := tensor.FromRows([][]float64{{0, 1}, {2, 3}})
+	if !tensor.Equal(w, want) {
+		t.Fatalf("w = %v", w)
+	}
+	if b[0] != 0 || b[1] != 0 {
+		t.Fatalf("b = %v", b)
+	}
+}
+
+func TestSGDStepCols(t *testing.T) {
+	w := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := []float64{1, 1}
+	s := NewSGD(1)
+	s.StepCols(0, w, b, grad(w, b, 1), []int{1})
+	if w.At(0, 0) != 1 || w.At(1, 0) != 3 {
+		t.Fatal("untouched column changed")
+	}
+	if w.At(0, 1) != 1 || w.At(1, 1) != 3 {
+		t.Fatal("selected column not updated")
+	}
+	if b[0] != 1 || b[1] != 0 {
+		t.Fatalf("bias = %v", b)
+	}
+}
+
+func TestShapeChecks(t *testing.T) {
+	w := tensor.New(2, 2)
+	b := []float64{0, 0}
+	bad := nn.Grads{W: tensor.New(3, 2), B: []float64{0, 0}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	NewSGD(0.1).Step(0, w, b, bad)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"sgd":        func() { NewSGD(0) },
+		"momentumLR": func() { NewMomentum(0, 0.9) },
+		"momentumMu": func() { NewMomentum(0.1, 1.0) },
+		"adagrad":    func() { NewAdagrad(-1) },
+		"adam":       func() { NewAdam(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	w := tensor.New(1, 1)
+	b := []float64{0}
+	m := NewMomentum(1, 0.5)
+	g := grad(w, b, 1)
+	m.Step(0, w, b, g) // v=1, w=-1
+	m.Step(0, w, b, g) // v=1.5, w=-2.5
+	if math.Abs(w.At(0, 0)+2.5) > 1e-12 {
+		t.Fatalf("w = %v, want -2.5", w.At(0, 0))
+	}
+	m.Reset()
+	m.Step(0, w, b, g) // fresh v=1
+	if math.Abs(w.At(0, 0)+3.5) > 1e-12 {
+		t.Fatalf("after reset w = %v, want -3.5", w.At(0, 0))
+	}
+}
+
+func TestAdagradShrinksSteps(t *testing.T) {
+	w := tensor.New(1, 1)
+	b := []float64{0}
+	a := NewAdagrad(1)
+	g := grad(w, b, 2)
+	a.Step(0, w, b, g)
+	first := -w.At(0, 0)
+	before := w.At(0, 0)
+	a.Step(0, w, b, g)
+	second := before - w.At(0, 0)
+	if second >= first {
+		t.Fatalf("Adagrad steps must shrink: %v then %v", first, second)
+	}
+	// First step ≈ lr·g/√(g²) = 1.
+	if math.Abs(first-1) > 1e-6 {
+		t.Fatalf("first Adagrad step = %v, want ~1", first)
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, Adam's first step is ≈ lr regardless of
+	// gradient scale.
+	for _, scale := range []float64{0.001, 1, 1000} {
+		w := tensor.New(1, 1)
+		b := []float64{0}
+		a := NewAdam(0.1)
+		a.Step(0, w, b, grad(w, b, scale))
+		if math.Abs(-w.At(0, 0)-0.1) > 1e-3 {
+			t.Fatalf("scale %v: first step %v, want ~0.1", scale, -w.At(0, 0))
+		}
+	}
+}
+
+func TestAdamStepColsMatchesDenseOnActiveColumns(t *testing.T) {
+	// Updating all columns via StepCols must equal a dense Step.
+	g := rng.New(1)
+	mkGrad := func(w *tensor.Matrix, b []float64) nn.Grads {
+		gw := tensor.New(w.Rows, w.Cols)
+		gg := rng.New(7)
+		gg.GaussianSlice(gw.Data, 0, 1)
+		gb := make([]float64, len(b))
+		gg.GaussianSlice(gb, 0, 1)
+		return nn.Grads{W: gw, B: gb}
+	}
+	wd := tensor.New(3, 4)
+	g.GaussianSlice(wd.Data, 0, 1)
+	ws := wd.Clone()
+	bd := []float64{1, 2, 3, 4}
+	bs := append([]float64(nil), bd...)
+
+	dense := NewAdam(0.05)
+	sparse := NewAdam(0.05)
+	all := []int{0, 1, 2, 3}
+	for iter := 0; iter < 5; iter++ {
+		gr := mkGrad(wd, bd)
+		dense.Step(0, wd, bd, gr)
+		sparse.StepCols(0, ws, bs, gr, all)
+	}
+	if !tensor.EqualApprox(wd, ws, 1e-12) {
+		t.Fatal("sparse all-columns Adam diverged from dense")
+	}
+	for i := range bd {
+		if math.Abs(bd[i]-bs[i]) > 1e-12 {
+			t.Fatal("sparse bias diverged from dense")
+		}
+	}
+}
+
+func TestAdamStepColsLeavesInactiveUntouched(t *testing.T) {
+	w := tensor.New(2, 3)
+	w.Fill(1)
+	b := []float64{1, 1, 1}
+	a := NewAdam(0.1)
+	a.StepCols(0, w, b, grad(w, b, 1), []int{0, 2})
+	if w.At(0, 1) != 1 || b[1] != 1 {
+		t.Fatal("inactive column modified")
+	}
+	if w.At(0, 0) == 1 || w.At(0, 2) == 1 {
+		t.Fatal("active columns not modified")
+	}
+}
+
+func TestOptimizersDescendQuadratic(t *testing.T) {
+	// All optimizers should minimize f(w) = ||w - target||² on repeated
+	// full-gradient steps.
+	target := tensor.FromRows([][]float64{{3, -2}, {1, 5}})
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return NewSGD(0.1) },
+		func() Optimizer { return NewMomentum(0.05, 0.9) },
+		func() Optimizer { return NewAdagrad(0.9) },
+		func() Optimizer { return NewAdam(0.2) },
+	} {
+		o := mk()
+		w := tensor.New(2, 2)
+		b := []float64{0, 0}
+		for iter := 0; iter < 300; iter++ {
+			gw := tensor.Sub(w, target)
+			gw.Scale(2)
+			o.Step(0, w, b, nn.Grads{W: gw, B: []float64{0, 0}})
+		}
+		if d := tensor.Sub(w, target).FrobeniusNorm(); d > 0.05 {
+			t.Fatalf("%s failed to converge: residual %v", o.Name(), d)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sgd", "momentum", "adagrad", "adam"} {
+		o, err := ByName(name, 0.01)
+		if err != nil || o.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, o, err)
+		}
+	}
+	if _, err := ByName("rmsprop", 0.01); err == nil {
+		t.Fatal("unknown optimizer must error")
+	}
+}
+
+func TestMomentumStepColsMatchesDense(t *testing.T) {
+	g := rng.New(2)
+	wd := tensor.New(3, 4)
+	g.GaussianSlice(wd.Data, 0, 1)
+	ws := wd.Clone()
+	bd := []float64{1, 2, 3, 4}
+	bs := append([]float64(nil), bd...)
+	dense := NewMomentum(0.1, 0.9)
+	sparse := NewMomentum(0.1, 0.9)
+	all := []int{0, 1, 2, 3}
+	for iter := 0; iter < 4; iter++ {
+		gr := grad(wd, bd, float64(iter+1))
+		dense.Step(0, wd, bd, gr)
+		sparse.StepCols(0, ws, bs, gr, all)
+	}
+	if !tensor.EqualApprox(wd, ws, 1e-12) {
+		t.Fatal("sparse momentum diverged from dense")
+	}
+	for i := range bd {
+		if math.Abs(bd[i]-bs[i]) > 1e-12 {
+			t.Fatal("sparse momentum bias diverged")
+		}
+	}
+}
+
+func TestAdagradStepColsMatchesDense(t *testing.T) {
+	g := rng.New(3)
+	wd := tensor.New(2, 3)
+	g.GaussianSlice(wd.Data, 0, 1)
+	ws := wd.Clone()
+	bd := []float64{1, 2, 3}
+	bs := append([]float64(nil), bd...)
+	dense := NewAdagrad(0.2)
+	sparse := NewAdagrad(0.2)
+	all := []int{0, 1, 2}
+	for iter := 0; iter < 4; iter++ {
+		gr := grad(wd, bd, float64(iter+1))
+		dense.Step(0, wd, bd, gr)
+		sparse.StepCols(0, ws, bs, gr, all)
+	}
+	if !tensor.EqualApprox(wd, ws, 1e-12) {
+		t.Fatal("sparse adagrad diverged from dense")
+	}
+}
+
+func TestMomentumAdagradStepColsLeaveInactive(t *testing.T) {
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return NewMomentum(0.1, 0.9) },
+		func() Optimizer { return NewAdagrad(0.1) },
+	} {
+		o := mk()
+		w := tensor.New(2, 3)
+		w.Fill(1)
+		b := []float64{1, 1, 1}
+		o.StepCols(0, w, b, grad(w, b, 1), []int{1})
+		if w.At(0, 0) != 1 || w.At(0, 2) != 1 || b[0] != 1 {
+			t.Fatalf("%s modified inactive columns", o.Name())
+		}
+		if w.At(0, 1) == 1 || b[1] == 1 {
+			t.Fatalf("%s did not modify active column", o.Name())
+		}
+	}
+}
+
+func TestAdamAndAdagradReset(t *testing.T) {
+	w := tensor.New(1, 1)
+	b := []float64{0}
+	a := NewAdam(0.1)
+	g := grad(w, b, 1)
+	a.Step(0, w, b, g)
+	before := w.At(0, 0)
+	a.Reset()
+	a.Step(0, w, b, g)
+	// After reset the step magnitude matches a fresh first step.
+	if math.Abs((w.At(0, 0)-before)-before) > 1e-9 {
+		t.Fatalf("reset Adam step %v differs from first step %v", w.At(0, 0)-before, before)
+	}
+
+	ag := NewAdagrad(1)
+	w2 := tensor.New(1, 1)
+	ag.Step(0, w2, []float64{0}, grad(w2, []float64{0}, 2))
+	first := -w2.At(0, 0)
+	ag.Reset()
+	prev := w2.At(0, 0)
+	ag.Step(0, w2, []float64{0}, grad(w2, []float64{0}, 2))
+	if math.Abs((prev-w2.At(0, 0))-first) > 1e-6 {
+		t.Fatal("reset Adagrad should repeat the first-step magnitude")
+	}
+}
+
+func TestSparseAdamAgesColumnsIndependently(t *testing.T) {
+	// A column updated many times should have different bias correction
+	// than a column updated once; verify the moments differ.
+	w := tensor.New(1, 2)
+	b := []float64{0, 0}
+	a := NewAdam(0.1)
+	g := grad(w, b, 1)
+	for i := 0; i < 5; i++ {
+		a.StepCols(0, w, b, g, []int{0})
+	}
+	a.StepCols(0, w, b, g, []int{1})
+	if math.Abs(w.At(0, 0)) <= math.Abs(w.At(0, 1)) {
+		t.Fatalf("column 0 (5 steps) should have moved further than column 1 (1 step): %v vs %v",
+			w.At(0, 0), w.At(0, 1))
+	}
+	st := a.state[0]
+	if st.tCol[0] != 5 || st.tCol[1] != 1 {
+		t.Fatalf("per-column ages %v", st.tCol)
+	}
+}

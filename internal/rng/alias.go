@@ -1,0 +1,104 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias samples from a fixed categorical distribution in O(1) per draw
+// using Walker's alias method. The Drineas et al. estimator (§6.1) draws
+// c column-row indices i.i.d. from p_i ∝ ||A_col_i||·||B_row_i||; building
+// the table once per product keeps that sampling off the critical path.
+type Alias struct {
+	prob  []float64
+	alias []int
+	p     []float64 // normalized input distribution, kept for Prob.
+}
+
+// NewAlias builds an alias table from non-negative weights. Weights need
+// not be normalized; they must not all be zero.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: empty weight vector")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("rng: all weights are zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		p:     make([]float64, n),
+	}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		a.p[i] = w / total
+		scaled[i] = a.p[i] * float64(n)
+	}
+
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small { // numeric leftovers
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Draw returns one index distributed according to the table's weights.
+func (a *Alias) Draw(g *RNG) int {
+	i := g.IntN(len(a.prob))
+	if g.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// DrawN returns n i.i.d. draws.
+func (a *Alias) DrawN(g *RNG, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = a.Draw(g)
+	}
+	return out
+}
+
+// Prob returns the normalized probability of index i, as needed by the
+// 1/(c·p_i) scaling of the Drineas estimator.
+func (a *Alias) Prob(i int) float64 { return a.p[i] }
+
+// Len returns the number of categories.
+func (a *Alias) Len() int { return len(a.prob) }

@@ -1,0 +1,113 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Fatal("empty weights must error")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights must error")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if _, err := NewAlias([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN weight must error")
+	}
+	if _, err := NewAlias([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("Inf weight must error")
+	}
+}
+
+func TestAliasProbNormalized(t *testing.T) {
+	a, err := NewAlias([]float64{2, 6, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.6, 0.2}
+	for i, w := range want {
+		if math.Abs(a.Prob(i)-w) > 1e-12 {
+			t.Fatalf("Prob(%d) = %v, want %v", i, a.Prob(i), w)
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestAliasEmpiricalDistribution(t *testing.T) {
+	weights := []float64{1, 0, 3, 6}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(11)
+	const n = 60000
+	counts := make([]float64, len(weights))
+	for _, i := range a.DrawN(g, n) {
+		counts[i]++
+	}
+	for i := range weights {
+		got := counts[i] / n
+		want := weights[i] / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("index %d frequency %v, want %v", i, got, want)
+		}
+	}
+	if counts[1] != 0 {
+		t.Fatal("zero-weight category must never be drawn")
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a, err := NewAlias([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(12)
+	for i := 0; i < 100; i++ {
+		if a.Draw(g) != 0 {
+			t.Fatal("single category must always draw 0")
+		}
+	}
+}
+
+// Property: for arbitrary positive weight vectors the alias table is a
+// valid sampler — probabilities sum to 1 and every drawn index is in
+// range.
+func TestAliasProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := New(seed)
+		n := 1 + g.IntN(50)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = g.Float64() * 10
+		}
+		w[g.IntN(n)] = 5 // guarantee nonzero mass
+		a, err := NewAlias(w)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += a.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		for _, d := range a.DrawN(g, 200) {
+			if d < 0 || d >= n || a.Prob(d) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Package rng provides the seeded randomness and discrete-sampling
+// primitives the sampling-based training methods depend on: Bernoulli
+// masks (Dropout, Adelman's column-row selection), categorical sampling by
+// magnitude (the Drineas et al. distribution of Eq. 6, via Walker's alias
+// method), sampling without replacement, and Gaussian matrix fills for
+// weight initialization and the signed-random-projection hash family.
+//
+// Every source is explicitly seeded so experiments are reproducible; the
+// package never touches the global math/rand state.
+package rng
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RNG wraps a PCG source with the sampling helpers used across samplednn.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns a deterministic generator for the given seed.
+func New(seed uint64) *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+}
+
+// Split derives an independent generator from this one. Use it to hand
+// each layer or worker its own stream without correlated draws.
+func (g *RNG) Split() *RNG {
+	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// IntN returns a uniform value in [0, n).
+func (g *RNG) IntN(n int) int { return g.r.IntN(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// NormFloat64 returns a standard normal draw.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// BernoulliMask fills dst (allocated if nil, length n) with an indicator
+// draw per position: dst[i] = 1 with probability p, else 0.
+func (g *RNG) BernoulliMask(n int, p float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("rng: BernoulliMask dst len %d, want %d", len(dst), n))
+	}
+	for i := range dst {
+		if g.Bernoulli(p) {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// Perm returns a uniform permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes idx in place.
+func (g *RNG) Shuffle(idx []int) {
+	g.r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// SampleWithoutReplacement returns k distinct uniform indices from [0, n)
+// in random order. It panics if k > n.
+func (g *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("rng: sample %d from %d without replacement", k, n))
+	}
+	if k < 0 {
+		panic("rng: negative sample size")
+	}
+	// Partial Fisher-Yates: O(n) space but only k swaps.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + g.r.IntN(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k:k]
+}
+
+// GaussianSlice fills dst with independent N(mean, std²) draws.
+func (g *RNG) GaussianSlice(dst []float64, mean, std float64) {
+	for i := range dst {
+		dst[i] = mean + std*g.r.NormFloat64()
+	}
+}

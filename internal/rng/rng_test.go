@@ -1,0 +1,178 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).Split().Uint64() == c.Uint64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := New(1)
+	s1 := g.Split()
+	s2 := g.Split()
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("split streams look correlated: %d/64 equal draws", equal)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 50; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) must be false")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) must be true")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	g := New(3)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	f := float64(hits) / n
+	if math.Abs(f-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", f)
+	}
+}
+
+func TestBernoulliMask(t *testing.T) {
+	g := New(4)
+	m := g.BernoulliMask(1000, 0.5, nil)
+	if len(m) != 1000 {
+		t.Fatal("mask length")
+	}
+	ones := 0.0
+	for _, v := range m {
+		if v != 0 && v != 1 {
+			t.Fatal("mask must be 0/1")
+		}
+		ones += v
+	}
+	if ones < 400 || ones > 600 {
+		t.Fatalf("mask density %v suspicious", ones/1000)
+	}
+	// Reuse path.
+	m2 := g.BernoulliMask(1000, 0, m)
+	if &m2[0] != &m[0] {
+		t.Fatal("mask should reuse dst")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(5)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := New(6)
+	f := func(seed uint64) bool {
+		gg := New(seed)
+		n := 1 + gg.IntN(60)
+		k := gg.IntN(n + 1)
+		s := g.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Each element of [0,10) should appear in a 5-sample roughly half the
+	// time.
+	g := New(7)
+	counts := make([]int, 10)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		for _, v := range g.SampleWithoutReplacement(10, 5) {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		f := float64(c) / trials
+		if math.Abs(f-0.5) > 0.04 {
+			t.Fatalf("element %d sampled with freq %v, want ~0.5", i, f)
+		}
+	}
+}
+
+func TestGaussianSliceMoments(t *testing.T) {
+	g := New(8)
+	x := make([]float64, 50000)
+	g.GaussianSlice(x, 2, 3)
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var varr float64
+	for _, v := range x {
+		varr += (v - mean) * (v - mean)
+	}
+	varr /= float64(len(x))
+	if math.Abs(mean-2) > 0.08 {
+		t.Fatalf("mean = %v, want 2", mean)
+	}
+	if math.Abs(math.Sqrt(varr)-3) > 0.1 {
+		t.Fatalf("std = %v, want 3", math.Sqrt(varr))
+	}
+}

@@ -1,0 +1,225 @@
+// Package tensor implements the dense linear-algebra kernels used
+// throughout samplednn: a row-major float64 matrix type with exact and
+// structured (column-subset, transposed-operand) products, elementwise
+// operations, norms, and reductions.
+//
+// The package is deliberately small and allocation-conscious rather than a
+// general BLAS: it implements exactly the operations the feedforward and
+// backpropagation equations of the paper require (Eq. 1 of §4.1), plus the
+// column/row-subset kernels the sampling-based methods are built on
+// (§4.2).
+//
+// Dimension mismatches are programmer errors and panic with a descriptive
+// message, mirroring the convention of established Go numeric libraries.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Data is laid out so that element
+// (i, j) lives at Data[i*Cols+j]; RowView exposes rows as slices without
+// copying.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols, row-major) in a Matrix without
+// copying. The caller must not alias data afterwards unless it intends the
+// matrix to observe the writes.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from equal-length row slices, copying them.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.RowView(i), r)
+	}
+	return m
+}
+
+// Eye returns the n x n identity matrix.
+func Eye(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.boundsCheck(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.boundsCheck(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) boundsCheck(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range for %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// RowView returns row i as a slice sharing m's backing storage.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range for %dx%d", i, m.Rows, m.Cols))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Col copies column j into dst (allocated if nil) and returns it.
+func (m *Matrix) Col(j int, dst []float64) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: col %d out of range for %dx%d", j, m.Rows, m.Cols))
+	}
+	if dst == nil {
+		dst = make([]float64, m.Rows)
+	}
+	if len(dst) != m.Rows {
+		panic("tensor: Col dst length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
+}
+
+// SetCol overwrites column j with src.
+func (m *Matrix) SetCol(j int, src []float64) {
+	if len(src) != m.Rows {
+		panic("tensor: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] = src[i]
+	}
+}
+
+// Zero sets every element to 0, retaining the backing array.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Apply replaces each element x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Map returns a new matrix whose elements are f applied to m's.
+func (m *Matrix) Map(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Equal reports whether a and b have identical shape and elements.
+func Equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether a and b have identical shape and elementwise
+// absolute difference at most tol.
+func EqualApprox(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small matrix for debugging; large matrices are
+// summarized by shape.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialize")
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer expectPanic(t, "negative dimension")
+	New(-1, 2)
+}
+
+func TestFromSliceSharesBacking(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	d[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestFromSliceBadLenPanics(t *testing.T) {
+	defer expectPanic(t, "FromSlice")
+	FromSlice(2, 2, []float64{1, 2, 3})
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("bad FromRows result: %v", m)
+	}
+	if got := FromRows(nil); got.Rows != 0 || got.Cols != 0 {
+		t.Fatal("empty FromRows should be 0x0")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer expectPanic(t, "FromRows")
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestEye(t *testing.T) {
+	m := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Eye(3)[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestAtSetBounds(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 1, 5)
+	if m.At(1, 1) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	defer expectPanic(t, "out of range")
+	m.At(2, 0)
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.RowView(1)
+	r[0] = 30
+	if m.At(1, 0) != 30 {
+		t.Fatal("RowView must alias")
+	}
+	defer expectPanic(t, "row")
+	m.RowView(-1)
+}
+
+func TestColRoundtrip(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.Col(1, nil)
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Col = %v, want %v", got, want)
+		}
+	}
+	m.SetCol(0, []float64{7, 8, 9})
+	if m.At(2, 0) != 9 {
+		t.Fatal("SetCol failed")
+	}
+}
+
+func TestZeroFillApply(t *testing.T) {
+	m := New(2, 2)
+	m.Fill(3)
+	if m.Sum() != 12 {
+		t.Fatalf("Fill: sum = %v", m.Sum())
+	}
+	m.Apply(func(v float64) float64 { return v * v })
+	if m.Sum() != 36 {
+		t.Fatalf("Apply: sum = %v", m.Sum())
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestMapAllocatesNew(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}})
+	n := m.Map(math.Abs)
+	if m.At(0, 1) != -2 || n.At(0, 1) != 2 {
+		t.Fatal("Map must not modify receiver")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEqualAndApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1, 2.0000001}})
+	if Equal(a, b) {
+		t.Fatal("Equal should be exact")
+	}
+	if !EqualApprox(a, b, 1e-6) {
+		t.Fatal("EqualApprox within tol should hold")
+	}
+	if EqualApprox(a, New(2, 1), 1) {
+		t.Fatal("shape mismatch must not be approx-equal")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if !strings.Contains(small.String(), "1 2") {
+		t.Fatalf("small String: %q", small.String())
+	}
+	large := New(20, 20)
+	if !strings.Contains(large.String(), "20x20") {
+		t.Fatalf("large String: %q", large.String())
+	}
+}
+
+func expectPanic(t *testing.T, substr string) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatalf("expected panic containing %q", substr)
+	}
+	if msg, ok := r.(string); ok && !strings.Contains(msg, substr) {
+		t.Fatalf("panic %q does not contain %q", msg, substr)
+	}
+}

@@ -1,0 +1,297 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a*b. It dispatches to MatMulInto with a fresh output.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a*b. out must be preallocated with shape
+// a.Rows x b.Cols and must not alias a or b. The kernel uses the cache
+// friendly i-k-j loop order: the innermost loop streams a row of b and a
+// row of out, so both are accessed sequentially.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	out.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowView(i)
+		orow := out.RowView(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.RowView(k)
+			axpy(av, brow, orow)
+		}
+	}
+}
+
+// MatMulNaive computes a*b with the textbook i-j-k loop order. It exists
+// only as a baseline for the GEMM ablation benchmark.
+func MatMulNaive(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.Data[i*a.Cols+k] * b.Data[k*b.Cols+j]
+			}
+			out.Data[i*out.Cols+j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a * bᵀ without materializing the transpose:
+// out[i][j] = <a row i, b row j>. Shapes: a is m x n, b is p x n, out m x p.
+// Backpropagation uses this for delta * Wᵀ (Eq. 1).
+func MatMulTransB(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto computes out = a * bᵀ into a preallocated out.
+func MatMulTransBInto(out, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowView(i)
+		orow := out.RowView(i)
+		for j := 0; j < b.Rows; j++ {
+			orow[j] = dot(arow, b.RowView(j))
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ * b without materializing the transpose.
+// Shapes: a is n x m, b is n x p, out m x p. Backpropagation uses this for
+// the weight gradient aᵀ * delta (Eq. 1).
+func MatMulTransA(a, b *Matrix) *Matrix {
+	out := New(a.Cols, b.Cols)
+	MatMulTransAInto(out, a, b)
+	return out
+}
+
+// MatMulTransAInto computes out = aᵀ * b into a preallocated out.
+func MatMulTransAInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA (%dx%d)ᵀ by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	out.Zero()
+	for k := 0; k < a.Rows; k++ {
+		arow := a.RowView(k)
+		brow := b.RowView(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(av, brow, out.RowView(i))
+		}
+	}
+}
+
+// MatMulCols computes, for each requested column j of b, out column j =
+// a * b[:,j], leaving the other columns of out untouched (typically zero).
+// This is the "sampling from the current layer" kernel of §4.2: only the
+// inner products for the active nodes (columns) are evaluated, so the cost
+// is Θ(rows(a) * cols(a) * len(cols)) instead of Θ(rows(a) * cols(a) * cols(b)).
+func MatMulCols(out, a, b *Matrix, cols []int) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulCols %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulCols out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowView(i)
+		orow := out.RowView(i)
+		for _, j := range cols {
+			var s float64
+			for k, av := range arow {
+				s += av * b.Data[k*b.Cols+j]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	sameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	sameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets a += b.
+func AddInPlace(a, b *Matrix) {
+	sameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// SubInPlace sets a -= b.
+func SubInPlace(a, b *Matrix) {
+	sameShape("SubInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] -= b.Data[i]
+	}
+}
+
+// AxpyInPlace sets a += alpha*b.
+func AxpyInPlace(a *Matrix, alpha float64, b *Matrix) {
+	sameShape("AxpyInPlace", a, b)
+	axpy(alpha, b.Data, a.Data)
+}
+
+// Scale multiplies every element of m by alpha in place.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Hadamard returns the elementwise product a ⊙ b (used by Eq. 1 for
+// f'(z) ⊙ backpropagated error).
+func Hadamard(a, b *Matrix) *Matrix {
+	sameShape("Hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// HadamardInPlace sets a ⊙= b.
+func HadamardInPlace(a, b *Matrix) {
+	sameShape("HadamardInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] *= b.Data[i]
+	}
+}
+
+// AddRowVector adds the 1 x Cols row vector v to every row of m (bias
+// broadcast in the feedforward step).
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d for %d cols", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, bv := range v {
+			row[j] += bv
+		}
+	}
+}
+
+// ColNorms returns the l2 norm of every column (the Drineas sampling
+// probabilities of Eq. 6 are proportional to these).
+func (m *Matrix) ColNorms() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			out[j] += v * v
+		}
+	}
+	for j := range out {
+		out[j] = math.Sqrt(out[j])
+	}
+	return out
+}
+
+// RowNorms returns the l2 norm of every row.
+func (m *Matrix) RowNorms() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Norm(m.RowView(i))
+	}
+	return out
+}
+
+// FrobeniusNorm returns ||m||_F.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// ArgMaxRows returns, for each row, the index of its maximum element.
+// Classification predictions are the row-wise argmax of the output layer.
+func (m *Matrix) ArgMaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+func sameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,259 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want) {
+		t.Fatalf("MatMul = %v, want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := randomMatrix(rng, 7, 7)
+	if !EqualApprox(MatMul(a, Eye(7)), a, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+	if !EqualApprox(MatMul(Eye(7), a), a, 1e-12) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 1, 7}, {13, 17, 11}, {32, 64, 16}} {
+		a := randomMatrix(rng, dims[0], dims[1])
+		b := randomMatrix(rng, dims[1], dims[2])
+		if !EqualApprox(MatMul(a, b), MatMulNaive(a, b), 1e-9) {
+			t.Fatalf("ikj/ijk mismatch at %v", dims)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer expectPanic(t, "MatMul")
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatMulIntoShapePanics(t *testing.T) {
+	defer expectPanic(t, "out")
+	MatMulInto(New(2, 2), New(2, 3), New(3, 3))
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randomMatrix(rng, 4, 6)
+	b := randomMatrix(rng, 5, 6)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, b.T())
+	if !EqualApprox(got, want, 1e-10) {
+		t.Fatal("MatMulTransB != a*bᵀ")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	a := randomMatrix(rng, 6, 4)
+	b := randomMatrix(rng, 6, 5)
+	got := MatMulTransA(a, b)
+	want := MatMul(a.T(), b)
+	if !EqualApprox(got, want, 1e-10) {
+		t.Fatal("MatMulTransA != aᵀ*b")
+	}
+}
+
+func TestMatMulTransShapePanics(t *testing.T) {
+	t.Run("B", func(t *testing.T) {
+		defer expectPanic(t, "MatMulTransB")
+		MatMulTransB(New(2, 3), New(2, 4))
+	})
+	t.Run("A", func(t *testing.T) {
+		defer expectPanic(t, "MatMulTransA")
+		MatMulTransA(New(2, 3), New(3, 3))
+	})
+}
+
+func TestMatMulColsSubset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := randomMatrix(rng, 3, 8)
+	b := randomMatrix(rng, 8, 10)
+	full := MatMul(a, b)
+	cols := []int{0, 3, 7, 9}
+	out := New(3, 10)
+	MatMulCols(out, a, b, cols)
+	inSet := map[int]bool{}
+	for _, c := range cols {
+		inSet[c] = true
+	}
+	for i := 0; i < out.Rows; i++ {
+		for j := 0; j < out.Cols; j++ {
+			if inSet[j] {
+				if math.Abs(out.At(i, j)-full.At(i, j)) > 1e-10 {
+					t.Fatalf("active col %d differs from full product", j)
+				}
+			} else if out.At(i, j) != 0 {
+				t.Fatalf("inactive col %d was written", j)
+			}
+		}
+	}
+}
+
+func TestMatMulColsAllEqualsFull(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := randomMatrix(rng, 4, 5)
+	b := randomMatrix(rng, 5, 6)
+	all := make([]int, b.Cols)
+	for i := range all {
+		all[i] = i
+	}
+	out := New(4, 6)
+	MatMulCols(out, a, b, all)
+	if !EqualApprox(out, MatMul(a, b), 1e-10) {
+		t.Fatal("MatMulCols over all columns must equal MatMul")
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if !Equal(Add(a, b), FromRows([][]float64{{6, 8}, {10, 12}})) {
+		t.Fatal("Add wrong")
+	}
+	if !Equal(Sub(b, a), FromRows([][]float64{{4, 4}, {4, 4}})) {
+		t.Fatal("Sub wrong")
+	}
+	if !Equal(Hadamard(a, b), FromRows([][]float64{{5, 12}, {21, 32}})) {
+		t.Fatal("Hadamard wrong")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}})
+	AddInPlace(a, b)
+	if !Equal(a, FromRows([][]float64{{4, 6}})) {
+		t.Fatal("AddInPlace wrong")
+	}
+	SubInPlace(a, b)
+	if !Equal(a, FromRows([][]float64{{1, 2}})) {
+		t.Fatal("SubInPlace wrong")
+	}
+	AxpyInPlace(a, 2, b)
+	if !Equal(a, FromRows([][]float64{{7, 10}})) {
+		t.Fatal("AxpyInPlace wrong")
+	}
+	HadamardInPlace(a, b)
+	if !Equal(a, FromRows([][]float64{{21, 40}})) {
+		t.Fatal("HadamardInPlace wrong")
+	}
+	a.Scale(0.5)
+	if !Equal(a, FromRows([][]float64{{10.5, 20}})) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "shape mismatch")
+	Add(New(1, 2), New(2, 1))
+}
+
+func TestAddRowVector(t *testing.T) {
+	m := New(2, 3)
+	m.AddRowVector([]float64{1, 2, 3})
+	m.AddRowVector([]float64{1, 2, 3})
+	want := FromRows([][]float64{{2, 4, 6}, {2, 4, 6}})
+	if !Equal(m, want) {
+		t.Fatalf("AddRowVector = %v", m)
+	}
+	defer expectPanic(t, "AddRowVector")
+	m.AddRowVector([]float64{1})
+}
+
+func TestNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {4, 2}})
+	cn := m.ColNorms()
+	if math.Abs(cn[0]-5) > 1e-12 || math.Abs(cn[1]-2) > 1e-12 {
+		t.Fatalf("ColNorms = %v", cn)
+	}
+	rn := m.RowNorms()
+	if math.Abs(rn[0]-3) > 1e-12 || math.Abs(rn[1]-math.Sqrt(20)) > 1e-12 {
+		t.Fatalf("RowNorms = %v", rn)
+	}
+	if math.Abs(m.FrobeniusNorm()-math.Sqrt(29)) > 1e-12 {
+		t.Fatalf("FrobeniusNorm = %v", m.FrobeniusNorm())
+	}
+}
+
+func TestSumMaxAbsArgMax(t *testing.T) {
+	m := FromRows([][]float64{{1, -9, 2}, {0, 3, -1}})
+	if m.Sum() != -4 {
+		t.Fatalf("Sum = %v", m.Sum())
+	}
+	if m.MaxAbs() != 9 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+	am := m.ArgMaxRows()
+	if am[0] != 2 || am[1] != 1 {
+		t.Fatalf("ArgMaxRows = %v", am)
+	}
+}
+
+// Property: (A*B)*C == A*(B*C) for random matrices (associativity within
+// floating-point tolerance).
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		m, n, p, q := 1+r.IntN(8), 1+r.IntN(8), 1+r.IntN(8), 1+r.IntN(8)
+		a := randomMatrix(rng, m, n)
+		b := randomMatrix(rng, n, p)
+		c := randomMatrix(rng, p, q)
+		return EqualApprox(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+func TestTransposeProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		m, n, p := 1+r.IntN(8), 1+r.IntN(8), 1+r.IntN(8)
+		a := randomMatrix(rng, m, n)
+		b := randomMatrix(rng, n, p)
+		if !Equal(a.T().T(), a) {
+			return false
+		}
+		return EqualApprox(MatMul(a, b).T(), MatMul(b.T(), a.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distributivity A*(B+C) == A*B + A*C.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 26))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 13))
+		m, n, p := 1+r.IntN(8), 1+r.IntN(8), 1+r.IntN(8)
+		a := randomMatrix(rng, m, n)
+		b := randomMatrix(rng, n, p)
+		c := randomMatrix(rng, n, p)
+		return EqualApprox(MatMul(a, Add(b, c)), Add(MatMul(a, b), MatMul(a, c)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package tensor
+
+import "fmt"
+
+// Sparse-aware product for chained node sampling. When consecutive
+// hidden layers are column-sampled (ALSH-approx, Dropout), each layer's
+// input is the previous layer's activation vector with all inactive
+// nodes exactly zero — typically ≥95% zeros at the paper's active rates.
+// MatMulTransBSparse exploits that: it gathers each input row's nonzero
+// support once and sums only those terms, so the per-layer cost drops
+// from Θ(batch·|S|·n) to Θ(batch·|S|·nnz).
+
+// sparseThreshold is the nonzero fraction below which the gathered-
+// support path wins over the dense dot-product path; above it the dense
+// path's sequential access is faster. The crossover was measured with
+// BenchmarkSparseTransB.
+const sparseThreshold = 0.4
+
+// MatMulTransBSparseInto computes out = a * bᵀ like MatMulTransBInto but
+// dispatches per row of a: rows whose nonzero fraction is below the
+// sparsity threshold use a gathered-support kernel, dense rows use the
+// standard dot-product kernel. Results are identical (same additions in
+// the same order within each term group) up to floating-point
+// commutativity of skipped zeros, which contribute exactly 0.
+func MatMulTransBSparseInto(out, a, b *Matrix, support []int) []int {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransBSparse %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransBSparse out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.RowView(i)
+		orow := out.RowView(i)
+		support = support[:0]
+		for k, v := range arow {
+			if v != 0 {
+				support = append(support, k)
+			}
+		}
+		if float64(len(support)) >= sparseThreshold*float64(len(arow)) {
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = dot(arow, b.RowView(j))
+			}
+			continue
+		}
+		for j := 0; j < b.Rows; j++ {
+			brow := b.RowView(j)
+			var s float64
+			for _, k := range support {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return support
+}
+
+// MatMulTransBSparse is the allocating convenience form.
+func MatMulTransBSparse(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Rows)
+	MatMulTransBSparseInto(out, a, b, nil)
+	return out
+}
+
+// NonzeroFraction returns the fraction of nonzero elements in m (0 for
+// an empty matrix).
+func (m *Matrix) NonzeroFraction() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	nnz := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return float64(nnz) / float64(len(m.Data))
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseTransBMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		m, n, p := 1+r.IntN(6), 1+r.IntN(30), 1+r.IntN(8)
+		a := New(m, n)
+		b := randomMatrix(rng, p, n)
+		// Random sparsity level per case, including fully dense and
+		// fully zero rows.
+		density := r.Float64()
+		for i := range a.Data {
+			if r.Float64() < density {
+				a.Data[i] = rng.NormFloat64()
+			}
+		}
+		return EqualApprox(MatMulTransBSparse(a, b), MatMulTransB(a, b), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseTransBZeroInput(t *testing.T) {
+	a := New(3, 10)
+	b := New(4, 10)
+	b.Fill(1)
+	out := MatMulTransBSparse(a, b)
+	if out.FrobeniusNorm() != 0 {
+		t.Fatal("zero input must give zero output")
+	}
+}
+
+func TestSparseTransBSupportReuse(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}})
+	b := FromRows([][]float64{{1, 1, 1}, {2, 2, 2}})
+	out := New(1, 2)
+	sup := MatMulTransBSparseInto(out, a, b, make([]int, 0, 8))
+	if out.At(0, 0) != 3 || out.At(0, 1) != 6 {
+		t.Fatalf("out = %v", out)
+	}
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("support = %v", sup)
+	}
+}
+
+func TestSparseTransBShapePanics(t *testing.T) {
+	defer expectPanic(t, "MatMulTransBSparse")
+	MatMulTransBSparse(New(2, 3), New(2, 4))
+}
+
+func TestNonzeroFraction(t *testing.T) {
+	m := FromRows([][]float64{{0, 1}, {2, 0}})
+	if m.NonzeroFraction() != 0.5 {
+		t.Fatalf("NonzeroFraction = %v", m.NonzeroFraction())
+	}
+	if New(0, 0).NonzeroFraction() != 0 {
+		t.Fatal("empty matrix fraction should be 0")
+	}
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product <a, b>.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	return dot(a, b)
+}
+
+// dot is the unchecked kernel, unrolled by four to help the compiler keep
+// independent accumulation chains in flight.
+func dot(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy sets y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	axpy(alpha, x, y)
+}
+
+func axpy(alpha float64, x, y []float64) {
+	if alpha == 0 {
+		return
+	}
+	n := len(x) &^ 3
+	for i := 0; i < n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for i := n; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Norm returns the l2 norm of x.
+func Norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ScaleVec multiplies every element of x by alpha in place.
+func ScaleVec(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// SumVec returns the sum of x's elements.
+func SumVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// ArgMax returns the index of the largest element of x (-1 for empty).
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}

@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotBasics(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if Dot(nil, nil) != 0 {
+		t.Fatal("empty Dot should be 0")
+	}
+	// Length not a multiple of the unroll factor.
+	if Dot([]float64{1, 1, 1, 1, 1}, []float64{1, 2, 3, 4, 5}) != 15 {
+		t.Fatal("Dot tail handling wrong")
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "Dot")
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1, 1, 1}
+	Axpy(2, []float64{1, 2, 3, 4, 5}, y)
+	want := []float64{3, 5, 7, 9, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v", y)
+		}
+	}
+	// alpha == 0 fast path must leave y untouched.
+	Axpy(0, []float64{9, 9, 9, 9, 9}, y)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatal("Axpy with alpha=0 modified y")
+		}
+	}
+}
+
+func TestAxpyMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "Axpy")
+	Axpy(1, []float64{1}, []float64{1, 2})
+}
+
+func TestNormScaleSum(t *testing.T) {
+	if Norm([]float64{3, 4}) != 5 {
+		t.Fatal("Norm wrong")
+	}
+	x := []float64{2, 4}
+	ScaleVec(0.5, x)
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatal("ScaleVec wrong")
+	}
+	if SumVec([]float64{1, 2, 3}) != 6 {
+		t.Fatal("SumVec wrong")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax empty should be -1")
+	}
+	if ArgMax([]float64{-2, -1, -3}) != 1 {
+		t.Fatal("ArgMax negatives wrong")
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 5))
+		n := 1 + r.IntN(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := range a {
+			a[i], b[i], c[i] = r.NormFloat64(), r.NormFloat64(), r.NormFloat64()
+		}
+		if math.Abs(Dot(a, b)-Dot(b, a)) > 1e-9 {
+			return false
+		}
+		sum := make([]float64, n)
+		for i := range sum {
+			sum[i] = a[i] + c[i]
+		}
+		return math.Abs(Dot(sum, b)-(Dot(a, b)+Dot(c, b))) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |<a,b>| <= ||a||*||b||.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 31))
+		n := 1 + r.IntN(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		return math.Abs(Dot(a, b)) <= Norm(a)*Norm(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

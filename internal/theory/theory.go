@@ -1,0 +1,217 @@
+// Package theory implements the paper's §7 analysis of feedforward
+// approximation error: the Lemma 7.1 recursion for the per-node
+// activation estimation error of ALSH-approx, the Theorem 7.2 closed form
+// showing the error-to-estimate ratio grows as ((c+1)/c)^k − 1, and
+// linear-network simulators that validate both results empirically —
+// including the exact-c construction in which the simulation must match
+// the closed form to machine precision.
+package theory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// AmplificationFactor returns (c+1)/c, the per-layer growth factor of the
+// true activation relative to its estimate under the Theorem 7.2
+// assumption that active nodes carry c times the inactive nodes' mass.
+func AmplificationFactor(c float64) float64 {
+	if c <= 0 {
+		panic(fmt.Sprintf("theory: mass ratio c=%v must be positive", c))
+	}
+	return (c + 1) / c
+}
+
+// ErrorRatio returns Theorem 7.2's error-to-estimate ratio
+// ε_j^k / â_j^k = ((c+1)/c)^k − 1 after k hidden layers.
+func ErrorRatio(c float64, k int) float64 {
+	if k < 0 {
+		panic(fmt.Sprintf("theory: depth k=%d must be non-negative", k))
+	}
+	return math.Pow(AmplificationFactor(c), float64(k)) - 1
+}
+
+// PaperTable reproduces the §7 in-text table: the error-to-estimate
+// ratios for c = 5 and k = 1..6 (0.2, 0.44, 0.73, 1.07, 1.49, 1.99).
+func PaperTable() []float64 {
+	out := make([]float64, 6)
+	for k := 1; k <= 6; k++ {
+		out[k-1] = ErrorRatio(5, k)
+	}
+	return out
+}
+
+// DepthLimit returns the largest depth at which the error-to-estimate
+// ratio stays at or below threshold; the paper observes the estimate is
+// dominated by its error (ratio ≥ 1) beyond 3 hidden layers at c = 5.
+func DepthLimit(c, threshold float64) int {
+	k := 0
+	for ErrorRatio(c, k+1) <= threshold {
+		k++
+		if k > 1<<20 {
+			break // threshold unreachable growth guard
+		}
+	}
+	return k
+}
+
+// SimResult reports a depth sweep of a feedforward-approximation
+// simulation: per-layer mean error-to-estimate ratios alongside the
+// Theorem 7.2 prediction for the observed mass ratio.
+type SimResult struct {
+	// Depth is the number of hidden layers simulated.
+	Depth int
+	// Ratios[k] is mean_j ε_j^(k+1) / â_j^(k+1), measured.
+	Ratios []float64
+	// Theory[k] is ErrorRatio(MeanC, k+1).
+	Theory []float64
+	// MeanC is the mass ratio c realized by the active sets (exact in
+	// SimulateUniform; averaged in SimulateTopK).
+	MeanC float64
+}
+
+// SimulateUniform runs the exact construction of Theorem 7.2: a linear
+// network with all-equal positive weights and inputs, so every node's
+// contribution is identical and an active set of m of n previous nodes
+// realizes mass ratio c = m/(n−m) exactly. The measured ratios must equal
+// the closed form to floating-point accuracy.
+func SimulateUniform(n, m, depth int) SimResult {
+	if n <= 1 || m <= 0 || m >= n {
+		panic(fmt.Sprintf("theory: need 0 < m < n, n > 1; got n=%d m=%d", n, m))
+	}
+	if depth <= 0 {
+		panic("theory: depth must be positive")
+	}
+	c := float64(m) / float64(n-m)
+	w := 1 / float64(n) // any positive constant; 1/n keeps values bounded
+
+	res := SimResult{Depth: depth, MeanC: c}
+	trueAct := 1.0 // all nodes share the same activation value
+	estAct := 1.0
+	for k := 1; k <= depth; k++ {
+		// The full sum takes all n previous true activations; the
+		// estimate sums only the m active previous estimates.
+		trueAct = float64(n) * trueAct * w
+		estAct = float64(m) * estAct * w
+		res.Ratios = append(res.Ratios, (trueAct-estAct)/estAct)
+		res.Theory = append(res.Theory, ErrorRatio(c, k))
+	}
+	return res
+}
+
+// SimulateTopK runs the empirical variant on random positive weights: a
+// linear network where each node's active set is the exact top-m
+// contributors from the previous layer (the "active nodes are detected
+// exactly" premise of Lemma 7.1). It returns measured ratios and the
+// Theorem 7.2 prediction at the realized mean mass ratio.
+func SimulateTopK(seed uint64, n, m, depth int) SimResult {
+	if n <= 1 || m <= 0 || m >= n {
+		panic(fmt.Sprintf("theory: need 0 < m < n; got n=%d m=%d", n, m))
+	}
+	g := rng.New(seed)
+	layers := make([]*tensor.Matrix, depth)
+	for k := range layers {
+		wm := tensor.New(n, n)
+		for i := range wm.Data {
+			wm.Data[i] = g.Float64() // positive weights keep masses positive
+		}
+		wm.Scale(1 / float64(n)) // bound activations
+		layers[k] = wm
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5 + 0.5*g.Float64()
+	}
+
+	trueAct := append([]float64(nil), x...)
+	estAct := append([]float64(nil), x...)
+	res := SimResult{Depth: depth}
+	var cSum float64
+	var cCount int
+
+	contrib := make([]float64, n)
+	order := make([]int, n)
+	for k := 0; k < depth; k++ {
+		w := layers[k]
+		newTrue := make([]float64, n)
+		newEst := make([]float64, n)
+		var ratioSum float64
+		for j := 0; j < n; j++ {
+			var full float64
+			for i := 0; i < n; i++ {
+				v := estAct[i] * w.Data[i*n+j]
+				contrib[i] = v
+				full += trueAct[i] * w.Data[i*n+j]
+			}
+			newTrue[j] = full
+			// Exact top-m detection over the estimated contributions.
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return contrib[order[a]] > contrib[order[b]] })
+			var active, inactive float64
+			for r, i := range order {
+				if r < m {
+					active += contrib[i]
+				} else {
+					inactive += contrib[i]
+				}
+			}
+			newEst[j] = active
+			if inactive > 0 {
+				cSum += active / inactive
+				cCount++
+			}
+			if newEst[j] != 0 {
+				ratioSum += (newTrue[j] - newEst[j]) / newEst[j]
+			}
+		}
+		res.Ratios = append(res.Ratios, ratioSum/float64(n))
+		trueAct, estAct = newTrue, newEst
+	}
+	if cCount > 0 {
+		res.MeanC = cSum / float64(cCount)
+	}
+	for k := 1; k <= depth; k++ {
+		res.Theory = append(res.Theory, ErrorRatio(res.MeanC, k))
+	}
+	return res
+}
+
+// LemmaError computes the Lemma 7.1 recursion for a single chain: given
+// the previous layer's per-node errors ePrev, estimated activations
+// estPrev, the layer weight matrix w (n x n), and each node's active set
+// (active[j] lists the previous-layer nodes feeding node j), it returns
+// the per-node errors of this layer:
+//
+//	e_j = Σ_i ePrev_i·w_ij  +  Σ_{i ∉ active_j} estPrev_i·w_ij
+func LemmaError(ePrev, estPrev []float64, w *tensor.Matrix, active [][]int) []float64 {
+	n := w.Cols
+	if len(ePrev) != w.Rows || len(estPrev) != w.Rows || len(active) != n {
+		panic("theory: LemmaError shape mismatch")
+	}
+	out := make([]float64, n)
+	inActive := make([]bool, w.Rows)
+	for j := 0; j < n; j++ {
+		for i := range inActive {
+			inActive[i] = false
+		}
+		for _, i := range active[j] {
+			inActive[i] = true
+		}
+		var e float64
+		for i := 0; i < w.Rows; i++ {
+			wij := w.Data[i*w.Cols+j]
+			e += ePrev[i] * wij
+			if !inActive[i] {
+				e += estPrev[i] * wij
+			}
+		}
+		out[j] = e
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package theory
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func TestErrorRatioClosedForm(t *testing.T) {
+	if ErrorRatio(5, 0) != 0 {
+		t.Fatal("depth 0 must have zero error")
+	}
+	if math.Abs(ErrorRatio(5, 1)-0.2) > 1e-12 {
+		t.Fatalf("k=1: %v", ErrorRatio(5, 1))
+	}
+	if math.Abs(ErrorRatio(5, 2)-0.44) > 1e-12 {
+		t.Fatalf("k=2: %v", ErrorRatio(5, 2))
+	}
+}
+
+func TestPaperTable(t *testing.T) {
+	// §7 in-text table: k = 1..6 at c = 5 → 0.2, 0.44, 0.72, 1.07, 1.48, 1.98
+	// (paper rounds to two decimals).
+	got := PaperTable()
+	want := []float64{0.2, 0.44, 0.728, 1.0736, 1.48832, 1.985984}
+	paperRounded := []float64{0.2, 0.44, 0.72, 1.07, 1.48, 1.98}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("k=%d: got %v, want %v", i+1, got[i], want[i])
+		}
+		if math.Abs(got[i]-paperRounded[i]) > 0.01 {
+			t.Fatalf("k=%d: %v does not round to the paper's %v", i+1, got[i], paperRounded[i])
+		}
+	}
+}
+
+func TestErrorDominatesBeyondThreeLayers(t *testing.T) {
+	// The paper's headline: at c=5 the error exceeds the estimate once
+	// depth passes 3.
+	if DepthLimit(5, 1) != 3 {
+		t.Fatalf("DepthLimit(5, 1) = %d, want 3", DepthLimit(5, 1))
+	}
+	if ErrorRatio(5, 4) <= 1 {
+		t.Fatal("4 layers at c=5 must have error > estimate")
+	}
+	if ErrorRatio(5, 3) >= 1 {
+		t.Fatal("3 layers at c=5 must still have error < estimate")
+	}
+}
+
+func TestErrorRatioMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := rng.New(seed)
+		c := 0.5 + 10*g.Float64()
+		k := 1 + g.IntN(10)
+		// Strictly increasing in depth, decreasing in c.
+		if ErrorRatio(c, k+1) <= ErrorRatio(c, k) {
+			return false
+		}
+		return ErrorRatio(c+1, k) < ErrorRatio(c, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmplificationFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AmplificationFactor(0)
+}
+
+// The uniform construction realizes the theorem's premise exactly, so
+// the measured ratios must match the closed form to machine precision.
+func TestSimulateUniformMatchesTheoremExactly(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{12, 10}, {60, 50}, {100, 5}} {
+		res := SimulateUniform(tc.n, tc.m, 6)
+		for k := 0; k < 6; k++ {
+			if math.Abs(res.Ratios[k]-res.Theory[k]) > 1e-9*(1+res.Theory[k]) {
+				t.Fatalf("n=%d m=%d k=%d: simulated %v vs theory %v",
+					tc.n, tc.m, k+1, res.Ratios[k], res.Theory[k])
+			}
+		}
+	}
+}
+
+func TestSimulateUniformPaperSetting(t *testing.T) {
+	// m/(n−m) = 5 with n = 60, m = 50 reproduces the §7 table.
+	res := SimulateUniform(60, 50, 6)
+	if math.Abs(res.MeanC-5) > 1e-12 {
+		t.Fatalf("c = %v, want 5", res.MeanC)
+	}
+	want := []float64{0.2, 0.44, 0.728, 1.0736, 1.48832, 1.985984}
+	for k := range want {
+		if math.Abs(res.Ratios[k]-want[k]) > 1e-9 {
+			t.Fatalf("k=%d: %v, want %v", k+1, res.Ratios[k], want[k])
+		}
+	}
+}
+
+func TestSimulateUniformValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { SimulateUniform(1, 1, 3) },
+		func() { SimulateUniform(10, 0, 3) },
+		func() { SimulateUniform(10, 10, 3) },
+		func() { SimulateUniform(10, 5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// The random-weights simulation must show the qualitative §7 result:
+// error ratios grow with depth and roughly track the closed form at the
+// realized mean c.
+func TestSimulateTopKGrowsExponentially(t *testing.T) {
+	res := SimulateTopK(1, 64, 16, 6)
+	for k := 1; k < res.Depth; k++ {
+		if res.Ratios[k] <= res.Ratios[k-1] {
+			t.Fatalf("ratio not increasing at layer %d: %v", k+1, res.Ratios)
+		}
+	}
+	// Growth factor between consecutive (1+ratio) values should approach
+	// (c+1)/c for the realized c.
+	amp := AmplificationFactor(res.MeanC)
+	for k := 1; k < res.Depth; k++ {
+		growth := (1 + res.Ratios[k]) / (1 + res.Ratios[k-1])
+		if math.Abs(growth-amp)/amp > 0.25 {
+			t.Fatalf("layer %d growth %v far from theory %v", k+1, growth, amp)
+		}
+	}
+}
+
+func TestSimulateTopKDeterministic(t *testing.T) {
+	a := SimulateTopK(7, 32, 8, 4)
+	b := SimulateTopK(7, 32, 8, 4)
+	for i := range a.Ratios {
+		if a.Ratios[i] != b.Ratios[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+// Lemma 7.1: the recursion must equal the directly computed error at
+// every layer of a simulated linear network.
+func TestLemmaRecursionMatchesDirectError(t *testing.T) {
+	g := rng.New(3)
+	n, m, depth := 20, 6, 4
+	w := make([]*tensor.Matrix, depth)
+	for k := range w {
+		wm := tensor.New(n, n)
+		for i := range wm.Data {
+			wm.Data[i] = g.Float64() / float64(n)
+		}
+		w[k] = wm
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = g.Float64()
+	}
+
+	trueAct := append([]float64(nil), x...)
+	estAct := append([]float64(nil), x...)
+	errs := make([]float64, n) // e^0 = 0
+
+	contrib := make([]float64, n)
+	for k := 0; k < depth; k++ {
+		// Active sets: exact top-m of estimated contributions.
+		active := make([][]int, n)
+		newEst := make([]float64, n)
+		newTrue := make([]float64, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				contrib[i] = estAct[i] * w[k].Data[i*n+j]
+				newTrue[j] += trueAct[i] * w[k].Data[i*n+j]
+			}
+			order := make([]int, n)
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, b int) bool { return contrib[order[a]] > contrib[order[b]] })
+			active[j] = append([]int(nil), order[:m]...)
+			for _, i := range active[j] {
+				newEst[j] += contrib[i]
+			}
+		}
+		lemma := LemmaError(errs, estAct, w[k], active)
+		for j := 0; j < n; j++ {
+			direct := newTrue[j] - newEst[j]
+			if math.Abs(lemma[j]-direct) > 1e-10*(1+math.Abs(direct)) {
+				t.Fatalf("layer %d node %d: lemma %v vs direct %v", k+1, j, lemma[j], direct)
+			}
+		}
+		trueAct, estAct = newTrue, newEst
+		errs = lemma
+	}
+}
+
+func TestLemmaErrorShapeCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LemmaError([]float64{1}, []float64{1, 2}, tensor.New(2, 2), make([][]int, 2))
+}

@@ -1,0 +1,290 @@
+package train
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+)
+
+// tinyDataset builds a miniature MNIST-shaped benchmark.
+func tinyDataset(t *testing.T, seed uint64) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.Spec{
+		Name: "tiny", Width: 8, Height: 8, Channels: 1, Classes: 4,
+		Train: 160, Test: 60, Val: 20, Difficulty: 0.2,
+	}
+	return dataset.GenerateFromSpec(spec, dataset.Options{Seed: seed})
+}
+
+func tinyMethod(t *testing.T, name string, ds *dataset.Dataset, seed uint64) core.Method {
+	t.Helper()
+	net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions(seed)
+	opts.DropoutKeep = 0.5 // tiny layers need a workable keep rate
+	opts.ALSH.Params.K = 3
+	opts.ALSH.Params.L = 4
+	opts.ALSH.Params.M = 3
+	opts.ALSH.Params.U = 0.83
+	opts.ALSH.MinActive = 6
+	m, err := core.New(name, net, opt.NewSGD(0.1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainerValidation(t *testing.T) {
+	ds := tinyDataset(t, 1)
+	m := tinyMethod(t, "standard", ds, 2)
+	if _, err := New(nil, ds, Config{}); err == nil {
+		t.Fatal("nil method must error")
+	}
+	if _, err := New(m, nil, Config{}); err == nil {
+		t.Fatal("nil dataset must error")
+	}
+	// Input-dim mismatch.
+	other := tinyDataset(t, 3)
+	other.Train.X = other.Train.X.Clone()
+	badNet, _ := nn.NewNetwork(nn.Uniform(10, 8, 1, 4), rng.New(4))
+	bad := core.NewStandard(badNet, opt.NewSGD(0.1))
+	if _, err := New(bad, ds, Config{}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+	// Class mismatch.
+	badNet2, _ := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 8, 1, 9), rng.New(5))
+	bad2 := core.NewStandard(badNet2, opt.NewSGD(0.1))
+	if _, err := New(bad2, ds, Config{}); err == nil {
+		t.Fatal("class mismatch must error")
+	}
+}
+
+func TestTrainerImprovesAccuracy(t *testing.T) {
+	ds := tinyDataset(t, 6)
+	m := tinyMethod(t, "standard", ds, 7)
+	tr, err := New(m, ds, Config{Epochs: 8, BatchSize: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Epochs) != 8 {
+		t.Fatalf("%d epochs recorded", len(hist.Epochs))
+	}
+	first := hist.Epochs[0]
+	final := hist.Final()
+	if final.TestAccuracy <= 0.25 {
+		t.Fatalf("final accuracy %v no better than chance", final.TestAccuracy)
+	}
+	if final.TrainLoss >= first.TrainLoss {
+		t.Fatalf("loss did not decrease: %v → %v", first.TrainLoss, final.TrainLoss)
+	}
+	if hist.BestAccuracy() < final.TestAccuracy-1e-12 {
+		t.Fatal("BestAccuracy below final accuracy")
+	}
+	if hist.Method != "standard" {
+		t.Fatal("history method label wrong")
+	}
+}
+
+func TestTrainerRecordsTimings(t *testing.T) {
+	ds := tinyDataset(t, 9)
+	m := tinyMethod(t, "standard", ds, 10)
+	tr, _ := New(m, ds, Config{Epochs: 2, BatchSize: 20, Seed: 11})
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hist.Epochs {
+		if e.Timing.Forward <= 0 || e.Timing.Backward <= 0 {
+			t.Fatalf("epoch %d missing timings: %+v", e.Epoch, e.Timing)
+		}
+		if e.Duration <= 0 {
+			t.Fatal("epoch duration missing")
+		}
+	}
+	total := hist.TotalTiming()
+	if total.Forward <= hist.Epochs[0].Timing.Forward {
+		t.Fatal("TotalTiming should accumulate across epochs")
+	}
+}
+
+func TestTrainerTracksMemory(t *testing.T) {
+	ds := tinyDataset(t, 12)
+	m := tinyMethod(t, "standard", ds, 13)
+	tr, _ := New(m, ds, Config{Epochs: 1, BatchSize: 10, Seed: 14, TrackMemory: true})
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Final().AllocBytes == 0 || hist.Final().HeapBytes == 0 {
+		t.Fatalf("memory not tracked: %+v", hist.Final())
+	}
+}
+
+func TestTrainerEvalCap(t *testing.T) {
+	ds := tinyDataset(t, 15)
+	m := tinyMethod(t, "standard", ds, 16)
+	tr, _ := New(m, ds, Config{Epochs: 1, BatchSize: 10, Seed: 17, MaxEvalSamples: 5})
+	x, y := tr.evalSet()
+	if x.Rows != 5 || len(y) != 5 {
+		t.Fatalf("eval cap not applied: %d rows", x.Rows)
+	}
+}
+
+func TestTrainerAllMethodsRun(t *testing.T) {
+	ds := tinyDataset(t, 18)
+	for _, name := range core.MethodNames() {
+		m := tinyMethod(t, name, ds, 19)
+		batch := 10
+		if name == "alsh" {
+			batch = 1 // the paper evaluates ALSH stochastically
+		}
+		tr, err := New(m, ds, Config{Epochs: 1, BatchSize: batch, Seed: 20, RebuildPerEpoch: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hist, err := tr.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hist.Final().TestAccuracy < 0 || hist.Final().TestAccuracy > 1 {
+			t.Fatalf("%s: accuracy out of range", name)
+		}
+	}
+}
+
+func TestConfusionArtifact(t *testing.T) {
+	ds := tinyDataset(t, 21)
+	m := tinyMethod(t, "standard", ds, 22)
+	tr, _ := New(m, ds, Config{Epochs: 3, BatchSize: 10, Seed: 23})
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cm := Confusion(m, ds.Test, ds.Spec.Classes, 30)
+	if cm.Total() != 30 {
+		t.Fatalf("confusion rows = %d", cm.Total())
+	}
+	if !strings.Contains(cm.Render(), "true\\pred") {
+		t.Fatal("confusion render broken")
+	}
+	full := Confusion(m, ds.Test, ds.Spec.Classes, 0)
+	if full.Total() != ds.Test.Len() {
+		t.Fatal("uncapped confusion should use the full split")
+	}
+}
+
+func TestTrainerRecordsDivergence(t *testing.T) {
+	ds := tinyDataset(t, 30)
+	// A huge learning rate on a linear network reliably explodes the
+	// loss (ReLU nets can instead saturate into a dead state).
+	cfg := nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes)
+	cfg.Activation = "identity"
+	net, err := nn.NewNetwork(cfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewStandard(net, opt.NewSGD(1e8))
+	tr, err := New(m, ds, Config{Epochs: 5, BatchSize: 10, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatalf("divergence must be recorded, not returned as an error: %v", err)
+	}
+	if !hist.Diverged {
+		t.Fatal("Diverged flag not set")
+	}
+	if len(hist.Epochs) == 0 || len(hist.Epochs) == 5 {
+		t.Fatalf("divergence should stop training early, got %d epochs", len(hist.Epochs))
+	}
+	// Accuracy is still a number in [0,1] (collapsed predictions).
+	if acc := hist.Final().TestAccuracy; acc < 0 || acc > 1 {
+		t.Fatalf("post-divergence accuracy %v", acc)
+	}
+}
+
+func TestTrainerCheckpoints(t *testing.T) {
+	ds := tinyDataset(t, 40)
+	m := tinyMethod(t, "standard", ds, 41)
+	path := filepath.Join(t.TempDir(), "best.snn")
+	tr, err := New(m, ds, Config{Epochs: 4, BatchSize: 10, Seed: 42, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.LoadFile(path)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	// The checkpoint holds the best-accuracy weights: its accuracy must
+	// equal the run's best accuracy.
+	acc := loaded.Accuracy(ds.Test.X, ds.Test.Y)
+	if math.Abs(acc-hist.BestAccuracy()) > 1e-12 {
+		t.Fatalf("checkpoint accuracy %v vs best %v", acc, hist.BestAccuracy())
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	ds := tinyDataset(t, 50)
+	// A tiny learning rate makes validation accuracy plateau immediately,
+	// so patience should trigger well before the epoch budget.
+	net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes), rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewStandard(net, opt.NewSGD(1e-9))
+	tr, err := New(m, ds, Config{Epochs: 30, BatchSize: 20, Seed: 52, EarlyStopPatience: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hist.EarlyStopped {
+		t.Fatal("early stopping never triggered on a frozen model")
+	}
+	if len(hist.Epochs) >= 30 {
+		t.Fatalf("ran all %d epochs despite plateau", len(hist.Epochs))
+	}
+	if len(hist.Epochs) != 4 { // epoch 1 sets the best, then 3 patience epochs
+		t.Fatalf("expected 4 epochs (1 + patience 3), got %d", len(hist.Epochs))
+	}
+	for _, e := range hist.Epochs {
+		if e.ValAccuracy < 0 || e.ValAccuracy > 1 {
+			t.Fatalf("val accuracy %v", e.ValAccuracy)
+		}
+	}
+}
+
+func TestEarlyStoppingDisabledByDefault(t *testing.T) {
+	ds := tinyDataset(t, 53)
+	m := tinyMethod(t, "standard", ds, 54)
+	tr, _ := New(m, ds, Config{Epochs: 3, BatchSize: 20, Seed: 55})
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.EarlyStopped || len(hist.Epochs) != 3 {
+		t.Fatal("early stopping must be off by default")
+	}
+	if hist.Final().ValAccuracy != 0 {
+		t.Fatal("val accuracy should not be evaluated when early stopping is off")
+	}
+}

@@ -1,0 +1,171 @@
+// Package work is an analytic cost model for the training methods: it
+// counts the multiply-accumulate operations (MACs) each method performs
+// per training step, realizing the complexity claims of §4 (exact
+// training is Θ(n²) per layer; column sampling replaces one factor n by
+// the active-set size; row sampling replaces the summation length) and
+// providing the deterministic energy proxy the paper's §11 names as
+// future work — skipped arithmetic is the first-order driver of energy
+// per step on a CPU.
+package work
+
+import "fmt"
+
+// Arch is the layer structure of an MLP: Dims[0] is the input width,
+// Dims[len-1] the output width, everything between hidden widths.
+type Arch struct {
+	Dims []int
+}
+
+// MLPArch builds the uniform architecture used across the paper's
+// experiments.
+func MLPArch(inputs, units, depth, outputs int) Arch {
+	dims := make([]int, 0, depth+2)
+	dims = append(dims, inputs)
+	for i := 0; i < depth; i++ {
+		dims = append(dims, units)
+	}
+	dims = append(dims, outputs)
+	return Arch{Dims: dims}
+}
+
+// Layers returns the number of weight matrices.
+func (a Arch) Layers() int { return len(a.Dims) - 1 }
+
+// Params returns the weight-parameter count (biases excluded; they are
+// linear terms that never dominate).
+func (a Arch) Params() int {
+	total := 0
+	for i := 0; i+1 < len(a.Dims); i++ {
+		total += a.Dims[i] * a.Dims[i+1]
+	}
+	return total
+}
+
+func (a Arch) check() {
+	if len(a.Dims) < 2 {
+		panic(fmt.Sprintf("work: architecture needs at least 2 dims, has %d", len(a.Dims)))
+	}
+	for i, d := range a.Dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("work: dim %d is %d", i, d))
+		}
+	}
+}
+
+// Cost is a per-step MAC count split by phase.
+type Cost struct {
+	Forward  uint64
+	Backward uint64
+	// Overhead counts auxiliary passes that are not part of the exact
+	// computation: sampling-probability estimation (MC-approx norms over
+	// W), hash signatures (ALSH).
+	Overhead uint64
+}
+
+// Total sums the phases.
+func (c Cost) Total() uint64 { return c.Forward + c.Backward + c.Overhead }
+
+// Speedup returns the ratio of exact total cost to this cost.
+func Speedup(exact, approx Cost) float64 {
+	if approx.Total() == 0 {
+		return 0
+	}
+	return float64(exact.Total()) / float64(approx.Total())
+}
+
+// Standard returns the exact per-step cost: each layer multiplies a
+// (batch x nIn) activation block by an (nIn x nOut) weight matrix in the
+// forward pass, and performs two products of the same size in the
+// backward pass (weight gradient and propagated error).
+func Standard(a Arch, batch int) Cost {
+	a.check()
+	var c Cost
+	for i := 0; i+1 < len(a.Dims); i++ {
+		layer := uint64(batch) * uint64(a.Dims[i]) * uint64(a.Dims[i+1])
+		c.Forward += layer
+		c.Backward += layer // gradW = aᵀ·δ
+		if i > 0 {
+			c.Backward += layer // δ·Wᵀ (not needed below the first layer)
+		}
+	}
+	return c
+}
+
+// ColumnSampled returns the cost when each hidden layer evaluates only a
+// fraction activeFrac of its nodes — Dropout (activeFrac = keep
+// probability) and ALSH-approx (activeFrac = mean active fraction). The
+// output layer stays exact, matching the implementations. hashOverhead
+// adds the per-step ALSH query cost: L signature computations of K dot
+// products in the expanded dimension per layer (zero for Dropout).
+func ColumnSampled(a Arch, batch int, activeFrac float64, hashK, hashL, hashM int) Cost {
+	a.check()
+	if activeFrac <= 0 || activeFrac > 1 {
+		panic(fmt.Sprintf("work: active fraction %v out of (0,1]", activeFrac))
+	}
+	var c Cost
+	last := a.Layers() - 1
+	for i := 0; i+1 < len(a.Dims); i++ {
+		nIn, nOut := uint64(a.Dims[i]), uint64(a.Dims[i+1])
+		frac := activeFrac
+		if i == last {
+			frac = 1 // exact output layer
+		}
+		active := uint64(float64(nOut) * frac)
+		if active == 0 {
+			active = 1
+		}
+		layer := uint64(batch) * nIn * active
+		c.Forward += layer
+		c.Backward += layer
+		if i > 0 {
+			c.Backward += layer
+		}
+		if hashL > 0 && i != last {
+			// One query per batch row: L hash functions x K bits, each a
+			// dot product over the expanded dimension nIn+m.
+			c.Overhead += uint64(batch) * uint64(hashL) * uint64(hashK) * (nIn + uint64(hashM))
+		}
+	}
+	return c
+}
+
+// RowSampled returns the cost of the paper's MC-approx (backward-only
+// placement): the forward pass is exact; in the backward pass the
+// propagated-error product sums k of nOut terms and the weight-gradient
+// product sums min(k, batch) of batch terms; estimating the Eq. 7
+// probabilities costs one pass over W per hidden layer (the column
+// norms) plus one pass over the activation and error blocks.
+func RowSampled(a Arch, batch, k int) Cost {
+	a.check()
+	if k <= 0 {
+		panic("work: k must be positive")
+	}
+	var c Cost
+	for i := 0; i+1 < len(a.Dims); i++ {
+		nIn, nOut := uint64(a.Dims[i]), uint64(a.Dims[i+1])
+		c.Forward += uint64(batch) * nIn * nOut
+
+		// gradW: sample the batch dimension.
+		kb := uint64(k)
+		if uint64(batch) < kb {
+			kb = uint64(batch)
+		}
+		c.Backward += kb * nIn * nOut
+
+		if i > 0 {
+			// δ·Wᵀ: sample the nOut dimension.
+			kn := uint64(k)
+			if nOut < kn {
+				kn = nOut
+			}
+			c.Backward += uint64(batch) * nIn * kn
+			// Probability estimation: column norms of W (a full pass
+			// over the layer's weights) plus norms of δ's columns.
+			c.Overhead += nIn*nOut + uint64(batch)*nOut
+		}
+		// gradW probabilities: row norms of the activation and error
+		// blocks.
+		c.Overhead += uint64(batch) * (nIn + nOut)
+	}
+	return c
+}
