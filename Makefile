@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test tier1 bench vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: vet plus race-enabled tests for the packages with
+# concurrency (parallel ALSH workers) and crash-safety machinery
+# (checkpoint/resume/rollback).
+tier1:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/train/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 10x .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .

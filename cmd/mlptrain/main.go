@@ -8,12 +8,23 @@
 //	         -epochs 5 -lr 0.05 -train 2000 -test 500
 //
 // Methods: standard, dropout, adaptive-dropout, alsh, alsh-parallel, mc.
+//
+// Crash safety: with -state FILE the run writes a full-state checkpoint
+// (weights, optimizer state, RNG streams, history) every
+// -checkpoint-every epochs and on SIGINT/SIGTERM; -resume FILE continues
+// it deterministically. -max-retries N enables divergence recovery:
+// a non-finite loss rolls the run back to the last good epoch and
+// multiplies the learning rate by -lr-decay before retrying.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"samplednn/internal/core"
 	"samplednn/internal/dataset"
@@ -43,8 +54,18 @@ func main() {
 		confuse  = flag.Bool("confusion", true, "print the final confusion matrix and per-class report")
 		savePath = flag.String("save", "", "checkpoint the best model to this file")
 		loadPath = flag.String("load", "", "initialize weights from a saved model instead of random init")
+
+		statePath  = flag.String("state", "", "write full-state resumable checkpoints to this file")
+		resumePath = flag.String("resume", "", "resume a run from a full-state checkpoint (implies -state when -state is unset)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "epochs between full-state checkpoints (requires -state)")
+		maxRetries = flag.Int("max-retries", 0, "divergence rollbacks before giving up (0 = record divergence immediately)")
+		lrDecay    = flag.Float64("lr-decay", 0.5, "learning-rate multiplier applied on each divergence rollback")
 	)
 	flag.Parse()
+	if *resumePath != "" && *statePath == "" {
+		// A resumed run keeps checkpointing to the file it came from.
+		*statePath = *resumePath
+	}
 
 	ds, err := dataset.Generate(*dsName, dataset.Options{
 		Seed: *seed, MaxTrain: *trainCap, MaxTest: *testCap, MaxVal: 200,
@@ -100,11 +121,36 @@ func main() {
 		MaxEvalSamples:  1000,
 		RebuildPerEpoch: *method == "alsh" || *method == "alsh-parallel",
 		CheckpointPath:  *savePath,
+		StatePath:       *statePath,
+		CheckpointEvery: *ckptEvery,
+		MaxRetries:      *maxRetries,
+		LRDecay:         *lrDecay,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	hist, err := tr.Run()
+
+	// SIGINT/SIGTERM stop training at the next batch boundary; the trainer
+	// writes the last good snapshot to -state before returning, so an
+	// interrupted run can be continued with -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var hist *train.History
+	if *resumePath != "" {
+		fmt.Printf("resuming from %s\n", *resumePath)
+		hist, err = tr.ResumeContext(ctx, *resumePath)
+	} else {
+		hist, err = tr.RunContext(ctx)
+	}
+	if errors.Is(err, context.Canceled) {
+		if *statePath != "" {
+			fmt.Printf("\ninterrupted; state saved to %s — continue with -resume %s\n", *statePath, *statePath)
+		} else {
+			fmt.Println("\ninterrupted (no -state file configured; progress discarded)")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -112,6 +158,9 @@ func main() {
 		fmt.Printf("epoch %2d  loss %.4f  test-acc %5.2f%%  ff %6.3fs  bp %6.3fs  maint %6.3fs\n",
 			e.Epoch, e.TrainLoss, 100*e.TestAccuracy,
 			e.Timing.Forward.Seconds(), e.Timing.Backward.Seconds(), e.Timing.Maintain.Seconds())
+	}
+	if hist.Diverged {
+		fmt.Println("training diverged (non-finite loss); history ends at the collapse — try -max-retries with a lower -lr")
 	}
 	fmt.Printf("best accuracy: %.2f%%\n", 100*hist.BestAccuracy())
 

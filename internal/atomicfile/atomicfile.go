@@ -1,0 +1,69 @@
+// Package atomicfile writes files so that a crash — process kill, power
+// loss, disk-full — at any instant leaves either the complete old file or
+// the complete new file on disk, never a torn mix. Model checkpoints and
+// the trainer's full-state snapshots both route through it: a snapshot
+// that can be corrupted by the very crash it exists to survive is
+// worthless.
+package atomicfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The data is staged in a temp file in the same directory (so the final
+// rename cannot cross filesystems), flushed and fsynced, then renamed
+// over path. The containing directory is fsynced afterwards on a
+// best-effort basis so the rename itself survives a power cut.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("atomicfile: flushing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: closing %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: replacing %s: %w", path, err)
+	}
+	// Persist the rename. Some filesystems don't support fsync on
+	// directories; that only weakens durability, not atomicity.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for callers that already hold the full
+// content in memory.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,64 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFileBytes(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content %q", got)
+	}
+}
+
+func TestWriteFileFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileBytes(path, []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write crash")
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("torn")) // partial write, then failure
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Fatalf("old content lost: %q", got)
+	}
+	// The staging file must not be left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileBadDirectory(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), []byte("x"))
+	if err == nil {
+		t.Fatal("missing directory must error")
+	}
+}

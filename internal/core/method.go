@@ -21,9 +21,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"samplednn/internal/nn"
+	"samplednn/internal/opt"
 	"samplednn/internal/tensor"
 )
 
@@ -88,6 +90,41 @@ type Method interface {
 	Timing() Timing
 	// ResetTiming zeroes the phase timings.
 	ResetTiming()
+}
+
+// FallibleStepper is implemented by methods whose Step can fail
+// recoverably — today that is ParallelALSH, whose worker goroutines
+// convert panics into errors instead of crashing the process. The
+// trainer prefers TryStep when it is available so a contained worker
+// fault surfaces as an error from Run rather than a corrupted update.
+type FallibleStepper interface {
+	// TryStep is Step with an error path. When it returns a non-nil
+	// error the batch was not applied: the network weights are exactly
+	// as they were before the call.
+	TryStep(x *tensor.Matrix, y []int) (float64, error)
+}
+
+// Resumable is implemented by methods that carry mutable run-time state
+// beyond the network weights — private RNG streams, sample counters,
+// hash-maintenance cadence positions. Full-state checkpoints
+// (internal/train) include this blob so a resumed run continues the
+// method's random choices byte-for-byte where the original left off.
+type Resumable interface {
+	// SaveState serializes the method's run-time state.
+	SaveState(w io.Writer) error
+	// LoadState restores state written by SaveState on a method of the
+	// same type over the same architecture. Implementations that derive
+	// auxiliary structures from the weights (hash indexes) rebuild them,
+	// so callers must restore the network weights first.
+	LoadState(r io.Reader) error
+}
+
+// OptimizerHolder exposes a method's optimizer. Every method in this
+// package implements it; the trainer uses it to checkpoint optimizer
+// state and to decay the learning rate during divergence recovery.
+type OptimizerHolder interface {
+	// Optimizer returns the optimizer the method applies updates with.
+	Optimizer() opt.Optimizer
 }
 
 // BatchPredictor is implemented by methods whose inference pass differs

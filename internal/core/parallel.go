@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -33,6 +35,23 @@ type ParallelALSH struct {
 	workers  []*alshWorker
 	results  []workerResult
 	unionBuf map[int][]int
+
+	// Merge-phase scratch, reused across Steps so the per-batch merge
+	// performs no allocations: seenBuf flags union membership per hidden
+	// layer, outW/outB accumulate the dense output-layer gradient.
+	seenBuf [][]bool
+	outWBuf *tensor.Matrix
+	outBBuf []float64
+
+	// Fault containment: worker panics are recovered per sample and
+	// recorded here instead of killing the process.
+	errMu   sync.Mutex
+	stepErr error
+
+	// sampleHook, when set, runs inside the worker just before each
+	// sample is processed. Tests use it to inject panics at a chosen
+	// sample.
+	sampleHook func(sample int)
 }
 
 // alshWorker holds one goroutine's private buffers.
@@ -64,6 +83,13 @@ func NewParallelALSH(net *nn.Network, optim opt.Optimizer, cfg ALSHConfig, worke
 		return nil, err
 	}
 	p := &ParallelALSH{ALSHApprox: base, Workers: workers, unionBuf: map[int][]int{}}
+	last := len(net.Layers) - 1
+	p.seenBuf = make([][]bool, last)
+	for i := 0; i < last; i++ {
+		p.seenBuf[i] = make([]bool, net.Layers[i].FanOut())
+	}
+	p.outWBuf = tensor.New(net.Layers[last].FanIn(), net.Layers[last].FanOut())
+	p.outBBuf = make([]float64, net.Layers[last].FanOut())
 	for w := 0; w < workers; w++ {
 		aw := &alshWorker{
 			states:    make([]*activeState, len(net.Layers)),
@@ -86,9 +112,57 @@ func (p *ParallelALSH) Name() string { return "alsh-parallel" }
 
 // Step processes every row of the batch in parallel, each with its own
 // per-sample active sets, then merges and applies the sparse gradients.
+//
+// A panic in a worker goroutine is contained: Step returns NaN and the
+// recovered panic is available from LastErr. Callers that can handle
+// errors (the trainer) should use TryStep instead.
 func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
+	loss, err := p.TryStep(x, y)
+	if err != nil {
+		return math.NaN()
+	}
+	return loss
+}
+
+// LastErr returns the error recorded by the most recent Step/TryStep, or
+// nil if it completed cleanly.
+func (p *ParallelALSH) LastErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.stepErr
+}
+
+func (p *ParallelALSH) recordErr(err error) {
+	p.errMu.Lock()
+	if p.stepErr == nil {
+		p.stepErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// runSample processes one sample inside a worker, converting a panic
+// anywhere below (hash lookup, kernel, optimizer shape check) into an
+// error so one bad sample cannot take down the process or strand the
+// other workers.
+func (p *ParallelALSH) runSample(aw *alshWorker, x *tensor.Matrix, y []int, i int, results []workerResult) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: parallel worker: sample %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	if p.sampleHook != nil {
+		p.sampleHook(i)
+	}
+	results[i] = p.processSample(aw, x.RowView(i), y[i])
+	return nil
+}
+
+// TryStep is Step with fault containment surfaced as an error: if any
+// worker panics, the whole batch is discarded — no gradient is applied,
+// the weights are untouched — and the first recovered panic is returned.
+func (p *ParallelALSH) TryStep(x *tensor.Matrix, y []int) (float64, error) {
 	if x.Rows != len(y) {
-		panic(fmt.Sprintf("core: %d rows vs %d labels", x.Rows, len(y)))
+		return 0, fmt.Errorf("core: %d rows vs %d labels", x.Rows, len(y))
 	}
 	layers := p.net.Layers
 	last := len(layers) - 1
@@ -98,6 +172,9 @@ func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
 		p.results = make([]workerResult, x.Rows)
 	}
 	results := p.results[:x.Rows]
+	p.errMu.Lock()
+	p.stepErr = nil
+	p.errMu.Unlock()
 
 	var wg sync.WaitGroup
 	rows := make(chan int, x.Rows)
@@ -113,18 +190,30 @@ func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
 		wg.Add(1)
 		go func(aw *alshWorker) {
 			defer wg.Done()
+			// Keep draining the row queue even after a failure so the
+			// pool always terminates; later samples still run (and may
+			// fail independently), but the batch is already doomed.
 			for i := range rows {
-				results[i] = p.processSample(aw, x.RowView(i), y[i])
+				if err := p.runSample(aw, x, y, i, results); err != nil {
+					p.recordErr(err)
+				}
 			}
 		}(p.workers[w])
 	}
 	wg.Wait()
+	if err := p.LastErr(); err != nil {
+		return 0, err
+	}
 	t1 := time.Now()
 
-	// Merge: output layer densely, hidden layers by column union.
+	// Merge: output layer densely, hidden layers by column union. All
+	// merge scratch is owned by p and reused across batches.
 	var loss float64
-	outW := tensor.New(layers[last].FanIn(), layers[last].FanOut())
-	outB := make([]float64, layers[last].FanOut())
+	outW, outB := p.outWBuf, p.outBBuf
+	outW.Zero()
+	for i := range outB {
+		outB[i] = 0
+	}
 	for _, r := range results {
 		loss += r.loss
 		tensor.AddInPlace(outW, r.outW)
@@ -141,7 +230,7 @@ func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
 			p.grads[li] = l.ZeroGrads()
 		}
 		union := p.unionBuf[li][:0]
-		seen := make(map[int]bool)
+		seen := p.seenBuf[li]
 		for ri := range results {
 			r := &results[ri]
 			for ci, col := range r.cols[li] {
@@ -162,6 +251,7 @@ func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
 		clearGradCols(p.grads[li], union)
 		for _, c := range union {
 			p.touched[li][c] = struct{}{}
+			seen[c] = false
 		}
 	}
 	t2 := time.Now()
@@ -173,7 +263,7 @@ func (p *ParallelALSH) Step(x *tensor.Matrix, y []int) float64 {
 	p.timing.Forward += t1.Sub(t0) // parallel compute phase
 	p.timing.Backward += t2.Sub(t1)
 	p.timing.Maintain += t3.Sub(t2)
-	return loss * inv
+	return loss * inv, nil
 }
 
 // processSample runs one sample's sparse forward/backward on read-only

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
+	"time"
 
+	"samplednn/internal/nn"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -117,5 +121,175 @@ func TestPadActive(t *testing.T) {
 	// Does not mutate the input.
 	if many[0] != 0 || many[9] != 9 {
 		t.Fatal("padActive must not mutate its input")
+	}
+}
+
+func TestParallelALSHWorkerPanicSurfacesAsError(t *testing.T) {
+	x, y := separableTask(13, 12, 6, 3)
+	net := mlp(t, 14, 6, 20, 3)
+	m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 3,
+	}, 3, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.Layers[0].W.Clone()
+	m.sampleHook = func(i int) {
+		if i == 7 {
+			panic("injected worker fault")
+		}
+	}
+	_, err = m.TryStep(x, y)
+	if err == nil {
+		t.Fatal("worker panic must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "injected worker fault") || !strings.Contains(err.Error(), "sample 7") {
+		t.Fatalf("error lacks panic context: %v", err)
+	}
+	// The failed batch must not have been applied.
+	if !tensor.EqualApprox(before, net.Layers[0].W, 0) {
+		t.Fatal("weights changed despite failed batch")
+	}
+	// The pool must not deadlock or stay poisoned: clearing the hook and
+	// stepping again succeeds.
+	m.sampleHook = nil
+	loss, err := m.TryStep(x, y)
+	if err != nil {
+		t.Fatalf("pool poisoned after recovered panic: %v", err)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss %v after recovery", loss)
+	}
+	if m.LastErr() != nil {
+		t.Fatalf("stale error: %v", m.LastErr())
+	}
+}
+
+func TestParallelALSHStepReportsPanicAsNaN(t *testing.T) {
+	x, y := separableTask(16, 6, 6, 3)
+	net := mlp(t, 17, 6, 16, 3)
+	m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 3,
+	}, 2, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.sampleHook = func(int) { panic("boom") }
+	if loss := m.Step(x, y); !math.IsNaN(loss) {
+		t.Fatalf("Step after worker panic returned %v, want NaN", loss)
+	}
+	if m.LastErr() == nil {
+		t.Fatal("LastErr must report the recovered panic")
+	}
+}
+
+func TestParallelALSHEveryWorkerPanics(t *testing.T) {
+	// All samples panic: the pool must still drain and terminate.
+	x, y := separableTask(19, 16, 6, 3)
+	net := mlp(t, 20, 6, 16, 3)
+	m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 3,
+	}, 4, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.sampleHook = func(int) { panic("total failure") }
+	done := make(chan struct{})
+	go func() {
+		_, err := m.TryStep(x, y)
+		if err == nil {
+			t.Error("expected error")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool deadlocked")
+	}
+}
+
+func TestParallelALSHMergeScratchIsReset(t *testing.T) {
+	// The reused seen/outW/outB merge scratch must leave no residue
+	// between batches: two fresh trainers stepping the same data must
+	// stay bit-identical across many steps, and a single trainer's
+	// repeated steps must keep producing finite losses.
+	x, y := separableTask(22, 10, 6, 3)
+	mk := func() (*ParallelALSH, *nn.Network) {
+		net := mlp(t, 23, 6, 18, 3)
+		// One worker: the sample-to-worker assignment (and thus every
+		// RNG draw and float summation order) is fully deterministic.
+		m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+			Params: lshParamsForTest(), MinActive: 18,
+		}, 1, rng.New(24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, net
+	}
+	m1, net1 := mk()
+	m2, net2 := mk()
+	for s := 0; s < 5; s++ {
+		l1 := m1.Step(x, y)
+		l2 := m2.Step(x, y)
+		if l1 != l2 {
+			t.Fatalf("step %d: losses diverged %v vs %v", s, l1, l2)
+		}
+		if math.IsNaN(l1) || math.IsInf(l1, 0) {
+			t.Fatalf("step %d: loss %v", s, l1)
+		}
+	}
+	for i := range net1.Layers {
+		if !tensor.EqualApprox(net1.Layers[i].W, net2.Layers[i].W, 0) {
+			t.Fatalf("layer %d weights diverged", i)
+		}
+	}
+	// Seen flags were all cleared back to false.
+	for li, seen := range m1.seenBuf {
+		for c, v := range seen {
+			if v {
+				t.Fatalf("layer %d column %d left marked in seen scratch", li, c)
+			}
+		}
+	}
+}
+
+func TestParallelALSHStateRoundTrip(t *testing.T) {
+	x, y := separableTask(25, 8, 6, 3)
+	net := mlp(t, 26, 6, 16, 3)
+	m, err := NewParallelALSH(net, opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 4,
+	}, 2, rng.New(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(x, y)
+	var buf bytes.Buffer
+	if err := m.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A twin constructed identically accepts the state.
+	net2 := mlp(t, 26, 6, 16, 3)
+	m2, err := NewParallelALSH(net2, opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 4,
+	}, 2, rng.New(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if m2.samples != m.samples || m2.lastUpd != m.lastUpd {
+		t.Fatalf("counters not restored: %d/%d vs %d/%d", m2.samples, m2.lastUpd, m.samples, m.lastUpd)
+	}
+	// A worker-count mismatch is rejected.
+	m3, err := NewParallelALSH(mlp(t, 26, 6, 16, 3), opt.NewSGD(0.1), ALSHConfig{
+		Params: lshParamsForTest(), MinActive: 4,
+	}, 3, rng.New(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m3.LoadState(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("worker-count mismatch must be rejected")
 	}
 }

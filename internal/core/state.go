@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"samplednn/internal/binio"
+	"samplednn/internal/opt"
+)
+
+// This file implements the checkpoint hooks of every method: the
+// OptimizerHolder accessor and, for methods with run-time state beyond
+// the weights, the Resumable interface. Each state blob starts with a
+// one-byte version so formats can evolve independently.
+
+const methodStateV1 = 1
+
+// Optimizer returns the wrapped optimizer.
+func (s *Standard) Optimizer() opt.Optimizer { return s.optim }
+
+// Optimizer returns the wrapped optimizer.
+func (d *Dropout) Optimizer() opt.Optimizer { return d.optim }
+
+// Optimizer returns the wrapped optimizer.
+func (a *AdaptiveDropout) Optimizer() opt.Optimizer { return a.optim }
+
+// Optimizer returns the wrapped optimizer.
+func (a *ALSHApprox) Optimizer() opt.Optimizer { return a.optim }
+
+// Optimizer returns the wrapped optimizer.
+func (m *MCApprox) Optimizer() opt.Optimizer { return m.optim }
+
+func writeVersion(w io.Writer) error { return binio.WriteU8(w, methodStateV1) }
+
+func readVersion(r io.Reader, method string) error {
+	v, err := binio.ReadU8(r)
+	if err != nil {
+		return fmt.Errorf("core: %s state header: %w", method, err)
+	}
+	if v != methodStateV1 {
+		return fmt.Errorf("core: %s state version %d, this build reads %d", method, v, methodStateV1)
+	}
+	return nil
+}
+
+// SaveState serializes the dropout mask RNG position.
+func (d *Dropout) SaveState(w io.Writer) error {
+	if err := writeVersion(w); err != nil {
+		return err
+	}
+	return binio.WriteBytes(w, d.g.Save())
+}
+
+// LoadState restores the dropout mask RNG position.
+func (d *Dropout) LoadState(r io.Reader) error {
+	if err := readVersion(r, "dropout"); err != nil {
+		return err
+	}
+	blob, err := binio.ReadBytes(r)
+	if err != nil {
+		return err
+	}
+	return d.g.Restore(blob)
+}
+
+// SaveState serializes the standout mask RNG position.
+func (a *AdaptiveDropout) SaveState(w io.Writer) error {
+	if err := writeVersion(w); err != nil {
+		return err
+	}
+	return binio.WriteBytes(w, a.g.Save())
+}
+
+// LoadState restores the standout mask RNG position.
+func (a *AdaptiveDropout) LoadState(r io.Reader) error {
+	if err := readVersion(r, "adaptive-dropout"); err != nil {
+		return err
+	}
+	blob, err := binio.ReadBytes(r)
+	if err != nil {
+		return err
+	}
+	return a.g.Restore(blob)
+}
+
+// SaveState serializes the MC sampling RNG position.
+func (m *MCApprox) SaveState(w io.Writer) error {
+	if err := writeVersion(w); err != nil {
+		return err
+	}
+	return binio.WriteBytes(w, m.g.Save())
+}
+
+// LoadState restores the MC sampling RNG position.
+func (m *MCApprox) LoadState(r io.Reader) error {
+	if err := readVersion(r, "mc"); err != nil {
+		return err
+	}
+	blob, err := binio.ReadBytes(r)
+	if err != nil {
+		return err
+	}
+	return m.g.Restore(blob)
+}
+
+// SaveState serializes the active-set RNG position and the
+// hash-maintenance counters.
+func (a *ALSHApprox) SaveState(w io.Writer) error {
+	if err := writeVersion(w); err != nil {
+		return err
+	}
+	if err := binio.WriteBytes(w, a.g.Save()); err != nil {
+		return err
+	}
+	if err := binio.WriteI64(w, int64(a.samples)); err != nil {
+		return err
+	}
+	return binio.WriteI64(w, int64(a.lastUpd))
+}
+
+// LoadState restores the RNG position and maintenance counters, then
+// rebuilds every hash index from the current weights. Callers restore
+// the network weights before calling LoadState, so the rebuilt indexes
+// match the checkpoint's weights; the hash functions themselves were
+// fixed at construction and are reproduced by constructing the method
+// with the same seed.
+func (a *ALSHApprox) LoadState(r io.Reader) error {
+	if err := readVersion(r, "alsh"); err != nil {
+		return err
+	}
+	blob, err := binio.ReadBytes(r)
+	if err != nil {
+		return err
+	}
+	if err := a.g.Restore(blob); err != nil {
+		return err
+	}
+	samples, err := binio.ReadI64(r)
+	if err != nil {
+		return err
+	}
+	lastUpd, err := binio.ReadI64(r)
+	if err != nil {
+		return err
+	}
+	a.samples = int(samples)
+	a.lastUpd = int(lastUpd)
+	a.RebuildAll()
+	return nil
+}
+
+// SaveState serializes the base ALSH state plus every worker's private
+// RNG position.
+func (p *ParallelALSH) SaveState(w io.Writer) error {
+	if err := p.ALSHApprox.SaveState(w); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(w, uint32(len(p.workers))); err != nil {
+		return err
+	}
+	for _, aw := range p.workers {
+		if err := binio.WriteBytes(w, aw.g.Save()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState restores the base ALSH state and the worker RNG streams. The
+// worker count must match the one the state was saved with.
+func (p *ParallelALSH) LoadState(r io.Reader) error {
+	if err := p.ALSHApprox.LoadState(r); err != nil {
+		return err
+	}
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(p.workers) {
+		return fmt.Errorf("core: checkpoint has %d worker streams, trainer has %d workers", n, len(p.workers))
+	}
+	for _, aw := range p.workers {
+		blob, err := binio.ReadBytes(r)
+		if err != nil {
+			return err
+		}
+		if err := aw.g.Restore(blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -44,6 +44,33 @@ func (b *Batcher) Reset() {
 	b.pos = 0
 }
 
+// Order returns a copy of the current permutation. Shuffles are applied
+// in place, so the ordering at any epoch depends on the whole shuffle
+// history, not just the RNG position — checkpoints must therefore carry
+// the permutation alongside the RNG state to resume deterministically.
+func (b *Batcher) Order() []int {
+	return append([]int(nil), b.order...)
+}
+
+// SetOrder replaces the current permutation (checkpoint resume). The
+// slice must be a permutation of [0, Len).
+func (b *Batcher) SetOrder(order []int) error {
+	n := b.split.Len()
+	if len(order) != n {
+		return fmt.Errorf("dataset: order has %d entries, split has %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, j := range order {
+		if j < 0 || j >= n || seen[j] {
+			return fmt.Errorf("dataset: order is not a permutation of [0,%d)", n)
+		}
+		seen[j] = true
+	}
+	copy(b.order, order)
+	b.pos = 0
+	return nil
+}
+
 // Next returns the next batch, or (nil, nil) at the end of the epoch.
 // The returned matrix and labels are reused by subsequent calls; callers
 // that retain them must copy. The final batch of an epoch may be smaller

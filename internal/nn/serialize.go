@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 
+	"samplednn/internal/atomicfile"
 	"samplednn/internal/tensor"
 )
 
@@ -53,17 +54,11 @@ func (n *Network) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the network to a file path.
+// SaveFile writes the network to a file path. The write is atomic (temp
+// file + fsync + rename via internal/atomicfile), so a crash mid-save can
+// never corrupt an existing checkpoint at the same path.
 func (n *Network) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := n.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, n.Save)
 }
 
 // Load reads a network written by Save.

@@ -1,0 +1,274 @@
+package opt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"samplednn/internal/binio"
+	"samplednn/internal/tensor"
+)
+
+// StateSaver is implemented by optimizers whose accumulated state
+// (momentum velocities, squared-gradient sums, Adam moments and step
+// counters) must survive a checkpoint/restore cycle. SGD implements it
+// too, as an empty blob, so the trainer can treat every optimizer
+// uniformly.
+//
+// Hyperparameters (learning rate, decay coefficients) are deliberately
+// NOT part of the blob: they belong to the run configuration. That is
+// what lets the divergence-recovery policy decay the learning rate and
+// keep the decayed value across a state rollback.
+type StateSaver interface {
+	// SaveState serializes the accumulated state to w.
+	SaveState(w io.Writer) error
+	// LoadState replaces the accumulated state with one written by
+	// SaveState on an optimizer of the same type.
+	LoadState(r io.Reader) error
+}
+
+// LRAdjuster is implemented by optimizers whose learning rate can be
+// changed mid-run — the trainer's divergence recovery multiplies it by a
+// decay factor after each rollback.
+type LRAdjuster interface {
+	// LearningRate returns the current learning rate.
+	LearningRate() float64
+	// SetLearningRate replaces the learning rate.
+	SetLearningRate(lr float64)
+}
+
+// LearningRate returns s.LR.
+func (s *SGD) LearningRate() float64 { return s.LR }
+
+// SetLearningRate replaces s.LR.
+func (s *SGD) SetLearningRate(lr float64) { s.LR = lr }
+
+// LearningRate returns m.LR.
+func (m *Momentum) LearningRate() float64 { return m.LR }
+
+// SetLearningRate replaces m.LR.
+func (m *Momentum) SetLearningRate(lr float64) { m.LR = lr }
+
+// LearningRate returns a.LR.
+func (a *Adagrad) LearningRate() float64 { return a.LR }
+
+// SetLearningRate replaces a.LR.
+func (a *Adagrad) SetLearningRate(lr float64) { a.LR = lr }
+
+// LearningRate returns a.LR.
+func (a *Adam) LearningRate() float64 { return a.LR }
+
+// SetLearningRate replaces a.LR.
+func (a *Adam) SetLearningRate(lr float64) { a.LR = lr }
+
+// sortedIDs returns the layer ids of a state map in ascending order so
+// serialized blobs are byte-stable across runs.
+func sortedIDs[T any](m map[int]*T) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func writeMatrix(w io.Writer, m *tensor.Matrix) error {
+	if err := binio.WriteU32(w, uint32(m.Rows)); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(w, uint32(m.Cols)); err != nil {
+		return err
+	}
+	return binio.WriteFloats(w, m.Data)
+}
+
+func readMatrix(r io.Reader) (*tensor.Matrix, error) {
+	rows, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	data, err := binio.ReadFloats(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(rows)*int(cols) != len(data) {
+		return nil, fmt.Errorf("opt: state matrix %dx%d with %d values", rows, cols, len(data))
+	}
+	return tensor.FromSlice(int(rows), int(cols), data), nil
+}
+
+// SaveState writes nothing: SGD is stateless.
+func (s *SGD) SaveState(io.Writer) error { return nil }
+
+// LoadState reads nothing: SGD is stateless.
+func (s *SGD) LoadState(io.Reader) error { return nil }
+
+// SaveState serializes the per-layer velocity buffers.
+func (m *Momentum) SaveState(w io.Writer) error {
+	if err := binio.WriteU32(w, uint32(len(m.state))); err != nil {
+		return err
+	}
+	for _, id := range sortedIDs(m.state) {
+		st := m.state[id]
+		if err := binio.WriteU32(w, uint32(id)); err != nil {
+			return err
+		}
+		if err := writeMatrix(w, st.vW); err != nil {
+			return err
+		}
+		if err := binio.WriteFloats(w, st.vB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState replaces the velocity buffers with a serialized snapshot.
+func (m *Momentum) LoadState(r io.Reader) error {
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return err
+	}
+	state := make(map[int]*momentState, n)
+	for i := uint32(0); i < n; i++ {
+		id, err := binio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		vW, err := readMatrix(r)
+		if err != nil {
+			return err
+		}
+		vB, err := binio.ReadFloats(r)
+		if err != nil {
+			return err
+		}
+		state[int(id)] = &momentState{vW: vW, vB: vB}
+	}
+	m.state = state
+	return nil
+}
+
+// SaveState serializes the per-layer squared-gradient accumulators.
+func (a *Adagrad) SaveState(w io.Writer) error {
+	if err := binio.WriteU32(w, uint32(len(a.state))); err != nil {
+		return err
+	}
+	for _, id := range sortedIDs(a.state) {
+		st := a.state[id]
+		if err := binio.WriteU32(w, uint32(id)); err != nil {
+			return err
+		}
+		if err := writeMatrix(w, st.hW); err != nil {
+			return err
+		}
+		if err := binio.WriteFloats(w, st.hB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState replaces the accumulators with a serialized snapshot.
+func (a *Adagrad) LoadState(r io.Reader) error {
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return err
+	}
+	state := make(map[int]*adagradState, n)
+	for i := uint32(0); i < n; i++ {
+		id, err := binio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		hW, err := readMatrix(r)
+		if err != nil {
+			return err
+		}
+		hB, err := binio.ReadFloats(r)
+		if err != nil {
+			return err
+		}
+		state[int(id)] = &adagradState{hW: hW, hB: hB}
+	}
+	a.state = state
+	return nil
+}
+
+// SaveState serializes the per-layer moments and bias-correction ages.
+func (a *Adam) SaveState(w io.Writer) error {
+	if err := binio.WriteU32(w, uint32(len(a.state))); err != nil {
+		return err
+	}
+	for _, id := range sortedIDs(a.state) {
+		st := a.state[id]
+		if err := binio.WriteU32(w, uint32(id)); err != nil {
+			return err
+		}
+		if err := writeMatrix(w, st.mW); err != nil {
+			return err
+		}
+		if err := writeMatrix(w, st.vW); err != nil {
+			return err
+		}
+		if err := binio.WriteFloats(w, st.mB); err != nil {
+			return err
+		}
+		if err := binio.WriteFloats(w, st.vB); err != nil {
+			return err
+		}
+		if err := binio.WriteI64(w, int64(st.t)); err != nil {
+			return err
+		}
+		if err := binio.WriteInts(w, st.tCol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState replaces the moment state with a serialized snapshot.
+func (a *Adam) LoadState(r io.Reader) error {
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return err
+	}
+	state := make(map[int]*adamState, n)
+	for i := uint32(0); i < n; i++ {
+		id, err := binio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		st := &adamState{}
+		if st.mW, err = readMatrix(r); err != nil {
+			return err
+		}
+		if st.vW, err = readMatrix(r); err != nil {
+			return err
+		}
+		if st.mB, err = binio.ReadFloats(r); err != nil {
+			return err
+		}
+		if st.vB, err = binio.ReadFloats(r); err != nil {
+			return err
+		}
+		t, err := binio.ReadI64(r)
+		if err != nil {
+			return err
+		}
+		st.t = int(t)
+		if st.tCol, err = binio.ReadInts(r); err != nil {
+			return err
+		}
+		if st.mW.Rows != st.vW.Rows || st.mW.Cols != st.vW.Cols || len(st.mB) != len(st.vB) {
+			return fmt.Errorf("opt: adam state for layer %d has mismatched moment shapes", id)
+		}
+		state[int(id)] = st
+	}
+	a.state = state
+	return nil
+}

@@ -1,0 +1,129 @@
+package opt
+
+import (
+	"bytes"
+	"testing"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/tensor"
+)
+
+// fakeLayer builds a parameter block plus a gradient for exercising
+// optimizer state.
+func fakeLayer(rows, cols int, scale float64) (*tensor.Matrix, []float64, nn.Grads) {
+	w := tensor.New(rows, cols)
+	b := make([]float64, cols)
+	g := nn.Grads{W: tensor.New(rows, cols), B: make([]float64, cols)}
+	for i := range w.Data {
+		w.Data[i] = scale * float64(i+1)
+		g.W.Data[i] = scale * 0.1 * float64(i%7)
+	}
+	for j := range b {
+		b[j] = scale * float64(j)
+		g.B[j] = scale * 0.01 * float64(j+1)
+	}
+	return w, b, g
+}
+
+// roundTrip saves o's state, loads it into fresh, and fails the test on
+// any serialization error.
+func roundTrip(t *testing.T, o, fresh Optimizer) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := o.(StateSaver).SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.(StateSaver).LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stepBoth applies the same update through two optimizers and fails if
+// the resulting parameters differ — the state restore must make the
+// restored optimizer bit-identical to the original.
+func stepBoth(t *testing.T, a, b Optimizer) {
+	t.Helper()
+	w1, b1, g1 := fakeLayer(3, 5, 1.0)
+	w2, b2, _ := fakeLayer(3, 5, 1.0)
+	a.Step(0, w1, b1, g1)
+	b.Step(0, w2, b2, g1)
+	for i := range w1.Data {
+		if w1.Data[i] != w2.Data[i] {
+			t.Fatalf("weight %d: %v vs %v", i, w1.Data[i], w2.Data[i])
+		}
+	}
+	for j := range b1 {
+		if b1[j] != b2[j] {
+			t.Fatalf("bias %d: %v vs %v", j, b1[j], b2[j])
+		}
+	}
+	// The sparse path must agree too.
+	cols := []int{0, 2, 4}
+	a.StepCols(0, w1, b1, g1, cols)
+	b.StepCols(0, w2, b2, g1, cols)
+	for i := range w1.Data {
+		if w1.Data[i] != w2.Data[i] {
+			t.Fatalf("post-StepCols weight %d: %v vs %v", i, w1.Data[i], w2.Data[i])
+		}
+	}
+}
+
+func TestStateSaverRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		make  func() Optimizer
+		fresh func() Optimizer
+	}{
+		{"sgd", func() Optimizer { return NewSGD(0.1) }, func() Optimizer { return NewSGD(0.1) }},
+		{"momentum", func() Optimizer { return NewMomentum(0.1, 0.9) }, func() Optimizer { return NewMomentum(0.1, 0.9) }},
+		{"adagrad", func() Optimizer { return NewAdagrad(0.1) }, func() Optimizer { return NewAdagrad(0.1) }},
+		{"adam", func() Optimizer { return NewAdam(0.01) }, func() Optimizer { return NewAdam(0.01) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.make()
+			// Accumulate non-trivial state on two layers, mixing the
+			// dense and sparse update paths.
+			for layer := 0; layer < 2; layer++ {
+				w, b, g := fakeLayer(3, 5, float64(layer+1))
+				o.Step(layer, w, b, g)
+				o.StepCols(layer, w, b, g, []int{1, 3})
+			}
+			fresh := tc.fresh()
+			roundTrip(t, o, fresh)
+			stepBoth(t, o, fresh)
+		})
+	}
+}
+
+func TestLoadStateRejectsTruncation(t *testing.T) {
+	o := NewAdam(0.01)
+	w, b, g := fakeLayer(4, 4, 1)
+	o.Step(0, w, b, g)
+	var buf bytes.Buffer
+	if err := o.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, buf.Len() / 2, buf.Len() - 1} {
+		fresh := NewAdam(0.01)
+		if err := fresh.LoadState(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestLRAdjusters(t *testing.T) {
+	for _, o := range []Optimizer{NewSGD(0.4), NewMomentum(0.4, 0.9), NewAdagrad(0.4), NewAdam(0.4)} {
+		adj, ok := o.(LRAdjuster)
+		if !ok {
+			t.Fatalf("%s does not adjust LR", o.Name())
+		}
+		if adj.LearningRate() != 0.4 {
+			t.Fatalf("%s lr %v", o.Name(), adj.LearningRate())
+		}
+		adj.SetLearningRate(0.2)
+		if adj.LearningRate() != 0.2 {
+			t.Fatalf("%s lr after set %v", o.Name(), adj.LearningRate())
+		}
+	}
+}

@@ -15,19 +15,47 @@ import (
 )
 
 // RNG wraps a PCG source with the sampling helpers used across samplednn.
+// The source is retained so a stream's exact position can be captured with
+// Save and re-established with Restore — the basis of byte-deterministic
+// checkpoint/resume in internal/train.
 type RNG struct {
-	r *rand.Rand
+	src *rand.PCG
+	r   *rand.Rand
+}
+
+func fromPCG(src *rand.PCG) *RNG {
+	return &RNG{src: src, r: rand.New(src)}
 }
 
 // New returns a deterministic generator for the given seed.
 func New(seed uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+	return fromPCG(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
 }
 
 // Split derives an independent generator from this one. Use it to hand
 // each layer or worker its own stream without correlated draws.
 func (g *RNG) Split() *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))}
+	return fromPCG(rand.NewPCG(g.r.Uint64(), g.r.Uint64()))
+}
+
+// Save returns an opaque snapshot of the stream position. Restoring it
+// replays the exact draw sequence that would have followed the snapshot.
+func (g *RNG) Save() []byte {
+	b, err := g.src.MarshalBinary()
+	if err != nil {
+		// *rand.PCG's MarshalBinary never fails; keep the invariant loud.
+		panic(fmt.Sprintf("rng: save: %v", err))
+	}
+	return b
+}
+
+// Restore re-establishes a stream position captured by Save. It fails on
+// snapshots that were not produced by Save (wrong length or prefix).
+func (g *RNG) Restore(state []byte) error {
+	if err := g.src.UnmarshalBinary(state); err != nil {
+		return fmt.Errorf("rng: restore: %w", err)
+	}
+	return nil
 }
 
 // Float64 returns a uniform value in [0, 1).

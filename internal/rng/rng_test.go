@@ -176,3 +176,61 @@ func TestGaussianSliceMoments(t *testing.T) {
 		t.Fatalf("std = %v, want 3", math.Sqrt(varr))
 	}
 }
+
+func TestSaveRestoreReplaysStream(t *testing.T) {
+	g := New(99)
+	for i := 0; i < 37; i++ {
+		g.Uint64() // advance to an arbitrary position
+	}
+	snap := g.Save()
+	want := make([]float64, 20)
+	for i := range want {
+		want[i] = g.Float64()
+	}
+	// Restoring must replay the exact post-snapshot sequence.
+	if err := g.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := g.Float64(); got != want[i] {
+			t.Fatalf("draw %d after restore = %v, want %v", i, got, want[i])
+		}
+	}
+	// A restored snapshot works on a generator from a different seed too.
+	other := New(1)
+	if err := other.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := other.Float64(); got != want[0] {
+		t.Fatalf("cross-generator restore drew %v, want %v", got, want[0])
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	g := New(3)
+	before := g.Save()
+	if err := g.Restore([]byte("definitely-not-a-pcg-state")); err == nil {
+		t.Fatal("garbage state must be rejected")
+	}
+	if err := g.Restore(nil); err == nil {
+		t.Fatal("nil state must be rejected")
+	}
+	// A failed restore must leave the stream usable.
+	if err := g.Restore(before); err != nil {
+		t.Fatal(err)
+	}
+	g.Float64()
+}
+
+func TestSplitStreamsSurviveRestore(t *testing.T) {
+	g := New(7)
+	child := g.Split()
+	snap := child.Save()
+	a, b := child.Uint64(), child.Uint64()
+	if err := child.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if child.Uint64() != a || child.Uint64() != b {
+		t.Fatal("split stream did not replay after restore")
+	}
+}

@@ -1,0 +1,358 @@
+package train
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/binio"
+)
+
+// Full-state checkpoint format ("SNCK"). Unlike nn.Save — which persists
+// only the weights — a checkpoint captures everything a run needs to
+// continue byte-for-byte deterministically: weights, optimizer
+// accumulators, the trainer's RNG stream position, the method's private
+// run-time state, the epoch counter with its best-accuracy/early-stop
+// bookkeeping, and the accumulated History.
+//
+// Layout (all little-endian):
+//
+//	offset 0   magic "SNCK" (4 bytes)
+//	offset 4   format version (uint32, currently 1)
+//	offset 8   payload length (uint64)
+//	offset 16  CRC-32 (IEEE) of the payload (uint32)
+//	offset 20  payload
+//
+// The payload is a sequence of length-prefixed sections (run counters,
+// History, RNG state, network blob in the nn.Save format, optimizer name
+// + state blob, method name + state blob). Readers verify magic, version,
+// length, and checksum before touching any section, so a truncated or
+// bit-flipped file is rejected with a descriptive error — never a panic,
+// and never a half-loaded run. Writes go through internal/atomicfile, so
+// a crash mid-save leaves the previous checkpoint intact.
+const (
+	checkpointMagic   = "SNCK"
+	checkpointVersion = 1
+	checkpointHeader  = 20 // magic + version + payload length + CRC
+)
+
+// ErrCorruptCheckpoint tags every integrity failure (bad magic, length
+// mismatch, checksum mismatch, truncated section) so callers can
+// distinguish corruption from I/O errors with errors.Is.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+// Checkpoint is a full-state training snapshot, always taken at an epoch
+// boundary: Epoch epochs are complete, and resuming continues with
+// Epoch+1.
+type Checkpoint struct {
+	// Epoch is the number of completed epochs.
+	Epoch int
+	// Retries counts divergence rollbacks consumed so far.
+	Retries int
+	// LR is the optimizer learning rate at snapshot time — it survives
+	// rollbacks (divergence recovery decays it) but is restored on
+	// Resume so a resumed run continues with the decayed rate.
+	LR float64
+	// HasLR records whether the optimizer exposed its learning rate.
+	HasLR bool
+	// BestAcc / BestVal / SinceBestVal are the checkpoint-best and
+	// early-stopping counters.
+	BestAcc, BestVal float64
+	SinceBestVal     int
+	// History is the run record through Epoch.
+	History History
+	// RNGState is the trainer's shuffling RNG position (rng.RNG.Save).
+	RNGState []byte
+	// BatchOrder is the batcher's sample permutation at snapshot time.
+	// Shuffles are applied in place, so the RNG position alone does not
+	// determine the next epoch's ordering.
+	BatchOrder []int
+	// NetBlob is the network in the nn.Save format.
+	NetBlob []byte
+	// OptimizerName / OptimizerState identify and capture the optimizer.
+	OptimizerName  string
+	OptimizerState []byte
+	// MethodName / MethodState identify the method and capture its
+	// run-time state (empty when the method is stateless).
+	MethodName  string
+	MethodState []byte
+}
+
+func writeEpochStats(w io.Writer, e *EpochStats) error {
+	if err := binio.WriteU32(w, uint32(e.Epoch)); err != nil {
+		return err
+	}
+	for _, v := range []float64{e.TrainLoss, e.TestAccuracy, e.ValAccuracy} {
+		if err := binio.WriteF64(w, v); err != nil {
+			return err
+		}
+	}
+	for _, d := range []time.Duration{e.Timing.Forward, e.Timing.Backward, e.Timing.Maintain, e.Duration} {
+		if err := binio.WriteI64(w, int64(d)); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteU64(w, e.AllocBytes); err != nil {
+		return err
+	}
+	return binio.WriteU64(w, e.HeapBytes)
+}
+
+func readEpochStats(r io.Reader) (EpochStats, error) {
+	var e EpochStats
+	epoch, err := binio.ReadU32(r)
+	if err != nil {
+		return e, err
+	}
+	e.Epoch = int(epoch)
+	for _, dst := range []*float64{&e.TrainLoss, &e.TestAccuracy, &e.ValAccuracy} {
+		if *dst, err = binio.ReadF64(r); err != nil {
+			return e, err
+		}
+	}
+	for _, dst := range []*time.Duration{&e.Timing.Forward, &e.Timing.Backward, &e.Timing.Maintain, &e.Duration} {
+		v, err := binio.ReadI64(r)
+		if err != nil {
+			return e, err
+		}
+		*dst = time.Duration(v)
+	}
+	if e.AllocBytes, err = binio.ReadU64(r); err != nil {
+		return e, err
+	}
+	e.HeapBytes, err = binio.ReadU64(r)
+	return e, err
+}
+
+func writeHistory(w io.Writer, h *History) error {
+	if err := binio.WriteString(w, h.Method); err != nil {
+		return err
+	}
+	if err := binio.WriteBool(w, h.Diverged); err != nil {
+		return err
+	}
+	if err := binio.WriteBool(w, h.EarlyStopped); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(w, uint32(len(h.Epochs))); err != nil {
+		return err
+	}
+	for i := range h.Epochs {
+		if err := writeEpochStats(w, &h.Epochs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readHistory(r io.Reader) (History, error) {
+	var h History
+	var err error
+	if h.Method, err = binio.ReadString(r); err != nil {
+		return h, err
+	}
+	if h.Diverged, err = binio.ReadBool(r); err != nil {
+		return h, err
+	}
+	if h.EarlyStopped, err = binio.ReadBool(r); err != nil {
+		return h, err
+	}
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return h, err
+	}
+	if n > 1<<24 {
+		return h, fmt.Errorf("implausible epoch count %d", n)
+	}
+	h.Epochs = make([]EpochStats, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e, err := readEpochStats(r)
+		if err != nil {
+			return h, err
+		}
+		h.Epochs = append(h.Epochs, e)
+	}
+	return h, nil
+}
+
+// Encode serializes the checkpoint with its header and checksum.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	var payload bytes.Buffer
+	w := &payload
+	if err := binio.WriteU32(w, uint32(c.Epoch)); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteU32(w, uint32(c.Retries)); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteBool(w, c.HasLR); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteF64(w, c.LR); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteF64(w, c.BestAcc); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteF64(w, c.BestVal); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteU32(w, uint32(c.SinceBestVal)); err != nil {
+		return nil, err
+	}
+	if err := writeHistory(w, &c.History); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteBytes(w, c.RNGState); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteInts(w, c.BatchOrder); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteBytes(w, c.NetBlob); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteString(w, c.OptimizerName); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteBytes(w, c.OptimizerState); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteString(w, c.MethodName); err != nil {
+		return nil, err
+	}
+	if err := binio.WriteBytes(w, c.MethodState); err != nil {
+		return nil, err
+	}
+
+	out := bytes.NewBuffer(make([]byte, 0, checkpointHeader+payload.Len()))
+	out.WriteString(checkpointMagic)
+	binio.WriteU32(out, checkpointVersion)
+	binio.WriteU64(out, uint64(payload.Len()))
+	binio.WriteU32(out, crc32.ChecksumIEEE(payload.Bytes()))
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+// DecodeCheckpoint parses and integrity-checks an encoded checkpoint.
+// Every corruption mode returns an error wrapping ErrCorruptCheckpoint.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	fail := func(format string, args ...any) (*Checkpoint, error) {
+		return nil, fmt.Errorf("train: %w: %s", ErrCorruptCheckpoint, fmt.Sprintf(format, args...))
+	}
+	if len(data) < checkpointHeader {
+		return fail("%d bytes is shorter than the %d-byte header (truncated?)", len(data), checkpointHeader)
+	}
+	if string(data[:4]) != checkpointMagic {
+		return fail("bad magic %q, want %q", data[:4], checkpointMagic)
+	}
+	hdr := bytes.NewReader(data[4:checkpointHeader])
+	version, _ := binio.ReadU32(hdr)
+	if version != checkpointVersion {
+		return fail("format version %d, this build reads %d", version, checkpointVersion)
+	}
+	payloadLen, _ := binio.ReadU64(hdr)
+	sum, _ := binio.ReadU32(hdr)
+	payload := data[checkpointHeader:]
+	if uint64(len(payload)) != payloadLen {
+		return fail("payload is %d bytes, header promises %d (truncated?)", len(payload), payloadLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return fail("checksum %08x does not match header %08x (bit rot or torn write)", got, sum)
+	}
+
+	c := &Checkpoint{}
+	r := bytes.NewReader(payload)
+	var err error
+	readSection := func(name string, f func() error) {
+		if err != nil {
+			return
+		}
+		if serr := f(); serr != nil {
+			err = fmt.Errorf("train: %w: section %s: %v", ErrCorruptCheckpoint, name, serr)
+		}
+	}
+	readSection("counters", func() error {
+		epoch, e := binio.ReadU32(r)
+		if e != nil {
+			return e
+		}
+		c.Epoch = int(epoch)
+		retries, e := binio.ReadU32(r)
+		if e != nil {
+			return e
+		}
+		c.Retries = int(retries)
+		if c.HasLR, e = binio.ReadBool(r); e != nil {
+			return e
+		}
+		if c.LR, e = binio.ReadF64(r); e != nil {
+			return e
+		}
+		if c.BestAcc, e = binio.ReadF64(r); e != nil {
+			return e
+		}
+		if c.BestVal, e = binio.ReadF64(r); e != nil {
+			return e
+		}
+		since, e := binio.ReadU32(r)
+		if e != nil {
+			return e
+		}
+		c.SinceBestVal = int(since)
+		return nil
+	})
+	readSection("history", func() (e error) { c.History, e = readHistory(r); return })
+	readSection("rng", func() (e error) { c.RNGState, e = binio.ReadBytes(r); return })
+	readSection("batch-order", func() (e error) { c.BatchOrder, e = binio.ReadInts(r); return })
+	readSection("network", func() (e error) { c.NetBlob, e = binio.ReadBytes(r); return })
+	readSection("optimizer", func() error {
+		var e error
+		if c.OptimizerName, e = binio.ReadString(r); e != nil {
+			return e
+		}
+		c.OptimizerState, e = binio.ReadBytes(r)
+		return e
+	})
+	readSection("method", func() error {
+		var e error
+		if c.MethodName, e = binio.ReadString(r); e != nil {
+			return e
+		}
+		c.MethodState, e = binio.ReadBytes(r)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return fail("%d trailing bytes after the last section", r.Len())
+	}
+	return c, nil
+}
+
+// WriteFile atomically persists the checkpoint to path.
+func (c *Checkpoint) WriteFile(path string) error {
+	data, err := c.Encode()
+	if err != nil {
+		return fmt.Errorf("train: encoding checkpoint: %w", err)
+	}
+	if err := atomicfile.WriteFileBytes(path, data); err != nil {
+		return fmt.Errorf("train: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads and validates a checkpoint from path.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("train: reading checkpoint: %w", err)
+	}
+	return DecodeCheckpoint(data)
+}

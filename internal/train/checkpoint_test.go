@@ -1,0 +1,534 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// buildMethod constructs a method+optimizer pair the same way every time
+// it is called — resume determinism depends on reconstruction hitting the
+// same RNG draws.
+func buildMethod(t *testing.T, method, optName string, ds *dataset.Dataset, seed uint64) core.Method {
+	t.Helper()
+	net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optim, err := opt.ByName(optName, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions(seed)
+	opts.DropoutKeep = 0.5
+	opts.MC.K = 4
+	m, err := core.New(method, net, optim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sameDeterministicHistory compares the reproducible fields of two
+// histories (wall-clock and allocation fields legitimately differ).
+func sameDeterministicHistory(t *testing.T, a, b *History) {
+	t.Helper()
+	if a.Method != b.Method || a.Diverged != b.Diverged || a.EarlyStopped != b.EarlyStopped {
+		t.Fatalf("history flags differ: %+v vs %+v", a, b)
+	}
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		ea, eb := a.Epochs[i], b.Epochs[i]
+		if ea.Epoch != eb.Epoch {
+			t.Fatalf("epoch %d: numbers differ: %d vs %d", i, ea.Epoch, eb.Epoch)
+		}
+		if ea.TrainLoss != eb.TrainLoss {
+			t.Fatalf("epoch %d: losses differ: %v vs %v", ea.Epoch, ea.TrainLoss, eb.TrainLoss)
+		}
+		if ea.TestAccuracy != eb.TestAccuracy {
+			t.Fatalf("epoch %d: accuracies differ: %v vs %v", ea.Epoch, ea.TestAccuracy, eb.TestAccuracy)
+		}
+		if ea.ValAccuracy != eb.ValAccuracy {
+			t.Fatalf("epoch %d: val accuracies differ: %v vs %v", ea.Epoch, ea.ValAccuracy, eb.ValAccuracy)
+		}
+	}
+}
+
+func sameWeights(t *testing.T, a, b *nn.Network) {
+	t.Helper()
+	if len(a.Layers) != len(b.Layers) {
+		t.Fatal("layer counts differ")
+	}
+	for i := range a.Layers {
+		if !tensor.EqualApprox(a.Layers[i].W, b.Layers[i].W, 0) {
+			t.Fatalf("layer %d weights differ", i)
+		}
+		for j := range a.Layers[i].B {
+			if a.Layers[i].B[j] != b.Layers[i].B[j] {
+				t.Fatalf("layer %d bias %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestResumeIsBitDeterministic is the kill-and-resume acceptance test:
+// N epochs straight vs. N/2 epochs + checkpoint + fresh process + resume
+// must agree bit-for-bit on weights, optimizer state, and History. Three
+// method/optimizer pairs cover stateless (sgd), velocity (momentum via
+// standard), moment+counter (adam via dropout's RNG-carrying method), and
+// row-sampling RNG state (mc + adagrad).
+func TestResumeIsBitDeterministic(t *testing.T) {
+	cases := []struct{ method, optim string }{
+		{"standard", "momentum"},
+		{"dropout", "adam"},
+		{"mc", "adagrad"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method+"+"+tc.optim, func(t *testing.T) {
+			ds := tinyDataset(t, 60)
+			const seed, total, half = 61, 10, 5
+
+			// Reference: one uninterrupted run.
+			ref := buildMethod(t, tc.method, tc.optim, ds, seed)
+			trRef, err := New(ref, ds, Config{Epochs: total, BatchSize: 10, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			histRef, err := trRef.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted: first half with checkpointing...
+			path := filepath.Join(t.TempDir(), "state.snck")
+			m1 := buildMethod(t, tc.method, tc.optim, ds, seed)
+			tr1, err := New(m1, ds, Config{Epochs: half, BatchSize: 10, Seed: seed, StatePath: path})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr1.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// ...then a fresh "process": everything reconstructed from
+			// scratch, state loaded from the file.
+			m2 := buildMethod(t, tc.method, tc.optim, ds, seed)
+			tr2, err := New(m2, ds, Config{Epochs: total, BatchSize: 10, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			histRes, err := tr2.Resume(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sameDeterministicHistory(t, histRef, histRes)
+			sameWeights(t, ref.Net(), m2.Net())
+
+			// Optimizer state must agree too: one more identical step on
+			// both must keep the weights identical.
+			x := ds.Train.X
+			y := ds.Train.Y
+			sub := tensor.FromSlice(10, x.Cols, append([]float64(nil), x.Data[:10*x.Cols]...))
+			ref.Step(sub, y[:10])
+			m2.Step(sub, y[:10])
+			sameWeights(t, ref.Net(), m2.Net())
+		})
+	}
+}
+
+// TestResumeALSHContinues exercises resume for the hash-based method: the
+// indexes are rebuilt from the restored weights, the maintenance counters
+// and RNG streams come back, and training continues without error. (ALSH
+// bucket ordering after incremental maintenance is not bit-stable across
+// a rebuild, so this asserts continuation rather than bit-equality.)
+func TestResumeALSHContinues(t *testing.T) {
+	ds := tinyDataset(t, 62)
+	path := filepath.Join(t.TempDir(), "alsh.snck")
+	mkTrainer := func(epochs int) (*Trainer, core.Method) {
+		m := tinyMethod(t, "alsh", ds, 63)
+		tr, err := New(m, ds, Config{Epochs: epochs, BatchSize: 1, Seed: 64, RebuildPerEpoch: true, StatePath: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, m
+	}
+	tr1, _ := mkTrainer(2)
+	if _, err := tr1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, _ := mkTrainer(4)
+	hist, err := tr2.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Epochs) != 4 {
+		t.Fatalf("resumed run recorded %d epochs, want 4", len(hist.Epochs))
+	}
+	if hist.Epochs[0].Epoch != 1 || hist.Epochs[3].Epoch != 4 {
+		t.Fatalf("epoch numbering broken: %+v", hist.Epochs)
+	}
+}
+
+// nanMethod wraps a real method and forces NaN losses from a chosen Step
+// call onward — the crafted divergence of the rollback tests.
+type nanMethod struct {
+	core.Method
+	calls int
+	nanAt int // first call (1-based) that returns NaN
+	optim opt.Optimizer
+}
+
+func (m *nanMethod) Step(x *tensor.Matrix, y []int) float64 {
+	m.calls++
+	if m.calls >= m.nanAt {
+		return math.NaN()
+	}
+	return m.Method.Step(x, y)
+}
+
+func (m *nanMethod) Optimizer() opt.Optimizer { return m.optim }
+
+func TestDivergenceRollbackDecaysLRThenGivesUp(t *testing.T) {
+	ds := tinyDataset(t, 70) // 160 train samples, batch 10 → 16 steps/epoch
+	net, err := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes), rng.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd := opt.NewSGD(0.1)
+	inner := core.NewStandard(net, sgd)
+	// NaN from call 20 onward: epoch 1 (16 calls) is clean, epoch 2
+	// diverges at its 4th batch, and every retry diverges immediately.
+	m := &nanMethod{Method: inner, nanAt: 20, optim: sgd}
+	tr, err := New(m, ds, Config{Epochs: 6, BatchSize: 10, Seed: 72, MaxRetries: 2, LRDecay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatalf("divergence must be recorded, not returned: %v", err)
+	}
+	if !hist.Diverged {
+		t.Fatal("Diverged flag not set after retry budget exhausted")
+	}
+	// Epoch 1 completed; epoch 2 was attempted 1 + MaxRetries times and
+	// recorded once as the diverged epoch.
+	if len(hist.Epochs) != 2 {
+		t.Fatalf("history has %d epochs, want 2 (one good + the diverged one)", len(hist.Epochs))
+	}
+	if hist.Epochs[1].Epoch != 2 {
+		t.Fatalf("diverged epoch numbered %d, want 2", hist.Epochs[1].Epoch)
+	}
+	// Each of the two rollbacks decayed the LR once: 0.1 → 0.025.
+	if got := sgd.LearningRate(); math.Abs(got-0.025) > 1e-15 {
+		t.Fatalf("learning rate %v after two rollbacks, want 0.025", got)
+	}
+	// Epoch 1's record must have survived the rollbacks untouched.
+	if hist.Epochs[0].Epoch != 1 || math.IsNaN(hist.Epochs[0].TrainLoss) {
+		t.Fatalf("good epoch corrupted: %+v", hist.Epochs[0])
+	}
+}
+
+func TestDivergenceRecoverySucceedsWhenDecayFixesIt(t *testing.T) {
+	// The real divergence scenario: a too-hot learning rate on a linear
+	// network explodes; halving it a few times tames it. The run must
+	// recover and complete all epochs without the Diverged flag.
+	ds := tinyDataset(t, 73)
+	cfg := nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes)
+	cfg.Activation = "identity"
+	net, err := nn.NewNetwork(cfg, rng.New(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd := opt.NewSGD(50.0) // hot enough to explode a linear net quickly
+	m := core.NewStandard(net, sgd)
+	tr, err := New(m, ds, Config{Epochs: 3, BatchSize: 10, Seed: 75, MaxRetries: 8, LRDecay: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Diverged {
+		t.Fatalf("run should have recovered (final lr %v)", sgd.LearningRate())
+	}
+	if len(hist.Epochs) != 3 {
+		t.Fatalf("%d epochs recorded, want 3", len(hist.Epochs))
+	}
+	if sgd.LearningRate() >= 50.0 {
+		t.Fatal("recovery never decayed the learning rate")
+	}
+	for _, e := range hist.Epochs {
+		if math.IsNaN(e.TrainLoss) || math.IsInf(e.TrainLoss, 0) {
+			t.Fatalf("non-finite loss in recovered history: %+v", e)
+		}
+	}
+}
+
+func TestDivergenceWithoutRetriesKeepsSeedBehavior(t *testing.T) {
+	// MaxRetries=0 must reproduce the historical semantics: record the
+	// collapse and stop. (TestTrainerRecordsDivergence covers the full
+	// assertions; this pins the flag interaction with snapshots on.)
+	ds := tinyDataset(t, 76)
+	cfg := nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes)
+	cfg.Activation = "identity"
+	net, _ := nn.NewNetwork(cfg, rng.New(77))
+	m := core.NewStandard(net, opt.NewSGD(1e8))
+	path := filepath.Join(t.TempDir(), "div.snck")
+	tr, _ := New(m, ds, Config{Epochs: 5, BatchSize: 10, Seed: 78, StatePath: path})
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hist.Diverged {
+		t.Fatal("Diverged not recorded")
+	}
+	// The state file holds the last good epoch, not the exploded one.
+	ck, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.History.Diverged {
+		t.Fatal("persisted snapshot must predate the divergence")
+	}
+	if ck.Epoch != len(hist.Epochs)-1 {
+		t.Fatalf("snapshot at epoch %d, diverged history has %d epochs", ck.Epoch, len(hist.Epochs))
+	}
+}
+
+// faultyStepper returns an error from TryStep at a chosen call — the
+// trainer must surface it from Run, not crash and not record divergence.
+type faultyStepper struct {
+	core.Method
+	calls   int
+	errAt   int
+	stepErr error
+}
+
+func (f *faultyStepper) TryStep(x *tensor.Matrix, y []int) (float64, error) {
+	f.calls++
+	if f.calls == f.errAt {
+		return 0, f.stepErr
+	}
+	return f.Method.Step(x, y), nil
+}
+
+func TestWorkerFaultSurfacesFromRun(t *testing.T) {
+	ds := tinyDataset(t, 80)
+	inner := tinyMethod(t, "standard", ds, 81)
+	boom := errors.New("worker 3 panicked: index out of range")
+	m := &faultyStepper{Method: inner, errAt: 20, stepErr: boom}
+	path := filepath.Join(t.TempDir(), "fault.snck")
+	tr, err := New(m, ds, Config{Epochs: 5, BatchSize: 10, Seed: 82, StatePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("step fault not surfaced: %v", err)
+	}
+	if hist.Diverged {
+		t.Fatal("a worker fault is not a divergence")
+	}
+	if len(hist.Epochs) != 1 {
+		t.Fatalf("%d epochs before the fault, want 1", len(hist.Epochs))
+	}
+	// Progress up to the fault was checkpointed.
+	ck, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 1 {
+		t.Fatalf("snapshot at epoch %d, want 1", ck.Epoch)
+	}
+}
+
+func TestCancellationCheckpointsThenExits(t *testing.T) {
+	ds := tinyDataset(t, 90)
+	ctx, cancel := context.WithCancel(context.Background())
+	inner := tinyMethod(t, "standard", ds, 91)
+	// Cancel mid-epoch-2 (16 steps per epoch at batch 10).
+	m := &cancellingMethod{Method: inner, cancelAt: 24, cancel: cancel}
+	path := filepath.Join(t.TempDir(), "cancel.snck")
+	tr, err := New(m, ds, Config{Epochs: 5, BatchSize: 10, Seed: 92, StatePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(hist.Epochs) != 1 {
+		t.Fatalf("cancelled run kept %d epochs, want 1 (mid-epoch progress is discarded)", len(hist.Epochs))
+	}
+	// The "kill" left a resumable file; a fresh trainer finishes the job.
+	m2 := tinyMethod(t, "standard", ds, 91)
+	tr2, err := New(m2, ds, Config{Epochs: 5, BatchSize: 10, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist2, err := tr2.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist2.Epochs) != 5 {
+		t.Fatalf("resumed run recorded %d epochs, want 5", len(hist2.Epochs))
+	}
+}
+
+type cancellingMethod struct {
+	core.Method
+	calls    int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (c *cancellingMethod) Step(x *tensor.Matrix, y []int) float64 {
+	c.calls++
+	if c.calls == c.cancelAt {
+		c.cancel()
+	}
+	return c.Method.Step(x, y)
+}
+
+func TestCheckpointCorruptionIsRejected(t *testing.T) {
+	ds := tinyDataset(t, 100)
+	m := tinyMethod(t, "standard", ds, 101)
+	path := filepath.Join(t.TempDir(), "state.snck")
+	tr, err := New(m, ds, Config{Epochs: 2, BatchSize: 10, Seed: 102, StatePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(good); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, keep := range []int{0, 3, checkpointHeader - 1, checkpointHeader, len(good) / 2, len(good) - 1} {
+			_, err := DecodeCheckpoint(good[:keep])
+			if err == nil {
+				t.Fatalf("truncation to %d bytes accepted", keep)
+			}
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("truncation to %d: error not tagged corrupt: %v", keep, err)
+			}
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		for _, off := range []int{0, 5, checkpointHeader + 1, len(good) / 2, len(good) - 1} {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 0x40
+			_, err := DecodeCheckpoint(bad)
+			if err == nil {
+				t.Fatalf("flipped byte at %d accepted", off)
+			}
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("flip at %d: error not tagged corrupt: %v", off, err)
+			}
+		}
+	})
+	t.Run("resume-from-corrupt", func(t *testing.T) {
+		bad := append([]byte(nil), good...)
+		bad[len(bad)-2] ^= 0x01
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m2 := tinyMethod(t, "standard", ds, 101)
+		tr2, err := New(m2, ds, Config{Epochs: 4, BatchSize: 10, Seed: 102})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr2.Resume(path); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("resume from corrupt file: %v", err)
+		}
+	})
+}
+
+func TestResumeRejectsMismatches(t *testing.T) {
+	ds := tinyDataset(t, 110)
+	path := filepath.Join(t.TempDir(), "state.snck")
+	m := buildMethod(t, "standard", "momentum", ds, 111)
+	tr, err := New(m, ds, Config{Epochs: 2, BatchSize: 10, Seed: 112, StatePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong method.
+	md := buildMethod(t, "dropout", "momentum", ds, 111)
+	trd, _ := New(md, ds, Config{Epochs: 4, BatchSize: 10, Seed: 112})
+	if _, err := trd.Resume(path); err == nil {
+		t.Fatal("method mismatch accepted")
+	}
+	// Wrong optimizer.
+	mo := buildMethod(t, "standard", "adam", ds, 111)
+	tro, _ := New(mo, ds, Config{Epochs: 4, BatchSize: 10, Seed: 112})
+	if _, err := tro.Resume(path); err == nil {
+		t.Fatal("optimizer mismatch accepted")
+	}
+	// Wrong architecture.
+	net, _ := nn.NewNetwork(nn.Uniform(ds.Spec.Dim(), 12, 2, ds.Spec.Classes), rng.New(113))
+	ma := core.NewStandard(net, opt.NewMomentum(0.05, 0.9))
+	tra, _ := New(ma, ds, Config{Epochs: 4, BatchSize: 10, Seed: 112})
+	if _, err := tra.Resume(path); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+	// A checkpoint already past the epoch budget returns immediately.
+	m2 := buildMethod(t, "standard", "momentum", ds, 111)
+	tr2, _ := New(m2, ds, Config{Epochs: 2, BatchSize: 10, Seed: 112})
+	hist, err := tr2.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Epochs) != 2 {
+		t.Fatalf("completed checkpoint re-ran epochs: %d", len(hist.Epochs))
+	}
+}
+
+func TestPeriodicCheckpointCadence(t *testing.T) {
+	ds := tinyDataset(t, 120)
+	m := tinyMethod(t, "standard", ds, 121)
+	path := filepath.Join(t.TempDir(), "state.snck")
+	tr, err := New(m, ds, Config{Epochs: 5, BatchSize: 10, Seed: 122, StatePath: path, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The final write always lands, so the file must hold epoch 5.
+	ck, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch != 5 {
+		t.Fatalf("final snapshot at epoch %d, want 5", ck.Epoch)
+	}
+	if len(ck.History.Epochs) != 5 {
+		t.Fatalf("snapshot history has %d epochs", len(ck.History.Epochs))
+	}
+	if ck.OptimizerName != "sgd" || ck.MethodName != "standard" {
+		t.Fatalf("snapshot identity wrong: %q/%q", ck.MethodName, ck.OptimizerName)
+	}
+}

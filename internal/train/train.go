@@ -5,6 +5,8 @@
 package train
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -13,6 +15,8 @@ import (
 	"samplednn/internal/core"
 	"samplednn/internal/dataset"
 	"samplednn/internal/metrics"
+	"samplednn/internal/nn"
+	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 )
@@ -44,6 +48,27 @@ type Config struct {
 	// (evaluated on the dataset's validation split, §8.2). Zero disables
 	// early stopping.
 	EarlyStopPatience int
+	// StatePath, when set, enables full-state checkpointing: every
+	// CheckpointEvery epochs the trainer atomically writes a resumable
+	// snapshot (weights, optimizer state, RNG streams, method state,
+	// History) to this file, and writes it once more when the run ends
+	// or is cancelled. Resume continues a run from such a file.
+	StatePath string
+	// CheckpointEvery is the epoch interval between full-state snapshots
+	// (default 1 when StatePath is set).
+	CheckpointEvery int
+	// MaxRetries bounds divergence recovery: when an epoch produces a
+	// non-finite loss, the trainer rolls back to the last good snapshot,
+	// multiplies the learning rate by LRDecay, and re-runs the epoch —
+	// up to MaxRetries rollbacks before recording Diverged. Zero
+	// disables recovery (a non-finite loss immediately records
+	// Diverged, the historical behavior).
+	MaxRetries int
+	// LRDecay is the learning-rate multiplier applied on each divergence
+	// rollback (default 0.5). It takes effect when the optimizer
+	// implements opt.LRAdjuster; otherwise rollbacks retry at the same
+	// rate until the budget runs out.
+	LRDecay float64
 }
 
 func (c *Config) setDefaults() {
@@ -52,6 +77,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = 1
+	}
+	if c.StatePath != "" && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.LRDecay <= 0 || c.LRDecay >= 1 {
+		c.LRDecay = 0.5
 	}
 }
 
@@ -151,20 +182,88 @@ func New(m core.Method, ds *dataset.Dataset, cfg Config) (*Trainer, error) {
 	return &Trainer{method: m, data: ds, cfg: cfg}, nil
 }
 
+// runState is the trainer's mutable position in a run — everything
+// beyond the weights, optimizer, RNG, and History that a checkpoint must
+// carry for the run to continue deterministically.
+type runState struct {
+	epoch        int // completed epochs
+	retries      int // divergence rollbacks consumed
+	bestAcc      float64
+	bestVal      float64
+	sinceBestVal int
+}
+
 // Run trains for the configured epochs and returns the history.
 func (t *Trainer) Run() (*History, error) {
+	return t.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the trainer
+// stops at the next batch boundary, writes the last good snapshot to
+// StatePath (when configured), and returns the history so far together
+// with ctx's error. Progress past the last completed epoch is discarded —
+// snapshots are only taken at epoch boundaries, so a resumed run replays
+// the interrupted epoch from its start.
+func (t *Trainer) RunContext(ctx context.Context) (*History, error) {
+	return t.run(ctx, nil)
+}
+
+// Resume continues a run from a full-state checkpoint written by a
+// trainer with the same method, architecture, optimizer, and seed. The
+// continuation is byte-for-byte deterministic: training N epochs in one
+// process and N epochs across a checkpoint/resume boundary produce
+// identical weights, optimizer state, and History.
+func (t *Trainer) Resume(path string) (*History, error) {
+	return t.ResumeContext(context.Background(), path)
+}
+
+// ResumeContext is Resume with cancellation (see RunContext).
+func (t *Trainer) ResumeContext(ctx context.Context, path string) (*History, error) {
+	ck, err := ReadCheckpointFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return t.run(ctx, ck)
+}
+
+func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) {
 	g := rng.New(t.cfg.Seed)
 	batcher := dataset.NewBatcher(t.data.Train, t.cfg.BatchSize, g)
 	hist := &History{Method: t.method.Name()}
+	rs := runState{bestAcc: -1, bestVal: -1}
+	if start != nil {
+		// restoreLR: a resumed run continues at the (possibly decayed)
+		// rate the checkpoint recorded.
+		if err := t.restore(start, g, batcher, hist, &rs, true); err != nil {
+			return nil, err
+		}
+	}
 
 	evalX, evalY := t.evalSet()
-	bestAcc := -1.0
-	bestVal := -1.0
-	sinceBestVal := 0
 	useVal := t.cfg.EarlyStopPatience > 0 && t.data.Val != nil && t.data.Val.Len() > 0
+	// Snapshots are needed for divergence rollback and for StatePath
+	// persistence; without either, skip the capture work entirely.
+	wantSnapshots := t.cfg.MaxRetries > 0 || t.cfg.StatePath != ""
+	lastGood := start
+	if lastGood == nil && wantSnapshots {
+		var err error
+		if lastGood, err = t.capture(g, batcher, hist, &rs); err != nil {
+			return hist, fmt.Errorf("train: initial snapshot: %w", err)
+		}
+	}
+	// persist writes the last good snapshot; used at the end of the run
+	// and on every abnormal exit so progress is never lost.
+	persist := func() error {
+		if t.cfg.StatePath == "" || lastGood == nil {
+			return nil
+		}
+		return lastGood.WriteFile(t.cfg.StatePath)
+	}
 
 	var ms runtime.MemStats
-	for epoch := 1; epoch <= t.cfg.Epochs; epoch++ {
+	epoch := rs.epoch
+	for epoch < t.cfg.Epochs {
+		epoch++
 		var allocBefore uint64
 		if t.cfg.TrackMemory {
 			runtime.GC()
@@ -172,19 +271,36 @@ func (t *Trainer) Run() (*History, error) {
 			allocBefore = ms.TotalAlloc
 		}
 		t.method.ResetTiming()
-		start := time.Now()
+		startT := time.Now()
 
 		batcher.Reset()
 		var lossSum float64
 		batches := 0
+		diverged := false
 		for {
+			select {
+			case <-ctx.Done():
+				if perr := persist(); perr != nil {
+					return hist, fmt.Errorf("train: checkpoint on cancel: %w (after %w)", perr, ctx.Err())
+				}
+				return hist, ctx.Err()
+			default:
+			}
 			x, y := batcher.Next()
 			if x == nil {
 				break
 			}
-			loss := t.method.Step(x, y)
+			loss, err := t.step(x, y)
+			if err != nil {
+				// A contained worker fault: the batch was not applied.
+				// Preserve progress, then surface the fault.
+				if perr := persist(); perr != nil {
+					return hist, fmt.Errorf("train: checkpoint after step fault: %w (after %w)", perr, err)
+				}
+				return hist, fmt.Errorf("train: epoch %d: %w", epoch, err)
+			}
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
-				hist.Diverged = true
+				diverged = true
 				break
 			}
 			lossSum += loss
@@ -196,11 +312,30 @@ func (t *Trainer) Run() (*History, error) {
 			}
 		}
 
+		if diverged && rs.retries < t.cfg.MaxRetries && lastGood != nil {
+			// Divergence recovery: roll the run back to the last good
+			// epoch boundary, decay the learning rate, and re-run. The
+			// learning rate is intentionally NOT restored from the
+			// snapshot — the decay is the thing that changes the retry's
+			// trajectory.
+			// The retry counter survives the rollback: restore() resets
+			// rs to the snapshot (whose retry count predates this
+			// divergence), so reapply the increment afterwards.
+			retries := rs.retries + 1
+			if err := t.restore(lastGood, g, batcher, hist, &rs, false); err != nil {
+				return hist, fmt.Errorf("train: divergence rollback: %w", err)
+			}
+			rs.retries = retries
+			t.decayLR()
+			epoch = rs.epoch
+			continue
+		}
+
 		stats := EpochStats{
 			Epoch:        epoch,
 			TestAccuracy: metrics.Accuracy(evalY, core.Predict(t.method, evalX)),
 			Timing:       t.method.Timing(),
-			Duration:     time.Since(start),
+			Duration:     time.Since(startT),
 		}
 		if batches > 0 {
 			stats.TrainLoss = lossSum / float64(batches)
@@ -212,8 +347,8 @@ func (t *Trainer) Run() (*History, error) {
 			stats.AllocBytes = ms.TotalAlloc - allocBefore
 			stats.HeapBytes = ms.HeapAlloc
 		}
-		if t.cfg.CheckpointPath != "" && stats.TestAccuracy > bestAcc {
-			bestAcc = stats.TestAccuracy
+		if t.cfg.CheckpointPath != "" && stats.TestAccuracy > rs.bestAcc {
+			rs.bestAcc = stats.TestAccuracy
 			if err := t.method.Net().SaveFile(t.cfg.CheckpointPath); err != nil {
 				return hist, fmt.Errorf("train: checkpoint: %w", err)
 			}
@@ -221,24 +356,189 @@ func (t *Trainer) Run() (*History, error) {
 		if useVal {
 			stats.ValAccuracy = metrics.Accuracy(t.data.Val.Y, core.Predict(t.method, t.data.Val.X))
 		}
+		if diverged {
+			hist.Diverged = true
+		}
 		hist.Epochs = append(hist.Epochs, stats)
 		if hist.Diverged {
 			break
 		}
 		if useVal {
-			if stats.ValAccuracy > bestVal {
-				bestVal = stats.ValAccuracy
-				sinceBestVal = 0
+			if stats.ValAccuracy > rs.bestVal {
+				rs.bestVal = stats.ValAccuracy
+				rs.sinceBestVal = 0
 			} else {
-				sinceBestVal++
-				if sinceBestVal >= t.cfg.EarlyStopPatience {
+				rs.sinceBestVal++
+				if rs.sinceBestVal >= t.cfg.EarlyStopPatience {
 					hist.EarlyStopped = true
-					break
 				}
 			}
 		}
+		rs.epoch = epoch
+		if wantSnapshots {
+			var err error
+			if lastGood, err = t.capture(g, batcher, hist, &rs); err != nil {
+				return hist, fmt.Errorf("train: snapshot after epoch %d: %w", epoch, err)
+			}
+			if t.cfg.StatePath != "" && epoch%t.cfg.CheckpointEvery == 0 {
+				if err := persist(); err != nil {
+					return hist, err
+				}
+			}
+		}
+		if hist.EarlyStopped {
+			break
+		}
+	}
+	if err := persist(); err != nil {
+		return hist, err
 	}
 	return hist, nil
+}
+
+// step trains on one batch, preferring the error-aware path when the
+// method provides one.
+func (t *Trainer) step(x *tensor.Matrix, y []int) (float64, error) {
+	if fs, ok := t.method.(core.FallibleStepper); ok {
+		return fs.TryStep(x, y)
+	}
+	return t.method.Step(x, y), nil
+}
+
+// decayLR multiplies the learning rate by the configured decay factor.
+// It reports whether the optimizer supported the adjustment.
+func (t *Trainer) decayLR() bool {
+	oh, ok := t.method.(core.OptimizerHolder)
+	if !ok {
+		return false
+	}
+	adj, ok := oh.Optimizer().(opt.LRAdjuster)
+	if !ok {
+		return false
+	}
+	adj.SetLearningRate(adj.LearningRate() * t.cfg.LRDecay)
+	return true
+}
+
+// capture snapshots the complete run state at an epoch boundary.
+func (t *Trainer) capture(g *rng.RNG, batcher *dataset.Batcher, hist *History, rs *runState) (*Checkpoint, error) {
+	var netBuf bytes.Buffer
+	if err := t.method.Net().Save(&netBuf); err != nil {
+		return nil, fmt.Errorf("serializing network: %w", err)
+	}
+	ck := &Checkpoint{
+		Epoch:        rs.epoch,
+		Retries:      rs.retries,
+		BestAcc:      rs.bestAcc,
+		BestVal:      rs.bestVal,
+		SinceBestVal: rs.sinceBestVal,
+		History: History{
+			Method:       hist.Method,
+			Diverged:     hist.Diverged,
+			EarlyStopped: hist.EarlyStopped,
+			Epochs:       append([]EpochStats(nil), hist.Epochs...),
+		},
+		RNGState:   g.Save(),
+		BatchOrder: batcher.Order(),
+		NetBlob:    netBuf.Bytes(),
+		MethodName: t.method.Name(),
+	}
+	if oh, ok := t.method.(core.OptimizerHolder); ok {
+		o := oh.Optimizer()
+		ck.OptimizerName = o.Name()
+		if ss, ok := o.(opt.StateSaver); ok {
+			var b bytes.Buffer
+			if err := ss.SaveState(&b); err != nil {
+				return nil, fmt.Errorf("serializing %s state: %w", o.Name(), err)
+			}
+			ck.OptimizerState = b.Bytes()
+		}
+		if adj, ok := o.(opt.LRAdjuster); ok {
+			ck.HasLR = true
+			ck.LR = adj.LearningRate()
+		}
+	}
+	if rm, ok := t.method.(core.Resumable); ok {
+		var b bytes.Buffer
+		if err := rm.SaveState(&b); err != nil {
+			return nil, fmt.Errorf("serializing method state: %w", err)
+		}
+		ck.MethodState = b.Bytes()
+	}
+	return ck, nil
+}
+
+// restore re-establishes a snapshot: weights in place (preserving layer
+// identity — hash indexes and optimizer state key off them), optimizer
+// accumulators, method run-time state, RNG position, history, and run
+// counters. restoreLR additionally restores the recorded learning rate;
+// divergence rollbacks pass false so their decay sticks.
+func (t *Trainer) restore(ck *Checkpoint, g *rng.RNG, batcher *dataset.Batcher, hist *History, rs *runState, restoreLR bool) error {
+	if ck.MethodName != "" && ck.MethodName != t.method.Name() {
+		return fmt.Errorf("train: checkpoint was taken with method %q, trainer runs %q", ck.MethodName, t.method.Name())
+	}
+	net, err := nn.Load(bytes.NewReader(ck.NetBlob))
+	if err != nil {
+		return fmt.Errorf("train: checkpoint network: %w", err)
+	}
+	cur := t.method.Net()
+	if len(net.Layers) != len(cur.Layers) {
+		return fmt.Errorf("train: checkpoint has %d layers, network has %d", len(net.Layers), len(cur.Layers))
+	}
+	for i, l := range net.Layers {
+		curL := cur.Layers[i]
+		if l.W.Rows != curL.W.Rows || l.W.Cols != curL.W.Cols {
+			return fmt.Errorf("train: checkpoint layer %d is %dx%d, network wants %dx%d",
+				i, l.W.Rows, l.W.Cols, curL.W.Rows, curL.W.Cols)
+		}
+		copy(curL.W.Data, l.W.Data)
+		copy(curL.B, l.B)
+	}
+	if oh, ok := t.method.(core.OptimizerHolder); ok {
+		o := oh.Optimizer()
+		if ck.OptimizerName != "" && o.Name() != ck.OptimizerName {
+			return fmt.Errorf("train: checkpoint was taken with optimizer %q, trainer uses %q", ck.OptimizerName, o.Name())
+		}
+		if ss, ok := o.(opt.StateSaver); ok {
+			if err := ss.LoadState(bytes.NewReader(ck.OptimizerState)); err != nil {
+				return fmt.Errorf("train: restoring %s state: %w", o.Name(), err)
+			}
+		} else if len(ck.OptimizerState) > 0 {
+			return fmt.Errorf("train: checkpoint carries %s state but the optimizer cannot load it", ck.OptimizerName)
+		}
+		if restoreLR && ck.HasLR {
+			if adj, ok := o.(opt.LRAdjuster); ok {
+				adj.SetLearningRate(ck.LR)
+			}
+		}
+	} else if len(ck.OptimizerState) > 0 {
+		return fmt.Errorf("train: checkpoint carries optimizer state but method %q does not expose its optimizer", t.method.Name())
+	}
+	if rm, ok := t.method.(core.Resumable); ok {
+		// Weights are restored above, so state loaders that rebuild
+		// weight-derived structures (hash indexes) see the right data.
+		if err := rm.LoadState(bytes.NewReader(ck.MethodState)); err != nil {
+			return fmt.Errorf("train: restoring method state: %w", err)
+		}
+	} else if len(ck.MethodState) > 0 {
+		return fmt.Errorf("train: checkpoint carries method state but %q cannot load it", t.method.Name())
+	}
+	if err := g.Restore(ck.RNGState); err != nil {
+		return fmt.Errorf("train: checkpoint rng: %w", err)
+	}
+	if err := batcher.SetOrder(ck.BatchOrder); err != nil {
+		return fmt.Errorf("train: checkpoint batch order: %w", err)
+	}
+	hist.Method = ck.History.Method
+	hist.Diverged = ck.History.Diverged
+	hist.EarlyStopped = ck.History.EarlyStopped
+	hist.Epochs = append(hist.Epochs[:0], ck.History.Epochs...)
+	rs.epoch = ck.Epoch
+	rs.retries = ck.Retries
+	rs.bestAcc = ck.BestAcc
+	rs.bestVal = ck.BestVal
+	rs.sinceBestVal = ck.SinceBestVal
+	return nil
 }
 
 // evalSet returns the capped test split used for per-epoch accuracy.
