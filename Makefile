@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 bench vet fmt
+.PHONY: build test tier1 bench bench-gemm vet fmt
 
 build:
 	$(GO) build ./...
@@ -9,14 +9,19 @@ test:
 	$(GO) test ./...
 
 # Tier-1 gate: vet plus race-enabled tests for the packages with
-# concurrency (parallel ALSH workers) and crash-safety machinery
-# (checkpoint/resume/rollback).
+# concurrency (worker pool, parallel kernels, parallel ALSH workers)
+# and crash-safety machinery (checkpoint/resume/rollback).
 tier1:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/train/...
+	$(GO) test -race ./internal/pool/... ./internal/tensor/... ./internal/core/... ./internal/train/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 10x .
+
+# Serial-vs-parallel GEMM kernel sweep; every parallel point is checked
+# bit-for-bit against the serial kernel before its timing is recorded.
+bench-gemm:
+	$(GO) run ./cmd/benchgemm -sizes 128,256,512 -workers 1,2,4 -out BENCH_gemm.json
 
 vet:
 	$(GO) vet ./...

@@ -24,6 +24,7 @@ import (
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
 	"samplednn/internal/opt"
+	"samplednn/internal/pool"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 	"samplednn/internal/theory"
@@ -168,6 +169,35 @@ func BenchmarkPredCollapse(b *testing.B) {
 }
 
 // --- Ablation benchmarks -------------------------------------------------
+
+// BenchmarkMatMul is the headline dense-GEMM benchmark: 512×512 by
+// 512×512 under the shared worker pool at 1/2/4 workers. workers=1 is
+// the serial baseline; on a ≥4-core host the 4-worker point should show
+// ≥2x (single-core hosts measure scheduling overhead only). The full
+// kernel sweep with a JSON artifact is `make bench-gemm`.
+func BenchmarkMatMul(b *testing.B) {
+	g := rng.New(32)
+	const n = 512
+	x := tensor.New(n, n)
+	y := tensor.New(n, n)
+	g.GaussianSlice(x.Data, 0, 1)
+	g.GaussianSlice(y.Data, 0, 1)
+	for _, w := range []int{1, 2, 4} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			p := pool.New(w)
+			tensor.SetPool(p)
+			defer func() {
+				tensor.SetPool(nil)
+				p.Close()
+			}()
+			out := tensor.New(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, x, y)
+			}
+		})
+	}
+}
 
 // GEMM loop order: the cache-friendly ikj kernel vs the textbook ijk.
 func BenchmarkGEMMVariants(b *testing.B) {

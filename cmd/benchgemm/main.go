@@ -1,0 +1,89 @@
+// Command benchgemm runs the GEMM serial-vs-parallel kernel sweep and
+// writes the results to a JSON report (BENCH_gemm.json by default), the
+// artifact the Makefile `bench-gemm` target tracks.
+//
+// Usage:
+//
+//	benchgemm -sizes 128,256,512 -workers 1,2,4 -out BENCH_gemm.json
+//
+// Every parallel measurement is validated bit-for-bit against the serial
+// kernel before its timing is reported; a mismatch fails the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_gemm.json", "output JSON path")
+		sizes   = flag.String("sizes", "128,256,512", "comma-separated square operand sizes")
+		workers = flag.String("workers", "1,2,4", "comma-separated worker counts (1 = serial baseline)")
+		budget  = flag.Duration("budget", 100*time.Millisecond, "minimum measurement time per point")
+	)
+	flag.Parse()
+	sz, err := parseInts(*sizes)
+	if err != nil {
+		fatal(fmt.Errorf("-sizes: %w", err))
+	}
+	ws, err := parseInts(*workers)
+	if err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
+	if *budget <= 0 {
+		fatal(fmt.Errorf("-budget %v must be positive", *budget))
+	}
+
+	rep := bench.RunGEMMBench(sz, ws, *budget)
+	for _, p := range rep.Points {
+		fmt.Printf("%-14s n=%-5d workers=%d  %8.3f ms/op  %6.2f MFLOP/s  speedup %.2fx\n",
+			p.Kernel, p.Size, p.Workers, p.NsPerOp/1e6, 1e3*p.GFLOPS, p.SpeedupVsSerial)
+		if !p.BitIdentical {
+			fatal(fmt.Errorf("kernel %s n=%d workers=%d: parallel result not bit-identical to serial",
+				p.Kernel, p.Size, p.Workers))
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := atomicfile.WriteFileBytes(*out, data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d points, host CPUs %d)\n", *out, len(rep.Points), rep.Host.CPUs)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgemm:", err)
+	os.Exit(1)
+}

@@ -31,9 +31,42 @@ import (
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
 	"samplednn/internal/opt"
+	"samplednn/internal/pool"
 	"samplednn/internal/rng"
 	"samplednn/internal/train"
 )
+
+// validateFlags rejects numeric flag values that would otherwise panic
+// (or silently do nothing) far from the command line that caused them.
+func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, workers, threads, ckptEvery, maxRetries int, lrDecay float64) error {
+	switch {
+	case layers < 0:
+		return fmt.Errorf("-layers %d must be >= 0", layers)
+	case units <= 0:
+		return fmt.Errorf("-units %d must be positive", units)
+	case epochs <= 0:
+		return fmt.Errorf("-epochs %d must be positive", epochs)
+	case batch <= 0:
+		return fmt.Errorf("-batch %d must be positive", batch)
+	case lr <= 0:
+		return fmt.Errorf("-lr %v must be positive", lr)
+	case keep <= 0 || keep > 1:
+		return fmt.Errorf("-keep %v must be in (0, 1]", keep)
+	case mcK <= 0:
+		return fmt.Errorf("-mck %d must be positive", mcK)
+	case workers < 0:
+		return fmt.Errorf("-workers %d must be >= 0 (0 = one per CPU)", workers)
+	case threads < 0:
+		return fmt.Errorf("-threads %d must be >= 0 (0 = one per CPU)", threads)
+	case ckptEvery <= 0:
+		return fmt.Errorf("-checkpoint-every %d must be positive", ckptEvery)
+	case maxRetries < 0:
+		return fmt.Errorf("-max-retries %d must be >= 0", maxRetries)
+	case lrDecay <= 0 || lrDecay > 1:
+		return fmt.Errorf("-lr-decay %v must be in (0, 1]", lrDecay)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -51,6 +84,7 @@ func main() {
 		keep     = flag.Float64("keep", 0.05, "dropout keep probability")
 		mcK      = flag.Int("mck", 10, "MC-approx sample count")
 		workers  = flag.Int("workers", 0, "worker goroutines for alsh-parallel (0 = one per CPU)")
+		threads  = flag.Int("threads", 0, "worker threads for the dense/sampled kernels (0 = one per CPU)")
 		confuse  = flag.Bool("confusion", true, "print the final confusion matrix and per-class report")
 		savePath = flag.String("save", "", "checkpoint the best model to this file")
 		loadPath = flag.String("load", "", "initialize weights from a saved model instead of random init")
@@ -62,6 +96,15 @@ func main() {
 		lrDecay    = flag.Float64("lr-decay", 0.5, "learning-rate multiplier applied on each divergence rollback")
 	)
 	flag.Parse()
+	// Validate the numeric flags up front: a non-positive batch size or
+	// epoch count otherwise surfaces as a confusing panic (or a silent
+	// no-op run) deep inside the trainer.
+	if err := validateFlags(*layers, *units, *epochs, *batch, *lr, *keep, *mcK, *workers, *threads, *ckptEvery, *maxRetries, *lrDecay); err != nil {
+		fatal(err)
+	}
+	if *threads != 0 {
+		pool.SetDefaultWorkers(*threads)
+	}
 	if *resumePath != "" && *statePath == "" {
 		// A resumed run keeps checkpointing to the file it came from.
 		*statePath = *resumePath

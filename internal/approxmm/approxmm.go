@@ -63,16 +63,26 @@ func pairWeights(a, b *tensor.Matrix) []float64 {
 	return w
 }
 
-// addOuterScaled accumulates out += scale * A[:,i] * B[i,:].
-func addOuterScaled(out, a, b *tensor.Matrix, i int, scale float64) {
-	brow := b.RowView(i)
-	for r := 0; r < a.Rows; r++ {
-		av := a.Data[r*a.Cols+i] * scale
-		if av == 0 {
-			continue
+// accumulateOuters computes out = Σ_t scale[t] · A[:,idx[t]] · B[idx[t],:],
+// the sampled-outer-product sum every estimator reduces to. Output rows
+// are sharded over the shared worker pool; within one row the terms are
+// added in draw order (t ascending), the same reduction order as a
+// serial draw-by-draw accumulation, so results are bit-identical at any
+// worker count.
+func accumulateOuters(out, a, b *tensor.Matrix, idx []int, scale []float64) {
+	tensor.ParallelRows(out.Rows, len(idx)*b.Cols, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			arow := a.RowView(r)
+			orow := out.RowView(r)
+			for t, i := range idx {
+				av := arow[i] * scale[t]
+				if av == 0 {
+					continue
+				}
+				tensor.Axpy(av, b.RowView(i), orow)
+			}
 		}
-		tensor.Axpy(av, brow, out.RowView(r))
-	}
+	})
 }
 
 // CRSampler implements the Drineas et al. nonuniform estimator.
@@ -105,10 +115,14 @@ func (s *CRSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
 		return out // all-zero weights: product is exactly zero
 	}
 	inv := 1 / float64(s.C)
+	idx := make([]int, s.C)
+	scale := make([]float64, s.C)
 	for t := 0; t < s.C; t++ {
 		i := table.Draw(s.Rand)
-		addOuterScaled(out, a, b, i, inv/table.Prob(i))
+		idx[t] = i
+		scale[t] = inv / table.Prob(i)
 	}
+	accumulateOuters(out, a, b, idx, scale)
 	return out
 }
 
@@ -209,14 +223,18 @@ func KeepProbabilities(w []float64, k int) []float64 {
 func (s *BernoulliSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
 	p := s.Probabilities(a, b)
 	out := tensor.New(a.Rows, b.Cols)
+	var idx []int
+	var scale []float64
 	for i, pi := range p {
 		if pi <= 0 {
 			continue
 		}
 		if s.Rand.Bernoulli(pi) {
-			addOuterScaled(out, a, b, i, 1/pi)
+			idx = append(idx, i)
+			scale = append(scale, 1/pi)
 		}
 	}
+	accumulateOuters(out, a, b, idx, scale)
 	return out
 }
 
@@ -252,9 +270,11 @@ func (s *TopKSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
 		k = len(idx)
 	}
 	out := tensor.New(a.Rows, b.Cols)
-	for _, i := range idx[:k] {
-		addOuterScaled(out, a, b, i, 1)
+	scale := make([]float64, k)
+	for t := range scale {
+		scale[t] = 1
 	}
+	accumulateOuters(out, a, b, idx[:k], scale)
 	return out
 }
 
@@ -290,9 +310,13 @@ func (s *UniformSampler) Multiply(a, b *tensor.Matrix) *tensor.Matrix {
 		return out
 	}
 	scale := float64(n) / float64(s.C)
-	for t := 0; t < s.C; t++ {
-		addOuterScaled(out, a, b, s.Rand.IntN(n), scale)
+	idx := make([]int, s.C)
+	scales := make([]float64, s.C)
+	for t := range idx {
+		idx[t] = s.Rand.IntN(n)
+		scales[t] = scale
 	}
+	accumulateOuters(out, a, b, idx, scales)
 	return out
 }
 

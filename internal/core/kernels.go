@@ -17,17 +17,21 @@ import (
 
 // gatherColsT copies the selected columns of w into the rows of dst, so
 // dst is |cols| x w.Rows (the transposed submatrix). dst is grown as
-// needed and returned.
+// needed and returned. Destination rows are sharded over the shared
+// worker pool (each is an independent column copy).
 func gatherColsT(w *tensor.Matrix, cols []int, dst *tensor.Matrix) *tensor.Matrix {
 	if dst == nil || dst.Rows != len(cols) || dst.Cols != w.Rows {
 		dst = tensor.New(len(cols), w.Rows)
 	}
-	for r, j := range cols {
-		row := dst.RowView(r)
-		for i := 0; i < w.Rows; i++ {
-			row[i] = w.Data[i*w.Cols+j]
+	tensor.ParallelRows(len(cols), w.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			j := cols[r]
+			row := dst.RowView(r)
+			for i := 0; i < w.Rows; i++ {
+				row[i] = w.Data[i*w.Cols+j]
+			}
 		}
-	}
+	})
 	return dst
 }
 
@@ -49,13 +53,15 @@ func scatterCols(full, compact *tensor.Matrix, cols []int) {
 		panic(fmt.Sprintf("core: scatter %dx%d into %dx%d via %d cols",
 			compact.Rows, compact.Cols, full.Rows, full.Cols, len(cols)))
 	}
-	for i := 0; i < full.Rows; i++ {
-		crow := compact.RowView(i)
-		frow := full.RowView(i)
-		for r, j := range cols {
-			frow[j] = crow[r]
+	tensor.ParallelRows(full.Rows, len(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := compact.RowView(i)
+			frow := full.RowView(i)
+			for r, j := range cols {
+				frow[j] = crow[r]
+			}
 		}
-	}
+	})
 }
 
 // activeState carries the per-layer forward caches of a column-sampled
@@ -128,12 +134,7 @@ func backwardActive(l *nn.Layer, dA *tensor.Matrix, st *activeState, scale float
 
 	gradWsub = tensor.MatMulTransA(st.in, deltaSub) // fanIn x |S|
 	gradBsub = make([]float64, s)
-	for i := 0; i < batch; i++ {
-		row := deltaSub.RowView(i)
-		for r, v := range row {
-			gradBsub[r] += v
-		}
-	}
+	tensor.ColSumsInto(gradBsub, deltaSub)
 	dAPrev = tensor.MatMul(deltaSub, st.wsub) // batch x fanIn
 	return gradWsub, gradBsub, dAPrev
 }
@@ -146,13 +147,15 @@ func scatterGrads(l *nn.Layer, gradWsub *tensor.Matrix, gradBsub []float64, cols
 	if scratch.W == nil || scratch.W.Rows != l.FanIn() || scratch.W.Cols != l.FanOut() {
 		scratch = nn.Grads{W: tensor.New(l.FanIn(), l.FanOut()), B: make([]float64, l.FanOut())}
 	}
-	for i := 0; i < l.FanIn(); i++ {
-		wrow := scratch.W.RowView(i)
-		grow := gradWsub.RowView(i)
-		for r, j := range cols {
-			wrow[j] = grow[r]
+	tensor.ParallelRows(l.FanIn(), len(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wrow := scratch.W.RowView(i)
+			grow := gradWsub.RowView(i)
+			for r, j := range cols {
+				wrow[j] = grow[r]
+			}
 		}
-	}
+	})
 	for r, j := range cols {
 		scratch.B[j] = gradBsub[r]
 	}
@@ -162,12 +165,14 @@ func scatterGrads(l *nn.Layer, gradWsub *tensor.Matrix, gradBsub []float64, cols
 // clearGradCols zeroes the previously written columns so the scratch can
 // be reused next step.
 func clearGradCols(g nn.Grads, cols []int) {
-	for i := 0; i < g.W.Rows; i++ {
-		row := g.W.RowView(i)
-		for _, j := range cols {
-			row[j] = 0
+	tensor.ParallelRows(g.W.Rows, len(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := g.W.RowView(i)
+			for _, j := range cols {
+				row[j] = 0
+			}
 		}
-	}
+	})
 	for _, j := range cols {
 		g.B[j] = 0
 	}

@@ -107,12 +107,7 @@ func (l *Layer) Backward(delta *tensor.Matrix) (Grads, *tensor.Matrix) {
 	}
 	gw := tensor.MatMulTransA(l.In, delta)
 	gb := make([]float64, l.W.Cols)
-	for i := 0; i < delta.Rows; i++ {
-		row := delta.RowView(i)
-		for j, v := range row {
-			gb[j] += v
-		}
-	}
+	tensor.ColSumsInto(gb, delta)
 	prev := tensor.MatMulTransB(delta, l.W)
 	return Grads{W: gw, B: gb}, prev
 }

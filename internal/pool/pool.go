@@ -1,0 +1,171 @@
+// Package pool provides the shared goroutine worker pool behind every
+// parallel kernel in samplednn. The paper's evaluation baseline is
+// multi-threaded PyTorch on a single CPU socket; matching that baseline
+// requires the dense and sampled kernels here to use every available
+// core too, otherwise the speedups the reproduction reports are measured
+// against an artificially slow serial GEMM.
+//
+// The pool is persistent: workers are started once and reused across
+// every kernel invocation, so the per-call cost is one atomic counter
+// and one channel send per participating worker — small enough that the
+// tensor package can invoke it from kernels that take tens of
+// microseconds. Work distribution is a caller-runs chunk queue:
+//
+//   - ParallelRows splits [0, n) into fixed-size chunks and hands them
+//     out through an atomic counter, so chunk → worker assignment is
+//     dynamic (load balanced) while chunk *boundaries* are static —
+//     which is what makes parallel kernels bit-identical to serial ones
+//     (each output row is computed by exactly one goroutine, with the
+//     same in-row reduction order as the serial loop).
+//   - The submitting goroutine always participates, and helper submission
+//     is non-blocking: if every resident worker is busy (e.g. nested
+//     parallelism, or the ALSH per-sample workers already saturate the
+//     machine) the caller simply runs all chunks itself. The pool can
+//     therefore never deadlock, and oversubscription degrades to serial
+//     execution instead of queueing.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of resident worker goroutines. A Pool with
+// Workers() == w executes ParallelRows with up to w-way parallelism
+// (w-1 resident workers plus the calling goroutine).
+type Pool struct {
+	workers int
+	tasks   chan func()
+}
+
+// New returns a pool with the given parallelism. Counts below 1 are
+// clamped to 1; a 1-worker pool runs everything on the caller and spawns
+// no goroutines.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		// Unbuffered: a send succeeds only when a resident worker is
+		// actually idle and ready to help, which is exactly the condition
+		// under which spawning a helper is useful.
+		tasks := make(chan func())
+		p.tasks = tasks
+		for i := 0; i < workers-1; i++ {
+			go func() {
+				for f := range tasks {
+					f()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's parallelism (including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the resident workers down. It must only be called when no
+// ParallelRows invocation is in flight; kernels submitted afterwards run
+// serially on the caller.
+func (p *Pool) Close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.tasks = nil
+	}
+}
+
+// trySubmit offers f to an idle resident worker without blocking.
+func (p *Pool) trySubmit(f func()) bool {
+	if p.tasks == nil {
+		return false
+	}
+	select {
+	case p.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParallelRows calls fn over a partition of [0, n): fn(lo, hi) handles
+// rows lo..hi-1. Chunks are grain rows each (the last may be shorter)
+// and every row belongs to exactly one chunk, so fn invocations never
+// overlap. Chunk boundaries depend only on (n, grain) — not on the
+// worker count or scheduling — which keeps any kernel whose per-row
+// computation is self-contained bit-identical across worker counts.
+//
+// fn runs on the calling goroutine and up to Workers()-1 resident
+// workers; ParallelRows returns only after every chunk has completed.
+func (p *Pool) ParallelRows(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	helpers := p.workers - 1
+	if chunks-1 < helpers {
+		helpers = chunks - 1
+	}
+	if helpers <= 0 {
+		fn(0, n)
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			c := int(next.Add(1) - 1)
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		if !p.trySubmit(func() { defer wg.Done(); run() }) {
+			wg.Done()
+			break // pool saturated: the caller picks up the remaining chunks
+		}
+	}
+	run()
+	wg.Wait()
+}
+
+// defaultPool holds the process-wide shared pool, sized by GOMAXPROCS
+// unless overridden with SetDefaultWorkers.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the shared pool, creating it on first use with
+// GOMAXPROCS workers.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := New(runtime.GOMAXPROCS(0))
+	if defaultPool.CompareAndSwap(nil, p) {
+		return p
+	}
+	p.Close()
+	return defaultPool.Load()
+}
+
+// SetDefaultWorkers resizes the shared pool (the -threads flag). It is
+// meant for startup configuration: callers must ensure no kernel is in
+// flight on the old pool, whose workers are shut down.
+func SetDefaultWorkers(n int) {
+	old := defaultPool.Swap(New(n))
+	if old != nil {
+		old.Close()
+	}
+}

@@ -1,0 +1,125 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// coverage records which rows fn saw and fails on overlap or gaps.
+func coverage(t *testing.T, p *Pool, n, grain int) {
+	t.Helper()
+	var mu sync.Mutex
+	seen := make([]int, n)
+	p.ParallelRows(n, grain, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+			return
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+		mu.Unlock()
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("n=%d grain=%d: row %d covered %d times", n, grain, i, c)
+		}
+	}
+}
+
+func TestParallelRowsCoversEveryRowExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			for _, grain := range []int{-1, 0, 1, 2, 13, 1000, 5000} {
+				coverage(t, p, n, grain)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestParallelRowsZeroAndNegativeN(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	called := false
+	p.ParallelRows(0, 1, func(lo, hi int) { called = true })
+	p.ParallelRows(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n <= 0")
+	}
+}
+
+func TestNestedParallelRowsDoesNotDeadlock(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var count atomic.Int64
+	p.ParallelRows(16, 1, func(lo, hi int) {
+		// Nested use from a worker: submission is non-blocking, so the
+		// inner call degrades to caller-runs instead of deadlocking.
+		p.ParallelRows(8, 1, func(ilo, ihi int) {
+			count.Add(int64(ihi - ilo))
+		})
+	})
+	if got := count.Load(); got != 16*8 {
+		t.Fatalf("nested rows processed %d, want %d", got, 16*8)
+	}
+}
+
+func TestConcurrentCallersShareOnePool(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				p.ParallelRows(100, 7, func(lo, hi int) {
+					total.Add(int64(hi - lo))
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*20*100 {
+		t.Fatalf("processed %d rows, want %d", got, 8*20*100)
+	}
+}
+
+func TestWorkersClampAndDefault(t *testing.T) {
+	if w := New(0).Workers(); w != 1 {
+		t.Fatalf("New(0) workers = %d, want 1", w)
+	}
+	if w := New(-3).Workers(); w != 1 {
+		t.Fatalf("New(-3) workers = %d, want 1", w)
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("default pool must have at least one worker")
+	}
+	if Default() != Default() {
+		t.Fatal("Default must return the shared pool")
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	old := Default().Workers()
+	SetDefaultWorkers(3)
+	if w := Default().Workers(); w != 3 {
+		t.Fatalf("after SetDefaultWorkers(3) default has %d workers", w)
+	}
+	SetDefaultWorkers(old)
+}
+
+func TestCloseThenParallelRowsRunsSerially(t *testing.T) {
+	p := New(4)
+	p.Close()
+	rows := 0
+	p.ParallelRows(10, 1, func(lo, hi int) { rows += hi - lo })
+	if rows != 10 {
+		t.Fatalf("closed pool processed %d rows, want 10", rows)
+	}
+}

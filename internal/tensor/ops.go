@@ -15,7 +15,14 @@ func MatMul(a, b *Matrix) *Matrix {
 // MatMulInto computes out = a*b. out must be preallocated with shape
 // a.Rows x b.Cols and must not alias a or b. The kernel uses the cache
 // friendly i-k-j loop order: the innermost loop streams a row of b and a
-// row of out, so both are accessed sequentially.
+// row of out, so both are accessed sequentially. Output rows are sharded
+// over the worker pool; each row's k-ascending reduction order matches
+// the serial loop, so results are bit-identical at any worker count.
+//
+// Zero entries of a are NOT skipped: 0·NaN and 0·Inf must yield NaN so
+// a diverging operand propagates into the output, which the trainer's
+// non-finite-loss rollback relies on. (An earlier version skipped them
+// and silently masked divergence.)
 func MatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -23,18 +30,18 @@ func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	out.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.RowView(i)
-		orow := out.RowView(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	ParallelRows(a.Rows, a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)
+			orow := out.RowView(i)
+			for j := range orow {
+				orow[j] = 0
 			}
-			brow := b.RowView(k)
-			axpy(av, brow, orow)
+			for k, av := range arow {
+				axpy(av, b.RowView(k), orow)
+			}
 		}
-	}
+	})
 }
 
 // MatMulNaive computes a*b with the textbook i-j-k loop order. It exists
@@ -66,6 +73,8 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 }
 
 // MatMulTransBInto computes out = a * bᵀ into a preallocated out.
+// Output rows are sharded over the worker pool; each (i, j) entry is an
+// independent dot product, so parallel results are bit-identical.
 func MatMulTransBInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -73,13 +82,15 @@ func MatMulTransBInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.RowView(i)
-		orow := out.RowView(i)
-		for j := 0; j < b.Rows; j++ {
-			orow[j] = dot(arow, b.RowView(j))
+	ParallelRows(a.Rows, a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)
+			orow := out.RowView(i)
+			for j := 0; j < b.Rows; j++ {
+				orow[j] = dot(arow, b.RowView(j))
+			}
 		}
-	}
+	})
 }
 
 // MatMulTransA returns aᵀ * b without materializing the transpose.
@@ -92,6 +103,17 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 }
 
 // MatMulTransAInto computes out = aᵀ * b into a preallocated out.
+//
+// Parallelization is by blocks of *output* rows (columns of a): every
+// chunk owns out rows [lo, hi) and accumulates all k contributions into
+// them itself, so no two goroutines ever write the same row (the serial
+// loop instead iterated k outermost, which would make chunks over k race
+// on the whole output). Within one output row the contributions still
+// arrive in k-ascending order — the same reduction order as the serial
+// kernel — so results are bit-identical at any worker count.
+//
+// Like MatMulInto, zero entries of a are not skipped, so NaN/Inf in b
+// propagate (see the zero-skip note there).
 func MatMulTransAInto(out, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA (%dx%d)ᵀ by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -99,17 +121,21 @@ func MatMulTransAInto(out, a, b *Matrix) {
 	if out.Rows != a.Cols || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
 	}
-	out.Zero()
-	for k := 0; k < a.Rows; k++ {
-		arow := a.RowView(k)
-		brow := b.RowView(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
+	ParallelRows(a.Cols, a.Rows*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.RowView(i)
+			for j := range orow {
+				orow[j] = 0
 			}
-			axpy(av, brow, out.RowView(i))
 		}
-	}
+		for k := 0; k < a.Rows; k++ {
+			arow := a.RowView(k)
+			brow := b.RowView(k)
+			for i := lo; i < hi; i++ {
+				axpy(arow[i], brow, out.RowView(i))
+			}
+		}
+	})
 }
 
 // MatMulCols computes, for each requested column j of b, out column j =
@@ -124,17 +150,19 @@ func MatMulCols(out, a, b *Matrix, cols []int) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulCols out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.RowView(i)
-		orow := out.RowView(i)
-		for _, j := range cols {
-			var s float64
-			for k, av := range arow {
-				s += av * b.Data[k*b.Cols+j]
+	ParallelRows(a.Rows, a.Cols*len(cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)
+			orow := out.RowView(i)
+			for _, j := range cols {
+				var s float64
+				for k, av := range arow {
+					s += av * b.Data[k*b.Cols+j]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
-	}
+	})
 }
 
 // Add returns a+b elementwise.
@@ -187,22 +215,28 @@ func (m *Matrix) Scale(alpha float64) {
 }
 
 // Hadamard returns the elementwise product a ⊙ b (used by Eq. 1 for
-// f'(z) ⊙ backpropagated error).
+// f'(z) ⊙ backpropagated error). The flat element range is sharded over
+// the worker pool; every element is independent, so results are
+// bit-identical at any worker count.
 func Hadamard(a, b *Matrix) *Matrix {
 	sameShape("Hadamard", a, b)
 	out := New(a.Rows, a.Cols)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	ParallelRows(len(a.Data), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	return out
 }
 
 // HadamardInPlace sets a ⊙= b.
 func HadamardInPlace(a, b *Matrix) {
 	sameShape("HadamardInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] *= b.Data[i]
-	}
+	ParallelRows(len(a.Data), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] *= b.Data[i]
+		}
+	})
 }
 
 // AddRowVector adds the 1 x Cols row vector v to every row of m (bias
@@ -211,37 +245,68 @@ func (m *Matrix) AddRowVector(v []float64) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector len %d for %d cols", len(v), m.Cols))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.RowView(i)
-		for j, bv := range v {
-			row[j] += bv
+	ParallelRows(m.Rows, m.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.RowView(i)
+			for j, bv := range v {
+				row[j] += bv
+			}
 		}
-	}
+	})
 }
 
 // ColNorms returns the l2 norm of every column (the Drineas sampling
-// probabilities of Eq. 6 are proportional to these).
+// probabilities of Eq. 6 are proportional to these). Column blocks are
+// sharded over the worker pool: each chunk owns columns [lo, hi) and
+// accumulates their squares over all rows itself, in the same
+// row-ascending order as the serial loop, so results are bit-identical.
 func (m *Matrix) ColNorms() []float64 {
 	out := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.RowView(i)
-		for j, v := range row {
-			out[j] += v * v
+	ParallelRows(m.Cols, 2*m.Rows, func(lo, hi int) {
+		for i := 0; i < m.Rows; i++ {
+			row := m.RowView(i)
+			for j := lo; j < hi; j++ {
+				out[j] += row[j] * row[j]
+			}
 		}
-	}
-	for j := range out {
-		out[j] = math.Sqrt(out[j])
-	}
+		for j := lo; j < hi; j++ {
+			out[j] = math.Sqrt(out[j])
+		}
+	})
 	return out
 }
 
 // RowNorms returns the l2 norm of every row.
 func (m *Matrix) RowNorms() []float64 {
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = Norm(m.RowView(i))
-	}
+	ParallelRows(m.Rows, 2*m.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = Norm(m.RowView(i))
+		}
+	})
 	return out
+}
+
+// ColSumsInto accumulates the column sums of m into dst (len m.Cols),
+// overwriting it — the bias-gradient reduction of Eq. 1 (gradB = column
+// sums of delta). Column blocks are sharded over the worker pool; each
+// column is summed in row-ascending order, matching the serial loop, so
+// results are bit-identical at any worker count.
+func ColSumsInto(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto dst len %d for %d cols", len(dst), m.Cols))
+	}
+	ParallelRows(m.Cols, m.Rows, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = 0
+		}
+		for i := 0; i < m.Rows; i++ {
+			row := m.RowView(i)
+			for j := lo; j < hi; j++ {
+				dst[j] += row[j]
+			}
+		}
+	})
 }
 
 // FrobeniusNorm returns ||m||_F.

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"sync/atomic"
+
+	"samplednn/internal/pool"
+)
+
+// The kernels in this package shard their output rows over the shared
+// worker pool (internal/pool). Two knobs keep small operands from
+// regressing: an operation must carry at least parallelCutoffFlops of
+// work before the pool is consulted at all, and chunks are sized so each
+// carries at least chunkTargetFlops. Below the cutoff the kernels run
+// the exact serial loop on the caller.
+//
+// Determinism: a chunk owns a contiguous block of output rows, and the
+// per-row reduction order inside every kernel is identical to the serial
+// loop, so results are bit-identical for any worker count (including 1).
+const (
+	// parallelCutoffFlops is the minimum operation size (in
+	// multiply-accumulates, roughly) worth distributing; below it the
+	// fork/join overhead of even a warm pool exceeds the kernel time.
+	parallelCutoffFlops = 32 << 10
+	// chunkTargetFlops sizes chunks so the atomic-counter handout cost
+	// is amortized over a meaningful amount of arithmetic.
+	chunkTargetFlops = 16 << 10
+)
+
+// kernelPool, when non-nil, overrides the shared default pool for this
+// package's kernels. Tests and benchmarks use it to pin a worker count.
+var kernelPool atomic.Pointer[pool.Pool]
+
+// SetPool overrides the worker pool used by the parallel kernels; nil
+// restores the process-wide shared pool (pool.Default, sized by
+// GOMAXPROCS or the -threads flag).
+func SetPool(p *pool.Pool) {
+	if p == nil {
+		kernelPool.Store(nil)
+		return
+	}
+	kernelPool.Store(p)
+}
+
+func currentPool() *pool.Pool {
+	if p := kernelPool.Load(); p != nil {
+		return p
+	}
+	return pool.Default()
+}
+
+// ParallelRows runs fn over a partition of [0, n) rows using the
+// package's active worker pool, falling back to a single serial
+// fn(0, n) call when the total work n*flopsPerRow is below the parallel
+// cutoff or the pool has one worker. flopsPerRow is the approximate
+// multiply-accumulate count per row and controls chunk granularity.
+//
+// It is exported because the sampled-training kernels outside this
+// package (gather/scatter in internal/core, the outer-product
+// accumulation in internal/approxmm) shard over the same pool with the
+// same cutoff policy.
+func ParallelRows(n, flopsPerRow int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if flopsPerRow < 1 {
+		flopsPerRow = 1
+	}
+	p := currentPool()
+	if p.Workers() <= 1 || n*flopsPerRow < parallelCutoffFlops {
+		fn(0, n)
+		return
+	}
+	grain := chunkTargetFlops / flopsPerRow
+	if grain < 1 {
+		grain = 1
+	}
+	p.ParallelRows(n, grain, fn)
+}

@@ -22,6 +22,11 @@ const sparseThreshold = 0.4
 // standard dot-product kernel. Results are identical (same additions in
 // the same order within each term group) up to floating-point
 // commutativity of skipped zeros, which contribute exactly 0.
+// Rows of a are sharded over the worker pool; the per-row support
+// gather, dense/sparse dispatch, and summation order are identical to
+// the serial loop, so results are bit-identical at any worker count.
+// When the kernel runs parallel, each chunk gathers into its own scratch
+// (the passed-in support is returned unchanged for later reuse).
 func MatMulTransBSparseInto(out, a, b *Matrix, support []int) []int {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransBSparse %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -29,30 +34,43 @@ func MatMulTransBSparseInto(out, a, b *Matrix, support []int) []int {
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransBSparse out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.RowView(i)
-		orow := out.RowView(i)
-		support = support[:0]
-		for k, v := range arow {
-			if v != 0 {
-				support = append(support, k)
-			}
+	ParallelRows(a.Rows, a.Cols*b.Rows, func(lo, hi int) {
+		// A span of (0, a.Rows) is the single serial invocation, which may
+		// reuse (and grow) the caller's scratch; parallel chunks are always
+		// proper sub-ranges and gather into private scratch instead.
+		serial := lo == 0 && hi == a.Rows
+		var sup []int
+		if serial {
+			sup = support
 		}
-		if float64(len(support)) >= sparseThreshold*float64(len(arow)) {
+		for i := lo; i < hi; i++ {
+			arow := a.RowView(i)
+			orow := out.RowView(i)
+			sup = sup[:0]
+			for k, v := range arow {
+				if v != 0 {
+					sup = append(sup, k)
+				}
+			}
+			if float64(len(sup)) >= sparseThreshold*float64(len(arow)) {
+				for j := 0; j < b.Rows; j++ {
+					orow[j] = dot(arow, b.RowView(j))
+				}
+				continue
+			}
 			for j := 0; j < b.Rows; j++ {
-				orow[j] = dot(arow, b.RowView(j))
+				brow := b.RowView(j)
+				var s float64
+				for _, k := range sup {
+					s += arow[k] * brow[k]
+				}
+				orow[j] = s
 			}
-			continue
 		}
-		for j := 0; j < b.Rows; j++ {
-			brow := b.RowView(j)
-			var s float64
-			for _, k := range support {
-				s += arow[k] * brow[k]
-			}
-			orow[j] = s
+		if serial {
+			support = sup
 		}
-	}
+	})
 	return support
 }
 

@@ -39,10 +39,10 @@ func Axpy(alpha float64, x, y []float64) {
 	axpy(alpha, x, y)
 }
 
+// axpy never short-circuits on alpha == 0: 0·NaN and 0·Inf must reach y
+// as NaN so non-finite operands propagate through the GEMM kernels (the
+// divergence-rollback machinery detects them via the loss).
 func axpy(alpha float64, x, y []float64) {
-	if alpha == 0 {
-		return
-	}
 	n := len(x) &^ 3
 	for i := 0; i < n; i += 4 {
 		y[i] += alpha * x[i]

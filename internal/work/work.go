@@ -8,7 +8,10 @@
 // per step on a CPU.
 package work
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Arch is the layer structure of an MLP: Dims[0] is the input width,
 // Dims[len-1] the output width, everything between hidden widths.
@@ -65,10 +68,15 @@ type Cost struct {
 // Total sums the phases.
 func (c Cost) Total() uint64 { return c.Forward + c.Backward + c.Overhead }
 
-// Speedup returns the ratio of exact total cost to this cost.
+// Speedup returns the ratio of exact total cost to the approximate cost.
+// A zero-cost approximation of nonzero exact work is infinitely faster
+// (+Inf), not the worst possible speedup; two zero costs tie at 1.
 func Speedup(exact, approx Cost) float64 {
 	if approx.Total() == 0 {
-		return 0
+		if exact.Total() == 0 {
+			return 1
+		}
+		return math.Inf(1)
 	}
 	return float64(exact.Total()) / float64(approx.Total())
 }

@@ -1,6 +1,7 @@
 package work
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -138,11 +139,20 @@ func TestRowSampledGradWExactAtSmallBatch(t *testing.T) {
 }
 
 func TestSpeedupEdgeCases(t *testing.T) {
-	if Speedup(Cost{Forward: 10}, Cost{}) != 0 {
-		t.Fatal("zero-cost approx should yield 0")
+	// A method that performs zero work is infinitely faster than one
+	// that performs any — not 0x, the worst possible speedup (that was a
+	// real bug: a degenerate zero-cost config sorted as the slowest).
+	if s := Speedup(Cost{Forward: 10}, Cost{}); !math.IsInf(s, 1) {
+		t.Fatalf("zero-cost approx should yield +Inf, got %v", s)
+	}
+	if s := Speedup(Cost{}, Cost{}); s != 1 {
+		t.Fatalf("two zero costs tie at 1, got %v", s)
 	}
 	if Speedup(Cost{Forward: 10}, Cost{Forward: 10}) != 1 {
 		t.Fatal("equal costs should yield 1")
+	}
+	if s := Speedup(Cost{Forward: 10}, Cost{Overhead: 20}); s != 0.5 {
+		t.Fatalf("overhead counts toward approx cost, want 0.5, got %v", s)
 	}
 }
 
