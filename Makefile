@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 bench bench-gemm vet fmt
+.PHONY: build test tier1 bench bench-gemm vet fmt journal-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ bench:
 # bit-for-bit against the serial kernel before its timing is recorded.
 bench-gemm:
 	$(GO) run ./cmd/benchgemm -sizes 128,256,512 -workers 1,2,4 -out BENCH_gemm.json
+
+# Two-epoch synthetic run that journals every event, then pretty-prints
+# the journal — the fastest way to see the telemetry schema end to end.
+journal-demo:
+	rm -f /tmp/journal-demo.jsonl
+	$(GO) run ./cmd/mlptrain -dataset mnist -method alsh -epochs 2 \
+		-train 400 -test 100 -units 64 -layers 2 -confusion=false \
+		-journal /tmp/journal-demo.jsonl
+	$(GO) run ./cmd/journalcat /tmp/journal-demo.jsonl
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,61 @@
+// Command journalcat pretty-prints a JSONL run journal written by
+// mlptrain -journal: one line per event, timestamp and event name first,
+// then the remaining fields as sorted key=value pairs (nested objects
+// stay JSON so they remain grep- and jq-able).
+//
+// Usage:
+//
+//	journalcat runs/mnist.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"samplednn/internal/obs"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: journalcat FILE")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	recs, err := obs.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "journalcat:", err)
+		os.Exit(1)
+	}
+	for _, r := range recs {
+		fmt.Print(formatRecord(r))
+	}
+}
+
+func formatRecord(r obs.Record) string {
+	line := fmt.Sprintf("%-30v %-11s", r["ts"], r.Event())
+	for _, k := range r.Keys() {
+		if k == "ts" || k == "ev" {
+			continue
+		}
+		line += fmt.Sprintf(" %s=%s", k, formatValue(r[k]))
+	}
+	return line + "\n"
+}
+
+func formatValue(v any) string {
+	switch v.(type) {
+	case map[string]any, []any:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Sprint(v)
+		}
+		return string(b)
+	}
+	return fmt.Sprint(v)
+}

@@ -30,6 +30,7 @@ import (
 	"samplednn/internal/dataset"
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
+	"samplednn/internal/obs"
 	"samplednn/internal/opt"
 	"samplednn/internal/pool"
 	"samplednn/internal/rng"
@@ -94,6 +95,11 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 1, "epochs between full-state checkpoints (requires -state)")
 		maxRetries = flag.Int("max-retries", 0, "divergence rollbacks before giving up (0 = record divergence immediately)")
 		lrDecay    = flag.Float64("lr-decay", 0.5, "learning-rate multiplier applied on each divergence rollback")
+
+		journalPath = flag.String("journal", "", "append a structured JSONL run journal to this file (inspect with journalcat)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	// Validate the numeric flags up front: a non-positive batch size or
@@ -108,6 +114,28 @@ func main() {
 	if *resumePath != "" && *statePath == "" {
 		// A resumed run keeps checkpointing to the file it came from.
 		*statePath = *resumePath
+	}
+
+	prof, err := startProfiler(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	onExit = prof.stop
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
+	var journal *obs.Journal
+	if *journalPath != "" {
+		journal, err = obs.Open(*journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		onExit = func() {
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mlptrain: journal:", err)
+			}
+			prof.stop()
+		}
 	}
 
 	ds, err := dataset.Generate(*dsName, dataset.Options{
@@ -168,6 +196,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		MaxRetries:      *maxRetries,
 		LRDecay:         *lrDecay,
+		Journal:         journal,
 	})
 	if err != nil {
 		fatal(err)
@@ -178,6 +207,10 @@ func main() {
 	// interrupted run can be continued with -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Hand signal handling back to the runtime once the first signal has
+	// cancelled ctx, so a second Ctrl-C force-exits instead of being
+	// swallowed while the trainer drains the current batch.
+	restoreSignalsOnCancel(ctx, stop)
 
 	var hist *train.History
 	if *resumePath != "" {
@@ -192,6 +225,7 @@ func main() {
 		} else {
 			fmt.Println("\ninterrupted (no -state file configured; progress discarded)")
 		}
+		onExit()
 		os.Exit(130)
 	}
 	if err != nil {
@@ -219,9 +253,16 @@ func main() {
 	if *savePath != "" {
 		fmt.Printf("best model checkpointed to %s\n", *savePath)
 	}
+	onExit()
 }
 
+// onExit flushes telemetry (CPU/heap profiles, the run journal) and must
+// run on every exit path; os.Exit skips deferred calls, so fatal() and
+// the interrupt path invoke it explicitly.
+var onExit = func() {}
+
 func fatal(err error) {
+	onExit()
 	fmt.Fprintln(os.Stderr, "mlptrain:", err)
 	os.Exit(1)
 }

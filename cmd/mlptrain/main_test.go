@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestValidateFlagsRejectsBadValues(t *testing.T) {
+	ok := func() error {
+		return validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)
+	}
+	if err := ok(); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"layers", validateFlags(-1, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)},
+		{"units", validateFlags(3, 0, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)},
+		{"epochs", validateFlags(3, 128, 0, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)},
+		{"keep", validateFlags(3, 128, 5, 20, 0.05, 1.5, 10, 0, 0, 1, 0, 0.5)},
+		{"lr-decay", validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("bad -%s accepted", c.name)
+		}
+	}
+}
+
+// TestRestoreSignalsOnCancel pins the double-Ctrl-C fix: once the signal
+// context is cancelled, the NotifyContext stop function must be invoked
+// so the default signal disposition is restored and a second SIGINT
+// force-exits. Before the fix, stop only ran via defer at process end,
+// leaving every subsequent signal swallowed.
+func TestRestoreSignalsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stopped := make(chan struct{})
+	restoreSignalsOnCancel(ctx, func() { close(stopped) })
+
+	select {
+	case <-stopped:
+		t.Fatal("stop ran before the context was cancelled")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	cancel() // stands in for the first SIGINT
+	select {
+	case <-stopped:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop was not called after cancellation; a second SIGINT would be swallowed")
+	}
+}

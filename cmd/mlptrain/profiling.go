@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler owns the lifetime of the -cpuprofile and -memprofile outputs.
+// Every exit path — normal return, fatal(), the SIGINT exit — must call
+// stop(): a CPU profile is unreadable unless StopCPUProfile flushes it,
+// and the heap profile is only written here.
+type profiler struct {
+	cpuFile *os.File
+	memPath string
+	stopped bool
+}
+
+func startProfiler(cpuPath, memPath string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// stop flushes the CPU profile and writes the heap profile. Safe to call
+// multiple times and on a nil receiver.
+func (p *profiler) stop() {
+	if p == nil || p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mlptrain: cpuprofile:", err)
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlptrain: memprofile:", err)
+			return
+		}
+		runtime.GC() // report live objects, not garbage awaiting collection
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mlptrain: memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mlptrain: memprofile:", err)
+		}
+	}
+}
+
+// servePprof exposes net/http/pprof on addr in the background so a
+// long training run can be inspected live (goroutine dumps, heap, CPU
+// sampling) without restarting it.
+func servePprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "mlptrain: pprof server:", err)
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+package main
+
+import "context"
+
+// restoreSignalsOnCancel arranges for stop to run as soon as ctx is
+// cancelled. signal.NotifyContext keeps capturing its signals after the
+// first delivery — the context is done, but SIGINT is still routed to
+// the (already-cancelled) context and dropped — so without this a second
+// Ctrl-C during a slow graceful shutdown does nothing and a wedged run
+// is unkillable. Calling stop() at first cancellation restores the
+// default signal disposition: the next SIGINT terminates the process.
+func restoreSignalsOnCancel(ctx context.Context, stop func()) {
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+}

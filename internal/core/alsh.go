@@ -6,10 +6,32 @@ import (
 
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
+	"samplednn/internal/obs"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 )
+
+// SamplingSnapshot carries a sampling method's per-epoch diagnostics for
+// the run journal: the paper's sparsity headline (ActiveFraction, ~5%)
+// plus the §10.3 collapse signals — the distribution of active-set sizes
+// per hidden layer and the hash-bucket occupancy behind them.
+type SamplingSnapshot struct {
+	ActiveFraction float64 `json:"active_fraction"`
+	// ActiveSets[i] is hidden layer i's distribution of active-set sizes
+	// since the last ResetTiming (one observation per processed sample or
+	// batch union).
+	ActiveSets []obs.DistSnapshot `json:"active_sets,omitempty"`
+	// Buckets[i] is hidden layer i's current hash-table occupancy.
+	Buckets []lsh.BucketStats `json:"buckets,omitempty"`
+}
+
+// SamplingReporter is implemented by methods that expose sampling
+// diagnostics. The trainer includes the snapshot in each epoch's journal
+// record.
+type SamplingReporter interface {
+	SamplingSnapshot() SamplingSnapshot
+}
 
 // ALSHConfig tunes the hash-based node sampler.
 type ALSHConfig struct {
@@ -70,6 +92,9 @@ type ALSHApprox struct {
 	samples int                // training samples processed
 	lastUpd int                // samples count at last re-hash
 	timing  Timing
+	// actDists[i] records hidden layer i's active-set sizes since the
+	// last ResetTiming (nil for the exact output layer).
+	actDists []*obs.Distribution
 
 	queryBuf []int
 }
@@ -82,11 +107,12 @@ func NewALSHApprox(net *nn.Network, optim opt.Optimizer, cfg ALSHConfig, g *rng.
 	cfg.setDefaults()
 	a := &ALSHApprox{
 		net: net, optim: optim, cfg: cfg, g: g,
-		indexes: make([]*lsh.MIPSIndex, len(net.Layers)),
-		states:  make([]*activeState, len(net.Layers)),
-		grads:   make([]nn.Grads, len(net.Layers)),
-		touched: make([]map[int]struct{}, len(net.Layers)),
-		minAct:  make([]int, len(net.Layers)),
+		indexes:  make([]*lsh.MIPSIndex, len(net.Layers)),
+		states:   make([]*activeState, len(net.Layers)),
+		grads:    make([]nn.Grads, len(net.Layers)),
+		touched:  make([]map[int]struct{}, len(net.Layers)),
+		minAct:   make([]int, len(net.Layers)),
+		actDists: make([]*obs.Distribution, len(net.Layers)),
 	}
 	last := len(net.Layers) - 1
 	for i, l := range net.Layers {
@@ -105,6 +131,7 @@ func NewALSHApprox(net *nn.Network, optim opt.Optimizer, cfg ALSHConfig, g *rng.
 		if a.minAct[i] <= 0 {
 			a.minAct[i] = max(4, l.FanOut()/100)
 		}
+		a.actDists[i] = obs.NewDistribution()
 	}
 	return a, nil
 }
@@ -122,8 +149,31 @@ func (a *ALSHApprox) Net() *nn.Network { return a.net }
 // re-hashing work.
 func (a *ALSHApprox) Timing() Timing { return a.timing }
 
-// ResetTiming zeroes the timings.
-func (a *ALSHApprox) ResetTiming() { a.timing = Timing{} }
+// ResetTiming zeroes the timings and the per-layer active-set-size
+// distributions, so both align with the trainer's per-epoch window.
+func (a *ALSHApprox) ResetTiming() {
+	a.timing = Timing{}
+	for _, d := range a.actDists {
+		if d != nil {
+			d.Reset()
+		}
+	}
+}
+
+// SamplingSnapshot exports the current sampling diagnostics: mean active
+// fraction, active-set-size distributions since the last ResetTiming,
+// and hash-bucket occupancy per hidden layer.
+func (a *ALSHApprox) SamplingSnapshot() SamplingSnapshot {
+	s := SamplingSnapshot{ActiveFraction: a.ActiveFraction()}
+	for i, idx := range a.indexes {
+		if idx == nil {
+			continue
+		}
+		s.ActiveSets = append(s.ActiveSets, a.actDists[i].Snapshot())
+		s.Buckets = append(s.Buckets, idx.BucketStats())
+	}
+	return s
+}
 
 // ActiveFraction reports the mean fraction of nodes active in the most
 // recent step, the paper's sparsity headline (~5%).
@@ -193,6 +243,7 @@ func (a *ALSHApprox) Step(x *tensor.Matrix, y []int) float64 {
 		}
 		st := a.states[i]
 		st.cols = a.activeSet(i, act)
+		a.actDists[i].Observe(int64(len(st.cols)))
 		act = forwardActive(l, act, st, 1)
 	}
 	logits := act

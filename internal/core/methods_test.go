@@ -352,3 +352,70 @@ func TestActiveSubsetGradientsMatchDense(t *testing.T) {
 		}
 	}
 }
+
+func TestALSHSamplingSnapshot(t *testing.T) {
+	net := mlp(t, 60, 8, 32, 4)
+	m, err := NewALSHApprox(net, opt.NewAdam(0.01), ALSHConfig{
+		Params:    lshParamsForTest(),
+		MinActive: 6,
+	}, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ SamplingReporter = m // ALSH must expose sampling diagnostics
+	x, y := separableTask(62, 20, 8, 4)
+	bx := tensor.New(1, 8)
+	for i := 0; i < 20; i++ {
+		copy(bx.RowView(0), x.RowView(i))
+		m.Step(bx, y[i:i+1])
+	}
+	s := m.SamplingSnapshot()
+	if s.ActiveFraction <= 0 || s.ActiveFraction > 1 {
+		t.Fatalf("active fraction %v", s.ActiveFraction)
+	}
+	if len(s.ActiveSets) != 2 || len(s.Buckets) != 2 { // two hidden layers
+		t.Fatalf("snapshot has %d active-set dists, %d bucket stats", len(s.ActiveSets), len(s.Buckets))
+	}
+	for i, d := range s.ActiveSets {
+		if d.Count != 20 {
+			t.Fatalf("layer %d recorded %d active sets, want 20", i, d.Count)
+		}
+		if d.Min < 6 || d.Max > 32 {
+			t.Fatalf("layer %d active-set sizes [%d, %d] violate floor/width", i, d.Min, d.Max)
+		}
+	}
+	for i, b := range s.Buckets {
+		if b.Items == 0 || b.NonEmpty == 0 {
+			t.Fatalf("layer %d bucket stats empty: %+v", i, b)
+		}
+	}
+	// ResetTiming opens a fresh per-epoch window.
+	m.ResetTiming()
+	if s := m.SamplingSnapshot(); s.ActiveSets[0].Count != 0 {
+		t.Fatal("ResetTiming did not reset the active-set distributions")
+	}
+}
+
+func TestParallelALSHSamplingSnapshot(t *testing.T) {
+	net := mlp(t, 63, 8, 32, 4)
+	m, err := NewParallelALSH(net, opt.NewAdam(0.01), ALSHConfig{
+		Params:    lshParamsForTest(),
+		MinActive: 6,
+	}, 3, rng.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := separableTask(65, 12, 8, 4)
+	if _, err := m.TryStep(x, y); err != nil {
+		t.Fatal(err)
+	}
+	s := m.SamplingSnapshot()
+	if len(s.ActiveSets) != 2 {
+		t.Fatalf("%d active-set dists", len(s.ActiveSets))
+	}
+	for i, d := range s.ActiveSets {
+		if d.Count != 12 { // one observation per sample per layer
+			t.Fatalf("layer %d recorded %d active sets, want 12", i, d.Count)
+		}
+	}
+}

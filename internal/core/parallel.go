@@ -233,6 +233,9 @@ func (p *ParallelALSH) TryStep(x *tensor.Matrix, y []int) (float64, error) {
 		seen := p.seenBuf[li]
 		for ri := range results {
 			r := &results[ri]
+			// Record per-sample active-set sizes here in the merge phase:
+			// it is single-threaded, so the observation order is stable.
+			p.actDists[li].Observe(int64(len(r.cols[li])))
 			for ci, col := range r.cols[li] {
 				if !seen[col] {
 					seen[col] = true

@@ -2,6 +2,7 @@ package lsh
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"samplednn/internal/rng"
@@ -264,6 +265,58 @@ func (idx *MIPSIndex) queryInto(sc *QueryScratch, a []float64, dst []int) []int 
 // Stats returns maintenance counters: total rebuilds and queries served.
 func (idx *MIPSIndex) Stats() (rebuilds, queries int) {
 	return idx.rebuilds, idx.queries
+}
+
+// BucketStats summarizes hash-table occupancy across all L tables. It is
+// the §10.3 diagnostic in data-structure form: when a few buckets hold
+// most of the items, every query returns the same crowded candidate set
+// and the active nodes stop depending on the input — the precondition
+// for ALSH-approx's prediction collapse.
+type BucketStats struct {
+	// Tables is L, BucketsPerTable is 2^K.
+	Tables          int `json:"tables"`
+	BucketsPerTable int `json:"buckets_per_table"`
+	// Items counts stored ids summed over tables (nItems per fully built
+	// table), NonEmpty the buckets holding at least one id.
+	Items    int `json:"items"`
+	NonEmpty int `json:"non_empty"`
+	// MaxLoad is the largest single bucket; MeanLoad averages items over
+	// non-empty buckets (0 when the index is empty).
+	MaxLoad  int     `json:"max_load"`
+	MeanLoad float64 `json:"mean_load"`
+	// Occupancy[i] counts non-empty buckets whose size has bit length
+	// i+1: Occupancy[0] is size 1, Occupancy[i] covers [2^i, 2^(i+1)).
+	Occupancy []int `json:"occupancy,omitempty"`
+}
+
+// BucketStats scans every table and returns the occupancy summary.
+func (idx *MIPSIndex) BucketStats() BucketStats {
+	s := BucketStats{Tables: len(idx.tables), BucketsPerTable: 1 << uint(idx.params.K)}
+	var occ [32]int
+	top := -1
+	for _, t := range idx.tables {
+		for _, b := range t.buckets {
+			n := len(b)
+			if n == 0 {
+				continue
+			}
+			s.Items += n
+			s.NonEmpty++
+			if n > s.MaxLoad {
+				s.MaxLoad = n
+			}
+			i := bits.Len(uint(n)) - 1
+			occ[i]++
+			if i > top {
+				top = i
+			}
+		}
+	}
+	if s.NonEmpty > 0 {
+		s.MeanLoad = float64(s.Items) / float64(s.NonEmpty)
+		s.Occupancy = append([]int(nil), occ[:top+1]...)
+	}
+	return s
 }
 
 // MemoryFootprint estimates the index's resident bytes: bucket headers,

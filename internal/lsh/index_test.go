@@ -357,3 +357,47 @@ func TestQueryWithScratchValidation(t *testing.T) {
 	}()
 	idx.QueryWith(other.NewQueryScratch(), make([]float64, 8), nil)
 }
+
+func TestBucketStats(t *testing.T) {
+	g := rng.New(9)
+	idx, _ := buildIndex(t, g, 16, 200, Params{K: 4, L: 6, M: 3, U: 0.83})
+	s := idx.BucketStats()
+	if s.Tables != 6 || s.BucketsPerTable != 16 {
+		t.Fatalf("geometry %+v", s)
+	}
+	// Every fully built table holds every item once.
+	if s.Items != 6*200 {
+		t.Fatalf("items = %d, want %d", s.Items, 6*200)
+	}
+	if s.NonEmpty == 0 || s.NonEmpty > 6*16 {
+		t.Fatalf("non-empty = %d", s.NonEmpty)
+	}
+	if s.MaxLoad < 1 || s.MaxLoad > 200 {
+		t.Fatalf("max load = %d", s.MaxLoad)
+	}
+	if want := float64(s.Items) / float64(s.NonEmpty); math.Abs(s.MeanLoad-want) > 1e-12 {
+		t.Fatalf("mean load = %v, want %v", s.MeanLoad, want)
+	}
+	// The occupancy histogram must account for every non-empty bucket
+	// and its top bin must contain the max-load bucket's size class.
+	total := 0
+	for _, n := range s.Occupancy {
+		total += n
+	}
+	if total != s.NonEmpty {
+		t.Fatalf("occupancy sums to %d, want %d", total, s.NonEmpty)
+	}
+	if s.Occupancy[len(s.Occupancy)-1] == 0 {
+		t.Fatal("occupancy histogram has a trailing empty bin")
+	}
+
+	// Empty index: all zeros, no NaN mean.
+	empty, err := NewMIPSIndex(8, 10, Params{K: 3, L: 2, M: 3, U: 0.83}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := empty.BucketStats()
+	if es.Items != 0 || es.NonEmpty != 0 || es.MeanLoad != 0 || es.Occupancy != nil {
+		t.Fatalf("empty stats %+v", es)
+	}
+}

@@ -102,13 +102,33 @@ func (c *ConfusionMatrix) F1(class int) float64 {
 	return 2 * p * r / (p + r)
 }
 
-// MacroF1 returns the unweighted mean F1 across classes.
+// MacroF1 returns the unweighted mean F1 over the classes that appear in
+// the truth set (support > 0), and 0 when the matrix is empty.
+//
+// Convention: classes absent from the truth sample are excluded from the
+// mean even when the model predicts them (their spurious predictions
+// still hurt via the present classes' precision). Averaging over all
+// classes would count every absent class as F1=0, which under subsampled
+// evaluation (-test caps, MaxEvalSamples) biases macro-F1 downward for
+// reasons that have nothing to do with the model.
 func (c *ConfusionMatrix) MacroF1() float64 {
 	var s float64
+	present := 0
 	for i := 0; i < c.classes; i++ {
+		support := 0
+		for p := 0; p < c.classes; p++ {
+			support += c.counts[i*c.classes+p]
+		}
+		if support == 0 {
+			continue
+		}
+		present++
 		s += c.F1(i)
 	}
-	return s / float64(c.classes)
+	if present == 0 {
+		return 0
+	}
+	return s / float64(present)
 }
 
 // PredictionHistogram returns how often each class was predicted.

@@ -70,6 +70,32 @@ func TestPrecisionRecallF1(t *testing.T) {
 	}
 }
 
+func TestMacroF1IgnoresAbsentClasses(t *testing.T) {
+	// 4 declared classes, but the (subsampled) truth set only contains
+	// classes 0 and 1. Class 2 is predicted once; class 3 never appears.
+	c := NewConfusionMatrix(4)
+	c.AddBatch(
+		[]int{0, 0, 0, 1, 1},
+		[]int{0, 0, 2, 1, 1},
+	)
+	// class 0: P=1 (2 of 2 predictions), R=2/3; class 1: P=R=1.
+	f0 := 2 * 1.0 * (2.0 / 3.0) / (1.0 + 2.0/3.0)
+	want := (f0 + 1.0) / 2
+	if math.Abs(c.MacroF1()-want) > 1e-12 {
+		t.Fatalf("MacroF1 = %v, want %v (mean over the 2 present classes)", c.MacroF1(), want)
+	}
+	// The buggy all-classes mean would have been (f0+1+0+0)/4.
+	if bad := (f0 + 1.0) / 4; math.Abs(c.MacroF1()-bad) < 1e-12 {
+		t.Fatal("MacroF1 still averages absent classes in")
+	}
+}
+
+func TestMacroF1EmptyMatrix(t *testing.T) {
+	if got := NewConfusionMatrix(3).MacroF1(); got != 0 {
+		t.Fatalf("empty-matrix MacroF1 = %v, want 0", got)
+	}
+}
+
 func TestDegenerateStats(t *testing.T) {
 	c := NewConfusionMatrix(3)
 	if c.Accuracy() != 0 || c.PredictionEntropy() != 0 {

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Journal is a structured JSONL run log: one JSON object per line, each
+// carrying an RFC 3339 timestamp ("ts"), an event name ("ev"), and the
+// event's fields. The trainer journals the full lifecycle of a run —
+// run-start (config/seed/arch/method), per-epoch records, divergence and
+// rollback, checkpoint writes, resume, early-stop, run-end — so the
+// paper's per-method accounting can be reconstructed offline.
+//
+// Durability follows the spirit of internal/atomicfile, adapted to an
+// append-only log where rename-replace does not apply: every record is
+// emitted as exactly one Write of one complete line, the file is opened
+// in append mode, and Close fsyncs. A crash can therefore tear at most
+// the final line, and Read tolerates (and drops) a torn tail — earlier
+// records are never damaged by a later crash.
+//
+// Journal methods are safe for concurrent use. Write failures are sticky
+// and reported by Err/Close rather than interrupting training: telemetry
+// must never kill the run it observes.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	f   *os.File // non-nil when opened via Open; fsynced on Close
+	now func() time.Time
+	err error
+}
+
+// Open appends to (creating if needed) the journal at path.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	j := New(f)
+	j.f = f
+	return j, nil
+}
+
+// New returns a journal writing to w (tests pass a buffer).
+func New(w io.Writer) *Journal {
+	return &Journal{w: w, now: time.Now}
+}
+
+// SetClock replaces the timestamp source (tests pin it for golden files).
+func (j *Journal) SetClock(now func() time.Time) {
+	j.mu.Lock()
+	j.now = now
+	j.mu.Unlock()
+}
+
+// Emit appends one event record. The reserved keys "ts" and "ev" are set
+// by the journal; same-named entries in fields are ignored. Non-finite
+// floats — which JSON cannot represent — are encoded as the strings
+// "NaN", "+Inf", and "-Inf" (maps and slices are sanitized recursively;
+// see sanitize).
+func (j *Journal) Emit(event string, fields map[string]any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		if k == "ts" || k == "ev" {
+			continue
+		}
+		rec[k] = sanitize(v)
+	}
+	rec["ts"] = j.now().UTC().Format(time.RFC3339Nano)
+	rec["ev"] = event
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.err = fmt.Errorf("obs: encoding %s event: %w", event, err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		j.err = fmt.Errorf("obs: writing %s event: %w", event, err)
+	}
+}
+
+// Err returns the first write or encoding error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Sync flushes the journal file to stable storage (no-op for
+// writer-backed journals).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the underlying file (when file-backed) and
+// returns the first error the journal encountered.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		if err := j.f.Sync(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("obs: syncing journal: %w", err)
+		}
+		if err := j.f.Close(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("obs: closing journal: %w", err)
+		}
+		j.f = nil
+	}
+	return j.err
+}
+
+// sanitize rewrites non-finite floats into their string names so the
+// record stays JSON-encodable, recursing through generic maps and
+// slices. Struct values are passed through unchanged — emitters own
+// keeping them finite.
+func sanitize(v any) any {
+	switch x := v.(type) {
+	case float64:
+		return sanitizeFloat(x)
+	case float32:
+		return sanitizeFloat(float64(x))
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, vv := range x {
+			out[k] = sanitize(vv)
+		}
+		return out
+	case []any:
+		out := make([]any, len(x))
+		for i, vv := range x {
+			out[i] = sanitize(vv)
+		}
+		return out
+	}
+	return v
+}
+
+func sanitizeFloat(f float64) any {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return f
+}
+
+// Record is one parsed journal line.
+type Record map[string]any
+
+// Event returns the record's event name ("" when absent).
+func (r Record) Event() string {
+	ev, _ := r["ev"].(string)
+	return ev
+}
+
+// Keys returns the record's field names in sorted order.
+func (r Record) Keys() []string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Read parses a JSONL journal. A torn final line — the signature of a
+// crash mid-append — is dropped silently; a malformed line anywhere else
+// is an error.
+func Read(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading journal: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	var recs []Record
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail from a crash mid-write
+			}
+			return nil, fmt.Errorf("obs: journal line %d: %w", i+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// ReadFile reads and parses the journal at path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening journal: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

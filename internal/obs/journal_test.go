@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestJournalEmitAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.SetClock(fixedClock())
+	j.Emit("run-start", map[string]any{"method": "standard", "seed": 42})
+	j.Emit("epoch", map[string]any{"epoch": 1, "train_loss": 0.5})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Event() != "run-start" || recs[1].Event() != "epoch" {
+		t.Fatalf("events %q, %q", recs[0].Event(), recs[1].Event())
+	}
+	if recs[0]["method"] != "standard" {
+		t.Fatalf("fields lost: %v", recs[0])
+	}
+	if ts, _ := recs[0]["ts"].(string); !strings.HasPrefix(ts, "2026-01-02T03:04:05") {
+		t.Fatalf("timestamp %q not from the pinned clock", ts)
+	}
+}
+
+func TestJournalNonFiniteFloats(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.Emit("epoch", map[string]any{
+		"nan":    math.NaN(),
+		"posinf": math.Inf(1),
+		"neginf": math.Inf(-1),
+		"nested": map[string]any{"v": math.NaN()},
+		"list":   []any{math.Inf(1)},
+	})
+	if err := j.Err(); err != nil {
+		t.Fatalf("non-finite floats must not poison the journal: %v", err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recs[0]
+	if r["nan"] != "NaN" || r["posinf"] != "+Inf" || r["neginf"] != "-Inf" {
+		t.Fatalf("sanitization failed: %v", r)
+	}
+	if r["nested"].(map[string]any)["v"] != "NaN" {
+		t.Fatal("nested map not sanitized")
+	}
+	if r["list"].([]any)[0] != "+Inf" {
+		t.Fatal("slice not sanitized")
+	}
+}
+
+func TestJournalReservedKeys(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.SetClock(fixedClock())
+	j.Emit("x", map[string]any{"ev": "spoofed", "ts": "spoofed"})
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Event() != "x" {
+		t.Fatalf("reserved ev overridden: %v", recs[0])
+	}
+	if recs[0]["ts"] == "spoofed" {
+		t.Fatal("reserved ts overridden")
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.Emit("a", nil)
+	j.Emit("b", nil)
+	torn := buf.String() + `{"ev":"c","half`
+	recs, err := Read(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail must be dropped, not fatal: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	// A malformed line that is NOT the tail is corruption.
+	bad := `{"ev":"a"` + "\n" + `{"ev":"b"}` + "\n"
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("mid-file corruption must error")
+	}
+}
+
+func TestJournalFileAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit("run-start", map[string]any{"seed": 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening appends instead of truncating.
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Emit("run-end", nil)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Event() != "run-start" || recs[1].Event() != "run-end" {
+		t.Fatalf("records %v", recs)
+	}
+}

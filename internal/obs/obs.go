@@ -1,0 +1,304 @@
+// Package obs is samplednn's run-telemetry layer. The source paper is an
+// evaluation study: its conclusions rest on per-phase wall-clock
+// accounting (§9.2, §10.1) and on sampling diagnostics like the
+// active-set collapse behind §10.3 — none of which can be reported if the
+// runtime cannot observe itself. obs provides the two pieces every layer
+// shares:
+//
+//   - a Registry of named atomic Counters, Gauges, Timers, and
+//     Distributions, cheap enough (one or two atomic ops per update) to
+//     sit inside kernels that take tens of microseconds, and
+//   - a structured JSONL run Journal (journal.go) that records the
+//     lifecycle of a training run — run-start, per-epoch stats,
+//     divergence/rollback, checkpoints, early-stop, run-end — for
+//     offline analysis.
+//
+// The package depends only on the standard library, so every internal
+// package (pool, tensor, core, train) can import it without cycles.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only grow).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic last-written float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer accumulates durations.
+type Timer struct{ total, count atomic.Int64 }
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.total.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Start begins a measurement; the returned func stops it and records the
+// elapsed time:
+//
+//	defer timer.Start()()
+func (t *Timer) Start() func() {
+	t0 := time.Now()
+	return func() { t.Observe(time.Since(t0)) }
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.total.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// TimerSnapshot is a Timer's exportable state.
+type TimerSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Distribution summarizes a stream of non-negative integer observations
+// (active-set sizes, bucket loads): count, sum, min, max, plus a log2
+// histogram. All updates are atomic, so concurrent observers need no
+// locking; Reset must not race with Observe.
+type Distribution struct {
+	count, sum atomic.Int64
+	min, max   atomic.Int64
+	// buckets[i] counts observations whose bit length is i: bucket 0 is
+	// v == 0, bucket i >= 1 covers [2^(i-1), 2^i).
+	buckets [65]atomic.Int64
+}
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution {
+	d := &Distribution{}
+	d.min.Store(math.MaxInt64)
+	d.max.Store(math.MinInt64)
+	return d
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (d *Distribution) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	d.count.Add(1)
+	d.sum.Add(v)
+	for {
+		cur := d.min.Load()
+		if v >= cur || d.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := d.max.Load()
+		if v <= cur || d.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	d.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Reset clears the distribution. It must not race with Observe.
+func (d *Distribution) Reset() {
+	d.count.Store(0)
+	d.sum.Store(0)
+	d.min.Store(math.MaxInt64)
+	d.max.Store(math.MinInt64)
+	for i := range d.buckets {
+		d.buckets[i].Store(0)
+	}
+}
+
+// DistSnapshot is a Distribution's exportable state.
+type DistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets[i] counts observations of bit length i: Buckets[0] is
+	// v == 0, Buckets[i] for i >= 1 covers [2^(i-1), 2^i). Trailing zero
+	// buckets are trimmed.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the current state. Min and Max are zero when empty.
+func (d *Distribution) Snapshot() DistSnapshot {
+	s := DistSnapshot{Count: d.count.Load(), Sum: d.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min, s.Max = d.min.Load(), d.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	last := -1
+	var buckets [65]int64
+	for i := range d.buckets {
+		buckets[i] = d.buckets[i].Load()
+		if buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), buckets[:last+1]...)
+	}
+	return s
+}
+
+// Registry is a concurrency-safe namespace of metrics. Lookup is
+// get-or-create, so callers can resolve a metric once at package init and
+// update it lock-free afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	dists    map[string]*Distribution
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+		dists:    map[string]*Distribution{},
+	}
+}
+
+// Default is the process-wide registry. Library packages (pool) register
+// their metrics here so a single Snapshot covers the whole runtime.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Distribution returns the named distribution, creating it on first use.
+func (r *Registry) Distribution(name string) *Distribution {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.dists[name]
+	if !ok {
+		d = NewDistribution()
+		r.dists[name] = d
+	}
+	return d
+}
+
+// Snapshot is a point-in-time export of a registry, JSON-serializable
+// for the run journal. Empty sections are omitted.
+type Snapshot struct {
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]float64       `json:"gauges,omitempty"`
+	Timers   map[string]TimerSnapshot `json:"timers,omitempty"`
+	Dists    map[string]DistSnapshot  `json:"dists,omitempty"`
+}
+
+// Snapshot exports every registered metric. Metrics updated concurrently
+// are read atomically but the snapshot as a whole is not a consistent
+// cut — fine for telemetry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerSnapshot, len(r.timers))
+		for n, t := range r.timers {
+			s.Timers[n] = TimerSnapshot{Count: t.Count(), TotalNS: t.total.Load()}
+		}
+	}
+	if len(r.dists) > 0 {
+		s.Dists = make(map[string]DistSnapshot, len(r.dists))
+		for n, d := range r.dists {
+			s.Dists[n] = d.Snapshot()
+		}
+	}
+	return s
+}
+
+// Names returns the sorted names of all registered metrics (all kinds),
+// mainly for introspection and tests.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.timers {
+		names = append(names, n)
+	}
+	for n := range r.dists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	// Get-or-create must return the same instance.
+	if r.Counter("x") != c {
+		t.Fatal("Counter did not return the registered instance")
+	}
+}
+
+func TestGaugeAndTimer(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("frac")
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	tm := r.Timer("phase")
+	tm.Observe(3 * time.Millisecond)
+	tm.Observe(7 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != 10*time.Millisecond {
+		t.Fatalf("timer = %v over %d", tm.Total(), tm.Count())
+	}
+	stop := tm.Start()
+	stop()
+	if tm.Count() != 3 {
+		t.Fatal("Start/stop did not record an observation")
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	d := NewDistribution()
+	if s := d.Snapshot(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	for _, v := range []int64{0, 1, 2, 3, 5, 9, -4} {
+		d.Observe(v)
+	}
+	s := d.Snapshot()
+	if s.Count != 7 || s.Min != 0 || s.Max != 9 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Sum != 20 { // -4 clamps to 0
+		t.Fatalf("sum = %d, want 20", s.Sum)
+	}
+	// Log2 buckets: 0→[0], 1→[1], 2..3→[2], 4..7→[3], 8..15→[4].
+	want := []int64{2, 1, 2, 1, 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets %v, want %v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Buckets[i], want[i])
+		}
+	}
+	d.Reset()
+	if s := d.Snapshot(); s.Count != 0 || s.Buckets != nil {
+		t.Fatalf("reset left state %+v", s)
+	}
+}
+
+func TestDistributionConcurrent(t *testing.T) {
+	d := NewDistribution()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				d.Observe(base + i)
+			}
+		}(int64(g) * 100)
+	}
+	wg.Wait()
+	s := d.Snapshot()
+	if s.Count != 2000 || s.Min != 0 || s.Max != 799 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestRegistrySnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Gauge("a").Set(1.5)
+	r.Timer("t").Observe(time.Second)
+	r.Distribution("d").Observe(4)
+	s := r.Snapshot()
+	if s.Counters["b"] != 2 || s.Gauges["a"] != 1.5 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Timers["t"].Count != 1 || s.Timers["t"].TotalNS != int64(time.Second) {
+		t.Fatalf("timer snapshot %+v", s.Timers["t"])
+	}
+	if s.Dists["d"].Count != 1 || s.Dists["d"].Max != 4 {
+		t.Fatalf("dist snapshot %+v", s.Dists["d"])
+	}
+	names := r.Names()
+	want := []string{"a", "b", "d", "t"}
+	if len(names) != len(want) {
+		t.Fatalf("names %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names %v, want %v", names, want)
+		}
+	}
+}

@@ -29,7 +29,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"samplednn/internal/obs"
 )
+
+// Submission telemetry, registered on the process-wide obs registry.
+// The caller-runs fallback was previously invisible: a saturated pool
+// silently degrades to serial execution, which looks identical to
+// parallel execution from the outside but runs several times slower.
+// These counters make the split observable:
+//
+//   - pool.tasks.submitted counts helper tasks successfully handed to an
+//     idle resident worker;
+//   - pool.tasks.inline counts helper tasks that could not be handed off
+//     (every resident worker busy — nested parallelism or external
+//     saturation), whose chunks the calling goroutine ran serially.
+var (
+	cSubmitted = obs.Default.Counter("pool.tasks.submitted")
+	cInline    = obs.Default.Counter("pool.tasks.inline")
+)
+
+// Stats returns the process-wide submission counters: helper tasks handed
+// to resident workers and helper tasks degraded to inline (caller-run)
+// execution.
+func Stats() (submitted, inline int64) {
+	return cSubmitted.Value(), cInline.Value()
+}
 
 // Pool is a fixed-size set of resident worker goroutines. A Pool with
 // Workers() == w executes ParallelRows with up to w-way parallelism
@@ -135,8 +160,11 @@ func (p *Pool) ParallelRows(n, grain int, fn func(lo, hi int)) {
 		wg.Add(1)
 		if !p.trySubmit(func() { defer wg.Done(); run() }) {
 			wg.Done()
-			break // pool saturated: the caller picks up the remaining chunks
+			// Pool saturated: the caller picks up the remaining chunks.
+			cInline.Add(int64(helpers - i))
+			break
 		}
+		cSubmitted.Inc()
 	}
 	run()
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // coverage records which rows fn saw and fails on overlap or gaps.
@@ -121,5 +122,67 @@ func TestCloseThenParallelRowsRunsSerially(t *testing.T) {
 	p.ParallelRows(10, 1, func(lo, hi int) { rows += hi - lo })
 	if rows != 10 {
 		t.Fatalf("closed pool processed %d rows, want 10", rows)
+	}
+}
+
+func TestSubmittedCounterIncrements(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	sub0, _ := Stats()
+	// Helper recruitment is a non-blocking handoff that only succeeds when
+	// a resident worker is already parked in its channel receive, so give
+	// the freshly started workers scheduler time between attempts; with
+	// idle residents and 64 chunks the counter must eventually move.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p.ParallelRows(64, 1, func(lo, hi int) {})
+		if sub, _ := Stats(); sub > sub0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool.tasks.submitted never incremented with idle workers available")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestInlineDegradationCounterUnderSaturation(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	// Saturate every resident worker with a task that blocks until
+	// released, so ParallelRows cannot recruit any helper and must
+	// degrade to caller-runs execution.
+	release := make(chan struct{})
+	var parked sync.WaitGroup
+	blocked := 0
+	// Submission is a non-blocking handoff to a worker already parked in
+	// its receive, so freshly started workers may need a moment to arrive.
+	for attempt := 0; blocked < p.Workers()-1 && attempt < 1000; attempt++ {
+		parked.Add(1)
+		if p.trySubmit(func() { parked.Done(); <-release }) {
+			blocked++
+		} else {
+			parked.Done()
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if blocked != p.Workers()-1 {
+		close(release)
+		t.Fatalf("only parked %d of %d resident workers", blocked, p.Workers()-1)
+	}
+	parked.Wait() // every resident worker is now provably busy
+
+	_, inline0 := Stats()
+	rows := 0
+	p.ParallelRows(32, 1, func(lo, hi int) { rows += hi - lo })
+	_, inline1 := Stats()
+	close(release)
+
+	if rows != 32 {
+		t.Fatalf("degraded call processed %d rows, want 32", rows)
+	}
+	// All desired helpers (workers-1 = 3) were unavailable.
+	if got := inline1 - inline0; got != int64(p.Workers()-1) {
+		t.Fatalf("pool.tasks.inline grew by %d, want %d", got, p.Workers()-1)
 	}
 }

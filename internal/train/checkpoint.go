@@ -23,10 +23,14 @@ import (
 // Layout (all little-endian):
 //
 //	offset 0   magic "SNCK" (4 bytes)
-//	offset 4   format version (uint32, currently 1)
+//	offset 4   format version (uint32, currently 2)
 //	offset 8   payload length (uint64)
 //	offset 16  CRC-32 (IEEE) of the payload (uint32)
 //	offset 20  payload
+//
+// Version history: v2 added EpochStats.Batches (the per-epoch batch
+// count that distinguishes partial diverged epochs from full ones);
+// v1 files are rejected with a version error.
 //
 // The payload is a sequence of length-prefixed sections (run counters,
 // History, RNG state, network blob in the nn.Save format, optimizer name
@@ -37,7 +41,7 @@ import (
 // a crash mid-save leaves the previous checkpoint intact.
 const (
 	checkpointMagic   = "SNCK"
-	checkpointVersion = 1
+	checkpointVersion = 2
 	checkpointHeader  = 20 // magic + version + payload length + CRC
 )
 
@@ -87,6 +91,9 @@ func writeEpochStats(w io.Writer, e *EpochStats) error {
 	if err := binio.WriteU32(w, uint32(e.Epoch)); err != nil {
 		return err
 	}
+	if err := binio.WriteU32(w, uint32(e.Batches)); err != nil {
+		return err
+	}
 	for _, v := range []float64{e.TrainLoss, e.TestAccuracy, e.ValAccuracy} {
 		if err := binio.WriteF64(w, v); err != nil {
 			return err
@@ -110,6 +117,11 @@ func readEpochStats(r io.Reader) (EpochStats, error) {
 		return e, err
 	}
 	e.Epoch = int(epoch)
+	batches, err := binio.ReadU32(r)
+	if err != nil {
+		return e, err
+	}
+	e.Batches = int(batches)
 	for _, dst := range []*float64{&e.TrainLoss, &e.TestAccuracy, &e.ValAccuracy} {
 		if *dst, err = binio.ReadF64(r); err != nil {
 			return e, err

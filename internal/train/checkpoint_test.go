@@ -54,6 +54,9 @@ func sameDeterministicHistory(t *testing.T, a, b *History) {
 		if ea.Epoch != eb.Epoch {
 			t.Fatalf("epoch %d: numbers differ: %d vs %d", i, ea.Epoch, eb.Epoch)
 		}
+		if ea.Batches != eb.Batches {
+			t.Fatalf("epoch %d: batch counts differ: %d vs %d", ea.Epoch, ea.Batches, eb.Batches)
+		}
 		if ea.TrainLoss != eb.TrainLoss {
 			t.Fatalf("epoch %d: losses differ: %v vs %v", ea.Epoch, ea.TrainLoss, eb.TrainLoss)
 		}

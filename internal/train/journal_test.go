@@ -1,0 +1,191 @@
+package train
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samplednn/internal/core"
+	"samplednn/internal/nn"
+	"samplednn/internal/obs"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+)
+
+// journalSchema reduces a journal to its schema: one "event: key,key,..."
+// line per record. Values are deliberately dropped — timings, paths, and
+// counters vary run to run — so the golden file pins the event sequence
+// and each event's field set, which is the contract offline tooling
+// parses against.
+func journalSchema(t *testing.T, buf *bytes.Buffer) string {
+	t.Helper()
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal does not round-trip: %v", err)
+	}
+	var b strings.Builder
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%s: %s\n", r.Event(), strings.Join(r.Keys(), ","))
+	}
+	return b.String()
+}
+
+func TestJournalGoldenSchema(t *testing.T) {
+	ds := tinyDataset(t, 70)
+	m := tinyMethod(t, "standard", ds, 71)
+	var buf bytes.Buffer
+	j := obs.New(&buf)
+	tr, err := New(m, ds, Config{
+		Epochs: 2, BatchSize: 10, Seed: 72,
+		StatePath: filepath.Join(t.TempDir(), "state.snck"),
+		Journal:   j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := journalSchema(t, &buf)
+	goldenPath := filepath.Join("testdata", "journal_schema.golden")
+	if os.Getenv("JOURNAL_GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with JOURNAL_GOLDEN_UPDATE=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("journal schema drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestJournalRecordsDivergenceAndRollback(t *testing.T) {
+	ds := tinyDataset(t, 73)
+	cfg := nn.Uniform(ds.Spec.Dim(), 24, 2, ds.Spec.Classes)
+	cfg.Activation = "identity"
+	net, err := nn.NewNetwork(cfg, rng.New(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absurd learning rate still diverges after one 0.5x decay, so the
+	// run exercises rollback AND terminal divergence.
+	m := core.NewStandard(net, opt.NewSGD(1e8))
+	var buf bytes.Buffer
+	j := obs.New(&buf)
+	tr, err := New(m, ds, Config{
+		Epochs: 5, BatchSize: 10, Seed: 75,
+		MaxRetries: 1, LRDecay: 0.5,
+		Journal: j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hist.Diverged {
+		t.Fatal("run did not diverge; the journal assertions below are vacuous")
+	}
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, r := range recs {
+		count[r.Event()]++
+	}
+	if count["divergence"] < 2 {
+		t.Fatalf("want >= 2 divergence events (initial + post-rollback), got %d", count["divergence"])
+	}
+	if count["rollback"] != 1 {
+		t.Fatalf("want exactly 1 rollback event (MaxRetries=1), got %d", count["rollback"])
+	}
+	if count["run-end"] != 1 {
+		t.Fatalf("want 1 run-end event, got %d", count["run-end"])
+	}
+	// The rollback event records the decayed learning rate.
+	for _, r := range recs {
+		if r.Event() == "rollback" {
+			if lr, ok := r["lr"].(float64); !ok || lr != 5e7 {
+				t.Fatalf("rollback lr = %v, want 5e7", r["lr"])
+			}
+		}
+	}
+	// The terminal epoch record is marked diverged with a NaN accuracy
+	// sentinel (JSON cannot carry NaN; the journal encodes the string).
+	var last obs.Record
+	for _, r := range recs {
+		if r.Event() == "epoch" {
+			last = r
+		}
+	}
+	if last == nil {
+		t.Fatal("no epoch events journaled")
+	}
+	if last["diverged"] != true {
+		t.Fatalf("terminal epoch not marked diverged: %v", last)
+	}
+	if last["test_acc"] != "NaN" {
+		t.Fatalf("terminal epoch test_acc = %v, want the NaN sentinel", last["test_acc"])
+	}
+	for _, r := range recs {
+		if r.Event() == "run-end" {
+			if r["diverged"] != true || r["status"] != "completed" {
+				t.Fatalf("run-end record %v", r)
+			}
+		}
+	}
+}
+
+func TestJournalEpochIncludesSamplingDiagnostics(t *testing.T) {
+	ds := tinyDataset(t, 76)
+	m := tinyMethod(t, "alsh", ds, 77)
+	var buf bytes.Buffer
+	tr, err := New(m, ds, Config{Epochs: 1, BatchSize: 1, Seed: 78, Journal: obs.New(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Event() != "epoch" {
+			continue
+		}
+		sampling, ok := r["sampling"].(map[string]any)
+		if !ok {
+			t.Fatalf("alsh epoch record missing sampling diagnostics: %v", r)
+		}
+		if _, ok := sampling["active_fraction"].(float64); !ok {
+			t.Fatalf("sampling snapshot missing active_fraction: %v", sampling)
+		}
+		sets, ok := sampling["active_sets"].([]any)
+		if !ok || len(sets) != 2 {
+			t.Fatalf("sampling snapshot active_sets = %v", sampling["active_sets"])
+		}
+		buckets, ok := sampling["buckets"].([]any)
+		if !ok || len(buckets) != 2 {
+			t.Fatalf("sampling snapshot buckets = %v", sampling["buckets"])
+		}
+		return
+	}
+	t.Fatal("no epoch event journaled")
+}

@@ -16,6 +16,7 @@ import (
 	"samplednn/internal/dataset"
 	"samplednn/internal/metrics"
 	"samplednn/internal/nn"
+	"samplednn/internal/obs"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -69,6 +70,15 @@ type Config struct {
 	// implements opt.LRAdjuster; otherwise rollbacks retry at the same
 	// rate until the budget runs out.
 	LRDecay float64
+	// Journal, when set, receives the run's lifecycle as structured JSONL
+	// events: run-start, resume, epoch, divergence, rollback, checkpoint,
+	// early-stop, cancel, step-fault, run-end. Journal write failures are
+	// sticky on the Journal and never interrupt training.
+	Journal *obs.Journal
+	// Registry is snapshotted into the run-end event (process-wide
+	// counters such as the pool's inline-degradation count). Defaults to
+	// obs.Default when Journal is set.
+	Registry *obs.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -84,19 +94,30 @@ func (c *Config) setDefaults() {
 	if c.LRDecay <= 0 || c.LRDecay >= 1 {
 		c.LRDecay = 0.5
 	}
+	if c.Journal != nil && c.Registry == nil {
+		c.Registry = obs.Default
+	}
 }
 
 // EpochStats records one epoch's outcomes.
 type EpochStats struct {
 	// Epoch is 1-based.
 	Epoch int
-	// TrainLoss is the mean per-batch loss the method observed.
+	// TrainLoss is the mean per-batch loss the method observed, averaged
+	// over Batches batches.
 	TrainLoss float64
+	// Batches is the number of batches whose loss entered TrainLoss. On
+	// a fully processed epoch it equals the dataset's batch count; on a
+	// diverged epoch it counts only the pre-divergence batches, so a
+	// partial average is distinguishable from a full one.
+	Batches int
 	// TestAccuracy is exact-forward accuracy on the (possibly capped)
-	// test split.
+	// test split. On a terminally diverged epoch the weights are
+	// non-finite and evaluation is skipped: the value is NaN.
 	TestAccuracy float64
 	// ValAccuracy is accuracy on the validation split (only populated
-	// when early stopping is enabled).
+	// when early stopping is enabled; NaN on a terminally diverged
+	// epoch).
 	ValAccuracy float64
 	// Timing is this epoch's phase split.
 	Timing core.Timing
@@ -238,6 +259,10 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			return nil, err
 		}
 	}
+	t.emitRunStart(start != nil)
+	if start != nil {
+		t.emit("resume", map[string]any{"epoch": rs.epoch, "retries": rs.retries})
+	}
 
 	evalX, evalY := t.evalSet()
 	useVal := t.cfg.EarlyStopPatience > 0 && t.data.Val != nil && t.data.Val.Len() > 0
@@ -257,7 +282,13 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 		if t.cfg.StatePath == "" || lastGood == nil {
 			return nil
 		}
-		return lastGood.WriteFile(t.cfg.StatePath)
+		if err := lastGood.WriteFile(t.cfg.StatePath); err != nil {
+			return err
+		}
+		t.emit("checkpoint", map[string]any{
+			"kind": "state", "path": t.cfg.StatePath, "epoch": lastGood.Epoch,
+		})
+		return nil
 	}
 
 	var ms runtime.MemStats
@@ -280,9 +311,12 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 		for {
 			select {
 			case <-ctx.Done():
+				t.emit("cancel", map[string]any{"epoch": epoch, "batches": batches})
 				if perr := persist(); perr != nil {
+					t.emitRunEnd(hist, "fault")
 					return hist, fmt.Errorf("train: checkpoint on cancel: %w (after %w)", perr, ctx.Err())
 				}
+				t.emitRunEnd(hist, "cancelled")
 				return hist, ctx.Err()
 			default:
 			}
@@ -294,9 +328,12 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			if err != nil {
 				// A contained worker fault: the batch was not applied.
 				// Preserve progress, then surface the fault.
+				t.emit("step-fault", map[string]any{"epoch": epoch, "batches": batches, "error": err.Error()})
 				if perr := persist(); perr != nil {
+					t.emitRunEnd(hist, "fault")
 					return hist, fmt.Errorf("train: checkpoint after step fault: %w (after %w)", perr, err)
 				}
+				t.emitRunEnd(hist, "fault")
 				return hist, fmt.Errorf("train: epoch %d: %w", epoch, err)
 			}
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
@@ -312,6 +349,9 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			}
 		}
 
+		if diverged {
+			t.emit("divergence", map[string]any{"epoch": epoch, "batches": batches, "retries": rs.retries})
+		}
 		if diverged && rs.retries < t.cfg.MaxRetries && lastGood != nil {
 			// Divergence recovery: roll the run back to the last good
 			// epoch boundary, decay the learning rate, and re-run. The
@@ -327,15 +367,16 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			}
 			rs.retries = retries
 			t.decayLR()
+			t.emit("rollback", map[string]any{"to_epoch": rs.epoch, "retry": retries, "lr": t.currentLR()})
 			epoch = rs.epoch
 			continue
 		}
 
 		stats := EpochStats{
-			Epoch:        epoch,
-			TestAccuracy: metrics.Accuracy(evalY, core.Predict(t.method, evalX)),
-			Timing:       t.method.Timing(),
-			Duration:     time.Since(startT),
+			Epoch:    epoch,
+			Batches:  batches,
+			Timing:   t.method.Timing(),
+			Duration: time.Since(startT),
 		}
 		if batches > 0 {
 			stats.TrainLoss = lossSum / float64(batches)
@@ -347,20 +388,38 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			stats.AllocBytes = ms.TotalAlloc - allocBefore
 			stats.HeapBytes = ms.HeapAlloc
 		}
+		if diverged {
+			// Terminal divergence (retry budget exhausted): the weights
+			// are non-finite, so a test-set forward pass would only
+			// record garbage accuracy. Mark the epoch with NaN instead of
+			// evaluating.
+			stats.TestAccuracy = math.NaN()
+			if useVal {
+				stats.ValAccuracy = math.NaN()
+			}
+			hist.Diverged = true
+			hist.Epochs = append(hist.Epochs, stats)
+			t.emitEpoch(stats, true, useVal)
+			break
+		}
+		stats.TestAccuracy = metrics.Accuracy(evalY, core.Predict(t.method, evalX))
 		if t.cfg.CheckpointPath != "" && stats.TestAccuracy > rs.bestAcc {
 			rs.bestAcc = stats.TestAccuracy
 			if err := t.method.Net().SaveFile(t.cfg.CheckpointPath); err != nil {
 				return hist, fmt.Errorf("train: checkpoint: %w", err)
 			}
+			t.emit("checkpoint", map[string]any{
+				"kind": "best-model", "path": t.cfg.CheckpointPath, "epoch": epoch, "test_acc": stats.TestAccuracy,
+			})
 		}
 		if useVal {
 			stats.ValAccuracy = metrics.Accuracy(t.data.Val.Y, core.Predict(t.method, t.data.Val.X))
 		}
-		if diverged {
-			hist.Diverged = true
-		}
 		hist.Epochs = append(hist.Epochs, stats)
+		t.emitEpoch(stats, false, useVal)
 		if hist.Diverged {
+			// A resumed checkpoint can carry a pre-existing Diverged flag;
+			// record the epoch, then stop as the original run would have.
 			break
 		}
 		if useVal {
@@ -371,6 +430,7 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 				rs.sinceBestVal++
 				if rs.sinceBestVal >= t.cfg.EarlyStopPatience {
 					hist.EarlyStopped = true
+					t.emit("early-stop", map[string]any{"epoch": epoch, "patience": t.cfg.EarlyStopPatience})
 				}
 			}
 		}
@@ -391,9 +451,111 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 		}
 	}
 	if err := persist(); err != nil {
+		t.emitRunEnd(hist, "fault")
 		return hist, err
 	}
+	t.emitRunEnd(hist, "completed")
 	return hist, nil
+}
+
+// emit journals one event when a journal is configured. Journal errors
+// are sticky on the Journal itself; telemetry never interrupts training.
+func (t *Trainer) emit(ev string, fields map[string]any) {
+	if t.cfg.Journal != nil {
+		t.cfg.Journal.Emit(ev, fields)
+	}
+}
+
+// emitRunStart records the run configuration: method, architecture,
+// optimizer, and the knobs that shape the trajectory.
+func (t *Trainer) emitRunStart(resumed bool) {
+	if t.cfg.Journal == nil {
+		return
+	}
+	net := t.method.Net()
+	arch := make([]int, 0, len(net.Layers)+1)
+	arch = append(arch, net.Layers[0].FanIn())
+	for _, l := range net.Layers {
+		arch = append(arch, l.FanOut())
+	}
+	fields := map[string]any{
+		"method":      t.method.Name(),
+		"arch":        arch,
+		"epochs":      t.cfg.Epochs,
+		"batch_size":  t.cfg.BatchSize,
+		"seed":        t.cfg.Seed,
+		"max_retries": t.cfg.MaxRetries,
+		"resumed":     resumed,
+	}
+	if oh, ok := t.method.(core.OptimizerHolder); ok {
+		o := oh.Optimizer()
+		fields["optimizer"] = o.Name()
+		if adj, ok := o.(opt.LRAdjuster); ok {
+			fields["lr"] = adj.LearningRate()
+		}
+	}
+	t.cfg.Journal.Emit("run-start", fields)
+}
+
+// emitEpoch records one epoch's stats, including the method's sampling
+// diagnostics when it exposes them.
+func (t *Trainer) emitEpoch(stats EpochStats, diverged, useVal bool) {
+	if t.cfg.Journal == nil {
+		return
+	}
+	fields := map[string]any{
+		"epoch":       stats.Epoch,
+		"train_loss":  stats.TrainLoss,
+		"batches":     stats.Batches,
+		"test_acc":    stats.TestAccuracy,
+		"diverged":    diverged,
+		"forward_ns":  int64(stats.Timing.Forward),
+		"backward_ns": int64(stats.Timing.Backward),
+		"maintain_ns": int64(stats.Timing.Maintain),
+		"duration_ns": int64(stats.Duration),
+	}
+	if useVal {
+		fields["val_acc"] = stats.ValAccuracy
+	}
+	if t.cfg.TrackMemory {
+		fields["alloc_bytes"] = stats.AllocBytes
+		fields["heap_bytes"] = stats.HeapBytes
+	}
+	if sr, ok := t.method.(core.SamplingReporter); ok {
+		fields["sampling"] = sr.SamplingSnapshot()
+	}
+	t.cfg.Journal.Emit("epoch", fields)
+}
+
+// emitRunEnd closes the journal lifecycle with the run outcome and a
+// snapshot of the process-wide metrics registry (pool submission
+// counters and any other instrumented subsystem).
+func (t *Trainer) emitRunEnd(hist *History, status string) {
+	if t.cfg.Journal == nil {
+		return
+	}
+	fields := map[string]any{
+		"status":        status,
+		"epochs":        len(hist.Epochs),
+		"diverged":      hist.Diverged,
+		"early_stopped": hist.EarlyStopped,
+		"best_acc":      hist.BestAccuracy(),
+	}
+	if t.cfg.Registry != nil {
+		fields["metrics"] = t.cfg.Registry.Snapshot()
+	}
+	t.cfg.Journal.Emit("run-end", fields)
+}
+
+// currentLR reports the optimizer's learning rate, or nil when the
+// method does not expose an adjustable optimizer.
+func (t *Trainer) currentLR() any {
+	if oh, ok := t.method.(core.OptimizerHolder); ok {
+		if adj, ok := oh.Optimizer().(opt.LRAdjuster); ok {
+			return adj.LearningRate()
+		}
+	}
+	return nil
 }
 
 // step trains on one batch, preferring the error-aware path when the

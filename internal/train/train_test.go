@@ -210,9 +210,38 @@ func TestTrainerRecordsDivergence(t *testing.T) {
 	if len(hist.Epochs) == 0 || len(hist.Epochs) == 5 {
 		t.Fatalf("divergence should stop training early, got %d epochs", len(hist.Epochs))
 	}
-	// Accuracy is still a number in [0,1] (collapsed predictions).
-	if acc := hist.Final().TestAccuracy; acc < 0 || acc > 1 {
-		t.Fatalf("post-divergence accuracy %v", acc)
+	// The terminal epoch's weights are non-finite: evaluation is skipped
+	// and the accuracies are NaN markers, not garbage numbers.
+	final := hist.Final()
+	if !math.IsNaN(final.TestAccuracy) {
+		t.Fatalf("post-divergence accuracy %v, want NaN", final.TestAccuracy)
+	}
+	// The partial epoch is distinguishable: it averaged fewer batches
+	// than a full epoch (160 samples / batch 10 = 16).
+	if final.Batches >= 16 {
+		t.Fatalf("diverged epoch recorded %d batches, want < 16", final.Batches)
+	}
+	// Earlier, healthy epochs record the full batch count.
+	if len(hist.Epochs) > 1 && hist.Epochs[0].Batches != 16 {
+		t.Fatalf("healthy epoch recorded %d batches, want 16", hist.Epochs[0].Batches)
+	}
+}
+
+func TestEpochStatsRecordBatchCount(t *testing.T) {
+	ds := tinyDataset(t, 33)
+	m := tinyMethod(t, "standard", ds, 34)
+	tr, err := New(m, ds, Config{Epochs: 2, BatchSize: 10, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hist.Epochs {
+		if e.Batches != 16 { // 160 train samples / batch 10
+			t.Fatalf("epoch %d recorded %d batches, want 16", e.Epoch, e.Batches)
+		}
 	}
 }
 
