@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 bench bench-gemm vet fmt journal-demo
+.PHONY: build test tier1 bench bench-gemm bench-trace vet fmt journal-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,12 @@ test:
 	$(GO) test ./...
 
 # Tier-1 gate: vet plus race-enabled tests for the packages with
-# concurrency (worker pool, parallel kernels, parallel ALSH workers)
-# and crash-safety machinery (checkpoint/resume/rollback).
+# concurrency (worker pool, parallel kernels, parallel ALSH workers,
+# the span tracer and metrics registry) and crash-safety machinery
+# (checkpoint/resume/rollback).
 tier1:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/pool/... ./internal/tensor/... ./internal/core/... ./internal/train/...
+	$(GO) test -race ./internal/pool/... ./internal/tensor/... ./internal/core/... ./internal/train/... ./internal/obs/... ./internal/probe/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 10x .
@@ -23,6 +24,12 @@ bench:
 bench-gemm:
 	$(GO) run ./cmd/benchgemm -sizes 128,256,512 -workers 1,2,4 -out BENCH_gemm.json
 
+# Tracer and error-probe overhead on ALSH-approx training: two baseline
+# runs expose the host noise floor, then tracer-on / probe-on / both are
+# measured against their mean.
+bench-trace:
+	$(GO) run ./cmd/benchtrace -scale small -out BENCH_trace.json
+
 # Two-epoch synthetic run that journals every event, then pretty-prints
 # the journal — the fastest way to see the telemetry schema end to end.
 journal-demo:
@@ -31,6 +38,15 @@ journal-demo:
 		-train 400 -test 100 -units 64 -layers 2 -confusion=false \
 		-journal /tmp/journal-demo.jsonl
 	$(GO) run ./cmd/journalcat /tmp/journal-demo.jsonl
+
+# Two-epoch synthetic run with the span tracer and error-compounding
+# probe enabled; writes /tmp/trace-demo.json, loadable in Perfetto
+# (https://ui.perfetto.dev) or chrome://tracing.
+trace-demo:
+	$(GO) run ./cmd/mlptrain -dataset mnist -method alsh -epochs 2 \
+		-train 400 -test 100 -units 64 -layers 2 -confusion=false \
+		-probe-every 10 -trace /tmp/trace-demo.json
+	@echo "trace written to /tmp/trace-demo.json — open in https://ui.perfetto.dev"
 
 vet:
 	$(GO) vet ./...

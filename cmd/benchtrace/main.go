@@ -1,0 +1,56 @@
+// Command benchtrace measures the overhead of the span tracer and the
+// error-compounding probe on ALSH-approx training and writes the results
+// to a JSON report (BENCH_trace.json by default), the artifact the
+// Makefile `bench-trace` target tracks.
+//
+// Usage:
+//
+//	benchtrace -scale tiny -out BENCH_trace.json
+//
+// The report includes two uninstrumented baseline runs; their relative
+// gap is the host's noise floor, below which an overhead measurement
+// means nothing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/bench"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_trace.json", "output JSON path")
+		scale = flag.String("scale", "tiny", "benchmark scale: tiny, small, or paper")
+	)
+	flag.Parse()
+	s, err := bench.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := bench.RunTraceBench(s)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("noise floor %.2f%% (two baseline runs)\n", rep.NoiseFloorPct)
+	for _, p := range rep.Points {
+		fmt.Printf("%-14s %8.3f s/epoch  %+6.1f%%  spans %-8d acc %.2f%%\n",
+			p.Config, p.SecondsPerEpoch, p.OverheadPct, p.Spans, 100*p.Accuracy)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := atomicfile.WriteFileBytes(*out, data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d configs, host CPUs %d)\n", *out, len(rep.Points), rep.Host.CPUs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtrace:", err)
+	os.Exit(1)
+}

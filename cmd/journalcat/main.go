@@ -5,36 +5,218 @@
 //
 // Usage:
 //
-//	journalcat runs/mnist.jsonl
+//	journalcat runs/mnist.jsonl            # print every record
+//	journalcat -summary runs/mnist.jsonl   # one rollup line per run
+//	journalcat -follow runs/mnist.jsonl    # print, then tail new records
+//
+// journalcat exits non-zero when the journal cannot be read or parsed.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"time"
 
 	"samplednn/internal/obs"
 )
 
 func main() {
+	follow := flag.Bool("follow", false, "after printing existing records, poll the file and print records as they are appended (like tail -f)")
+	summary := flag.Bool("summary", false, "print one rollup line per run instead of every record")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: journalcat FILE")
+		fmt.Fprintln(os.Stderr, "usage: journalcat [-follow | -summary] FILE")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() != 1 || (*follow && *summary) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	recs, err := obs.ReadFile(flag.Arg(0))
+	path := flag.Arg(0)
+
+	if *follow {
+		if err := followFile(os.Stdout, path, 200*time.Millisecond, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "journalcat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	recs, err := obs.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "journalcat:", err)
 		os.Exit(1)
 	}
+	if *summary {
+		fmt.Print(summarize(recs))
+		return
+	}
 	for _, r := range recs {
 		fmt.Print(formatRecord(r))
 	}
+}
+
+// followFile prints every record in the journal, then keeps polling the
+// file and prints new complete lines as they are appended. A line
+// without a trailing newline (mid-append) is left in the buffer until
+// completed. stop, when non-nil, ends the loop (tests use it; the CLI
+// follows until killed).
+func followFile(w io.Writer, path string, poll time.Duration, stop <-chan struct{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var partial []byte
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			partial = append(partial, line...)
+		}
+		if err == nil {
+			emitLine(w, partial)
+			partial = partial[:0]
+			continue
+		}
+		if err != io.EOF {
+			return err
+		}
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(poll):
+		}
+	}
+}
+
+// emitLine parses one complete journal line and prints it; malformed
+// lines are surfaced verbatim rather than silently dropped.
+func emitLine(w io.Writer, line []byte) {
+	trimmed := strings.TrimSpace(string(line))
+	if trimmed == "" {
+		return
+	}
+	var rec obs.Record
+	if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
+		fmt.Fprintf(w, "?? %s\n", trimmed)
+		return
+	}
+	fmt.Fprint(w, formatRecord(rec))
+}
+
+// runSummary accumulates one run's rollup while scanning its records.
+type runSummary struct {
+	method      string
+	epochs      int
+	bestAcc     float64
+	hasAcc      bool
+	lastLoss    float64
+	hasLoss     bool
+	divergences int
+	rollbacks   int
+	probes      int
+	lastGrowth  float64
+	status      string
+	resumed     bool
+}
+
+func (s *runSummary) line(n int) string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "run %d: method=%s", n, orUnknown(s.method))
+	if s.resumed {
+		b.WriteString(" resumed=true")
+	}
+	fmt.Fprintf(b, " epochs=%d", s.epochs)
+	if s.hasLoss {
+		fmt.Fprintf(b, " last_loss=%.4g", s.lastLoss)
+	}
+	if s.hasAcc {
+		fmt.Fprintf(b, " best_acc=%.4g", s.bestAcc)
+	}
+	if s.divergences > 0 {
+		fmt.Fprintf(b, " divergences=%d", s.divergences)
+	}
+	if s.rollbacks > 0 {
+		fmt.Fprintf(b, " rollbacks=%d", s.rollbacks)
+	}
+	if s.probes > 0 {
+		fmt.Fprintf(b, " probes=%d last_growth=%.4g", s.probes, s.lastGrowth)
+	}
+	fmt.Fprintf(b, " status=%s\n", orUnknown(s.status))
+	return b.String()
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}
+
+// summarize rolls the journal up into one line per run. Runs are
+// delimited by run-start events; a run without a run-end (still in
+// flight, or cut off by a crash) reports status=running.
+func summarize(recs []obs.Record) string {
+	var out strings.Builder
+	var cur *runSummary
+	n := 0
+	flush := func() {
+		if cur != nil {
+			out.WriteString(cur.line(n))
+		}
+		cur = nil
+	}
+	ensure := func() *runSummary {
+		if cur == nil {
+			n++
+			cur = &runSummary{status: "running"}
+		}
+		return cur
+	}
+	for _, r := range recs {
+		switch r.Event() {
+		case "run-start":
+			flush()
+			s := ensure()
+			s.method, _ = r["method"].(string)
+			s.resumed, _ = r["resumed"].(bool)
+		case "epoch":
+			s := ensure()
+			s.epochs++
+			if v, ok := r["train_loss"].(float64); ok {
+				s.lastLoss, s.hasLoss = v, true
+			}
+			if v, ok := r["test_acc"].(float64); ok && (!s.hasAcc || v > s.bestAcc) {
+				s.bestAcc, s.hasAcc = v, true
+			}
+		case "divergence":
+			ensure().divergences++
+		case "rollback":
+			ensure().rollbacks++
+		case "probe":
+			s := ensure()
+			s.probes++
+			if v, ok := r["growth"].(float64); ok {
+				s.lastGrowth = v
+			}
+		case "run-end":
+			s := ensure()
+			if st, ok := r["status"].(string); ok {
+				s.status = st
+			}
+			if v, ok := r["best_acc"].(float64); ok && (!s.hasAcc || v > s.bestAcc) {
+				s.bestAcc, s.hasAcc = v, true
+			}
+			flush()
+		}
+	}
+	flush()
+	return out.String()
 }
 
 func formatRecord(r obs.Record) string {

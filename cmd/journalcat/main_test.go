@@ -1,0 +1,194 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"samplednn/internal/obs"
+)
+
+func TestFormatRecordSortsAndSkipsHeaderKeys(t *testing.T) {
+	r := obs.Record{
+		"ts":    "2026-08-06T12:00:00Z",
+		"ev":    "epoch",
+		"zeta":  1,
+		"alpha": "x",
+	}
+	got := formatRecord(r)
+	if !strings.Contains(got, "epoch") {
+		t.Fatalf("missing event name: %q", got)
+	}
+	// alpha must precede zeta, and the header keys must not reappear as k=v.
+	if strings.Index(got, "alpha=x") > strings.Index(got, "zeta=1") {
+		t.Errorf("keys not sorted: %q", got)
+	}
+	if strings.Contains(got, "ts=") || strings.Contains(got, "ev=") {
+		t.Errorf("header keys leaked into k=v section: %q", got)
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Errorf("record line missing newline: %q", got)
+	}
+}
+
+func TestFormatValueMarshalsNestedStructures(t *testing.T) {
+	if got := formatValue(map[string]any{"a": 1.0}); got != `{"a":1}` {
+		t.Errorf("map rendered %q", got)
+	}
+	if got := formatValue([]any{1.0, 2.5}); got != "[1,2.5]" {
+		t.Errorf("slice rendered %q", got)
+	}
+	if got := formatValue("plain"); got != "plain" {
+		t.Errorf("scalar rendered %q", got)
+	}
+}
+
+func TestSummarizeRollsUpRuns(t *testing.T) {
+	recs := []obs.Record{
+		{"ev": "run-start", "method": "alsh"},
+		{"ev": "epoch", "train_loss": 0.9, "test_acc": 0.60},
+		{"ev": "divergence"},
+		{"ev": "rollback"},
+		{"ev": "probe", "growth": 1.31},
+		{"ev": "epoch", "train_loss": 0.5, "test_acc": 0.82},
+		{"ev": "run-end", "status": "completed", "best_acc": 0.82},
+		{"ev": "run-start", "method": "mc", "resumed": true},
+		{"ev": "epoch", "train_loss": 1.2, "test_acc": 0.4},
+	}
+	out := summarize(recs)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 run lines, got %d:\n%s", len(lines), out)
+	}
+	first := lines[0]
+	for _, want := range []string{
+		"run 1:", "method=alsh", "epochs=2", "last_loss=0.5", "best_acc=0.82",
+		"divergences=1", "rollbacks=1", "probes=1 last_growth=1.31", "status=completed",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("run 1 line missing %q: %s", want, first)
+		}
+	}
+	second := lines[1]
+	for _, want := range []string{"run 2:", "method=mc", "resumed=true", "epochs=1", "status=running"} {
+		if !strings.Contains(second, want) {
+			t.Errorf("run 2 line missing %q: %s", want, second)
+		}
+	}
+}
+
+// A journal that starts mid-run (e.g. rotated file) still summarizes:
+// records before the first run-start belong to an implicit run.
+func TestSummarizeHandlesHeadlessRecords(t *testing.T) {
+	recs := []obs.Record{
+		{"ev": "epoch", "train_loss": 0.7},
+		{"ev": "run-end", "status": "diverged"},
+	}
+	out := summarize(recs)
+	if !strings.Contains(out, "run 1:") || !strings.Contains(out, "method=?") ||
+		!strings.Contains(out, "status=diverged") {
+		t.Fatalf("headless rollup wrong: %q", out)
+	}
+	if summarize(nil) != "" {
+		t.Error("empty journal must summarize to empty output")
+	}
+}
+
+func TestEmitLineSurfacesMalformedLines(t *testing.T) {
+	var b strings.Builder
+	emitLine(&b, []byte("{not json\n"))
+	if !strings.HasPrefix(b.String(), "?? ") {
+		t.Errorf("malformed line not surfaced: %q", b.String())
+	}
+	b.Reset()
+	emitLine(&b, []byte("   \n"))
+	if b.String() != "" {
+		t.Errorf("blank line produced output: %q", b.String())
+	}
+}
+
+// TestFollowFilePicksUpAppendedRecords drives followFile against a file
+// that grows while being watched, including a torn write that is only
+// completed by a later append.
+func TestFollowFilePicksUpAppendedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path, []byte(`{"ts":"t0","ev":"run-start","method":"alsh"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var b syncBuilder
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- followFile(&b, path, time.Millisecond, stop) }()
+
+	waitFor(t, func() bool { return strings.Contains(b.String(), "run-start") })
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: first half of the line, no newline yet.
+	if _, err := f.WriteString(`{"ts":"t1","ev":"ep`); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if strings.Contains(b.String(), "t1") {
+		t.Fatal("torn line was emitted before the newline arrived")
+	}
+	if _, err := f.WriteString("och\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	waitFor(t, func() bool { return strings.Contains(b.String(), "epoch") })
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("followFile returned error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("followFile did not stop")
+	}
+}
+
+func TestFollowFileMissingFileErrors(t *testing.T) {
+	var b strings.Builder
+	if err := followFile(&b, filepath.Join(t.TempDir(), "nope.jsonl"), time.Millisecond, nil); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}
+
+// syncBuilder is a strings.Builder safe for one writer + one reader.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

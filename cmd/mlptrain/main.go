@@ -31,6 +31,7 @@ import (
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
 	"samplednn/internal/obs"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/opt"
 	"samplednn/internal/pool"
 	"samplednn/internal/rng"
@@ -39,7 +40,7 @@ import (
 
 // validateFlags rejects numeric flag values that would otherwise panic
 // (or silently do nothing) far from the command line that caused them.
-func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, workers, threads, ckptEvery, maxRetries int, lrDecay float64) error {
+func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, workers, threads, ckptEvery, maxRetries int, lrDecay float64, probeEvery, probeSamples int) error {
 	switch {
 	case layers < 0:
 		return fmt.Errorf("-layers %d must be >= 0", layers)
@@ -65,6 +66,10 @@ func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, work
 		return fmt.Errorf("-max-retries %d must be >= 0", maxRetries)
 	case lrDecay <= 0 || lrDecay > 1:
 		return fmt.Errorf("-lr-decay %v must be in (0, 1]", lrDecay)
+	case probeEvery < 0:
+		return fmt.Errorf("-probe-every %d must be >= 0 (0 = disabled)", probeEvery)
+	case probeSamples < 0:
+		return fmt.Errorf("-probe-samples %d must be >= 0 (0 = default)", probeSamples)
 	}
 	return nil
 }
@@ -97,15 +102,18 @@ func main() {
 		lrDecay    = flag.Float64("lr-decay", 0.5, "learning-rate multiplier applied on each divergence rollback")
 
 		journalPath = flag.String("journal", "", "append a structured JSONL run journal to this file (inspect with journalcat)")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file on exit (open in Perfetto / chrome://tracing)")
+		probeEvery  = flag.Int("probe-every", 0, "run the error-compounding probe every N batches (0 = off; journals per-layer error vs the §7 theory)")
+		probeSamp   = flag.Int("probe-samples", 0, "probe minibatch size (0 = default 16)")
 	)
 	flag.Parse()
 	// Validate the numeric flags up front: a non-positive batch size or
 	// epoch count otherwise surfaces as a confusing panic (or a silent
 	// no-op run) deep inside the trainer.
-	if err := validateFlags(*layers, *units, *epochs, *batch, *lr, *keep, *mcK, *workers, *threads, *ckptEvery, *maxRetries, *lrDecay); err != nil {
+	if err := validateFlags(*layers, *units, *epochs, *batch, *lr, *keep, *mcK, *workers, *threads, *ckptEvery, *maxRetries, *lrDecay, *probeEvery, *probeSamp); err != nil {
 		fatal(err)
 	}
 	if *threads != 0 {
@@ -135,6 +143,20 @@ func main() {
 				fmt.Fprintln(os.Stderr, "mlptrain: journal:", err)
 			}
 			prof.stop()
+		}
+	}
+	if *tracePath != "" {
+		trc := trace.New(0)
+		trace.SetActive(trc)
+		prev := onExit
+		onExit = func() {
+			trace.SetActive(nil)
+			if err := trc.WriteFile(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "mlptrain: trace:", err)
+			} else if d := trc.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "mlptrain: trace: ring wrapped, oldest %d spans dropped\n", d)
+			}
+			prev()
 		}
 	}
 
@@ -197,6 +219,8 @@ func main() {
 		MaxRetries:      *maxRetries,
 		LRDecay:         *lrDecay,
 		Journal:         journal,
+		ProbeEvery:      *probeEvery,
+		ProbeSamples:    *probeSamp,
 	})
 	if err != nil {
 		fatal(err)

@@ -8,7 +8,7 @@ import (
 
 func TestValidateFlagsRejectsBadValues(t *testing.T) {
 	ok := func() error {
-		return validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)
+		return validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5, 0, 0)
 	}
 	if err := ok(); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
@@ -17,11 +17,13 @@ func TestValidateFlagsRejectsBadValues(t *testing.T) {
 		name string
 		err  error
 	}{
-		{"layers", validateFlags(-1, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)},
-		{"units", validateFlags(3, 0, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)},
-		{"epochs", validateFlags(3, 128, 0, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5)},
-		{"keep", validateFlags(3, 128, 5, 20, 0.05, 1.5, 10, 0, 0, 1, 0, 0.5)},
-		{"lr-decay", validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0)},
+		{"layers", validateFlags(-1, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5, 0, 0)},
+		{"units", validateFlags(3, 0, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5, 0, 0)},
+		{"epochs", validateFlags(3, 128, 0, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5, 0, 0)},
+		{"keep", validateFlags(3, 128, 5, 20, 0.05, 1.5, 10, 0, 0, 1, 0, 0.5, 0, 0)},
+		{"lr-decay", validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0, 0, 0)},
+		{"probe-every", validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5, -1, 0)},
+		{"probe-samples", validateFlags(3, 128, 5, 20, 0.05, 0.5, 10, 0, 0, 1, 0, 0.5, 0, -1)},
 	}
 	for _, c := range cases {
 		if c.err == nil {

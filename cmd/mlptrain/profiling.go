@@ -7,6 +7,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"samplednn/internal/obs"
 )
 
 // profiler owns the lifetime of the -cpuprofile and -memprofile outputs.
@@ -64,10 +66,14 @@ func (p *profiler) stop() {
 	}
 }
 
-// servePprof exposes net/http/pprof on addr in the background so a
-// long training run can be inspected live (goroutine dumps, heap, CPU
-// sampling) without restarting it.
+// servePprof exposes net/http/pprof and the Prometheus-format /metrics
+// endpoint on addr in the background, so a long training run can be
+// inspected live (goroutine dumps, heap, CPU sampling, and the trainer's
+// epoch/loss/accuracy/probe gauges) without restarting it.
 func servePprof(addr string) {
+	// The trainer publishes its live gauges on the default registry; the
+	// pprof import above registers its handlers on the same DefaultServeMux.
+	http.Handle("/metrics", obs.Default)
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "mlptrain: pprof server:", err)

@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"theory-table", "table2", "table3", "table4",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "conv-cifar", "work-model",
 		"fig10", "fig11", "fig12", "pred-collapse", "mem", "parallel-alsh",
-		"gemm-parallel",
+		"gemm-parallel", "trace-overhead",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
 	"samplednn/internal/obs"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -229,8 +231,57 @@ func (a *ALSHApprox) activeSet(layer int, x *tensor.Matrix) []int {
 	return padActive(a.queryBuf, n, a.minAct[layer], a.cfg.MaxActiveFrac, a.g)
 }
 
+// ApproxForward replays the hash-sampled feedforward pass on x without
+// touching training state: active sets come from the live indexes (the
+// same lookups a Step would do) but padding randomness comes from g, all
+// buffers are local, and no sample counters, touched sets, or active-set
+// distributions are updated.
+func (a *ALSHApprox) ApproxForward(x *tensor.Matrix, g *rng.RNG) []*tensor.Matrix {
+	layers := a.net.Layers
+	last := len(layers) - 1
+	out := make([]*tensor.Matrix, len(layers))
+	var buf []int
+	act := x
+	for i, l := range layers {
+		if i == last {
+			// Exact output layer, computed locally so the shared layer
+			// caches stay whatever the last training step left there.
+			z := tensor.MatMul(act, l.W)
+			z.AddRowVector(l.B)
+			act = l.Act.Forward(z)
+			out[i] = act
+			continue
+		}
+		idx := a.indexes[i]
+		if x.Rows == 1 {
+			buf = idx.Query(act.RowView(0), buf)
+		} else {
+			set := map[int]struct{}{}
+			for r := 0; r < act.Rows; r++ {
+				buf = idx.Query(act.RowView(r), buf)
+				for _, c := range buf {
+					set[c] = struct{}{}
+				}
+			}
+			buf = buf[:0]
+			for c := range set {
+				buf = append(buf, c)
+			}
+			// Sorted union: map iteration order is random, and summation
+			// order changes low-order bits, so sort to keep measurements
+			// reproducible for a fixed probe RNG.
+			sort.Ints(buf)
+		}
+		st := &activeState{cols: padActive(buf, l.FanOut(), a.minAct[i], a.cfg.MaxActiveFrac, g)}
+		act = forwardActive(l, act, st, 1)
+		out[i] = act
+	}
+	return out
+}
+
 // Step performs one hash-sampled training pass.
 func (a *ALSHApprox) Step(x *tensor.Matrix, y []int) float64 {
+	tr := trace.Active()
 	layers := a.net.Layers
 	last := len(layers) - 1
 
@@ -238,22 +289,29 @@ func (a *ALSHApprox) Step(x *tensor.Matrix, y []int) float64 {
 	act := x
 	for i, l := range layers {
 		if i == last {
+			sp := tr.BeginLayer("forward", "layer", i)
 			act = l.Forward(act)
+			sp.End()
 			continue
 		}
 		st := a.states[i]
 		st.cols = a.activeSet(i, act)
 		a.actDists[i].Observe(int64(len(st.cols)))
+		sp := tr.BeginLayer("forward", "sampled", i)
 		act = forwardActive(l, act, st, 1)
+		sp.End()
 	}
 	logits := act
 	loss := a.net.Head.Loss(logits, y)
 	t1 := time.Now()
 
 	delta := a.net.Head.Delta(logits, y)
+	spOut := tr.BeginLayer("backward", "layer", last)
 	gOut, dA := layers[last].Backward(delta)
 	a.optim.Step(last, layers[last].W, layers[last].B, gOut)
+	spOut.End()
 	for i := last - 1; i >= 0; i-- {
+		sp := tr.BeginLayer("backward", "sampled", i)
 		l := layers[i]
 		st := a.states[i]
 		gw, gb, dPrev := backwardActive(l, dA, st, 1)
@@ -264,6 +322,7 @@ func (a *ALSHApprox) Step(x *tensor.Matrix, y []int) float64 {
 			a.touched[i][c] = struct{}{}
 		}
 		dA = dPrev
+		sp.End()
 	}
 	t2 := time.Now()
 

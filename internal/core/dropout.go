@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"samplednn/internal/nn"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -64,11 +65,17 @@ func (d *Dropout) Timing() Timing { return d.timing }
 // ResetTiming zeroes the timings.
 func (d *Dropout) ResetTiming() { d.timing = Timing{} }
 
-// sampleCols draws the kept-node set for a layer of width n.
-func (d *Dropout) sampleCols(n int) []int {
+// sampleCols draws the kept-node set for a layer of width n from the
+// method's own RNG stream.
+func (d *Dropout) sampleCols(n int) []int { return d.sampleColsWith(n, d.g) }
+
+// sampleColsWith is sampleCols over an explicit RNG, so diagnostic
+// passes (the error-compounding probe) can draw kept sets without
+// perturbing the training stream.
+func (d *Dropout) sampleColsWith(n int, g *rng.RNG) []int {
 	cols := make([]int, 0, int(float64(n)*d.P)+4)
 	for j := 0; j < n; j++ {
-		if d.g.Bernoulli(d.P) {
+		if g.Bernoulli(d.P) {
 			cols = append(cols, j)
 		}
 	}
@@ -77,7 +84,7 @@ func (d *Dropout) sampleCols(n int) []int {
 		min = 1
 	}
 	for len(cols) < min {
-		j := d.g.IntN(n)
+		j := g.IntN(n)
 		dup := false
 		for _, c := range cols {
 			if c == j {
@@ -92,8 +99,34 @@ func (d *Dropout) sampleCols(n int) []int {
 	return cols
 }
 
+// ApproxForward replays the dropout-sampled feedforward on x: fresh kept
+// sets are drawn from g (not the training stream) per hidden layer, with
+// the same 1/P inverted scaling a Step applies. Buffers are local, so
+// training state is untouched.
+func (d *Dropout) ApproxForward(x *tensor.Matrix, g *rng.RNG) []*tensor.Matrix {
+	layers := d.net.Layers
+	last := len(layers) - 1
+	out := make([]*tensor.Matrix, len(layers))
+	scale := 1 / d.P
+	act := x
+	for i, l := range layers {
+		if i == last {
+			z := tensor.MatMul(act, l.W)
+			z.AddRowVector(l.B)
+			act = l.Act.Forward(z)
+			out[i] = act
+			continue
+		}
+		st := &activeState{cols: d.sampleColsWith(l.FanOut(), g)}
+		act = forwardActive(l, act, st, scale)
+		out[i] = act
+	}
+	return out
+}
+
 // Step performs one dropout-sampled training pass.
 func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
+	tr := trace.Active()
 	layers := d.net.Layers
 	last := len(layers) - 1
 	scale := 1 / d.P
@@ -102,14 +135,18 @@ func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
 	a := x
 	for i, l := range layers {
 		if i == last {
+			sp := tr.BeginLayer("forward", "layer", i)
 			a = l.Forward(a) // output layer is always exact
+			sp.End()
 			continue
 		}
 		if d.states[i] == nil {
 			d.states[i] = &activeState{}
 		}
 		d.states[i].cols = d.sampleCols(l.FanOut())
+		sp := tr.BeginLayer("forward", "sampled", i)
 		a = forwardActive(l, a, d.states[i], scale)
+		sp.End()
 	}
 	logits := a
 	loss := d.net.Head.Loss(logits, y)
@@ -117,9 +154,12 @@ func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
 
 	// Backward: output layer dense, hidden layers through active sets.
 	delta := d.net.Head.Delta(logits, y)
+	spOut := tr.BeginLayer("backward", "layer", last)
 	gOut, dA := layers[last].Backward(delta)
 	d.optim.Step(last, layers[last].W, layers[last].B, gOut)
+	spOut.End()
 	for i := last - 1; i >= 0; i-- {
+		sp := tr.BeginLayer("backward", "sampled", i)
 		l := layers[i]
 		st := d.states[i]
 		gw, gb, dPrev := backwardActive(l, dA, st, scale)
@@ -127,6 +167,7 @@ func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
 		d.optim.StepCols(i, l.W, l.B, d.grads[i], st.cols)
 		clearGradCols(d.grads[i], st.cols)
 		dA = dPrev
+		sp.End()
 	}
 	t2 := time.Now()
 	d.timing.Forward += t1.Sub(t0)
@@ -209,13 +250,16 @@ func (a *AdaptiveDropout) keepProb(z float64) float64 {
 
 // Step performs one standout-sampled training pass with 0/1 masks.
 func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
+	tr := trace.Active()
 	layers := a.net.Layers
 	last := len(layers) - 1
 
 	t0 := time.Now()
 	act := x
 	for i, l := range layers {
+		sp := tr.BeginLayer("forward", "layer", i)
 		act = l.Forward(act) // full pre-activations needed for π
+		sp.End()
 		if i == last {
 			continue
 		}
@@ -241,6 +285,7 @@ func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
 
 	delta := a.net.Head.Delta(logits, y)
 	for i := last; i >= 0; i-- {
+		sp := tr.BeginLayer("backward", "layer", i)
 		l := layers[i]
 		grads, dPrev := l.Backward(delta)
 		a.optim.Step(i, l.W, l.B, grads)
@@ -252,11 +297,38 @@ func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
 			dPrev = applyDerivative(below, dPrev)
 			delta = dPrev
 		}
+		sp.End()
 	}
 	t2 := time.Now()
 	a.timing.Forward += t1.Sub(t0)
 	a.timing.Backward += t2.Sub(t1)
 	return loss
+}
+
+// ApproxForward replays the standout-sampled feedforward on x: each
+// hidden node is kept with its data-dependent probability π = σ(αz+β),
+// drawn from g, and survivors pass through unscaled (the Ba-Frey
+// training rule). All state is local.
+func (a *AdaptiveDropout) ApproxForward(x *tensor.Matrix, g *rng.RNG) []*tensor.Matrix {
+	layers := a.net.Layers
+	last := len(layers) - 1
+	out := make([]*tensor.Matrix, len(layers))
+	act := x
+	for i, l := range layers {
+		z := tensor.MatMul(act, l.W)
+		z.AddRowVector(l.B)
+		h := l.Act.Forward(z)
+		if i != last {
+			for k, zv := range z.Data {
+				if !g.Bernoulli(a.keepProb(zv)) {
+					h.Data[k] = 0
+				}
+			}
+		}
+		out[i] = h
+		act = h
+	}
+	return out
 }
 
 // PredictBatch runs the standout expectation network: each hidden

@@ -7,6 +7,7 @@ import (
 
 	"samplednn/internal/approxmm"
 	"samplednn/internal/nn"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -167,7 +168,7 @@ func (m *MCApprox) forwardApprox(x *tensor.Matrix) *tensor.Matrix {
 	a := x
 	for _, l := range m.net.Layers {
 		l.In = a
-		l.Z = m.estimateProduct(a, l.W)
+		l.Z = m.estimateProduct(a, l.W, m.g)
 		l.Z.AddRowVector(l.B)
 		l.A = l.Act.Forward(l.Z)
 		a = l.A
@@ -175,10 +176,30 @@ func (m *MCApprox) forwardApprox(x *tensor.Matrix) *tensor.Matrix {
 	return a
 }
 
+// ApproxForward estimates every layer's product by column-row sampling
+// drawn from g, without writing the layer caches. For the paper's
+// backward-only MC-approx this is a counterfactual: the probe uses it to
+// show what feedforward error the estimator *would* compound (the §10.1
+// rationale for keeping the forward pass exact), while the MCForward and
+// MCBoth ablations actually train through it.
+func (m *MCApprox) ApproxForward(x *tensor.Matrix, g *rng.RNG) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(m.net.Layers))
+	act := x
+	for i, l := range m.net.Layers {
+		z := m.estimateProduct(act, l.W, g)
+		z.AddRowVector(l.B)
+		act = l.Act.Forward(z)
+		out[i] = act
+	}
+	return out
+}
+
 // samplePairs draws shared-dimension indices and their rescaling factors
-// according to the configured estimator. Indices may repeat only in the
-// scales (duplicate CR draws are merged).
-func (m *MCApprox) samplePairs(w []float64, k int) (idx []int, scales []float64) {
+// according to the configured estimator, using g for randomness. Indices
+// may repeat only in the scales (duplicate CR draws are merged). The RNG
+// is an explicit parameter so diagnostic passes (the error-compounding
+// probe) can sample without perturbing the training stream.
+func (m *MCApprox) samplePairs(w []float64, k int, g *rng.RNG) (idx []int, scales []float64) {
 	switch m.cfg.Estimator {
 	case MCCR:
 		table, err := rng.NewAlias(w)
@@ -188,7 +209,7 @@ func (m *MCApprox) samplePairs(w []float64, k int) (idx []int, scales []float64)
 		agg := make(map[int]float64, k)
 		inv := 1 / float64(k)
 		for t := 0; t < k; t++ {
-			i := table.Draw(m.g)
+			i := table.Draw(g)
 			agg[i] += inv / table.Prob(i)
 		}
 		for i, s := range agg {
@@ -217,7 +238,7 @@ func (m *MCApprox) samplePairs(w []float64, k int) (idx []int, scales []float64)
 			if pi <= 0 {
 				continue
 			}
-			if pi >= 1 || m.g.Bernoulli(pi) {
+			if pi >= 1 || g.Bernoulli(pi) {
 				idx = append(idx, i)
 				scales = append(scales, 1/pi)
 			}
@@ -227,8 +248,9 @@ func (m *MCApprox) samplePairs(w []float64, k int) (idx []int, scales []float64)
 }
 
 // estimateProduct returns the sampled estimate of a·b over their shared
-// dimension.
-func (m *MCApprox) estimateProduct(a, b *tensor.Matrix) *tensor.Matrix {
+// dimension, drawing the sample from g.
+func (m *MCApprox) estimateProduct(a, b *tensor.Matrix, g *rng.RNG) *tensor.Matrix {
+	defer trace.Active().Begin("amm", "product").WithArg("k", int64(m.cfg.K)).End()
 	// Pair weights over the shared dimension.
 	ca := a.ColNorms()
 	rb := b.RowNorms()
@@ -236,7 +258,7 @@ func (m *MCApprox) estimateProduct(a, b *tensor.Matrix) *tensor.Matrix {
 	for i := range w {
 		w[i] = ca[i] * rb[i]
 	}
-	idx, scales := m.samplePairs(w, m.cfg.K)
+	idx, scales := m.samplePairs(w, m.cfg.K, g)
 	out := tensor.New(a.Rows, b.Cols)
 	for s, i := range idx {
 		scale := scales[s]
@@ -276,12 +298,13 @@ func (m *MCApprox) backwardApprox(logits *tensor.Matrix, y []int) {
 // size ≤ K the estimate is exact (every pair kept), reproducing the
 // paper's observation that the stochastic setting gets no benefit here.
 func (m *MCApprox) estimateGradW(l *nn.Layer, delta *tensor.Matrix) nn.Grads {
+	defer trace.Active().Begin("amm", "grad-w").WithArg("k", int64(m.cfg.K)).End()
 	batch := delta.Rows
 	w := make([]float64, batch)
 	for i := 0; i < batch; i++ {
 		w[i] = tensor.Norm(l.In.RowView(i)) * tensor.Norm(delta.RowView(i))
 	}
-	idx, scales := m.samplePairs(w, m.cfg.K)
+	idx, scales := m.samplePairs(w, m.cfg.K, m.g)
 	gw := tensor.New(l.FanIn(), l.FanOut())
 	gb := make([]float64, l.FanOut())
 	for s, i := range idx {
@@ -303,13 +326,14 @@ func (m *MCApprox) estimateGradW(l *nn.Layer, delta *tensor.Matrix) nn.Grads {
 // the W column norms costs a full pass over W per step — the fixed
 // overhead that dominates when the batch is small (§9.3).
 func (m *MCApprox) estimateDeltaPrev(l *nn.Layer, delta *tensor.Matrix) *tensor.Matrix {
+	defer trace.Active().Begin("amm", "grad-prev").WithArg("k", int64(m.cfg.K)).End()
 	cd := delta.ColNorms()
 	cw := l.W.ColNorms()
 	w := make([]float64, len(cd))
 	for j := range w {
 		w[j] = cd[j] * cw[j]
 	}
-	idx, scales := m.samplePairs(w, m.cfg.K)
+	idx, scales := m.samplePairs(w, m.cfg.K, m.g)
 	out := tensor.New(delta.Rows, l.FanIn())
 	col := make([]float64, l.FanIn())
 	for s, j := range idx {

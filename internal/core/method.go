@@ -26,6 +26,7 @@ import (
 
 	"samplednn/internal/nn"
 	"samplednn/internal/opt"
+	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 )
 
@@ -125,6 +126,25 @@ type Resumable interface {
 type OptimizerHolder interface {
 	// Optimizer returns the optimizer the method applies updates with.
 	Optimizer() opt.Optimizer
+}
+
+// ApproxForwarder is implemented by sampling methods that can replay
+// their approximate feedforward pass on demand, outside the training
+// loop. The error-compounding probe (internal/probe) runs it side by
+// side with the exact forward on a fixed minibatch to measure the
+// per-layer relative error Theorem 7.2 bounds.
+//
+// Implementations must be read-only with respect to training state: no
+// layer caches, no method scratch that a Step depends on, and — most
+// importantly — no draws from the method's own RNG stream. All sampling
+// randomness comes from g, so interleaving probe calls with training
+// leaves the trained weights byte-for-byte unchanged.
+type ApproxForwarder interface {
+	// ApproxForward returns each layer's activation under the method's
+	// approximation, index-aligned with Net().Layers. For methods that
+	// only approximate the backward pass (MC-approx), the result shows
+	// what forward approximation *would* do — the §10.1 ablation.
+	ApproxForward(x *tensor.Matrix, g *rng.RNG) []*tensor.Matrix
 }
 
 // BatchPredictor is implemented by methods whose inference pass differs

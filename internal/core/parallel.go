@@ -9,6 +9,7 @@ import (
 
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -186,17 +187,24 @@ func (p *ParallelALSH) TryStep(x *tensor.Matrix, y []int) (float64, error) {
 	if nw > x.Rows {
 		nw = x.Rows
 	}
+	tr := trace.Active()
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
+		tid := trace.TIDALSHWorker + w
+		if tr != nil {
+			tr.NameThread(tid, fmt.Sprintf("alsh worker %d", w))
+		}
 		go func(aw *alshWorker) {
 			defer wg.Done()
 			// Keep draining the row queue even after a failure so the
 			// pool always terminates; later samples still run (and may
 			// fail independently), but the batch is already doomed.
 			for i := range rows {
+				sp := tr.BeginTID("alsh", "sample", tid)
 				if err := p.runSample(aw, x, y, i, results); err != nil {
 					p.recordErr(err)
 				}
+				sp.End()
 			}
 		}(p.workers[w])
 	}

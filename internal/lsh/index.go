@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 )
@@ -144,6 +145,7 @@ func (idx *MIPSIndex) NumItems() int { return idx.nItems }
 // Rebuild re-fits the transform scaling to the current column norms of w
 // and re-hashes every column into every table. w must be dim x nItems.
 func (idx *MIPSIndex) Rebuild(w *tensor.Matrix) {
+	defer trace.Active().Begin("lsh", "rebuild").WithArg("cols", int64(idx.nItems)).End()
 	idx.checkShape(w)
 	idx.transform.Fit(w.ColNorms())
 	for _, t := range idx.tables {
@@ -161,6 +163,7 @@ func (idx *MIPSIndex) Rebuild(w *tensor.Matrix) {
 // transform scaling. This is the cheap maintenance path ALSH-approx runs
 // after sparse gradient updates; a periodic Rebuild re-fits the scaling.
 func (idx *MIPSIndex) UpdateColumns(w *tensor.Matrix, cols []int) {
+	defer trace.Active().Begin("lsh", "rehash").WithArg("cols", int64(len(cols))).End()
 	idx.checkShape(w)
 	col := make([]float64, idx.dim)
 	for _, j := range cols {
@@ -210,7 +213,10 @@ func (idx *MIPSIndex) NewQueryScratch() *QueryScratch {
 // QueryWith with per-goroutine scratches.
 func (idx *MIPSIndex) Query(a []float64, dst []int) []int {
 	idx.queries++
-	return idx.queryInto(&idx.scratch, a, dst)
+	sp := trace.Active().Begin("lsh", "query")
+	dst = idx.queryInto(&idx.scratch, a, dst)
+	sp.WithArg("cands", int64(len(dst))).End()
+	return dst
 }
 
 // QueryWith is Query using caller-owned workspace, safe to call from

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 )
@@ -86,9 +87,12 @@ func (n *Network) NumParams() int {
 // Forward runs the exact feedforward pass (Eq. 1 of §4.1) and returns the
 // output logits, caching intermediates in each layer.
 func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	tr := trace.Active()
 	a := x
-	for _, l := range n.Layers {
+	for i, l := range n.Layers {
+		sp := tr.BeginLayer("forward", "layer", i)
 		a = l.Forward(a)
+		sp.End()
 	}
 	return a
 }
@@ -105,10 +109,12 @@ func (n *Network) Backward(logits *tensor.Matrix, labels []int) []Grads {
 // MLP is the classifier head of a larger model (the convolutional
 // setting of §8.4).
 func (n *Network) BackwardWithInput(logits *tensor.Matrix, labels []int) ([]Grads, *tensor.Matrix) {
+	tr := trace.Active()
 	grads := make([]Grads, len(n.Layers))
 	delta := n.Head.Delta(logits, labels) // dL/dZ of the output layer
 	var dInput *tensor.Matrix
 	for i := len(n.Layers) - 1; i >= 0; i-- {
+		sp := tr.BeginLayer("backward", "layer", i)
 		l := n.Layers[i]
 		g, prevA := l.Backward(delta)
 		grads[i] = g
@@ -120,6 +126,7 @@ func (n *Network) BackwardWithInput(logits *tensor.Matrix, labels []int) ([]Grad
 		} else {
 			dInput = prevA
 		}
+		sp.End()
 	}
 	return grads, dInput
 }

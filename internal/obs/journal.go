@@ -148,6 +148,12 @@ func sanitize(v any) any {
 			out[i] = sanitize(vv)
 		}
 		return out
+	case []float64:
+		out := make([]any, len(x))
+		for i, vv := range x {
+			out[i] = sanitizeFloat(vv)
+		}
+		return out
 	}
 	return v
 }

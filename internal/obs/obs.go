@@ -137,6 +137,14 @@ type DistSnapshot struct {
 	Min   int64   `json:"min"`
 	Max   int64   `json:"max"`
 	Mean  float64 `json:"mean"`
+	// P50, P95, and P99 are approximate quantiles reconstructed from the
+	// log2 histogram: the target rank's bucket is found by cumulative
+	// count and the value interpolated linearly inside the bucket's
+	// [2^(i-1), 2^i) range, then clamped to [Min, Max]. The relative
+	// error is therefore bounded by the bucket width (a factor of 2).
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 	// Buckets[i] counts observations of bit length i: Buckets[0] is
 	// v == 0, Buckets[i] for i >= 1 covers [2^(i-1), 2^i). Trailing zero
 	// buckets are trimmed.
@@ -162,7 +170,58 @@ func (d *Distribution) Snapshot() DistSnapshot {
 	if last >= 0 {
 		s.Buckets = append([]int64(nil), buckets[:last+1]...)
 	}
+	s.P50 = s.quantile(0.50)
+	s.P95 = s.quantile(0.95)
+	s.P99 = s.quantile(0.99)
 	return s
+}
+
+// quantile reconstructs the q-quantile (q in [0,1]) from the log2
+// histogram: walk buckets to the one containing the target rank, then
+// interpolate linearly across the bucket's value range by the rank's
+// position within the bucket. Clamped to [Min, Max], so single-bucket
+// distributions still report sane values.
+func (s DistSnapshot) quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(s.Buckets)-1 {
+			// Bucket i covers [lo, hi): bucket 0 is exactly 0, bucket
+			// i >= 1 is [2^(i-1), 2^i).
+			var lo, hi float64
+			if i > 0 {
+				lo = math.Ldexp(1, i-1)
+				hi = math.Ldexp(1, i)
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+				if frac < 0 {
+					frac = 0
+				}
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			v := lo + frac*(hi-lo)
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(s.Max)
 }
 
 // Registry is a concurrency-safe namespace of metrics. Lookup is

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4), so a running training process can be watched with
+// nothing but curl — or scraped by an actual Prometheus — through the
+// same HTTP mux the -pprof-addr flag already serves. The mapping:
+//
+//   - Counter      → counter  <name>_total
+//   - Gauge        → gauge    <name>
+//   - Timer        → summary  <name>_seconds_sum / <name>_seconds_count
+//   - Distribution → summary  <name>{quantile="0.5|0.95|0.99"} plus
+//     _sum/_count, using the approximate quantiles reconstructed from
+//     the log2 histogram (see DistSnapshot).
+//
+// Metric names are sanitized to the Prometheus charset: every character
+// outside [a-zA-Z0-9_:] (the dots in "pool.tasks.inline") becomes '_'.
+
+// sanitizeMetricName rewrites name into the Prometheus identifier
+// charset. A leading digit is prefixed with '_'.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a sample value; Prometheus spells non-finite values
+// +Inf, -Inf, and NaN (Go's %g matches for all three).
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, sorted by name within each kind for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		n := sanitizeMetricName(name)
+		p("# TYPE %s_total counter\n", n)
+		p("%s_total %d\n", n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := sanitizeMetricName(name)
+		p("# TYPE %s gauge\n", n)
+		p("%s %s\n", n, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		n := sanitizeMetricName(name) + "_seconds"
+		t := s.Timers[name]
+		p("# TYPE %s summary\n", n)
+		p("%s_sum %s\n", n, promFloat(float64(t.TotalNS)/1e9))
+		p("%s_count %d\n", n, t.Count)
+	}
+	for _, name := range sortedKeys(s.Dists) {
+		n := sanitizeMetricName(name)
+		d := s.Dists[name]
+		p("# TYPE %s summary\n", n)
+		p("%s{quantile=\"0.5\"} %s\n", n, promFloat(d.P50))
+		p("%s{quantile=\"0.95\"} %s\n", n, promFloat(d.P95))
+		p("%s{quantile=\"0.99\"} %s\n", n, promFloat(d.P99))
+		p("%s_sum %d\n", n, d.Sum)
+		p("%s_count %d\n", n, d.Count)
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ServeHTTP makes the registry an http.Handler serving the /metrics
+// scrape endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"pool.tasks.inline": "pool_tasks_inline",
+		"train.test_acc":    "train_test_acc",
+		"lsh:rebuilds":      "lsh:rebuilds",
+		"9lives":            "_9lives",
+		"ok_name_42":        "ok_name_42",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusRendersAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pool.tasks.inline").Add(7)
+	r.Gauge("train.loss").Set(0.25)
+	r.Timer("io.write").Observe(1500 * time.Millisecond)
+	d := r.Distribution("active.sets")
+	for v := int64(1); v <= 100; v++ {
+		d.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pool_tasks_inline_total counter",
+		"pool_tasks_inline_total 7",
+		"# TYPE train_loss gauge",
+		"train_loss 0.25",
+		"# TYPE io_write_seconds summary",
+		"io_write_seconds_sum 1.5",
+		"io_write_seconds_count 1",
+		"# TYPE active_sets summary",
+		`active_sets{quantile="0.5"}`,
+		`active_sets{quantile="0.95"}`,
+		`active_sets{quantile="0.99"}`,
+		"active_sets_sum 5050",
+		"active_sets_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsEndpointServesPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("train.batches").Add(3)
+	r.Gauge("train.epoch").Set(2)
+
+	srv := httptest.NewServer(r)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "train_batches_total 3") || !strings.Contains(body, "train_epoch 2") {
+		t.Fatalf("unexpected body:\n%s", body)
+	}
+}
+
+// TestDistributionQuantiles checks the log2-bucket reconstruction: for a
+// uniform stream 1..N the quantiles must land within a factor of two of
+// the exact values (the bucket-width bound) and be monotone.
+func TestDistributionQuantiles(t *testing.T) {
+	d := NewDistribution()
+	const n = 1000
+	for v := int64(1); v <= n; v++ {
+		d.Observe(v)
+	}
+	s := d.Snapshot()
+	check := func(name string, got, exact float64) {
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("%s = %v, want within 2x of %v", name, got, exact)
+		}
+	}
+	check("p50", s.P50, 0.50*n)
+	check("p95", s.P95, 0.95*n)
+	check("p99", s.P99, 0.99*n)
+	if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+		t.Errorf("quantiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > float64(s.Max) || s.P50 < float64(s.Min) {
+		t.Errorf("quantiles escape [min,max]: %v %v vs [%d,%d]", s.P50, s.P99, s.Min, s.Max)
+	}
+}
+
+// TestDistributionQuantilesDegenerate: constant streams report the
+// constant for every quantile, empty distributions report zero.
+func TestDistributionQuantilesDegenerate(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 50; i++ {
+		d.Observe(42)
+	}
+	s := d.Snapshot()
+	if s.P50 != 42 || s.P95 != 42 || s.P99 != 42 {
+		t.Errorf("constant stream quantiles %v %v %v, want 42", s.P50, s.P95, s.P99)
+	}
+	var empty DistSnapshot
+	if empty.quantile(0.5) != 0 {
+		t.Error("empty distribution quantile must be 0")
+	}
+	dz := NewDistribution()
+	dz.Observe(0)
+	sz := dz.Snapshot()
+	if sz.P50 != 0 || sz.P99 != 0 {
+		t.Errorf("all-zero stream quantiles %v %v, want 0", sz.P50, sz.P99)
+	}
+}

@@ -1,0 +1,316 @@
+// Package trace is samplednn's span tracer: a ring-buffered recorder of
+// timed spans that serializes to the Chrome trace_event JSON format, so a
+// training run's per-phase structure — forward and backward per layer,
+// AMM sampling, LSH hashing and bucket maintenance, checkpoint I/O, pool
+// task execution — can be opened in chrome://tracing or Perfetto and read
+// as a timeline instead of a single per-epoch number.
+//
+// The paper's evaluation splits every method's cost into feedforward,
+// backpropagation, and index maintenance (§9.2, §10.1); the aggregate
+// split already lives in core.Timing. The tracer records the same phases
+// at span granularity, which is what reveals *where inside a phase* the
+// time goes (one slow layer, a rehash storm, pool saturation).
+//
+// Design constraints, in order:
+//
+//  1. The disabled path must cost one pointer check and zero
+//     allocations: every hot loop calls Active() (an atomic load) and
+//     Begin/End on the result, all of which are nil-safe no-ops. Tests
+//     pin this with testing.AllocsPerRun.
+//  2. Recording must be bounded: spans land in a fixed-capacity ring
+//     buffer and the oldest are overwritten, mirroring the PR 3 profile
+//     files that are flushed once on exit rather than streamed.
+//  3. Recording must be safe from any goroutine: ALSH sample workers and
+//     pool residents trace concurrently with the main loop.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Well-known thread ids, so the Perfetto timeline groups spans by the
+// goroutine role that produced them. The main goroutine is TIDMain;
+// parallel-ALSH sample workers are TIDALSHWorker+i; pool residents are
+// TIDPoolWorker+i.
+const (
+	TIDMain       = 1
+	TIDALSHWorker = 100
+	TIDPoolWorker = 200
+)
+
+// DefaultCapacity is the ring size used when New is given a
+// non-positive capacity: 64Ki spans (~4 MiB resident).
+const DefaultCapacity = 1 << 16
+
+// event is one recorded span. Strings are expected to be program
+// literals (span names are static), so retaining them never pins large
+// buffers.
+type event struct {
+	name   string
+	cat    string
+	argKey string
+	argVal int64
+	tid    int32
+	ts     int64 // ns since tracer start
+	dur    int64 // ns
+}
+
+// Tracer records spans into a fixed ring. The zero Tracer is not usable;
+// call New. A nil *Tracer is a valid no-op recorder: every method checks
+// the receiver, which is what makes call sites branch-free one-liners.
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	events  []event
+	head    int   // next slot to write
+	total   int64 // spans ever recorded (total - len(events) = dropped)
+	wrapped bool
+	threads map[int32]string
+}
+
+// New returns a tracer with the given ring capacity (DefaultCapacity
+// when capacity <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		start:   time.Now(),
+		events:  make([]event, 0, capacity),
+		threads: map[int32]string{TIDMain: "main"},
+	}
+}
+
+// active is the process-wide tracer hot paths consult. nil means tracing
+// is disabled and every span call is a no-op.
+var active atomic.Pointer[Tracer]
+
+// Active returns the process-wide tracer, or nil when tracing is
+// disabled. The load is a single atomic pointer read, cheap enough for
+// kernels and per-sample loops.
+func Active() *Tracer { return active.Load() }
+
+// SetActive installs (or, with nil, removes) the process-wide tracer.
+func SetActive(t *Tracer) { active.Store(t) }
+
+// Span is an in-flight measurement. It is a value type: beginning and
+// ending a span performs no heap allocation, enabled or not. The zero
+// Span (from a nil tracer) ends as a no-op.
+type Span struct {
+	t      *Tracer
+	name   string
+	cat    string
+	argKey string
+	argVal int64
+	tid    int32
+	start  time.Time
+}
+
+// Begin starts a span on the main timeline. On a nil tracer it returns
+// the zero Span without reading the clock.
+func (t *Tracer) Begin(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, tid: TIDMain, start: time.Now()}
+}
+
+// BeginLayer is Begin with a {"layer": i} argument, the common case for
+// per-layer forward/backward spans.
+func (t *Tracer) BeginLayer(cat, name string, layer int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, argKey: "layer", argVal: int64(layer), tid: TIDMain, start: time.Now()}
+}
+
+// BeginTID is Begin on an explicit thread id (worker goroutines).
+func (t *Tracer) BeginTID(cat, name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, tid: int32(tid), start: time.Now()}
+}
+
+// WithArg returns the span with a numeric argument attached, for values
+// only known mid-span (candidate counts, rehashed columns).
+func (s Span) WithArg(key string, v int64) Span {
+	s.argKey, s.argVal = key, v
+	return s
+}
+
+// End records the span. No-op for the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.record(s)
+}
+
+// NameThread labels a thread id in the output (Perfetto shows it as the
+// track name). Safe to call from any goroutine.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[int32(tid)] = name
+	t.mu.Unlock()
+}
+
+func (t *Tracer) record(s Span) {
+	e := event{
+		name:   s.name,
+		cat:    s.cat,
+		argKey: s.argKey,
+		argVal: s.argVal,
+		tid:    s.tid,
+		ts:     s.start.Sub(t.start).Nanoseconds(),
+		dur:    time.Since(s.start).Nanoseconds(),
+	}
+	t.mu.Lock()
+	if len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+	} else {
+		t.events[t.head] = e
+		t.wrapped = true
+	}
+	t.head++
+	if t.head == cap(t.events) {
+		t.head = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held in the ring.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.events))
+}
+
+// traceEvent is the Chrome trace_event wire format of one record
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a complete event ("ph":"X") with microsecond timestamps, or a metadata
+// event ("ph":"M") naming a process/thread.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON object format of a trace file. The array format
+// (a bare JSON list) also loads, but the object format carries the
+// display unit and tolerates future metadata keys.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Export renders the ring's current contents as trace events in
+// chronological order, prefixed with process/thread metadata.
+func (t *Tracer) Export() []traceEvent {
+	t.mu.Lock()
+	events := make([]event, len(t.events))
+	if t.wrapped {
+		n := copy(events, t.events[t.head:])
+		copy(events[n:], t.events[:t.head])
+	} else {
+		copy(events, t.events)
+	}
+	threads := make(map[int32]string, len(t.threads))
+	for k, v := range t.threads {
+		threads[k] = v
+	}
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].ts < events[j].ts })
+
+	out := make([]traceEvent, 0, len(events)+len(threads)+1)
+	out = append(out, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: TIDMain,
+		Args: map[string]any{"name": "samplednn"},
+	})
+	tids := make([]int32, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: int(tid),
+			Args: map[string]any{"name": threads[tid]},
+		})
+	}
+	for _, e := range events {
+		te := traceEvent{
+			Name: e.name, Cat: e.cat, Ph: "X",
+			TS: float64(e.ts) / 1e3, Dur: float64(e.dur) / 1e3,
+			PID: 1, TID: int(e.tid),
+		}
+		if e.argKey != "" {
+			te.Args = map[string]any{e.argKey: e.argVal}
+		}
+		out = append(out, te)
+	}
+	return out
+}
+
+// WriteTo serializes the trace as Chrome trace_event JSON.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	doc := traceDoc{TraceEvents: t.Export(), DisplayTimeUnit: "ms"}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return 0, fmt.Errorf("trace: encoding: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	if err != nil {
+		return int64(n), fmt.Errorf("trace: writing: %w", err)
+	}
+	return int64(n), nil
+}
+
+// WriteFile writes the trace to path (overwriting), the flush-on-exit
+// path of mlptrain -trace.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %s: %w", path, err)
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafeAndFree(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("cat", "name")
+	sp.End()
+	tr.BeginLayer("cat", "name", 3).End()
+	tr.BeginTID("cat", "name", 7).WithArg("k", 1).End()
+	tr.NameThread(5, "x")
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported contents")
+	}
+
+	// The disabled hot path — an atomic load plus nil-safe Begin/End —
+	// must be allocation-free: it runs inside kernels and per-sample
+	// loops whether or not tracing is on.
+	SetActive(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		a := Active()
+		s := a.Begin("forward", "layer")
+		s.End()
+		a.BeginLayer("backward", "layer", 2).End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	tr := New(16)
+	sp := tr.Begin("forward", "layer")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.BeginLayer("backward", "layer", 2).End()
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	events := tr.Export()
+	// process_name + main thread_name metadata precede the spans.
+	var spans []traceEvent
+	for _, e := range events {
+		if e.Ph == "X" {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "layer" || spans[0].Cat != "forward" {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[0].Dur < 900 { // slept 1ms; dur is in microseconds
+		t.Fatalf("span 0 duration %v us, want >= 900", spans[0].Dur)
+	}
+	if spans[1].Args["layer"] != int64(2) {
+		t.Fatalf("span 1 args = %v", spans[1].Args)
+	}
+	if spans[1].TS < spans[0].TS {
+		t.Fatal("spans not in chronological order")
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.BeginLayer("c", "n", i).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	var layers []int64
+	for _, e := range tr.Export() {
+		if e.Ph == "X" {
+			layers = append(layers, e.Args["layer"].(int64))
+		}
+	}
+	want := []int64{6, 7, 8, 9}
+	if len(layers) != len(want) {
+		t.Fatalf("kept %v", layers)
+	}
+	for i := range want {
+		if layers[i] != want[i] {
+			t.Fatalf("kept layers %v, want %v (newest survive the wrap)", layers, want)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.BeginTID("cat", "span", TIDPoolWorker+tid).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 1024 || tr.Dropped() != 8*200-1024 {
+		t.Fatalf("Len=%d Dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+// TestWriteToIsValidChromeTraceJSON pins the wire format: an object with
+// a traceEvents array of complete ("X") and metadata ("M") events whose
+// required keys chrome://tracing and Perfetto rely on are all present.
+func TestWriteToIsValidChromeTraceJSON(t *testing.T) {
+	tr := New(16)
+	tr.NameThread(TIDALSHWorker, "alsh-worker-0")
+	tr.Begin("forward", "layer").End()
+	tr.BeginTID("lsh", "query", TIDALSHWorker).WithArg("cands", 12).End()
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events")
+	}
+	for i, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph != "X" && ph != "M" {
+			t.Fatalf("event %d: ph = %v", i, e["ph"])
+		}
+		if name, _ := e["name"].(string); name == "" {
+			t.Fatalf("event %d: missing name", i)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event %d: missing pid", i)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Fatalf("event %d: missing tid", i)
+		}
+		if ph == "X" {
+			if _, ok := e["ts"].(float64); !ok {
+				t.Fatalf("event %d: missing ts", i)
+			}
+		}
+	}
+}
+
+func TestActiveTracerInstallAndRemove(t *testing.T) {
+	defer SetActive(nil)
+	tr := New(8)
+	SetActive(tr)
+	Active().Begin("c", "n").End()
+	SetActive(nil)
+	Active().Begin("c", "n").End() // no-op
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"samplednn/internal/obs"
+	"samplednn/internal/obs/trace"
 )
 
 // Submission telemetry, registered on the process-wide obs registry.
@@ -79,8 +80,20 @@ func New(workers int) *Pool {
 		tasks := make(chan func())
 		p.tasks = tasks
 		for i := 0; i < workers-1; i++ {
+			tid := trace.TIDPoolWorker + i
 			go func() {
 				for f := range tasks {
+					// Span per executed helper task: with tracing enabled
+					// the Perfetto timeline shows exactly when each
+					// resident worker was busy (the saturation the
+					// submitted/inline counters only aggregate). Disabled,
+					// this is one atomic load per task.
+					if tr := trace.Active(); tr != nil {
+						sp := tr.BeginTID("pool", "task", tid)
+						f()
+						sp.End()
+						continue
+					}
 					f()
 				}
 			}()

@@ -17,7 +17,9 @@ import (
 	"samplednn/internal/metrics"
 	"samplednn/internal/nn"
 	"samplednn/internal/obs"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/opt"
+	"samplednn/internal/probe"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
 )
@@ -72,13 +74,25 @@ type Config struct {
 	LRDecay float64
 	// Journal, when set, receives the run's lifecycle as structured JSONL
 	// events: run-start, resume, epoch, divergence, rollback, checkpoint,
-	// early-stop, cancel, step-fault, run-end. Journal write failures are
-	// sticky on the Journal and never interrupt training.
+	// early-stop, cancel, step-fault, probe, run-end. Journal write
+	// failures are sticky on the Journal and never interrupt training.
 	Journal *obs.Journal
-	// Registry is snapshotted into the run-end event (process-wide
-	// counters such as the pool's inline-degradation count). Defaults to
-	// obs.Default when Journal is set.
+	// Registry receives the run's live gauges (train.epoch, train.loss,
+	// train.test_acc, the probe readings) and is snapshotted into the
+	// run-end event. Defaults to obs.Default, which the -pprof-addr
+	// /metrics endpoint serves.
 	Registry *obs.Registry
+	// ProbeEvery, when positive, runs the §7 error-compounding probe
+	// every that many batches: the method's approximate forward and the
+	// exact forward are compared on a fixed minibatch and the per-layer
+	// relative errors journaled (event "probe") next to the Theorem 7.2
+	// prediction. The probe draws from its own RNG stream, so the
+	// trained weights are identical with the probe on or off. Methods
+	// without an approximate forward (standard) ignore it.
+	ProbeEvery int
+	// ProbeSamples sizes the probe minibatch, taken from the head of the
+	// training split (default 16).
+	ProbeSamples int
 }
 
 func (c *Config) setDefaults() {
@@ -94,8 +108,11 @@ func (c *Config) setDefaults() {
 	if c.LRDecay <= 0 || c.LRDecay >= 1 {
 		c.LRDecay = 0.5
 	}
-	if c.Journal != nil && c.Registry == nil {
+	if c.Registry == nil {
 		c.Registry = obs.Default
+	}
+	if c.ProbeSamples <= 0 {
+		c.ProbeSamples = 16
 	}
 }
 
@@ -265,6 +282,14 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 	}
 
 	evalX, evalY := t.evalSet()
+	pr := t.buildProbe()
+	// Live-run gauges, resolved once so the per-batch updates are plain
+	// atomic stores. They mirror the journal into the process registry,
+	// which the /metrics endpoint serves while the run is in flight.
+	gEpoch := t.cfg.Registry.Gauge("train.epoch")
+	gLoss := t.cfg.Registry.Gauge("train.loss")
+	gAcc := t.cfg.Registry.Gauge("train.test_acc")
+	cBatches := t.cfg.Registry.Counter("train.batches")
 	useVal := t.cfg.EarlyStopPatience > 0 && t.data.Val != nil && t.data.Val.Len() > 0
 	// Snapshots are needed for divergence rollback and for StatePath
 	// persistence; without either, skip the capture work entirely.
@@ -282,7 +307,10 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 		if t.cfg.StatePath == "" || lastGood == nil {
 			return nil
 		}
-		if err := lastGood.WriteFile(t.cfg.StatePath); err != nil {
+		sp := trace.Active().Begin("checkpoint", "write")
+		err := lastGood.WriteFile(t.cfg.StatePath)
+		sp.End()
+		if err != nil {
 			return err
 		}
 		t.emit("checkpoint", map[string]any{
@@ -295,6 +323,7 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 	epoch := rs.epoch
 	for epoch < t.cfg.Epochs {
 		epoch++
+		gEpoch.Set(float64(epoch))
 		var allocBefore uint64
 		if t.cfg.TrackMemory {
 			runtime.GC()
@@ -342,6 +371,11 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			}
 			lossSum += loss
 			batches++
+			gLoss.Set(loss)
+			cBatches.Inc()
+			if m, ok := pr.Tick(); ok {
+				t.emitProbe(epoch, m)
+			}
 		}
 		if t.cfg.RebuildPerEpoch {
 			if a, ok := t.method.(*core.ALSHApprox); ok {
@@ -403,6 +437,7 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			break
 		}
 		stats.TestAccuracy = metrics.Accuracy(evalY, core.Predict(t.method, evalX))
+		gAcc.Set(stats.TestAccuracy)
 		if t.cfg.CheckpointPath != "" && stats.TestAccuracy > rs.bestAcc {
 			rs.bestAcc = stats.TestAccuracy
 			if err := t.method.Net().SaveFile(t.cfg.CheckpointPath); err != nil {
@@ -547,6 +582,54 @@ func (t *Trainer) emitRunEnd(hist *History, status string) {
 	t.cfg.Journal.Emit("run-end", fields)
 }
 
+// buildProbe assembles the error-compounding probe when configured: a
+// fixed minibatch from the head of the training split, compared every
+// ProbeEvery batches. Returns nil (the no-op probe) when disabled or
+// when the method has no approximate forward pass to measure.
+func (t *Trainer) buildProbe() *probe.Probe {
+	if t.cfg.ProbeEvery <= 0 {
+		return nil
+	}
+	n := t.cfg.ProbeSamples
+	if n > t.data.Train.Len() {
+		n = t.data.Train.Len()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sub := t.data.Train.Subset(idx)
+	// The probe's RNG stream is derived from — but distinct from — the
+	// run seed, so probing never consumes the training stream.
+	pr := probe.New(t.method, sub.X, t.cfg.ProbeEvery, t.cfg.Seed^0x9e3779b97f4a7c15)
+	if pr == nil {
+		t.emit("probe-unsupported", map[string]any{"method": t.method.Name()})
+	}
+	return pr
+}
+
+// emitProbe journals one probe measurement and mirrors its headline
+// numbers into the registry gauges so /metrics shows the current
+// error-compounding state.
+func (t *Trainer) emitProbe(epoch int, m *probe.Measurement) {
+	reg := t.cfg.Registry
+	reg.Gauge("probe.growth").Set(m.Growth)
+	reg.Gauge("probe.mean_c").Set(m.MeanC)
+	reg.Gauge("probe.output_rel_err").Set(m.RelErr[len(m.RelErr)-1])
+	fields := map[string]any{
+		"epoch":     epoch,
+		"batch":     m.Batch,
+		"rel_err":   m.RelErr,
+		"err_ratio": m.ErrRatio,
+		"mean_c":    m.MeanC,
+		"growth":    m.Growth,
+	}
+	if len(m.Theory) > 0 {
+		fields["theory"] = m.Theory
+	}
+	t.emit("probe", fields)
+}
+
 // currentLR reports the optimizer's learning rate, or nil when the
 // method does not expose an adjustable optimizer.
 func (t *Trainer) currentLR() any {
@@ -584,6 +667,7 @@ func (t *Trainer) decayLR() bool {
 
 // capture snapshots the complete run state at an epoch boundary.
 func (t *Trainer) capture(g *rng.RNG, batcher *dataset.Batcher, hist *History, rs *runState) (*Checkpoint, error) {
+	defer trace.Active().Begin("checkpoint", "capture").End()
 	var netBuf bytes.Buffer
 	if err := t.method.Net().Save(&netBuf); err != nil {
 		return nil, fmt.Errorf("serializing network: %w", err)
