@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 bench bench-gemm bench-trace vet fmt journal-demo trace-demo
+.PHONY: build test tier1 lint bench bench-gemm bench-trace vet fmt journal-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: vet plus race-enabled tests for the packages with
-# concurrency (worker pool, parallel kernels, parallel ALSH workers,
-# the span tracer and metrics registry) and crash-safety machinery
-# (checkpoint/resume/rollback).
-tier1:
+# Static-analysis gate: the repolint analyzer suite (stdlib go/ast +
+# go/types checks enforcing the determinism, concurrency, and
+# crash-safety invariants — DESIGN.md §10) plus gofmt cleanliness.
+# Zero unsuppressed diagnostics or the build fails; deliberate waivers
+# carry a //lint:ignore <check> <reason> annotation.
+lint:
+	$(GO) run ./cmd/repolint
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: these files need formatting:"; echo "$$out"; exit 1; fi
+
+# Tier-1 gate: static analysis, vet, and race-enabled tests for every
+# package in the module (the race gate covers the worker pool, parallel
+# kernels, parallel ALSH workers, tracer/metrics registry, and the
+# checkpoint/resume machinery; internal/bench dominates the runtime).
+tier1: lint
 	$(GO) vet ./...
-	$(GO) test -race ./internal/pool/... ./internal/tensor/... ./internal/core/... ./internal/train/... ./internal/obs/... ./internal/probe/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 10x .

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"samplednn/internal/atomicfile"
 	"samplednn/internal/bench"
 )
 
@@ -71,8 +72,11 @@ func main() {
 			fmt.Printf("(%s scale, %.1fs)\n\n", s, time.Since(start).Seconds())
 		}
 		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
 			path := filepath.Join(*outDir, res.ID+".csv")
-			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			if err := atomicfile.WriteFileBytes(path, []byte(res.CSV())); err != nil {
 				fatal(fmt.Errorf("writing %s: %w", path, err))
 			}
 		}

@@ -2,12 +2,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
 	"os"
 	"runtime"
 	"runtime/pprof"
 
+	"samplednn/internal/atomicfile"
 	"samplednn/internal/obs"
 )
 
@@ -24,6 +26,10 @@ type profiler struct {
 func startProfiler(cpuPath, memPath string) (*profiler, error) {
 	p := &profiler{memPath: memPath}
 	if cpuPath != "" {
+		// The runtime streams CPU samples into this file for the whole
+		// run, so it cannot be staged-and-renamed; a torn profile from a
+		// crash is acceptable for a diagnostic artifact.
+		//lint:ignore atomic-write CPU profile is streamed live by the runtime; cannot be staged atomically
 		f, err := os.Create(cpuPath)
 		if err != nil {
 			return nil, err
@@ -51,16 +57,11 @@ func (p *profiler) stop() {
 		}
 	}
 	if p.memPath != "" {
-		f, err := os.Create(p.memPath)
+		err := atomicfile.WriteFile(p.memPath, func(w io.Writer) error {
+			runtime.GC() // report live objects, not garbage awaiting collection
+			return pprof.WriteHeapProfile(w)
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mlptrain: memprofile:", err)
-			return
-		}
-		runtime.GC() // report live objects, not garbage awaiting collection
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mlptrain: memprofile:", err)
-		}
-		if err := f.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "mlptrain: memprofile:", err)
 		}
 	}
@@ -74,6 +75,7 @@ func servePprof(addr string) {
 	// The trainer publishes its live gauges on the default registry; the
 	// pprof import above registers its handlers on the same DefaultServeMux.
 	http.Handle("/metrics", obs.Default)
+	//lint:ignore raw-goroutine long-lived diagnostic HTTP server; ListenAndServe never returns, so it cannot be a pool task
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "mlptrain: pprof server:", err)

@@ -10,6 +10,7 @@ import "context"
 // is unkillable. Calling stop() at first cancellation restores the
 // default signal disposition: the next SIGINT terminates the process.
 func restoreSignalsOnCancel(ctx context.Context, stop func()) {
+	//lint:ignore raw-goroutine blocks on ctx.Done for the process lifetime; panic-free and cannot run on the bounded pool
 	go func() {
 		<-ctx.Done()
 		stop()

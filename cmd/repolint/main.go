@@ -1,0 +1,80 @@
+// Command repolint runs the repository's static-analysis suite
+// (internal/lint): stdlib-only go/ast + go/types checks that enforce
+// the determinism, concurrency, and crash-safety invariants the
+// paper's evaluation depends on. It exits 1 when any unsuppressed
+// diagnostic is found, so it can gate make tier1.
+//
+// Usage:
+//
+//	repolint [-root dir] [-json] [-list]
+//
+// With -json it emits a machine-readable report (schema pinned by
+// internal/lint's TestJSONSchema) for downstream tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"samplednn/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of file:line:col text")
+	list := flag.Bool("list", false, "list the checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-18s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	if *root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		r, err := lint.FindModuleRoot(wd)
+		if err != nil {
+			fatal(err)
+		}
+		*root = r
+	}
+
+	loader, err := lint.NewLoader(*root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	// Type errors don't stop the run — checks degrade gracefully — but
+	// they make results unreliable, so surface them on stderr.
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "repolint: type error in %s: %v\n", p.ImportPath, terr)
+		}
+	}
+
+	res := lint.Run(*root, pkgs, lint.Checks())
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		res.WriteText(os.Stdout)
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(2)
+}

@@ -76,7 +76,7 @@ func accumulateOuters(out, a, b *tensor.Matrix, idx []int, scale []float64) {
 			orow := out.RowView(r)
 			for t, i := range idx {
 				av := arow[i] * scale[t]
-				if av == 0 {
+				if av == 0 { //lint:ignore float-equality structural-zero skip pinned by estimator semantics; compares exact zeros, not rounded values
 					continue
 				}
 				tensor.Axpy(av, b.RowView(i), orow)
@@ -169,7 +169,7 @@ func KeepProbabilities(w []float64, k int) []float64 {
 	for _, v := range w {
 		total += v
 	}
-	if total == 0 {
+	if total == 0 { //lint:ignore float-equality exact-zero weight total is the no-magnitude-signal sentinel for the uniform fallback
 		// No magnitude signal; fall back to uniform k/n.
 		for i := range p {
 			p[i] = float64(k) / float64(n)
@@ -185,7 +185,7 @@ func KeepProbabilities(w []float64, k int) []float64 {
 				free += v
 			}
 		}
-		if free == 0 {
+		if free == 0 { //lint:ignore float-equality exact-zero residual capacity terminates redistribution; counts, not rounded sums
 			break
 		}
 		clippedAny := false

@@ -81,7 +81,7 @@ func run(spec runSpec, s Scale) (*runOutcome, error) {
 	if spec.batch == 0 {
 		spec.batch = 1
 	}
-	if spec.lr == 0 {
+	if spec.lr == 0 { //lint:ignore float-equality zero value marks an unset spec field; exact sentinel, never a computed result
 		// The paper tunes the rate per setting (§8.4: 1e-3 or 1e-4); the
 		// scaled settings do likewise, with a gentler rate for the
 		// noisier stochastic updates.

@@ -234,7 +234,7 @@ func (c *TrainableConv2D) sampledGradW(dzp *tensor.Matrix) *tensor.Matrix {
 		dzr := dzp.RowView(r)
 		pat := c.patches.RowView(r)
 		for oc, dv := range dzr {
-			if dv != 0 {
+			if dv != 0 { //lint:ignore float-equality structural-zero skip over exact zeros from ReLU/sampling masks
 				tensor.Axpy(dv*scale, pat, gradW.RowView(oc))
 			}
 		}

@@ -131,7 +131,7 @@ func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
 	last := len(layers) - 1
 	scale := 1 / d.P
 
-	t0 := time.Now()
+	t0 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	a := x
 	for i, l := range layers {
 		if i == last {
@@ -150,7 +150,7 @@ func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
 	}
 	logits := a
 	loss := d.net.Head.Loss(logits, y)
-	t1 := time.Now()
+	t1 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 
 	// Backward: output layer dense, hidden layers through active sets.
 	delta := d.net.Head.Delta(logits, y)
@@ -169,7 +169,7 @@ func (d *Dropout) Step(x *tensor.Matrix, y []int) float64 {
 		dA = dPrev
 		sp.End()
 	}
-	t2 := time.Now()
+	t2 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	d.timing.Forward += t1.Sub(t0)
 	d.timing.Backward += t2.Sub(t1)
 	return loss
@@ -254,7 +254,7 @@ func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
 	layers := a.net.Layers
 	last := len(layers) - 1
 
-	t0 := time.Now()
+	t0 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	act := x
 	for i, l := range layers {
 		sp := tr.BeginLayer("forward", "layer", i)
@@ -281,7 +281,7 @@ func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
 	}
 	logits := act
 	loss := a.net.Head.Loss(logits, y)
-	t1 := time.Now()
+	t1 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 
 	delta := a.net.Head.Delta(logits, y)
 	for i := last; i >= 0; i-- {
@@ -299,7 +299,7 @@ func (a *AdaptiveDropout) Step(x *tensor.Matrix, y []int) float64 {
 		}
 		sp.End()
 	}
-	t2 := time.Now()
+	t2 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	a.timing.Forward += t1.Sub(t0)
 	a.timing.Backward += t2.Sub(t1)
 	return loss

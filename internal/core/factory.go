@@ -50,10 +50,10 @@ func MethodNames() []string {
 // New constructs a training method by name over the given network and
 // optimizer.
 func New(name string, net *nn.Network, optim opt.Optimizer, o Options) (Method, error) {
-	if o.DropoutKeep == 0 {
+	if o.DropoutKeep == 0 { //lint:ignore float-equality zero value marks an unset option; exact sentinel, never a computed result
 		o.DropoutKeep = 0.05
 	}
-	if o.StandoutAlpha == 0 {
+	if o.StandoutAlpha == 0 { //lint:ignore float-equality zero value marks an unset option; exact sentinel, never a computed result
 		o.StandoutAlpha = 4
 	}
 	g := rng.New(o.Seed ^ 0xa5a5a5a5)

@@ -95,7 +95,7 @@ func forwardActive(l *nn.Layer, x *tensor.Matrix, st *activeState, scale float64
 	st.support = tensor.MatMulTransBSparseInto(st.zsub, x, st.wsub, st.support)
 	st.zsub.AddRowVector(st.bsub)
 	st.asub = l.Act.Forward(st.zsub)
-	if scale != 1 {
+	if scale != 1 { //lint:ignore float-equality scale==1 is a bit-exact no-op skip; 1.0 is set literally, never computed
 		st.asub.Scale(scale)
 	}
 	if st.aFull == nil || st.aFull.Rows != x.Rows || st.aFull.Cols != l.FanOut() {
@@ -127,7 +127,7 @@ func backwardActive(l *nn.Layer, dA *tensor.Matrix, st *activeState, scale float
 		}
 	}
 	deriv := l.Act.Derivative(st.zsub, st.asub)
-	if scale != 1 {
+	if scale != 1 { //lint:ignore float-equality scale==1 is a bit-exact no-op skip; 1.0 is set literally, never computed
 		deriv.Scale(scale)
 	}
 	tensor.HadamardInPlace(deltaSub, deriv)

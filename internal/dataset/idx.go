@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"samplednn/internal/atomicfile"
 	"samplednn/internal/tensor"
 )
 
@@ -24,60 +25,53 @@ const (
 	idxTypeUint8 = 0x08
 )
 
-// WriteIDXImages writes n images of h x w bytes (values 0..255) to path.
-// Rows of x are clamped from [0,1] floats to bytes.
+// WriteIDXImages writes n images of h x w bytes (values 0..255) to path,
+// atomically (a crash leaves the old file or the new one, never a torn
+// dataset). Rows of x are clamped from [0,1] floats to bytes.
 func WriteIDXImages(path string, x *tensor.Matrix, h, w int) error {
 	if x.Cols != h*w {
 		return fmt.Errorf("dataset: matrix has %d cols, want %d", x.Cols, h*w)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	header := []uint32{uint32(x.Rows), uint32(h), uint32(w)}
-	if err := writeIDXHeader(bw, 3, header); err != nil {
-		return err
-	}
-	buf := make([]byte, x.Cols)
-	for i := 0; i < x.Rows; i++ {
-		row := x.RowView(i)
-		for j, v := range row {
-			if v < 0 {
-				v = 0
-			} else if v > 1 {
-				v = 1
-			}
-			buf[j] = byte(v*255 + 0.5)
-		}
-		if _, err := bw.Write(buf); err != nil {
+	return atomicfile.WriteFile(path, func(out io.Writer) error {
+		header := []uint32{uint32(x.Rows), uint32(h), uint32(w)}
+		if err := writeIDXHeader(out, 3, header); err != nil {
 			return err
 		}
-	}
-	return bw.Flush()
+		buf := make([]byte, x.Cols)
+		for i := 0; i < x.Rows; i++ {
+			row := x.RowView(i)
+			for j, v := range row {
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				buf[j] = byte(v*255 + 0.5)
+			}
+			if _, err := out.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
-// WriteIDXLabels writes labels (each 0..255) to path.
+// WriteIDXLabels atomically writes labels (each 0..255) to path.
 func WriteIDXLabels(path string, y []int) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	if err := writeIDXHeader(bw, 1, []uint32{uint32(len(y))}); err != nil {
-		return err
-	}
-	for _, v := range y {
-		if v < 0 || v > 255 {
-			return fmt.Errorf("dataset: label %d out of byte range", v)
-		}
-		if err := bw.WriteByte(byte(v)); err != nil {
+	return atomicfile.WriteFile(path, func(out io.Writer) error {
+		if err := writeIDXHeader(out, 1, []uint32{uint32(len(y))}); err != nil {
 			return err
 		}
-	}
-	return bw.Flush()
+		buf := make([]byte, 0, len(y))
+		for _, v := range y {
+			if v < 0 || v > 255 {
+				return fmt.Errorf("dataset: label %d out of byte range", v)
+			}
+			buf = append(buf, byte(v))
+		}
+		_, err := out.Write(buf)
+		return err
+	})
 }
 
 func writeIDXHeader(w io.Writer, ndims int, sizes []uint32) error {

@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkRawGoroutine forbids `go` statements outside internal/pool. The
+// crash-safe runtime's panic isolation (PR 1) depends on every worker
+// being launched by the pool, which wraps tasks in recover() and
+// converts a panicking sample into a discarded batch instead of a dead
+// process with a half-written checkpoint. A raw goroutine that panics
+// kills the run.
+func checkRawGoroutine() *Check {
+	const name = "raw-goroutine"
+	return &Check{
+		Name: name,
+		Doc: "forbid raw `go` statements outside internal/pool; concurrency " +
+			"must go through the panic-isolated worker pool",
+		Run: func(pkg *Package) []Diagnostic {
+			if pathHasSeg(pkg.ImportPath, "internal/pool") {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						out = append(out, diag(pkg, name, g.Pos(),
+							"raw go statement: use internal/pool so panics are isolated and the goroutine is accounted for"))
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkAtomicWrite forbids the non-atomic file-replacement primitives
+// (os.Create, os.WriteFile, os.Rename) outside internal/atomicfile. A
+// crash mid-write through any of them leaves a torn file; checkpoints,
+// model snapshots, result CSVs and bench JSON all have to survive the
+// very crash they exist to diagnose, so every durable artifact goes
+// through atomicfile's temp-file + fsync + rename sequence.
+func checkAtomicWrite() *Check {
+	const name = "atomic-write"
+	return &Check{
+		Name: name,
+		Doc: "forbid os.Create/os.WriteFile/os.Rename outside internal/atomicfile; " +
+			"persistent artifacts must be written atomically",
+		Run: func(pkg *Package) []Diagnostic {
+			if pathHasSeg(pkg.ImportPath, "internal/atomicfile") {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if isPkgSel(pkg, sel, "os", "Create", "WriteFile", "Rename") {
+						out = append(out, diag(pkg, name, sel.Pos(),
+							"os.%s bypasses crash-safe persistence: use internal/atomicfile (temp file + fsync + rename)", sel.Sel.Name))
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// isPkgSel reports whether sel references one of names from the package
+// with import path pkgPath (e.g. time.Now). Resolution goes through the
+// type checker, so an alias import ("clk \"time\"") is still caught and
+// a local variable named "time" is not.
+func isPkgSel(pkg *Package, sel *ast.SelectorExpr, pkgPath string, names ...string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMathRand forbids math/rand (and math/rand/v2) in library code.
+// Every random draw must come from internal/rng's seeded PCG streams:
+// a single math/rand call in a training path silently breaks
+// bit-reproducible resume, the Theorem 7.2 probe comparisons, and the
+// serial-vs-parallel kernel identity tests.
+func checkMathRand() *Check {
+	const name = "math-rand"
+	return &Check{
+		Name: name,
+		Doc: "forbid math/rand in internal/* library code; all randomness " +
+			"must flow through internal/rng's seeded, checkpointable PCG streams",
+		Run: func(pkg *Package) []Diagnostic {
+			if !pathHasSeg(pkg.ImportPath, "internal") || pathHasSeg(pkg.ImportPath, "internal/rng") {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						out = append(out, diag(pkg, name, imp.Pos(),
+							"import of %s in library code: use internal/rng (seeded PCG) so runs stay bit-reproducible", path))
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// checkWallClock forbids time.Now / time.Since in library code outside
+// the clock-owning subsystems. The telemetry registry/journal/tracer
+// (internal/obs/...) and the benchmark harness (internal/bench) exist
+// to measure wall time and are exempt by design; everywhere else a wall
+// clock read is either timing telemetry that must be annotated, or a
+// latent nondeterminism bug.
+func checkWallClock() *Check {
+	const name = "wall-clock"
+	return &Check{
+		Name: name,
+		Doc: "forbid time.Now/time.Since in internal/* outside internal/obs " +
+			"and internal/bench; training logic must not read the wall clock",
+		Run: func(pkg *Package) []Diagnostic {
+			ip := pkg.ImportPath
+			if !pathHasSeg(ip, "internal") ||
+				pathHasSeg(ip, "internal/obs") || pathHasSeg(ip, "internal/bench") {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if isPkgSel(pkg, sel, "time", "Now", "Since") {
+						out = append(out, diag(pkg, name, sel.Pos(),
+							"time.%s in library code: inject a clock or route timing through internal/obs", sel.Sel.Name))
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

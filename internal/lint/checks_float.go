@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkFloatEquality flags == and != between floating-point operands
+// (and switch statements over a float tag, which compare with == per
+// case). Exact float equality is almost always a rounding-sensitive
+// bug — PR 2 removed kernel zero-skip shortcuts for exactly this
+// reason — and the rare deliberate uses (sentinel values, NaN-by-
+// self-comparison) must carry an annotation saying so.
+func checkFloatEquality() *Check {
+	const name = "float-equality"
+	return &Check{
+		Name: name,
+		Doc: "flag ==/!= on float operands outside tests; compare against a " +
+			"tolerance or use math.IsNaN, and annotate deliberate sentinel checks",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.BinaryExpr:
+						if e.Op != token.EQL && e.Op != token.NEQ {
+							return true
+						}
+						if !isFloatType(pkg.Info.TypeOf(e.X)) && !isFloatType(pkg.Info.TypeOf(e.Y)) {
+							return true
+						}
+						// A comparison folded entirely at compile time
+						// cannot be a runtime rounding hazard.
+						if isConst(pkg, e.X) && isConst(pkg, e.Y) {
+							return true
+						}
+						out = append(out, diag(pkg, name, e.OpPos,
+							"exact float comparison (%s): use a tolerance, math.IsNaN, or annotate the sentinel", e.Op))
+					case *ast.SwitchStmt:
+						if e.Tag != nil && isFloatType(pkg.Info.TypeOf(e.Tag)) {
+							out = append(out, diag(pkg, name, e.Tag.Pos(),
+								"switch over a float compares each case with ==: use explicit tolerance comparisons"))
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+func isConst(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// checkMapOrderFloat flags `range` over a map whose body accumulates
+// into a floating-point variable declared outside the loop. Go
+// randomizes map iteration order, and float addition is not
+// associative, so the accumulated value differs bit-for-bit between
+// runs — the exact nondeterminism class PR 4 had to find by hand in the
+// ALSH active-set union.
+func checkMapOrderFloat() *Check {
+	const name = "map-order-float"
+	return &Check{
+		Name: name,
+		Doc: "flag range-over-map bodies that accumulate into a float: map " +
+			"order is randomized and float addition is not associative, so " +
+			"extract and sort the keys first",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := pkg.Info.TypeOf(rs.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					ast.Inspect(rs.Body, func(m ast.Node) bool {
+						as, ok := m.(*ast.AssignStmt)
+						if !ok {
+							return true
+						}
+						switch as.Tok {
+						case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+							lhs := as.Lhs[0]
+							if isFloatType(pkg.Info.TypeOf(lhs)) && outsideLoop(pkg, lhs, rs) {
+								out = append(out, diag(pkg, name, as.Pos(),
+									"float accumulation in map-order iteration: result depends on randomized map order"))
+							}
+						case token.ASSIGN:
+							if len(as.Lhs) != len(as.Rhs) {
+								return true
+							}
+							for i, lhs := range as.Lhs {
+								if isFloatType(pkg.Info.TypeOf(lhs)) && outsideLoop(pkg, lhs, rs) &&
+									exprContains(as.Rhs[i], lhs) {
+									out = append(out, diag(pkg, name, as.Pos(),
+										"float accumulation in map-order iteration: result depends on randomized map order"))
+								}
+							}
+						}
+						return true
+					})
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// outsideLoop reports whether the accumulation target lhs refers to
+// storage declared outside the range statement; a fresh local per
+// iteration cannot observe iteration order.
+func outsideLoop(pkg *Package, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id := rootIdent(lhs)
+	if id == nil {
+		// Selector/index through something non-identifier: assume
+		// longer-lived than the loop body.
+		return true
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// exprContains reports whether some subexpression of hay is
+// structurally identical (by printed form) to needle.
+func exprContains(hay, needle ast.Expr) bool {
+	want := types.ExprString(needle)
+	found := false
+	ast.Inspect(hay, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

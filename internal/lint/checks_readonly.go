@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkReadonlyForward flags writes to receiver state inside
+// ApproxForward methods. The error-compounding probe (internal/probe)
+// runs ApproxForward side by side with training and its non-perturbation
+// guarantee — twin runs produce byte-identical weights — only holds if
+// the replayed forward pass is strictly read-only: no field assignments,
+// no writes through receiver-held maps or slices, no deletes.
+func checkReadonlyForward() *Check {
+	const name = "readonly-forward"
+	return &Check{
+		Name: name,
+		Doc: "flag assignments to receiver state (fields, map/slice elements " +
+			"reached through the receiver) inside ApproxForward implementations; " +
+			"the probe's non-perturbation guarantee requires a read-only replay",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || fd.Name.Name != "ApproxForward" || fd.Body == nil {
+						continue
+					}
+					recv := receiverObjects(pkg, fd)
+					if len(recv) == 0 {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						switch s := n.(type) {
+						case *ast.AssignStmt:
+							for _, lhs := range s.Lhs {
+								if receiverRooted(pkg, lhs, recv) {
+									out = append(out, diag(pkg, name, lhs.Pos(),
+										"ApproxForward must be read-only: assignment to receiver state"))
+								}
+							}
+						case *ast.IncDecStmt:
+							if receiverRooted(pkg, s.X, recv) {
+								out = append(out, diag(pkg, name, s.X.Pos(),
+									"ApproxForward must be read-only: increment/decrement of receiver state"))
+							}
+						case *ast.CallExpr:
+							if id, ok := s.Fun.(*ast.Ident); ok && len(s.Args) > 0 {
+								if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "delete" {
+									if receiverRooted(pkg, s.Args[0], recv) {
+										out = append(out, diag(pkg, name, s.Pos(),
+											"ApproxForward must be read-only: delete from receiver-held map"))
+									}
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// receiverObjects returns the set of objects bound to fd's receiver
+// names (empty for an unnamed or blank receiver).
+func receiverObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	recv := make(map[types.Object]bool)
+	for _, field := range fd.Recv.List {
+		for _, nm := range field.Names {
+			if nm.Name == "_" {
+				continue
+			}
+			if obj := pkg.Info.Defs[nm]; obj != nil {
+				recv[obj] = true
+			}
+		}
+	}
+	return recv
+}
+
+// receiverRooted reports whether expr is a selector/index chain with at
+// least one step whose root identifier is the method receiver — i.e. a
+// write to it mutates state reachable from the receiver, not a local.
+// (A plain rebind of the receiver variable itself is a local and is not
+// flagged.)
+func receiverRooted(pkg *Package, expr ast.Expr, recv map[types.Object]bool) bool {
+	depth := 0
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			depth++
+			expr = e.X
+		case *ast.IndexExpr:
+			depth++
+			expr = e.X
+		case *ast.Ident:
+			return depth > 0 && recv[pkg.Info.Uses[e]]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader amortizes standard-library type-checking across the
+// fixture subtests; fixtures get distinct synthetic import paths so the
+// package cache never collides.
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// loadFixture type-checks testdata/src/<dir> under the given synthetic
+// import path, so a fixture can be placed inside or outside any check's
+// scope.
+func loadFixture(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s as %s: %v", dir, importPath, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors (diagnostics would be unreliable): %v", dir, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// renderResult is the canonical golden form: unsuppressed diagnostics
+// first, then the suppressed ones with their recorded reasons.
+func renderResult(res *Result) string {
+	var b strings.Builder
+	for _, d := range res.Diagnostics {
+		b.WriteString(d.String() + "\n")
+	}
+	for _, d := range res.Suppressed {
+		fmt.Fprintf(&b, "suppressed: %s (%s)\n", d.String(), d.SuppressReason)
+	}
+	if b.Len() == 0 {
+		return "no diagnostics\n"
+	}
+	return b.String()
+}
+
+// TestGoldenFixtures runs the full analyzer suite over every fixture
+// package — each check's known-bad code, plus the same code re-homed
+// into the package that owns the corresponding exemption — and compares
+// against golden files. Regenerate with REPOLINT_GOLDEN_UPDATE=1,
+// matching the journal/trace golden convention.
+func TestGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		name string // also the golden file stem
+		dir  string // fixture directory under testdata/src
+		path string // synthetic import path (controls check scoping)
+	}{
+		{"mathrand", "mathrand", "samplednn/internal/fixture/mathrand"},
+		{"mathrand_exempt_rng", "mathrand", "samplednn/internal/rng/fixture"},
+		{"mathrand_exempt_cmd", "mathrand", "samplednn/cmd/fixture"},
+		{"wallclock", "wallclock", "samplednn/internal/fixture/wallclock"},
+		{"wallclock_exempt_obs", "wallclock", "samplednn/internal/obs/fixture"},
+		{"wallclock_exempt_bench", "wallclock", "samplednn/internal/bench/fixture"},
+		{"rawgoroutine", "rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
+		{"rawgoroutine_exempt_pool", "rawgoroutine", "samplednn/internal/pool/fixture"},
+		{"atomicwrite", "atomicwrite", "samplednn/internal/fixture/atomicwrite"},
+		{"atomicwrite_exempt", "atomicwrite", "samplednn/internal/atomicfile/fixture"},
+		{"readonlyforward", "readonlyforward", "samplednn/internal/fixture/readonlyforward"},
+		{"floateq", "floateq", "samplednn/internal/fixture/floateq"},
+		{"maporderfloat", "maporderfloat", "samplednn/internal/fixture/maporderfloat"},
+		{"suppress", "suppress", "samplednn/internal/fixture/suppress"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := loadFixture(t, tc.dir, tc.path)
+			res := Run(filepath.Join("testdata", "src"), []*Package{pkg}, Checks())
+			got := renderResult(res)
+			goldenPath := filepath.Join("testdata", "golden", tc.name+".golden")
+			if os.Getenv("REPOLINT_GOLDEN_UPDATE") == "1" {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden (REPOLINT_GOLDEN_UPDATE=1 regenerates): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from golden %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestEveryCheckHasBadFixture pins the acceptance requirement directly:
+// each analyzer in the suite fires on at least one known-bad fixture.
+func TestEveryCheckHasBadFixture(t *testing.T) {
+	fired := map[string]bool{}
+	dirs := []string{"mathrand", "wallclock", "rawgoroutine", "atomicwrite",
+		"readonlyforward", "floateq", "maporderfloat"}
+	for _, dir := range dirs {
+		pkg := loadFixture(t, dir, "samplednn/internal/fixture/"+dir)
+		res := Run("", []*Package{pkg}, Checks())
+		for _, d := range res.Diagnostics {
+			fired[d.Check] = true
+		}
+	}
+	for _, c := range Checks() {
+		if !fired[c.Name] {
+			t.Errorf("check %s never fired on any known-bad fixture", c.Name)
+		}
+	}
+}
+
+// TestRepositoryIsLintClean runs the real suite over the real module:
+// the tree must carry zero unsuppressed diagnostics at all times, so a
+// violating change fails `go test` even before make tier1 invokes the
+// repolint binary.
+func TestRepositoryIsLintClean(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("type error in %s: %v", p.ImportPath, terr)
+		}
+	}
+	res := Run(l.ModRoot, pkgs, Checks())
+	for _, d := range res.Diagnostics {
+		t.Errorf("unsuppressed diagnostic: %s", d)
+	}
+	if len(pkgs) < 20 {
+		t.Errorf("loaded only %d packages; module discovery looks broken", len(pkgs))
+	}
+}

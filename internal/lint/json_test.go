@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONSchema pins the -json output contract for downstream tooling
+// (journalcat-style consumers): top-level keys, per-diagnostic fields
+// and their types, suppressed entries carrying their reason, and empty
+// slices encoding as [] rather than null.
+func TestJSONSchema(t *testing.T) {
+	pkg := loadFixture(t, "suppress", "samplednn/internal/fixture/jsonschema")
+	res := Run("", []*Package{pkg}, Checks())
+	if len(res.Diagnostics) == 0 || len(res.Suppressed) == 0 {
+		t.Fatalf("fixture must produce both kept (%d) and suppressed (%d) diagnostics",
+			len(res.Diagnostics), len(res.Suppressed))
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	for _, key := range []string{"module", "checks", "diagnostics", "suppressed"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("missing top-level key %q", key)
+		}
+	}
+	if len(doc) != 4 {
+		t.Errorf("top-level keys = %d, want exactly 4 (schema change needs a deliberate test update)", len(doc))
+	}
+
+	checks, ok := doc["checks"].([]any)
+	if !ok || len(checks) != len(Checks()) {
+		t.Fatalf("checks = %v, want array of %d", doc["checks"], len(Checks()))
+	}
+	for _, c := range checks {
+		m := c.(map[string]any)
+		if _, ok := m["name"].(string); !ok {
+			t.Errorf("check entry missing string name: %v", m)
+		}
+		if _, ok := m["doc"].(string); !ok {
+			t.Errorf("check entry missing string doc: %v", m)
+		}
+	}
+
+	diags, ok := doc["diagnostics"].([]any)
+	if !ok {
+		t.Fatalf("diagnostics is %T, want array", doc["diagnostics"])
+	}
+	for _, d := range diags {
+		m := d.(map[string]any)
+		for _, key := range []string{"check", "file", "message"} {
+			if _, ok := m[key].(string); !ok {
+				t.Errorf("diagnostic missing string %q: %v", key, m)
+			}
+		}
+		for _, key := range []string{"line", "col"} {
+			if v, ok := m[key].(float64); !ok || v < 1 {
+				t.Errorf("diagnostic %q must be a positive number: %v", key, m)
+			}
+		}
+		if _, ok := m["suppress_reason"]; ok {
+			t.Errorf("kept diagnostic must not carry suppress_reason: %v", m)
+		}
+	}
+
+	supp, ok := doc["suppressed"].([]any)
+	if !ok {
+		t.Fatalf("suppressed is %T, want array", doc["suppressed"])
+	}
+	for _, d := range supp {
+		m := d.(map[string]any)
+		if r, ok := m["suppress_reason"].(string); !ok || r == "" {
+			t.Errorf("suppressed diagnostic must carry a non-empty suppress_reason: %v", m)
+		}
+	}
+}
+
+// TestJSONEmptySlices pins that a clean result encodes diagnostics and
+// suppressed as [] — consumers must never need null checks.
+func TestJSONEmptySlices(t *testing.T) {
+	res := &Result{Module: "m"}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Diagnostics []any `json:"diagnostics"`
+		Suppressed  []any `json:"suppressed"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Diagnostics == nil || doc.Suppressed == nil {
+		t.Errorf("empty slices must encode as [], got %s", buf.String())
+	}
+}

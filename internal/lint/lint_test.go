@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+func TestPathHasSeg(t *testing.T) {
+	cases := []struct {
+		path, seg string
+		want      bool
+	}{
+		{"samplednn/internal/rng", "internal/rng", true},
+		{"samplednn/internal/rng/sub", "internal/rng", true},
+		{"samplednn/internal/rngx", "internal/rng", false},
+		{"samplednn/internal/obs/trace", "internal/obs", true},
+		{"samplednn/cmd/mlptrain", "internal", false},
+		{"internal/pool", "internal/pool", true},
+	}
+	for _, c := range cases {
+		if got := pathHasSeg(c.path, c.seg); got != c.want {
+			t.Errorf("pathHasSeg(%q, %q) = %v, want %v", c.path, c.seg, got, c.want)
+		}
+	}
+}
+
+func TestCheckByName(t *testing.T) {
+	for _, c := range Checks() {
+		got := CheckByName(c.Name)
+		if got == nil || got.Name != c.Name {
+			t.Errorf("CheckByName(%q) did not round-trip", c.Name)
+		}
+	}
+	if CheckByName("no-such-check") != nil {
+		t.Error("CheckByName of unknown name must be nil")
+	}
+}
+
+func TestCheckNamesStable(t *testing.T) {
+	// //lint:ignore directives in the tree reference these names; renaming
+	// a check silently un-suppresses every waiver for it.
+	want := []string{"math-rand", "wall-clock", "raw-goroutine",
+		"atomic-write", "readonly-forward", "float-equality", "map-order-float"}
+	got := Checks()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d checks, want %d", len(got), len(want))
+	}
+	for i, c := range got {
+		if c.Name != want[i] {
+			t.Errorf("check %d = %q, want %q", i, c.Name, want[i])
+		}
+		if c.Doc == "" {
+			t.Errorf("check %q has no doc", c.Name)
+		}
+	}
+}

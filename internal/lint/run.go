@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// A Result is the outcome of running the analyzer suite over a set of
+// packages. Diagnostics and Suppressed are each sorted by position;
+// file paths are relative to the module root when possible.
+type Result struct {
+	Module string `json:"module"`
+	// Checks lists every analyzer that ran, so downstream tooling can
+	// tell "check passed" from "check didn't exist yet".
+	Checks []CheckInfo `json:"checks"`
+	// Diagnostics are the unsuppressed violations; a non-empty list
+	// fails the lint gate.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed are violations waived by a //lint:ignore directive,
+	// kept in the output as the audit trail.
+	Suppressed []Diagnostic `json:"suppressed"`
+}
+
+// CheckInfo describes one analyzer in JSON output.
+type CheckInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// Run executes checks over pkgs and splits the findings into kept and
+// suppressed diagnostics. Malformed //lint:ignore directives are
+// reported as diagnostics of the pseudo-check "lint-directive" so a
+// typo cannot silently disable an invariant.
+func Run(modRoot string, pkgs []*Package, checks []*Check) *Result {
+	res := &Result{Module: filepath.Base(modRoot)}
+	if len(pkgs) > 0 {
+		// Prefer the module path over the directory basename.
+		if i := pkgIndexShortestPath(pkgs); i >= 0 {
+			res.Module = rootModule(pkgs[i].ImportPath)
+		}
+	}
+	for _, c := range checks {
+		res.Checks = append(res.Checks, CheckInfo{Name: c.Name, Doc: c.Doc})
+	}
+	seen := make(map[Diagnostic]bool)
+	for _, pkg := range pkgs {
+		dirs := collectIgnores(pkg)
+		sup := newSuppressor(dirs)
+		var ds []Diagnostic
+		for _, d := range dirs {
+			if d.Malformed != "" {
+				ds = append(ds, Diagnostic{
+					Check:   "lint-directive",
+					File:    d.File,
+					Line:    d.Line,
+					Col:     1,
+					Message: "malformed lint directive: " + d.Malformed,
+				})
+			}
+		}
+		for _, c := range checks {
+			ds = append(ds, c.Run(pkg)...)
+		}
+		for _, d := range ds {
+			if reason, ok := sup.match(d); ok {
+				d.SuppressReason = reason
+				d.File = relTo(modRoot, d.File)
+				if !seen[d] {
+					seen[d] = true
+					res.Suppressed = append(res.Suppressed, d)
+				}
+				continue
+			}
+			d.File = relTo(modRoot, d.File)
+			if !seen[d] {
+				seen[d] = true
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func pkgIndexShortestPath(pkgs []*Package) int {
+	best := -1
+	for i, p := range pkgs {
+		if p.ImportPath == "" {
+			continue
+		}
+		if best < 0 || len(p.ImportPath) < len(pkgs[best].ImportPath) {
+			best = i
+		}
+	}
+	return best
+}
+
+func rootModule(importPath string) string {
+	mod, _, _ := strings.Cut(importPath, "/")
+	return mod
+}
+
+func relTo(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// WriteText prints diagnostics in the classic file:line:col form plus a
+// one-line summary.
+func (r *Result) WriteText(w io.Writer) {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d.String())
+	}
+	fmt.Fprintf(w, "repolint: %d issue(s), %d suppressed, %d check(s)\n",
+		len(r.Diagnostics), len(r.Suppressed), len(r.Checks))
+}
+
+// WriteJSON emits the machine-readable form consumed by downstream
+// tooling (journalcat-style). The schema is pinned by a test.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encode empty slices as [], not null: consumers should not need
+	// null checks.
+	if r.Diagnostics == nil {
+		r.Diagnostics = []Diagnostic{}
+	}
+	if r.Suppressed == nil {
+		r.Suppressed = []Diagnostic{}
+	}
+	return enc.Encode(r)
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+const (
+	ignorePrefix     = "lint:ignore"
+	fileIgnorePrefix = "lint:file-ignore"
+)
+
+// An ignoreDirective is one parsed //lint:ignore or //lint:file-ignore
+// comment.
+type ignoreDirective struct {
+	Check  string
+	Reason string
+	Line   int
+	File   string
+	// FileWide is true for //lint:file-ignore.
+	FileWide bool
+	// Malformed holds the problem when the directive could not be
+	// parsed; malformed directives are themselves reported.
+	Malformed string
+}
+
+// collectIgnores extracts every lint directive from pkg's comments.
+func collectIgnores(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{Line: pos.Line, File: pos.Filename}
+				rest, fileWide := strings.CutPrefix(text, fileIgnorePrefix)
+				if fileWide {
+					d.FileWide = true
+				} else {
+					rest, _ = strings.CutPrefix(text, ignorePrefix)
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.Malformed = "missing check name and reason"
+				case len(fields) == 1:
+					d.Check = fields[0]
+					d.Malformed = "missing reason (justification is mandatory)"
+				default:
+					d.Check = fields[0]
+					d.Reason = strings.Join(fields[1:], " ")
+					if CheckByName(d.Check) == nil {
+						d.Malformed = "unknown check " + d.Check
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// directiveText returns the comment body when c is a lint directive.
+func directiveText(c *ast.Comment) (string, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if strings.HasPrefix(text, fileIgnorePrefix) || strings.HasPrefix(text, ignorePrefix) {
+		return text, true
+	}
+	return "", false
+}
+
+// suppressor answers "is this diagnostic suppressed, and why" for one
+// package.
+type suppressor struct {
+	// byLine maps file -> line -> directives attached to that line. A
+	// line directive suppresses matching diagnostics on its own line
+	// (trailing comment) and on the line directly below it (comment on
+	// its own line above the offending statement).
+	byLine map[string]map[int][]ignoreDirective
+	// byFile maps file -> file-wide directives.
+	byFile map[string][]ignoreDirective
+}
+
+func newSuppressor(dirs []ignoreDirective) *suppressor {
+	s := &suppressor{
+		byLine: make(map[string]map[int][]ignoreDirective),
+		byFile: make(map[string][]ignoreDirective),
+	}
+	for _, d := range dirs {
+		if d.Malformed != "" {
+			continue
+		}
+		if d.FileWide {
+			s.byFile[d.File] = append(s.byFile[d.File], d)
+			continue
+		}
+		m := s.byLine[d.File]
+		if m == nil {
+			m = make(map[int][]ignoreDirective)
+			s.byLine[d.File] = m
+		}
+		m[d.Line] = append(m[d.Line], d)
+	}
+	return s
+}
+
+// match returns the suppressing directive's reason, if any.
+func (s *suppressor) match(d Diagnostic) (string, bool) {
+	for _, dir := range s.byFile[d.File] {
+		if dir.Check == d.Check {
+			return dir.Reason, true
+		}
+	}
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		for _, dir := range s.byLine[d.File][line] {
+			if dir.Check == d.Check {
+				return dir.Reason, true
+			}
+		}
+	}
+	return "", false
+}

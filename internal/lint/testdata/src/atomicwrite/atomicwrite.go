@@ -1,0 +1,20 @@
+// Package atomicwrite is a known-bad fixture: persistent artifacts
+// written with the raw os primitives a crash can tear.
+package atomicwrite
+
+import "os"
+
+// Persist writes non-atomically three different ways.
+func Persist(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(path + ".new")
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".new", path)
+}

@@ -1,0 +1,34 @@
+// Package floateq is a known-bad fixture: exact floating-point
+// comparisons, plus the integer and constant-folded forms that must
+// stay clean.
+package floateq
+
+import "math"
+
+// Compare exercises every comparison shape the check classifies.
+func Compare(a, b float64, f float32, n int) int {
+	hits := 0
+	if a == b {
+		hits++
+	}
+	if a != 0 {
+		hits++
+	}
+	if f == 1.5 {
+		hits++
+	}
+	if a != a { // NaN probe spelled the dangerous way
+		hits++
+	}
+	if n == 3 { // integers compare exactly; clean
+		hits++
+	}
+	if math.Pi == 3.14159 { // folded at compile time; clean
+		hits++
+	}
+	switch a {
+	case 0:
+		hits++
+	}
+	return hits
+}

@@ -1,0 +1,34 @@
+// Package maporderfloat is a known-bad fixture for the PR 4 bug class:
+// accumulating floats while ranging a map, whose randomized iteration
+// order changes the non-associative float sum bit-for-bit between runs.
+package maporderfloat
+
+// Totals carries an accumulator field reached through a selector.
+type Totals struct{ sum float64 }
+
+// Accumulate mixes order-sensitive accumulations (flagged) with
+// order-safe patterns (clean).
+func Accumulate(m map[int]float64, xs []float64) (float64, int, float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	var prod float64
+	for _, v := range m {
+		prod = prod + v
+	}
+	count := 0
+	t := Totals{}
+	for k, v := range m {
+		count += k // integer accumulation is order-independent; clean
+		t.sum += v
+		local := 0.0
+		local += v // fresh local per iteration; clean
+		_ = local
+	}
+	var safe float64
+	for _, v := range xs {
+		safe += v // slice order is deterministic; clean
+	}
+	return sum, count, prod + t.sum + safe
+}

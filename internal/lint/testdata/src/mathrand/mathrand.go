@@ -1,0 +1,12 @@
+// Package mathrand is a known-bad fixture: library code drawing from
+// math/rand instead of internal/rng's seeded PCG streams.
+package mathrand
+
+import (
+	"math/rand"
+	mrv2 "math/rand/v2"
+)
+
+// Draw returns unseeded randomness; any call site in a training path
+// breaks bit-reproducible resume.
+func Draw() float64 { return rand.Float64() + mrv2.Float64() }

@@ -1,0 +1,11 @@
+// Package rawgoroutine is a known-bad fixture: a goroutine launched
+// outside internal/pool, where a panic kills the whole process instead
+// of discarding the batch.
+package rawgoroutine
+
+// Spawn launches an unaccounted goroutine.
+func Spawn(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

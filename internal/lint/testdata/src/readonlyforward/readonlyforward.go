@@ -1,0 +1,34 @@
+// Package readonlyforward is a known-bad fixture: an ApproxForward
+// implementation that mutates receiver state, which would break the
+// probe's non-perturbation guarantee.
+package readonlyforward
+
+// Sampler mimics a sampled training method.
+type Sampler struct {
+	calls int
+	cache map[int]float64
+	buf   []float64
+	stats struct{ hits int }
+}
+
+// ApproxForward is the known-bad replay: it writes receiver state five
+// different ways. Local writes and a rebind of the receiver variable
+// itself must stay clean.
+func (s *Sampler) ApproxForward(x []float64) []float64 {
+	s.calls++
+	s.cache[len(x)] = x[0]
+	s.buf = append(s.buf, x...)
+	s.stats.hits += 1
+	delete(s.cache, 0)
+	out := make([]float64, len(x))
+	copy(out, x)
+	local := map[int]int{}
+	local[1] = 2
+	s = nil
+	_ = s
+	return out
+}
+
+// Exact may mutate freely: only ApproxForward carries the read-only
+// contract.
+func (s *Sampler) Exact() { s.calls++ }

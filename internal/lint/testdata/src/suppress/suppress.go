@@ -1,0 +1,32 @@
+// Package suppress exercises the //lint:ignore machinery: file-wide
+// waivers, line waivers (trailing and on the preceding line), and the
+// malformed directives that must be reported rather than silently
+// honored.
+package suppress
+
+import "os"
+
+//lint:file-ignore raw-goroutine fixture-wide waiver with a reason
+
+// Write has every violation waived except the final Rename.
+func Write(path string, data []byte, done chan struct{}) error {
+	go func() { close(done) }()
+	//lint:ignore atomic-write fixture: waived on the line above the call
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return err
+	}
+	err := os.Rename(path, path+".bak") //lint:ignore atomic-write fixture: trailing waiver
+	if err != nil {
+		return err
+	}
+	return os.Rename(path+".bak", path)
+}
+
+// Bad carries two directives that must not suppress anything: one with
+// no reason, one naming a check that does not exist.
+func Bad(a, b float64) bool {
+	//lint:ignore float-equality
+	eq := a == b
+	//lint:ignore no-such-check because reasons
+	return eq
+}

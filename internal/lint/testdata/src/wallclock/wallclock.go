@@ -1,0 +1,17 @@
+// Package wallclock is a known-bad fixture: library code reading the
+// wall clock directly instead of using an injected clock.
+package wallclock
+
+import (
+	"time"
+	clk "time"
+)
+
+// Elapsed reads the clock three ways: a call, a duration measurement,
+// and a method-value reference through an aliased import.
+func Elapsed() (time.Time, time.Duration, func() time.Time) {
+	t0 := time.Now()
+	d := time.Since(t0)
+	f := clk.Now
+	return t0, d, f
+}

@@ -121,7 +121,7 @@ func NewMIPSIndex(dim, nItems int, p Params, g *rng.RNG) (*MIPSIndex, error) {
 		},
 	}
 	r := p.R
-	if r == 0 {
+	if r == 0 { //lint:ignore float-equality zero value marks an unset parameter; exact sentinel, never a computed result
 		r = 2
 	}
 	for i := 0; i < p.L; i++ {
@@ -360,7 +360,7 @@ func BruteForceTopK(w *tensor.Matrix, a []float64, k int) []int {
 	prods := make([]float64, w.Cols)
 	for i := 0; i < w.Rows; i++ {
 		av := a[i]
-		if av == 0 {
+		if av == 0 { //lint:ignore float-equality structural-zero skip over exact zeros in the sparse activation row
 			continue
 		}
 		row := w.RowView(i)

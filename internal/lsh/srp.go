@@ -65,7 +65,7 @@ func (h *SRPHash) Signature(x []float64) uint32 {
 // (and tests) compare empirical bucket collisions against this.
 func CollisionProbability(a, b []float64) float64 {
 	na, nb := tensor.Norm(a), tensor.Norm(b)
-	if na == 0 || nb == 0 {
+	if na == 0 || nb == 0 { //lint:ignore float-equality exact-zero norm sentinel: the sign of a zero projection is arbitrary
 		return 0.5 // sign of a zero projection is arbitrary
 	}
 	cos := tensor.Dot(a, b) / (na * nb)

@@ -46,7 +46,7 @@ func (t *Transform) Fit(norms []float64) {
 			maxN = n
 		}
 	}
-	if maxN == 0 {
+	if maxN == 0 { //lint:ignore float-equality exact-zero max norm means an all-zero matrix; division-by-zero guard
 		t.scale = 1
 		return
 	}

@@ -96,7 +96,7 @@ func (c *ConfusionMatrix) Recall(class int) float64 {
 // F1 returns the harmonic mean of precision and recall for a class.
 func (c *ConfusionMatrix) F1(class int) float64 {
 	p, r := c.Precision(class), c.Recall(class)
-	if p+r == 0 {
+	if p+r == 0 { //lint:ignore float-equality exact-zero precision+recall guard for the F1 division
 		return 0
 	}
 	return 2 * p * r / (p + r)

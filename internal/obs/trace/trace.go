@@ -28,11 +28,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"samplednn/internal/atomicfile"
 )
 
 // Well-known thread ids, so the Perfetto timeline groups spans by the
@@ -298,19 +299,13 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), nil
 }
 
-// WriteFile writes the trace to path (overwriting), the flush-on-exit
-// path of mlptrain -trace.
+// WriteFile writes the trace to path (atomically replacing any previous
+// trace), the flush-on-exit path of mlptrain -trace. The flush often
+// runs during teardown of a crashed or interrupted process — exactly
+// when a torn file would otherwise be most likely.
 func (t *Tracer) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("trace: creating %s: %w", path, err)
-	}
-	if _, err := t.WriteTo(f); err != nil {
-		f.Close()
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		_, err := t.WriteTo(w)
 		return err
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("trace: closing %s: %w", path, err)
-	}
-	return nil
+	})
 }

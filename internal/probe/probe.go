@@ -142,7 +142,7 @@ func (p *Probe) Measure() *Measurement {
 // safeRatio returns num/den, or 0 when the denominator vanishes (an
 // all-zero exact activation has no meaningful relative error).
 func safeRatio(num, den float64) float64 {
-	if den == 0 {
+	if den == 0 { //lint:ignore float-equality exact-zero denominator guard; an all-zero activation has no relative error
 		return 0
 	}
 	return num / den
@@ -161,7 +161,7 @@ func fitGrowth(relErr []float64) float64 {
 		num += k * math.Log1p(r)
 		den += k * k
 	}
-	if den == 0 {
+	if den == 0 { //lint:ignore float-equality exact-zero denominator guard for the least-squares fit
 		return 1
 	}
 	return math.Exp(num / den)

@@ -29,7 +29,7 @@ func NewAlias(weights []float64) (*Alias, error) {
 		}
 		total += w
 	}
-	if total == 0 {
+	if total == 0 { //lint:ignore float-equality all-zero weights are rejected with an error; exact sentinel
 		return nil, fmt.Errorf("rng: all weights are zero")
 	}
 

@@ -180,7 +180,7 @@ func Equal(a, b *Matrix) bool {
 		return false
 	}
 	for i, v := range a.Data {
-		if v != b.Data[i] {
+		if v != b.Data[i] { //lint:ignore float-equality Equal is the bit-identity predicate the serial-vs-parallel kernel tests pin; exactness is the point
 			return false
 		}
 	}

@@ -48,7 +48,7 @@ func MatMulTransBSparseInto(out, a, b *Matrix, support []int) []int {
 			orow := out.RowView(i)
 			sup = sup[:0]
 			for k, v := range arow {
-				if v != 0 {
+				if v != 0 { //lint:ignore float-equality structural sparsity detection: exact zeros define the support set
 					sup = append(sup, k)
 				}
 			}
@@ -89,7 +89,7 @@ func (m *Matrix) NonzeroFraction() float64 {
 	}
 	nnz := 0
 	for _, v := range m.Data {
-		if v != 0 {
+		if v != 0 { //lint:ignore float-equality structural sparsity detection: exact zeros define the support set
 			nnz++
 		}
 	}

@@ -166,7 +166,7 @@ func SimulateTopK(seed uint64, n, m, depth int) SimResult {
 				cSum += active / inactive
 				cCount++
 			}
-			if newEst[j] != 0 {
+			if newEst[j] != 0 { //lint:ignore float-equality exact-zero estimate guard for the relative-error division
 				ratioSum += (newTrue[j] - newEst[j]) / newEst[j]
 			}
 		}

@@ -331,7 +331,7 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			allocBefore = ms.TotalAlloc
 		}
 		t.method.ResetTiming()
-		startT := time.Now()
+		startT := time.Now() //lint:ignore wall-clock epoch-duration telemetry for history and journal; never feeds training state
 
 		batcher.Reset()
 		var lossSum float64
@@ -410,7 +410,7 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			Epoch:    epoch,
 			Batches:  batches,
 			Timing:   t.method.Timing(),
-			Duration: time.Since(startT),
+			Duration: time.Since(startT), //lint:ignore wall-clock epoch-duration telemetry for history and journal; never feeds training state
 		}
 		if batches > 0 {
 			stats.TrainLoss = lossSum / float64(batches)
