@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 lint bench bench-gemm bench-trace vet fmt journal-demo trace-demo
+.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-dist vet fmt journal-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ bench:
 # bit-for-bit against the serial kernel before its timing is recorded.
 bench-gemm:
 	$(GO) run ./cmd/benchgemm -sizes 128,256,512 -workers 1,2,4 -out BENCH_gemm.json
+
+# Distributed data-parallel throughput sweep: steps/sec at 1, 2, and 4
+# worker processes against the in-process reference, every point checked
+# byte-for-byte against the single-process weights before it is recorded.
+bench-dist:
+	$(GO) run ./cmd/benchdist -workers 1,2,4 -epochs 3 -out BENCH_distributed.json
 
 # Tracer and error-probe overhead on ALSH-approx training: two baseline
 # runs expose the host noise floor, then tracer-on / probe-on / both are

@@ -1,0 +1,98 @@
+// Command benchdist runs the distributed data-parallel throughput sweep
+// and writes the results to a JSON report (BENCH_distributed.json by
+// default), the artifact the Makefile `bench-dist` target tracks.
+//
+// Usage:
+//
+//	benchdist -workers 1,2,4 -epochs 3 -out BENCH_distributed.json
+//
+// Every worker count trains the same workload with the same shard count;
+// a final-weight mismatch against the in-process reference fails the
+// run. The coordinator spawns workers by re-executing this binary, so
+// main hands off to the dist worker loop when the marker environment
+// variable is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/bench"
+	"samplednn/internal/dist"
+)
+
+func main() {
+	if dist.IsWorkerProcess() {
+		os.Exit(dist.WorkerMain())
+	}
+	var (
+		out     = flag.String("out", "BENCH_distributed.json", "output JSON path")
+		workers = flag.String("workers", "1,2,4", "comma-separated worker process counts (0 = in-process reference, always run)")
+		epochs  = flag.Int("epochs", 3, "training epochs per point")
+		trainN  = flag.Int("train", 400, "training samples")
+		batch   = flag.Int("batch", 20, "batch size")
+	)
+	flag.Parse()
+	ws, err := parseInts(*workers)
+	if err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
+	if *epochs <= 0 || *trainN <= 0 || *batch <= 0 {
+		fatal(fmt.Errorf("-epochs, -train, and -batch must be positive"))
+	}
+
+	rep, err := bench.RunDistBench(ws, *epochs, *trainN, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range rep.Points {
+		label := fmt.Sprintf("workers=%d", p.Workers)
+		if p.Workers == 0 {
+			label = "single-proc"
+		}
+		fmt.Printf("%-11s shards=%d  %4d steps in %6.2fs  %7.1f steps/s  speedup %.2fx  loss %.4f\n",
+			label, p.Shards, p.Steps, p.Seconds, p.StepsPerSec, p.SpeedupVsSingle, p.FinalLoss)
+		if !p.BitIdentical {
+			fatal(fmt.Errorf("workers=%d: final weights not byte-identical to the single-process reference", p.Workers))
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := atomicfile.WriteFileBytes(*out, data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d points, host CPUs %d)\n", *out, len(rep.Points), rep.Host.CPUs)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdist:", err)
+	os.Exit(1)
+}

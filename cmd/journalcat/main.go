@@ -63,19 +63,26 @@ func main() {
 // followFile prints every record in the journal, then keeps polling the
 // file and prints new complete lines as they are appended. A line
 // without a trailing newline (mid-append) is left in the buffer until
-// completed. stop, when non-nil, ends the loop (tests use it; the CLI
-// follows until killed).
+// completed. At every poll the follower checks for rotation: when the
+// path now names a different file (log rotation, atomic replace) or the
+// file shrank below what was already consumed (truncation), the stale
+// handle is dropped and the new file is followed from its start —
+// without this, a rotated journal would be tailed forever in silence.
+// stop, when non-nil, ends the loop (tests use it; the CLI follows
+// until killed).
 func followFile(w io.Writer, path string, poll time.Duration, stop <-chan struct{}) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { f.Close() }()
 	r := bufio.NewReader(f)
 	var partial []byte
+	var consumed int64 // bytes taken from the current handle
 	for {
 		line, err := r.ReadBytes('\n')
 		if len(line) > 0 {
+			consumed += int64(len(line))
 			partial = append(partial, line...)
 		}
 		if err == nil {
@@ -86,12 +93,50 @@ func followFile(w io.Writer, path string, poll time.Duration, stop <-chan struct
 		if err != io.EOF {
 			return err
 		}
+		stale, err := isStale(f, path, consumed)
+		if err != nil {
+			return err
+		}
+		if stale {
+			nf, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			f.Close()
+			f = nf
+			r = bufio.NewReader(f)
+			// A dangling partial belonged to the replaced file and will
+			// never complete; drop it rather than splicing two files.
+			partial = partial[:0]
+			consumed = 0
+			continue
+		}
 		select {
 		case <-stop:
 			return nil
 		case <-time.After(poll):
 		}
 	}
+}
+
+// isStale reports whether the open handle no longer tracks path: the
+// path was replaced by a different file, or the file was truncated
+// below the bytes already consumed. A transiently missing path (mid
+// rotation) is not stale — the follower keeps waiting for it to
+// reappear.
+func isStale(f *os.File, path string, consumed int64) (bool, error) {
+	fiPath, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	fiOpen, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	return !os.SameFile(fiOpen, fiPath) || fiPath.Size() < consumed, nil
 }
 
 // emitLine parses one complete journal line and prints it; malformed

@@ -192,3 +192,50 @@ func (s *syncBuilder) String() string {
 	defer s.mu.Unlock()
 	return s.b.String()
 }
+
+// TestFollowFileSurvivesRotation replaces the followed file wholesale
+// (atomic-rename log rotation) and then truncates it in place; both
+// times the follower must reopen and pick up records from the new
+// generation instead of tailing the stale handle forever.
+func TestFollowFileSurvivesRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	if err := os.WriteFile(path, []byte(`{"ts":"t0","ev":"run-start","method":"mc"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var b syncBuilder
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- followFile(&b, path, time.Millisecond, stop) }()
+
+	waitFor(t, func() bool { return strings.Contains(b.String(), "run-start") })
+
+	// Rotation: write a fresh file and rename it over the followed path.
+	next := filepath.Join(dir, "run.jsonl.next")
+	if err := os.WriteFile(next, []byte(`{"ts":"t1","ev":"rotated"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(next, path); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return strings.Contains(b.String(), "rotated") })
+
+	// In-place truncation: the file shrinks below what was consumed
+	// (the replacement line is shorter than the rotated one), so the
+	// size check — not the inode check — must trigger the reopen.
+	if err := os.WriteFile(path, []byte(`{"ev":"cut"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return strings.Contains(b.String(), "cut") })
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("followFile returned error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("followFile did not stop")
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"samplednn/internal/core"
 	"samplednn/internal/dataset"
+	"samplednn/internal/dist"
 	"samplednn/internal/lsh"
 	"samplednn/internal/nn"
 	"samplednn/internal/obs"
@@ -41,6 +42,8 @@ import (
 // validateFlags rejects numeric flag values that would otherwise panic
 // (or silently do nothing) far from the command line that caused them.
 func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, workers, threads, ckptEvery, maxRetries int, lrDecay float64, probeEvery, probeSamples int) error {
+	// workers here is -alsh-workers (goroutines); the dist flags are
+	// validated separately in validateDistFlags.
 	switch {
 	case layers < 0:
 		return fmt.Errorf("-layers %d must be >= 0", layers)
@@ -57,7 +60,7 @@ func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, work
 	case mcK <= 0:
 		return fmt.Errorf("-mck %d must be positive", mcK)
 	case workers < 0:
-		return fmt.Errorf("-workers %d must be >= 0 (0 = one per CPU)", workers)
+		return fmt.Errorf("-alsh-workers %d must be >= 0 (0 = one per CPU)", workers)
 	case threads < 0:
 		return fmt.Errorf("-threads %d must be >= 0 (0 = one per CPU)", threads)
 	case ckptEvery <= 0:
@@ -74,7 +77,34 @@ func validateFlags(layers, units, epochs, batch int, lr, keep float64, mcK, work
 	return nil
 }
 
+// validateDistFlags checks the distributed-training flag cluster. The
+// dist protocol replicates exactly one method (standard), so everything
+// else is rejected up front rather than when the first worker desyncs.
+func validateDistFlags(method string, workers, shards, rank int, join string) error {
+	switch {
+	case workers < 0:
+		return fmt.Errorf("-workers %d must be >= 0 (0 = single process)", workers)
+	case shards < 0:
+		return fmt.Errorf("-shards %d must be >= 0 (0 = one per worker)", shards)
+	case (workers > 0 || shards > 0) && method != "standard":
+		return fmt.Errorf("distributed training (-workers/-shards) supports -method standard only, not %q", method)
+	case join == "" && rank >= 0:
+		return fmt.Errorf("-dist-rank %d requires -dist-join", rank)
+	case join != "" && rank < 0:
+		return fmt.Errorf("-dist-join requires -dist-rank (the rank this worker was assigned)")
+	case join != "" && workers > 0:
+		return fmt.Errorf("-dist-join (worker mode) and -workers (coordinator mode) are mutually exclusive")
+	}
+	return nil
+}
+
 func main() {
+	// A process the coordinator re-executed as a worker must hand off
+	// before touching any other flag or resource: it serves gradient
+	// shards over TCP and exits when the coordinator shuts it down.
+	if dist.IsWorkerProcess() {
+		os.Exit(dist.WorkerMain())
+	}
 	var (
 		dsName   = flag.String("dataset", "mnist", "benchmark: mnist, kmnist, fashion, emnist, norb, cifar10")
 		method   = flag.String("method", "standard", "training method: standard, dropout, adaptive-dropout, alsh, alsh-parallel, mc")
@@ -89,11 +119,18 @@ func main() {
 		testCap  = flag.Int("test", 500, "test samples (0 = paper split)")
 		keep     = flag.Float64("keep", 0.05, "dropout keep probability")
 		mcK      = flag.Int("mck", 10, "MC-approx sample count")
-		workers  = flag.Int("workers", 0, "worker goroutines for alsh-parallel (0 = one per CPU)")
+		alshWork = flag.Int("alsh-workers", 0, "worker goroutines for alsh-parallel (0 = one per CPU)")
 		threads  = flag.Int("threads", 0, "worker threads for the dense/sampled kernels (0 = one per CPU)")
-		confuse  = flag.Bool("confusion", true, "print the final confusion matrix and per-class report")
-		savePath = flag.String("save", "", "checkpoint the best model to this file")
-		loadPath = flag.String("load", "", "initialize weights from a saved model instead of random init")
+
+		distWork   = flag.Int("workers", 0, "distributed data-parallel worker processes (0 = single process; requires -method standard)")
+		shards     = flag.Int("shards", 0, "gradient shards per batch (0 = one per worker); shard count alone fixes the reduced gradient")
+		distListen = flag.String("dist-listen", "", "coordinator listen address (default 127.0.0.1:0)")
+		distSpawn  = flag.Bool("dist-spawn", true, "spawn the -workers processes locally; false waits for external -dist-join workers")
+		distJoin   = flag.String("dist-join", "", "join a coordinator at this address as a worker (requires -dist-rank) instead of training")
+		distRank   = flag.Int("dist-rank", -1, "worker rank when joining with -dist-join")
+		confuse    = flag.Bool("confusion", true, "print the final confusion matrix and per-class report")
+		savePath   = flag.String("save", "", "checkpoint the best model to this file")
+		loadPath   = flag.String("load", "", "initialize weights from a saved model instead of random init")
 
 		statePath  = flag.String("state", "", "write full-state resumable checkpoints to this file")
 		resumePath = flag.String("resume", "", "resume a run from a full-state checkpoint (implies -state when -state is unset)")
@@ -113,8 +150,21 @@ func main() {
 	// Validate the numeric flags up front: a non-positive batch size or
 	// epoch count otherwise surfaces as a confusing panic (or a silent
 	// no-op run) deep inside the trainer.
-	if err := validateFlags(*layers, *units, *epochs, *batch, *lr, *keep, *mcK, *workers, *threads, *ckptEvery, *maxRetries, *lrDecay, *probeEvery, *probeSamp); err != nil {
+	if err := validateFlags(*layers, *units, *epochs, *batch, *lr, *keep, *mcK, *alshWork, *threads, *ckptEvery, *maxRetries, *lrDecay, *probeEvery, *probeSamp); err != nil {
 		fatal(err)
+	}
+	if err := validateDistFlags(*method, *distWork, *shards, *distRank, *distJoin); err != nil {
+		fatal(err)
+	}
+	if *distJoin != "" {
+		// Manual worker mode: serve a (typically -dist-spawn=false)
+		// coordinator on another process or machine until it shuts us
+		// down. Everything the worker needs — dataset provenance, model
+		// blob, optimizer state — arrives over the wire.
+		if err := dist.RunWorker(*distJoin, *distRank); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *threads != 0 {
 		pool.SetDefaultWorkers(*threads)
@@ -160,9 +210,8 @@ func main() {
 		}
 	}
 
-	ds, err := dataset.Generate(*dsName, dataset.Options{
-		Seed: *seed, MaxTrain: *trainCap, MaxTest: *testCap, MaxVal: 200,
-	})
+	dataOpts := dataset.Options{Seed: *seed, MaxTrain: *trainCap, MaxTest: *testCap, MaxVal: 200}
+	ds, err := dataset.Generate(*dsName, dataOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -200,14 +249,57 @@ func main() {
 	opts := core.DefaultOptions(*seed)
 	opts.DropoutKeep = *keep
 	opts.MC.K = *mcK
-	opts.Workers = *workers
+	opts.Workers = *alshWork
 	opts.ALSH = core.ALSHConfig{Params: lsh.Params{K: 5, L: 12, M: 3, U: 0.83}, MinActive: 10}
 	m, err := core.New(*method, net, optim, opts)
 	if err != nil {
 		fatal(err)
 	}
 
+	// Distributed data-parallel mode: a coordinator takes over every
+	// batch step, sharding it across worker processes and reducing the
+	// gradients in fixed shard order, so the result is byte-identical to
+	// the single-process run with the same -shards.
+	var stepper train.BatchStepper
+	if *distWork > 0 || *shards > 0 {
+		effShards := *shards
+		if effShards == 0 {
+			effShards = *distWork
+		}
+		co, err := dist.NewCoordinator(m, ds, *batch, dist.Options{
+			Workers:    *distWork,
+			Shards:     *shards,
+			ListenAddr: *distListen,
+			Data:       dataOpts,
+			Seed:       *seed,
+			NoSpawn:    !*distSpawn,
+			Journal:    journal,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		stepper = co
+		prev := onExit
+		onExit = func() {
+			if err := co.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "mlptrain: dist:", err)
+			}
+			prev()
+		}
+		if *distWork > 0 {
+			mode := "spawning locally"
+			if !*distSpawn {
+				mode = fmt.Sprintf("waiting for -dist-join workers (spawn disabled); join with: mlptrain -dist-join %s -dist-rank <0..%d>", co.Addr(), *distWork-1)
+			}
+			fmt.Printf("distributed: %d workers, %d shards, coordinator on %s (%s)\n",
+				*distWork, effShards, co.Addr(), mode)
+		} else {
+			fmt.Printf("sharded: %d shards in-process (workers=0 reference path)\n", effShards)
+		}
+	}
+
 	tr, err := train.New(m, ds, train.Config{
+		Stepper:         stepper,
 		Epochs:          *epochs,
 		BatchSize:       *batch,
 		Seed:            *seed,

@@ -67,3 +67,27 @@ func WriteFileBytes(path string, data []byte) error {
 		return err
 	})
 }
+
+// BackupThenReplace preserves path's current content at backup, then
+// atomically replaces path with data. Both writes are atomic and the
+// primary is copied — not renamed — into the backup, so a crash at any
+// instant leaves a complete file at path: either the old content (crash
+// before the final replace) or the new one. Callers use it to keep a
+// last-known-good generation next to a file whose fresh copy could be
+// corrupted after the write (bit rot, torn disks): checkpoint loaders
+// fall back to the backup when the primary fails its checksum.
+//
+// A missing primary is not an error — the backup is left untouched and
+// data becomes the first generation.
+func BackupThenReplace(path, backup string, data []byte) error {
+	old, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if berr := WriteFileBytes(backup, old); berr != nil {
+			return fmt.Errorf("atomicfile: preserving %s at %s: %w", path, backup, berr)
+		}
+	case !os.IsNotExist(err):
+		return fmt.Errorf("atomicfile: reading %s for backup: %w", path, err)
+	}
+	return WriteFileBytes(path, data)
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/dist"
+	"samplednn/internal/nn"
+	"samplednn/internal/obs"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/train"
+)
+
+// Distributed data-parallel throughput sweep (BENCH_distributed.json).
+// Every point trains the same model on the same data with the same
+// fixed shard count, varying only the number of worker processes, and
+// is checked byte-for-byte against the in-process reference before its
+// timing is reported — the dist package's determinism contract makes
+// worker count a pure throughput knob. Timings include process spawn
+// and the initial state sync, i.e. the cost a user actually pays.
+
+// DistPoint is one worker-count measurement.
+type DistPoint struct {
+	// Workers is the number of worker processes; 0 is the in-process
+	// reference path every other point must match bit-for-bit.
+	Workers int     `json:"workers"`
+	Shards  int     `json:"shards"`
+	Steps   int     `json:"steps"`
+	Seconds float64 `json:"seconds"`
+	// StepsPerSec counts optimizer steps (batches), not samples.
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// SpeedupVsSingle is steps_per_sec relative to the workers=0 point.
+	SpeedupVsSingle float64 `json:"speedup_vs_single"`
+	// BitIdentical reports whether the final weights matched the
+	// workers=0 run byte-for-byte.
+	BitIdentical bool    `json:"bit_identical"`
+	FinalLoss    float64 `json:"final_loss"`
+}
+
+// DistReport is the BENCH_distributed.json payload.
+type DistReport struct {
+	Host struct {
+		CPUs       int `json:"cpus"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
+	Epochs       int         `json:"epochs"`
+	BatchSize    int         `json:"batch_size"`
+	TrainSamples int         `json:"train_samples"`
+	Shards       int         `json:"shards"`
+	Points       []DistPoint `json:"points"`
+	Notes        []string    `json:"notes,omitempty"`
+}
+
+// distBenchSetup builds the fixed benchmark workload: a synthetic
+// dataset and a small MLP, bit-identical on every call.
+func distBenchSetup(trainN int) (*core.Standard, *dataset.Dataset, dataset.Options, error) {
+	spec := dataset.Spec{
+		Name: "dist-bench", Width: 8, Height: 8, Channels: 1,
+		Classes: 5, Train: trainN, Test: 50, Val: 25, Difficulty: 0.6,
+	}
+	dopts := dataset.Options{Seed: 42}
+	ds := dataset.GenerateFromSpec(spec, dopts)
+	net, err := nn.NewNetwork(nn.Uniform(spec.Dim(), 32, 2, spec.Classes), rng.New(43))
+	if err != nil {
+		return nil, nil, dataset.Options{}, err
+	}
+	optim, err := opt.ByName("momentum", 0.05)
+	if err != nil {
+		return nil, nil, dataset.Options{}, err
+	}
+	return core.NewStandard(net, optim), ds, dopts, nil
+}
+
+// runDistPoint trains the workload once with the given worker count and
+// returns the final weight bytes plus the measured wall time.
+func runDistPoint(workers, shards, epochs, trainN, batch int) (weights []byte, steps int, secs, loss float64, err error) {
+	m, ds, dopts, err := distBenchSetup(trainN)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	reg := obs.NewRegistry()
+	co, err := dist.NewCoordinator(m, ds, batch, dist.Options{
+		Workers: workers, Shards: shards, Data: dopts, Seed: 7, Registry: reg,
+	})
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	defer co.Close()
+	tr, err := train.New(m, ds, train.Config{
+		Epochs: epochs, BatchSize: batch, Seed: 7, Stepper: co, Registry: reg,
+	})
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	start := time.Now()
+	hist, err := tr.Run()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	secs = time.Since(start).Seconds()
+	var buf bytes.Buffer
+	if err := m.Net().Save(&buf); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	batches := (ds.Train.Len() + batch - 1) / batch
+	return buf.Bytes(), epochs * batches, secs, hist.Epochs[len(hist.Epochs)-1].TrainLoss, nil
+}
+
+// RunDistBench measures training throughput at each worker count
+// against the workers=0 in-process reference. Shards is fixed at the
+// largest worker count so every point computes the identical reduced
+// gradient; any point whose final weights differ from the reference
+// fails the sweep.
+func RunDistBench(workerCounts []int, epochs, trainN, batch int) (*DistReport, error) {
+	shards := 1
+	for _, w := range workerCounts {
+		if w > shards {
+			shards = w
+		}
+	}
+	rep := &DistReport{Epochs: epochs, BatchSize: batch, TrainSamples: trainN, Shards: shards}
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Notes = append(rep.Notes,
+		"timings include worker spawn and initial state sync",
+		"the model is deliberately small, so per-step RPC cost dominates; speedups below 1x measure protocol overhead, not kernel scaling")
+
+	refW, steps, refSecs, refLoss, err := runDistPoint(0, shards, epochs, trainN, batch)
+	if err != nil {
+		return nil, fmt.Errorf("reference run: %w", err)
+	}
+	refRate := float64(steps) / refSecs
+	rep.Points = append(rep.Points, DistPoint{
+		Workers: 0, Shards: shards, Steps: steps, Seconds: refSecs,
+		StepsPerSec: refRate, SpeedupVsSingle: 1, BitIdentical: true, FinalLoss: refLoss,
+	})
+	for _, w := range workerCounts {
+		weights, steps, secs, loss, err := runDistPoint(w, shards, epochs, trainN, batch)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		rate := float64(steps) / secs
+		rep.Points = append(rep.Points, DistPoint{
+			Workers: w, Shards: shards, Steps: steps, Seconds: secs,
+			StepsPerSec: rate, SpeedupVsSingle: rate / refRate,
+			BitIdentical: bytes.Equal(weights, refW), FinalLoss: loss,
+		})
+	}
+	return rep, nil
+}
+
+// JSON renders the report for BENCH_distributed.json.
+func (r *DistReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,126 @@
+package binio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"samplednn/internal/rng"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteU8(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBool(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteU32(&buf, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteU64(&buf, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteI64(&buf, -42); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteF64(&buf, math.Pi); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteString(&buf, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFloats(&buf, []float64{1, -2.5, math.Inf(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInts(&buf, []int{3, -1, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := bytes.NewReader(buf.Bytes())
+	if v, err := ReadU8(r); err != nil || v != 7 {
+		t.Fatalf("u8: %v %v", v, err)
+	}
+	if v, err := ReadBool(r); err != nil || !v {
+		t.Fatalf("bool: %v %v", v, err)
+	}
+	if v, err := ReadU32(r); err != nil || v != 0xdeadbeef {
+		t.Fatalf("u32: %#x %v", v, err)
+	}
+	if v, err := ReadU64(r); err != nil || v != 1<<40 {
+		t.Fatalf("u64: %v %v", v, err)
+	}
+	if v, err := ReadI64(r); err != nil || v != -42 {
+		t.Fatalf("i64: %v %v", v, err)
+	}
+	if v, err := ReadF64(r); err != nil || v != math.Pi {
+		t.Fatalf("f64: %v %v", v, err)
+	}
+	if v, err := ReadString(r); err != nil || v != "hello" {
+		t.Fatalf("string: %q %v", v, err)
+	}
+	if v, err := ReadFloats(r); err != nil || len(v) != 3 || v[1] != -2.5 {
+		t.Fatalf("floats: %v %v", v, err)
+	}
+	if v, err := ReadInts(r); err != nil || len(v) != 3 || v[1] != -1 {
+		t.Fatalf("ints: %v %v", v, err)
+	}
+}
+
+// Readers must reject implausible length prefixes before allocating.
+func TestReadersRejectImplausibleLengths(t *testing.T) {
+	huge := func() *bytes.Reader {
+		var buf bytes.Buffer
+		if err := WriteU32(&buf, 0xffffffff); err != nil {
+			t.Fatal(err)
+		}
+		return bytes.NewReader(buf.Bytes())
+	}
+	if _, err := ReadBytes(huge()); err == nil {
+		t.Fatal("ReadBytes accepted implausible length")
+	}
+	if _, err := ReadFloats(huge()); err == nil {
+		t.Fatal("ReadFloats accepted implausible length")
+	}
+	if _, err := ReadInts(huge()); err == nil {
+		t.Fatal("ReadInts accepted implausible length")
+	}
+}
+
+func TestReadBoolRejectsBadByte(t *testing.T) {
+	if _, err := ReadBool(bytes.NewReader([]byte{2})); err == nil {
+		t.Fatal("ReadBool accepted byte 2")
+	}
+}
+
+// Truncating a valid multi-field stream at every byte boundary must
+// produce an EOF-class error from whichever reader hits the cut, with
+// no panics and no silent zero values.
+func TestPrimitiveTruncation(t *testing.T) {
+	g := rng.New(0x517)
+	var buf bytes.Buffer
+	vals := make([]float64, 9)
+	g.GaussianSlice(vals, 0, 1)
+	if err := WriteFloats(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteString(&buf, "tail-marker"); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for cut := 0; cut < len(enc); cut++ {
+		r := bytes.NewReader(enc[:cut])
+		f, errF := ReadFloats(r)
+		if errF == nil {
+			if s, errS := ReadString(r); errS == nil {
+				t.Fatalf("cut=%d: both reads passed (%d floats, %q)", cut, len(f), s)
+			} else if errS != io.EOF && errS != io.ErrUnexpectedEOF {
+				t.Fatalf("cut=%d: string err=%v, want EOF class", cut, errS)
+			}
+		} else if errF != io.EOF && errF != io.ErrUnexpectedEOF {
+			t.Fatalf("cut=%d: floats err=%v, want EOF class", cut, errF)
+		}
+	}
+}

@@ -120,6 +120,25 @@ type Resumable interface {
 	LoadState(r io.Reader) error
 }
 
+// GradComputer splits a method's Step into its two halves: computing
+// the batch gradient and applying an (arbitrary, possibly reduced)
+// gradient through the optimizer. Distributed data-parallel training
+// (internal/dist) is built on this seam — shard gradients are computed
+// on workers with ComputeGrads, summed in a fixed order on the
+// coordinator, and applied everywhere with ApplyGrads. A method that
+// implements it must guarantee ComputeGrads followed by
+// ApplyGrads(grads) on the same batch is byte-identical to Step.
+type GradComputer interface {
+	// ComputeGrads runs the forward and backward pass on one batch and
+	// returns the observed loss and per-layer gradients without touching
+	// the weights. The gradients are freshly allocated (not aliased to
+	// method scratch).
+	ComputeGrads(x *tensor.Matrix, y []int) (float64, []nn.Grads)
+	// ApplyGrads feeds one gradient per layer through the optimizer,
+	// updating the weights in place.
+	ApplyGrads(grads []nn.Grads)
+}
+
 // OptimizerHolder exposes a method's optimizer. Every method in this
 // package implements it; the trainer uses it to checkpoint optimizer
 // state and to decay the learning rate during divergence recovery.

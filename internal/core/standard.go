@@ -42,16 +42,33 @@ func (s *Standard) ResetTiming() { s.timing = Timing{} }
 
 // Step performs one exact forward/backward/update pass.
 func (s *Standard) Step(x *tensor.Matrix, y []int) float64 {
+	loss, grads := s.ComputeGrads(x, y)
+	s.ApplyGrads(grads)
+	return loss
+}
+
+// ComputeGrads runs the exact forward and backward pass on one batch,
+// returning the loss and per-layer gradients without updating weights —
+// the export half of the core.GradComputer seam distributed training
+// uses.
+func (s *Standard) ComputeGrads(x *tensor.Matrix, y []int) (float64, []nn.Grads) {
 	t0 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	logits := s.net.Forward(x)
 	loss := s.net.Head.Loss(logits, y)
 	t1 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	grads := s.net.Backward(logits, y)
-	for i, l := range s.net.Layers {
-		s.optim.Step(i, l.W, l.B, grads[i])
-	}
 	t2 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 	s.timing.Forward += t1.Sub(t0)
 	s.timing.Backward += t2.Sub(t1)
-	return loss
+	return loss, grads
+}
+
+// ApplyGrads feeds one gradient per layer through the optimizer,
+// updating the weights in place — the import half of core.GradComputer.
+func (s *Standard) ApplyGrads(grads []nn.Grads) {
+	t0 := time.Now() //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
+	for i, l := range s.net.Layers {
+		s.optim.Step(i, l.W, l.B, grads[i])
+	}
+	s.timing.Backward += time.Since(t0) //lint:ignore wall-clock phase cost accounting (core.Timing); reported, never fed back into training
 }

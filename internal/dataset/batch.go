@@ -71,6 +71,20 @@ func (b *Batcher) SetOrder(order []int) error {
 	return nil
 }
 
+// Skip advances past n batches without materializing them — the
+// fast-forward a rejoining distributed worker uses to replay an epoch's
+// position from a checkpoint's carried permutation. Skipping beyond the
+// epoch leaves the batcher exhausted.
+func (b *Batcher) Skip(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("dataset: skip %d batches", n))
+	}
+	b.pos += n * b.size
+	if b.pos > len(b.order) {
+		b.pos = len(b.order)
+	}
+}
+
 // Next returns the next batch, or (nil, nil) at the end of the epoch.
 // The returned matrix and labels are reused by subsequent calls; callers
 // that retain them must copy. The final batch of an epoch may be smaller

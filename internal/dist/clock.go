@@ -1,0 +1,15 @@
+//lint:file-ignore wall-clock connection deadlines and backoff pacing are real-time by nature; no training decision reads these values, so determinism is unaffected
+
+package dist
+
+import "time"
+
+// now is the single wall-clock entry point for the dist package. It
+// exists so the wall-clock waiver is confined to this file: deadlines,
+// timeouts, and reduce-latency measurement all flow through here, and
+// none of them feed back into the training computation.
+func now() time.Time { return time.Now() }
+
+// deadlineFrom returns the absolute deadline d from now, for
+// net.Conn.Set{Read,Write}Deadline calls.
+func deadlineFrom(d time.Duration) time.Time { return now().Add(d) }

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"time"
+
+	"samplednn/internal/binio"
+)
+
+// frameConn wraps a net.Conn with binio framing, per-operation
+// deadlines, and sequence-number bookkeeping. Every frame written
+// consumes the next send sequence number; every frame read must carry a
+// strictly increasing sequence number (a gap is tolerated and counted —
+// it is the signature of a dropped frame — but a replayed or reordered
+// frame is a hard protocol error).
+type frameConn struct {
+	c       net.Conn
+	timeout time.Duration
+	sendSeq uint64
+	recvSeq uint64
+	gaps    int
+}
+
+func newFrameConn(c net.Conn, timeout time.Duration) *frameConn {
+	return &frameConn{c: c, timeout: timeout}
+}
+
+// encode renders one frame to wire bytes, consuming the next send
+// sequence number. Split from write so the coordinator's fault
+// injection can mutate (or swallow) the encoded bytes while still
+// consuming the sequence number — exactly what a lossy link does.
+func (fc *frameConn) encode(typ uint8, payload []byte) []byte {
+	fc.sendSeq++
+	var b bytes.Buffer
+	// Writing to a bytes.Buffer cannot fail.
+	_ = binio.WriteFrame(&b, binio.Frame{Type: typ, Seq: fc.sendSeq, Payload: payload})
+	return b.Bytes()
+}
+
+// write sends pre-encoded frame bytes under the connection's write
+// deadline.
+func (fc *frameConn) write(b []byte) error {
+	if err := fc.c.SetWriteDeadline(deadlineFrom(fc.timeout)); err != nil {
+		return err
+	}
+	_, err := fc.c.Write(b)
+	return err
+}
+
+// send encodes and writes one frame.
+func (fc *frameConn) send(typ uint8, payload []byte) error {
+	return fc.write(fc.encode(typ, payload))
+}
+
+// recv reads one frame under the given deadline. A frame whose payload
+// failed its CRC is returned together with binio.ErrFrameCorrupt — the
+// stream is still aligned and the caller decides whether to retry.
+func (fc *frameConn) recv(timeout time.Duration) (binio.Frame, error) {
+	if err := fc.c.SetReadDeadline(deadlineFrom(timeout)); err != nil {
+		return binio.Frame{}, err
+	}
+	f, err := binio.ReadFrame(fc.c)
+	if err != nil && err != binio.ErrFrameCorrupt {
+		return f, err
+	}
+	if f.Seq <= fc.recvSeq {
+		return f, fmt.Errorf("dist: frame seq %d replayed (last %d)", f.Seq, fc.recvSeq)
+	}
+	if f.Seq > fc.recvSeq+1 {
+		fc.gaps++
+	}
+	fc.recvSeq = f.Seq
+	return f, err
+}
+
+// sendErr reports a worker-side failure; best-effort (the peer may be
+// gone).
+func (fc *frameConn) sendErr(epoch, step int, code uint8, text string) {
+	e := errMsg{Epoch: epoch, Step: step, Code: code, Text: text}
+	_ = fc.send(msgError, e.encode())
+}
+
+func (fc *frameConn) Close() error { return fc.c.Close() }
+
+// isTimeout reports whether err is a connection deadline expiry, the
+// retryable kind of I/O failure.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}

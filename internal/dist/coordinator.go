@@ -1,0 +1,743 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"samplednn/internal/binio"
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/obs"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+	"samplednn/internal/train"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers is the number of worker processes. Zero runs the sharded
+	// step entirely in-process — the reference the distributed paths
+	// must match byte-for-byte.
+	Workers int
+	// Shards is the number of logical gradient shards per step (default
+	// max(Workers, 1)). The shard split — and therefore the reduced
+	// gradient — is a function of Shards alone, so runs with different
+	// worker counts but equal Shards produce identical weights.
+	Shards int
+	// ListenAddr is the coordinator's listen address (default
+	// "127.0.0.1:0").
+	ListenAddr string
+	// Data is the provenance of the training dataset (seed and caps):
+	// workers regenerate the dataset bit-for-bit from it.
+	Data dataset.Options
+	// IOTimeout bounds every single frame read/write (default 10s).
+	IOTimeout time.Duration
+	// StepTimeout bounds how long the coordinator waits for a worker's
+	// gradient or commit reply, covering the worker's compute time
+	// (default 60s).
+	StepTimeout time.Duration
+	// RetryBase is the first retry backoff; successive retries double
+	// it, capped at 16x, plus seeded jitter (default 50ms).
+	RetryBase time.Duration
+	// Retries is the per-RPC retry budget (default 3).
+	Retries int
+	// StepRetries is how many times a whole step may be re-run after a
+	// worker failure before the run faults (default 3).
+	StepRetries int
+	// RespawnLimit caps how many times one rank may be respawned
+	// (default 3).
+	RespawnLimit int
+	// Seed drives retry jitter (and nothing else — jitter never touches
+	// training state).
+	Seed uint64
+	// NoSpawn disables the built-in process spawner; workers are
+	// expected to join on their own (tests drive this, and it is the
+	// hook for running workers on other machines).
+	NoSpawn bool
+	// SpawnEnv appends extra environment entries to spawned workers.
+	SpawnEnv []string
+	// Fault injects failures for robustness tests. Zero injects none.
+	Fault FaultPlan
+	// Journal receives dist lifecycle events (dist-listen, dist-join,
+	// dist-sync, dist-retry, dist-timeout, dist-step-abort, dist-leave,
+	// dist-fault, dist-seq-gap, dist-shutdown).
+	Journal *obs.Journal
+	// Registry receives dist counters and the reduce-latency
+	// distribution (default obs.Default).
+	Registry *obs.Registry
+}
+
+func (o *Options) setDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = o.Workers
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.ListenAddr == "" {
+		o.ListenAddr = "127.0.0.1:0"
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	if o.StepTimeout <= 0 {
+		o.StepTimeout = 60 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.StepRetries <= 0 {
+		o.StepRetries = 3
+	}
+	if o.RespawnLimit <= 0 {
+		o.RespawnLimit = 3
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default
+	}
+}
+
+// remoteWorker is the coordinator's view of one connected worker.
+type remoteWorker struct {
+	fc     *frameConn
+	cmd    *exec.Cmd
+	pid    int
+	synced bool
+}
+
+// Coordinator drives synchronous data-parallel SGD across worker
+// processes. It implements train.BatchStepper: the trainer hands it
+// every batch, it fans gradient shards out to the workers, reduces them
+// in fixed shard order, applies the result to the trainer's own replica,
+// and commits the identical reduced gradient to every worker.
+type Coordinator struct {
+	opts    Options
+	method  core.Method
+	gc      core.GradComputer
+	ds      *dataset.Dataset
+	welcome welcome
+
+	ln          *net.TCPListener
+	workers     []*remoteWorker
+	spawned     []int
+	sent        []int // frames sent per rank, the FrameFault counter
+	pendingCmds []pendingSpawn
+
+	expected    train.StepPos
+	hasExpected bool
+	jitter      *rng.RNG
+
+	faultDropDone, faultDelayDone, faultCorruptDone bool
+
+	reduceNS *obs.Distribution
+}
+
+// NewCoordinator builds a coordinator for the given method (which must
+// export gradients via core.GradComputer) over the dataset the trainer
+// runs on. With opts.Workers > 0 it starts listening immediately;
+// workers are spawned lazily on the first step.
+func NewCoordinator(m core.Method, ds *dataset.Dataset, batchSize int, opts Options) (*Coordinator, error) {
+	opts.setDefaults()
+	gc, ok := m.(core.GradComputer)
+	if !ok {
+		return nil, fmt.Errorf("dist: method %q does not export gradients (core.GradComputer)", m.Name())
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("dist: batch size %d", batchSize)
+	}
+	c := &Coordinator{
+		opts:   opts,
+		method: m,
+		gc:     gc,
+		ds:     ds,
+		jitter: rng.New(opts.Seed ^ 0xd1577ca7),
+	}
+	c.reduceNS = opts.Registry.Distribution("dist.reduce_ns")
+	c.welcome = welcome{
+		Spec:      ds.Spec,
+		DataSeed:  opts.Data.Seed,
+		MaxTrain:  opts.Data.MaxTrain,
+		MaxTest:   opts.Data.MaxTest,
+		MaxVal:    opts.Data.MaxVal,
+		BatchSize: batchSize,
+		Shards:    opts.Shards,
+		Method:    m.Name(),
+	}
+	if oh, ok := m.(core.OptimizerHolder); ok {
+		o := oh.Optimizer()
+		c.welcome.Optimizer = o.Name()
+		if adj, ok := o.(opt.LRAdjuster); ok {
+			c.welcome.LR = adj.LearningRate()
+		}
+	}
+	if opts.Workers > 0 {
+		if err := parseHostPort(opts.ListenAddr); err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", opts.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("dist: listen: %w", err)
+		}
+		c.ln = ln.(*net.TCPListener)
+		c.workers = make([]*remoteWorker, opts.Workers)
+		c.spawned = make([]int, opts.Workers)
+		c.sent = make([]int, opts.Workers)
+		c.emit("dist-listen", map[string]any{"addr": c.Addr(), "workers": opts.Workers, "shards": opts.Shards})
+	}
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address ("" when workers=0).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// batchCount returns batches per epoch.
+func (c *Coordinator) batchCount() int {
+	size := c.welcome.BatchSize
+	return (c.ds.Train.Len() + size - 1) / size
+}
+
+func (c *Coordinator) nextPos(pos train.StepPos) train.StepPos {
+	if pos.Step+1 < c.batchCount() {
+		return train.StepPos{Epoch: pos.Epoch, Step: pos.Step + 1}
+	}
+	return train.StepPos{Epoch: pos.Epoch + 1, Step: 0}
+}
+
+func (c *Coordinator) emit(ev string, fields map[string]any) {
+	if c.opts.Journal != nil {
+		c.opts.Journal.Emit(ev, fields)
+	}
+}
+
+// StepBatch implements train.BatchStepper. It leaves the trainer's
+// replica exactly as a local sharded step would; on return every live
+// worker holds bit-identical weights (verified by CRC).
+func (c *Coordinator) StepBatch(pos train.StepPos, x *tensor.Matrix, y []int, state train.StateFunc) (float64, error) {
+	if c.opts.Workers == 0 {
+		start := now()
+		loss := c.localStep(x, y)
+		c.reduceNS.Observe(now().Sub(start).Nanoseconds())
+		return loss, nil
+	}
+	if !c.hasExpected || pos != c.expected {
+		// The trainer jumped (first step, resume, or divergence
+		// rollback): every worker's replica is stale.
+		for _, w := range c.workers {
+			if w != nil {
+				w.synced = false
+			}
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.StepRetries; attempt++ {
+		if err := c.ensureWorkers(pos, state); err != nil {
+			return 0, err
+		}
+		start := now()
+		loss, err := c.tryStep(pos, x, y)
+		if err == nil {
+			c.reduceNS.Observe(now().Sub(start).Nanoseconds())
+			c.expected = c.nextPos(pos)
+			c.hasExpected = true
+			return loss, nil
+		}
+		lastErr = err
+		c.opts.Registry.Counter("dist.step_aborts").Inc()
+		c.emit("dist-step-abort", map[string]any{
+			"epoch": pos.Epoch, "step": pos.Step, "attempt": attempt, "error": err.Error(),
+		})
+	}
+	return 0, fmt.Errorf("dist: step %d/%d failed after %d attempts: %w",
+		pos.Epoch, pos.Step, c.opts.StepRetries+1, lastErr)
+}
+
+// localStep is the workers=0 reference: the same shard split, the same
+// fixed-order reduce, the same single apply — just computed in-process.
+func (c *Coordinator) localStep(x *tensor.Matrix, y []int) float64 {
+	rows := x.Rows
+	var red *reducer
+	for s := 0; s < c.opts.Shards; s++ {
+		lo, hi := shardRange(rows, c.opts.Shards, s)
+		if lo == hi {
+			continue
+		}
+		loss, grads := c.gc.ComputeGrads(x.RowRange(lo, hi), y[lo:hi])
+		if red == nil {
+			red = newReducer(grads)
+		}
+		red.Add(s, hi-lo, rows, loss, grads)
+	}
+	loss, grads := red.Result(rows)
+	c.gc.ApplyGrads(grads)
+	return loss
+}
+
+// Close shuts the cluster down: an orderly shutdown frame to every live
+// worker, then the listener and any remaining processes.
+func (c *Coordinator) Close() error {
+	for r, w := range c.workers {
+		if w == nil {
+			continue
+		}
+		_ = c.sendTo(r, msgShutdown, nil)
+		_ = w.fc.Close()
+		if w.cmd != nil {
+			_ = w.cmd.Wait()
+		}
+		c.workers[r] = nil
+	}
+	for _, p := range c.pendingCmds {
+		_ = p.cmd.Process.Kill()
+		_ = p.cmd.Wait()
+	}
+	c.pendingCmds = nil
+	if c.ln != nil {
+		c.emit("dist-shutdown", nil)
+		return c.ln.Close()
+	}
+	return nil
+}
+
+// failWorker drops rank r's connection and process; the next
+// ensureWorkers respawns and resyncs it.
+func (c *Coordinator) failWorker(r int, reason string) {
+	w := c.workers[r]
+	if w == nil {
+		return
+	}
+	c.emit("dist-leave", map[string]any{"rank": r, "reason": reason})
+	_ = w.fc.Close()
+	if w.cmd != nil {
+		// The process may be alive but wedged (a timeout, not a crash);
+		// kill it so the respawn does not race a zombie peer.
+		_ = w.cmd.Process.Kill()
+		_ = w.cmd.Wait()
+	}
+	c.workers[r] = nil
+}
+
+// ensureWorkers brings every rank to a live, synced connection standing
+// at pos: spawning missing processes, accepting their joins, and
+// pushing a full-state sync (the SNCK checkpoint the trainer's
+// StateFunc captures, carrying the in-flight epoch's batch permutation)
+// to every worker whose replica is stale.
+func (c *Coordinator) ensureWorkers(pos train.StepPos, state train.StateFunc) error {
+	missing := 0
+	for r, w := range c.workers {
+		if w == nil {
+			missing++
+			if c.opts.NoSpawn {
+				continue
+			}
+			if c.spawned[r] > c.opts.RespawnLimit {
+				return fmt.Errorf("dist: rank %d exceeded respawn limit %d", r, c.opts.RespawnLimit)
+			}
+			if err := c.spawnWorker(r); err != nil {
+				return err
+			}
+		}
+	}
+	for missing > 0 {
+		if err := c.acceptWorker(); err != nil {
+			return err
+		}
+		missing--
+	}
+
+	var blob []byte
+	for r, w := range c.workers {
+		if w.synced {
+			continue
+		}
+		if blob == nil {
+			ck, err := state()
+			if err != nil {
+				return fmt.Errorf("dist: capturing sync state: %w", err)
+			}
+			if blob, err = ck.Encode(); err != nil {
+				return fmt.Errorf("dist: encoding sync state: %w", err)
+			}
+		}
+		if err := c.syncWorker(r, pos, blob); err != nil {
+			return err
+		}
+		c.emit("dist-sync", map[string]any{"rank": r, "epoch": pos.Epoch, "step": pos.Step, "pid": w.pid})
+	}
+	return nil
+}
+
+// spawnWorker re-executes this binary as a worker for rank r. The kill
+// fault is armed only on the rank's first spawn, so the respawned
+// replacement survives.
+func (c *Coordinator) spawnWorker(r int) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("dist: locating executable: %w", err)
+	}
+	cmd := exec.Command(exe)
+	env := make([]string, 0, len(os.Environ())+4)
+	for _, kv := range os.Environ() {
+		if strings.HasPrefix(kv, EnvWorker+"=") || strings.HasPrefix(kv, EnvJoin+"=") ||
+			strings.HasPrefix(kv, EnvRank+"=") || strings.HasPrefix(kv, EnvKill+"=") {
+			continue
+		}
+		env = append(env, kv)
+	}
+	env = append(env,
+		EnvWorker+"=1",
+		EnvJoin+"="+c.Addr(),
+		fmt.Sprintf("%s=%d", EnvRank, r))
+	if k := c.opts.Fault.KillWorker; k != nil && k.Rank == r && c.spawned[r] == 0 {
+		env = append(env, EnvKill+"="+killEnvValue(k))
+	}
+	env = append(env, c.opts.SpawnEnv...)
+	cmd.Env = env
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("dist: spawning rank %d: %w", r, err)
+	}
+	c.spawned[r]++
+	if c.spawned[r] > 1 {
+		c.opts.Registry.Counter("dist.respawns").Inc()
+	}
+	// Remember the process so accept can attach it to the rank's slot.
+	c.pendingCmds = append(c.pendingCmds, pendingSpawn{rank: r, cmd: cmd})
+	return nil
+}
+
+type pendingSpawn struct {
+	rank int
+	cmd  *exec.Cmd
+}
+
+// acceptWorker accepts one join, validates its hello, and installs it
+// in the rank table. Junk connections (bad rank, occupied slot) are
+// rejected and do not consume the accept; the loop is bounded by the
+// accept deadline.
+func (c *Coordinator) acceptWorker() error {
+	deadline := deadlineFrom(c.opts.StepTimeout)
+	for {
+		if err := c.ln.SetDeadline(deadline); err != nil {
+			return err
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("dist: accepting worker: %w", err)
+		}
+		fc := newFrameConn(conn, c.opts.IOTimeout)
+		f, err := fc.recv(c.opts.IOTimeout)
+		if err != nil || f.Type != msgHello {
+			_ = fc.Close()
+			continue
+		}
+		h, err := decodeHello(f.Payload)
+		if err != nil {
+			_ = fc.Close()
+			continue
+		}
+		if h.Rank < 0 || h.Rank >= len(c.workers) || c.workers[h.Rank] != nil {
+			fc.sendErr(0, 0, errFatal, fmt.Sprintf("rank %d not joinable", h.Rank))
+			_ = fc.Close()
+			continue
+		}
+		w := &remoteWorker{fc: fc, pid: h.PID}
+		for i, p := range c.pendingCmds {
+			if p.rank == h.Rank {
+				w.cmd = p.cmd
+				c.pendingCmds = append(c.pendingCmds[:i], c.pendingCmds[i+1:]...)
+				break
+			}
+		}
+		c.workers[h.Rank] = w
+		wm := c.welcome
+		wm.Rank = h.Rank
+		if err := c.sendTo(h.Rank, msgWelcome, wm.encode()); err != nil {
+			c.failWorker(h.Rank, "welcome: "+err.Error())
+			return fmt.Errorf("dist: welcoming rank %d: %w", h.Rank, err)
+		}
+		c.emit("dist-join", map[string]any{"rank": h.Rank, "pid": h.PID, "spawn": c.spawned[h.Rank]})
+		return nil
+	}
+}
+
+// syncWorker pushes the full state to rank r and verifies the restored
+// replica's weight CRC against the local one.
+func (c *Coordinator) syncWorker(r int, pos train.StepPos, blob []byte) error {
+	sm := syncMsg{Epoch: pos.Epoch, Step: pos.Step, Blob: blob}
+	if err := c.sendTo(r, msgSync, sm.encode()); err != nil {
+		c.failWorker(r, "sync send: "+err.Error())
+		return fmt.Errorf("dist: sending sync to rank %d: %w", r, err)
+	}
+	payload, err := c.rpc(r, msgSync, sm.encode(), msgSyncAck, pos)
+	if err != nil {
+		c.failWorker(r, "sync: "+err.Error())
+		return fmt.Errorf("dist: syncing rank %d: %w", r, err)
+	}
+	ack, err := decodePosAck(payload)
+	if err != nil {
+		c.failWorker(r, "sync ack: "+err.Error())
+		return fmt.Errorf("dist: rank %d sync ack: %w", r, err)
+	}
+	if want := weightCRC(c.method.Net()); ack.WeightCRC != want {
+		c.failWorker(r, "sync weight CRC mismatch")
+		return fmt.Errorf("dist: rank %d restored weights CRC %08x, coordinator has %08x", r, ack.WeightCRC, want)
+	}
+	c.workers[r].synced = true
+	return nil
+}
+
+// stepError wraps a mid-step worker failure. abort=true means the step
+// must be re-run (the failure happened before the reduced gradient was
+// applied); abort=false failures (post-apply commit problems) only cost
+// the worker.
+type stepError struct {
+	rank  int
+	abort bool
+	err   error
+}
+
+func (e *stepError) Error() string { return fmt.Sprintf("rank %d: %v", e.rank, e.err) }
+func (e *stepError) Unwrap() error { return e.err }
+
+// tryStep runs one complete exchange: gradient requests fan out, shard
+// gradients are reduced in ascending shard order, the coordinator
+// applies the result, and the commit fans out. Any pre-apply failure
+// aborts the step (weights untouched anywhere: workers only move on
+// commit, and a worker that already computed gradients recomputes them
+// identically on the re-run).
+func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (float64, error) {
+	rows := x.Rows
+	type span struct{ lo, hi int }
+	spans := make([]span, len(c.workers))
+	for r := range c.workers {
+		lo, hi := workerShards(c.opts.Shards, len(c.workers), r)
+		spans[r] = span{lo, hi}
+		if lo == hi {
+			continue
+		}
+		req := gradRequest{Epoch: pos.Epoch, Step: pos.Step, ShardLo: lo, ShardHi: hi}
+		if err := c.sendTo(r, msgGradRequest, req.encode()); err != nil {
+			c.failWorker(r, "grad request: "+err.Error())
+			return 0, &stepError{rank: r, abort: true, err: err}
+		}
+	}
+
+	var red *reducer
+	for r := range c.workers {
+		if spans[r].lo == spans[r].hi {
+			continue
+		}
+		req := gradRequest{Epoch: pos.Epoch, Step: pos.Step, ShardLo: spans[r].lo, ShardHi: spans[r].hi}
+		payload, err := c.rpc(r, msgGradRequest, req.encode(), msgGradReply, pos)
+		if err != nil {
+			c.failWorker(r, "grad reply: "+err.Error())
+			return 0, &stepError{rank: r, abort: true, err: err}
+		}
+		reply, err := decodeGradReply(payload)
+		if err != nil {
+			c.failWorker(r, "grad reply decode: "+err.Error())
+			return 0, &stepError{rank: r, abort: true, err: err}
+		}
+		for i := range reply.Shards {
+			s := &reply.Shards[i]
+			lo, hi := shardRange(rows, c.opts.Shards, s.Index)
+			if s.Index < spans[r].lo || s.Index >= spans[r].hi || s.Rows != hi-lo {
+				c.failWorker(r, "shard mismatch")
+				return 0, &stepError{rank: r, abort: true,
+					err: fmt.Errorf("shard %d (%d rows) outside assignment [%d,%d)", s.Index, s.Rows, spans[r].lo, spans[r].hi)}
+			}
+			if red == nil {
+				red = newReducer(s.Grads)
+			}
+			red.Add(s.Index, s.Rows, rows, s.Loss, s.Grads)
+		}
+	}
+	if red == nil {
+		return 0, &stepError{rank: -1, abort: true, err: errors.New("no shards reduced")}
+	}
+	loss, grads := red.Result(rows)
+	c.gc.ApplyGrads(grads)
+	want := weightCRC(c.method.Net())
+
+	cm := commit{Epoch: pos.Epoch, Step: pos.Step, Loss: loss, Grads: grads}
+	payloadBytes := cm.encode()
+	for r := range c.workers {
+		if c.workers[r] == nil {
+			continue
+		}
+		if err := c.sendTo(r, msgCommit, payloadBytes); err != nil {
+			c.failWorker(r, "commit: "+err.Error())
+			continue
+		}
+	}
+	for r := range c.workers {
+		w := c.workers[r]
+		if w == nil {
+			continue
+		}
+		payload, err := c.rpc(r, msgCommit, payloadBytes, msgCommitAck, pos)
+		if err != nil {
+			// The step is already applied locally; a commit failure only
+			// costs the worker, which rejoins by checkpoint next step.
+			c.failWorker(r, "commit ack: "+err.Error())
+			continue
+		}
+		ack, err := decodePosAck(payload)
+		if err != nil {
+			c.failWorker(r, "commit ack decode: "+err.Error())
+			continue
+		}
+		if ack.WeightCRC != want {
+			c.opts.Registry.Counter("dist.replica_divergence").Inc()
+			c.failWorker(r, fmt.Sprintf("replica diverged: CRC %08x, want %08x", ack.WeightCRC, want))
+		}
+	}
+	return loss, nil
+}
+
+// rpc awaits the reply to an already-sent request, resending the
+// request on retryable failures (timeout, corrupt frame in either
+// direction) with capped exponential backoff plus seeded jitter. Stale
+// frames — replies to earlier exchanges still buffered on the
+// connection — are skipped, not errors.
+func (c *Coordinator) rpc(r int, reqType uint8, reqPayload []byte, wantType uint8, pos train.StepPos) ([]byte, error) {
+	w := c.workers[r]
+	retries := 0
+	for {
+		f, err := w.fc.recv(c.opts.StepTimeout)
+		switch {
+		case err == binio.ErrFrameCorrupt:
+			// The worker's reply arrived corrupted; ask again.
+		case isTimeout(err):
+			c.opts.Registry.Counter("dist.timeouts").Inc()
+			c.emit("dist-timeout", map[string]any{"rank": r, "epoch": pos.Epoch, "step": pos.Step})
+		case err != nil:
+			return nil, err
+		default:
+			if f.Type == msgError {
+				e, derr := decodeErrMsg(f.Payload)
+				if derr != nil {
+					return nil, fmt.Errorf("undecodable error frame: %w", derr)
+				}
+				if cmpPos(e.Epoch, e.Step, pos) < 0 {
+					continue // stale complaint from an aborted exchange
+				}
+				if e.Code == errRetryable {
+					// Our request reached the worker corrupted; resend it.
+					break
+				}
+				return nil, fmt.Errorf("worker error (code %d): %s", e.Code, e.Text)
+			}
+			epoch, step, perr := peekPos(f.Payload)
+			if perr != nil {
+				return nil, fmt.Errorf("reply frame too short: %w", perr)
+			}
+			if d := cmpPos(epoch, step, pos); d < 0 || (d == 0 && typePhase(f.Type) < typePhase(wantType)) {
+				continue // stale reply from an earlier exchange at this conn
+			} else if d > 0 || f.Type != wantType {
+				return nil, fmt.Errorf("expected frame %d for %d/%d, got %d for %d/%d",
+					wantType, pos.Epoch, pos.Step, f.Type, epoch, step)
+			}
+			return f.Payload, nil
+		}
+		if retries >= c.opts.Retries {
+			return nil, fmt.Errorf("rpc gave up after %d retries (last: %v)", retries, err)
+		}
+		delay := c.backoff(retries)
+		retries++
+		c.opts.Registry.Counter("dist.retries").Inc()
+		c.emit("dist-retry", map[string]any{
+			"rank": r, "epoch": pos.Epoch, "step": pos.Step, "attempt": retries,
+			"delay_ms": delay.Milliseconds(),
+		})
+		time.Sleep(delay)
+		if err := c.sendTo(r, reqType, reqPayload); err != nil {
+			return nil, fmt.Errorf("resending request: %w", err)
+		}
+	}
+}
+
+// backoff returns the nth retry delay: base·2ⁿ capped at 16·base, plus
+// up to one base of seeded jitter.
+func (c *Coordinator) backoff(n int) time.Duration {
+	d := c.opts.RetryBase << n
+	if max := c.opts.RetryBase << 4; d > max {
+		d = max
+	}
+	return d + time.Duration(c.jitter.Float64()*float64(c.opts.RetryBase))
+}
+
+// cmpPos orders (epoch, step) against pos: -1 earlier, 0 equal, +1 later.
+func cmpPos(epoch, step int, pos train.StepPos) int {
+	if epoch != pos.Epoch {
+		if epoch < pos.Epoch {
+			return -1
+		}
+		return 1
+	}
+	if step != pos.Step {
+		if step < pos.Step {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// typePhase orders reply types within one step's exchange; a same-pos
+// reply from an earlier phase (a duplicate grad reply arriving while we
+// await the commit ack) is stale, not a protocol error.
+func typePhase(t uint8) int {
+	switch t {
+	case msgSyncAck:
+		return 0
+	case msgGradReply:
+		return 1
+	case msgCommitAck:
+		return 2
+	}
+	return 3
+}
+
+// sendTo writes one frame to rank r, applying any armed frame fault:
+// drop (bytes discarded, sequence number consumed), delay, or a
+// payload bit-flip the receiver's CRC check will catch.
+func (c *Coordinator) sendTo(r int, typ uint8, payload []byte) error {
+	w := c.workers[r]
+	if w == nil {
+		return fmt.Errorf("dist: rank %d has no connection", r)
+	}
+	b := w.fc.encode(typ, payload)
+	c.sent[r]++
+	n := c.sent[r]
+	if f := c.opts.Fault.DropFrame; !c.faultDropDone && f.matches(r, n) {
+		c.faultDropDone = true
+		c.emit("dist-fault", map[string]any{"kind": "drop", "rank": r, "frame": n})
+		return nil
+	}
+	if f := c.opts.Fault.DelayFrame; !c.faultDelayDone && f.matches(r, n) {
+		c.faultDelayDone = true
+		c.emit("dist-fault", map[string]any{"kind": "delay", "rank": r, "frame": n, "delay_ms": f.Delay.Milliseconds()})
+		time.Sleep(f.Delay)
+	}
+	if f := c.opts.Fault.CorruptFrame; !c.faultCorruptDone && f.matches(r, n) && len(payload) > 0 {
+		c.faultCorruptDone = true
+		c.emit("dist-fault", map[string]any{"kind": "corrupt", "rank": r, "frame": n})
+		b[len(b)-1] ^= 0x01 // flip a payload bit; the worker's CRC check rejects it
+	}
+	return w.fc.write(b)
+}

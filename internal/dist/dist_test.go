@@ -1,0 +1,404 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"samplednn/internal/core"
+	"samplednn/internal/dataset"
+	"samplednn/internal/nn"
+	"samplednn/internal/obs"
+	"samplednn/internal/opt"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+	"samplednn/internal/train"
+)
+
+// TestMain is the worker re-exec hook: the coordinator spawns workers
+// by re-running this test binary with the dist environment set, and
+// those processes must serve the worker protocol instead of running
+// tests.
+func TestMain(m *testing.M) {
+	if IsWorkerProcess() {
+		os.Exit(WorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// buildRun constructs a small deterministic training setup. Every call
+// with the same seed builds bit-identical datasets and networks.
+func buildRun(t *testing.T) (*core.Standard, *dataset.Dataset, dataset.Options) {
+	t.Helper()
+	spec := dataset.Spec{
+		Name: "dist-tiny", Width: 6, Height: 6, Channels: 1,
+		Classes: 3, Train: 90, Test: 30, Val: 15, Difficulty: 0.6,
+	}
+	dopts := dataset.Options{Seed: 42}
+	ds := dataset.GenerateFromSpec(spec, dopts)
+	net, err := nn.NewNetwork(nn.Uniform(spec.Dim(), 16, 2, spec.Classes), rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optim, err := opt.ByName("momentum", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewStandard(net, optim), ds, dopts
+}
+
+// trainWith runs epochs of training through a coordinator configured by
+// opts and returns the final weights (nn.Save bytes) and the per-epoch
+// losses.
+func trainWith(t *testing.T, epochs int, opts Options) ([]byte, []float64) {
+	t.Helper()
+	m, ds, dopts := buildRun(t)
+	opts.Data = dopts
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	co, err := NewCoordinator(m, ds, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	tr, err := train.New(m, ds, train.Config{
+		Epochs: epochs, BatchSize: 10, Seed: 7,
+		Stepper: co, Registry: opts.Registry, Journal: opts.Journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Net().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	losses := make([]float64, len(hist.Epochs))
+	for i, e := range hist.Epochs {
+		losses[i] = e.TrainLoss
+	}
+	return buf.Bytes(), losses
+}
+
+// trainPlain runs the same schedule with no stepper at all — the
+// pre-dist trainer path — for the shards=1 degeneracy check.
+func trainPlain(t *testing.T, epochs int) []byte {
+	t.Helper()
+	m, ds, _ := buildRun(t)
+	tr, err := train.New(m, ds, train.Config{
+		Epochs: epochs, BatchSize: 10, Seed: 7, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Net().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	g := rng.New(5)
+	grads := []nn.Grads{
+		{W: randMatrix(g, 4, 3), B: randSlice(g, 3)},
+		{W: randMatrix(g, 3, 2), B: randSlice(g, 2)},
+	}
+
+	h := hello{Rank: 3, PID: 4242}
+	h2, err := decodeHello(h.encode())
+	if err != nil || *h2 != h {
+		t.Fatalf("hello round trip: %+v, %v", h2, err)
+	}
+
+	w := welcome{
+		Rank: 1,
+		Spec: dataset.Spec{Name: "x", Width: 6, Height: 5, Channels: 2, Classes: 4,
+			Train: 100, Test: 20, Val: 10, Difficulty: 0.7},
+		DataSeed: 99, MaxTrain: 50, BatchSize: 10, Shards: 4,
+		Method: "standard", Optimizer: "adam", LR: 0.01,
+	}
+	w2, err := decodeWelcome(w.encode())
+	if err != nil || *w2 != w {
+		t.Fatalf("welcome round trip: %+v, %v", w2, err)
+	}
+
+	s := syncMsg{Epoch: 2, Step: 5, Blob: []byte{1, 2, 3}}
+	s2, err := decodeSync(s.encode())
+	if err != nil || s2.Epoch != 2 || s2.Step != 5 || !bytes.Equal(s2.Blob, s.Blob) {
+		t.Fatalf("sync round trip: %+v, %v", s2, err)
+	}
+
+	a := posAck{Epoch: 1, Step: 2, WeightCRC: 0xdeadbeef}
+	a2, err := decodePosAck(a.encode())
+	if err != nil || *a2 != a {
+		t.Fatalf("ack round trip: %+v, %v", a2, err)
+	}
+
+	req := gradRequest{Epoch: 1, Step: 2, ShardLo: 3, ShardHi: 7}
+	req2, err := decodeGradRequest(req.encode())
+	if err != nil || *req2 != req {
+		t.Fatalf("grad request round trip: %+v, %v", req2, err)
+	}
+
+	gr := gradReply{Epoch: 3, Step: 1, Shards: []shardGrad{
+		{Index: 0, Rows: 5, Loss: 1.5, Grads: grads},
+	}}
+	gr2, err := decodeGradReply(gr.encode())
+	if err != nil {
+		t.Fatalf("grad reply decode: %v", err)
+	}
+	if gr2.Epoch != 3 || gr2.Step != 1 || len(gr2.Shards) != 1 || !sameGrads(gr2.Shards[0].Grads, grads) {
+		t.Fatalf("grad reply round trip: %+v", gr2)
+	}
+
+	cm := commit{Epoch: 4, Step: 0, Loss: 0.25, Grads: grads}
+	cm2, err := decodeCommit(cm.encode())
+	if err != nil || cm2.Loss != 0.25 || !sameGrads(cm2.Grads, grads) {
+		t.Fatalf("commit round trip: %+v, %v", cm2, err)
+	}
+
+	e := errMsg{Epoch: 9, Step: 8, Code: errDesync, Text: "position drift"}
+	e2, err := decodeErrMsg(e.encode())
+	if err != nil || *e2 != e {
+		t.Fatalf("error round trip: %+v, %v", e2, err)
+	}
+
+	// Every reply payload must lead with (epoch, step) for peekPos.
+	for _, p := range [][]byte{a.encode(), gr.encode(), e.encode()} {
+		epoch, step, err := peekPos(p)
+		if err != nil || epoch == 0 && step == 0 {
+			t.Fatalf("peekPos failed on reply payload: %d/%d %v", epoch, step, err)
+		}
+	}
+}
+
+func TestShardMathTilesBatches(t *testing.T) {
+	for _, rows := range []int{1, 7, 10, 33} {
+		for shards := 1; shards <= 8; shards++ {
+			covered := 0
+			prevHi := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := shardRange(rows, shards, s)
+				if lo != prevHi {
+					t.Fatalf("rows=%d shards=%d: shard %d starts at %d, want %d", rows, shards, s, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != rows || prevHi != rows {
+				t.Fatalf("rows=%d shards=%d: covered %d rows", rows, shards, covered)
+			}
+			for w := 1; w <= 4; w++ {
+				total := 0
+				for r := 0; r < w; r++ {
+					lo, hi := workerShards(shards, w, r)
+					total += hi - lo
+				}
+				if total != shards {
+					t.Fatalf("shards=%d workers=%d: assigned %d", shards, w, total)
+				}
+			}
+		}
+	}
+}
+
+func TestReducerEnforcesOrderAndTiling(t *testing.T) {
+	g := rng.New(11)
+	grads := []nn.Grads{{W: randMatrix(g, 2, 2), B: randSlice(g, 2)}}
+	r := newReducer(grads)
+	r.Add(1, 5, 10, 1.0, grads)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-order Add did not panic")
+			}
+		}()
+		r.Add(0, 5, 10, 1.0, grads)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("incomplete tiling did not panic")
+			}
+		}()
+		r.Result(10)
+	}()
+}
+
+// TestSingleShardMatchesPlainStep pins the degeneracy contract: a
+// workers=0 shards=1 coordinator is byte-identical to the plain
+// trainer with no stepper at all.
+func TestSingleShardMatchesPlainStep(t *testing.T) {
+	sharded, _ := trainWith(t, 2, Options{Workers: 0, Shards: 1})
+	plain := trainPlain(t, 2)
+	if !bytes.Equal(sharded, plain) {
+		t.Fatal("shards=1 local coordinator diverged from the plain trainer")
+	}
+}
+
+// TestLocalShardingIsDeterministic pins that the workers=0 sharded
+// reference is reproducible run to run.
+func TestLocalShardingIsDeterministic(t *testing.T) {
+	a, la := trainWith(t, 2, Options{Workers: 0, Shards: 4})
+	b, lb := trainWith(t, 2, Options{Workers: 0, Shards: 4})
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical workers=0 shards=4 runs diverged")
+	}
+	for i := range la {
+		if la[i] != lb[i] { //lint:ignore float-equality bitwise reproducibility is the contract under test
+			t.Fatalf("epoch %d loss differs: %v vs %v", i, la[i], lb[i])
+		}
+	}
+}
+
+// TestDistributedMatchesLocal is the headline determinism claim: real
+// worker processes over TCP produce exactly the single-process weights.
+func TestDistributedMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	local, localLoss := trainWith(t, 2, Options{Workers: 0, Shards: 2})
+	distr, distLoss := trainWith(t, 2, Options{Workers: 2, Shards: 2, Seed: 9})
+	if !bytes.Equal(local, distr) {
+		t.Fatal("workers=2 weights differ from the workers=0 reference")
+	}
+	for i := range localLoss {
+		if localLoss[i] != distLoss[i] { //lint:ignore float-equality bitwise reproducibility is the contract under test
+			t.Fatalf("epoch %d loss differs: %v vs %v", i, localLoss[i], distLoss[i])
+		}
+	}
+}
+
+// TestFaultInjectionRecovery is the acceptance test: a two-worker run
+// survives one mid-epoch worker kill and one corrupted frame, recovers
+// through checkpoint rejoin, and still produces weights byte-identical
+// to the single-process run on the same seed.
+func TestFaultInjectionRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	local, _ := trainWith(t, 2, Options{Workers: 0, Shards: 2})
+
+	var journal bytes.Buffer
+	// Frame schedule per rank: 1 welcome, 2 sync, then per step a grad
+	// request and a commit. Frame 5 is rank 0's step-1 grad request —
+	// corrupting it forces a retryable-error resend. The kill fires
+	// when rank 1 is asked for step 2's gradients, mid-epoch 1.
+	distr, _ := trainWith(t, 2, Options{
+		Workers: 2, Shards: 2, Seed: 9,
+		RetryBase: 20 * time.Millisecond,
+		Fault: FaultPlan{
+			KillWorker:   &KillFault{Rank: 1, Epoch: 1, Step: 2},
+			CorruptFrame: &FrameFault{Rank: 0, Nth: 5},
+		},
+		Journal: obs.New(&journal),
+	})
+	if !bytes.Equal(local, distr) {
+		t.Fatal("faulted run diverged from the single-process reference")
+	}
+
+	recs, err := obs.Read(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]int{}
+	respawned := false
+	for _, r := range recs {
+		events[r.Event()]++
+		if r.Event() == "dist-join" {
+			if spawn, ok := r["spawn"].(float64); ok && spawn > 1 {
+				respawned = true
+			}
+		}
+	}
+	for _, ev := range []string{"dist-listen", "dist-join", "dist-sync", "dist-fault", "dist-retry", "dist-step-abort", "dist-leave"} {
+		if events[ev] == 0 {
+			t.Errorf("journal missing %s event; saw %v", ev, events)
+		}
+	}
+	if !respawned {
+		t.Error("journal shows no respawned worker join")
+	}
+	if events["dist-sync"] < 3 {
+		t.Errorf("want ≥3 sync events (2 joins + ≥1 rejoin), got %d", events["dist-sync"])
+	}
+}
+
+// TestDropFrameRecovery drops one grad request on the floor: the
+// coordinator must time out, retry, and the worker must observe (and
+// tolerate) the sequence gap — with no effect on the trained weights.
+func TestDropFrameRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	local, _ := trainWith(t, 1, Options{Workers: 0, Shards: 2})
+
+	var journal bytes.Buffer
+	distr, _ := trainWith(t, 1, Options{
+		Workers: 2, Shards: 2, Seed: 9,
+		StepTimeout: 2 * time.Second,
+		RetryBase:   20 * time.Millisecond,
+		Fault: FaultPlan{
+			DropFrame: &FrameFault{Rank: 0, Nth: 3}, // step 0's grad request
+		},
+		Journal: obs.New(&journal),
+	})
+	if !bytes.Equal(local, distr) {
+		t.Fatal("dropped-frame run diverged from the reference")
+	}
+	out := journal.String()
+	for _, ev := range []string{"dist-fault", "dist-timeout", "dist-retry"} {
+		if !strings.Contains(out, fmt.Sprintf("%q", ev)) {
+			t.Errorf("journal missing %s event", ev)
+		}
+	}
+}
+
+func randMatrix(g *rng.RNG, rows, cols int) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = g.NormFloat64()
+	}
+	return m
+}
+
+func randSlice(g *rng.RNG, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = g.NormFloat64()
+	}
+	return s
+}
+
+func sameGrads(a, b []nn.Grads) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].W.Rows != b[i].W.Rows || a[i].W.Cols != b[i].W.Cols {
+			return false
+		}
+		for j := range a[i].W.Data {
+			if a[i].W.Data[j] != b[i].W.Data[j] { //lint:ignore float-equality serialization round trip must be bit-exact
+				return false
+			}
+		}
+		for j := range a[i].B {
+			if a[i].B[j] != b[i].B[j] { //lint:ignore float-equality serialization round trip must be bit-exact
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,52 @@
+package dist
+
+import "time"
+
+// A FaultPlan injects failures into a coordinator for robustness tests.
+// Each fault fires at most once. The zero plan injects nothing.
+type FaultPlan struct {
+	// KillWorker arranges for one spawned worker to exit abruptly
+	// mid-training: the first spawn of Rank receives the kill position
+	// via the environment and calls os.Exit the moment it is asked for
+	// that step's gradients. Respawns never re-arm the kill, so the
+	// replacement worker survives.
+	KillWorker *KillFault
+
+	// DropFrame swallows one coordinator→worker frame: the frame is
+	// never written, but its sequence number is consumed, so the worker
+	// observes (and journals) a sequence gap once traffic resumes. The
+	// coordinator sees a read timeout and retries.
+	DropFrame *FrameFault
+
+	// DelayFrame holds one coordinator→worker frame for Delay before
+	// writing it, exercising the deadline/retry path without losing
+	// data.
+	DelayFrame *FrameFault
+
+	// CorruptFrame flips one bit in the payload of one
+	// coordinator→worker frame. The worker's binio CRC check rejects
+	// the payload (stream stays aligned), the worker reports a
+	// retryable error, and the coordinator resends.
+	CorruptFrame *FrameFault
+}
+
+// KillFault names a worker rank and the training step at which the
+// worker kills itself (before computing that step's gradients).
+type KillFault struct {
+	Rank  int
+	Epoch int // 1-based epoch, matching train.StepPos
+	Step  int // 0-based batch index within the epoch
+}
+
+// FrameFault selects the Nth frame (1-based) sent to Rank, counted
+// across the connection's lifetime including handshake frames.
+type FrameFault struct {
+	Rank  int
+	Nth   int
+	Delay time.Duration // used by DelayFrame only
+}
+
+// matches reports whether this fault selects the n-th frame to rank r.
+func (f *FrameFault) matches(r, n int) bool {
+	return f != nil && f.Rank == r && f.Nth == n
+}

@@ -1,0 +1,501 @@
+// Package dist implements fault-tolerant sharded data-parallel training:
+// a coordinator embedded in the training process plus N worker processes
+// connected over TCP, exchanging binio frames (CRC-guarded, sequence-
+// numbered) and performing synchronous SGD with a deterministic
+// all-reduce.
+//
+// Determinism is structural, not incidental. Every step's global batch
+// is split into S contiguous row shards — S is a run constant,
+// independent of the worker count — and each shard's gradient is an
+// exact forward/backward over just those rows. The coordinator reduces
+// the per-shard gradients sequentially in ascending shard index with a
+// fixed rows/batch weighting, so the reduced gradient is bit-identical
+// no matter how many workers computed the shards, which worker computed
+// which shard, or in what order replies arrived. Coordinator and
+// workers all apply the identical reduced gradient to identical
+// replicas (verified by weight CRC on every commit), so a run with
+// workers=4 produces byte-for-byte the weights of a workers=0 run on
+// the same seed — the property the fault-injection integration test
+// pins.
+//
+// Robustness: every connection read and write carries a deadline, RPCs
+// retry with capped exponential backoff plus seeded jitter, a corrupt
+// frame (caught by the binio payload CRC) is retried rather than
+// trusted, and a worker crash or timeout aborts the step, respawns the
+// worker, and rejoins it from an SNCK checkpoint carrying the in-flight
+// epoch's batch permutation. The FaultPlan hook injects exactly these
+// failures for tests.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"samplednn/internal/binio"
+	"samplednn/internal/dataset"
+	"samplednn/internal/nn"
+	"samplednn/internal/tensor"
+)
+
+// Frame types. Worker→coordinator reply payloads all begin with
+// epoch (u32) then step (u32) so the coordinator can order frames
+// without fully decoding them.
+const (
+	msgHello uint8 = iota + 1
+	msgWelcome
+	msgSync
+	msgSyncAck
+	msgGradRequest
+	msgGradReply
+	msgCommit
+	msgCommitAck
+	msgShutdown
+	msgError
+)
+
+// Error codes carried by msgError.
+const (
+	// errRetryable marks a transient failure (corrupt frame received);
+	// the sender kept its state and the RPC may be resent.
+	errRetryable uint8 = 1
+	// errDesync marks a position disagreement; the worker needs a Sync.
+	errDesync uint8 = 2
+	// errFatal marks an unrecoverable worker-side failure.
+	errFatal uint8 = 3
+)
+
+// hello is the worker's opening message.
+type hello struct {
+	// Rank is the rank assigned at spawn time (from the environment);
+	// the coordinator validates it against its table.
+	Rank int
+	// PID is the worker's process id, journaled on join.
+	PID int
+}
+
+func (h *hello) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(h.Rank))
+	binio.WriteU64(&b, uint64(h.PID))
+	return b.Bytes()
+}
+
+func decodeHello(p []byte) (*hello, error) {
+	r := bytes.NewReader(p)
+	rank, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	pid, err := binio.ReadU64(r)
+	if err != nil {
+		return nil, err
+	}
+	return &hello{Rank: int(rank), PID: int(pid)}, nil
+}
+
+// welcome carries everything a worker needs to reconstruct the
+// coordinator's dataset and method skeleton locally. The mutable state
+// (weights, optimizer accumulators, RNG position, batch permutation)
+// arrives separately in the first sync.
+type welcome struct {
+	Rank      int
+	Spec      dataset.Spec
+	DataSeed  uint64
+	MaxTrain  int
+	MaxTest   int
+	MaxVal    int
+	BatchSize int
+	Shards    int
+	Method    string
+	Optimizer string
+	LR        float64
+}
+
+func (w *welcome) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(w.Rank))
+	binio.WriteString(&b, w.Spec.Name)
+	for _, v := range []int{w.Spec.Width, w.Spec.Height, w.Spec.Channels, w.Spec.Classes, w.Spec.Train, w.Spec.Test, w.Spec.Val} {
+		binio.WriteU32(&b, uint32(v))
+	}
+	binio.WriteF64(&b, w.Spec.Difficulty)
+	binio.WriteU64(&b, w.DataSeed)
+	for _, v := range []int{w.MaxTrain, w.MaxTest, w.MaxVal, w.BatchSize, w.Shards} {
+		binio.WriteU32(&b, uint32(v))
+	}
+	binio.WriteString(&b, w.Method)
+	binio.WriteString(&b, w.Optimizer)
+	binio.WriteF64(&b, w.LR)
+	return b.Bytes()
+}
+
+func decodeWelcome(p []byte) (*welcome, error) {
+	r := bytes.NewReader(p)
+	w := &welcome{}
+	var err error
+	readInt := func(dst *int) {
+		if err != nil {
+			return
+		}
+		var v uint32
+		if v, err = binio.ReadU32(r); err == nil {
+			*dst = int(v)
+		}
+	}
+	readInt(&w.Rank)
+	if err == nil {
+		w.Spec.Name, err = binio.ReadString(r)
+	}
+	for _, dst := range []*int{&w.Spec.Width, &w.Spec.Height, &w.Spec.Channels, &w.Spec.Classes, &w.Spec.Train, &w.Spec.Test, &w.Spec.Val} {
+		readInt(dst)
+	}
+	if err == nil {
+		w.Spec.Difficulty, err = binio.ReadF64(r)
+	}
+	if err == nil {
+		w.DataSeed, err = binio.ReadU64(r)
+	}
+	for _, dst := range []*int{&w.MaxTrain, &w.MaxTest, &w.MaxVal, &w.BatchSize, &w.Shards} {
+		readInt(dst)
+	}
+	if err == nil {
+		w.Method, err = binio.ReadString(r)
+	}
+	if err == nil {
+		w.Optimizer, err = binio.ReadString(r)
+	}
+	if err == nil {
+		w.LR, err = binio.ReadF64(r)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: decoding welcome: %w", err)
+	}
+	return w, nil
+}
+
+// syncMsg pushes the coordinator's full state to a worker: the position
+// the worker must stand at (about to compute step Step of epoch Epoch)
+// and an SNCK checkpoint blob carrying weights, optimizer state, the
+// RNG stream, and the in-flight epoch's batch permutation.
+type syncMsg struct {
+	Epoch int
+	Step  int
+	Blob  []byte
+}
+
+func (s *syncMsg) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(s.Epoch))
+	binio.WriteU32(&b, uint32(s.Step))
+	binio.WriteBytes(&b, s.Blob)
+	return b.Bytes()
+}
+
+func decodeSync(p []byte) (*syncMsg, error) {
+	r := bytes.NewReader(p)
+	epoch, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	step, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := binio.ReadBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	return &syncMsg{Epoch: int(epoch), Step: int(step), Blob: blob}, nil
+}
+
+// posAck is the common shape of syncAck and commitAck: a position plus
+// the worker's post-operation weight CRC, the per-commit replica-drift
+// detector.
+type posAck struct {
+	Epoch     int
+	Step      int
+	WeightCRC uint32
+}
+
+func (a *posAck) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(a.Epoch))
+	binio.WriteU32(&b, uint32(a.Step))
+	binio.WriteU32(&b, a.WeightCRC)
+	return b.Bytes()
+}
+
+func decodePosAck(p []byte) (*posAck, error) {
+	r := bytes.NewReader(p)
+	epoch, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	step, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	crc, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	return &posAck{Epoch: int(epoch), Step: int(step), WeightCRC: crc}, nil
+}
+
+// gradRequest asks a worker for the gradients of shards [ShardLo,
+// ShardHi) of the batch at (Epoch, Step).
+type gradRequest struct {
+	Epoch   int
+	Step    int
+	ShardLo int
+	ShardHi int
+}
+
+func (g *gradRequest) encode() []byte {
+	var b bytes.Buffer
+	for _, v := range []int{g.Epoch, g.Step, g.ShardLo, g.ShardHi} {
+		binio.WriteU32(&b, uint32(v))
+	}
+	return b.Bytes()
+}
+
+func decodeGradRequest(p []byte) (*gradRequest, error) {
+	r := bytes.NewReader(p)
+	g := &gradRequest{}
+	for _, dst := range []*int{&g.Epoch, &g.Step, &g.ShardLo, &g.ShardHi} {
+		v, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		*dst = int(v)
+	}
+	return g, nil
+}
+
+// shardGrad is one shard's contribution: its index (the reduction key),
+// row count (the reduction weight), observed loss, and per-layer
+// gradients.
+type shardGrad struct {
+	Index int
+	Rows  int
+	Loss  float64
+	Grads []nn.Grads
+}
+
+// gradReply carries every shard a worker was asked for.
+type gradReply struct {
+	Epoch  int
+	Step   int
+	Shards []shardGrad
+}
+
+func (g *gradReply) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(g.Epoch))
+	binio.WriteU32(&b, uint32(g.Step))
+	binio.WriteU32(&b, uint32(len(g.Shards)))
+	for i := range g.Shards {
+		s := &g.Shards[i]
+		binio.WriteU32(&b, uint32(s.Index))
+		binio.WriteU32(&b, uint32(s.Rows))
+		binio.WriteF64(&b, s.Loss)
+		writeGrads(&b, s.Grads)
+	}
+	return b.Bytes()
+}
+
+func decodeGradReply(p []byte) (*gradReply, error) {
+	r := bytes.NewReader(p)
+	g := &gradReply{}
+	epoch, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	step, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	g.Epoch, g.Step = int(epoch), int(step)
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("dist: implausible shard count %d", n)
+	}
+	g.Shards = make([]shardGrad, n)
+	for i := range g.Shards {
+		s := &g.Shards[i]
+		idx, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		s.Index, s.Rows = int(idx), int(rows)
+		if s.Loss, err = binio.ReadF64(r); err != nil {
+			return nil, err
+		}
+		if s.Grads, err = readGrads(r); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// commit distributes the reduced gradient for (Epoch, Step); every
+// replica (workers and coordinator alike) applies it through its
+// optimizer.
+type commit struct {
+	Epoch int
+	Step  int
+	Loss  float64
+	Grads []nn.Grads
+}
+
+func (c *commit) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(c.Epoch))
+	binio.WriteU32(&b, uint32(c.Step))
+	binio.WriteF64(&b, c.Loss)
+	writeGrads(&b, c.Grads)
+	return b.Bytes()
+}
+
+func decodeCommit(p []byte) (*commit, error) {
+	r := bytes.NewReader(p)
+	c := &commit{}
+	epoch, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	step, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	c.Epoch, c.Step = int(epoch), int(step)
+	if c.Loss, err = binio.ReadF64(r); err != nil {
+		return nil, err
+	}
+	if c.Grads, err = readGrads(r); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// errMsg reports a worker-side failure with a recovery hint.
+type errMsg struct {
+	Epoch int
+	Step  int
+	Code  uint8
+	Text  string
+}
+
+func (e *errMsg) encode() []byte {
+	var b bytes.Buffer
+	binio.WriteU32(&b, uint32(e.Epoch))
+	binio.WriteU32(&b, uint32(e.Step))
+	binio.WriteU8(&b, e.Code)
+	binio.WriteString(&b, e.Text)
+	return b.Bytes()
+}
+
+func decodeErrMsg(p []byte) (*errMsg, error) {
+	r := bytes.NewReader(p)
+	e := &errMsg{}
+	epoch, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	step, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	e.Epoch, e.Step = int(epoch), int(step)
+	if e.Code, err = binio.ReadU8(r); err != nil {
+		return nil, err
+	}
+	if e.Text, err = binio.ReadString(r); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// peekPos extracts the (epoch, step) header every worker→coordinator
+// payload begins with, letting the coordinator order frames without a
+// full decode.
+func peekPos(p []byte) (epoch, step int, err error) {
+	if len(p) < 8 {
+		return 0, 0, io.ErrUnexpectedEOF
+	}
+	return int(binary.LittleEndian.Uint32(p)), int(binary.LittleEndian.Uint32(p[4:])), nil
+}
+
+func writeGrads(w io.Writer, grads []nn.Grads) {
+	binio.WriteU32(w, uint32(len(grads)))
+	for _, g := range grads {
+		binio.WriteU32(w, uint32(g.W.Rows))
+		binio.WriteU32(w, uint32(g.W.Cols))
+		binio.WriteFloats(w, g.W.Data)
+		binio.WriteFloats(w, g.B)
+	}
+}
+
+func readGrads(r io.Reader) ([]nn.Grads, error) {
+	n, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<12 {
+		return nil, fmt.Errorf("dist: implausible layer count %d", n)
+	}
+	grads := make([]nn.Grads, n)
+	for i := range grads {
+		rows, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		data, err := binio.ReadFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) != int(rows)*int(cols) {
+			return nil, fmt.Errorf("dist: gradient %dx%d carries %d values", rows, cols, len(data))
+		}
+		b, err := binio.ReadFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		grads[i] = nn.Grads{W: &tensor.Matrix{Rows: int(rows), Cols: int(cols), Data: data}, B: b}
+	}
+	return grads, nil
+}
+
+// weightCRC hashes every layer's weights and biases (IEEE-754 bits,
+// little-endian, layer order) — the cheap replica-equality certificate
+// exchanged on every sync and commit.
+func weightCRC(net *nn.Network) uint32 {
+	h := crc32.NewIEEE()
+	var buf [8]byte
+	for _, l := range net.Layers {
+		for _, v := range l.W.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+		for _, v := range l.B {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum32()
+}

@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"samplednn/internal/nn"
+	"samplednn/internal/tensor"
+)
+
+// shardRange returns the row interval [lo, hi) of shard s when a batch
+// of rows rows is split into shards contiguous shards. The split is a
+// pure function of (rows, shards) — never of the worker count — which
+// is the first pillar of the determinism argument: the same batch
+// always decomposes into the same shards.
+func shardRange(rows, shards, s int) (lo, hi int) {
+	return s * rows / shards, (s + 1) * rows / shards
+}
+
+// workerShards returns the shard interval [lo, hi) that rank r of w
+// workers is responsible for computing. Which worker computes a shard
+// is irrelevant to the result (the reduction is keyed by shard index,
+// not by rank); this split just balances load.
+func workerShards(shards, w, r int) (lo, hi int) {
+	return r * shards / w, (r + 1) * shards / w
+}
+
+// newReducer returns a reducer with zeroed accumulators shaped like the
+// given layer gradients.
+func newReducer(like []nn.Grads) *reducer {
+	acc := make([]nn.Grads, len(like))
+	for i, g := range like {
+		acc[i] = nn.Grads{
+			W: tensor.New(g.W.Rows, g.W.Cols),
+			B: make([]float64, len(g.B)),
+		}
+	}
+	return &reducer{acc: acc, pending: -1}
+}
+
+// reducer folds per-shard gradients into the global batch gradient.
+// Shards MUST be offered in ascending shard index — Add enforces it —
+// because float addition is not associative: a fixed fold order is the
+// second pillar of the determinism argument. The weighting rows/total
+// makes the result exactly the mean gradient over the full batch, so a
+// single shard covering the whole batch reduces to scale 1.0 and the
+// step degenerates bit-for-bit to the plain single-process step.
+type reducer struct {
+	acc     []nn.Grads
+	loss    float64
+	rows    int
+	pending int // last shard index folded, -1 before the first
+}
+
+// Add folds one shard's gradient, scaled by its share of the total
+// batch rows, into the accumulator.
+func (r *reducer) Add(index, rows, total int, loss float64, grads []nn.Grads) {
+	if index <= r.pending {
+		panic("dist: reducer offered shards out of ascending order")
+	}
+	if len(grads) != len(r.acc) {
+		panic("dist: reducer offered mismatched layer count")
+	}
+	r.pending = index
+	scale := float64(rows) / float64(total)
+	for i, g := range grads {
+		aw, gw := r.acc[i].W.Data, g.W.Data
+		for j := range aw {
+			aw[j] += scale * gw[j]
+		}
+		ab := r.acc[i].B
+		for j := range ab {
+			ab[j] += scale * g.B[j]
+		}
+	}
+	r.loss += scale * loss
+	r.rows += rows
+}
+
+// Result returns the reduced gradient and batch loss. total is the
+// expected row count; Result panics if the folded shards do not tile
+// the batch exactly (a missing or duplicated shard would silently skew
+// the gradient otherwise).
+func (r *reducer) Result(total int) (float64, []nn.Grads) {
+	if r.rows != total {
+		panic("dist: reduced shards do not tile the batch")
+	}
+	return r.loss, r.acc
+}

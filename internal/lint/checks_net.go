@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkNetDeadline requires every Read or Write on a net connection to
+// be preceded, within the same enclosing function, by a SetDeadline /
+// SetReadDeadline / SetWriteDeadline call. The distributed training
+// coordinator's fault tolerance (PR 6) rests on the invariant that no
+// network I/O can block forever: a worker crash must surface as a
+// deadline error the retry/respawn machinery handles, not as a hung
+// training run. The check is lexical within one function body — the
+// deadline call must appear before the I/O call — which matches how
+// the dist package structures every conn operation.
+func checkNetDeadline() *Check {
+	const name = "net-deadline"
+	return &Check{
+		Name: name,
+		Doc: "require a SetDeadline/SetReadDeadline/SetWriteDeadline call " +
+			"before any Read/Write on a net connection in the same function; " +
+			"unbounded network I/O turns a peer crash into a hung run",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body != nil {
+						out = append(out, netDeadlineInFunc(pkg, name, body)...)
+					}
+					// Keep descending: nested function literals are
+					// analyzed as their own scopes when the walk
+					// reaches them.
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// netDeadlineInFunc scans one function body (excluding nested function
+// literals, which get their own scan) and reports net Read/Write calls
+// with no lexically preceding deadline call.
+func netDeadlineInFunc(pkg *Package, name string, body *ast.BlockStmt) []Diagnostic {
+	type rwCall struct {
+		pos  token.Pos
+		verb string
+	}
+	var calls []rwCall
+	var deadlines []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			// Any receiver counts: conns, listeners, and wrappers that
+			// forward to one.
+			deadlines = append(deadlines, call.Pos())
+		case "Read", "Write":
+			if isNetType(pkg, sel.X) {
+				calls = append(calls, rwCall{pos: call.Pos(), verb: sel.Sel.Name})
+			}
+		}
+		return true
+	})
+	var out []Diagnostic
+	for _, c := range calls {
+		covered := false
+		for _, d := range deadlines {
+			if d < c.pos {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, diag(pkg, name, c.pos,
+				"%s on a net connection with no preceding SetDeadline in this function: a dead peer would hang the run instead of failing fast", c.verb))
+		}
+	}
+	return out
+}
+
+// isNetType reports whether e's static type is a named type (or pointer
+// to one) declared in package net — net.Conn, *net.TCPConn, and
+// friends. Resolution goes through the type checker, so io.Reader
+// wrappers and os.File (which also has SetDeadline) are not flagged.
+func isNetType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}

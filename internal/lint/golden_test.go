@@ -85,6 +85,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"wallclock_exempt_bench", "wallclock", "samplednn/internal/bench/fixture"},
 		{"rawgoroutine", "rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
 		{"rawgoroutine_exempt_pool", "rawgoroutine", "samplednn/internal/pool/fixture"},
+		{"netdeadline", "netdeadline", "samplednn/internal/fixture/netdeadline"},
 		{"atomicwrite", "atomicwrite", "samplednn/internal/fixture/atomicwrite"},
 		{"atomicwrite_exempt", "atomicwrite", "samplednn/internal/atomicfile/fixture"},
 		{"readonlyforward", "readonlyforward", "samplednn/internal/fixture/readonlyforward"},
@@ -122,8 +123,8 @@ func TestGoldenFixtures(t *testing.T) {
 // each analyzer in the suite fires on at least one known-bad fixture.
 func TestEveryCheckHasBadFixture(t *testing.T) {
 	fired := map[string]bool{}
-	dirs := []string{"mathrand", "wallclock", "rawgoroutine", "atomicwrite",
-		"readonlyforward", "floateq", "maporderfloat"}
+	dirs := []string{"mathrand", "wallclock", "rawgoroutine", "netdeadline",
+		"atomicwrite", "readonlyforward", "floateq", "maporderfloat"}
 	for _, dir := range dirs {
 		pkg := loadFixture(t, dir, "samplednn/internal/fixture/"+dir)
 		res := Run("", []*Package{pkg}, Checks())

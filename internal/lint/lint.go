@@ -76,6 +76,7 @@ func Checks() []*Check {
 		checkMathRand(),
 		checkWallClock(),
 		checkRawGoroutine(),
+		checkNetDeadline(),
 		checkAtomicWrite(),
 		checkReadonlyForward(),
 		checkFloatEquality(),

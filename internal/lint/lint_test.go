@@ -36,7 +36,7 @@ func TestCheckByName(t *testing.T) {
 func TestCheckNamesStable(t *testing.T) {
 	// //lint:ignore directives in the tree reference these names; renaming
 	// a check silently un-suppresses every waiver for it.
-	want := []string{"math-rand", "wall-clock", "raw-goroutine",
+	want := []string{"math-rand", "wall-clock", "raw-goroutine", "net-deadline",
 		"atomic-write", "readonly-forward", "float-equality", "map-order-float"}
 	got := Checks()
 	if len(got) != len(want) {

@@ -1,0 +1,63 @@
+// Package netdeadline exercises the net-deadline check: reads and
+// writes on net connections with and without a preceding deadline.
+// Deadlines are passed in as time.Time parameters so the fixture never
+// reads the wall clock (which the wall-clock check would flag).
+package netdeadline
+
+import (
+	"bytes"
+	"net"
+	"time"
+)
+
+// BadRead blocks forever when the peer dies: no deadline anywhere.
+func BadRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+// BadWriteAfter sets the deadline only after the write — too late to
+// bound it.
+func BadWriteAfter(c *net.TCPConn, buf []byte, t time.Time) (int, error) {
+	n, err := c.Write(buf)
+	_ = c.SetWriteDeadline(t)
+	return n, err
+}
+
+// BadInsideLiteral shows that a deadline in the outer function does not
+// cover I/O inside a nested function literal — each scope needs its
+// own.
+func BadInsideLiteral(c net.Conn, buf []byte, t time.Time) func() (int, error) {
+	_ = c.SetDeadline(t)
+	return func() (int, error) {
+		return c.Read(buf)
+	}
+}
+
+// GoodRead bounds the read with a read deadline.
+func GoodRead(c net.Conn, buf []byte, t time.Time) (int, error) {
+	if err := c.SetReadDeadline(t); err != nil {
+		return 0, err
+	}
+	return c.Read(buf)
+}
+
+// GoodWrite bounds the write with a general deadline.
+func GoodWrite(c net.Conn, buf []byte, t time.Time) (int, error) {
+	if err := c.SetDeadline(t); err != nil {
+		return 0, err
+	}
+	return c.Write(buf)
+}
+
+// NotANetType is untouched: bytes.Buffer has Read/Write but lives
+// outside package net.
+func NotANetType(b *bytes.Buffer, p []byte) (int, error) {
+	return b.Write(p)
+}
+
+// Waived documents a deliberately unbounded read with the mandatory
+// reason.
+func Waived(c net.Conn, buf []byte) (int, error) {
+	//lint:ignore net-deadline fixture waiver: lifetime-blocking accept loop documented as intentional
+	return c.Read(buf)
+}

@@ -105,6 +105,17 @@ func (m *Matrix) RowView(i int) []float64 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
+// RowRange returns rows [lo, hi) as a matrix view sharing m's backing
+// storage — no copy. Writes through either alias are visible in both.
+// Distributed training uses it to address contiguous row shards of a
+// batch without materializing them.
+func (m *Matrix) RowRange(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("tensor: row range [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols : hi*m.Cols]}
+}
+
 // Col copies column j into dst (allocated if nil) and returns it.
 func (m *Matrix) Col(j int, dst []float64) []float64 {
 	if j < 0 || j >= m.Cols {

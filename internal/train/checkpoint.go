@@ -348,13 +348,21 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	return c, nil
 }
 
-// WriteFile atomically persists the checkpoint to path.
+// CheckpointBackupPath names the last-known-good backup kept beside a
+// checkpoint file.
+func CheckpointBackupPath(path string) string { return path + ".prev" }
+
+// WriteFile atomically persists the checkpoint to path, first preserving
+// the previous generation at CheckpointBackupPath(path). The backup is a
+// copy, so a crash at any instant leaves a complete checkpoint at path;
+// the backup exists for the failure atomicity cannot prevent — a primary
+// that goes bad on disk after the write.
 func (c *Checkpoint) WriteFile(path string) error {
 	data, err := c.Encode()
 	if err != nil {
 		return fmt.Errorf("train: encoding checkpoint: %w", err)
 	}
-	if err := atomicfile.WriteFileBytes(path, data); err != nil {
+	if err := atomicfile.BackupThenReplace(path, CheckpointBackupPath(path), data); err != nil {
 		return fmt.Errorf("train: writing checkpoint: %w", err)
 	}
 	return nil
@@ -367,4 +375,28 @@ func ReadCheckpointFile(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("train: reading checkpoint: %w", err)
 	}
 	return DecodeCheckpoint(data)
+}
+
+// ReadCheckpointFileFallback loads the checkpoint at path, falling back
+// to the .prev backup when the primary is missing or fails validation.
+// On fallback the returned primaryErr records why the primary was
+// rejected (callers journal it as a checkpoint-fallback event); when the
+// primary loads cleanly primaryErr is nil. err is non-nil only when
+// neither generation is usable.
+func ReadCheckpointFileFallback(path string) (ck *Checkpoint, primaryErr, err error) {
+	ck, perr := ReadCheckpointFile(path)
+	if perr == nil {
+		return ck, nil, nil
+	}
+	if !errors.Is(perr, ErrCorruptCheckpoint) && !os.IsNotExist(perr) {
+		// An I/O failure (permissions, device error) is not evidence the
+		// primary is bad; surface it rather than silently time-travelling
+		// to an older state.
+		return nil, nil, perr
+	}
+	ck, berr := ReadCheckpointFile(CheckpointBackupPath(path))
+	if berr != nil {
+		return nil, nil, fmt.Errorf("train: checkpoint unusable: primary: %w; backup: %w", perr, berr)
+	}
+	return ck, perr, nil
 }

@@ -93,6 +93,37 @@ type Config struct {
 	// ProbeSamples sizes the probe minibatch, taken from the head of the
 	// training split (default 16).
 	ProbeSamples int
+	// Stepper, when set, replaces the method's local Step for every
+	// batch: the trainer hands each batch (with its position and a
+	// state-capture hook) to the stepper and records the loss it
+	// returns. Distributed data-parallel training (internal/dist) plugs
+	// its coordinator in here; everything else about the run — shuffling,
+	// divergence recovery, checkpoints, telemetry — is unchanged.
+	Stepper BatchStepper
+}
+
+// StepPos identifies one optimizer step within a run.
+type StepPos struct {
+	// Epoch is the 1-based in-flight epoch.
+	Epoch int
+	// Step is the 0-based batch index within the epoch.
+	Step int
+}
+
+// StateFunc captures a full-state checkpoint of the run at the current
+// position: weights, optimizer state, RNG stream, and the in-flight
+// epoch's batch permutation. A BatchStepper calls it to build the sync
+// blob a rejoining worker replays from.
+type StateFunc func() (*Checkpoint, error)
+
+// BatchStepper is the trainer's gradient export/import seam. StepBatch
+// must leave the method's network updated exactly as a local Step on the
+// same batch would (the distributed coordinator guarantees this via its
+// fixed-order reduce). The batch matrix and labels are only valid for
+// the duration of the call. A non-nil error means the batch was not
+// applied and aborts the run.
+type BatchStepper interface {
+	StepBatch(pos StepPos, x *tensor.Matrix, y []int, state StateFunc) (float64, error)
 }
 
 func (c *Config) setDefaults() {
@@ -255,11 +286,23 @@ func (t *Trainer) Resume(path string) (*History, error) {
 	return t.ResumeContext(context.Background(), path)
 }
 
-// ResumeContext is Resume with cancellation (see RunContext).
+// ResumeContext is Resume with cancellation (see RunContext). When the
+// primary checkpoint is missing or corrupt, the resume falls back to the
+// last-known-good .prev backup and journals a checkpoint-fallback event;
+// the run then replays the (at most CheckpointEvery) epochs between the
+// two generations.
 func (t *Trainer) ResumeContext(ctx context.Context, path string) (*History, error) {
-	ck, err := ReadCheckpointFile(path)
+	ck, primaryErr, err := ReadCheckpointFileFallback(path)
 	if err != nil {
 		return nil, err
+	}
+	if primaryErr != nil {
+		t.emit("checkpoint-fallback", map[string]any{
+			"path":   path,
+			"backup": CheckpointBackupPath(path),
+			"epoch":  ck.Epoch,
+			"reason": primaryErr.Error(),
+		})
 	}
 	return t.run(ctx, ck)
 }
@@ -353,7 +396,9 @@ func (t *Trainer) run(ctx context.Context, start *Checkpoint) (*History, error) 
 			if x == nil {
 				break
 			}
-			loss, err := t.step(x, y)
+			loss, err := t.stepAt(StepPos{Epoch: epoch, Step: batches}, x, y, func() (*Checkpoint, error) {
+				return t.capture(g, batcher, hist, &rs)
+			})
 			if err != nil {
 				// A contained worker fault: the batch was not applied.
 				// Preserve progress, then surface the fault.
@@ -641,9 +686,13 @@ func (t *Trainer) currentLR() any {
 	return nil
 }
 
-// step trains on one batch, preferring the error-aware path when the
-// method provides one.
-func (t *Trainer) step(x *tensor.Matrix, y []int) (float64, error) {
+// stepAt trains on one batch: through the configured BatchStepper when
+// one is set, otherwise locally — preferring the error-aware path when
+// the method provides one.
+func (t *Trainer) stepAt(pos StepPos, x *tensor.Matrix, y []int, state StateFunc) (float64, error) {
+	if t.cfg.Stepper != nil {
+		return t.cfg.Stepper.StepBatch(pos, x, y, state)
+	}
 	if fs, ok := t.method.(core.FallibleStepper); ok {
 		return fs.TryStep(x, y)
 	}
