@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-dist vet fmt journal-demo trace-demo
+.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-dist bench-serve vet fmt journal-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,9 @@ lint:
 
 # Tier-1 gate: static analysis, vet, and race-enabled tests for every
 # package in the module (the race gate covers the worker pool, parallel
-# kernels, parallel ALSH workers, tracer/metrics registry, and the
-# checkpoint/resume machinery; internal/bench dominates the runtime).
+# kernels, parallel ALSH workers, tracer/metrics registry, the
+# checkpoint/resume machinery, and the serving layer's concurrent
+# predict + hot-swap path; internal/bench dominates the runtime).
 tier1: lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -39,6 +40,13 @@ bench-gemm:
 # byte-for-byte against the single-process weights before it is recorded.
 bench-dist:
 	$(GO) run ./cmd/benchdist -workers 1,2,4 -epochs 3 -out BENCH_distributed.json
+
+# Serving-layer sweep: /predict latency percentiles and throughput at
+# 1, 2, and 4 closed-loop workers against a real mlpserve instance on a
+# loopback port; every point's responses are verified against a local
+# forward pass of the served checkpoint before its timing is recorded.
+bench-serve:
+	$(GO) run ./cmd/benchserve -workers 1,2,4 -requests 300 -rows 4 -out BENCH_serve.json
 
 # Tracer and error-probe overhead on ALSH-approx training: two baseline
 # runs expose the host noise floor, then tracer-on / probe-on / both are

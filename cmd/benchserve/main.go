@@ -1,0 +1,86 @@
+// Command benchserve runs the serving-layer latency/throughput sweep
+// and writes BENCH_serve.json, the artifact the Makefile `bench-serve`
+// target tracks.
+//
+// Usage:
+//
+//	benchserve -workers 1,2,4 -requests 300 -rows 4 -out BENCH_serve.json
+//
+// The sweep stands up a real serving instance (checkpoint load, HTTP,
+// convoy micro-batcher) on a loopback port; every point's responses are
+// verified against a local forward pass of the same checkpoint before
+// its timing is recorded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/bench"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_serve.json", "output JSON path")
+		workers  = flag.String("workers", "1,2,4", "comma-separated closed-loop worker counts")
+		requests = flag.Int("requests", 300, "requests per point")
+		rows     = flag.Int("rows", 4, "rows per request")
+	)
+	flag.Parse()
+	ws, err := parseInts(*workers)
+	if err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
+	if *requests <= 0 || *rows <= 0 {
+		fatal(fmt.Errorf("-requests and -rows must be positive"))
+	}
+
+	rep, err := bench.RunServeBench(ws, *requests, *rows)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range rep.Points {
+		fmt.Printf("workers=%d  %4d reqs in %6.2fs  %7.1f req/s  %8.1f rows/s  p50 %6.0fus  p95 %6.0fus  p99 %6.0fus  max-coalesced %d\n",
+			p.Workers, p.Requests, p.Seconds, p.RequestsPerSec, p.RowsPerSec,
+			p.P50Micros, p.P95Micros, p.P99Micros, p.MaxCoalesced)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := atomicfile.WriteFileBytes(*out, data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d points, host CPUs %d)\n", *out, len(rep.Points), rep.Host.CPUs)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchserve:", err)
+	os.Exit(1)
+}

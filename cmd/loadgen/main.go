@@ -1,0 +1,190 @@
+// Command loadgen drives an mlpserve instance with seeded synthetic
+// /predict traffic and reports latency percentiles. In open-loop mode
+// (-rate > 0) request start times are fixed on a clock grid regardless
+// of completions — the arrival process a real client population
+// produces, which is what makes tail latency honest under overload
+// (closed-loop generators slow down with the server and hide queueing).
+// With -rate 0 the workers run closed-loop, back to back.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 -workers 4 -requests 1000 -rate 200
+//
+// The input dimensionality is autodetected from GET /healthz; payloads
+// are seeded, so two runs against the same server send identical bytes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/obs"
+	"samplednn/internal/rng"
+)
+
+// summary is the machine-readable run report.
+type summary struct {
+	Addr           string  `json:"addr"`
+	Workers        int     `json:"workers"`
+	Requests       int     `json:"requests"`
+	Rows           int     `json:"rows"`
+	RatePerSec     float64 `json:"rate_per_sec"` // 0 = closed loop
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Micros      float64 `json:"p50_us"`
+	P95Micros      float64 `json:"p95_us"`
+	P99Micros      float64 `json:"p99_us"`
+	MaxMicros      int64   `json:"max_us"`
+	Errors         int64   `json:"errors"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "mlpserve base URL")
+		workers  = flag.Int("workers", 2, "concurrent request workers")
+		requests = flag.Int("requests", 200, "total requests to send")
+		rows     = flag.Int("rows", 4, "rows per request")
+		dim      = flag.Int("dim", 0, "input features per row (0 = autodetect from /healthz)")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/sec (0 = closed loop)")
+		seed     = flag.Uint64("seed", 1, "payload RNG seed")
+		out      = flag.String("out", "", "write the JSON summary here instead of stdout")
+	)
+	flag.Parse()
+	if *workers <= 0 || *requests <= 0 || *rows <= 0 {
+		fatal(fmt.Errorf("-workers, -requests, and -rows must be positive"))
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	d := *dim
+	if d == 0 {
+		var err error
+		if d, err = detectDim(client, base); err != nil {
+			fatal(fmt.Errorf("autodetecting -dim from /healthz: %w", err))
+		}
+	}
+
+	// A small pool of distinct seeded payloads, cycled by request index.
+	g := rng.New(*seed)
+	payloads := make([][]byte, 16)
+	for i := range payloads {
+		rs := make([][]float64, *rows)
+		for r := range rs {
+			rs[r] = make([]float64, d)
+			g.GaussianSlice(rs[r], 0, 1)
+		}
+		b, err := json.Marshal(map[string]any{"rows": rs})
+		if err != nil {
+			fatal(err)
+		}
+		payloads[i] = b
+	}
+
+	var (
+		lat     = obs.NewDistribution()
+		errs    atomic.Int64
+		nextReq atomic.Int64
+		wg      sync.WaitGroup
+	)
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+	url := base + "/predict"
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		//lint:ignore raw-goroutine finite load workers joined by the WaitGroup below; sleeping on the arrival grid would wedge a bounded pool
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextReq.Add(1) - 1)
+				if i >= *requests {
+					return
+				}
+				if interval > 0 {
+					// Open loop: request i departs at start + i*interval,
+					// whether or not earlier requests have finished.
+					if wait := time.Until(start.Add(time.Duration(i) * interval)); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(payloads[i%len(payloads)]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, cpErr := bytes.NewBuffer(nil).ReadFrom(resp.Body)
+				resp.Body.Close()
+				lat.Observe(time.Since(t0).Microseconds())
+				if cpErr != nil || resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+
+	snap := lat.Snapshot()
+	s := summary{
+		Addr: base, Workers: *workers, Requests: *requests, Rows: *rows,
+		RatePerSec: *rate, Seconds: secs,
+		RequestsPerSec: float64(*requests) / secs,
+		P50Micros:      snap.P50, P95Micros: snap.P95, P99Micros: snap.P99,
+		MaxMicros: snap.Max, Errors: errs.Load(),
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := atomicfile.WriteFileBytes(*out, data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loadgen: wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(data)
+	}
+	if s.Errors > 0 {
+		fatal(fmt.Errorf("%d of %d requests failed", s.Errors, *requests))
+	}
+}
+
+// detectDim reads the model's input width from /healthz.
+func detectDim(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var info struct {
+		Inputs int `json:"inputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return 0, err
+	}
+	if info.Inputs <= 0 {
+		return 0, fmt.Errorf("healthz reports %d inputs", info.Inputs)
+	}
+	return info.Inputs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command mlpserve serves predictions from an SNCK checkpoint over
+// HTTP: the inference-side counterpart to mlptrain. It loads the
+// checkpoint (falling back to the .prev backup exactly like training
+// resume), coalesces concurrent requests into micro-batches, answers
+// LSH-accelerated top-k queries, and hot-swaps checkpoints with zero
+// downtime via POST /admin/swap.
+//
+// Usage:
+//
+//	mlpserve -checkpoint run.snck -addr :8080 -journal serve.jsonl
+//
+// Endpoints:
+//
+//	POST /predict     {"rows":[[...],...]}        → class predictions
+//	POST /topk        {"row":[...],"k":3}         → top-k output ids
+//	GET  /healthz                                  → model info
+//	GET  /metrics                                  → Prometheus text
+//	POST /admin/swap  {"checkpoint":"new.snck"}    → hot swap
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"samplednn/internal/obs"
+	"samplednn/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		checkpoint = flag.String("checkpoint", "", "SNCK checkpoint to serve (required)")
+		topk       = flag.Int("topk", 5, "default k for /topk; also builds the LSH top-k index (0 disables both)")
+		journal    = flag.String("journal", "", "append serve events to this JSONL journal")
+		maxBatch   = flag.Int("max-batch-rows", 256, "micro-batch row cap (also the per-request row cap)")
+		maxBody    = flag.Int64("max-body", 1<<20, "request body byte cap")
+		seed       = flag.Uint64("seed", 1, "seed for the LSH top-k index hash draws")
+	)
+	flag.Parse()
+	if *checkpoint == "" {
+		fatal(fmt.Errorf("-checkpoint is required"))
+	}
+
+	var j *obs.Journal
+	if *journal != "" {
+		var err error
+		if j, err = obs.Open(*journal); err != nil {
+			fatal(err)
+		}
+		defer j.Close()
+	}
+
+	s := serve.NewServer(serve.Options{
+		MaxBatchRows: *maxBatch,
+		MaxBodyBytes: *maxBody,
+		TopK:         *topk,
+		Model:        serve.ModelOptions{TopK: *topk > 0, Seed: *seed},
+		Journal:      j,
+	})
+	m, err := serve.LoadModel(*checkpoint, serve.ModelOptions{TopK: *topk > 0, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	s.Install(m)
+	if m.Info.Fallback {
+		fmt.Fprintln(os.Stderr, "mlpserve: primary checkpoint corrupt; serving the .prev backup")
+	}
+	fmt.Printf("mlpserve: serving %s (crc %08x, epoch %d, %s, %d params) on %s\n",
+		*checkpoint, m.Info.CRC, m.Info.Epoch, m.Info.Method, m.Info.Params, *addr)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.Handler(),
+		// Request bodies are small JSON (capped by -max-body) and every
+		// response is a single prediction batch, so tight bounds are
+		// safe: a stalled client is cut loose, not waited on.
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	//lint:ignore raw-goroutine ListenAndServe blocks for the process lifetime; shutdown is coordinated below, so it cannot be a bounded pool task
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		// Restore default signal disposition first: a second Ctrl-C
+		// during a slow drain kills the process instead of being dropped.
+		stop()
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("mlpserve: drained, bye")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mlpserve:", err)
+	os.Exit(1)
+}

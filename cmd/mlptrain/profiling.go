@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"samplednn/internal/atomicfile"
 	"samplednn/internal/obs"
@@ -75,9 +76,17 @@ func servePprof(addr string) {
 	// The trainer publishes its live gauges on the default registry; the
 	// pprof import above registers its handlers on the same DefaultServeMux.
 	http.Handle("/metrics", obs.Default)
+	srv := &http.Server{
+		Addr: addr,
+		// pprof responses stream for minutes (/debug/pprof/profile,
+		// /debug/pprof/trace), so the read bound goes on the headers and
+		// the write bound must outlast the longest sampling window.
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      15 * time.Minute,
+	}
 	//lint:ignore raw-goroutine long-lived diagnostic HTTP server; ListenAndServe never returns, so it cannot be a pool task
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := srv.ListenAndServe(); err != nil {
 			fmt.Fprintln(os.Stderr, "mlptrain: pprof server:", err)
 		}
 	}()

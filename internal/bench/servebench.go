@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/obs"
+	"samplednn/internal/pool"
+	"samplednn/internal/rng"
+	"samplednn/internal/serve"
+	"samplednn/internal/tensor"
+	"samplednn/internal/train"
+)
+
+// Serving-layer latency/throughput sweep (BENCH_serve.json). A real
+// mlpserve instance — checkpoint load, HTTP stack, convoy batcher —
+// serves on a loopback port while 1, 2, and 4 closed-loop workers
+// hammer /predict. Every point first verifies that the served
+// predictions match a local forward pass of the same checkpoint, so a
+// throughput number can never mask a correctness regression, and
+// per-request latency lands in an obs log2 Distribution, which is where
+// the reported p50/p95/p99 come from.
+
+// ServePoint is one worker-count measurement.
+type ServePoint struct {
+	// Workers is the number of concurrent closed-loop load workers.
+	Workers  int `json:"workers"`
+	Requests int `json:"requests"`
+	// RowsPerRequest is the batch size each request carries.
+	RowsPerRequest int     `json:"rows_per_request"`
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+	// P50/P95/P99 are per-request latency quantiles in microseconds,
+	// reconstructed from the log2 histogram (±1 bucket width).
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+	// Identical reports that every response in this point matched the
+	// local single-model reference predictions.
+	Identical bool `json:"identical"`
+	Errors    int  `json:"errors"`
+	// BatchedCalls/BatchedRows summarize the convoy batcher's view of
+	// this point: how many leader GEMMs ran and the rows they carried.
+	BatchedCalls int64 `json:"batched_calls"`
+	// MaxCoalesced is the largest number of requests one GEMM served.
+	MaxCoalesced int64 `json:"max_coalesced"`
+}
+
+// ServeReport is the BENCH_serve.json payload.
+type ServeReport struct {
+	Host struct {
+		CPUs       int `json:"cpus"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
+	// Model describes the served checkpoint.
+	Model serve.ModelInfo `json:"model"`
+	// MaxBatchRows is the server's micro-batch cap.
+	MaxBatchRows int          `json:"max_batch_rows"`
+	Points       []ServePoint `json:"points"`
+	Notes        []string     `json:"notes,omitempty"`
+}
+
+// JSON renders the report for BENCH_serve.json.
+func (r *ServeReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// predictReply mirrors the serve /predict response shape.
+type predictReply struct {
+	Predictions []int  `json:"predictions"`
+	CRC         uint32 `json:"crc"`
+	Epoch       int    `json:"epoch"`
+}
+
+// serveBenchPayloads builds nPayloads seeded request bodies plus the
+// local reference predictions each must come back with.
+func serveBenchPayloads(m *serve.Model, nPayloads, rows int, seed uint64) (bodies [][]byte, refs [][]int) {
+	g := rng.New(seed)
+	for i := 0; i < nPayloads; i++ {
+		x := make([][]float64, rows)
+		flat := make([]float64, rows*m.Info.Inputs)
+		g.GaussianSlice(flat, 0, 1)
+		for r := range x {
+			x[r] = flat[r*m.Info.Inputs : (r+1)*m.Info.Inputs]
+		}
+		body, err := json.Marshal(map[string]any{"rows": x})
+		if err != nil {
+			panic(err) // rows of finite float64 always marshal
+		}
+		bodies = append(bodies, body)
+
+		xm := tensor.New(rows, m.Info.Inputs)
+		copy(xm.Data, flat)
+		refs = append(refs, m.Net.Predict(xm))
+	}
+	return bodies, refs
+}
+
+// RunServeBench stands up a real serving instance over a freshly
+// written checkpoint and measures closed-loop /predict throughput and
+// latency at each worker count.
+func RunServeBench(workerCounts []int, requests, rows int) (*ServeReport, error) {
+	dir, err := os.MkdirTemp("", "servebench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ckPath := filepath.Join(dir, "model.snck")
+	netw, err := nn.NewNetwork(nn.Uniform(64, 32, 2, 10), rng.New(43))
+	if err != nil {
+		return nil, err
+	}
+	var blob bytes.Buffer
+	if err := netw.Save(&blob); err != nil {
+		return nil, err
+	}
+	ck := &train.Checkpoint{Epoch: 1, MethodName: "standard", NetBlob: blob.Bytes()}
+	if err := ck.WriteFile(ckPath); err != nil {
+		return nil, err
+	}
+
+	reg := obs.NewRegistry()
+	s := serve.NewServer(serve.Options{MaxBatchRows: 256, Registry: reg})
+	if _, err := s.LoadAndSwap(ckPath); err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	//lint:ignore raw-goroutine Serve blocks for the benchmark's lifetime; shut down via srv.Close below, so it cannot be a bounded pool task
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	url := "http://" + ln.Addr().String() + "/predict"
+	bodies, refs := serveBenchPayloads(s.Model(), 16, rows, 44)
+
+	rep := &ServeReport{Model: s.Model().Info, MaxBatchRows: 256}
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Notes = append(rep.Notes,
+		"closed-loop workers over loopback HTTP; latency includes JSON encode/decode and the convoy batcher",
+		"every point's responses are verified against a local forward pass of the same checkpoint before its timing is reported")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, w := range workerCounts {
+		pt, err := runServePoint(client, url, bodies, refs, s, w, requests, rows)
+		if err != nil {
+			return nil, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		rep.Points = append(rep.Points, *pt)
+	}
+	return rep, nil
+}
+
+// runServePoint drives one worker count: requests requests split across
+// w closed-loop workers, each verified against the reference.
+func runServePoint(client *http.Client, url string, bodies [][]byte, refs [][]int, s *serve.Server, w, requests, rows int) (*ServePoint, error) {
+	lat := obs.NewDistribution()
+	var mismatches, errors atomic.Int64
+	callsBefore := s.BatchStats()
+
+	p := pool.New(w)
+	defer p.Close()
+	grain := (requests + w - 1) / w
+	start := time.Now()
+	p.ParallelRows(requests, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body := bodies[i%len(bodies)]
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			if err != nil {
+				errors.Add(1)
+				continue
+			}
+			var reply predictReply
+			decErr := json.NewDecoder(resp.Body).Decode(&reply)
+			resp.Body.Close()
+			lat.Observe(time.Since(t0).Microseconds())
+			if resp.StatusCode != http.StatusOK || decErr != nil {
+				errors.Add(1)
+				continue
+			}
+			want := refs[i%len(refs)]
+			if len(reply.Predictions) != len(want) {
+				mismatches.Add(1)
+				continue
+			}
+			for j := range want {
+				if reply.Predictions[j] != want[j] {
+					mismatches.Add(1)
+					break
+				}
+			}
+		}
+	})
+	secs := time.Since(start).Seconds()
+
+	if n := mismatches.Load(); n > 0 {
+		return nil, fmt.Errorf("%d responses diverged from the local reference", n)
+	}
+	snap := lat.Snapshot()
+	callsAfter := s.BatchStats()
+	pt := &ServePoint{
+		Workers: w, Requests: requests, RowsPerRequest: rows,
+		Seconds:        secs,
+		RequestsPerSec: float64(requests) / secs,
+		RowsPerSec:     float64(requests*rows) / secs,
+		P50Micros:      snap.P50, P95Micros: snap.P95, P99Micros: snap.P99,
+		Identical:    true,
+		Errors:       int(errors.Load()),
+		BatchedCalls: callsAfter.Batches - callsBefore.Batches,
+		MaxCoalesced: callsAfter.MaxCoalesced,
+	}
+	if pt.Errors > 0 {
+		return nil, fmt.Errorf("%d requests failed", pt.Errors)
+	}
+	return pt, nil
+}

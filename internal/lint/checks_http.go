@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkHTTPTimeout requires every http.Server composite literal to set
+// ReadTimeout (or ReadHeaderTimeout) and WriteTimeout, and bans the
+// package-level http.ListenAndServe / ListenAndServeTLS shortcuts,
+// which construct a Server with neither. The serving layer (PR 7) put
+// HTTP servers on the hot path: a server without timeouts lets one
+// stalled client pin a connection (and its read goroutine) forever —
+// the HTTP mirror of the net-deadline invariant for raw conns.
+func checkHTTPTimeout() *Check {
+	const name = "http-timeout"
+	return &Check{
+		Name: name,
+		Doc: "require ReadTimeout/ReadHeaderTimeout and WriteTimeout on every " +
+			"http.Server literal and ban package-level http.ListenAndServe*; " +
+			"a timeout-less server lets a stalled client hold a connection forever",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.CompositeLit:
+						if !isHTTPServerType(pkg, e) {
+							return true
+						}
+						keys := map[string]bool{}
+						for _, el := range e.Elts {
+							if kv, ok := el.(*ast.KeyValueExpr); ok {
+								if id, ok := kv.Key.(*ast.Ident); ok {
+									keys[id.Name] = true
+								}
+							}
+						}
+						var missing []string
+						if !keys["ReadTimeout"] && !keys["ReadHeaderTimeout"] {
+							missing = append(missing, "ReadTimeout")
+						}
+						if !keys["WriteTimeout"] {
+							missing = append(missing, "WriteTimeout")
+						}
+						if len(missing) > 0 {
+							out = append(out, diag(pkg, name, e.Pos(),
+								"http.Server literal missing %s: a stalled client would hold its connection forever", strings.Join(missing, " and ")))
+						}
+					case *ast.CallExpr:
+						if fn := httpPackageFunc(pkg, e); fn == "ListenAndServe" || fn == "ListenAndServeTLS" {
+							out = append(out, diag(pkg, name, e.Pos(),
+								"http.%s builds a Server with no timeouts; construct an http.Server literal with ReadTimeout and WriteTimeout instead", fn))
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// isHTTPServerType reports whether lit's static type is net/http.Server.
+func isHTTPServerType(pkg *Package, lit *ast.CompositeLit) bool {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Server" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// httpPackageFunc returns the name of the net/http package-level
+// function call.Fun resolves to, or "". Methods (srv.ListenAndServe)
+// have a receiver and are not reported — a constructed Server is
+// exactly what the check steers callers toward.
+func httpPackageFunc(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	return fn.Name()
+}

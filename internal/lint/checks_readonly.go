@@ -5,27 +5,39 @@ import (
 	"go/types"
 )
 
-// checkReadonlyForward flags writes to receiver state inside
-// ApproxForward methods. The error-compounding probe (internal/probe)
-// runs ApproxForward side by side with training and its non-perturbation
-// guarantee — twin runs produce byte-identical weights — only holds if
-// the replayed forward pass is strictly read-only: no field assignments,
-// no writes through receiver-held maps or slices, no deletes.
+// readonlyMethods are the method names carrying the read-only
+// contract: ApproxForward because the probe's non-perturbation
+// guarantee (twin runs produce byte-identical weights) requires a
+// side-effect-free replay, and the Infer family because the serving
+// layer calls them from many goroutines over one shared model — any
+// receiver write there is the stateful-forward data race PR 7 fixed.
+var readonlyMethods = map[string]bool{
+	"ApproxForward":      true,
+	"Infer":              true,
+	"InferForward":       true,
+	"InferForwardLayers": true,
+}
+
+// checkReadonlyForward flags writes to receiver state inside the
+// read-only method set (readonlyMethods).
 func checkReadonlyForward() *Check {
 	const name = "readonly-forward"
 	return &Check{
 		Name: name,
 		Doc: "flag assignments to receiver state (fields, map/slice elements " +
-			"reached through the receiver) inside ApproxForward implementations; " +
-			"the probe's non-perturbation guarantee requires a read-only replay",
+			"reached through the receiver) inside ApproxForward and " +
+			"Infer/InferForward/InferForwardLayers implementations; the probe's " +
+			"non-perturbation guarantee and the serving layer's concurrent " +
+			"prediction path both require a read-only forward",
 		Run: func(pkg *Package) []Diagnostic {
 			var out []Diagnostic
 			for _, f := range pkg.Files {
 				for _, decl := range f.Decls {
 					fd, ok := decl.(*ast.FuncDecl)
-					if !ok || fd.Recv == nil || fd.Name.Name != "ApproxForward" || fd.Body == nil {
+					if !ok || fd.Recv == nil || !readonlyMethods[fd.Name.Name] || fd.Body == nil {
 						continue
 					}
+					method := fd.Name.Name
 					recv := receiverObjects(pkg, fd)
 					if len(recv) == 0 {
 						continue
@@ -36,20 +48,20 @@ func checkReadonlyForward() *Check {
 							for _, lhs := range s.Lhs {
 								if receiverRooted(pkg, lhs, recv) {
 									out = append(out, diag(pkg, name, lhs.Pos(),
-										"ApproxForward must be read-only: assignment to receiver state"))
+										"%s must be read-only: assignment to receiver state", method))
 								}
 							}
 						case *ast.IncDecStmt:
 							if receiverRooted(pkg, s.X, recv) {
 								out = append(out, diag(pkg, name, s.X.Pos(),
-									"ApproxForward must be read-only: increment/decrement of receiver state"))
+									"%s must be read-only: increment/decrement of receiver state", method))
 							}
 						case *ast.CallExpr:
 							if id, ok := s.Fun.(*ast.Ident); ok && len(s.Args) > 0 {
 								if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "delete" {
 									if receiverRooted(pkg, s.Args[0], recv) {
 										out = append(out, diag(pkg, name, s.Pos(),
-											"ApproxForward must be read-only: delete from receiver-held map"))
+											"%s must be read-only: delete from receiver-held map", method))
 									}
 								}
 							}

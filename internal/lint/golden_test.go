@@ -86,6 +86,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"rawgoroutine", "rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
 		{"rawgoroutine_exempt_pool", "rawgoroutine", "samplednn/internal/pool/fixture"},
 		{"netdeadline", "netdeadline", "samplednn/internal/fixture/netdeadline"},
+		{"httptimeout", "httptimeout", "samplednn/internal/fixture/httptimeout"},
 		{"atomicwrite", "atomicwrite", "samplednn/internal/fixture/atomicwrite"},
 		{"atomicwrite_exempt", "atomicwrite", "samplednn/internal/atomicfile/fixture"},
 		{"readonlyforward", "readonlyforward", "samplednn/internal/fixture/readonlyforward"},
@@ -124,7 +125,7 @@ func TestGoldenFixtures(t *testing.T) {
 func TestEveryCheckHasBadFixture(t *testing.T) {
 	fired := map[string]bool{}
 	dirs := []string{"mathrand", "wallclock", "rawgoroutine", "netdeadline",
-		"atomicwrite", "readonlyforward", "floateq", "maporderfloat"}
+		"httptimeout", "atomicwrite", "readonlyforward", "floateq", "maporderfloat"}
 	for _, dir := range dirs {
 		pkg := loadFixture(t, dir, "samplednn/internal/fixture/"+dir)
 		res := Run("", []*Package{pkg}, Checks())

@@ -77,6 +77,7 @@ func Checks() []*Check {
 		checkWallClock(),
 		checkRawGoroutine(),
 		checkNetDeadline(),
+		checkHTTPTimeout(),
 		checkAtomicWrite(),
 		checkReadonlyForward(),
 		checkFloatEquality(),

@@ -37,7 +37,8 @@ func TestCheckNamesStable(t *testing.T) {
 	// //lint:ignore directives in the tree reference these names; renaming
 	// a check silently un-suppresses every waiver for it.
 	want := []string{"math-rand", "wall-clock", "raw-goroutine", "net-deadline",
-		"atomic-write", "readonly-forward", "float-equality", "map-order-float"}
+		"http-timeout", "atomic-write", "readonly-forward", "float-equality",
+		"map-order-float"}
 	got := Checks()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d checks, want %d", len(got), len(want))

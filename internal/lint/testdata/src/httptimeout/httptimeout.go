@@ -1,0 +1,62 @@
+// Package httptimeout exercises the http-timeout check: http.Server
+// literals with and without timeouts, and the package-level
+// ListenAndServe shortcuts that never have them. Durations are passed
+// in as parameters so the fixture stays clean under the wall-clock
+// check.
+package httptimeout
+
+import (
+	"net/http"
+	"time"
+)
+
+// BadBare sets no timeouts at all.
+func BadBare(addr string) *http.Server {
+	return &http.Server{Addr: addr}
+}
+
+// BadWriteOnly bounds writes but not reads.
+func BadWriteOnly(addr string, d time.Duration) *http.Server {
+	return &http.Server{Addr: addr, WriteTimeout: d}
+}
+
+// BadReadOnly bounds reads but not writes.
+func BadReadOnly(addr string, d time.Duration) http.Server {
+	return http.Server{Addr: addr, ReadTimeout: d}
+}
+
+// BadShortcut is the package-level helper: it builds a Server with no
+// timeouts internally, so the literal rule cannot even see it.
+func BadShortcut(addr string, h http.Handler) error {
+	return http.ListenAndServe(addr, h)
+}
+
+// BadShortcutTLS is the TLS variant of the same shortcut.
+func BadShortcutTLS(addr, cert, key string, h http.Handler) error {
+	return http.ListenAndServeTLS(addr, cert, key, h)
+}
+
+// GoodBoth sets both sides.
+func GoodBoth(addr string, d time.Duration) *http.Server {
+	return &http.Server{Addr: addr, ReadTimeout: d, WriteTimeout: d}
+}
+
+// GoodHeaderTimeout satisfies the read side with ReadHeaderTimeout —
+// the right bound for servers that stream long responses.
+func GoodHeaderTimeout(addr string, d time.Duration) *http.Server {
+	return &http.Server{Addr: addr, ReadHeaderTimeout: d, WriteTimeout: d}
+}
+
+// GoodMethodCall serves from a constructed Server: the method, unlike
+// the package function, is exactly what the check steers toward.
+func GoodMethodCall(addr string, d time.Duration) error {
+	srv := &http.Server{Addr: addr, ReadTimeout: d, WriteTimeout: d}
+	return srv.ListenAndServe()
+}
+
+// Waived documents a deliberately unbounded server with the mandatory
+// reason.
+func Waived(addr string) *http.Server {
+	//lint:ignore http-timeout fixture demonstrating an audited waiver
+	return &http.Server{Addr: addr}
+}

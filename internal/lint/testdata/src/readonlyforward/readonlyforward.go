@@ -29,6 +29,20 @@ func (s *Sampler) ApproxForward(x []float64) []float64 {
 	return out
 }
 
-// Exact may mutate freely: only ApproxForward carries the read-only
-// contract.
+// Exact may mutate freely: it is outside the read-only method set.
 func (s *Sampler) Exact() { s.calls++ }
+
+// InferForward is the serving-layer half of the contract: a caching
+// write here is the stateful-forward data race, since the server runs
+// inference from many goroutines over one shared model.
+func (s *Sampler) InferForward(x []float64) []float64 {
+	s.buf = x
+	return x
+}
+
+// Infer must be read-only too; a clean body stays clean.
+func (s *Sampler) Infer(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}

@@ -400,7 +400,21 @@ func Recall(candidates, truth []int) float64 {
 // k, all candidates are returned.
 func (idx *MIPSIndex) QueryTopK(w *tensor.Matrix, a []float64, k int) []int {
 	idx.checkShape(w)
-	cands := idx.Query(a, nil)
+	return idx.rerank(w, a, idx.Query(a, nil), k)
+}
+
+// QueryTopKWith is QueryTopK using caller-owned workspace, safe to call
+// from multiple goroutines simultaneously against a quiescent index (no
+// Rebuild/UpdateColumns in flight) — the serving layer's top-k path,
+// where every request carries its own scratch.
+func (idx *MIPSIndex) QueryTopKWith(sc *QueryScratch, w *tensor.Matrix, a []float64, k int) []int {
+	idx.checkShape(w)
+	return idx.rerank(w, a, idx.QueryWith(sc, a, nil), k)
+}
+
+// rerank scores the candidate columns by exact inner product against a
+// and returns the best k ids in descending inner-product order.
+func (idx *MIPSIndex) rerank(w *tensor.Matrix, a []float64, cands []int, k int) []int {
 	if k <= 0 || len(cands) == 0 {
 		return nil
 	}

@@ -401,3 +401,46 @@ func TestBucketStats(t *testing.T) {
 		t.Fatalf("empty stats %+v", es)
 	}
 }
+
+func TestQueryTopKWithConcurrent(t *testing.T) {
+	g := rng.New(42)
+	idx, w := buildIndex(t, g, 16, 200, Params{K: 4, L: 5, M: 3, U: 0.83})
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = make([]float64, 16)
+		g.GaussianSlice(queries[i], 0, 1)
+	}
+	// Sequential reference via the single-threaded path.
+	want := make([][]int, len(queries))
+	for i, q := range queries {
+		want[i] = idx.QueryTopK(w, q, 5)
+	}
+	var wg sync.WaitGroup
+	errs := make([]string, len(queries))
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := idx.NewQueryScratch()
+			for rep := 0; rep < 25; rep++ {
+				got := idx.QueryTopKWith(sc, w, queries[i], 5)
+				if len(got) != len(want[i]) {
+					errs[i] = "length mismatch"
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						errs[i] = "content mismatch"
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("top-k query %d: %s", i, e)
+		}
+	}
+}

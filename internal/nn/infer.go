@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"samplednn/internal/obs/trace"
+	"samplednn/internal/tensor"
+)
+
+// Read-only inference forward. Layer.Forward caches In/Z/A on the layer
+// for Backward and the sampling-based methods, which makes any two
+// concurrent forward passes over a shared network a data race: both
+// goroutines write the same cache fields and can read each other's
+// half-installed activations. The Infer* family below computes the
+// identical feedforward function — bit-for-bit, same kernels, same
+// summation order — without writing a single receiver field, so any
+// number of goroutines may serve predictions from one network while the
+// weights are quiescent (internal/serve swaps whole *Network values
+// atomically instead of mutating a live one).
+//
+// The contract is mechanically enforced: repolint's readonly-forward
+// check flags receiver writes inside any method named Infer,
+// InferForward, or InferForwardLayers (DESIGN.md §10).
+
+// Infer computes f(x·W + B) without touching the layer's In/Z/A caches.
+// Safe for concurrent use while the weights are not being mutated.
+func (l *Layer) Infer(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.W.Rows {
+		panic(fmt.Sprintf("nn: layer input %dx%d vs weights %dx%d", x.Rows, x.Cols, l.W.Rows, l.W.Cols))
+	}
+	z := tensor.MatMul(x, l.W)
+	z.AddRowVector(l.B)
+	return l.Act.Forward(z)
+}
+
+// InferForward runs the exact feedforward pass (Eq. 1 of §4.1) and
+// returns the output logits without caching any intermediates — the
+// read-only twin of Forward. It is the inference path: Predict, Loss,
+// Accuracy, the error probe, and the serving layer all route through
+// it, so concurrent evaluation of a shared network is race-free.
+func (n *Network) InferForward(x *tensor.Matrix) *tensor.Matrix {
+	tr := trace.Active()
+	a := x
+	for i, l := range n.Layers {
+		sp := tr.BeginLayer("infer", "layer", i)
+		a = l.Infer(a)
+		sp.End()
+	}
+	return a
+}
+
+// InferForwardLayers is InferForward returning every layer's activation,
+// index-aligned with Layers — the shape the error-compounding probe
+// compares against a method's ApproxForward, and the hook the serving
+// layer uses to reach the last hidden activation for LSH top-k queries.
+func (n *Network) InferForwardLayers(x *tensor.Matrix) []*tensor.Matrix {
+	tr := trace.Active()
+	acts := make([]*tensor.Matrix, len(n.Layers))
+	a := x
+	for i, l := range n.Layers {
+		sp := tr.BeginLayer("infer", "layer", i)
+		a = l.Infer(a)
+		acts[i] = a
+		sp.End()
+	}
+	return acts
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+func inferTestNet(t *testing.T, seed uint64) *Network {
+	t.Helper()
+	net, err := NewNetwork(Uniform(12, 16, 2, 5), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randBatch(g *rng.RNG, rows, cols int) *tensor.Matrix {
+	x := tensor.New(rows, cols)
+	g.GaussianSlice(x.Data, 0, 1)
+	return x
+}
+
+// TestInferForwardMatchesForward pins the bit-identity of the read-only
+// inference pass against the caching training pass: same kernels, same
+// summation order, so the logits must agree exactly.
+func TestInferForwardMatchesForward(t *testing.T) {
+	net := inferTestNet(t, 91)
+	x := randBatch(rng.New(92), 7, 12)
+	want := net.Forward(x)
+	got := net.InferForward(x)
+	if !tensor.Equal(want, got) {
+		t.Fatal("InferForward logits differ from Forward")
+	}
+	acts := net.InferForwardLayers(x)
+	if len(acts) != len(net.Layers) {
+		t.Fatalf("InferForwardLayers returned %d activations, want %d", len(acts), len(net.Layers))
+	}
+	if !tensor.Equal(acts[len(acts)-1], want) {
+		t.Fatal("InferForwardLayers final activation differs from Forward logits")
+	}
+}
+
+// TestInferForwardLeavesCachesUntouched is the bugfix pinned directly:
+// the inference pass must not write Layer.In/Z/A, which is what made
+// concurrent Predict calls over a shared model a data race.
+func TestInferForwardLeavesCachesUntouched(t *testing.T) {
+	net := inferTestNet(t, 93)
+	g := rng.New(94)
+	trainX := randBatch(g, 3, 12)
+	net.Forward(trainX) // populate caches the way a training step would
+	cached := make([]*tensor.Matrix, len(net.Layers))
+	for i, l := range net.Layers {
+		cached[i] = l.A
+	}
+
+	net.InferForward(randBatch(g, 5, 12))
+	net.InferForwardLayers(randBatch(g, 2, 12))
+	net.Predict(randBatch(g, 4, 12))
+	for i, l := range net.Layers {
+		if l.In != trainX && i == 0 {
+			t.Fatalf("layer 0 In cache was overwritten by inference")
+		}
+		if l.A != cached[i] {
+			t.Fatalf("layer %d A cache was overwritten by inference", i)
+		}
+	}
+}
+
+// TestConcurrentPredictRace is the regression test for the
+// stateful-forward data race: many goroutines predicting over one
+// shared network must, under -race, produce exactly the predictions a
+// serial evaluation of the same inputs yields.
+func TestConcurrentPredictRace(t *testing.T) {
+	net := inferTestNet(t, 95)
+	const goroutines = 8
+	const repeats = 20
+
+	inputs := make([]*tensor.Matrix, goroutines)
+	want := make([][]int, goroutines)
+	for i := range inputs {
+		inputs[i] = randBatch(rng.New(uint64(100+i)), 6, 12)
+		want[i] = net.Predict(inputs[i]) // serial reference
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < repeats; r++ {
+				got := net.Predict(inputs[i])
+				for j := range got {
+					if got[j] != want[i][j] {
+						errs[i] = errMismatch(i, r, j)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type mismatchErr struct{ g, r, j int }
+
+func errMismatch(g, r, j int) error { return mismatchErr{g, r, j} }
+func (e mismatchErr) Error() string {
+	return "concurrent Predict diverged from serial reference"
+}

@@ -85,7 +85,9 @@ func (n *Network) NumParams() int {
 }
 
 // Forward runs the exact feedforward pass (Eq. 1 of §4.1) and returns the
-// output logits, caching intermediates in each layer.
+// output logits, caching intermediates in each layer. The caches make
+// Forward unsafe for concurrent use on a shared network — training owns
+// this path; read-only evaluation goes through InferForward.
 func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
 	tr := trace.Active()
 	a := x
@@ -131,14 +133,17 @@ func (n *Network) BackwardWithInput(logits *tensor.Matrix, labels []int) ([]Grad
 	return grads, dInput
 }
 
-// Loss evaluates mean NLL on a batch without caching gradients.
+// Loss evaluates mean NLL on a batch. It uses the read-only inference
+// forward, so it neither caches gradients nor perturbs layer state.
 func (n *Network) Loss(x *tensor.Matrix, labels []int) float64 {
-	return n.Head.Loss(n.Forward(x), labels)
+	return n.Head.Loss(n.InferForward(x), labels)
 }
 
-// Predict returns the argmax class per row of x.
+// Predict returns the argmax class per row of x. It runs the read-only
+// inference forward, so concurrent Predict calls on a shared network
+// are safe while the weights are quiescent.
 func (n *Network) Predict(x *tensor.Matrix) []int {
-	return n.Head.Predictions(n.Forward(x))
+	return n.Head.Predictions(n.InferForward(x))
 }
 
 // Accuracy returns the fraction of rows of x predicted as their label.

@@ -119,6 +119,20 @@ func (d *Distribution) Observe(v int64) {
 	d.buckets[bits.Len64(uint64(v))].Add(1)
 }
 
+// TimeMicros begins a latency measurement; the returned func records
+// the elapsed time in whole microseconds:
+//
+//	defer dist.TimeMicros()()
+//
+// It lives here because obs owns the wall clock: callers in library
+// code (the serving layer's per-request latency) get log2-bucketed
+// latency percentiles without reading time.Now themselves, which the
+// wall-clock lint check forbids outside internal/obs and internal/bench.
+func (d *Distribution) TimeMicros() func() {
+	t0 := time.Now()
+	return func() { d.Observe(time.Since(t0).Microseconds()) }
+}
+
 // Reset clears the distribution. It must not race with Observe.
 func (d *Distribution) Reset() {
 	d.count.Store(0)

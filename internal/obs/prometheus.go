@@ -22,6 +22,13 @@ import (
 //
 // Metric names are sanitized to the Prometheus charset: every character
 // outside [a-zA-Z0-9_:] (the dots in "pool.tasks.inline") becomes '_'.
+// Sanitization is lossy — "pool.tasks" and "pool_tasks" both map to
+// pool_tasks — so family names are deduplicated per render: the first
+// claimant (processing order is fixed: counters, gauges, timers,
+// distributions, each sorted by registry name) keeps the sanitized
+// name and later colliders get a deterministic "_2", "_3", … suffix.
+// Real scrapers reject an exposition with a duplicate family outright,
+// which would turn one colliding registration into a dead /metrics.
 
 // sanitizeMetricName rewrites name into the Prometheus identifier
 // charset. A leading digit is prefixed with '_'.
@@ -50,10 +57,30 @@ func sanitizeMetricName(name string) string {
 // +Inf, -Inf, and NaN (Go's %g matches for all three).
 func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
+// familyNames allocates unique Prometheus family names for one render.
+// The map is keyed by the final family name (after any kind-specific
+// suffix like _total), so two registry names whose sanitized forms
+// collide come out distinct.
+type familyNames map[string]bool
+
+// claim returns the sanitized family name for the registry metric name
+// plus kind suffix, appending "_2", "_3", … when a previously rendered
+// family already took it.
+func (fn familyNames) claim(name, suffix string) string {
+	base := sanitizeMetricName(name) + suffix
+	n := base
+	for i := 2; fn[n]; i++ {
+		n = fmt.Sprintf("%s_%d", base, i)
+	}
+	fn[n] = true
+	return n
+}
+
 // WritePrometheus renders every registered metric in the text exposition
 // format, sorted by name within each kind for stable output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
+	fams := familyNames{}
 	var err error
 	p := func(format string, args ...any) {
 		if err == nil {
@@ -61,24 +88,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, name := range sortedKeys(s.Counters) {
-		n := sanitizeMetricName(name)
-		p("# TYPE %s_total counter\n", n)
-		p("%s_total %d\n", n, s.Counters[name])
+		n := fams.claim(name, "_total")
+		p("# TYPE %s counter\n", n)
+		p("%s %d\n", n, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		n := sanitizeMetricName(name)
+		n := fams.claim(name, "")
 		p("# TYPE %s gauge\n", n)
 		p("%s %s\n", n, promFloat(s.Gauges[name]))
 	}
 	for _, name := range sortedKeys(s.Timers) {
-		n := sanitizeMetricName(name) + "_seconds"
+		n := fams.claim(name, "_seconds")
 		t := s.Timers[name]
 		p("# TYPE %s summary\n", n)
 		p("%s_sum %s\n", n, promFloat(float64(t.TotalNS)/1e9))
 		p("%s_count %d\n", n, t.Count)
 	}
 	for _, name := range sortedKeys(s.Dists) {
-		n := sanitizeMetricName(name)
+		n := fams.claim(name, "")
 		d := s.Dists[name]
 		p("# TYPE %s summary\n", n)
 		p("%s{quantile=\"0.5\"} %s\n", n, promFloat(d.P50))

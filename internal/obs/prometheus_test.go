@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -127,5 +128,59 @@ func TestDistributionQuantilesDegenerate(t *testing.T) {
 	sz := dz.Snapshot()
 	if sz.P50 != 0 || sz.P99 != 0 {
 		t.Errorf("all-zero stream quantiles %v %v, want 0", sz.P50, sz.P99)
+	}
+}
+
+// TestPrometheusFamilyCollision pins the sanitization dedupe: distinct
+// registry names that sanitize to the same Prometheus family ("pool.tasks"
+// vs "pool_tasks") must render as distinct families, deterministically,
+// because real scrapers reject an exposition with duplicate families.
+func TestPrometheusFamilyCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pool.tasks").Add(1)
+	r.Counter("pool_tasks").Add(2)
+	r.Gauge("lsh.load").Set(3)
+	r.Gauge("lsh_load").Set(4)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	families := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		parts := strings.Fields(line)
+		families[parts[2]]++
+	}
+	for fam, n := range families {
+		if n > 1 {
+			t.Errorf("family %q declared %d times", fam, n)
+		}
+	}
+	for _, want := range []string{"pool_tasks_total", "pool_tasks_total_2", "lsh_load", "lsh_load_2"} {
+		if families[want] != 1 {
+			t.Errorf("family %q missing from exposition:\n%s", want, out)
+		}
+	}
+	// Sorted processing order makes the assignment deterministic: the
+	// dotted name sorts first and keeps the unsuffixed family.
+	if !strings.Contains(out, "pool_tasks_total 1") || !strings.Contains(out, "pool_tasks_total_2 2") {
+		t.Errorf("collision suffix not deterministic:\n%s", out)
+	}
+}
+
+func TestDistributionTimeMicros(t *testing.T) {
+	d := NewDistribution()
+	stop := d.TimeMicros()
+	stop()
+	s := d.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("want one observation, got %d", s.Count)
+	}
+	if s.Min < 0 {
+		t.Fatalf("negative latency %d", s.Min)
 	}
 }

@@ -100,14 +100,7 @@ func (p *Probe) Tick() (*Measurement, bool) {
 func (p *Probe) Measure() *Measurement {
 	defer trace.Active().Begin("probe", "measure").End()
 	layers := p.net.Layers
-	exact := make([]*tensor.Matrix, len(layers))
-	a := p.x
-	for i, l := range layers {
-		z := tensor.MatMul(a, l.W)
-		z.AddRowVector(l.B)
-		a = l.Act.Forward(z)
-		exact[i] = a
-	}
+	exact := p.net.InferForwardLayers(p.x)
 	approx := p.af.ApproxForward(p.x, p.g)
 
 	m := &Measurement{

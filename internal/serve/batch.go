@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"samplednn/internal/tensor"
+)
+
+// ErrNoModel is returned when a request arrives before any model has
+// been installed.
+var ErrNoModel = errors.New("serve: no model loaded")
+
+// batchCall is one caller's slot in the convoy: its input, and the
+// fields the leader fills in before closing done.
+type batchCall struct {
+	x     *tensor.Matrix
+	preds []int
+	info  ModelInfo
+	err   error
+	done  chan struct{}
+}
+
+// batcher coalesces concurrent predict calls into micro-batches so one
+// GEMM serves many callers. It is a convoy scheme built from nothing
+// but mutexes — no timers (the wall-clock invariant bans time.Now in
+// library code) and no owned goroutines (the raw-goroutine invariant
+// bans them outside internal/pool):
+//
+//	caller: append my call to the queue under mu, then loop —
+//	        if my done channel is closed, return;
+//	        otherwise contend on runMu, and whoever wins becomes the
+//	        leader, drains a prefix of the queue, runs ONE inference
+//	        GEMM over the concatenated rows, distributes results, and
+//	        releases runMu.
+//
+// Under load the queue fills while the current leader computes, so the
+// next leader naturally picks up a multi-call batch; with a single
+// caller the batch degenerates to that one call and adds only two
+// uncontended lock acquisitions of overhead. Every call in a batch is
+// served by the same model snapshot (the leader loads the atomic model
+// pointer exactly once per batch), which is what keeps responses
+// byte-identical across a concurrent hot swap: a request sees either
+// the old model or the new one, never a mixture.
+type batcher struct {
+	// model returns the current snapshot; nil when none is installed.
+	model func() *Model
+	// maxRows caps the rows a single GEMM may carry. A call larger than
+	// maxRows still runs — alone.
+	maxRows int
+	// onBatch observes (rows, calls) per executed batch; may be nil.
+	onBatch func(rows, calls int)
+
+	// mu guards queue.
+	mu    sync.Mutex
+	queue []*batchCall
+
+	// runMu serializes batch execution; the holder is the leader.
+	runMu sync.Mutex
+}
+
+// predict enqueues x and blocks until a leader (possibly this caller)
+// has served it. The returned info identifies the model snapshot that
+// produced the predictions.
+func (b *batcher) predict(x *tensor.Matrix) ([]int, ModelInfo, error) {
+	c := &batchCall{x: x, done: make(chan struct{})}
+	b.mu.Lock()
+	b.queue = append(b.queue, c)
+	b.mu.Unlock()
+
+	for {
+		select {
+		case <-c.done:
+			return c.preds, c.info, c.err
+		default:
+		}
+		b.runMu.Lock()
+		select {
+		case <-c.done:
+			// A previous leader served us while we waited for runMu.
+			b.runMu.Unlock()
+			return c.preds, c.info, c.err
+		default:
+		}
+		b.runBatch()
+		b.runMu.Unlock()
+	}
+}
+
+// runBatch — called with runMu held — drains the longest queue prefix
+// whose rows fit maxRows (always at least one call), evaluates it with
+// a single read-only forward pass, and completes every drained call.
+func (b *batcher) runBatch() {
+	b.mu.Lock()
+	if len(b.queue) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	n, rows := 0, 0
+	for n < len(b.queue) {
+		r := b.queue[n].x.Rows
+		if n > 0 && rows+r > b.maxRows {
+			break
+		}
+		rows += r
+		n++
+	}
+	batch := b.queue[:n:n]
+	b.queue = b.queue[n:]
+	b.mu.Unlock()
+
+	m := b.model()
+	if m == nil {
+		for _, c := range batch {
+			c.err = ErrNoModel
+			close(c.done)
+		}
+		return
+	}
+
+	// Re-validate dimensions against the snapshot actually serving this
+	// batch: a hot swap to a different architecture may have landed
+	// between the HTTP-boundary check and here, and a mismatched row
+	// must fail this call, not panic inside the GEMM.
+	valid := batch[:0:0]
+	validRows := 0
+	for _, c := range batch {
+		if c.x.Cols != m.Info.Inputs {
+			c.err = fmt.Errorf("serve: request has %d features, model %08x expects %d",
+				c.x.Cols, m.Info.CRC, m.Info.Inputs)
+			close(c.done)
+			continue
+		}
+		valid = append(valid, c)
+		validRows += c.x.Rows
+	}
+	if len(valid) == 0 {
+		return
+	}
+	if b.onBatch != nil {
+		b.onBatch(validRows, len(valid))
+	}
+
+	x := valid[0].x
+	if len(valid) > 1 {
+		// Concatenate row-major inputs back to back; predictions are
+		// row-independent, so batching cannot change any caller's answer.
+		x = tensor.New(validRows, m.Info.Inputs)
+		off := 0
+		for _, c := range valid {
+			off += copy(x.Data[off:], c.x.Data)
+		}
+	}
+	preds := m.Net.Predict(x)
+	off := 0
+	for _, c := range valid {
+		c.preds = preds[off : off+c.x.Rows : off+c.x.Rows]
+		c.info = m.Info
+		off += c.x.Rows
+		close(c.done)
+	}
+}

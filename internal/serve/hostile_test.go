@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHostileRequests drives the serve boundary with the bodies a
+// public endpoint actually receives — empty, ragged, oversized,
+// trailing-garbage, wrong-shape — and pins that every one dies with a
+// 4xx at the validation layer instead of reaching a tensor kernel
+// (whose dimension checks panic, which for a server means a crashed
+// connection, not a 400).
+func TestHostileRequests(t *testing.T) {
+	net := testNet(t, 30)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 1)
+
+	s := NewServer(Options{
+		MaxBatchRows: 4,
+		MaxBodyBytes: 512,
+		Registry:     newTestRegistry(),
+	})
+	if _, err := s.LoadAndSwap(path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	row := strings.TrimSuffix(strings.Repeat("0.5,", testInputs), ",")
+	oversized := `{"rows":[` + strings.TrimSuffix(strings.Repeat("["+row+"],", 20), ",") + `]}`
+	cases := []struct {
+		name, endpoint, body string
+		want                 int
+	}{
+		{"empty body", "/predict", ``, http.StatusBadRequest},
+		{"not json", "/predict", `{{{{`, http.StatusBadRequest},
+		{"wrong top-level type", "/predict", `[1,2,3]`, http.StatusBadRequest},
+		{"unknown field", "/predict", `{"rows":[[` + row + `]],"admin":true}`, http.StatusBadRequest},
+		{"trailing garbage", "/predict", `{"rows":[[` + row + `]]} {"again":1}`, http.StatusBadRequest},
+		{"zero rows", "/predict", `{"rows":[]}`, http.StatusBadRequest},
+		{"null rows", "/predict", `{"rows":null}`, http.StatusBadRequest},
+		{"empty row", "/predict", `{"rows":[[]]}`, http.StatusBadRequest},
+		{"short row", "/predict", `{"rows":[[1,2,3]]}`, http.StatusBadRequest},
+		{"ragged rows", "/predict", `{"rows":[[` + row + `],[1,2]]}`, http.StatusBadRequest},
+		{"huge number", "/predict", `{"rows":[[1e999,` + row[2:] + `]]}`, http.StatusBadRequest},
+		{"too many rows", "/predict", `{"rows":[[` + row + `],[` + row + `],[` + row + `],[` + row + `],[` + row + `]]}`, http.StatusBadRequest},
+		{"oversized body", "/predict", oversized, http.StatusRequestEntityTooLarge},
+		{"topk empty row", "/topk", `{"row":[]}`, http.StatusBadRequest},
+		{"topk short row", "/topk", `{"row":[1,2]}`, http.StatusBadRequest},
+		{"topk k too large", "/topk", `{"row":[` + row + `],"k":99}`, http.StatusBadRequest},
+		{"topk k negative", "/topk", `{"row":[` + row + `],"k":-1}`, http.StatusBadRequest},
+		{"swap no checkpoint", "/admin/swap", `{}`, http.StatusBadRequest},
+		{"swap unknown field", "/admin/swap", `{"checkpoint":"x","force":true}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+tc.endpoint, []byte(tc.body))
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: status %d (%s), want %d", tc.endpoint, tc.name, resp.StatusCode, body, tc.want)
+			}
+		})
+	}
+
+	// Same row-count rejection with a different limit, pinning that the
+	// reason names the configured cap.
+	t.Run("too many rows names the limit", func(t *testing.T) {
+		wide := NewServer(Options{MaxBatchRows: 2, Registry: newTestRegistry()})
+		if _, err := wide.LoadAndSwap(path); err != nil {
+			t.Fatal(err)
+		}
+		wts := httptest.NewServer(wide.Handler())
+		defer wts.Close()
+		body := `{"rows":[[` + row + `],[` + row + `],[` + row + `]]}`
+		resp, out := postJSON(t, wts.URL+"/predict", []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d (%s), want 400", resp.StatusCode, out)
+		}
+		if !strings.Contains(string(out), "limit is 2") {
+			t.Fatalf("unexpected reason: %s", out)
+		}
+	})
+
+	t.Run("wrong method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/predict")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /predict status %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("no model installed", func(t *testing.T) {
+		bare := NewServer(Options{Registry: newTestRegistry()})
+		bts := httptest.NewServer(bare.Handler())
+		defer bts.Close()
+		for _, ep := range []string{"/predict", "/topk"} {
+			resp, _ := postJSON(t, bts.URL+ep, []byte(`{}`))
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("%s without model: status %d, want 503", ep, resp.StatusCode)
+			}
+		}
+		resp, err := http.Get(bts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("/healthz without model: status %d, want 503", resp.StatusCode)
+		}
+	})
+
+	t.Run("swap to missing checkpoint keeps serving", func(t *testing.T) {
+		before := s.Model().Info.CRC
+		resp, _ := postJSON(t, ts.URL+"/admin/swap", []byte(`{"checkpoint":"/nonexistent/x.snck"}`))
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("swap to missing path: status %d, want 500", resp.StatusCode)
+		}
+		if s.Model() == nil || s.Model().Info.CRC != before {
+			t.Fatal("failed swap must leave the old model serving")
+		}
+	})
+
+	// Every hostile case above must have been counted and none may have
+	// reached the batcher.
+	if s.faults.Value() == 0 {
+		t.Fatal("hostile requests did not increment the fault counter")
+	}
+	if s.batchRows.Snapshot().Count != 0 {
+		t.Fatal("a hostile request reached the batcher")
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samplednn/internal/obs"
+)
+
+// journalSchema reduces a journal to "event: key,key,..." lines — the
+// same schema-not-values reduction the trainer's golden test uses, so
+// the serving journal's event sequence and field sets are pinned as a
+// contract for offline tooling.
+func journalSchema(t *testing.T, buf *bytes.Buffer) string {
+	t.Helper()
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("journal does not round-trip: %v", err)
+	}
+	var b strings.Builder
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%s: %s\n", r.Event(), strings.Join(r.Keys(), ","))
+	}
+	return b.String()
+}
+
+// TestServeJournalGoldenSchema exercises the full serving lifecycle —
+// install, good request, hostile request, hot swap, failed swap — and
+// pins the resulting journal schema against a golden file. Regenerate
+// with JOURNAL_GOLDEN_UPDATE=1.
+func TestServeJournalGoldenSchema(t *testing.T) {
+	net := testNet(t, 50)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.snck")
+	pathB := filepath.Join(dir, "b.snck")
+	writeTestCheckpoint(t, pathA, net, 1)
+	writeTestCheckpoint(t, pathB, net, 2)
+
+	var buf bytes.Buffer
+	j := obs.New(&buf)
+	s := NewServer(Options{Journal: j, Registry: newTestRegistry()})
+
+	m, err := LoadModel(pathA, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Install(m)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	x := testBatch(51, 2)
+	if resp, body := postJSON(t, ts.URL+"/predict", rowsPayload(x)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/predict", []byte(`{"rows":[]}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hostile predict status %d, want 400", resp.StatusCode)
+	}
+	if _, err := s.LoadAndSwap(pathB); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/admin/swap", []byte(`{"checkpoint":"/nope.snck"}`)); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed swap status %d, want 500", resp.StatusCode)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := journalSchema(t, &buf)
+	goldenPath := filepath.Join("testdata", "journal_schema.golden")
+	if os.Getenv("JOURNAL_GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with JOURNAL_GOLDEN_UPDATE=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("serve journal schema drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestJournalSwapRecordsProvenance checks swap event values (the golden
+// test pins only the schema): crc chain and fallback flag.
+func TestJournalSwapRecordsProvenance(t *testing.T) {
+	net := testNet(t, 52)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.snck")
+	pathB := filepath.Join(dir, "b.snck")
+	writeTestCheckpoint(t, pathA, net, 1)
+	writeTestCheckpoint(t, pathB, net, 2)
+
+	var buf bytes.Buffer
+	s := NewServer(Options{Journal: obs.New(&buf), Registry: newTestRegistry()})
+	infoA, err := s.LoadAndSwap(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := s.LoadAndSwap(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("want 2 swap records, got %d", len(recs))
+	}
+	first, second := recs[0], recs[1]
+	if first.Event() != "swap" || second.Event() != "swap" {
+		t.Fatalf("events = %s, %s", first.Event(), second.Event())
+	}
+	if first["prev_crc"].(float64) != 0 {
+		t.Fatalf("first swap prev_crc = %v, want 0", first["prev_crc"])
+	}
+	if uint32(second["prev_crc"].(float64)) != infoA.CRC {
+		t.Fatalf("second swap prev_crc = %v, want %d", second["prev_crc"], infoA.CRC)
+	}
+	if uint32(second["crc"].(float64)) != infoB.CRC {
+		t.Fatalf("second swap crc = %v, want %d", second["crc"], infoB.CRC)
+	}
+	if second["fallback"] != false {
+		t.Fatalf("swap fallback = %v", second["fallback"])
+	}
+}

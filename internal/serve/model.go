@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"samplednn/internal/lsh"
+	"samplednn/internal/nn"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+	"samplednn/internal/train"
+)
+
+// Model is one immutable, servable snapshot: a network loaded from an
+// SNCK checkpoint plus (optionally) an LSH MIPS index over the output
+// layer for fast top-k scoring. A Model is never mutated after
+// NewModel returns, which is what makes the server's hot swap safe: the
+// atomic pointer flips between fully built snapshots and in-flight
+// requests keep serving from whichever one they loaded.
+type Model struct {
+	// Net is the loaded network. Only the read-only inference forward
+	// (nn.InferForward and friends) may be used on it.
+	Net *nn.Network
+
+	// Info describes the model for /healthz and journal events.
+	Info ModelInfo
+
+	// aug is the output layer's weight matrix augmented with the bias as
+	// an extra row, so a MIPS query with the last hidden activation
+	// extended by 1.0 ranks columns by the exact logit z_j = a·w_j + b_j,
+	// bias included. nil when top-k indexing is disabled.
+	aug *tensor.Matrix
+	// index hashes aug's columns; queried via per-request scratch.
+	index *lsh.MIPSIndex
+	// scratch pools per-request LSH query workspaces.
+	scratch sync.Pool
+}
+
+// ModelInfo is the serializable description of a loaded model.
+type ModelInfo struct {
+	// Checkpoint is the SNCK path the model was loaded from.
+	Checkpoint string `json:"checkpoint"`
+	// CRC fingerprints the network blob (CRC-32/IEEE of the nn.Save
+	// bytes): two models serve identical predictions iff their CRCs and
+	// architectures match, which is how the hot-swap tests assert
+	// "same weights" without shipping the weights.
+	CRC uint32 `json:"crc"`
+	// Epoch and Method come from the checkpoint's training provenance.
+	Epoch  int    `json:"epoch"`
+	Method string `json:"method"`
+	// Fallback reports that the primary checkpoint failed validation and
+	// the .prev backup was served instead.
+	Fallback bool `json:"fallback"`
+	// Inputs/Outputs/Layers/Params describe the architecture.
+	Inputs  int `json:"inputs"`
+	Outputs int `json:"outputs"`
+	Layers  int `json:"layers"`
+	Params  int `json:"params"`
+	// TopK reports whether the LSH top-k index is built.
+	TopK bool `json:"topk"`
+}
+
+// ModelOptions configures model loading.
+type ModelOptions struct {
+	// TopK builds the LSH MIPS index over the output layer.
+	TopK bool
+	// LSH overrides the index hyperparameters (lsh.DefaultParams when
+	// zero).
+	LSH lsh.Params
+	// Seed seeds the index's hash draws; fixed per process so a reload
+	// of the same checkpoint rebuilds the identical index.
+	Seed uint64
+}
+
+// LoadModel reads the SNCK checkpoint at path — falling back to the
+// .prev backup when the primary is corrupt, exactly like training
+// resume does — and builds a servable model from its network blob.
+func LoadModel(path string, opts ModelOptions) (*Model, error) {
+	ck, primaryErr, err := train.ReadCheckpointFileFallback(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading checkpoint: %w", err)
+	}
+	if len(ck.NetBlob) == 0 {
+		return nil, fmt.Errorf("serve: checkpoint %s carries no network blob", path)
+	}
+	net, err := nn.Load(bytes.NewReader(ck.NetBlob))
+	if err != nil {
+		return nil, fmt.Errorf("serve: decoding network from %s: %w", path, err)
+	}
+	m := &Model{
+		Net: net,
+		Info: ModelInfo{
+			Checkpoint: path,
+			CRC:        crc32.ChecksumIEEE(ck.NetBlob),
+			Epoch:      ck.Epoch,
+			Method:     ck.MethodName,
+			Fallback:   primaryErr != nil,
+			Inputs:     net.Layers[0].FanIn(),
+			Outputs:    net.Layers[len(net.Layers)-1].FanOut(),
+			Layers:     len(net.Layers),
+			Params:     net.NumParams(),
+		},
+	}
+	if opts.TopK {
+		if err := m.buildTopKIndex(opts); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// buildTopKIndex augments the output layer with its bias row and hashes
+// the columns into a MIPS index — the paper's training-time trick
+// (§5.2) turned into an inference one: the last hidden activation is
+// the query, the index retrieves the columns with the largest inner
+// products, and exact reranking of that small candidate set yields the
+// top-k logits without scoring every output node.
+func (m *Model) buildTopKIndex(opts ModelOptions) error {
+	out := m.Net.Layers[len(m.Net.Layers)-1]
+	dim, n := out.FanIn()+1, out.FanOut()
+	aug := tensor.New(dim, n)
+	for i := 0; i < out.FanIn(); i++ {
+		copy(aug.RowView(i), out.W.RowView(i))
+	}
+	copy(aug.RowView(dim-1), out.B)
+
+	p := opts.LSH
+	if p == (lsh.Params{}) {
+		p = lsh.DefaultParams()
+	}
+	idx, err := lsh.NewMIPSIndex(dim, n, p, rng.New(opts.Seed))
+	if err != nil {
+		return fmt.Errorf("serve: building top-k index: %w", err)
+	}
+	idx.Rebuild(aug)
+	m.aug = aug
+	m.index = idx
+	m.scratch.New = func() any { return idx.NewQueryScratch() }
+	m.Info.TopK = true
+	return nil
+}
+
+// TopK returns the ids of the k highest-logit output nodes for the
+// single-row input x, and whether the LSH path answered. With an index
+// the answer is the LSH candidate set exactly reranked (bias included
+// via the augmented row); without one it falls back to brute force over
+// the logits. Safe for any number of concurrent callers.
+func (m *Model) TopK(x *tensor.Matrix, k int) (ids []int, lshPath bool) {
+	if m.index == nil {
+		logits := m.Net.InferForward(x).RowView(0)
+		ids := make([]int, len(logits))
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.Slice(ids, func(a, b int) bool { return logits[ids[a]] > logits[ids[b]] })
+		if k > len(ids) {
+			k = len(ids)
+		}
+		if k < 0 {
+			k = 0
+		}
+		return ids[:k:k], false
+	}
+	// Run the read-only forward through the hidden stack only; the
+	// output layer is what the index scores.
+	a := x
+	for _, l := range m.Net.Layers[:len(m.Net.Layers)-1] {
+		a = l.Infer(a)
+	}
+	q := make([]float64, len(a.RowView(0))+1)
+	copy(q, a.RowView(0))
+	q[len(q)-1] = 1 // picks up the bias row of the augmented matrix
+	sc := m.scratch.Get().(*lsh.QueryScratch)
+	ids = m.index.QueryTopKWith(sc, m.aug, q, k)
+	m.scratch.Put(sc)
+	return ids, true
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPredictDuringHotSwap is the PR's acceptance test: many
+// goroutines hammer /predict over one shared server while checkpoint
+// hot-swaps land mid-flight, and under -race every response must be
+// byte-identical to the serial single-model evaluation of the same
+// input. Both checkpoints hold the same weights, so the swap exercises
+// the full pointer-flip machinery without changing any answer — which
+// is exactly what makes "byte-identical" assertable while swaps race
+// with requests. Before the read-only inference forward existed this
+// test tripped the race detector on Layer.In/Z/A.
+func TestConcurrentPredictDuringHotSwap(t *testing.T) {
+	net := testNet(t, 40)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.snck")
+	pathB := filepath.Join(dir, "b.snck")
+	writeTestCheckpoint(t, pathA, net, 6)
+	writeTestCheckpoint(t, pathB, net, 6)
+
+	s := NewServer(Options{MaxBatchRows: 16, Registry: newTestRegistry()})
+	if _, err := s.LoadAndSwap(pathA); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const goroutines = 8
+	const repeats = 15
+
+	// Serial references, computed once against the single model before
+	// any concurrency starts.
+	payloads := make([][]byte, goroutines)
+	expected := make([][]byte, goroutines)
+	for i := range payloads {
+		x := testBatch(uint64(41+i), 3+i%4)
+		payloads[i] = rowsPayload(x)
+		resp, body := postJSON(t, ts.URL+"/predict", payloads[i])
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference request %d failed: %d %s", i, resp.StatusCode, body)
+		}
+		expected[i] = body
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines+1)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < repeats; r++ {
+				resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(payloads[i]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var body bytes.Buffer
+				_, err = body.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(body.Bytes(), expected[i]) {
+					errs <- &responseDivergedError{got: body.String(), want: string(expected[i])}
+					return
+				}
+			}
+		}(i)
+	}
+	// Swapper: flip between the two same-weight checkpoints while the
+	// predictors run, through the same public path /admin/swap uses.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		paths := [2]string{pathB, pathA}
+		for r := 0; r < 10; r++ {
+			if _, err := s.LoadAndSwap(paths[r%2]); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.swaps.Value(); got != 11 { // 1 initial + 10 mid-flight
+		t.Fatalf("swap counter = %d, want 11", got)
+	}
+}
+
+type responseDivergedError struct{ got, want string }
+
+func (e *responseDivergedError) Error() string {
+	return "concurrent response diverged from serial reference:\ngot:  " + e.got + "want: " + e.want
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"samplednn/internal/tensor"
+)
+
+// This file is the hostile-input boundary: everything arriving over
+// HTTP is validated here, before any value can reach a tensor kernel.
+// The kernels enforce their invariants by panicking (the right contract
+// for internal callers, fatal for a server), so zero-row bodies, ragged
+// rows, non-finite floats, oversized payloads, and trailing garbage
+// must all die here with a 4xx instead.
+
+// predictRequest is the POST /predict body.
+type predictRequest struct {
+	// Rows are the input feature rows, all of the model's input width.
+	Rows [][]float64 `json:"rows"`
+}
+
+// topkRequest is the POST /topk body.
+type topkRequest struct {
+	// Row is one input feature row.
+	Row []float64 `json:"row"`
+	// K is the number of top output nodes wanted (the server default
+	// when omitted).
+	K int `json:"k"`
+}
+
+// swapRequest is the POST /admin/swap body.
+type swapRequest struct {
+	// Checkpoint is the SNCK path to load and swap in.
+	Checkpoint string `json:"checkpoint"`
+}
+
+// badRequestError marks a validation failure that should surface as
+// HTTP 400 (or 413 for oversized bodies) rather than 500.
+type badRequestError struct {
+	status int
+	reason string
+}
+
+func (e *badRequestError) Error() string { return e.reason }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{status: http.StatusBadRequest, reason: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON reads the request body (capped at maxBody bytes) into v,
+// rejecting unknown fields and trailing garbage.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBody int64, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &badRequestError{
+				status: http.StatusRequestEntityTooLarge,
+				reason: fmt.Sprintf("body exceeds %d bytes", maxErr.Limit),
+			}
+		}
+		return badRequest("malformed JSON body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// validateRow rejects empty, wrong-width, and non-finite feature rows.
+func validateRow(row []float64, i, want int) error {
+	if len(row) == 0 {
+		return badRequest("row %d is empty", i)
+	}
+	if len(row) != want {
+		return badRequest("row %d has %d features, model expects %d", i, len(row), want)
+	}
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badRequest("row %d feature %d is not finite", i, j)
+		}
+	}
+	return nil
+}
+
+// matrixFromRows validates rows against the model's input width and
+// packs them into a matrix. maxRows bounds the per-request row count so
+// one caller cannot monopolize the batcher.
+func matrixFromRows(rows [][]float64, want, maxRows int) (*tensor.Matrix, error) {
+	if len(rows) == 0 {
+		return nil, badRequest("request carries no rows")
+	}
+	if len(rows) > maxRows {
+		return nil, badRequest("request carries %d rows, limit is %d", len(rows), maxRows)
+	}
+	for i, row := range rows {
+		if err := validateRow(row, i, want); err != nil {
+			return nil, err
+		}
+	}
+	x := tensor.New(len(rows), want)
+	for i, row := range rows {
+		copy(x.RowView(i), row)
+	}
+	return x, nil
+}

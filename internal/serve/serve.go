@@ -1,0 +1,333 @@
+// Package serve is samplednn's inference layer: a stdlib net/http
+// prediction service over SNCK checkpoints. It exists because the
+// paper's training-side story (sample the expensive GEMMs) has an
+// inference-side mirror — once a model is trained, the serving path
+// wants the same disciplines the trainer already has: checkpoint
+// provenance, observability, and the LSH machinery reused for top-k
+// scoring instead of active-set selection.
+//
+// The design centers on two pieces:
+//
+//   - an atomic model pointer (the span tracer's hot-swap idiom):
+//     models are immutable snapshots, LoadAndSwap flips the pointer,
+//     and in-flight requests finish on whichever snapshot they loaded —
+//     zero-downtime swaps with no locks on the request path, and
+//   - a convoy micro-batcher (batch.go): concurrent predict calls
+//     coalesce so one GEMM serves many callers, built from mutexes only
+//     so it honors the repo's no-timers / no-raw-goroutines invariants.
+//
+// Correctness of the whole arrangement leans on the read-only inference
+// forward (nn.InferForward): the caching nn.Forward writes layer state
+// and made concurrent prediction a data race, which is exactly the bug
+// this package's tests pin.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"samplednn/internal/obs"
+	"samplednn/internal/tensor"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBatchRows caps both the rows one micro-batch GEMM may carry
+	// and the rows a single request may post (default 256).
+	MaxBatchRows int
+	// MaxBodyBytes caps request body size (default 1 MiB).
+	MaxBodyBytes int64
+	// TopK is the default k for /topk requests that omit it (default 5).
+	TopK int
+	// Model configures checkpoint loading for LoadAndSwap.
+	Model ModelOptions
+	// Journal receives serve-start/swap/request-fault events; nil
+	// disables journaling.
+	Journal *obs.Journal
+	// Registry receives serve metrics and backs /metrics
+	// (obs.Default when nil).
+	Registry *obs.Registry
+}
+
+// Server is the prediction service: an atomically swappable model, a
+// convoy micro-batcher, and the HTTP handlers around them.
+type Server struct {
+	opts    Options
+	model   atomic.Pointer[Model]
+	batch   *batcher
+	journal *obs.Journal
+
+	registry   *obs.Registry
+	requests   *obs.Counter
+	faults     *obs.Counter
+	swaps      *obs.Counter
+	batchRows  *obs.Distribution
+	batchCalls *obs.Distribution
+	latency    *obs.Distribution
+}
+
+// NewServer builds a server with no model installed; requests fail
+// with 503 until Install or LoadAndSwap succeeds.
+func NewServer(opts Options) *Server {
+	if opts.MaxBatchRows <= 0 {
+		opts.MaxBatchRows = 256
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.TopK <= 0 {
+		opts.TopK = 5
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Server{
+		opts:       opts,
+		journal:    opts.Journal,
+		registry:   reg,
+		requests:   reg.Counter("serve.requests"),
+		faults:     reg.Counter("serve.faults"),
+		swaps:      reg.Counter("serve.swaps"),
+		batchRows:  reg.Distribution("serve.batch.rows"),
+		batchCalls: reg.Distribution("serve.batch.calls"),
+		latency:    reg.Distribution("serve.latency.us"),
+	}
+	s.batch = &batcher{
+		model:   s.model.Load,
+		maxRows: opts.MaxBatchRows,
+		onBatch: func(rows, calls int) {
+			s.batchRows.Observe(int64(rows))
+			s.batchCalls.Observe(int64(calls))
+		},
+	}
+	return s
+}
+
+// Model returns the currently installed snapshot (nil before the first
+// Install/LoadAndSwap).
+func (s *Server) Model() *Model { return s.model.Load() }
+
+// BatchStats summarizes the convoy batcher's activity so far.
+type BatchStats struct {
+	// Batches counts executed leader GEMMs.
+	Batches int64 `json:"batches"`
+	// MaxCoalesced is the most calls one GEMM served.
+	MaxCoalesced int64 `json:"max_coalesced"`
+}
+
+// BatchStats reads the batcher's counters from the registry.
+func (s *Server) BatchStats() BatchStats {
+	snap := s.batchCalls.Snapshot()
+	return BatchStats{Batches: snap.Count, MaxCoalesced: snap.Max}
+}
+
+// emit journals one event; a nil journal drops it.
+func (s *Server) emit(event string, fields map[string]any) {
+	if s.journal != nil {
+		s.journal.Emit(event, fields)
+	}
+}
+
+// Install makes m the serving model and journals serve-start. It is
+// meant for boot; use LoadAndSwap for live replacement.
+func (s *Server) Install(m *Model) {
+	s.model.Store(m)
+	s.emit("serve-start", map[string]any{
+		"checkpoint": m.Info.Checkpoint,
+		"crc":        m.Info.CRC,
+		"epoch":      m.Info.Epoch,
+		"method":     m.Info.Method,
+		"layers":     m.Info.Layers,
+		"params":     m.Info.Params,
+		"inputs":     m.Info.Inputs,
+		"outputs":    m.Info.Outputs,
+		"topk":       m.Info.TopK,
+	})
+}
+
+// LoadAndSwap loads the checkpoint at path and atomically replaces the
+// serving model. In-flight requests finish on the old snapshot; the
+// swap never blocks the request path. On load failure the old model
+// keeps serving.
+func (s *Server) LoadAndSwap(path string) (ModelInfo, error) {
+	m, err := LoadModel(path, s.opts.Model)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	prev := s.model.Swap(m)
+	var prevCRC uint32
+	if prev != nil {
+		prevCRC = prev.Info.CRC
+	}
+	s.swaps.Inc()
+	s.emit("swap", map[string]any{
+		"checkpoint": m.Info.Checkpoint,
+		"crc":        m.Info.CRC,
+		"epoch":      m.Info.Epoch,
+		"prev_crc":   prevCRC,
+		"fallback":   m.Info.Fallback,
+	})
+	return m.Info, nil
+}
+
+// Handler returns the service mux:
+//
+//	POST /predict     batch prediction
+//	POST /topk        LSH-accelerated top-k logits for one row
+//	GET  /healthz     current model info
+//	GET  /metrics     Prometheus text exposition of the registry
+//	POST /admin/swap  hot-swap to another checkpoint
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /topk", s.handleTopK)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.registry)
+	mux.HandleFunc("POST /admin/swap", s.handleSwap)
+	return mux
+}
+
+// fault records a request failure — counter, journal, HTTP status —
+// with a fixed journal key set so the schema test can pin it.
+func (s *Server) fault(w http.ResponseWriter, endpoint string, status int, reason string) {
+	s.faults.Inc()
+	s.emit("request-fault", map[string]any{
+		"endpoint": endpoint,
+		"status":   status,
+		"reason":   reason,
+	})
+	http.Error(w, reason, status)
+}
+
+// failErr maps an error to fault: validation errors keep their status,
+// ErrNoModel is 503, anything else is a 500.
+func (s *Server) failErr(w http.ResponseWriter, endpoint string, err error) {
+	var bad *badRequestError
+	switch {
+	case errors.As(err, &bad):
+		s.fault(w, endpoint, bad.status, bad.reason)
+	case errors.Is(err, ErrNoModel):
+		s.fault(w, endpoint, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.fault(w, endpoint, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// predictResponse is the POST /predict reply. CRC identifies the model
+// snapshot that served the whole request — every row in one request is
+// answered by a single snapshot even across a concurrent hot swap.
+type predictResponse struct {
+	Predictions []int  `json:"predictions"`
+	CRC         uint32 `json:"crc"`
+	Epoch       int    `json:"epoch"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	defer s.latency.TimeMicros()()
+	s.requests.Inc()
+	m := s.model.Load()
+	if m == nil {
+		s.failErr(w, "/predict", ErrNoModel)
+		return
+	}
+	var req predictRequest
+	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.failErr(w, "/predict", err)
+		return
+	}
+	x, err := matrixFromRows(req.Rows, m.Info.Inputs, s.opts.MaxBatchRows)
+	if err != nil {
+		s.failErr(w, "/predict", err)
+		return
+	}
+	preds, info, err := s.batch.predict(x)
+	if err != nil {
+		// The batcher re-validates against the snapshot that actually
+		// served the batch; a mid-flight swap to a different
+		// architecture surfaces here as a 400.
+		var bad *badRequestError
+		if !errors.As(err, &bad) && !errors.Is(err, ErrNoModel) {
+			err = badRequest("%v", err)
+		}
+		s.failErr(w, "/predict", err)
+		return
+	}
+	writeJSON(w, predictResponse{Predictions: preds, CRC: info.CRC, Epoch: info.Epoch})
+}
+
+// topkResponse is the POST /topk reply. LSH reports whether the
+// indexed path answered (false means brute-force fallback).
+type topkResponse struct {
+	IDs   []int  `json:"ids"`
+	LSH   bool   `json:"lsh"`
+	CRC   uint32 `json:"crc"`
+	Epoch int    `json:"epoch"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	defer s.latency.TimeMicros()()
+	s.requests.Inc()
+	m := s.model.Load()
+	if m == nil {
+		s.failErr(w, "/topk", ErrNoModel)
+		return
+	}
+	var req topkRequest
+	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.failErr(w, "/topk", err)
+		return
+	}
+	if err := validateRow(req.Row, 0, m.Info.Inputs); err != nil {
+		s.failErr(w, "/topk", err)
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = s.opts.TopK
+	}
+	if k < 1 || k > m.Info.Outputs {
+		s.failErr(w, "/topk", badRequest("k=%d out of range (1..%d)", k, m.Info.Outputs))
+		return
+	}
+	x := tensor.New(1, m.Info.Inputs)
+	copy(x.RowView(0), req.Row)
+	ids, lshPath := m.TopK(x, k)
+	writeJSON(w, topkResponse{IDs: ids, LSH: lshPath, CRC: m.Info.CRC, Epoch: m.Info.Epoch})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m := s.model.Load()
+	if m == nil {
+		s.fault(w, "/healthz", http.StatusServiceUnavailable, ErrNoModel.Error())
+		return
+	}
+	writeJSON(w, m.Info)
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req swapRequest
+	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		s.failErr(w, "/admin/swap", err)
+		return
+	}
+	if req.Checkpoint == "" {
+		s.failErr(w, "/admin/swap", badRequest("checkpoint path is required"))
+		return
+	}
+	info, err := s.LoadAndSwap(req.Checkpoint)
+	if err != nil {
+		s.failErr(w, "/admin/swap", fmt.Errorf("swap failed: %w", err))
+		return
+	}
+	writeJSON(w, info)
+}

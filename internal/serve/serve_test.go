@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samplednn/internal/nn"
+	"samplednn/internal/obs"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+	"samplednn/internal/train"
+)
+
+const (
+	testInputs  = 12
+	testOutputs = 5
+)
+
+// newTestRegistry isolates each test server's metrics so counter
+// assertions cannot bleed across tests through obs.Default.
+func newTestRegistry() *obs.Registry { return obs.NewRegistry() }
+
+func testNet(t *testing.T, seed uint64) *nn.Network {
+	t.Helper()
+	net, err := nn.NewNetwork(nn.Uniform(testInputs, 16, 2, testOutputs), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// writeTestCheckpoint wraps net in a minimal SNCK checkpoint at path.
+func writeTestCheckpoint(t *testing.T, path string, net *nn.Network, epoch int) {
+	t.Helper()
+	var blob bytes.Buffer
+	if err := net.Save(&blob); err != nil {
+		t.Fatal(err)
+	}
+	ck := &train.Checkpoint{Epoch: epoch, MethodName: "standard", NetBlob: blob.Bytes()}
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testBatch(seed uint64, rows int) *tensor.Matrix {
+	x := tensor.New(rows, testInputs)
+	rng.New(seed).GaussianSlice(x.Data, 0, 1)
+	return x
+}
+
+func rowsPayload(x *tensor.Matrix) []byte {
+	rows := make([][]float64, x.Rows)
+	for i := range rows {
+		rows[i] = x.RowView(i)
+	}
+	b, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestLoadModelInfo(t *testing.T) {
+	net := testNet(t, 11)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 7)
+
+	m, err := LoadModel(path, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := m.Info
+	if info.Inputs != testInputs || info.Outputs != testOutputs {
+		t.Fatalf("info dims %d/%d, want %d/%d", info.Inputs, info.Outputs, testInputs, testOutputs)
+	}
+	if info.Epoch != 7 || info.Method != "standard" || info.Fallback || info.TopK {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Params != net.NumParams() || info.Layers != len(net.Layers) {
+		t.Fatalf("info params/layers = %d/%d", info.Params, info.Layers)
+	}
+	if info.CRC == 0 {
+		t.Fatal("zero CRC fingerprint")
+	}
+
+	// Same weights at a different path must fingerprint identically.
+	path2 := filepath.Join(t.TempDir(), "model2.snck")
+	writeTestCheckpoint(t, path2, net, 9)
+	m2, err := LoadModel(path2, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Info.CRC != info.CRC {
+		t.Fatalf("same weights fingerprint differently: %08x vs %08x", m2.Info.CRC, info.CRC)
+	}
+}
+
+func TestLoadModelFallsBackToBackup(t *testing.T) {
+	net := testNet(t, 12)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 3)
+	backup := train.CheckpointBackupPath(path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(backup, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("garbage, not SNCK"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := LoadModel(path, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Info.Fallback {
+		t.Fatal("corrupt primary with valid .prev should report Fallback")
+	}
+}
+
+func TestPredictEndpointMatchesLocal(t *testing.T) {
+	net := testNet(t, 13)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 1)
+
+	s := NewServer(Options{Registry: newTestRegistry()})
+	if _, err := s.LoadAndSwap(path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	x := testBatch(14, 6)
+	want := net.Predict(x)
+
+	resp, body := postJSON(t, ts.URL+"/predict", rowsPayload(x))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(pr.Predictions), len(want))
+	}
+	for i := range want {
+		if pr.Predictions[i] != want[i] {
+			t.Fatalf("prediction[%d] = %d, want %d", i, pr.Predictions[i], want[i])
+		}
+	}
+	if pr.CRC != s.Model().Info.CRC {
+		t.Fatalf("response CRC %08x, want %08x", pr.CRC, s.Model().Info.CRC)
+	}
+}
+
+// exactTopK is the serial reference: output ids sorted by logit
+// descending, truncated to k.
+func exactTopK(net *nn.Network, x *tensor.Matrix, k int) []int {
+	logits := net.InferForward(x).RowView(0)
+	ids := make([]int, len(logits))
+	for i := range ids {
+		ids[i] = i
+	}
+	for i := 0; i < len(ids); i++ { // tiny n: selection sort is fine and stable
+		best := i
+		for j := i + 1; j < len(ids); j++ {
+			if logits[ids[j]] > logits[ids[best]] {
+				best = j
+			}
+		}
+		ids[i], ids[best] = ids[best], ids[i]
+	}
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	net := testNet(t, 15)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 1)
+
+	for _, lshOn := range []bool{false, true} {
+		s := NewServer(Options{TopK: 3, Model: ModelOptions{TopK: lshOn, Seed: 16}, Registry: newTestRegistry()})
+		if _, err := s.LoadAndSwap(path); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		x := testBatch(17, 1)
+		body, _ := json.Marshal(map[string]any{"row": x.RowView(0), "k": testOutputs})
+		resp, out := postJSON(t, ts.URL+"/topk", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("lsh=%v status %d: %s", lshOn, resp.StatusCode, out)
+		}
+		var tr topkResponse
+		if err := json.Unmarshal(out, &tr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.LSH != lshOn {
+			t.Fatalf("lsh=%v but response reports %v", lshOn, tr.LSH)
+		}
+		// k equals the full output width, so even the LSH path must
+		// return its candidates in exact descending-logit order; any ids
+		// it retrieved must form a prefix-consistent subsequence of the
+		// exact ranking. For the brute-force path the match is total.
+		want := exactTopK(net, x, testOutputs)
+		if !lshOn {
+			if fmt.Sprint(tr.IDs) != fmt.Sprint(want) {
+				t.Fatalf("brute-force top-k %v, want %v", tr.IDs, want)
+			}
+		} else {
+			rank := make(map[int]int, len(want))
+			for r, id := range want {
+				rank[id] = r
+			}
+			for i := 1; i < len(tr.IDs); i++ {
+				if rank[tr.IDs[i-1]] > rank[tr.IDs[i]] {
+					t.Fatalf("lsh top-k %v not in exact logit order %v", tr.IDs, want)
+				}
+			}
+		}
+		ts.Close()
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	net := testNet(t, 18)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 2)
+
+	s := NewServer(Options{Registry: newTestRegistry()})
+	if _, err := s.LoadAndSwap(path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.CRC != s.Model().Info.CRC || info.Epoch != 2 {
+		t.Fatalf("healthz info = %+v", info)
+	}
+
+	// Drive one request so the counters are non-zero, then scrape.
+	x := testBatch(19, 2)
+	if resp, body := postJSON(t, ts.URL+"/predict", rowsPayload(x)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict failed: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, want := range []string{"serve_requests_total 1", "serve_swaps_total 1", "serve_batch_rows_count 1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestHotSwapSameWeightsIsByteIdentical pins the swap correctness
+// contract: after swapping to a checkpoint holding the same weights,
+// the /predict response bytes are identical to before.
+func TestHotSwapSameWeightsIsByteIdentical(t *testing.T) {
+	net := testNet(t, 20)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.snck")
+	pathB := filepath.Join(dir, "b.snck")
+	writeTestCheckpoint(t, pathA, net, 4)
+	writeTestCheckpoint(t, pathB, net, 4)
+
+	s := NewServer(Options{Registry: newTestRegistry()})
+	if _, err := s.LoadAndSwap(pathA); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	payload := rowsPayload(testBatch(21, 5))
+	_, before := postJSON(t, ts.URL+"/predict", payload)
+
+	swapBody, _ := json.Marshal(map[string]string{"checkpoint": pathB})
+	resp, out := postJSON(t, ts.URL+"/admin/swap", swapBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap failed: %d %s", resp.StatusCode, out)
+	}
+
+	_, after := postJSON(t, ts.URL+"/predict", payload)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("responses differ across same-weights swap:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if s.Model().Info.Checkpoint != pathB {
+		t.Fatal("swap did not install the new checkpoint path")
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	net := testNet(t, 22)
+	path := filepath.Join(t.TempDir(), "model.snck")
+	writeTestCheckpoint(t, path, net, 1)
+	s := NewServer(Options{MaxBatchRows: 8, Registry: newTestRegistry()})
+	if _, err := s.LoadAndSwap(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stuff the queue directly, then run one batch by predicting: the
+	// leader must drain the whole prefix in a single GEMM.
+	queued := make([]*batchCall, 3)
+	for i := range queued {
+		queued[i] = &batchCall{x: testBatch(uint64(23+i), 2), done: make(chan struct{})}
+	}
+	s.batch.mu.Lock()
+	s.batch.queue = append(s.batch.queue, queued...)
+	s.batch.mu.Unlock()
+
+	x := testBatch(26, 2)
+	preds, _, err := s.batch.predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range queued {
+		select {
+		case <-c.done:
+		default:
+			t.Fatal("leader left a queued call unserved")
+		}
+		want := net.Predict(c.x)
+		for i := range want {
+			if c.preds[i] != want[i] {
+				t.Fatalf("coalesced call diverged from serial reference")
+			}
+		}
+	}
+	want := net.Predict(x)
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Fatal("leader's own call diverged from serial reference")
+		}
+	}
+	if got := s.batchCalls.Snapshot().Max; got != 4 {
+		t.Fatalf("batch coalesced %d calls, want 4", got)
+	}
+}
