@@ -1,5 +1,13 @@
 GO ?= go
 
+# The packed GEMM micro-kernel accumulates with math.FMA, which compiles
+# to a bare VFMADD under GOAMD64=v3 but carries a per-call CPU-feature
+# branch at the v1 default (~2.5x slower on the dense kernels). All hosts
+# we target have AVX2+FMA; override with `make GOAMD64=v1 ...` for
+# baseline-compatible builds. Results are bit-identical either way —
+# math.FMA computes the same correctly-rounded value on every path.
+export GOAMD64 ?= v3
+
 .PHONY: build test tier1 lint bench bench-gemm bench-trace bench-dist bench-serve vet fmt journal-demo trace-demo
 
 build:
@@ -32,8 +40,13 @@ bench:
 
 # Serial-vs-parallel GEMM kernel sweep; every parallel point is checked
 # bit-for-bit against the serial kernel before its timing is recorded.
+# -autotune picks the packed-GEMM block sizes for this host first;
+# -baseline gates the run against the committed report, failing on any
+# serial point that lost >20% GFLOPS (the output is written only when
+# the gate passes).
 bench-gemm:
-	$(GO) run ./cmd/benchgemm -sizes 128,256,512 -workers 1,2,4 -out BENCH_gemm.json
+	$(GO) run ./cmd/benchgemm -sizes 128,256,512 -workers 1,2,4 \
+		-autotune -baseline BENCH_gemm.json -out BENCH_gemm.json
 
 # Distributed data-parallel throughput sweep: steps/sec at 1, 2, and 4
 # worker processes against the in-process reference, every point checked

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"time"
+
+	"samplednn/internal/pool"
+	"samplednn/internal/rng"
+	"samplednn/internal/tensor"
+)
+
+// Cache-block autotuner. The packed GEMM core's default block sizes
+// (tensor.BlockConfig) assume a generic x86 cache hierarchy: an A block
+// of MC·KC float64s sized for L2, a B strip of KC·NR for L1. Hosts with
+// different cache geometry prefer different splits, so the bench binary
+// can sweep a small grid and install the fastest configuration before
+// measuring — the pick is recorded in BENCH_gemm.json, never persisted
+// anywhere else, because block sizes change throughput only: the
+// kernels' per-element summation is block-independent by contract
+// (TestPackedBlockConfigInvariance pins this), so autotuning cannot
+// change any result.
+
+// autotuneGrid is the candidate configurations: MC and KC vary the
+// L2-resident A block from 64KB to 1MB; NC is fixed — the B panel is
+// streamed once per (jc, pc) and its width only matters once operands
+// exceed L3, beyond this benchmark's sizes.
+func autotuneGrid() []tensor.BlockConfig {
+	var grid []tensor.BlockConfig
+	for _, mc := range []int{64, 128, 256} {
+		for _, kc := range []int{128, 256, 512} {
+			grid = append(grid, tensor.BlockConfig{MC: mc, KC: kc, NC: 512})
+		}
+	}
+	return grid
+}
+
+// AutotunePoint is one autotuner measurement.
+type AutotunePoint struct {
+	Config  tensor.BlockConfig `json:"config"`
+	NsPerOp float64            `json:"ns_per_op"`
+	GFLOPS  float64            `json:"gflops"`
+	Runs    int                `json:"runs"`
+}
+
+// AutotuneResult is the grid sweep outcome recorded in GEMMReport.
+type AutotuneResult struct {
+	// Size is the square operand dimension the grid was timed at.
+	Size int `json:"size"`
+	// Best is the winning configuration, installed via SetBlockConfig.
+	Best   tensor.BlockConfig `json:"best"`
+	Points []AutotunePoint    `json:"points"`
+}
+
+// AutotuneGEMM times the serial packed matmul kernel at size n under
+// each grid configuration (min-of-N within budget per candidate),
+// installs the fastest via tensor.SetBlockConfig, and returns the full
+// sweep for the report. The caller owns the installed configuration;
+// pass the result's Best to SetBlockConfig(tensor.BlockConfig{}) paths
+// to restore defaults when done.
+func AutotuneGEMM(n int, budget time.Duration) *AutotuneResult {
+	g := rng.New(uint64(7000 + n))
+	a := tensor.New(n, n)
+	b := tensor.New(n, n)
+	g.GaussianSlice(a.Data, 0, 1)
+	g.GaussianSlice(b.Data, 0, 1)
+	out := tensor.New(n, n)
+
+	res := &AutotuneResult{Size: n}
+	tensor.SetPool(pool.New(1))
+	defer tensor.SetPool(nil)
+	best := -1.0
+	for _, cfg := range autotuneGrid() {
+		tensor.SetBlockConfig(cfg)
+		ns, runs, _ := timeOp(func() { tensor.MatMulInto(out, a, b) }, budget)
+		res.Points = append(res.Points, AutotunePoint{
+			Config: cfg, NsPerOp: ns, GFLOPS: gflops(n, ns), Runs: runs,
+		})
+		if best < 0 || ns < best {
+			best = ns
+			res.Best = cfg
+		}
+	}
+	tensor.SetBlockConfig(res.Best)
+	return res
+}

@@ -23,7 +23,9 @@ func gatherColsT(w *tensor.Matrix, cols []int, dst *tensor.Matrix) *tensor.Matri
 	if dst == nil || dst.Rows != len(cols) || dst.Cols != w.Rows {
 		dst = tensor.New(len(cols), w.Rows)
 	}
-	tensor.ParallelRows(len(cols), w.Rows, func(lo, hi int) {
+	// Pure copy: cost is all bandwidth (one strided read + one write per
+	// element), which the Cost model weighs instead of a flop count.
+	tensor.ParallelRowsCost(len(cols), tensor.Cost{Bytes: 16 * w.Rows}, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			j := cols[r]
 			row := dst.RowView(r)
@@ -53,7 +55,7 @@ func scatterCols(full, compact *tensor.Matrix, cols []int) {
 		panic(fmt.Sprintf("core: scatter %dx%d into %dx%d via %d cols",
 			compact.Rows, compact.Cols, full.Rows, full.Cols, len(cols)))
 	}
-	tensor.ParallelRows(full.Rows, len(cols), func(lo, hi int) {
+	tensor.ParallelRowsCost(full.Rows, tensor.Cost{Bytes: 16 * len(cols)}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			crow := compact.RowView(i)
 			frow := full.RowView(i)
@@ -147,7 +149,7 @@ func scatterGrads(l *nn.Layer, gradWsub *tensor.Matrix, gradBsub []float64, cols
 	if scratch.W == nil || scratch.W.Rows != l.FanIn() || scratch.W.Cols != l.FanOut() {
 		scratch = nn.Grads{W: tensor.New(l.FanIn(), l.FanOut()), B: make([]float64, l.FanOut())}
 	}
-	tensor.ParallelRows(l.FanIn(), len(cols), func(lo, hi int) {
+	tensor.ParallelRowsCost(l.FanIn(), tensor.Cost{Bytes: 16 * len(cols)}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			wrow := scratch.W.RowView(i)
 			grow := gradWsub.RowView(i)
@@ -165,7 +167,7 @@ func scatterGrads(l *nn.Layer, gradWsub *tensor.Matrix, gradBsub []float64, cols
 // clearGradCols zeroes the previously written columns so the scratch can
 // be reused next step.
 func clearGradCols(g nn.Grads, cols []int) {
-	tensor.ParallelRows(g.W.Rows, len(cols), func(lo, hi int) {
+	tensor.ParallelRowsCost(g.W.Rows, tensor.Cost{Bytes: 8 * len(cols)}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := g.W.RowView(i)
 			for _, j := range cols {

@@ -92,6 +92,8 @@ func TestGoldenFixtures(t *testing.T) {
 		{"readonlyforward", "readonlyforward", "samplednn/internal/fixture/readonlyforward"},
 		{"floateq", "floateq", "samplednn/internal/fixture/floateq"},
 		{"maporderfloat", "maporderfloat", "samplednn/internal/fixture/maporderfloat"},
+		{"ulpbound", "ulpbound", "samplednn/internal/fixture/ulpbound"},
+		{"ulpbound_exempt_tensor", "ulpbound", "samplednn/internal/tensor/fixture"},
 		{"suppress", "suppress", "samplednn/internal/fixture/suppress"},
 	}
 	for _, tc := range cases {
@@ -125,7 +127,7 @@ func TestGoldenFixtures(t *testing.T) {
 func TestEveryCheckHasBadFixture(t *testing.T) {
 	fired := map[string]bool{}
 	dirs := []string{"mathrand", "wallclock", "rawgoroutine", "netdeadline",
-		"httptimeout", "atomicwrite", "readonlyforward", "floateq", "maporderfloat"}
+		"httptimeout", "atomicwrite", "readonlyforward", "floateq", "maporderfloat", "ulpbound"}
 	for _, dir := range dirs {
 		pkg := loadFixture(t, dir, "samplednn/internal/fixture/"+dir)
 		res := Run("", []*Package{pkg}, Checks())

@@ -82,6 +82,7 @@ func Checks() []*Check {
 		checkReadonlyForward(),
 		checkFloatEquality(),
 		checkMapOrderFloat(),
+		checkULPBound(),
 	}
 }
 

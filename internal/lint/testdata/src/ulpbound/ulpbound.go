@@ -1,0 +1,24 @@
+// Package ulpbound is a known-bad fixture: ULP-tolerance comparisons in
+// library code without an annotation naming the accuracy contract.
+package ulpbound
+
+// EqualWithinULP32 stands in for the tensor helper of the same name.
+func EqualWithinULP32(a, b []float32, ulps int64) bool { return len(a) == len(b) }
+
+// ULPDistance32 stands in for the tensor diagnostic helper.
+func ULPDistance32(a, b float32) int64 { return 0 }
+
+// Verify compares kernel output with ULP tolerances, unannotated.
+func Verify(got, want []float32) bool {
+	if !EqualWithinULP32(got, want, 4) {
+		return false
+	}
+	return ULPDistance32(got[0], want[0]) < 2
+}
+
+// VerifyAnnotated carries the required waiver and must be reported as
+// suppressed, not as a violation.
+func VerifyAnnotated(got, want []float32) bool {
+	//lint:ignore ulp-bound float32 path accuracy contract (DESIGN.md §13) licenses the relaxation
+	return EqualWithinULP32(got, want, 4)
+}

@@ -13,11 +13,16 @@ func MatMul(a, b *Matrix) *Matrix {
 }
 
 // MatMulInto computes out = a*b. out must be preallocated with shape
-// a.Rows x b.Cols and must not alias a or b. The kernel uses the cache
-// friendly i-k-j loop order: the innermost loop streams a row of b and a
-// row of out, so both are accessed sequentially. Output rows are sharded
-// over the worker pool; each row's k-ascending reduction order matches
-// the serial loop, so results are bit-identical at any worker count.
+// a.Rows x b.Cols and must not alias a or b. All validation happens
+// before the first write to out, so a mismatch panics with out intact.
+//
+// Large products run the packed register-blocked core (see packed.go);
+// below the packing threshold the kernel uses the cache-friendly i-k-j
+// loop order, streaming a row of b and a row of out sequentially. The
+// dispatch depends only on the operand shape. Output rows are sharded
+// over the worker pool; each element's k-ascending reduction order is
+// independent of the chunking, so results are bit-identical at any
+// worker count.
 //
 // Zero entries of a are NOT skipped: 0·NaN and 0·Inf must yield NaN so
 // a diverging operand propagates into the output, which the trainer's
@@ -30,7 +35,16 @@ func MatMulInto(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	ParallelRows(a.Rows, a.Cols*b.Cols, func(lo, hi int) {
+	k, n := a.Cols, b.Cols
+	if usePacked(a.Rows, k, n) {
+		av := gview[float64]{data: a.Data, rs: a.Cols, cs: 1}
+		bv := gview[float64]{data: b.Data, rs: b.Cols, cs: 1}
+		ParallelRowsCost(a.Rows, gemmRowCost(k, n), func(lo, hi int) {
+			packedGEMM(out.Data, out.Cols, av, bv, k, n, lo, hi, nil)
+		})
+		return
+	}
+	ParallelRows(a.Rows, k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.RowView(i)
 			orow := out.RowView(i)
@@ -42,6 +56,14 @@ func MatMulInto(out, a, b *Matrix) {
 			}
 		}
 	})
+}
+
+// gemmRowCost is the per-output-row cost of an m×k by k×n float64
+// product for the bandwidth-aware scheduler: k·n multiply-adds; traffic
+// of one a row, one out row, and a per-row share of the packed b panel
+// reloads.
+func gemmRowCost(k, n int) Cost {
+	return Cost{Flops: k * n, Bytes: 8 * (k + 2*n), MinRows: GEMMBlockConfig().MC}
 }
 
 // MatMulNaive computes a*b with the textbook i-j-k loop order. It exists
@@ -72,15 +94,28 @@ func MatMulTransB(a, b *Matrix) *Matrix {
 	return out
 }
 
-// MatMulTransBInto computes out = a * bᵀ into a preallocated out.
-// Output rows are sharded over the worker pool; each (i, j) entry is an
-// independent dot product, so parallel results are bit-identical.
+// MatMulTransBInto computes out = a * bᵀ into a preallocated out. All
+// validation happens before the first write to out. Large products run
+// the packed core, which packs b's rows (bᵀ's columns) into contiguous
+// strips once per panel; below the threshold each (i, j) entry is an
+// independent dot product. Either way parallel results are
+// bit-identical to serial.
 func MatMulTransBInto(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB %dx%d by (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	if usePacked(a.Rows, a.Cols, b.Rows) {
+		k, n := a.Cols, b.Rows
+		av := gview[float64]{data: a.Data, rs: a.Cols, cs: 1}
+		// bᵀ element (k, j) is b[j][k].
+		bv := gview[float64]{data: b.Data, rs: 1, cs: b.Cols}
+		ParallelRowsCost(a.Rows, gemmRowCost(k, n), func(lo, hi int) {
+			packedGEMM(out.Data, out.Cols, av, bv, k, n, lo, hi, nil)
+		})
+		return
 	}
 	ParallelRows(a.Rows, a.Cols*b.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -102,15 +137,20 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 	return out
 }
 
-// MatMulTransAInto computes out = aᵀ * b into a preallocated out.
+// MatMulTransAInto computes out = aᵀ * b into a preallocated out. All
+// validation happens before the first write to out.
 //
-// Parallelization is by blocks of *output* rows (columns of a): every
+// Large products run the packed core: packing aᵀ's rows (columns of a)
+// into contiguous micro-strips converts the strided column reads into
+// one sequential pass per block — the transpose is paid once per panel
+// instead of once per inner product. Below the threshold,
+// parallelization is by blocks of *output* rows (columns of a): every
 // chunk owns out rows [lo, hi) and accumulates all k contributions into
 // them itself, so no two goroutines ever write the same row (the serial
 // loop instead iterated k outermost, which would make chunks over k race
-// on the whole output). Within one output row the contributions still
-// arrive in k-ascending order — the same reduction order as the serial
-// kernel — so results are bit-identical at any worker count.
+// on the whole output). In both paths the contributions to one output
+// element arrive in k-ascending order regardless of chunking, so
+// results are bit-identical at any worker count.
 //
 // Like MatMulInto, zero entries of a are not skipped, so NaN/Inf in b
 // propagate (see the zero-skip note there).
@@ -120,6 +160,16 @@ func MatMulTransAInto(out, a, b *Matrix) {
 	}
 	if out.Rows != a.Cols || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	if usePacked(a.Cols, a.Rows, b.Cols) {
+		k, n := a.Rows, b.Cols
+		// aᵀ element (i, k) is a[k][i].
+		av := gview[float64]{data: a.Data, rs: 1, cs: a.Cols}
+		bv := gview[float64]{data: b.Data, rs: b.Cols, cs: 1}
+		ParallelRowsCost(a.Cols, gemmRowCost(k, n), func(lo, hi int) {
+			packedGEMM(out.Data, out.Cols, av, bv, k, n, lo, hi, nil)
+		})
+		return
 	}
 	ParallelRows(a.Cols, a.Rows*b.Cols, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -143,12 +193,33 @@ func MatMulTransAInto(out, a, b *Matrix) {
 // This is the "sampling from the current layer" kernel of §4.2: only the
 // inner products for the active nodes (columns) are evaluated, so the cost
 // is Θ(rows(a) * cols(a) * len(cols)) instead of Θ(rows(a) * cols(a) * cols(b)).
+//
+// Shapes AND every index in cols are validated before the first write
+// to out, so a bad request panics with out intact. Large subsets run
+// the packed core, which gathers the requested columns of b into
+// contiguous strips exactly once per packed panel — the pre-packing
+// kernel instead strode the full b matrix per output element, which is
+// why its throughput *fell* with matrix size once b outgrew L2.
 func MatMulCols(out, a, b *Matrix, cols []int) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulCols %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulCols out is %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for idx, j := range cols {
+		if j < 0 || j >= b.Cols {
+			panic(fmt.Sprintf("tensor: MatMulCols cols[%d] = %d out of range for %d columns", idx, j, b.Cols))
+		}
+	}
+	if usePacked(a.Rows, a.Cols, len(cols)) {
+		k, n := a.Cols, len(cols)
+		av := gview[float64]{data: a.Data, rs: a.Cols, cs: 1}
+		bv := gview[float64]{data: b.Data, rs: b.Cols, cs: 1}
+		ParallelRowsCost(a.Rows, gemmRowCost(k, n), func(lo, hi int) {
+			packedGEMM(out.Data, out.Cols, av, bv, k, n, lo, hi, cols)
+		})
+		return
 	}
 	ParallelRows(a.Rows, a.Cols*len(cols), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -221,7 +292,9 @@ func (m *Matrix) Scale(alpha float64) {
 func Hadamard(a, b *Matrix) *Matrix {
 	sameShape("Hadamard", a, b)
 	out := New(a.Rows, a.Cols)
-	ParallelRows(len(a.Data), 1, func(lo, hi int) {
+	// One multiply per element but 24 bytes of traffic: bandwidth-bound,
+	// so the cutoff is costed by bytes, not flops.
+	ParallelRowsCost(len(a.Data), Cost{Flops: 1, Bytes: 24}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out.Data[i] = a.Data[i] * b.Data[i]
 		}
@@ -232,7 +305,7 @@ func Hadamard(a, b *Matrix) *Matrix {
 // HadamardInPlace sets a ⊙= b.
 func HadamardInPlace(a, b *Matrix) {
 	sameShape("HadamardInPlace", a, b)
-	ParallelRows(len(a.Data), 1, func(lo, hi int) {
+	ParallelRowsCost(len(a.Data), Cost{Flops: 1, Bytes: 24}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a.Data[i] *= b.Data[i]
 		}
@@ -245,7 +318,7 @@ func (m *Matrix) AddRowVector(v []float64) {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("tensor: AddRowVector len %d for %d cols", len(v), m.Cols))
 	}
-	ParallelRows(m.Rows, m.Cols, func(lo, hi int) {
+	ParallelRowsCost(m.Rows, Cost{Flops: m.Cols, Bytes: 16 * m.Cols}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := m.RowView(i)
 			for j, bv := range v {
@@ -262,7 +335,7 @@ func (m *Matrix) AddRowVector(v []float64) {
 // row-ascending order as the serial loop, so results are bit-identical.
 func (m *Matrix) ColNorms() []float64 {
 	out := make([]float64, m.Cols)
-	ParallelRows(m.Cols, 2*m.Rows, func(lo, hi int) {
+	ParallelRowsCost(m.Cols, Cost{Flops: 2 * m.Rows, Bytes: 8 * m.Rows}, func(lo, hi int) {
 		for i := 0; i < m.Rows; i++ {
 			row := m.RowView(i)
 			for j := lo; j < hi; j++ {
@@ -279,7 +352,7 @@ func (m *Matrix) ColNorms() []float64 {
 // RowNorms returns the l2 norm of every row.
 func (m *Matrix) RowNorms() []float64 {
 	out := make([]float64, m.Rows)
-	ParallelRows(m.Rows, 2*m.Cols, func(lo, hi int) {
+	ParallelRowsCost(m.Rows, Cost{Flops: 2 * m.Cols, Bytes: 8 * m.Cols}, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = Norm(m.RowView(i))
 		}
@@ -296,7 +369,7 @@ func ColSumsInto(dst []float64, m *Matrix) {
 	if len(dst) != m.Cols {
 		panic(fmt.Sprintf("tensor: ColSumsInto dst len %d for %d cols", len(dst), m.Cols))
 	}
-	ParallelRows(m.Cols, m.Rows, func(lo, hi int) {
+	ParallelRowsCost(m.Cols, Cost{Flops: m.Rows, Bytes: 8 * m.Rows}, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dst[j] = 0
 		}

@@ -8,23 +8,58 @@ import (
 
 // The kernels in this package shard their output rows over the shared
 // worker pool (internal/pool). Two knobs keep small operands from
-// regressing: an operation must carry at least parallelCutoffFlops of
-// work before the pool is consulted at all, and chunks are sized so each
-// carries at least chunkTargetFlops. Below the cutoff the kernels run
-// the exact serial loop on the caller.
+// regressing: an operation must carry at least parallelCutoffWork of
+// effective work before the pool is consulted at all, and chunks are
+// sized so each carries at least chunkTargetWork. Below the cutoff the
+// kernels run the exact serial loop on the caller.
+//
+// Work is measured in float64-multiply-accumulate equivalents, and it is
+// bandwidth-aware: a byte of memory traffic counts as 1/flopsPerByte of
+// a flop, so ops that are memory-bound (elementwise kernels, the float32
+// path with half the bytes per element) are costed by whichever resource
+// actually limits them. The original cutoff was flop-count-only and
+// tuned for float64 compute-bound GEMM; it sent cheap bandwidth-bound
+// float32 ops to the pool below profitability.
 //
 // Determinism: a chunk owns a contiguous block of output rows, and the
 // per-row reduction order inside every kernel is identical to the serial
 // loop, so results are bit-identical for any worker count (including 1).
 const (
-	// parallelCutoffFlops is the minimum operation size (in
-	// multiply-accumulates, roughly) worth distributing; below it the
-	// fork/join overhead of even a warm pool exceeds the kernel time.
-	parallelCutoffFlops = 32 << 10
-	// chunkTargetFlops sizes chunks so the atomic-counter handout cost
+	// parallelCutoffWork is the minimum operation size (in effective
+	// flops) worth distributing; below it the fork/join overhead of even
+	// a warm pool exceeds the kernel time.
+	parallelCutoffWork = 32 << 10
+	// chunkTargetWork sizes chunks so the atomic-counter handout cost
 	// is amortized over a meaningful amount of arithmetic.
-	chunkTargetFlops = 16 << 10
+	chunkTargetWork = 16 << 10
+	// flopsPerByte converts memory traffic to effective flops: on the
+	// bench host the scalar kernels retire ~2 multiply-adds per streamed
+	// byte before going memory-bound, so 1 byte costs ~half a flop.
+	flopsPerByte = 2
 )
+
+// Cost describes one parallel operation's per-row resource use, the
+// input of the serial-cutoff and chunk-size decisions.
+type Cost struct {
+	// Flops is the multiply-accumulate count per output row.
+	Flops int
+	// Bytes is the memory traffic per output row (reads + writes,
+	// element size included — a float32 row moves half a float64 row).
+	Bytes int
+	// MinRows, when positive, is the minimum rows per parallel chunk.
+	// The packed GEMM kernels set it to the MC block height so a chunk
+	// amortizes its operand packing over at least one full block.
+	MinRows int
+}
+
+// effFlops is the bandwidth-aware effective work per row.
+func (c Cost) effFlops() int {
+	eff := c.Flops + c.Bytes/flopsPerByte
+	if eff < 1 {
+		eff = 1
+	}
+	return eff
+}
 
 // kernelPool, when non-nil, overrides the shared default pool for this
 // package's kernels. Tests and benchmarks use it to pin a worker count.
@@ -57,22 +92,35 @@ func currentPool() *pool.Pool {
 // It is exported because the sampled-training kernels outside this
 // package (gather/scatter in internal/core, the outer-product
 // accumulation in internal/approxmm) shard over the same pool with the
-// same cutoff policy.
+// same cutoff policy. Kernels that also move significant memory per row
+// should use ParallelRowsCost, which weighs bandwidth as well.
 func ParallelRows(n, flopsPerRow int, fn func(lo, hi int)) {
+	ParallelRowsCost(n, Cost{Flops: flopsPerRow}, fn)
+}
+
+// ParallelRowsCost is ParallelRows with a bandwidth-aware cost model:
+// the serial cutoff and chunk granularity are computed from effective
+// work (flops plus memory traffic, see Cost), so memory-bound kernels
+// and the float32 path do not go parallel below profitability. The
+// row-range partition it produces depends only on (n, Cost, worker
+// count), never on data, and every kernel's per-row math is
+// chunk-boundary independent — results stay bit-identical.
+func ParallelRowsCost(n int, c Cost, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if flopsPerRow < 1 {
-		flopsPerRow = 1
-	}
+	eff := c.effFlops()
 	p := currentPool()
-	if p.Workers() <= 1 || n*flopsPerRow < parallelCutoffFlops {
+	if p.Workers() <= 1 || n*eff < parallelCutoffWork {
 		fn(0, n)
 		return
 	}
-	grain := chunkTargetFlops / flopsPerRow
+	grain := chunkTargetWork / eff
 	if grain < 1 {
 		grain = 1
+	}
+	if grain < c.MinRows {
+		grain = c.MinRows
 	}
 	p.ParallelRows(n, grain, fn)
 }
