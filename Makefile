@@ -8,7 +8,7 @@ GO ?= go
 # math.FMA computes the same correctly-rounded value on every path.
 export GOAMD64 ?= v3
 
-.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-dist bench-serve vet fmt journal-demo trace-demo
+.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-obs bench-dist bench-serve vet fmt journal-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,13 @@ bench-serve:
 # measured against their mean.
 bench-trace:
 	$(GO) run ./cmd/benchtrace -scale small -out BENCH_trace.json
+
+# Correlation-plane overhead: ns per context-stamped dist frame round
+# trip (vs the zero-context baseline), ns per HTTP request-context
+# derivation, and the disabled journal path; merged into BENCH_trace.json
+# next to the tracer numbers.
+bench-obs:
+	$(GO) run ./cmd/benchtrace -obs -out BENCH_trace.json
 
 # Two-epoch synthetic run that journals every event, then pretty-prints
 # the journal — the fastest way to see the telemetry schema end to end.

@@ -6,16 +6,25 @@
 // Usage:
 //
 //	benchtrace -scale tiny -out BENCH_trace.json
+//	benchtrace -obs -out BENCH_trace.json
 //
 // The report includes two uninstrumented baseline runs; their relative
 // gap is the host's noise floor, below which an overhead measurement
 // means nothing.
+//
+// -obs skips the training sweep and instead measures the correlation
+// plane's per-operation overhead (context-stamped frame round trips,
+// HTTP request-context derivation, the disabled journal path), merging
+// the numbers into the existing report at -out so one file tracks all
+// observability costs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"samplednn/internal/atomicfile"
 	"samplednn/internal/bench"
@@ -23,10 +32,16 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_trace.json", "output JSON path")
-		scale = flag.String("scale", "tiny", "benchmark scale: tiny, small, or paper")
+		out     = flag.String("out", "BENCH_trace.json", "output JSON path")
+		scale   = flag.String("scale", "tiny", "benchmark scale: tiny, small, or paper")
+		obsOnly = flag.Bool("obs", false, "measure correlation-plane overhead (ns/frame, ns/request) and merge into the report at -out")
+		iters   = flag.Int("iters", 0, "with -obs: measurement loop count (0 = default)")
 	)
 	flag.Parse()
+	if *obsOnly {
+		runObs(*out, *iters)
+		return
+	}
 	s, err := bench.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
@@ -48,6 +63,38 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d configs, host CPUs %d)\n", *out, len(rep.Points), rep.Host.CPUs)
+}
+
+// runObs measures the correlation plane's per-op costs and merges them
+// into the report at path, preserving any existing training sweep.
+func runObs(path string, iters int) {
+	var rep bench.TraceReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fatal(fmt.Errorf("existing report %s does not parse (delete it or fix it): %w", path, err))
+		}
+	}
+	o, err := bench.RunObsBench(iters)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Obs = o
+	if rep.Host.CPUs == 0 {
+		rep.Host.CPUs = runtime.NumCPU()
+		rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("frame round trip: %.0f ns baseline, %.0f ns with ctx+clock (+%.0f ns)\n",
+		o.FrameBaselineNS, o.FrameCtxNS, o.FrameOverheadNS)
+	fmt.Printf("request ctx + X-Request-Id: %.0f ns/request\n", o.RequestCtxNS)
+	fmt.Printf("disabled journal path: %.1f ns/emit\n", o.DisabledEmitNS)
+	data, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := atomicfile.WriteFileBytes(path, data); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged obs overhead into %s (%d iters)\n", path, o.Iters)
 }
 
 func fatal(err error) {

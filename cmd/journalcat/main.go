@@ -5,20 +5,33 @@
 //
 // Usage:
 //
-//	journalcat runs/mnist.jsonl            # print every record
-//	journalcat -summary runs/mnist.jsonl   # one rollup line per run
-//	journalcat -follow runs/mnist.jsonl    # print, then tail new records
+//	journalcat runs/mnist.jsonl             # print every record
+//	journalcat -summary runs/mnist.jsonl    # one rollup line per run
+//	journalcat -follow runs/mnist.jsonl     # print, then tail new records
+//	journalcat -merge coord.jsonl wj.rank0.jsonl wj.rank1.jsonl
+//	                                        # one causally ordered stream
+//	journalcat -summary coord.jsonl wj.rank0.jsonl wj.rank1.jsonl
+//	                                        # merge, then roll up per run
+//	                                        # and per worker rank
+//
+// -merge folds per-process journals (coordinator, worker ranks,
+// mlpserve) into one stream ordered by the Lamport "lc" field their
+// shared clock exchange stamps, emitted raw so it is itself a valid
+// journal. The output is byte-reproducible: a pure function of the
+// input contents, independent of argument order.
 //
 // journalcat exits non-zero when the journal cannot be read or parsed.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -27,26 +40,42 @@ import (
 
 func main() {
 	follow := flag.Bool("follow", false, "after printing existing records, poll the file and print records as they are appended (like tail -f)")
-	summary := flag.Bool("summary", false, "print one rollup line per run instead of every record")
+	summary := flag.Bool("summary", false, "print one rollup line per run (plus one per worker rank) instead of every record; multiple files are merged first")
+	merge := flag.Bool("merge", false, "merge the journals into one causally ordered stream (Lamport clock order) and print it raw")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: journalcat [-follow | -summary] FILE")
+		fmt.Fprintln(os.Stderr, "usage: journalcat [-follow | -summary | -merge] FILE...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 || (*follow && *summary) {
+	modes := 0
+	for _, on := range []bool{*follow, *summary, *merge} {
+		if on {
+			modes++
+		}
+	}
+	multiOK := *summary || *merge
+	if modes > 1 || flag.NArg() < 1 || (flag.NArg() > 1 && !multiOK) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
 
 	if *follow {
-		if err := followFile(os.Stdout, path, 200*time.Millisecond, nil); err != nil {
+		if err := followFile(os.Stdout, flag.Arg(0), 200*time.Millisecond, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "journalcat:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	recs, err := obs.ReadFile(path)
+	if *merge {
+		out, err := obs.MergeJournalFiles(flag.Args()...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "journalcat:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	recs, err := readMerged(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "journalcat:", err)
 		os.Exit(1)
@@ -58,6 +87,20 @@ func main() {
 	for _, r := range recs {
 		fmt.Print(formatRecord(r))
 	}
+}
+
+// readMerged reads one journal directly — preserving its on-disk record
+// order, which run summaries depend on for journals without Lamport
+// clocks — or merges several into causal order first.
+func readMerged(paths []string) ([]obs.Record, error) {
+	if len(paths) == 1 {
+		return obs.ReadFile(paths[0])
+	}
+	data, err := obs.MergeJournalFiles(paths...)
+	if err != nil {
+		return nil, err
+	}
+	return obs.Read(bytes.NewReader(data))
 }
 
 // followFile prints every record in the journal, then keeps polling the
@@ -261,7 +304,77 @@ func summarize(recs []obs.Record) string {
 		}
 	}
 	flush()
+	out.WriteString(rankLines(recs))
 	return out.String()
+}
+
+// rankSummary accumulates one worker rank's rollup from the
+// rank-carrying dist events, which a merged stream interleaves from
+// both sides of the wire: the coordinator's view (join, sync, retry,
+// fault, timeout) and the worker's own journal (start, worker-sync,
+// step-fault).
+type rankSummary struct {
+	joins, starts, syncs, workerSyncs int
+	retries, timeouts, faults         int
+}
+
+// rankLines renders one rollup line per worker rank seen in the stream
+// (nothing for a single-process journal).
+func rankLines(recs []obs.Record) string {
+	ranks := map[int]*rankSummary{}
+	var order []int
+	for _, r := range recs {
+		v, ok := r["rank"].(float64)
+		if !ok {
+			continue
+		}
+		k := int(v)
+		s := ranks[k]
+		if s == nil {
+			s = &rankSummary{}
+			ranks[k] = s
+			order = append(order, k)
+		}
+		switch r.Event() {
+		case "dist-join":
+			s.joins++
+		case "dist-worker-start":
+			s.starts++
+		case "dist-sync":
+			s.syncs++
+		case "dist-worker-sync":
+			s.workerSyncs++
+		case "dist-retry":
+			s.retries++
+		case "dist-timeout":
+			s.timeouts++
+		case "dist-fault", "dist-step-fault":
+			s.faults++
+		}
+	}
+	sort.Ints(order)
+	var b strings.Builder
+	for _, k := range order {
+		s := ranks[k]
+		fmt.Fprintf(&b, "rank %d: joins=%d syncs=%d", k, s.joins, s.syncs)
+		if s.starts > 0 {
+			fmt.Fprintf(&b, " starts=%d", s.starts)
+		}
+		if s.workerSyncs > 0 {
+			fmt.Fprintf(&b, " worker_syncs=%d", s.workerSyncs)
+		}
+		if s.retries > 0 {
+			fmt.Fprintf(&b, " retries=%d", s.retries)
+		}
+		if s.timeouts > 0 {
+			fmt.Fprintf(&b, " timeouts=%d", s.timeouts)
+		}
+		if s.faults > 0 {
+			fmt.Fprintf(&b, " faults=%d", s.faults)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 func formatRecord(r obs.Record) string {

@@ -239,3 +239,66 @@ func TestFollowFileSurvivesRotation(t *testing.T) {
 		t.Fatal("followFile did not stop")
 	}
 }
+
+func TestSummarizePerRankRollups(t *testing.T) {
+	recs := []obs.Record{
+		{"ev": "dist-listen", "addr": "127.0.0.1:1"},
+		{"ev": "dist-join", "rank": 1.0, "spawn": 1.0},
+		{"ev": "dist-join", "rank": 0.0, "spawn": 1.0},
+		{"ev": "dist-worker-start", "rank": 1.0},
+		{"ev": "dist-sync", "rank": 0.0, "epoch": 0.0, "step": 0.0},
+		{"ev": "dist-sync", "rank": 1.0, "epoch": 0.0, "step": 0.0},
+		{"ev": "dist-worker-sync", "rank": 1.0, "epoch": 0.0, "step": 0.0},
+		{"ev": "dist-step-fault", "rank": 1.0, "kind": "kill"},
+		{"ev": "dist-join", "rank": 1.0, "spawn": 2.0},
+		{"ev": "dist-retry", "rank": 0.0, "attempt": 1.0},
+	}
+	got := summarize(recs)
+	wantLines := []string{
+		"rank 0: joins=1 syncs=1 retries=1\n",
+		"rank 1: joins=2 syncs=1 starts=1 worker_syncs=1 faults=1\n",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(got, w) {
+			t.Errorf("summary missing %q:\n%s", w, got)
+		}
+	}
+	if strings.Index(got, "rank 0:") > strings.Index(got, "rank 1:") {
+		t.Errorf("rank lines not sorted:\n%s", got)
+	}
+}
+
+func TestReadMergedOrdersAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	writeFile := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(a, `{"ev":"one","lc":1}`+"\n"+`{"ev":"four","lc":4}`+"\n")
+	writeFile(b, `{"ev":"two","lc":2}`+"\n"+`{"ev":"three","lc":3}`+"\n")
+
+	recs, err := readMerged([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	for _, r := range recs {
+		events = append(events, r.Event())
+	}
+	if strings.Join(events, ",") != "one,two,three,four" {
+		t.Fatalf("merged order %v", events)
+	}
+
+	// A single file must pass through in on-disk order, not byte order.
+	solo, err := readMerged([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo[0].Event() != "one" || solo[1].Event() != "four" {
+		t.Fatalf("single-file order changed: %v", solo)
+	}
+}

@@ -56,17 +56,21 @@ func main() {
 		defer j.Close()
 	}
 
+	m, err := serve.LoadModel(*checkpoint, serve.ModelOptions{TopK: *topk > 0, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
 	s := serve.NewServer(serve.Options{
 		MaxBatchRows: *maxBatch,
 		MaxBodyBytes: *maxBody,
 		TopK:         *topk,
 		Model:        serve.ModelOptions{TopK: *topk > 0, Seed: *seed},
 		Journal:      j,
+		// Deriving the run ID from the checkpoint CRC means restarts on
+		// the same model share one run in merged journals, while a swap
+		// to different weights is visible as a new run.
+		Run: obs.RunID(uint64(m.Info.CRC)),
 	})
-	m, err := serve.LoadModel(*checkpoint, serve.ModelOptions{TopK: *topk > 0, Seed: *seed})
-	if err != nil {
-		fatal(err)
-	}
 	s.Install(m)
 	if m.Info.Fallback {
 		fmt.Fprintln(os.Stderr, "mlpserve: primary checkpoint corrupt; serving the .prev backup")
@@ -102,6 +106,10 @@ func main() {
 		if err := srv.Shutdown(shCtx); err != nil {
 			fatal(err)
 		}
+		// Shutdown has stopped accepting connections; Drain waits for the
+		// in-flight requests it left running and journals serve-drain so
+		// the shutdown is visible in merged journals.
+		s.Drain()
 		fmt.Println("mlpserve: drained, bye")
 	}
 }

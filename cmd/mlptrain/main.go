@@ -126,6 +126,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "gradient shards per batch (0 = one per worker); shard count alone fixes the reduced gradient")
 		distListen = flag.String("dist-listen", "", "coordinator listen address (default 127.0.0.1:0)")
 		distSpawn  = flag.Bool("dist-spawn", true, "spawn the -workers processes locally; false waits for external -dist-join workers")
+		distWJ     = flag.String("dist-worker-journal", "", "journal prefix for spawned workers: rank R appends to <prefix>.rank<R>.jsonl (merge with journalcat -merge)")
 		distJoin   = flag.String("dist-join", "", "join a coordinator at this address as a worker (requires -dist-rank) instead of training")
 		distRank   = flag.Int("dist-rank", -1, "worker rank when joining with -dist-join")
 		confuse    = flag.Bool("confusion", true, "print the final confusion matrix and per-class report")
@@ -274,6 +275,8 @@ func main() {
 			Seed:       *seed,
 			NoSpawn:    !*distSpawn,
 			Journal:    journal,
+
+			WorkerJournalPrefix: *distWJ,
 		})
 		if err != nil {
 			fatal(err)

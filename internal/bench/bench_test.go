@@ -202,3 +202,21 @@ func TestRenderAndCSV(t *testing.T) {
 		t.Fatalf("CSV header broken:\n%s", csv)
 	}
 }
+
+func TestObsBenchMeasuresAllPaths(t *testing.T) {
+	o, err := RunObsBench(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Iters != 2000 {
+		t.Fatalf("iters = %d", o.Iters)
+	}
+	if o.FrameBaselineNS <= 0 || o.FrameCtxNS <= 0 || o.RequestCtxNS <= 0 || o.DisabledEmitNS < 0 {
+		t.Fatalf("non-positive measurements: %+v", o)
+	}
+	// The disabled path is a couple of nil checks; if it costs more
+	// than a frame round trip something is deeply wrong.
+	if o.DisabledEmitNS > o.FrameCtxNS {
+		t.Fatalf("disabled emit (%.1f ns) slower than a full frame round trip (%.1f ns)", o.DisabledEmitNS, o.FrameCtxNS)
+	}
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"samplednn/internal/binio"
+	"samplednn/internal/obs"
+)
+
+// Observability-plane overhead microbenchmarks. The cross-process
+// correlation layer (PR 9) touches two hot paths: every dist frame now
+// carries a 32-byte context and two Lamport clock operations, and every
+// served HTTP request derives a correlation context and formats an
+// X-Request-Id header. Both claim to be cheap; this experiment pins
+// the claim in ns/op next to the tracer numbers in BENCH_trace.json,
+// where a regression is visible in review.
+
+// ObsOverhead is the obs section of the BENCH_trace.json payload:
+// per-operation costs of the correlation plane.
+type ObsOverhead struct {
+	// FrameBaselineNS is one binio frame encode+decode round trip with
+	// a zero context and no clock — the pre-correlation cost.
+	FrameBaselineNS float64 `json:"frame_baseline_ns"`
+	// FrameCtxNS is the same round trip with a populated step context,
+	// a sender clock tick, and a receiver witness — the full
+	// correlation-stamped path dist connections take.
+	FrameCtxNS float64 `json:"frame_ctx_ns"`
+	// FrameOverheadNS = FrameCtxNS - FrameBaselineNS.
+	FrameOverheadNS float64 `json:"frame_overhead_ns"`
+	// RequestCtxNS is deriving one HTTP request's correlation context
+	// plus formatting its X-Request-Id header value.
+	RequestCtxNS float64 `json:"request_ctx_ns"`
+	// DisabledEmitNS is the disabled path: EmitCtx on a nil journal
+	// plus a nil clock tick; must stay within a few ns (and zero
+	// allocations, pinned by internal/obs tests).
+	DisabledEmitNS float64 `json:"disabled_emit_ns"`
+	// Iters is the measurement loop count behind each number.
+	Iters int `json:"iters"`
+}
+
+// nsPerOp times iters calls of f and returns mean ns per call.
+func nsPerOp(iters int, f func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// RunObsBench measures the correlation plane's per-operation overhead.
+// iters <= 0 selects the default loop count.
+func RunObsBench(iters int) (*ObsOverhead, error) {
+	if iters <= 0 {
+		iters = 200_000
+	}
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var buf bytes.Buffer
+	roundTrip := func(f binio.Frame) error {
+		buf.Reset()
+		if err := binio.WriteFrame(&buf, f); err != nil {
+			return err
+		}
+		_, err := binio.ReadFrame(&buf)
+		return err
+	}
+	// Fail fast outside the timed loops so a framing bug surfaces as an
+	// error, not a nonsense measurement.
+	if err := roundTrip(binio.Frame{Type: 1, Seq: 1, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("bench: obs frame round trip: %w", err)
+	}
+	// Warm the CRC tables, buffer, and branch predictors before the
+	// timed loops; the first measured configuration must not also pay
+	// the one-time costs.
+	for i := 0; i < iters/10+1; i++ {
+		_ = roundTrip(binio.Frame{Type: 1, Seq: uint64(i + 1), Payload: payload})
+	}
+
+	o := &ObsOverhead{Iters: iters}
+	o.FrameBaselineNS = nsPerOp(iters, func(i int) {
+		_ = roundTrip(binio.Frame{Type: 1, Seq: uint64(i + 1), Payload: payload})
+	})
+
+	run := obs.RunID(1)
+	cx := obs.StepCtx(run, 3, 7)
+	send, recv := obs.NewClock(), obs.NewClock()
+	o.FrameCtxNS = nsPerOp(iters, func(i int) {
+		c := cx
+		c.Clock = send.Tick()
+		buf.Reset()
+		_ = binio.WriteFrame(&buf, binio.Frame{Type: 1, Seq: uint64(i + 1), Ctx: c, Payload: payload})
+		f, err := binio.ReadFrame(&buf)
+		if err == nil && f.Ctx.Clock != 0 {
+			recv.Witness(f.Ctx.Clock)
+		}
+	})
+	o.FrameOverheadNS = o.FrameCtxNS - o.FrameBaselineNS
+
+	var sink string
+	o.RequestCtxNS = nsPerOp(iters, func(i int) {
+		rc := obs.RequestCtx(run, obs.RequestTrace(run, uint64(i+1)))
+		sink = obs.FormatID(rc.Trace)
+	})
+	_ = sink
+
+	var nilJournal *obs.Journal
+	var nilClock *obs.Clock
+	o.DisabledEmitNS = nsPerOp(iters, func(i int) {
+		nilJournal.EmitCtx(cx, "bench", nil)
+		_ = nilClock.Tick()
+	})
+	return o, nil
+}

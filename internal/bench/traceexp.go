@@ -51,7 +51,10 @@ type TraceReport struct {
 	// overheads below this are not distinguishable from host noise.
 	NoiseFloorPct float64      `json:"noise_floor_pct"`
 	Points        []TracePoint `json:"points"`
-	Notes         []string     `json:"notes,omitempty"`
+	// Obs holds the correlation-plane microbenchmarks (ns per frame,
+	// per request, per disabled emit), appended by benchtrace -obs.
+	Obs   *ObsOverhead `json:"obs,omitempty"`
+	Notes []string     `json:"notes,omitempty"`
 }
 
 // JSON renders the report for BENCH_trace.json.

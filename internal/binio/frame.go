@@ -1,15 +1,22 @@
 // Frame layer: the unit of exchange on a distributed-training
 // connection (internal/dist). A frame wraps an opaque payload with
 // enough metadata to detect every corruption mode the fault-injection
-// harness can produce:
+// harness can produce, plus the correlation context that ties the
+// telemetry of both endpoints together:
 //
 //	magic   u32  "SNFR" — catches stream desync and foreign peers
-//	version u8   format revision, currently 1
+//	version u8   format revision, currently 2
 //	type    u8   message discriminator, opaque to this layer
 //	seq     u64  per-direction sequence number, strictly increasing
+//	ctx     32B  obs.Ctx wire form: run, trace, span, Lamport clock
 //	len     u32  payload length, capped at MaxFrameLen
 //	crc     u32  CRC-32 (IEEE) of the payload bytes
 //	payload len bytes
+//
+// Version 2 widened the header by the 32-byte context block (v1 had no
+// ctx field); peers negotiate nothing — both ends of a dist connection
+// ship in the same binary, so a version mismatch is a deployment bug
+// and is reported as one.
 //
 // The header fields are covered by their own CRC-32 so a bit flip in
 // the length prefix is reported as header corruption rather than a
@@ -25,21 +32,30 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"samplednn/internal/obs"
 )
 
 // FrameMagic starts every frame ("SNFR" little-endian).
 const FrameMagic = 0x52464e53
 
 // FrameVersion is the current frame format revision.
-const FrameVersion = 1
+const FrameVersion = 2
 
 // MaxFrameLen caps a frame payload. Gradient frames carry full weight
 // matrices, so the cap matches MaxBlobLen.
 const MaxFrameLen = MaxBlobLen
 
-// frameHeaderLen is magic(4)+version(1)+type(1)+seq(8)+len(4)+
-// payloadCRC(4)+headerCRC(4).
-const frameHeaderLen = 26
+// Frame header layout offsets. frameHeaderLen is magic(4)+version(1)+
+// type(1)+seq(8)+ctx(CtxWireLen)+len(4)+payloadCRC(4)+headerCRC(4).
+const (
+	frameOffSeq        = 6
+	frameOffCtx        = 14
+	frameOffLen        = frameOffCtx + obs.CtxWireLen
+	frameOffPayloadCRC = frameOffLen + 4
+	frameOffHeaderCRC  = frameOffPayloadCRC + 4
+	frameHeaderLen     = frameOffHeaderCRC + 4
+)
 
 // ErrFrameCorrupt reports a frame whose payload failed its CRC. The
 // full payload was consumed, so the stream remains aligned on the next
@@ -50,6 +66,7 @@ var ErrFrameCorrupt = errors.New("binio: frame payload failed CRC")
 type Frame struct {
 	Type    uint8
 	Seq     uint64
+	Ctx     obs.Ctx
 	Payload []byte
 }
 
@@ -62,10 +79,11 @@ func WriteFrame(w io.Writer, f Frame) error {
 	binary.LittleEndian.PutUint32(hdr[0:], FrameMagic)
 	hdr[4] = FrameVersion
 	hdr[5] = f.Type
-	binary.LittleEndian.PutUint64(hdr[6:], f.Seq)
-	binary.LittleEndian.PutUint32(hdr[14:], uint32(len(f.Payload)))
-	binary.LittleEndian.PutUint32(hdr[18:], crc32.ChecksumIEEE(f.Payload))
-	binary.LittleEndian.PutUint32(hdr[22:], crc32.ChecksumIEEE(hdr[:22]))
+	binary.LittleEndian.PutUint64(hdr[frameOffSeq:], f.Seq)
+	f.Ctx.PutWire(hdr[frameOffCtx:])
+	binary.LittleEndian.PutUint32(hdr[frameOffLen:], uint32(len(f.Payload)))
+	binary.LittleEndian.PutUint32(hdr[frameOffPayloadCRC:], crc32.ChecksumIEEE(f.Payload))
+	binary.LittleEndian.PutUint32(hdr[frameOffHeaderCRC:], crc32.ChecksumIEEE(hdr[:frameOffHeaderCRC]))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -84,7 +102,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return Frame{}, err
 	}
-	if got := binary.LittleEndian.Uint32(hdr[22:]); got != crc32.ChecksumIEEE(hdr[:22]) {
+	if got := binary.LittleEndian.Uint32(hdr[frameOffHeaderCRC:]); got != crc32.ChecksumIEEE(hdr[:frameOffHeaderCRC]) {
 		return Frame{}, errors.New("binio: frame header failed CRC")
 	}
 	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != FrameMagic {
@@ -93,13 +111,14 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if v := hdr[4]; v != FrameVersion {
 		return Frame{}, fmt.Errorf("binio: frame version %d, want %d", v, FrameVersion)
 	}
-	n := binary.LittleEndian.Uint32(hdr[14:])
+	n := binary.LittleEndian.Uint32(hdr[frameOffLen:])
 	if n > MaxFrameLen {
 		return Frame{}, fmt.Errorf("binio: implausible frame length %d", n)
 	}
 	f := Frame{
 		Type:    hdr[5],
-		Seq:     binary.LittleEndian.Uint64(hdr[6:]),
+		Seq:     binary.LittleEndian.Uint64(hdr[frameOffSeq:]),
+		Ctx:     obs.CtxFromWire(hdr[frameOffCtx:]),
 		Payload: make([]byte, n),
 	}
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
@@ -108,7 +127,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		}
 		return Frame{}, err
 	}
-	if crc32.ChecksumIEEE(f.Payload) != binary.LittleEndian.Uint32(hdr[18:]) {
+	if crc32.ChecksumIEEE(f.Payload) != binary.LittleEndian.Uint32(hdr[frameOffPayloadCRC:]) {
 		return f, ErrFrameCorrupt
 	}
 	return f, nil

@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"samplednn/internal/obs"
 	"samplednn/internal/rng"
 )
 
@@ -17,8 +18,14 @@ func randFrame(g *rng.RNG) Frame {
 		payload[i] = byte(g.IntN(256))
 	}
 	return Frame{
-		Type:    uint8(g.IntN(256)),
-		Seq:     g.Uint64(),
+		Type: uint8(g.IntN(256)),
+		Seq:  g.Uint64(),
+		Ctx: obs.Ctx{
+			Run:   g.Uint64(),
+			Trace: g.Uint64(),
+			Span:  g.Uint64(),
+			Clock: g.Uint64(),
+		},
 		Payload: payload,
 	}
 }
@@ -40,7 +47,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ReadFrame: %v", err)
 		}
-		if got.Type != want.Type || got.Seq != want.Seq || !bytes.Equal(got.Payload, want.Payload) {
+		if got.Type != want.Type || got.Seq != want.Seq || got.Ctx != want.Ctx || !bytes.Equal(got.Payload, want.Payload) {
 			t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
 		}
 	}
@@ -119,7 +126,7 @@ func TestFrameOversizedLength(t *testing.T) {
 	// Blow up the length field; the header CRC no longer matches, which
 	// is exactly how a flipped length is caught in the wild.
 	mut := bytes.Clone(enc)
-	mut[14], mut[15], mut[16], mut[17] = 0xff, 0xff, 0xff, 0xff
+	mut[frameOffLen], mut[frameOffLen+1], mut[frameOffLen+2], mut[frameOffLen+3] = 0xff, 0xff, 0xff, 0xff
 	_, err := ReadFrame(bytes.NewReader(mut))
 	if err == nil || errors.Is(err, ErrFrameCorrupt) {
 		t.Fatalf("oversized length: err=%v, want hard header error", err)
@@ -137,7 +144,20 @@ func TestFrameOversizedLength(t *testing.T) {
 // tampers with an earlier header field, so the field's own validation
 // (not the CRC) is what rejects the frame.
 func rewriteHeaderCRC(b []byte) {
-	binary.LittleEndian.PutUint32(b[22:], crc32.ChecksumIEEE(b[:22]))
+	binary.LittleEndian.PutUint32(b[frameOffHeaderCRC:], crc32.ChecksumIEEE(b[:frameOffHeaderCRC]))
+}
+
+// TestFrameZeroCtxIsValid pins backward behavior: a frame sent with no
+// correlation context round-trips to the zero Ctx.
+func TestFrameZeroCtxIsValid(t *testing.T) {
+	enc := encodeFrame(t, Frame{Type: 2, Seq: 1, Payload: []byte("p")})
+	got, err := ReadFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got.Ctx != (obs.Ctx{}) {
+		t.Fatalf("zero ctx decoded as %+v", got.Ctx)
+	}
 }
 
 func TestFrameWrongMagicAndVersion(t *testing.T) {

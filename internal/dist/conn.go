@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"samplednn/internal/binio"
+	"samplednn/internal/obs"
 )
 
 // frameConn wraps a net.Conn with binio framing, per-operation
@@ -15,9 +16,15 @@ import (
 // strictly increasing sequence number (a gap is tolerated and counted —
 // it is the signature of a dropped frame — but a replayed or reordered
 // frame is a hard protocol error).
+//
+// When a Lamport clock is attached, every send ticks it and stamps the
+// value into the frame's context, and every receive witnesses the
+// peer's value — the exchange that makes the two endpoints' journals
+// causally mergeable (obs.MergeJournals).
 type frameConn struct {
 	c       net.Conn
 	timeout time.Duration
+	clock   *obs.Clock // nil = frames carry clock 0
 	sendSeq uint64
 	recvSeq uint64
 	gaps    int
@@ -28,14 +35,16 @@ func newFrameConn(c net.Conn, timeout time.Duration) *frameConn {
 }
 
 // encode renders one frame to wire bytes, consuming the next send
-// sequence number. Split from write so the coordinator's fault
+// sequence number and stamping the correlation context (with the
+// freshly ticked clock). Split from write so the coordinator's fault
 // injection can mutate (or swallow) the encoded bytes while still
 // consuming the sequence number — exactly what a lossy link does.
-func (fc *frameConn) encode(typ uint8, payload []byte) []byte {
+func (fc *frameConn) encode(typ uint8, cx obs.Ctx, payload []byte) []byte {
 	fc.sendSeq++
+	cx.Clock = fc.clock.Tick()
 	var b bytes.Buffer
 	// Writing to a bytes.Buffer cannot fail.
-	_ = binio.WriteFrame(&b, binio.Frame{Type: typ, Seq: fc.sendSeq, Payload: payload})
+	_ = binio.WriteFrame(&b, binio.Frame{Type: typ, Seq: fc.sendSeq, Ctx: cx, Payload: payload})
 	return b.Bytes()
 }
 
@@ -50,13 +59,15 @@ func (fc *frameConn) write(b []byte) error {
 }
 
 // send encodes and writes one frame.
-func (fc *frameConn) send(typ uint8, payload []byte) error {
-	return fc.write(fc.encode(typ, payload))
+func (fc *frameConn) send(typ uint8, cx obs.Ctx, payload []byte) error {
+	return fc.write(fc.encode(typ, cx, payload))
 }
 
-// recv reads one frame under the given deadline. A frame whose payload
-// failed its CRC is returned together with binio.ErrFrameCorrupt — the
-// stream is still aligned and the caller decides whether to retry.
+// recv reads one frame under the given deadline, witnessing the peer's
+// Lamport clock. A frame whose payload failed its CRC is returned
+// together with binio.ErrFrameCorrupt — the stream is still aligned
+// (and the header, context included, passed its own CRC) so the caller
+// decides whether to retry.
 func (fc *frameConn) recv(timeout time.Duration) (binio.Frame, error) {
 	if err := fc.c.SetReadDeadline(deadlineFrom(timeout)); err != nil {
 		return binio.Frame{}, err
@@ -64,6 +75,9 @@ func (fc *frameConn) recv(timeout time.Duration) (binio.Frame, error) {
 	f, err := binio.ReadFrame(fc.c)
 	if err != nil && err != binio.ErrFrameCorrupt {
 		return f, err
+	}
+	if f.Ctx.Clock != 0 {
+		fc.clock.Witness(f.Ctx.Clock)
 	}
 	if f.Seq <= fc.recvSeq {
 		return f, fmt.Errorf("dist: frame seq %d replayed (last %d)", f.Seq, fc.recvSeq)
@@ -77,9 +91,9 @@ func (fc *frameConn) recv(timeout time.Duration) (binio.Frame, error) {
 
 // sendErr reports a worker-side failure; best-effort (the peer may be
 // gone).
-func (fc *frameConn) sendErr(epoch, step int, code uint8, text string) {
+func (fc *frameConn) sendErr(cx obs.Ctx, epoch, step int, code uint8, text string) {
 	e := errMsg{Epoch: epoch, Step: step, Code: code, Text: text}
-	_ = fc.send(msgError, e.encode())
+	_ = fc.send(msgError, cx, e.encode())
 }
 
 func (fc *frameConn) Close() error { return fc.c.Close() }

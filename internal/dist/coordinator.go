@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"time"
 
@@ -66,11 +67,31 @@ type Options struct {
 	Fault FaultPlan
 	// Journal receives dist lifecycle events (dist-listen, dist-join,
 	// dist-sync, dist-retry, dist-timeout, dist-step-abort, dist-leave,
-	// dist-fault, dist-seq-gap, dist-shutdown).
+	// dist-fault, dist-seq-gap, dist-shutdown), each stamped with the
+	// correlation context: step-scoped events share one trace ID per
+	// (epoch, step) across every process that touched the step.
 	Journal *obs.Journal
 	// Registry receives dist counters and the reduce-latency
-	// distribution (default obs.Default).
+	// distribution (default obs.Default), plus the per-rank worker
+	// snapshot families piggybacked on acks.
 	Registry *obs.Registry
+	// Run is the run identifier shared by every process in the run
+	// (default obs.RunID(Seed)).
+	Run uint64
+	// Clock is the coordinator's Lamport clock, ticked on every frame
+	// send and journal record and witnessed on every receive (default a
+	// fresh clock). It is attached to Journal when the journal has no
+	// clock yet, so frames and journal records share one causal history.
+	Clock *obs.Clock
+	// WorkerJournalPrefix, when non-empty, makes every spawned worker
+	// journal to "<prefix>.rank<R>.jsonl" (appending across respawns);
+	// journalcat -merge folds those files and the coordinator's journal
+	// into one causally ordered stream.
+	WorkerJournalPrefix string
+	// SnapshotEvery is the commit cadence at which workers piggyback
+	// registry snapshots on their acks (default 5; sync acks always
+	// carry one).
+	SnapshotEvery int
 }
 
 func (o *Options) setDefaults() {
@@ -104,6 +125,15 @@ func (o *Options) setDefaults() {
 	if o.Registry == nil {
 		o.Registry = obs.Default
 	}
+	if o.Run == 0 {
+		o.Run = obs.RunID(o.Seed)
+	}
+	if o.Clock == nil {
+		o.Clock = obs.NewClock()
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 5
+	}
 }
 
 // remoteWorker is the coordinator's view of one connected worker.
@@ -135,6 +165,7 @@ type Coordinator struct {
 	expected    train.StepPos
 	hasExpected bool
 	jitter      *rng.RNG
+	root        obs.Ctx // run-scoped context for control-plane events
 
 	faultDropDone, faultDelayDone, faultCorruptDone bool
 
@@ -160,6 +191,12 @@ func NewCoordinator(m core.Method, ds *dataset.Dataset, batchSize int, opts Opti
 		gc:     gc,
 		ds:     ds,
 		jitter: rng.New(opts.Seed ^ 0xd1577ca7),
+		root:   obs.RootCtx(opts.Run),
+	}
+	if opts.Journal != nil && opts.Journal.Lamport() == nil {
+		// One clock for frames and journal records: the merge order of
+		// multi-process journals is only causal if both share it.
+		opts.Journal.SetLamport(opts.Clock)
 	}
 	c.reduceNS = opts.Registry.Distribution("dist.reduce_ns")
 	c.welcome = welcome{
@@ -171,6 +208,8 @@ func NewCoordinator(m core.Method, ds *dataset.Dataset, batchSize int, opts Opti
 		BatchSize: batchSize,
 		Shards:    opts.Shards,
 		Method:    m.Name(),
+		Run:       opts.Run,
+		SnapEvery: opts.SnapshotEvery,
 	}
 	if oh, ok := m.(core.OptimizerHolder); ok {
 		o := oh.Optimizer()
@@ -191,7 +230,7 @@ func NewCoordinator(m core.Method, ds *dataset.Dataset, batchSize int, opts Opti
 		c.workers = make([]*remoteWorker, opts.Workers)
 		c.spawned = make([]int, opts.Workers)
 		c.sent = make([]int, opts.Workers)
-		c.emit("dist-listen", map[string]any{"addr": c.Addr(), "workers": opts.Workers, "shards": opts.Shards})
+		c.emit(c.root, "dist-listen", map[string]any{"addr": c.Addr(), "workers": opts.Workers, "shards": opts.Shards})
 	}
 	return c, nil
 }
@@ -217,10 +256,17 @@ func (c *Coordinator) nextPos(pos train.StepPos) train.StepPos {
 	return train.StepPos{Epoch: pos.Epoch + 1, Step: 0}
 }
 
-func (c *Coordinator) emit(ev string, fields map[string]any) {
-	if c.opts.Journal != nil {
-		c.opts.Journal.Emit(ev, fields)
-	}
+// emit journals one dist event under the given correlation context.
+// EmitCtx is nil-safe, so a journal-less coordinator pays only the call.
+func (c *Coordinator) emit(cx obs.Ctx, ev string, fields map[string]any) {
+	c.opts.Journal.EmitCtx(cx, ev, fields)
+}
+
+// stepCtx is the context every frame and event of one step's exchange
+// carries; retries, re-syncs, and respawns of the same step — in any
+// process — share its trace ID.
+func (c *Coordinator) stepCtx(pos train.StepPos) obs.Ctx {
+	return obs.StepCtx(c.opts.Run, pos.Epoch, pos.Step)
 }
 
 // StepBatch implements train.BatchStepper. It leaves the trainer's
@@ -257,7 +303,7 @@ func (c *Coordinator) StepBatch(pos train.StepPos, x *tensor.Matrix, y []int, st
 		}
 		lastErr = err
 		c.opts.Registry.Counter("dist.step_aborts").Inc()
-		c.emit("dist-step-abort", map[string]any{
+		c.emit(c.stepCtx(pos), "dist-step-abort", map[string]any{
 			"epoch": pos.Epoch, "step": pos.Step, "attempt": attempt, "error": err.Error(),
 		})
 	}
@@ -293,7 +339,7 @@ func (c *Coordinator) Close() error {
 		if w == nil {
 			continue
 		}
-		_ = c.sendTo(r, msgShutdown, nil)
+		_ = c.sendTo(r, c.root, msgShutdown, nil)
 		_ = w.fc.Close()
 		if w.cmd != nil {
 			_ = w.cmd.Wait()
@@ -306,7 +352,7 @@ func (c *Coordinator) Close() error {
 	}
 	c.pendingCmds = nil
 	if c.ln != nil {
-		c.emit("dist-shutdown", nil)
+		c.emit(c.root, "dist-shutdown", nil)
 		return c.ln.Close()
 	}
 	return nil
@@ -319,7 +365,7 @@ func (c *Coordinator) failWorker(r int, reason string) {
 	if w == nil {
 		return
 	}
-	c.emit("dist-leave", map[string]any{"rank": r, "reason": reason})
+	c.emit(c.root, "dist-leave", map[string]any{"rank": r, "reason": reason})
 	_ = w.fc.Close()
 	if w.cmd != nil {
 		// The process may be alive but wedged (a timeout, not a crash);
@@ -375,7 +421,7 @@ func (c *Coordinator) ensureWorkers(pos train.StepPos, state train.StateFunc) er
 		if err := c.syncWorker(r, pos, blob); err != nil {
 			return err
 		}
-		c.emit("dist-sync", map[string]any{"rank": r, "epoch": pos.Epoch, "step": pos.Step, "pid": w.pid})
+		c.emit(c.stepCtx(pos), "dist-sync", map[string]any{"rank": r, "epoch": pos.Epoch, "step": pos.Step, "pid": w.pid})
 	}
 	return nil
 }
@@ -392,7 +438,8 @@ func (c *Coordinator) spawnWorker(r int) error {
 	env := make([]string, 0, len(os.Environ())+4)
 	for _, kv := range os.Environ() {
 		if strings.HasPrefix(kv, EnvWorker+"=") || strings.HasPrefix(kv, EnvJoin+"=") ||
-			strings.HasPrefix(kv, EnvRank+"=") || strings.HasPrefix(kv, EnvKill+"=") {
+			strings.HasPrefix(kv, EnvRank+"=") || strings.HasPrefix(kv, EnvKill+"=") ||
+			strings.HasPrefix(kv, EnvJournal+"=") {
 			continue
 		}
 		env = append(env, kv)
@@ -401,6 +448,9 @@ func (c *Coordinator) spawnWorker(r int) error {
 		EnvWorker+"=1",
 		EnvJoin+"="+c.Addr(),
 		fmt.Sprintf("%s=%d", EnvRank, r))
+	if p := c.opts.WorkerJournalPrefix; p != "" {
+		env = append(env, EnvJournal+"="+p)
+	}
 	if k := c.opts.Fault.KillWorker; k != nil && k.Rank == r && c.spawned[r] == 0 {
 		env = append(env, EnvKill+"="+killEnvValue(k))
 	}
@@ -439,6 +489,7 @@ func (c *Coordinator) acceptWorker() error {
 			return fmt.Errorf("dist: accepting worker: %w", err)
 		}
 		fc := newFrameConn(conn, c.opts.IOTimeout)
+		fc.clock = c.opts.Clock
 		f, err := fc.recv(c.opts.IOTimeout)
 		if err != nil || f.Type != msgHello {
 			_ = fc.Close()
@@ -450,7 +501,7 @@ func (c *Coordinator) acceptWorker() error {
 			continue
 		}
 		if h.Rank < 0 || h.Rank >= len(c.workers) || c.workers[h.Rank] != nil {
-			fc.sendErr(0, 0, errFatal, fmt.Sprintf("rank %d not joinable", h.Rank))
+			fc.sendErr(c.root, 0, 0, errFatal, fmt.Sprintf("rank %d not joinable", h.Rank))
 			_ = fc.Close()
 			continue
 		}
@@ -465,11 +516,11 @@ func (c *Coordinator) acceptWorker() error {
 		c.workers[h.Rank] = w
 		wm := c.welcome
 		wm.Rank = h.Rank
-		if err := c.sendTo(h.Rank, msgWelcome, wm.encode()); err != nil {
+		if err := c.sendTo(h.Rank, c.root, msgWelcome, wm.encode()); err != nil {
 			c.failWorker(h.Rank, "welcome: "+err.Error())
 			return fmt.Errorf("dist: welcoming rank %d: %w", h.Rank, err)
 		}
-		c.emit("dist-join", map[string]any{"rank": h.Rank, "pid": h.PID, "spawn": c.spawned[h.Rank]})
+		c.emit(c.root, "dist-join", map[string]any{"rank": h.Rank, "pid": h.PID, "spawn": c.spawned[h.Rank]})
 		return nil
 	}
 }
@@ -477,12 +528,13 @@ func (c *Coordinator) acceptWorker() error {
 // syncWorker pushes the full state to rank r and verifies the restored
 // replica's weight CRC against the local one.
 func (c *Coordinator) syncWorker(r int, pos train.StepPos, blob []byte) error {
+	cx := c.stepCtx(pos)
 	sm := syncMsg{Epoch: pos.Epoch, Step: pos.Step, Blob: blob}
-	if err := c.sendTo(r, msgSync, sm.encode()); err != nil {
+	if err := c.sendTo(r, cx, msgSync, sm.encode()); err != nil {
 		c.failWorker(r, "sync send: "+err.Error())
 		return fmt.Errorf("dist: sending sync to rank %d: %w", r, err)
 	}
-	payload, err := c.rpc(r, msgSync, sm.encode(), msgSyncAck, pos)
+	payload, err := c.rpc(r, cx, msgSync, sm.encode(), msgSyncAck, pos)
 	if err != nil {
 		c.failWorker(r, "sync: "+err.Error())
 		return fmt.Errorf("dist: syncing rank %d: %w", r, err)
@@ -492,12 +544,28 @@ func (c *Coordinator) syncWorker(r int, pos train.StepPos, blob []byte) error {
 		c.failWorker(r, "sync ack: "+err.Error())
 		return fmt.Errorf("dist: rank %d sync ack: %w", r, err)
 	}
+	c.attachWorkerSnapshot(r, ack.Snap)
 	if want := weightCRC(c.method.Net()); ack.WeightCRC != want {
 		c.failWorker(r, "sync weight CRC mismatch")
 		return fmt.Errorf("dist: rank %d restored weights CRC %08x, coordinator has %08x", r, ack.WeightCRC, want)
 	}
 	c.workers[r].synced = true
 	return nil
+}
+
+// attachWorkerSnapshot merges a piggybacked worker registry snapshot
+// into the coordinator's registry as rank-labeled families. Telemetry
+// must never fail a step, so a corrupt snapshot is counted and dropped.
+func (c *Coordinator) attachWorkerSnapshot(r int, snap []byte) {
+	if len(snap) == 0 {
+		return
+	}
+	s, err := obs.DecodeSnapshot(snap)
+	if err != nil {
+		c.opts.Registry.Counter("dist.snapshot_decode_errors").Inc()
+		return
+	}
+	c.opts.Registry.AttachSnapshot("worker", "rank", strconv.Itoa(r), s)
 }
 
 // stepError wraps a mid-step worker failure. abort=true means the step
@@ -520,6 +588,7 @@ func (e *stepError) Unwrap() error { return e.err }
 // commit, and a worker that already computed gradients recomputes them
 // identically on the re-run).
 func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (float64, error) {
+	cx := c.stepCtx(pos)
 	rows := x.Rows
 	type span struct{ lo, hi int }
 	spans := make([]span, len(c.workers))
@@ -530,7 +599,7 @@ func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (flo
 			continue
 		}
 		req := gradRequest{Epoch: pos.Epoch, Step: pos.Step, ShardLo: lo, ShardHi: hi}
-		if err := c.sendTo(r, msgGradRequest, req.encode()); err != nil {
+		if err := c.sendTo(r, cx, msgGradRequest, req.encode()); err != nil {
 			c.failWorker(r, "grad request: "+err.Error())
 			return 0, &stepError{rank: r, abort: true, err: err}
 		}
@@ -542,7 +611,7 @@ func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (flo
 			continue
 		}
 		req := gradRequest{Epoch: pos.Epoch, Step: pos.Step, ShardLo: spans[r].lo, ShardHi: spans[r].hi}
-		payload, err := c.rpc(r, msgGradRequest, req.encode(), msgGradReply, pos)
+		payload, err := c.rpc(r, cx, msgGradRequest, req.encode(), msgGradReply, pos)
 		if err != nil {
 			c.failWorker(r, "grad reply: "+err.Error())
 			return 0, &stepError{rank: r, abort: true, err: err}
@@ -579,7 +648,7 @@ func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (flo
 		if c.workers[r] == nil {
 			continue
 		}
-		if err := c.sendTo(r, msgCommit, payloadBytes); err != nil {
+		if err := c.sendTo(r, cx, msgCommit, payloadBytes); err != nil {
 			c.failWorker(r, "commit: "+err.Error())
 			continue
 		}
@@ -589,7 +658,7 @@ func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (flo
 		if w == nil {
 			continue
 		}
-		payload, err := c.rpc(r, msgCommit, payloadBytes, msgCommitAck, pos)
+		payload, err := c.rpc(r, cx, msgCommit, payloadBytes, msgCommitAck, pos)
 		if err != nil {
 			// The step is already applied locally; a commit failure only
 			// costs the worker, which rejoins by checkpoint next step.
@@ -601,6 +670,7 @@ func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (flo
 			c.failWorker(r, "commit ack decode: "+err.Error())
 			continue
 		}
+		c.attachWorkerSnapshot(r, ack.Snap)
 		if ack.WeightCRC != want {
 			c.opts.Registry.Counter("dist.replica_divergence").Inc()
 			c.failWorker(r, fmt.Sprintf("replica diverged: CRC %08x, want %08x", ack.WeightCRC, want))
@@ -614,7 +684,7 @@ func (c *Coordinator) tryStep(pos train.StepPos, x *tensor.Matrix, y []int) (flo
 // direction) with capped exponential backoff plus seeded jitter. Stale
 // frames — replies to earlier exchanges still buffered on the
 // connection — are skipped, not errors.
-func (c *Coordinator) rpc(r int, reqType uint8, reqPayload []byte, wantType uint8, pos train.StepPos) ([]byte, error) {
+func (c *Coordinator) rpc(r int, cx obs.Ctx, reqType uint8, reqPayload []byte, wantType uint8, pos train.StepPos) ([]byte, error) {
 	w := c.workers[r]
 	retries := 0
 	for {
@@ -624,7 +694,7 @@ func (c *Coordinator) rpc(r int, reqType uint8, reqPayload []byte, wantType uint
 			// The worker's reply arrived corrupted; ask again.
 		case isTimeout(err):
 			c.opts.Registry.Counter("dist.timeouts").Inc()
-			c.emit("dist-timeout", map[string]any{"rank": r, "epoch": pos.Epoch, "step": pos.Step})
+			c.emit(cx, "dist-timeout", map[string]any{"rank": r, "epoch": pos.Epoch, "step": pos.Step})
 		case err != nil:
 			return nil, err
 		default:
@@ -660,12 +730,12 @@ func (c *Coordinator) rpc(r int, reqType uint8, reqPayload []byte, wantType uint
 		delay := c.backoff(retries)
 		retries++
 		c.opts.Registry.Counter("dist.retries").Inc()
-		c.emit("dist-retry", map[string]any{
+		c.emit(cx, "dist-retry", map[string]any{
 			"rank": r, "epoch": pos.Epoch, "step": pos.Step, "attempt": retries,
 			"delay_ms": delay.Milliseconds(),
 		})
 		time.Sleep(delay)
-		if err := c.sendTo(r, reqType, reqPayload); err != nil {
+		if err := c.sendTo(r, cx, reqType, reqPayload); err != nil {
 			return nil, fmt.Errorf("resending request: %w", err)
 		}
 	}
@@ -716,27 +786,27 @@ func typePhase(t uint8) int {
 // sendTo writes one frame to rank r, applying any armed frame fault:
 // drop (bytes discarded, sequence number consumed), delay, or a
 // payload bit-flip the receiver's CRC check will catch.
-func (c *Coordinator) sendTo(r int, typ uint8, payload []byte) error {
+func (c *Coordinator) sendTo(r int, cx obs.Ctx, typ uint8, payload []byte) error {
 	w := c.workers[r]
 	if w == nil {
 		return fmt.Errorf("dist: rank %d has no connection", r)
 	}
-	b := w.fc.encode(typ, payload)
+	b := w.fc.encode(typ, cx, payload)
 	c.sent[r]++
 	n := c.sent[r]
 	if f := c.opts.Fault.DropFrame; !c.faultDropDone && f.matches(r, n) {
 		c.faultDropDone = true
-		c.emit("dist-fault", map[string]any{"kind": "drop", "rank": r, "frame": n})
+		c.emit(cx, "dist-fault", map[string]any{"kind": "drop", "rank": r, "frame": n})
 		return nil
 	}
 	if f := c.opts.Fault.DelayFrame; !c.faultDelayDone && f.matches(r, n) {
 		c.faultDelayDone = true
-		c.emit("dist-fault", map[string]any{"kind": "delay", "rank": r, "frame": n, "delay_ms": f.Delay.Milliseconds()})
+		c.emit(cx, "dist-fault", map[string]any{"kind": "delay", "rank": r, "frame": n, "delay_ms": f.Delay.Milliseconds()})
 		time.Sleep(f.Delay)
 	}
 	if f := c.opts.Fault.CorruptFrame; !c.faultCorruptDone && f.matches(r, n) && len(payload) > 0 {
 		c.faultCorruptDone = true
-		c.emit("dist-fault", map[string]any{"kind": "corrupt", "rank": r, "frame": n})
+		c.emit(cx, "dist-fault", map[string]any{"kind": "corrupt", "rank": r, "frame": n})
 		b[len(b)-1] ^= 0x01 // flip a payload bit; the worker's CRC check rejects it
 	}
 	return w.fc.write(b)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -127,6 +128,7 @@ func TestProtocolRoundTrips(t *testing.T) {
 			Train: 100, Test: 20, Val: 10, Difficulty: 0.7},
 		DataSeed: 99, MaxTrain: 50, BatchSize: 10, Shards: 4,
 		Method: "standard", Optimizer: "adam", LR: 0.01,
+		Run: 0xfeedface12345678, SnapEvery: 5,
 	}
 	w2, err := decodeWelcome(w.encode())
 	if err != nil || *w2 != w {
@@ -139,10 +141,15 @@ func TestProtocolRoundTrips(t *testing.T) {
 		t.Fatalf("sync round trip: %+v, %v", s2, err)
 	}
 
-	a := posAck{Epoch: 1, Step: 2, WeightCRC: 0xdeadbeef}
+	a := posAck{Epoch: 1, Step: 2, WeightCRC: 0xdeadbeef, Snap: []byte(`{"counters":{"x":1}}`)}
 	a2, err := decodePosAck(a.encode())
-	if err != nil || *a2 != a {
+	if err != nil || a2.Epoch != a.Epoch || a2.Step != a.Step || a2.WeightCRC != a.WeightCRC || !bytes.Equal(a2.Snap, a.Snap) {
 		t.Fatalf("ack round trip: %+v, %v", a2, err)
+	}
+	aEmpty := posAck{Epoch: 1, Step: 2, WeightCRC: 7}
+	aEmpty2, err := decodePosAck(aEmpty.encode())
+	if err != nil || len(aEmpty2.Snap) != 0 {
+		t.Fatalf("snapless ack round trip: %+v, %v", aEmpty2, err)
 	}
 
 	req := gradRequest{Epoch: 1, Step: 2, ShardLo: 3, ShardHi: 7}
@@ -332,6 +339,158 @@ func TestFaultInjectionRecovery(t *testing.T) {
 	}
 	if events["dist-sync"] < 3 {
 		t.Errorf("want ≥3 sync events (2 joins + ≥1 rejoin), got %d", events["dist-sync"])
+	}
+}
+
+// TestMergedJournalCorrelation is the cross-process observability
+// acceptance test: a worker is killed mid-epoch, every process journals
+// locally, and merging the coordinator's journal with both worker
+// journals yields ONE causally ordered stream in which the worker's
+// step-fault, the coordinator's step-abort/retry, and the respawned
+// worker's re-sync all carry the same trace ID — with the merge output
+// byte-identical no matter how (or how often) it is performed.
+func TestMergedJournalCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	local, _ := trainWith(t, 2, Options{Workers: 0, Shards: 2})
+
+	dir := t.TempDir()
+	coordPath := filepath.Join(dir, "coordinator.jsonl")
+	prefix := filepath.Join(dir, "run")
+	journal, err := obs.Open(coordPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	distr, _ := trainWith(t, 2, Options{
+		Workers: 2, Shards: 2, Seed: 9,
+		RetryBase: 20 * time.Millisecond,
+		Fault: FaultPlan{
+			KillWorker:   &KillFault{Rank: 1, Epoch: 1, Step: 2},
+			CorruptFrame: &FrameFault{Rank: 0, Nth: 5},
+		},
+		Journal:             journal,
+		Registry:            reg,
+		WorkerJournalPrefix: prefix,
+	})
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, distr) {
+		t.Fatal("faulted run diverged from the single-process reference")
+	}
+
+	paths := []string{coordPath, WorkerJournalPath(prefix, 0), WorkerJournalPath(prefix, 1)}
+	merged, err := obs.MergeJournalFiles(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-reproducible: merging again — and with the inputs in a
+	// different order — must produce the identical stream.
+	again, err := obs.MergeJournalFiles(paths[2], paths[0], paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, again) {
+		t.Fatal("merge output depends on input order / run")
+	}
+
+	recs, err := obs.Read(bytes.NewReader(merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged stream must be causally ordered: lc never decreases,
+	// and every record carries one (all three processes had clocks).
+	prevLC := -1.0
+	for i, r := range recs {
+		lc, ok := r["lc"].(float64)
+		if !ok {
+			t.Fatalf("record %d (%s) has no lc", i, r.Event())
+		}
+		if lc < prevLC {
+			t.Fatalf("record %d (%s): lc %v < previous %v", i, r.Event(), lc, prevLC)
+		}
+		prevLC = lc
+	}
+
+	// The killed step's fault (worker journal), its abort (coordinator
+	// journal), and the respawned worker's re-sync (both journals) must
+	// share the step trace derived from (run, epoch 1, step 2).
+	wantTrace := obs.FormatID(obs.StepTrace(obs.RunID(9), 1, 2))
+	at := func(r obs.Record, key string) int {
+		v, _ := r[key].(float64)
+		return int(v)
+	}
+	faultIdx, abortIdx, resyncIdx, workerResyncIdx := -1, -1, -1, -1
+	retries, workerStarts := 0, 0
+	for i, r := range recs {
+		switch r.Event() {
+		case "dist-step-fault":
+			faultIdx = i
+			if r["trace"] != wantTrace {
+				t.Errorf("dist-step-fault trace %v, want %s", r["trace"], wantTrace)
+			}
+			if at(r, "rank") != 1 || at(r, "epoch") != 1 || at(r, "step") != 2 {
+				t.Errorf("dist-step-fault at rank=%v epoch=%v step=%v", r["rank"], r["epoch"], r["step"])
+			}
+		case "dist-step-abort":
+			abortIdx = i
+			if r["trace"] != wantTrace {
+				t.Errorf("dist-step-abort trace %v, want %s", r["trace"], wantTrace)
+			}
+		case "dist-sync":
+			if at(r, "epoch") == 1 && at(r, "step") == 2 {
+				resyncIdx = i
+				if r["trace"] != wantTrace {
+					t.Errorf("re-sync dist-sync trace %v, want %s", r["trace"], wantTrace)
+				}
+			}
+		case "dist-worker-sync":
+			if at(r, "epoch") == 1 && at(r, "step") == 2 && at(r, "rank") == 1 {
+				workerResyncIdx = i
+			}
+		case "dist-retry":
+			retries++
+		case "dist-worker-start":
+			workerStarts++
+		}
+	}
+	if faultIdx < 0 || abortIdx < 0 || resyncIdx < 0 || workerResyncIdx < 0 {
+		t.Fatalf("missing correlated events: fault=%d abort=%d resync=%d workerResync=%d",
+			faultIdx, abortIdx, resyncIdx, workerResyncIdx)
+	}
+	if retries == 0 {
+		t.Error("no dist-retry event (corrupt-frame resend) in merged stream")
+	}
+	// The respawn appends to rank 1's journal, so the merged stream sees
+	// at least three worker starts (two initial spawns + one respawn).
+	if workerStarts < 3 {
+		t.Errorf("want ≥3 dist-worker-start events (respawn), got %d", workerStarts)
+	}
+	// Causality across processes: the respawned worker's re-sync record
+	// was emitted after witnessing the sync frame the coordinator sent
+	// after its abort, so the merge must place it after the abort.
+	if workerResyncIdx < abortIdx {
+		t.Errorf("respawned worker re-sync (%d) merged before coordinator abort (%d)",
+			workerResyncIdx, abortIdx)
+	}
+
+	// Worker metrics aggregation: the piggybacked snapshots must surface
+	// both ranks' pool counters as labeled families on the coordinator
+	// registry.
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`worker_pool_tasks_submitted_total{rank="0"}`,
+		`worker_pool_tasks_submitted_total{rank="1"}`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("/metrics missing %s\n%s", want, prom.String())
+		}
 	}
 }
 

@@ -113,6 +113,13 @@ type welcome struct {
 	Method    string
 	Optimizer string
 	LR        float64
+	// Run is the run identifier (obs.RunID) every process in the run
+	// stamps on its journal records, so merged journals correlate.
+	Run uint64
+	// SnapEvery is the commit-ack cadence (every Nth) at which the
+	// worker piggybacks its metrics-registry snapshot; sync acks always
+	// carry one. Zero disables piggybacking.
+	SnapEvery int
 }
 
 func (w *welcome) encode() []byte {
@@ -130,6 +137,8 @@ func (w *welcome) encode() []byte {
 	binio.WriteString(&b, w.Method)
 	binio.WriteString(&b, w.Optimizer)
 	binio.WriteF64(&b, w.LR)
+	binio.WriteU64(&b, w.Run)
+	binio.WriteU32(&b, uint32(w.SnapEvery))
 	return b.Bytes()
 }
 
@@ -171,6 +180,10 @@ func decodeWelcome(p []byte) (*welcome, error) {
 	if err == nil {
 		w.LR, err = binio.ReadF64(r)
 	}
+	if err == nil {
+		w.Run, err = binio.ReadU64(r)
+	}
+	readInt(&w.SnapEvery)
 	if err != nil {
 		return nil, fmt.Errorf("dist: decoding welcome: %w", err)
 	}
@@ -214,11 +227,15 @@ func decodeSync(p []byte) (*syncMsg, error) {
 
 // posAck is the common shape of syncAck and commitAck: a position plus
 // the worker's post-operation weight CRC, the per-commit replica-drift
-// detector.
+// detector. Snap optionally piggybacks the worker's metrics-registry
+// snapshot (obs.EncodeSnapshot) so the coordinator's /metrics can
+// expose per-rank families without a second connection; empty means
+// none this ack.
 type posAck struct {
 	Epoch     int
 	Step      int
 	WeightCRC uint32
+	Snap      []byte
 }
 
 func (a *posAck) encode() []byte {
@@ -226,6 +243,7 @@ func (a *posAck) encode() []byte {
 	binio.WriteU32(&b, uint32(a.Epoch))
 	binio.WriteU32(&b, uint32(a.Step))
 	binio.WriteU32(&b, a.WeightCRC)
+	binio.WriteBytes(&b, a.Snap)
 	return b.Bytes()
 }
 
@@ -243,7 +261,11 @@ func decodePosAck(p []byte) (*posAck, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &posAck{Epoch: int(epoch), Step: int(step), WeightCRC: crc}, nil
+	snap, err := binio.ReadBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	return &posAck{Epoch: int(epoch), Step: int(step), WeightCRC: crc, Snap: snap}, nil
 }
 
 // gradRequest asks a worker for the gradients of shards [ShardLo,

@@ -13,6 +13,7 @@ import (
 	"samplednn/internal/core"
 	"samplednn/internal/dataset"
 	"samplednn/internal/nn"
+	"samplednn/internal/obs"
 	"samplednn/internal/opt"
 	"samplednn/internal/rng"
 	"samplednn/internal/tensor"
@@ -35,6 +36,11 @@ const (
 	// FaultPlan. The spawner sets it only on a first spawn, never on a
 	// respawn, so the replacement worker survives.
 	EnvKill = "SAMPLEDNN_DIST_KILL"
+	// EnvJournal is a journal path prefix; the worker appends its events
+	// to "<prefix>.rank<R>.jsonl". Append mode means a respawned rank
+	// continues the same file, so the kill fault's final record and the
+	// replacement's first record live in one stream.
+	EnvJournal = "SAMPLEDNN_DIST_JOURNAL"
 )
 
 // IsWorkerProcess reports whether this process was spawned as a dist
@@ -53,11 +59,28 @@ func WorkerMain() int {
 			EnvJoin, addr, EnvRank, os.Getenv(EnvRank))
 		return 2
 	}
-	if err := runWorker(addr, rank, os.Getenv(EnvKill)); err != nil {
+	var journal *obs.Journal
+	if prefix := os.Getenv(EnvJournal); prefix != "" {
+		j, jerr := obs.Open(WorkerJournalPath(prefix, rank))
+		if jerr != nil {
+			// Telemetry must never keep a worker from serving.
+			fmt.Fprintf(os.Stderr, "dist worker rank %d: journal: %v\n", rank, jerr)
+		} else {
+			journal = j
+			defer j.Close()
+		}
+	}
+	if err := runWorker(addr, rank, os.Getenv(EnvKill), journal); err != nil {
 		fmt.Fprintf(os.Stderr, "dist worker rank %d: %v\n", rank, err)
 		return 1
 	}
 	return 0
+}
+
+// WorkerJournalPath is the journal file a worker of the given rank
+// appends to under a WorkerJournalPrefix.
+func WorkerJournalPath(prefix string, rank int) string {
+	return prefix + ".rank" + strconv.Itoa(rank) + ".jsonl"
 }
 
 // RunWorker dials the coordinator at addr and serves as the worker with
@@ -65,7 +88,7 @@ func WorkerMain() int {
 // It is the manual-join entry point (mlptrain -dist-join) for running a
 // worker the coordinator did not spawn itself, e.g. on another machine
 // against a -dist-nospawn coordinator.
-func RunWorker(addr string, rank int) error { return runWorker(addr, rank, "") }
+func RunWorker(addr string, rank int) error { return runWorker(addr, rank, "", nil) }
 
 // worker is one replica: it mirrors the coordinator's model, optimizer,
 // RNG stream, and batch permutation in lockstep, computes gradient
@@ -74,6 +97,15 @@ func RunWorker(addr string, rank int) error { return runWorker(addr, rank, "") }
 type worker struct {
 	fc   *frameConn
 	rank int
+
+	// Observability: the worker journals its own lifecycle (nil journal
+	// = no-op emits), shares the connection's Lamport clock with it, and
+	// piggybacks registry snapshots on acks at the welcome's cadence.
+	journal   *obs.Journal
+	registry  *obs.Registry
+	run       uint64
+	snapEvery int
+	commits   int
 
 	ds      *dataset.Dataset
 	method  *core.Standard
@@ -117,12 +149,19 @@ type worker struct {
 // orphaned workers never outlive a crashed training run for long.
 const workerIdleTimeout = 2 * time.Minute
 
-func runWorker(addr string, rank int, killSpec string) error {
+func runWorker(addr string, rank int, killSpec string, journal *obs.Journal) error {
 	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return fmt.Errorf("dialing coordinator: %w", err)
 	}
-	w := &worker{fc: newFrameConn(conn, 10*time.Second), rank: rank}
+	w := &worker{fc: newFrameConn(conn, 10*time.Second), rank: rank, journal: journal, registry: obs.Default}
+	// A fresh clock that witnesses the coordinator's value on the very
+	// first frame, so every worker journal record sorts causally after
+	// the coordinator events that led to it.
+	w.fc.clock = obs.NewClock()
+	if journal != nil && journal.Lamport() == nil {
+		journal.SetLamport(w.fc.clock)
+	}
 	defer w.fc.Close()
 	if killSpec != "" {
 		if _, err := fmt.Sscanf(killSpec, "%d:%d", &w.killEpoch, &w.killStep); err != nil {
@@ -132,7 +171,7 @@ func runWorker(addr string, rank int, killSpec string) error {
 	}
 
 	h := hello{Rank: rank, PID: os.Getpid()}
-	if err := w.fc.send(msgHello, h.encode()); err != nil {
+	if err := w.fc.send(msgHello, obs.Ctx{}, h.encode()); err != nil {
 		return fmt.Errorf("sending hello: %w", err)
 	}
 	f, err := w.fc.recv(w.fc.timeout)
@@ -155,7 +194,15 @@ func runWorker(addr string, rank int, killSpec string) error {
 	if err := w.build(wm); err != nil {
 		return err
 	}
-	return w.serve()
+	w.run = wm.Run
+	w.snapEvery = wm.SnapEvery
+	w.journal.EmitCtx(obs.RootCtx(w.run), "dist-worker-start",
+		map[string]any{"rank": w.rank, "pid": os.Getpid(), "addr": addr})
+	err = w.serve()
+	if err == nil {
+		w.journal.EmitCtx(obs.RootCtx(w.run), "dist-worker-stop", map[string]any{"rank": w.rank})
+	}
+	return err
 }
 
 // build constructs the replica skeleton from the welcome: the dataset
@@ -199,7 +246,9 @@ func (w *worker) serve() error {
 	for {
 		f, err := w.fc.recv(workerIdleTimeout)
 		if err == binio.ErrFrameCorrupt {
-			w.fc.sendErr(w.epoch, w.step, errRetryable, "frame payload failed CRC")
+			// The header (context included) passed its own CRC, so the
+			// complaint can carry the faulted exchange's trace.
+			w.fc.sendErr(f.Ctx.Child(1), w.epoch, w.step, errRetryable, "frame payload failed CRC")
 			continue
 		}
 		if err != nil {
@@ -211,13 +260,17 @@ func (w *worker) serve() error {
 			fmt.Fprintf(os.Stderr, "dist worker rank %d: frame sequence gap (total %d)\n", w.rank, g)
 			w.seenGaps = g
 		}
+		// Replies and journal records adopt the inbound frame's context
+		// as a child span: same run and trace, a span parented under the
+		// frame that caused the work.
+		cx := f.Ctx.Child(uint64(w.rank) + 1)
 		switch f.Type {
 		case msgSync:
-			err = w.handleSync(f.Payload)
+			err = w.handleSync(cx, f.Payload)
 		case msgGradRequest:
-			err = w.handleGradRequest(f.Payload)
+			err = w.handleGradRequest(cx, f.Payload)
 		case msgCommit:
-			err = w.handleCommit(f.Payload)
+			err = w.handleCommit(cx, f.Payload)
 		case msgShutdown:
 			return nil
 		default:
@@ -235,7 +288,7 @@ func (w *worker) serve() error {
 // the initial join and the crash-recovery rejoin path — a respawned
 // worker replays its position from the carried permutation rather than
 // re-living the epoch.
-func (w *worker) handleSync(payload []byte) error {
+func (w *worker) handleSync(cx obs.Ctx, payload []byte) error {
 	s, err := decodeSync(payload)
 	if err != nil {
 		return fmt.Errorf("decoding sync: %w", err)
@@ -273,8 +326,27 @@ func (w *worker) handleSync(payload []byte) error {
 	w.synced = true
 	w.haveBatch = false
 	w.lastAck = nil
-	ack := posAck{Epoch: s.Epoch, Step: s.Step, WeightCRC: weightCRC(net)}
-	return w.fc.send(msgSyncAck, ack.encode())
+	w.journal.EmitCtx(cx, "dist-worker-sync",
+		map[string]any{"rank": w.rank, "epoch": s.Epoch, "step": s.Step})
+	// A sync ack always carries a registry snapshot: the worker may have
+	// just respawned, and the coordinator's /metrics should reflect the
+	// new process immediately.
+	ack := posAck{Epoch: s.Epoch, Step: s.Step, WeightCRC: weightCRC(net), Snap: w.snapshotBlob()}
+	return w.fc.send(msgSyncAck, cx, ack.encode())
+}
+
+// snapshotBlob encodes the worker's registry for ack piggybacking; any
+// failure yields nil (no snapshot this ack) — telemetry never breaks
+// the protocol.
+func (w *worker) snapshotBlob() []byte {
+	if w.registry == nil {
+		return nil
+	}
+	b, err := obs.EncodeSnapshot(w.registry.Snapshot())
+	if err != nil {
+		return nil
+	}
+	return b
 }
 
 // handleGradRequest computes the requested shard gradients of the
@@ -282,13 +354,13 @@ func (w *worker) handleSync(payload []byte) error {
 // served from the cached batch copy; weights have not moved (no commit
 // intervened), so the recomputation is bit-identical — that is what
 // makes coordinator retries idempotent.
-func (w *worker) handleGradRequest(payload []byte) error {
+func (w *worker) handleGradRequest(cx obs.Ctx, payload []byte) error {
 	req, err := decodeGradRequest(payload)
 	if err != nil {
 		return fmt.Errorf("decoding grad request: %w", err)
 	}
 	if !w.synced || req.Epoch != w.epoch || req.Step != w.step {
-		w.fc.sendErr(w.epoch, w.step, errDesync,
+		w.fc.sendErr(cx, w.epoch, w.step, errDesync,
 			fmt.Sprintf("asked for step %d/%d, standing at %d/%d (synced=%v)",
 				req.Epoch, req.Step, w.epoch, w.step, w.synced))
 		return nil
@@ -296,13 +368,19 @@ func (w *worker) handleGradRequest(payload []byte) error {
 	if w.hasKill && req.Epoch == w.killEpoch && req.Step == w.killStep {
 		// Injected crash: die exactly where a real worker fault would —
 		// mid-step, after the coordinator committed to this step's
-		// request fan-out.
+		// request fan-out. The final journal record carries the step's
+		// trace (from the inbound frame), so the merged stream shows the
+		// fault, the coordinator's retry, and the respawn's re-sync on
+		// one trace ID; Sync makes it durable past the os.Exit.
+		w.journal.EmitCtx(cx, "dist-step-fault",
+			map[string]any{"rank": w.rank, "epoch": req.Epoch, "step": req.Step, "kind": "kill"})
+		_ = w.journal.Sync()
 		os.Exit(3)
 	}
 	if !w.haveBatch {
 		x, y := w.batcher.Next()
 		if x == nil {
-			w.fc.sendErr(w.epoch, w.step, errDesync, "batcher exhausted before epoch end")
+			w.fc.sendErr(cx, w.epoch, w.step, errDesync, "batcher exhausted before epoch end")
 			return nil
 		}
 		// Copy: the batcher reuses its buffers, and retries must see the
@@ -312,7 +390,7 @@ func (w *worker) handleGradRequest(payload []byte) error {
 		w.haveBatch = true
 	}
 	if req.ShardLo < 0 || req.ShardHi > w.shards || req.ShardLo >= req.ShardHi {
-		w.fc.sendErr(w.epoch, w.step, errFatal,
+		w.fc.sendErr(cx, w.epoch, w.step, errFatal,
 			fmt.Sprintf("shard range [%d,%d) outside [0,%d)", req.ShardLo, req.ShardHi, w.shards))
 		return fmt.Errorf("coordinator requested bad shard range [%d,%d)", req.ShardLo, req.ShardHi)
 	}
@@ -326,7 +404,7 @@ func (w *worker) handleGradRequest(payload []byte) error {
 		loss, grads := w.method.ComputeGrads(w.bx.RowRange(lo, hi), w.by[lo:hi])
 		reply.Shards = append(reply.Shards, shardGrad{Index: s, Rows: hi - lo, Loss: loss, Grads: grads})
 	}
-	return w.fc.send(msgGradReply, reply.encode())
+	return w.fc.send(msgGradReply, cx, reply.encode())
 }
 
 // handleCommit applies the reduced gradient — the identical bytes every
@@ -334,7 +412,7 @@ func (w *worker) handleGradRequest(payload []byte) error {
 // batcher (and its RNG draw) over at epoch boundaries exactly when the
 // coordinator's trainer does. The returned weight CRC lets the
 // coordinator verify the replicas are still bit-identical.
-func (w *worker) handleCommit(payload []byte) error {
+func (w *worker) handleCommit(cx obs.Ctx, payload []byte) error {
 	c, err := decodeCommit(payload)
 	if err != nil {
 		return fmt.Errorf("decoding commit: %w", err)
@@ -342,10 +420,10 @@ func (w *worker) handleCommit(payload []byte) error {
 	if a := w.lastAck; a != nil && c.Epoch == a.Epoch && c.Step == a.Step {
 		// Duplicate commit: our ack was lost. Replay it without
 		// re-applying the gradient.
-		return w.fc.send(msgCommitAck, a.encode())
+		return w.fc.send(msgCommitAck, cx, a.encode())
 	}
 	if !w.synced || c.Epoch != w.epoch || c.Step != w.step {
-		w.fc.sendErr(w.epoch, w.step, errDesync,
+		w.fc.sendErr(cx, w.epoch, w.step, errDesync,
 			fmt.Sprintf("commit for step %d/%d, standing at %d/%d", c.Epoch, c.Step, w.epoch, w.step))
 		return nil
 	}
@@ -366,8 +444,17 @@ func (w *worker) handleCommit(payload []byte) error {
 		w.batcher.Reset()
 	}
 	ack := posAck{Epoch: c.Epoch, Step: c.Step, WeightCRC: weightCRC(w.method.Net())}
-	w.lastAck = &ack
-	return w.fc.send(msgCommitAck, ack.encode())
+	w.commits++
+	if w.snapEvery > 0 && w.commits%w.snapEvery == 0 {
+		ack.Snap = w.snapshotBlob()
+	}
+	// The replayable ack intentionally drops the snapshot: a replay
+	// serves the protocol, not telemetry, and stale metrics are worse
+	// than none.
+	replay := ack
+	replay.Snap = nil
+	w.lastAck = &replay
+	return w.fc.send(msgCommitAck, cx, ack.encode())
 }
 
 // killEnvValue renders a KillFault for EnvKill.

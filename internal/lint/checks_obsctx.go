@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkObsCtx enforces correlated journaling in the multi-process
+// layers. internal/dist and internal/serve span process boundaries —
+// a coordinator, its spawned worker ranks, an HTTP server — and their
+// journals are only mergeable into one causally ordered stream
+// (obs.MergeJournals) when every record carries the correlation
+// context: run/trace/span IDs plus the Lamport clock. A bare
+// Journal.Emit in those packages silently produces records with no
+// trace, which merge fine but can never be tied back to the step or
+// request that caused them — the exact observability gap this repo's
+// fault-injection tests exist to close. Single-process packages
+// (internal/train and below) keep plain Emit.
+func checkObsCtx() *Check {
+	const name = "obs-ctx"
+	return &Check{
+		Name: name,
+		Doc: "forbid obs.Journal.Emit in internal/dist and internal/serve; " +
+			"multi-process layers must journal through EmitCtx so every " +
+			"record carries the run/trace/span correlation context and " +
+			"merged journals stay traceable",
+		Run: func(pkg *Package) []Diagnostic {
+			if !pathHasSeg(pkg.ImportPath, "internal/dist") && !pathHasSeg(pkg.ImportPath, "internal/serve") {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Emit" {
+						return true
+					}
+					selection := pkg.Info.Selections[sel]
+					if selection == nil || !isObsJournal(selection.Recv()) {
+						return true
+					}
+					out = append(out, diag(pkg, name, call.Pos(),
+						"Journal.Emit drops the correlation context: use EmitCtx so this record carries run/trace/span and merged journals stay traceable"))
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// isObsJournal reports whether t is (a pointer to) the Journal type
+// from an internal/obs package. Matching by path segment rather than
+// the exact module path keeps fixtures loadable under synthetic import
+// paths.
+func isObsJournal(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Journal" && obj.Pkg() != nil && pathHasSeg(obj.Pkg().Path(), "internal/obs")
+}

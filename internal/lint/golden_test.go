@@ -95,6 +95,9 @@ func TestGoldenFixtures(t *testing.T) {
 		{"ulpbound", "ulpbound", "samplednn/internal/fixture/ulpbound"},
 		{"ulpbound_exempt_tensor", "ulpbound", "samplednn/internal/tensor/fixture"},
 		{"suppress", "suppress", "samplednn/internal/fixture/suppress"},
+		{"obsctx", "obsctx", "samplednn/internal/dist/fixture"},
+		{"obsctx_serve", "obsctx", "samplednn/internal/serve/fixture"},
+		{"obsctx_exempt", "obsctx", "samplednn/internal/fixture/obsctx"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,10 +129,24 @@ func TestGoldenFixtures(t *testing.T) {
 // each analyzer in the suite fires on at least one known-bad fixture.
 func TestEveryCheckHasBadFixture(t *testing.T) {
 	fired := map[string]bool{}
-	dirs := []string{"mathrand", "wallclock", "rawgoroutine", "netdeadline",
-		"httptimeout", "atomicwrite", "readonlyforward", "floateq", "maporderfloat", "ulpbound"}
-	for _, dir := range dirs {
-		pkg := loadFixture(t, dir, "samplednn/internal/fixture/"+dir)
+	// Each fixture loads under the import path where its check applies;
+	// scoped checks (obs-ctx) need an in-scope path, the rest use the
+	// neutral fixture prefix.
+	fixtures := []struct{ dir, path string }{
+		{"mathrand", "samplednn/internal/fixture/mathrand"},
+		{"wallclock", "samplednn/internal/fixture/wallclock"},
+		{"rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
+		{"netdeadline", "samplednn/internal/fixture/netdeadline"},
+		{"httptimeout", "samplednn/internal/fixture/httptimeout"},
+		{"atomicwrite", "samplednn/internal/fixture/atomicwrite"},
+		{"readonlyforward", "samplednn/internal/fixture/readonlyforward"},
+		{"floateq", "samplednn/internal/fixture/floateq"},
+		{"maporderfloat", "samplednn/internal/fixture/maporderfloat"},
+		{"ulpbound", "samplednn/internal/fixture/ulpbound"},
+		{"obsctx", "samplednn/internal/dist/fixture"},
+	}
+	for _, fx := range fixtures {
+		pkg := loadFixture(t, fx.dir, fx.path)
 		res := Run("", []*Package{pkg}, Checks())
 		for _, d := range res.Diagnostics {
 			fired[d.Check] = true

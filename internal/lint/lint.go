@@ -83,6 +83,7 @@ func Checks() []*Check {
 		checkFloatEquality(),
 		checkMapOrderFloat(),
 		checkULPBound(),
+		checkObsCtx(),
 	}
 }
 

@@ -1,0 +1,30 @@
+// Package obsctx is the obs-ctx fixture: journaling code that the
+// golden test loads once under a dist-scoped import path (where bare
+// Emit must fire) and once outside the multi-process layers (where the
+// check stays silent).
+package obsctx
+
+import "samplednn/internal/obs"
+
+type coordinator struct {
+	journal *obs.Journal
+	root    obs.Ctx
+}
+
+// announce journals without a correlation context — the record can
+// never be tied to a run or trace after merging. Bad in dist/serve.
+func (c *coordinator) announce(addr string) {
+	c.journal.Emit("dist-listen", map[string]any{"addr": addr})
+}
+
+// announceCtx is the required form: the record carries run/trace/span.
+func (c *coordinator) announceCtx(addr string) {
+	c.journal.EmitCtx(c.root, "dist-listen", map[string]any{"addr": addr})
+}
+
+// bootLog is a deliberately waived site: it runs before any run
+// context exists, and the directive records why that is acceptable.
+func (c *coordinator) bootLog() {
+	//lint:ignore obs-ctx boot-time record predates run context creation
+	c.journal.Emit("dist-boot", nil)
+}

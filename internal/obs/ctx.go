@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// Cross-process correlation context. The repo's observability substrate
+// (registry + journal + tracer) is per-process, but PRs 6-7 made the
+// system multi-process: a dist coordinator spawning worker processes,
+// and an HTTP serving layer. Ctx is the compact identity that ties
+// their telemetry back together:
+//
+//   - Run: one training or serving run, shared by every process in it.
+//   - Trace: one causal exchange — a training step (so a worker's
+//     step-fault, the coordinator's retry, and the respawned worker's
+//     re-sync all correlate) or one HTTP request.
+//   - Span: the operation within the trace that produced the event;
+//     children derive their span from the parent's.
+//   - Clock: a Lamport logical clock value. Wall clocks are lint-banned
+//     in library code and would not order events across machines
+//     anyway; the Lamport clock gives a causal order that journal
+//     merging (merge.go) can sort by deterministically.
+//
+// Every identifier is derived deterministically (splitmix64 mixing of
+// seeds and positions, below), never from a wall clock or an unseeded
+// RNG, so two runs with the same seed carry the same IDs — which is
+// what makes merged-journal goldens and byte-reproducible merges
+// possible at all.
+
+// Ctx is the correlation context carried in every dist frame header
+// and every X-Request-Id'd HTTP request. The zero Ctx means "no
+// context" and is valid everywhere.
+type Ctx struct {
+	Run   uint64
+	Trace uint64
+	Span  uint64
+	Clock uint64
+}
+
+// CtxWireLen is the fixed encoded size of a Ctx: four little-endian
+// uint64s (run, trace, span, clock).
+const CtxWireLen = 32
+
+// PutWire encodes the context into b[:CtxWireLen]. It panics when b is
+// shorter, matching encoding/binary's convention.
+func (c Ctx) PutWire(b []byte) {
+	binary.LittleEndian.PutUint64(b[0:], c.Run)
+	binary.LittleEndian.PutUint64(b[8:], c.Trace)
+	binary.LittleEndian.PutUint64(b[16:], c.Span)
+	binary.LittleEndian.PutUint64(b[24:], c.Clock)
+}
+
+// CtxFromWire decodes a context written by PutWire.
+func CtxFromWire(b []byte) Ctx {
+	return Ctx{
+		Run:   binary.LittleEndian.Uint64(b[0:]),
+		Trace: binary.LittleEndian.Uint64(b[8:]),
+		Span:  binary.LittleEndian.Uint64(b[16:]),
+		Clock: binary.LittleEndian.Uint64(b[24:]),
+	}
+}
+
+// Child derives the seq'th child context: same run and trace, a span
+// deterministically derived from the parent span. A worker replying to
+// a coordinator frame uses Child so its events parent under the frame
+// that caused them.
+func (c Ctx) Child(seq uint64) Ctx {
+	c.Span = mix64(c.Span ^ (seq + 1))
+	return c
+}
+
+// WithClock returns the context stamped with a clock value.
+func (c Ctx) WithClock(lc uint64) Ctx {
+	c.Clock = lc
+	return c
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose
+// output is well-distributed even for sequential inputs. It is the
+// only ingredient in ID derivation — no wall clock, no unseeded
+// randomness — so IDs are a pure function of (seed, position).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RunID derives the run identifier every process in a run shares from
+// the training (or serving) seed. The constant offset keeps RunID(0)
+// nonzero.
+func RunID(seed uint64) uint64 {
+	return mix64(seed ^ 0x9e3779b97f4a7c15)
+}
+
+// RootCtx is the run-scoped context for control-plane events (listen,
+// join, shutdown) that belong to no particular step or request.
+func RootCtx(run uint64) Ctx {
+	return Ctx{Run: run, Trace: mix64(run), Span: mix64(run ^ 1)}
+}
+
+// StepTrace derives the trace ID of one training step. It is a pure
+// function of (run, epoch, step), so every retry, re-sync, and respawn
+// touching the same step — in any process — lands on the same trace.
+func StepTrace(run uint64, epoch, step int) uint64 {
+	return mix64(run ^ uint64(epoch)<<32 ^ uint64(uint32(step)) ^ 0xa0761d6478bd642f)
+}
+
+// StepCtx is the step-scoped context the coordinator stamps on every
+// frame of one step's exchange.
+func StepCtx(run uint64, epoch, step int) Ctx {
+	t := StepTrace(run, epoch, step)
+	return Ctx{Run: run, Trace: t, Span: mix64(t)}
+}
+
+// RequestTrace derives the trace ID of the n'th locally-originated
+// HTTP request of a serving run (used when the client sent no
+// X-Request-Id of its own).
+func RequestTrace(run, n uint64) uint64 {
+	return mix64(run ^ n ^ 0xe7037ed1a0b428db)
+}
+
+// RequestCtx is the request-scoped context for one traced HTTP request.
+func RequestCtx(run, traceID uint64) Ctx {
+	return Ctx{Run: run, Trace: traceID, Span: mix64(traceID)}
+}
+
+// FormatID renders an identifier the way journals and X-Request-Id
+// headers carry it: 16 lowercase hex digits. IDs are formatted as
+// strings because JSON numbers are float64 and would corrupt the high
+// bits of a uint64.
+func FormatID(v uint64) string {
+	return fmt.Sprintf("%016x", v)
+}
+
+// ParseID parses a FormatID string (leading zeros optional). ok is
+// false for anything that is not 1-16 hex digits.
+func ParseID(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Clock is a Lamport logical clock: Tick before every local event and
+// send, Witness every received remote value. Methods are nil-safe
+// no-ops (returning 0) so disabled-telemetry paths pay one pointer
+// check and allocate nothing — the tracer's Active()/nil-span idiom.
+type Clock struct {
+	v atomic.Uint64
+}
+
+// NewClock returns a clock at zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Tick advances the clock and returns the new value. The first Tick
+// returns 1, so 0 always means "no clock attached".
+func (c *Clock) Tick() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(1)
+}
+
+// Witness merges a remote clock value: the local clock jumps to
+// max(local, remote)+1, which is what makes a receive causally later
+// than the send it observed. Returns the new local value.
+func (c *Clock) Witness(remote uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	for {
+		cur := c.v.Load()
+		next := cur + 1
+		if remote >= cur {
+			next = remote + 1
+		}
+		if c.v.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Now returns the current clock value without advancing it.
+func (c *Clock) Now() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}

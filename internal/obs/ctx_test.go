@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCtxWireRoundTrip(t *testing.T) {
+	cx := Ctx{Run: 0xdeadbeefcafef00d, Trace: 1, Span: 1 << 63, Clock: 42}
+	var buf [CtxWireLen]byte
+	cx.PutWire(buf[:])
+	got := CtxFromWire(buf[:])
+	if got != cx {
+		t.Fatalf("wire round trip: got %+v want %+v", got, cx)
+	}
+	var zero [CtxWireLen]byte
+	if got := CtxFromWire(zero[:]); got != (Ctx{}) {
+		t.Fatalf("zero wire bytes decoded to %+v, want zero Ctx", got)
+	}
+}
+
+func TestIDDerivationDeterministic(t *testing.T) {
+	if RunID(42) != RunID(42) {
+		t.Fatal("RunID not deterministic")
+	}
+	if RunID(42) == RunID(43) {
+		t.Fatal("RunID(42) == RunID(43)")
+	}
+	if RunID(0) == 0 {
+		t.Fatal("RunID(0) must be nonzero")
+	}
+	run := RunID(42)
+	if StepTrace(run, 1, 2) != StepTrace(run, 1, 2) {
+		t.Fatal("StepTrace not deterministic")
+	}
+	// Distinct (epoch, step) positions must not collide, including the
+	// pairs a 32-bit shift mixes near each other.
+	seen := map[uint64][2]int{}
+	for epoch := 0; epoch < 8; epoch++ {
+		for step := 0; step < 64; step++ {
+			tr := StepTrace(run, epoch, step)
+			if prev, dup := seen[tr]; dup {
+				t.Fatalf("StepTrace collision: (%d,%d) and (%d,%d)", prev[0], prev[1], epoch, step)
+			}
+			seen[tr] = [2]int{epoch, step}
+		}
+	}
+	if RequestTrace(run, 1) == RequestTrace(run, 2) {
+		t.Fatal("RequestTrace collision for consecutive requests")
+	}
+}
+
+func TestChildSpansDiffer(t *testing.T) {
+	parent := StepCtx(RunID(7), 0, 0)
+	c0, c1 := parent.Child(0), parent.Child(1)
+	if c0.Run != parent.Run || c0.Trace != parent.Trace {
+		t.Fatal("Child changed run/trace")
+	}
+	if c0.Span == parent.Span || c0.Span == c1.Span {
+		t.Fatalf("child spans must be distinct: parent %x c0 %x c1 %x", parent.Span, c0.Span, c1.Span)
+	}
+	if parent.Child(0) != c0 {
+		t.Fatal("Child not deterministic")
+	}
+}
+
+func TestFormatParseID(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xffffffffffffffff, 0x8000000000000001} {
+		s := FormatID(v)
+		if len(s) != 16 {
+			t.Fatalf("FormatID(%d) = %q, want 16 hex digits", v, s)
+		}
+		got, ok := ParseID(s)
+		if !ok || got != v {
+			t.Fatalf("ParseID(FormatID(%d)) = %d, %v", v, got, ok)
+		}
+	}
+	if v, ok := ParseID("ff"); !ok || v != 0xff {
+		t.Fatalf("ParseID should accept short hex: got %d, %v", v, ok)
+	}
+	for _, bad := range []string{"", "xyz", "12345678901234567", "0x12", "-1", "12 34"} {
+		if _, ok := ParseID(bad); ok {
+			t.Fatalf("ParseID(%q) should fail", bad)
+		}
+	}
+}
+
+func TestClockTickAndWitness(t *testing.T) {
+	c := NewClock()
+	if got := c.Tick(); got != 1 {
+		t.Fatalf("first Tick = %d, want 1", got)
+	}
+	if got := c.Tick(); got != 2 {
+		t.Fatalf("second Tick = %d, want 2", got)
+	}
+	// Witnessing a remote value ahead of us jumps past it.
+	if got := c.Witness(100); got != 101 {
+		t.Fatalf("Witness(100) = %d, want 101", got)
+	}
+	// Witnessing a stale remote still advances monotonically.
+	if got := c.Witness(5); got != 102 {
+		t.Fatalf("Witness(5) = %d, want 102", got)
+	}
+	if got := c.Now(); got != 102 {
+		t.Fatalf("Now = %d, want 102", got)
+	}
+}
+
+func TestClockNilSafe(t *testing.T) {
+	var c *Clock
+	if c.Tick() != 0 || c.Witness(9) != 0 || c.Now() != 0 {
+		t.Fatal("nil Clock methods must return 0")
+	}
+}
+
+// TestDisabledCtxPathZeroAlloc pins the acceptance requirement that the
+// disabled-context path allocates nothing (the PR-4 tracer precedent):
+// nil clock, nil journal, and wire encode/decode into a caller buffer.
+func TestDisabledCtxPathZeroAlloc(t *testing.T) {
+	var clk *Clock
+	var j *Journal
+	cx := StepCtx(RunID(3), 1, 2)
+	buf := make([]byte, CtxWireLen)
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = clk.Tick()
+		_ = clk.Witness(7)
+		cx.PutWire(buf)
+		cx = CtxFromWire(buf)
+		_ = cx.Child(1)
+		j.EmitCtx(cx, "noop", nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled ctx path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestEmitCtxStampsIDsAndClock(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	clk := NewClock()
+	j.SetLamport(clk)
+	cx := StepCtx(RunID(42), 1, 2)
+	j.EmitCtx(cx, "dist-sync", map[string]any{"rank": 0})
+	j.Emit("epoch", map[string]any{"loss": 0.5})
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if got := recs[0]["trace"]; got != FormatID(cx.Trace) {
+		t.Fatalf("trace = %v, want %s", got, FormatID(cx.Trace))
+	}
+	if got := recs[0]["run"]; got != FormatID(cx.Run) {
+		t.Fatalf("run = %v, want %s", got, FormatID(cx.Run))
+	}
+	if got := recs[0]["span"]; got != FormatID(cx.Span) {
+		t.Fatalf("span = %v, want %s", got, FormatID(cx.Span))
+	}
+	if lc, _ := recs[0]["lc"].(float64); lc != 1 {
+		t.Fatalf("first lc = %v, want 1", recs[0]["lc"])
+	}
+	// Plain Emit records also tick the attached clock, so in-process
+	// events interleave causally with dist events in a merge.
+	if lc, _ := recs[1]["lc"].(float64); lc != 2 {
+		t.Fatalf("second lc = %v, want 2", recs[1]["lc"])
+	}
+	if _, has := recs[1]["trace"]; has {
+		t.Fatal("plain Emit must not stamp trace")
+	}
+}
+
+func TestEmitCtxWithoutClockUsesCtxClock(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.EmitCtx(Ctx{Run: 1, Trace: 2, Span: 3, Clock: 9}, "ev", nil)
+	j.EmitCtx(Ctx{Run: 1, Trace: 2, Span: 3}, "ev2", nil)
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if lc, _ := recs[0]["lc"].(float64); lc != 9 {
+		t.Fatalf("lc = %v, want 9 (from Ctx.Clock)", recs[0]["lc"])
+	}
+	if _, has := recs[1]["lc"]; has {
+		t.Fatal("zero Ctx.Clock with no journal clock must not stamp lc")
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pool.tasks").Add(7)
+	r.Gauge("train.loss").Set(0.25)
+	r.Timer("step").Observe(1500 * time.Nanosecond)
+	r.Distribution("rows").Observe(10)
+	data, err := EncodeSnapshot(r.Snapshot())
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	data2, err := EncodeSnapshot(r.Snapshot())
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("EncodeSnapshot not deterministic for identical state")
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if got.Counters["pool.tasks"] != 7 {
+		t.Fatalf("counter = %d, want 7", got.Counters["pool.tasks"])
+	}
+	if got.Gauges["train.loss"] != 0.25 {
+		t.Fatalf("gauge = %v, want 0.25", got.Gauges["train.loss"])
+	}
+	if got.Timers["step"].Count != 1 || got.Dists["rows"].Count != 1 {
+		t.Fatal("timer/dist lost in round trip")
+	}
+}
+
+func TestSnapshotCodecClampsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("train.loss")
+	g.Set(0)
+	g.Add(1)
+	g.Add(-1)
+	s := r.Snapshot()
+	s.Gauges["train.loss"] = math.NaN()
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot with NaN gauge: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded.Gauges["train.loss"] != 0 {
+		t.Fatalf("NaN gauge = %v, want clamped 0", decoded.Gauges["train.loss"])
+	}
+}

@@ -30,11 +30,12 @@ import (
 // and reported by Err/Close rather than interrupting training: telemetry
 // must never kill the run it observes.
 type Journal struct {
-	mu  sync.Mutex
-	w   io.Writer
-	f   *os.File // non-nil when opened via Open; fsynced on Close
-	now func() time.Time
-	err error
+	mu    sync.Mutex
+	w     io.Writer
+	f     *os.File // non-nil when opened via Open; fsynced on Close
+	now   func() time.Time
+	clock *Clock // nil = no Lamport stamping
+	err   error
 }
 
 // Open appends to (creating if needed) the journal at path.
@@ -60,18 +61,53 @@ func (j *Journal) SetClock(now func() time.Time) {
 	j.mu.Unlock()
 }
 
-// Emit appends one event record. The reserved keys "ts" and "ev" are set
-// by the journal; same-named entries in fields are ignored. Non-finite
-// floats — which JSON cannot represent — are encoded as the strings
-// "NaN", "+Inf", and "-Inf" (maps and slices are sanitized recursively;
-// see sanitize).
+// SetLamport attaches a logical clock. Once attached, every emitted
+// record carries an "lc" field (the clock ticked per record), which is
+// what lets journals from different processes sharing clock causality
+// (via frame exchange) be merged into one causally ordered stream.
+func (j *Journal) SetLamport(c *Clock) {
+	j.mu.Lock()
+	j.clock = c
+	j.mu.Unlock()
+}
+
+// Lamport returns the attached logical clock (nil when none).
+func (j *Journal) Lamport() *Clock {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.clock
+}
+
+// Emit appends one event record. The reserved keys "ts" and "ev" (plus
+// "lc" when a Lamport clock is attached) are set by the journal;
+// same-named entries in fields are ignored. Non-finite floats — which
+// JSON cannot represent — are encoded as the strings "NaN", "+Inf",
+// and "-Inf" (maps and slices are sanitized recursively; see sanitize).
 func (j *Journal) Emit(event string, fields map[string]any) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.emitLocked(Ctx{}, false, event, fields)
+}
+
+// EmitCtx is Emit with a correlation context: the record additionally
+// carries "run", "trace", and "span" as 16-hex-digit strings (see
+// FormatID). A nil journal is a valid no-op receiver, so multi-process
+// call sites need no nil check and the disabled path allocates nothing.
+func (j *Journal) EmitCtx(cx Ctx, event string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.emitLocked(cx, true, event, fields)
+}
+
+// emitLocked builds, stamps, and writes one record; j.mu must be held.
+func (j *Journal) emitLocked(cx Ctx, withCtx bool, event string, fields map[string]any) {
 	if j.err != nil {
 		return
 	}
-	rec := make(map[string]any, len(fields)+2)
+	rec := make(map[string]any, len(fields)+6)
 	for k, v := range fields {
 		if k == "ts" || k == "ev" {
 			continue
@@ -80,6 +116,19 @@ func (j *Journal) Emit(event string, fields map[string]any) {
 	}
 	rec["ts"] = j.now().UTC().Format(time.RFC3339Nano)
 	rec["ev"] = event
+	if withCtx {
+		rec["run"] = FormatID(cx.Run)
+		rec["trace"] = FormatID(cx.Trace)
+		rec["span"] = FormatID(cx.Span)
+	}
+	if j.clock != nil {
+		// One tick per record: journaling is itself an event in the
+		// process's causal history, so later records always sort after
+		// earlier ones from the same process.
+		rec["lc"] = j.clock.Tick()
+	} else if withCtx && cx.Clock != 0 {
+		rec["lc"] = cx.Clock
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		j.err = fmt.Errorf("obs: encoding %s event: %w", event, err)

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Journal merging. Each process journals locally (coordinator, every
+// worker rank, mlpserve); MergeJournals folds those files into one
+// causally ordered stream using the Lamport "lc" field EmitCtx/Emit
+// stamp when a clock is attached.
+//
+// Ordering and reproducibility:
+//
+//   - Primary key: ascending "lc". Lamport clocks guarantee that a
+//     causally-later event carries a larger clock (every receive
+//     witnesses the sender's value), so causality is never inverted.
+//     Records without an lc (pre-clock journals) sort first.
+//   - Tiebreak: concurrent events — equal lc from different processes —
+//     have no causal order, so any deterministic tiebreak is correct.
+//     We compare the raw line bytes, which makes the merge a pure
+//     function of the input *contents*: the same files merge to the
+//     same bytes on every run and every host, regardless of input
+//     order. journalcat -merge leans on this for byte-reproducible
+//     output.
+//
+// Lines are passed through verbatim (no re-marshal), so merging never
+// reorders JSON keys or reformats numbers: the merged stream is exactly
+// the union of the input lines, reordered.
+
+// MergeJournals merges raw JSONL journal streams into one causally
+// ordered stream. A torn final line in any input — the signature of a
+// crash mid-append, e.g. a worker killed while journaling — is dropped,
+// matching Read's tolerance; a malformed line anywhere else is an
+// error.
+func MergeJournals(inputs ...[]byte) ([]byte, error) {
+	type line struct {
+		lc  float64
+		raw []byte
+	}
+	var lines []line
+	for idx, data := range inputs {
+		split := bytes.Split(data, []byte("\n"))
+		for i, raw := range split {
+			raw = bytes.TrimSpace(raw)
+			if len(raw) == 0 {
+				continue
+			}
+			var rec struct {
+				LC *float64 `json:"lc"`
+			}
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				if i == len(split)-1 {
+					break // torn tail from a crash mid-write
+				}
+				return nil, fmt.Errorf("obs: merge input %d line %d: %w", idx+1, i+1, err)
+			}
+			l := line{lc: -1, raw: raw}
+			if rec.LC != nil {
+				l.lc = *rec.LC
+			}
+			lines = append(lines, l)
+		}
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		if lines[i].lc != lines[j].lc { //lint:ignore float-equality lc values are small integers stamped by the journal; exact compare is the deterministic tiebreak contract
+			return lines[i].lc < lines[j].lc
+		}
+		return bytes.Compare(lines[i].raw, lines[j].raw) < 0
+	})
+	var out bytes.Buffer
+	for _, l := range lines {
+		out.Write(l.raw)
+		out.WriteByte('\n')
+	}
+	return out.Bytes(), nil
+}
+
+// MergeJournalFiles reads and merges the journals at the given paths.
+func MergeJournalFiles(paths ...string) ([]byte, error) {
+	inputs := make([][]byte, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("obs: merge: %w", err)
+		}
+		inputs[i] = data
+	}
+	return MergeJournals(inputs...)
+}

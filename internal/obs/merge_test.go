@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// journalFor builds a JSONL stream by emitting events through a Journal
+// sharing clock causality the way real processes do.
+func journalLines(t *testing.T, emit func(j *Journal)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	j := New(&buf)
+	emit(j)
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestMergeJournalsCausalOrder(t *testing.T) {
+	// Simulate coordinator and worker: the worker witnesses the
+	// coordinator's clock via a frame before emitting, so its events
+	// must merge strictly after the coordinator events they observed.
+	coord := NewClock()
+	var sentLC uint64
+	a := journalLines(t, func(j *Journal) {
+		j.SetLamport(coord)
+		j.Emit("dist-listen", nil)
+		j.Emit("dist-step", map[string]any{"step": 0})
+		sentLC = coord.Tick() // the frame send
+	})
+	worker := NewClock()
+	worker.Witness(sentLC)
+	b := journalLines(t, func(j *Journal) {
+		j.SetLamport(worker)
+		j.Emit("dist-worker-sync", map[string]any{"rank": 1})
+		j.Emit("dist-step-fault", map[string]any{"rank": 1})
+	})
+	merged, err := MergeJournals(a, b)
+	if err != nil {
+		t.Fatalf("MergeJournals: %v", err)
+	}
+	recs, err := Read(bytes.NewReader(merged))
+	if err != nil {
+		t.Fatalf("Read merged: %v", err)
+	}
+	var events []string
+	for _, r := range recs {
+		events = append(events, r.Event())
+	}
+	want := []string{"dist-listen", "dist-step", "dist-worker-sync", "dist-step-fault"}
+	if len(events) != len(want) {
+		t.Fatalf("merged %d events, want %d: %v", len(events), len(want), events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("merged order %v, want %v", events, want)
+		}
+	}
+	var prev float64 = -1
+	for _, r := range recs {
+		lc, _ := r["lc"].(float64)
+		if lc < prev {
+			t.Fatalf("lc went backwards: %v after %v", lc, prev)
+		}
+		prev = lc
+	}
+}
+
+func TestMergeJournalsByteReproducible(t *testing.T) {
+	a := []byte(`{"ev":"a","lc":1}` + "\n" + `{"ev":"b","lc":3}` + "\n")
+	b := []byte(`{"ev":"c","lc":2}` + "\n" + `{"ev":"d","lc":3}` + "\n")
+	m1, err := MergeJournals(a, b)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// Input order must not matter: the merge is a pure function of the
+	// contents (equal-lc ties break on raw bytes).
+	m2, err := MergeJournals(b, a)
+	if err != nil {
+		t.Fatalf("merge swapped: %v", err)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatalf("merge depends on input order:\n%s\nvs\n%s", m1, m2)
+	}
+	want := `{"ev":"a","lc":1}` + "\n" + `{"ev":"c","lc":2}` + "\n" +
+		`{"ev":"b","lc":3}` + "\n" + `{"ev":"d","lc":3}` + "\n"
+	if string(m1) != want {
+		t.Fatalf("merged:\n%swant:\n%s", m1, want)
+	}
+}
+
+func TestMergeJournalsVerbatimLines(t *testing.T) {
+	// Key order and number formatting must survive the merge untouched.
+	in := []byte(`{"z":1,"ev":"x","a":0.10000000000000001,"lc":5}` + "\n")
+	out, err := MergeJournals(in)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSuffix(out, []byte("\n")), bytes.TrimSpace(in)) {
+		t.Fatalf("line rewritten:\n%swant:\n%s", out, in)
+	}
+}
+
+func TestMergeJournalsNoLCSortsFirst(t *testing.T) {
+	a := []byte(`{"ev":"clocked","lc":1}` + "\n")
+	b := []byte(`{"ev":"legacy"}` + "\n")
+	out, err := MergeJournals(a, b)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	recs, err := Read(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if recs[0].Event() != "legacy" || recs[1].Event() != "clocked" {
+		t.Fatalf("legacy (no-lc) record must sort first: %v, %v", recs[0].Event(), recs[1].Event())
+	}
+}
+
+// TestMergeJournalsTornTail is the satellite acceptance case: one input
+// journal ends mid-record (a worker killed while appending). The torn
+// line is dropped; every complete record survives.
+func TestMergeJournalsTornTail(t *testing.T) {
+	whole := []byte(`{"ev":"ok","lc":1}` + "\n" + `{"ev":"ok2","lc":4}` + "\n")
+	torn := []byte(`{"ev":"pre","lc":2}` + "\n" + `{"ev":"dist-step-fault","lc":3,"ra`)
+	out, err := MergeJournals(whole, torn)
+	if err != nil {
+		t.Fatalf("merge with torn tail: %v", err)
+	}
+	recs, err := Read(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var events []string
+	for _, r := range recs {
+		events = append(events, r.Event())
+	}
+	want := []string{"ok", "pre", "ok2"}
+	if len(events) != 3 {
+		t.Fatalf("got events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("got events %v, want %v", events, want)
+		}
+	}
+}
+
+func TestMergeJournalsMalformedMidStream(t *testing.T) {
+	bad := []byte(`{"ev":"ok","lc":1}` + "\n" + `not json` + "\n" + `{"ev":"ok2","lc":2}` + "\n")
+	if _, err := MergeJournals(bad); err == nil {
+		t.Fatal("malformed mid-stream line must be an error, not silently dropped")
+	}
+}
+
+func TestMergeJournalFiles(t *testing.T) {
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "a.jsonl")
+	pb := filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(pa, []byte(`{"ev":"a","lc":2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pb, []byte(`{"ev":"b","lc":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := MergeJournalFiles(pa, pb)
+	if err != nil {
+		t.Fatalf("MergeJournalFiles: %v", err)
+	}
+	want := `{"ev":"b","lc":1}` + "\n" + `{"ev":"a","lc":2}` + "\n"
+	if string(out) != want {
+		t.Fatalf("got:\n%swant:\n%s", out, want)
+	}
+	if _, err := MergeJournalFiles(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -44,6 +44,19 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set stores v.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add adjusts the gauge by delta (negative to decrease), via CAS so
+// concurrent adders never lose updates — the in-flight-request count
+// the serving layer's drain path watches.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last stored value (zero before the first Set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -247,6 +260,10 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 	dists    map[string]*Distribution
+	// remotes holds snapshots attached from other processes (worker
+	// registries piggybacked on dist acks); rendered as labeled families
+	// by WritePrometheus, never included in Snapshot.
+	remotes map[string]remoteSnapshot
 }
 
 // NewRegistry returns an empty registry.

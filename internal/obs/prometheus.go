@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -76,8 +77,76 @@ func (fn familyNames) claim(name, suffix string) string {
 	return n
 }
 
+// remoteSnapshot is one attached remote registry: a namespace prefix
+// (e.g. "worker"), an identifying label ("rank"="2"), and the state.
+type remoteSnapshot struct {
+	ns, label, value string
+	snap             Snapshot
+}
+
+// AttachSnapshot installs (or replaces) the remote registry snapshot
+// identified by (ns, label, value). The dist coordinator attaches each
+// worker's piggybacked snapshot as ("worker", "rank", "<r>"), and
+// WritePrometheus renders every remote metric as a family named
+// ns_<metric> with one {label="value"} sample per attached remote —
+// deduplicated against local families, so a worker metric whose
+// prefixed name collides with a coordinator family gets the same
+// "_2"/"_3" suffix treatment as any other sanitization collision.
+func (r *Registry) AttachSnapshot(ns, label, value string, s Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.remotes == nil {
+		r.remotes = map[string]remoteSnapshot{}
+	}
+	r.remotes[ns+"\x00"+label+"\x00"+value] = remoteSnapshot{ns: ns, label: label, value: value, snap: s}
+}
+
+// remoteList returns the attached snapshots in deterministic render
+// order: by namespace, then label, then value (numerically when both
+// values are integers, so rank 10 follows rank 2).
+func (r *Registry) remoteList() []remoteSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]remoteSnapshot, 0, len(r.remotes))
+	for _, rs := range r.remotes {
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.ns != b.ns {
+			return a.ns < b.ns
+		}
+		if a.label != b.label {
+			return a.label < b.label
+		}
+		return labelValueLess(a.value, b.value)
+	})
+	return out
+}
+
+// labelValueLess orders label values numerically when both parse as
+// integers, lexically otherwise.
+func labelValueLess(a, b string) bool {
+	ai, aerr := strconv.Atoi(a)
+	bi, berr := strconv.Atoi(b)
+	if aerr == nil && berr == nil {
+		return ai < bi
+	}
+	return a < b
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 // WritePrometheus renders every registered metric in the text exposition
-// format, sorted by name within each kind for stable output.
+// format, sorted by name within each kind for stable output. Local
+// families render first, then any attached remote snapshots as labeled
+// families; family names are deduplicated across both.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	fams := familyNames{}
@@ -114,7 +183,86 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		p("%s_sum %d\n", n, d.Sum)
 		p("%s_count %d\n", n, d.Count)
 	}
+	writeRemoteFamilies(p, fams, r.remoteList())
 	return err
+}
+
+// writeRemoteFamilies renders attached remote snapshots grouped by
+// namespace. Within each namespace the union of metric names across all
+// remotes forms the family set (one # TYPE line per family), and every
+// remote that reports the metric contributes a {label="value"} sample —
+// so three workers reporting pool.tasks.inline render as one
+// worker_pool_tasks_inline_total family with samples for rank 0, 1, 2.
+func writeRemoteFamilies(p func(string, ...any), fams familyNames, remotes []remoteSnapshot) {
+	for start := 0; start < len(remotes); {
+		end := start
+		for end < len(remotes) && remotes[end].ns == remotes[start].ns {
+			end++
+		}
+		group := remotes[start:end]
+		ns := group[0].ns
+		for _, name := range unionNames(group, func(s Snapshot) []string { return sortedKeys(s.Counters) }) {
+			n := fams.claim(ns+"_"+name, "_total")
+			p("# TYPE %s counter\n", n)
+			for _, rs := range group {
+				if v, ok := rs.snap.Counters[name]; ok {
+					p("%s{%s=\"%s\"} %d\n", n, rs.label, escapeLabel(rs.value), v)
+				}
+			}
+		}
+		for _, name := range unionNames(group, func(s Snapshot) []string { return sortedKeys(s.Gauges) }) {
+			n := fams.claim(ns+"_"+name, "")
+			p("# TYPE %s gauge\n", n)
+			for _, rs := range group {
+				if v, ok := rs.snap.Gauges[name]; ok {
+					p("%s{%s=\"%s\"} %s\n", n, rs.label, escapeLabel(rs.value), promFloat(v))
+				}
+			}
+		}
+		for _, name := range unionNames(group, func(s Snapshot) []string { return sortedKeys(s.Timers) }) {
+			n := fams.claim(ns+"_"+name, "_seconds")
+			p("# TYPE %s summary\n", n)
+			for _, rs := range group {
+				if t, ok := rs.snap.Timers[name]; ok {
+					lv := escapeLabel(rs.value)
+					p("%s_sum{%s=\"%s\"} %s\n", n, rs.label, lv, promFloat(float64(t.TotalNS)/1e9))
+					p("%s_count{%s=\"%s\"} %d\n", n, rs.label, lv, t.Count)
+				}
+			}
+		}
+		for _, name := range unionNames(group, func(s Snapshot) []string { return sortedKeys(s.Dists) }) {
+			n := fams.claim(ns+"_"+name, "")
+			p("# TYPE %s summary\n", n)
+			for _, rs := range group {
+				if d, ok := rs.snap.Dists[name]; ok {
+					lv := escapeLabel(rs.value)
+					p("%s{%s=\"%s\",quantile=\"0.5\"} %s\n", n, rs.label, lv, promFloat(d.P50))
+					p("%s{%s=\"%s\",quantile=\"0.95\"} %s\n", n, rs.label, lv, promFloat(d.P95))
+					p("%s{%s=\"%s\",quantile=\"0.99\"} %s\n", n, rs.label, lv, promFloat(d.P99))
+					p("%s_sum{%s=\"%s\"} %d\n", n, rs.label, lv, d.Sum)
+					p("%s_count{%s=\"%s\"} %d\n", n, rs.label, lv, d.Count)
+				}
+			}
+		}
+		start = end
+	}
+}
+
+// unionNames returns the sorted union of metric names that keysOf
+// extracts from each remote in the group.
+func unionNames(group []remoteSnapshot, keysOf func(Snapshot) []string) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, rs := range group {
+		for _, k := range keysOf(rs.snap) {
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, k)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -169,6 +170,106 @@ func TestPrometheusFamilyCollision(t *testing.T) {
 	// dotted name sorts first and keeps the unsuffixed family.
 	if !strings.Contains(out, "pool_tasks_total 1") || !strings.Contains(out, "pool_tasks_total_2 2") {
 		t.Errorf("collision suffix not deterministic:\n%s", out)
+	}
+}
+
+// TestPrometheusRemoteFamilies pins the worker-snapshot rendering: each
+// attached snapshot contributes {rank="N"}-labeled samples under
+// ns-prefixed families, ordered numerically by rank.
+func TestPrometheusRemoteFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dist.steps").Add(5)
+	for _, rank := range []int{10, 2, 0} { // attach out of order on purpose
+		w := NewRegistry()
+		w.Counter("pool.tasks.inline").Add(int64(rank) + 1)
+		w.Gauge("worker.epoch").Set(float64(rank))
+		w.Timer("grad.compute").Observe(time.Duration(rank+1) * time.Millisecond)
+		w.Distribution("batch.rows").Observe(int64(rank + 1))
+		r.AttachSnapshot("worker", "rank", strconv.Itoa(rank), w.Snapshot())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE worker_pool_tasks_inline_total counter",
+		`worker_pool_tasks_inline_total{rank="0"} 1`,
+		`worker_pool_tasks_inline_total{rank="2"} 3`,
+		`worker_pool_tasks_inline_total{rank="10"} 11`,
+		"# TYPE worker_worker_epoch gauge",
+		`worker_worker_epoch{rank="10"} 10`,
+		"# TYPE worker_grad_compute_seconds summary",
+		`worker_grad_compute_seconds_sum{rank="0"} 0.001`,
+		`worker_grad_compute_seconds_count{rank="0"} 1`,
+		"# TYPE worker_batch_rows summary",
+		`worker_batch_rows{rank="2",quantile="0.5"}`,
+		`worker_batch_rows_count{rank="2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Numeric rank order: rank 2 renders before rank 10.
+	if strings.Index(out, `{rank="2"} 3`) > strings.Index(out, `{rank="10"} 11`) {
+		t.Errorf("ranks not numerically ordered:\n%s", out)
+	}
+	// Re-attaching the same rank replaces, not duplicates.
+	w := NewRegistry()
+	w.Counter("pool.tasks.inline").Add(99)
+	r.AttachSnapshot("worker", "rank", "2", w.Snapshot())
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `worker_pool_tasks_inline_total{rank="2"} 99`) {
+		t.Errorf("re-attach did not replace rank 2 snapshot:\n%s", buf.String())
+	}
+}
+
+// TestPrometheusRemoteFamilyNoCollision is the property test extending
+// TestPrometheusFamilyCollision across process boundaries: a worker
+// metric whose prefixed name sanitizes onto an existing coordinator
+// family must not produce a duplicate # TYPE declaration.
+func TestPrometheusRemoteFamilyNoCollision(t *testing.T) {
+	r := NewRegistry()
+	// Coordinator registers a metric that already lands on the family
+	// name the worker namespace would produce.
+	r.Counter("worker.pool.tasks").Add(1)
+	w := NewRegistry()
+	w.Counter("pool.tasks").Add(2)
+	w2 := NewRegistry()
+	w2.Counter("pool_tasks").Add(3) // second worker metric colliding post-sanitize
+	r.AttachSnapshot("worker", "rank", "0", w.Snapshot())
+	r.AttachSnapshot("worker", "rank", "1", w2.Snapshot())
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	families := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		families[strings.Fields(line)[2]]++
+	}
+	for fam, n := range families {
+		if n > 1 {
+			t.Errorf("family %q declared %d times:\n%s", fam, n, out)
+		}
+	}
+	// Local family keeps the base name; each remote collider gets the
+	// next deterministic suffix ("pool.tasks" sorts before "pool_tasks").
+	if !strings.Contains(out, "worker_pool_tasks_total 1") {
+		t.Errorf("local family lost its name:\n%s", out)
+	}
+	if !strings.Contains(out, `worker_pool_tasks_total_2{rank="0"} 2`) {
+		t.Errorf("first remote collider not suffixed _2:\n%s", out)
+	}
+	if !strings.Contains(out, `worker_pool_tasks_total_3{rank="1"} 3`) {
+		t.Errorf("second remote collider not suffixed _3:\n%s", out)
 	}
 }
 

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Snapshot wire codec: the format worker processes use to piggyback
+// their registry state on dist sync/commit acks so the coordinator's
+// /metrics endpoint can expose per-rank families (prometheus.go,
+// AttachSnapshot). JSON was chosen over a binary layout deliberately:
+// Go's encoder sorts map keys, so the same registry state always
+// encodes to the same bytes (snapshots may be compared or journaled),
+// and the payload is a few hundred bytes on a cadence of whole training
+// steps — framing overhead is irrelevant next to gradient blobs.
+
+// EncodeSnapshot renders a snapshot for transport. Non-finite gauge
+// values (a NaN training loss mid-divergence) are clamped to keep the
+// encoding total: NaN becomes 0, ±Inf the largest finite float.
+func EncodeSnapshot(s Snapshot) ([]byte, error) {
+	if s.Gauges != nil {
+		clean := make(map[string]float64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			clean[k] = clampFinite(v)
+		}
+		s.Gauges = clean
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("obs: encoding snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSnapshot parses an EncodeSnapshot payload.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decoding snapshot: %w", err)
+	}
+	return s, nil
+}
+
+func clampFinite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"samplednn/internal/atomicfile"
+	"samplednn/internal/obs"
 )
 
 // Well-known thread ids, so the Perfetto timeline groups spans by the
@@ -58,6 +59,7 @@ type event struct {
 	cat    string
 	argKey string
 	argVal int64
+	argStr string // non-empty wins over argVal (trace IDs are 16-hex strings)
 	tid    int32
 	ts     int64 // ns since tracer start
 	dur    int64 // ns
@@ -111,6 +113,7 @@ type Span struct {
 	cat    string
 	argKey string
 	argVal int64
+	argStr string
 	tid    int32
 	start  time.Time
 }
@@ -131,6 +134,19 @@ func (t *Tracer) BeginLayer(cat, name string, layer int) Span {
 		return Span{}
 	}
 	return Span{t: t, cat: cat, name: name, argKey: "layer", argVal: int64(layer), tid: TIDMain, start: time.Now()}
+}
+
+// BeginCtx is Begin with the correlation context's trace ID attached as
+// a {"trace": "<16 hex>"} argument — the same string the journal stamps
+// on records for that trace, so a /predict request's GEMM spans in the
+// Perfetto timeline can be looked up by the X-Request-Id the client
+// got back. The nil check runs before any formatting, keeping the
+// disabled path allocation-free.
+func (t *Tracer) BeginCtx(cat, name string, cx obs.Ctx) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, cat: cat, name: name, argKey: "trace", argStr: obs.FormatID(cx.Trace), tid: TIDMain, start: time.Now()}
 }
 
 // BeginTID is Begin on an explicit thread id (worker goroutines).
@@ -173,6 +189,7 @@ func (t *Tracer) record(s Span) {
 		cat:    s.cat,
 		argKey: s.argKey,
 		argVal: s.argVal,
+		argStr: s.argStr,
 		tid:    s.tid,
 		ts:     s.start.Sub(t.start).Nanoseconds(),
 		dur:    time.Since(s.start).Nanoseconds(),
@@ -277,7 +294,11 @@ func (t *Tracer) Export() []traceEvent {
 			PID: 1, TID: int(e.tid),
 		}
 		if e.argKey != "" {
-			te.Args = map[string]any{e.argKey: e.argVal}
+			if e.argStr != "" {
+				te.Args = map[string]any{e.argKey: e.argStr}
+			} else {
+				te.Args = map[string]any{e.argKey: e.argVal}
+			}
 		}
 		out = append(out, te)
 	}

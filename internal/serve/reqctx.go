@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"samplednn/internal/obs"
+)
+
+// Request correlation and drain accounting. Every request through
+// Handler() gets an obs.Ctx — either adopted from the client's
+// X-Request-Id header (so a caller's own logs stitch to the server's
+// journal) or minted deterministically from (run, request sequence) —
+// and is counted in the serve.inflight gauge that Drain waits on at
+// shutdown. The context rides the request's context.Context, never a
+// global, so concurrent requests cannot observe each other's IDs.
+
+// ctxKeyType keys the correlation context in a request context.
+type ctxKeyType struct{}
+
+// requestCtx derives the correlation context for one incoming request.
+func (s *Server) requestCtx(r *http.Request) obs.Ctx {
+	seq := s.reqSeq.Add(1)
+	traceID, ok := obs.ParseID(r.Header.Get("X-Request-Id"))
+	if !ok {
+		traceID = obs.RequestTrace(s.run, seq)
+	}
+	return obs.RequestCtx(s.run, traceID)
+}
+
+// withObs is the observability middleware: it installs the request's
+// correlation context, echoes the trace ID back as X-Request-Id (set
+// before the handler runs, so error responses carry it too), and
+// brackets the handler between in-flight enter/leave for Drain.
+func (s *Server) withObs(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cx := s.requestCtx(r)
+		w.Header().Set("X-Request-Id", obs.FormatID(cx.Trace))
+		s.enterRequest()
+		defer s.leaveRequest()
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyType{}, cx)))
+	})
+}
+
+// reqCtx recovers the context withObs installed. Handlers invoked
+// outside the middleware (direct unit-test calls) get the zero Ctx,
+// which is valid everywhere.
+func reqCtx(r *http.Request) obs.Ctx {
+	cx, _ := r.Context().Value(ctxKeyType{}).(obs.Ctx)
+	return cx
+}
+
+func (s *Server) enterRequest() {
+	s.mu.Lock()
+	s.inflightN++
+	s.mu.Unlock()
+	s.inflight.Add(1)
+}
+
+func (s *Server) leaveRequest() {
+	s.inflight.Add(-1)
+	s.mu.Lock()
+	s.inflightN--
+	if s.inflightN == 0 {
+		s.drained.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Drain blocks until every in-flight request has completed, recording
+// the wait in the serve.drain timer (exported as serve_drain_seconds)
+// and journaling serve-drain with how many requests it waited on.
+// mlpserve calls it on SIGTERM after the listener stops accepting, so
+// the journal's final record documents the shutdown. It carries no
+// timeout of its own — the caller bounds the whole shutdown (e.g. via
+// http.Server.Shutdown's context) and every request is already
+// body-capped, so waits are short.
+func (s *Server) Drain() {
+	stop := s.drainT.Start()
+	s.mu.Lock()
+	waited := s.inflightN
+	for s.inflightN > 0 {
+		s.drained.Wait()
+	}
+	s.mu.Unlock()
+	stop()
+	s.emit(s.root(), "serve-drain", map[string]any{"inflight": waited})
+}

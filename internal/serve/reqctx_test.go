@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"samplednn/internal/obs"
+)
+
+// newTracedServer builds a journaling server with one model installed,
+// returning the server, its journal buffer, and the registry.
+func newTracedServer(t *testing.T) (*Server, *bytes.Buffer, *obs.Registry) {
+	t.Helper()
+	net := testNet(t, 60)
+	path := filepath.Join(t.TempDir(), "a.snck")
+	writeTestCheckpoint(t, path, net, 1)
+	var buf bytes.Buffer
+	reg := newTestRegistry()
+	s := NewServer(Options{Journal: obs.New(&buf), Registry: reg, Run: obs.RunID(7)})
+	m, err := LoadModel(path, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Install(m)
+	return s, &buf, reg
+}
+
+// TestRequestIDAdopted pins the client side of correlation: a request
+// carrying X-Request-Id gets that exact trace echoed back and stamped
+// on the journal records its handling produces.
+func TestRequestIDAdopted(t *testing.T) {
+	s, buf, _ := newTracedServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clientID = "00000000deadbeef"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/predict", strings.NewReader(`{"rows":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", clientID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != clientID {
+		t.Fatalf("response X-Request-Id = %q, want %q", got, clientID)
+	}
+
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Event() == "request-fault" {
+			found = true
+			if r["trace"] != clientID {
+				t.Fatalf("request-fault trace %v, want %s", r["trace"], clientID)
+			}
+			if r["run"] != obs.FormatID(obs.RunID(7)) {
+				t.Fatalf("request-fault run %v, want %s", r["run"], obs.FormatID(obs.RunID(7)))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no request-fault record journaled")
+	}
+}
+
+// TestRequestIDMinted pins the server side: requests without a client
+// ID get distinct deterministic per-request trace IDs.
+func TestRequestIDMinted(t *testing.T) {
+	s, _, _ := newTracedServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	x := testBatch(61, 2)
+	ids := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/predict", rowsPayload(x))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: %d %s", resp.StatusCode, body)
+		}
+		id := resp.Header.Get("X-Request-Id")
+		if _, ok := obs.ParseID(id); !ok {
+			t.Fatalf("minted X-Request-Id %q is not a valid ID", id)
+		}
+		ids[id] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("two requests shared a minted trace ID: %v", ids)
+	}
+	// Minted IDs are a pure function of (run, sequence): the i'th
+	// header must be RequestTrace(run, i+1).
+	want := obs.FormatID(obs.RequestTrace(obs.RunID(7), 1))
+	if !ids[want] {
+		t.Fatalf("first minted ID should be %s, got %v", want, ids)
+	}
+}
+
+// TestDrain pins the shutdown satellite: Drain returns with no
+// in-flight requests, journals serve-drain, and the registry exports
+// serve_inflight and serve_drain_seconds.
+func TestDrain(t *testing.T) {
+	s, buf, reg := newTracedServer(t)
+	ts := httptest.NewServer(s.Handler())
+	x := testBatch(62, 2)
+	if resp, body := postJSON(t, ts.URL+"/predict", rowsPayload(x)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	ts.Close() // waits for outstanding handlers
+
+	s.Drain()
+
+	recs, err := obs.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if last.Event() != "serve-drain" {
+		t.Fatalf("last journal event %s, want serve-drain", last.Event())
+	}
+	if n, ok := last["inflight"].(float64); !ok || n != 0 {
+		t.Fatalf("serve-drain inflight = %v, want 0", last["inflight"])
+	}
+
+	snap := reg.Snapshot()
+	if v, ok := snap.Gauges["serve.inflight"]; !ok || v != 0 {
+		t.Fatalf("serve.inflight gauge = %v (present=%v), want 0", v, ok)
+	}
+	if snap.Timers["serve.drain"].Count != 1 {
+		t.Fatalf("serve.drain timer count = %d, want 1", snap.Timers["serve.drain"].Count)
+	}
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"serve_inflight", "serve_drain_seconds_count"} {
+		if !strings.Contains(prom.String(), fam) {
+			t.Fatalf("/metrics missing %s family:\n%s", fam, prom.String())
+		}
+	}
+}

@@ -27,9 +27,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"samplednn/internal/obs"
+	"samplednn/internal/obs/trace"
 	"samplednn/internal/tensor"
 )
 
@@ -44,12 +46,19 @@ type Options struct {
 	TopK int
 	// Model configures checkpoint loading for LoadAndSwap.
 	Model ModelOptions
-	// Journal receives serve-start/swap/request-fault events; nil
-	// disables journaling.
+	// Journal receives serve-start/swap/request-fault/serve-drain
+	// events; nil disables journaling. A journal without a Lamport
+	// clock gets one attached, so serving journals merge causally with
+	// training journals (obs.MergeJournals).
 	Journal *obs.Journal
 	// Registry receives serve metrics and backs /metrics
 	// (obs.Default when nil).
 	Registry *obs.Registry
+	// Run identifies the serving run in every journal record and
+	// X-Request-Id the server mints (default obs.RunID(0)). mlpserve
+	// derives it from the checkpoint CRC so restarts on the same model
+	// correlate.
+	Run uint64
 }
 
 // Server is the prediction service: an atomically swappable model, a
@@ -59,11 +68,21 @@ type Server struct {
 	model   atomic.Pointer[Model]
 	batch   *batcher
 	journal *obs.Journal
+	run     uint64
+	reqSeq  atomic.Uint64
+
+	// mu guards the in-flight request count; drained is broadcast when
+	// it returns to zero, which is what Drain waits on.
+	mu        sync.Mutex
+	inflightN int
+	drained   *sync.Cond
 
 	registry   *obs.Registry
 	requests   *obs.Counter
 	faults     *obs.Counter
 	swaps      *obs.Counter
+	inflight   *obs.Gauge
+	drainT     *obs.Timer
 	batchRows  *obs.Distribution
 	batchCalls *obs.Distribution
 	latency    *obs.Distribution
@@ -85,17 +104,27 @@ func NewServer(opts Options) *Server {
 	if reg == nil {
 		reg = obs.Default
 	}
+	if opts.Run == 0 {
+		opts.Run = obs.RunID(0)
+	}
+	if opts.Journal != nil && opts.Journal.Lamport() == nil {
+		opts.Journal.SetLamport(obs.NewClock())
+	}
 	s := &Server{
 		opts:       opts,
 		journal:    opts.Journal,
+		run:        opts.Run,
 		registry:   reg,
 		requests:   reg.Counter("serve.requests"),
 		faults:     reg.Counter("serve.faults"),
 		swaps:      reg.Counter("serve.swaps"),
+		inflight:   reg.Gauge("serve.inflight"),
+		drainT:     reg.Timer("serve.drain"),
 		batchRows:  reg.Distribution("serve.batch.rows"),
 		batchCalls: reg.Distribution("serve.batch.calls"),
 		latency:    reg.Distribution("serve.latency.us"),
 	}
+	s.drained = sync.NewCond(&s.mu)
 	s.batch = &batcher{
 		model:   s.model.Load,
 		maxRows: opts.MaxBatchRows,
@@ -125,18 +154,21 @@ func (s *Server) BatchStats() BatchStats {
 	return BatchStats{Batches: snap.Count, MaxCoalesced: snap.Max}
 }
 
-// emit journals one event; a nil journal drops it.
-func (s *Server) emit(event string, fields map[string]any) {
-	if s.journal != nil {
-		s.journal.Emit(event, fields)
-	}
+// emit journals one event under a correlation context (EmitCtx is
+// nil-safe, so a disabled journal costs one nil check).
+func (s *Server) emit(cx obs.Ctx, event string, fields map[string]any) {
+	s.journal.EmitCtx(cx, event, fields)
 }
+
+// root is the run-scoped context for lifecycle events (install, boot
+// swap, drain) that belong to no particular request.
+func (s *Server) root() obs.Ctx { return obs.RootCtx(s.run) }
 
 // Install makes m the serving model and journals serve-start. It is
 // meant for boot; use LoadAndSwap for live replacement.
 func (s *Server) Install(m *Model) {
 	s.model.Store(m)
-	s.emit("serve-start", map[string]any{
+	s.emit(s.root(), "serve-start", map[string]any{
 		"checkpoint": m.Info.Checkpoint,
 		"crc":        m.Info.CRC,
 		"epoch":      m.Info.Epoch,
@@ -154,6 +186,12 @@ func (s *Server) Install(m *Model) {
 // swap never blocks the request path. On load failure the old model
 // keeps serving.
 func (s *Server) LoadAndSwap(path string) (ModelInfo, error) {
+	return s.loadAndSwap(s.root(), path)
+}
+
+// loadAndSwap is LoadAndSwap under a caller-chosen context, so a swap
+// driven by POST /admin/swap journals under that request's trace.
+func (s *Server) loadAndSwap(cx obs.Ctx, path string) (ModelInfo, error) {
 	m, err := LoadModel(path, s.opts.Model)
 	if err != nil {
 		return ModelInfo{}, err
@@ -164,7 +202,7 @@ func (s *Server) LoadAndSwap(path string) (ModelInfo, error) {
 		prevCRC = prev.Info.CRC
 	}
 	s.swaps.Inc()
-	s.emit("swap", map[string]any{
+	s.emit(cx, "swap", map[string]any{
 		"checkpoint": m.Info.Checkpoint,
 		"crc":        m.Info.CRC,
 		"epoch":      m.Info.Epoch,
@@ -188,14 +226,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.registry)
 	mux.HandleFunc("POST /admin/swap", s.handleSwap)
-	return mux
+	return s.withObs(mux)
 }
 
 // fault records a request failure — counter, journal, HTTP status —
 // with a fixed journal key set so the schema test can pin it.
-func (s *Server) fault(w http.ResponseWriter, endpoint string, status int, reason string) {
+func (s *Server) fault(w http.ResponseWriter, cx obs.Ctx, endpoint string, status int, reason string) {
 	s.faults.Inc()
-	s.emit("request-fault", map[string]any{
+	s.emit(cx, "request-fault", map[string]any{
 		"endpoint": endpoint,
 		"status":   status,
 		"reason":   reason,
@@ -205,15 +243,15 @@ func (s *Server) fault(w http.ResponseWriter, endpoint string, status int, reaso
 
 // failErr maps an error to fault: validation errors keep their status,
 // ErrNoModel is 503, anything else is a 500.
-func (s *Server) failErr(w http.ResponseWriter, endpoint string, err error) {
+func (s *Server) failErr(w http.ResponseWriter, cx obs.Ctx, endpoint string, err error) {
 	var bad *badRequestError
 	switch {
 	case errors.As(err, &bad):
-		s.fault(w, endpoint, bad.status, bad.reason)
+		s.fault(w, cx, endpoint, bad.status, bad.reason)
 	case errors.Is(err, ErrNoModel):
-		s.fault(w, endpoint, http.StatusServiceUnavailable, err.Error())
+		s.fault(w, cx, endpoint, http.StatusServiceUnavailable, err.Error())
 	default:
-		s.fault(w, endpoint, http.StatusInternalServerError, err.Error())
+		s.fault(w, cx, endpoint, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -233,20 +271,26 @@ type predictResponse struct {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	defer s.latency.TimeMicros()()
+	cx := reqCtx(r)
+	// The request span wraps the batcher's GEMM spans on the timeline
+	// and carries the trace ID the client saw as X-Request-Id, so a
+	// slow request in the journal can be found in the Perfetto view.
+	sp := trace.Active().BeginCtx("serve", "predict", cx)
+	defer sp.End()
 	s.requests.Inc()
 	m := s.model.Load()
 	if m == nil {
-		s.failErr(w, "/predict", ErrNoModel)
+		s.failErr(w, cx, "/predict", ErrNoModel)
 		return
 	}
 	var req predictRequest
 	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
-		s.failErr(w, "/predict", err)
+		s.failErr(w, cx, "/predict", err)
 		return
 	}
 	x, err := matrixFromRows(req.Rows, m.Info.Inputs, s.opts.MaxBatchRows)
 	if err != nil {
-		s.failErr(w, "/predict", err)
+		s.failErr(w, cx, "/predict", err)
 		return
 	}
 	preds, info, err := s.batch.predict(x)
@@ -258,7 +302,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		if !errors.As(err, &bad) && !errors.Is(err, ErrNoModel) {
 			err = badRequest("%v", err)
 		}
-		s.failErr(w, "/predict", err)
+		s.failErr(w, cx, "/predict", err)
 		return
 	}
 	writeJSON(w, predictResponse{Predictions: preds, CRC: info.CRC, Epoch: info.Epoch})
@@ -275,19 +319,22 @@ type topkResponse struct {
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	defer s.latency.TimeMicros()()
+	cx := reqCtx(r)
+	sp := trace.Active().BeginCtx("serve", "topk", cx)
+	defer sp.End()
 	s.requests.Inc()
 	m := s.model.Load()
 	if m == nil {
-		s.failErr(w, "/topk", ErrNoModel)
+		s.failErr(w, cx, "/topk", ErrNoModel)
 		return
 	}
 	var req topkRequest
 	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
-		s.failErr(w, "/topk", err)
+		s.failErr(w, cx, "/topk", err)
 		return
 	}
 	if err := validateRow(req.Row, 0, m.Info.Inputs); err != nil {
-		s.failErr(w, "/topk", err)
+		s.failErr(w, cx, "/topk", err)
 		return
 	}
 	k := req.K
@@ -295,7 +342,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		k = s.opts.TopK
 	}
 	if k < 1 || k > m.Info.Outputs {
-		s.failErr(w, "/topk", badRequest("k=%d out of range (1..%d)", k, m.Info.Outputs))
+		s.failErr(w, cx, "/topk", badRequest("k=%d out of range (1..%d)", k, m.Info.Outputs))
 		return
 	}
 	x := tensor.New(1, m.Info.Inputs)
@@ -304,29 +351,30 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, topkResponse{IDs: ids, LSH: lshPath, CRC: m.Info.CRC, Epoch: m.Info.Epoch})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	m := s.model.Load()
 	if m == nil {
-		s.fault(w, "/healthz", http.StatusServiceUnavailable, ErrNoModel.Error())
+		s.fault(w, reqCtx(r), "/healthz", http.StatusServiceUnavailable, ErrNoModel.Error())
 		return
 	}
 	writeJSON(w, m.Info)
 }
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	cx := reqCtx(r)
 	s.requests.Inc()
 	var req swapRequest
 	if err := decodeJSON(w, r, s.opts.MaxBodyBytes, &req); err != nil {
-		s.failErr(w, "/admin/swap", err)
+		s.failErr(w, cx, "/admin/swap", err)
 		return
 	}
 	if req.Checkpoint == "" {
-		s.failErr(w, "/admin/swap", badRequest("checkpoint path is required"))
+		s.failErr(w, cx, "/admin/swap", badRequest("checkpoint path is required"))
 		return
 	}
-	info, err := s.LoadAndSwap(req.Checkpoint)
+	info, err := s.loadAndSwap(cx, req.Checkpoint)
 	if err != nil {
-		s.failErr(w, "/admin/swap", fmt.Errorf("swap failed: %w", err))
+		s.failErr(w, cx, "/admin/swap", fmt.Errorf("swap failed: %w", err))
 		return
 	}
 	writeJSON(w, info)
