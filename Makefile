@@ -8,7 +8,7 @@ GO ?= go
 # math.FMA computes the same correctly-rounded value on every path.
 export GOAMD64 ?= v3
 
-.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-obs bench-dist bench-serve vet fmt journal-demo trace-demo
+.PHONY: build test tier1 lint bench bench-gemm bench-trace bench-obs bench-dist bench-serve bench-lint vet fmt journal-demo trace-demo
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,13 @@ bench-trace:
 # next to the tracer numbers.
 bench-obs:
 	$(GO) run ./cmd/benchtrace -obs -out BENCH_trace.json
+
+# Analyzer-suite timing: loader wall time (parse + wave-parallel
+# type-checking over internal/pool) and analysis wall time (call graph,
+# fact fixpoint, checks) over the real module, each iteration from a
+# cold loader.
+bench-lint:
+	$(GO) run ./cmd/benchlint -iters 3 -out BENCH_lint.json
 
 # Two-epoch synthetic run that journals every event, then pretty-prints
 # the journal — the fastest way to see the telemetry schema end to end.

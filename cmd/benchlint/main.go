@@ -1,0 +1,121 @@
+// Command benchlint times the static-analysis suite over the real
+// module and writes BENCH_lint.json, the artifact the Makefile
+// `bench-lint` target tracks. Two phases are timed separately: the
+// loader (parse + wave-parallel type-checking over internal/pool) and
+// the analysis (call-graph construction, fact fixpoint, and every
+// check), because they scale differently — the loader with package
+// count and CPU count, the analysis with function and call-site count.
+//
+// Usage:
+//
+//	benchlint [-root dir] [-iters 3] [-out BENCH_lint.json]
+//
+// Each iteration builds a fresh loader so the package cache never
+// amortizes the work being measured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"samplednn/internal/atomicfile"
+	"samplednn/internal/lint"
+)
+
+type point struct {
+	Iter            int     `json:"iter"`
+	LoadSeconds     float64 `json:"load_seconds"`
+	AnalysisSeconds float64 `json:"analysis_seconds"`
+	TotalSeconds    float64 `json:"total_seconds"`
+}
+
+type report struct {
+	Host struct {
+		CPUs       int `json:"cpus"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"host"`
+	Packages    int     `json:"packages"`
+	Functions   int     `json:"functions"`
+	Diagnostics int     `json:"diagnostics"`
+	Suppressed  int     `json:"suppressed"`
+	Points      []point `json:"points"`
+	Best        point   `json:"best"`
+}
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	iters := flag.Int("iters", 3, "timed iterations, each with a cold loader")
+	out := flag.String("out", "BENCH_lint.json", "output JSON path")
+	flag.Parse()
+	if *iters <= 0 {
+		fatal(fmt.Errorf("-iters must be positive"))
+	}
+
+	if *root == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		r, err := lint.FindModuleRoot(wd)
+		if err != nil {
+			fatal(err)
+		}
+		*root = r
+	}
+
+	var rep report
+	rep.Host.CPUs = runtime.NumCPU()
+	rep.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	for i := 1; i <= *iters; i++ {
+		loader, err := lint.NewLoader(*root)
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		pkgs, err := loader.LoadModule()
+		if err != nil {
+			fatal(err)
+		}
+		t1 := time.Now()
+		prog := lint.NewProgram(pkgs)
+		res := lint.RunProgram(*root, prog, lint.Checks())
+		t2 := time.Now()
+
+		p := point{
+			Iter:            i,
+			LoadSeconds:     t1.Sub(t0).Seconds(),
+			AnalysisSeconds: t2.Sub(t1).Seconds(),
+			TotalSeconds:    t2.Sub(t0).Seconds(),
+		}
+		rep.Points = append(rep.Points, p)
+		if i == 1 || p.TotalSeconds < rep.Best.TotalSeconds {
+			rep.Best = p
+		}
+		rep.Packages = len(pkgs)
+		rep.Functions = prog.NumFunctions()
+		rep.Diagnostics = len(res.Diagnostics)
+		rep.Suppressed = len(res.Suppressed)
+		fmt.Printf("iter %d: load %6.2fs  analysis %6.2fs  total %6.2fs  (%d pkgs, %d fns, %d diags, %d suppressed)\n",
+			i, p.LoadSeconds, p.AnalysisSeconds, p.TotalSeconds,
+			rep.Packages, rep.Functions, rep.Diagnostics, rep.Suppressed)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := atomicfile.WriteFileBytes(*out, append(data, '\n')); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (best total %.2fs on %d CPUs)\n", *out, rep.Best.TotalSeconds, rep.Host.CPUs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchlint:", err)
+	os.Exit(2)
+}

@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	repolint [-root dir] [-json] [-list]
+//	repolint [-root dir] [-json] [-list] [-facts]
 //
 // With -json it emits a machine-readable report (schema pinned by
-// internal/lint's TestJSONSchema) for downstream tooling.
+// internal/lint's TestJSONSchema) for downstream tooling. With -facts
+// it prints the interprocedural fact table — every function carrying a
+// transitive fact (mutates-receiver, reads-wall-clock, …) and the call
+// chain it was acquired through — which is the debugging view for
+// chain-carrying diagnostics.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of file:line:col text")
 	list := flag.Bool("list", false, "list the checks and exit")
+	facts := flag.Bool("facts", false, "print the interprocedural fact table instead of running checks")
 	flag.Parse()
 
 	if *list {
@@ -61,7 +66,13 @@ func main() {
 		}
 	}
 
-	res := lint.Run(*root, pkgs, lint.Checks())
+	prog := lint.NewProgram(pkgs)
+	if *facts {
+		prog.WriteFacts(os.Stdout, *root)
+		return
+	}
+
+	res := lint.RunProgram(*root, prog, lint.Checks())
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fatal(err)

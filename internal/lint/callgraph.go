@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Program is the whole-module view the interprocedural checks operate
+// on: every declared function and method across the analyzed packages,
+// the static call graph between them (including a conservative
+// approximation of interface dispatch), and the per-function facts
+// propagated to fixpoint over that graph. Per-package checks receive
+// the Program alongside their package, so an invariant like the
+// read-only forward contract can follow a call two packages away
+// instead of stopping at the function boundary.
+type Program struct {
+	Pkgs []*Package
+
+	// fns maps every function/method declared with a body in Pkgs to
+	// its node. Identity holds across packages because all packages
+	// come from one Loader (one type-checking universe).
+	fns map[*types.Func]*FuncInfo
+	// sorted holds the same nodes in deterministic (file, offset)
+	// order; the fact fixpoint and -facts output iterate this.
+	sorted []*FuncInfo
+	// impls indexes, per method name, the concrete methods in the
+	// module that may satisfy an interface call of that name. Built
+	// lazily per dispatch site from namedTypes.
+	namedTypes []*types.Named
+}
+
+// A FuncInfo is one call-graph node: a declared function or method with
+// its outgoing call sites and its local + transitive fact sets.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	File *ast.File
+	// Recv holds the objects bound to the receiver names (empty for
+	// plain functions and blank receivers).
+	Recv map[types.Object]bool
+	// Calls are the resolved outgoing edges in source order.
+	Calls []*CallSite
+
+	// Local is the fact set contributed by this function's own body;
+	// Trans is Local plus everything propagated from callees at
+	// fixpoint.
+	Local FactSet
+	Trans FactSet
+	// via records, for each transitively acquired fact, the callee the
+	// fact arrived through — enough to reconstruct the offending call
+	// chain for diagnostics.
+	via [numFacts]*FuncInfo
+}
+
+// A CallSite is one syntactic call with its resolved callees. A static
+// call has exactly one callee; a call through an interface method lists
+// every concrete method in the module whose receiver type implements
+// the interface (the conservative dispatch approximation).
+type CallSite struct {
+	Pos token.Pos
+	// RecvRooted is true when the callee's receiver expression is
+	// rooted at the calling method's receiver — the condition under
+	// which a callee's receiver mutation mutates the caller's receiver
+	// state too.
+	RecvRooted bool
+	// Dispatch is true for interface calls (callees are the
+	// conservative implementation set, not a proven target).
+	Dispatch bool
+	Callees  []*FuncInfo
+}
+
+// NumFunctions reports how many call-graph nodes the program holds
+// (every function and method declared with a body).
+func (p *Program) NumFunctions() int { return len(p.sorted) }
+
+// NewProgram builds the call graph and computes facts to fixpoint over
+// pkgs. Facts from call sites carrying a matching //lint:ignore
+// directive are deliberately dropped: a waived wall-clock read (e.g.
+// phase-cost telemetry) is sanctioned, and propagating it would demand
+// a waiver at every transitive caller.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs: pkgs,
+		fns:  make(map[*types.Func]*FuncInfo),
+	}
+	prog.collectNamedTypes()
+	// Pass 1: nodes.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Fn: obj, Decl: fd, Pkg: pkg, File: f}
+				if fd.Recv != nil {
+					fi.Recv = receiverObjects(pkg, fd)
+				}
+				prog.fns[obj] = fi
+				prog.sorted = append(prog.sorted, fi)
+			}
+		}
+	}
+	sort.Slice(prog.sorted, func(i, j int) bool {
+		a, b := prog.sorted[i], prog.sorted[j]
+		pa, pb := a.Pkg.Fset.Position(a.Decl.Pos()), b.Pkg.Fset.Position(b.Decl.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Offset < pb.Offset
+	})
+	// Pass 2: edges (needs all nodes present to resolve cross-package
+	// and dispatch targets).
+	for _, fi := range prog.sorted {
+		prog.collectCalls(fi)
+	}
+	computeFacts(prog)
+	return prog
+}
+
+// FuncOf returns the call-graph node for a declared function, or nil.
+func (p *Program) FuncOf(fn *types.Func) *FuncInfo { return p.fns[fn] }
+
+// InfoFor returns the node for the method/function declared by fd in
+// pkg, or nil.
+func (p *Program) InfoFor(pkg *Package, fd *ast.FuncDecl) *FuncInfo {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return p.fns[obj]
+}
+
+// collectNamedTypes gathers every defined (non-interface) type in the
+// program, the candidate receiver set for interface dispatch.
+func (p *Program) collectNamedTypes() {
+	for _, pkg := range p.Pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			p.namedTypes = append(p.namedTypes, named)
+		}
+	}
+	sort.Slice(p.namedTypes, func(i, j int) bool {
+		a, b := p.namedTypes[i], p.namedTypes[j]
+		if ap, bp := a.Obj().Pkg(), b.Obj().Pkg(); ap != nil && bp != nil && ap.Path() != bp.Path() {
+			return ap.Path() < bp.Path()
+		}
+		return a.Obj().Name() < b.Obj().Name()
+	})
+}
+
+// collectCalls resolves fi's outgoing edges. Calls through function
+// values and method values passed around as data are not resolved
+// (soundness caveat documented in DESIGN.md §15); function literals are
+// attributed lexically to the enclosing declaration, so a closure body
+// contributes its calls and facts to the function that contains it.
+func (p *Program) collectCalls(fi *FuncInfo) {
+	pkg := fi.Pkg
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callees, dispatch, recvExpr := p.CalleesAt(pkg, call)
+		if len(callees) == 0 {
+			return true
+		}
+		rooted := recvExpr != nil && len(fi.Recv) > 0 && receiverRooted(pkg, recvExpr, fi.Recv)
+		fi.Calls = append(fi.Calls, &CallSite{
+			Pos: call.Pos(), RecvRooted: rooted, Dispatch: dispatch, Callees: callees,
+		})
+		return true
+	})
+}
+
+// CalleesAt resolves the possible program-internal targets of call:
+// one node for a static call, the conservative implementation set for a
+// call through an interface method (dispatch=true), nothing for
+// builtins, conversions, calls into the standard library, and calls
+// through function values. recvExpr is the receiver expression for
+// method calls.
+func (p *Program) CalleesAt(pkg *Package, call *ast.CallExpr) (callees []*FuncInfo, dispatch bool, recvExpr ast.Expr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if callee, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			if target := p.fns[callee]; target != nil {
+				return []*FuncInfo{target}, false, nil
+			}
+		}
+	case *ast.SelectorExpr:
+		sel := pkg.Info.Selections[fun]
+		if sel == nil {
+			// Package-qualified call (pkg.F) or type conversion.
+			if callee, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				if target := p.fns[callee]; target != nil {
+					return []*FuncInfo{target}, false, nil
+				}
+			}
+			return nil, false, nil
+		}
+		if sel.Kind() != types.MethodVal {
+			return nil, false, nil
+		}
+		if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+			return p.implementations(iface, fun.Sel.Name), true, fun.X
+		}
+		callee, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return nil, false, nil
+		}
+		if target := p.fns[callee]; target != nil {
+			return []*FuncInfo{target}, false, fun.X
+		}
+	}
+	return nil, false, nil
+}
+
+// implementations returns the nodes of every concrete method named
+// method whose receiver type (value or pointer) implements iface — the
+// conservative interface-dispatch approximation: any of them could be
+// the dynamic target, so all of them are edges.
+func (p *Program) implementations(iface *types.Interface, method string) []*FuncInfo {
+	var out []*FuncInfo
+	seen := make(map[*FuncInfo]bool)
+	for _, named := range p.namedTypes {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if target := p.fns[fn]; target != nil && !seen[target] {
+			seen[target] = true
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+// Chain reconstructs the call chain by which fi transitively acquired
+// fact, starting at fi and ending at the function whose own body
+// carries it. The result is rendered into diagnostics so a waiver's
+// reviewer can audit the exact path.
+func (p *Program) Chain(fi *FuncInfo, fact Fact) []string {
+	var names []string
+	seen := make(map[*FuncInfo]bool)
+	for fi != nil && !seen[fi] {
+		seen[fi] = true
+		names = append(names, fi.DisplayName())
+		if fi.Local.Has(fact) {
+			break
+		}
+		fi = fi.via[fact]
+	}
+	return names
+}
+
+// DisplayName renders the node for chain output: methods as
+// (*T).Name / (T).Name, plain functions by bare name, both prefixed
+// with the package basename when it disambiguates across packages.
+func (fi *FuncInfo) DisplayName() string {
+	fn := fi.Fn
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), types.RelativeTo(fn.Pkg())) + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// receiverObjects returns the set of objects bound to fd's receiver
+// names (empty for an unnamed or blank receiver).
+func receiverObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	recv := make(map[types.Object]bool)
+	for _, field := range fd.Recv.List {
+		for _, nm := range field.Names {
+			if nm.Name == "_" {
+				continue
+			}
+			if obj := pkg.Info.Defs[nm]; obj != nil {
+				recv[obj] = true
+			}
+		}
+	}
+	return recv
+}
+
+// receiverRooted reports whether expr is a selector/index chain with at
+// least one step whose root identifier is the method receiver — i.e. a
+// write through it mutates state reachable from the receiver, and a
+// method called on it runs with (part of) the receiver as its own
+// receiver. The bare receiver identifier itself also counts for call
+// receivers (s.helper() runs helper on the caller's receiver).
+func receiverRooted(pkg *Package, expr ast.Expr, recv map[types.Object]bool) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return false
+			}
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return recv[pkg.Info.Uses[e]]
+		default:
+			return false
+		}
+	}
+}
+
+// receiverRootedWrite is receiverRooted restricted to write targets: at
+// least one selector/index step is required, so rebinding the receiver
+// variable itself (s = nil) stays a local write.
+func receiverRootedWrite(pkg *Package, expr ast.Expr, recv map[types.Object]bool) bool {
+	depth := 0
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			depth++
+			expr = e.X
+		case *ast.IndexExpr:
+			depth++
+			expr = e.X
+		case *ast.Ident:
+			return depth > 0 && recv[pkg.Info.Uses[e]]
+		default:
+			return false
+		}
+	}
+}

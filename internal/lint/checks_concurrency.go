@@ -9,15 +9,18 @@ import (
 // being launched by the pool, which wraps tasks in recover() and
 // converts a panicking sample into a discarded batch instead of a dead
 // process with a half-written checkpoint. A raw goroutine that panics
-// kills the run.
+// kills the run. The spawns-goroutine fact carries the ban through the
+// call graph: a helper hiding a raw `go` statement flags every call
+// site reaching it, chain included.
 func checkRawGoroutine() *Check {
 	const name = "raw-goroutine"
 	return &Check{
 		Name: name,
-		Doc: "forbid raw `go` statements outside internal/pool; concurrency " +
-			"must go through the panic-isolated worker pool",
-		Run: func(pkg *Package) []Diagnostic {
-			if pathHasSeg(pkg.ImportPath, "internal/pool") {
+		Doc: "forbid raw `go` statements outside internal/pool, directly and " +
+			"through transitive callees; concurrency must go through the " +
+			"panic-isolated worker pool",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			if !rawGoroutineInScope(pkg.ImportPath) {
 				return nil
 			}
 			var out []Diagnostic
@@ -30,6 +33,8 @@ func checkRawGoroutine() *Check {
 					return true
 				})
 			}
+			out = append(out, launderedCalls(prog, pkg, name, FactSpawnsGoroutine,
+				"spawns a raw goroutine through its callees: use internal/pool so panics stay isolated")...)
 			return out
 		},
 	}

@@ -9,15 +9,18 @@ import (
 // crash mid-write through any of them leaves a torn file; checkpoints,
 // model snapshots, result CSVs and bench JSON all have to survive the
 // very crash they exist to diagnose, so every durable artifact goes
-// through atomicfile's temp-file + fsync + rename sequence.
+// through atomicfile's temp-file + fsync + rename sequence. The
+// performs-raw-write fact extends the ban transitively: wrapping
+// os.WriteFile in a helper flags every call site reaching it.
 func checkAtomicWrite() *Check {
 	const name = "atomic-write"
 	return &Check{
 		Name: name,
-		Doc: "forbid os.Create/os.WriteFile/os.Rename outside internal/atomicfile; " +
-			"persistent artifacts must be written atomically",
-		Run: func(pkg *Package) []Diagnostic {
-			if pathHasSeg(pkg.ImportPath, "internal/atomicfile") {
+		Doc: "forbid os.Create/os.WriteFile/os.Rename outside internal/atomicfile, " +
+			"directly and through transitive callees; persistent artifacts " +
+			"must be written atomically",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			if !atomicWriteInScope(pkg.ImportPath) {
 				return nil
 			}
 			var out []Diagnostic
@@ -34,6 +37,8 @@ func checkAtomicWrite() *Check {
 					return true
 				})
 			}
+			out = append(out, launderedCalls(prog, pkg, name, FactRawWrite,
+				"performs a non-atomic file write through its callees: route the write through internal/atomicfile")...)
 			return out
 		},
 	}

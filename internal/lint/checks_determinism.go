@@ -31,15 +31,19 @@ func isPkgSel(pkg *Package, sel *ast.SelectorExpr, pkgPath string, names ...stri
 // Every random draw must come from internal/rng's seeded PCG streams:
 // a single math/rand call in a training path silently breaks
 // bit-reproducible resume, the Theorem 7.2 probe comparisons, and the
-// serial-vs-parallel kernel identity tests.
+// serial-vs-parallel kernel identity tests. The import ban is backed by
+// the uses-unseeded-rand fact: a helper that draws from math/rand
+// taints every transitive caller in scope, so laundering a draw through
+// one function no longer escapes the check.
 func checkMathRand() *Check {
 	const name = "math-rand"
 	return &Check{
 		Name: name,
-		Doc: "forbid math/rand in internal/* library code; all randomness " +
-			"must flow through internal/rng's seeded, checkpointable PCG streams",
-		Run: func(pkg *Package) []Diagnostic {
-			if !pathHasSeg(pkg.ImportPath, "internal") || pathHasSeg(pkg.ImportPath, "internal/rng") {
+		Doc: "forbid math/rand in internal/* library code (directly and " +
+			"through transitive callees); all randomness must flow through " +
+			"internal/rng's seeded, checkpointable PCG streams",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			if !mathRandInScope(pkg.ImportPath) {
 				return nil
 			}
 			var out []Diagnostic
@@ -55,6 +59,8 @@ func checkMathRand() *Check {
 					}
 				}
 			}
+			out = append(out, launderedCalls(prog, pkg, name, FactUnseededRand,
+				"draws from unseeded math/rand through its callees: route the draw through internal/rng")...)
 			return out
 		},
 	}
@@ -65,17 +71,18 @@ func checkMathRand() *Check {
 // (internal/obs/...) and the benchmark harness (internal/bench) exist
 // to measure wall time and are exempt by design; everywhere else a wall
 // clock read is either timing telemetry that must be annotated, or a
-// latent nondeterminism bug.
+// latent nondeterminism bug. The reads-wall-clock fact extends the ban
+// through the call graph: a helper that reads the clock (unwaived)
+// flags every in-scope call site reaching it, with the chain printed.
 func checkWallClock() *Check {
 	const name = "wall-clock"
 	return &Check{
 		Name: name,
 		Doc: "forbid time.Now/time.Since in internal/* outside internal/obs " +
-			"and internal/bench; training logic must not read the wall clock",
-		Run: func(pkg *Package) []Diagnostic {
-			ip := pkg.ImportPath
-			if !pathHasSeg(ip, "internal") ||
-				pathHasSeg(ip, "internal/obs") || pathHasSeg(ip, "internal/bench") {
+			"and internal/bench, directly and through transitive callees; " +
+			"training logic must not read the wall clock",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			if !wallClockInScope(pkg.ImportPath) {
 				return nil
 			}
 			var out []Diagnostic
@@ -92,6 +99,8 @@ func checkWallClock() *Check {
 					return true
 				})
 			}
+			out = append(out, launderedCalls(prog, pkg, name, FactReadsWallClock,
+				"reads the wall clock through its callees: inject a clock or route timing through internal/obs")...)
 			return out
 		},
 	}

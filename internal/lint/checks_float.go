@@ -26,7 +26,7 @@ func checkFloatEquality() *Check {
 		Name: name,
 		Doc: "flag ==/!= on float operands outside tests; compare against a " +
 			"tolerance or use math.IsNaN, and annotate deliberate sentinel checks",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(_ *Program, pkg *Package) []Diagnostic {
 			var out []Diagnostic
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {
@@ -77,7 +77,7 @@ func checkMapOrderFloat() *Check {
 		Doc: "flag range-over-map bodies that accumulate into a float: map " +
 			"order is randomized and float addition is not associative, so " +
 			"extract and sort the keys first",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(_ *Program, pkg *Package) []Diagnostic {
 			var out []Diagnostic
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {

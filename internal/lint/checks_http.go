@@ -20,7 +20,7 @@ func checkHTTPTimeout() *Check {
 		Doc: "require ReadTimeout/ReadHeaderTimeout and WriteTimeout on every " +
 			"http.Server literal and ban package-level http.ListenAndServe*; " +
 			"a timeout-less server lets a stalled client hold a connection forever",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(_ *Program, pkg *Package) []Diagnostic {
 			var out []Diagnostic
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {

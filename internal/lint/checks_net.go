@@ -22,7 +22,7 @@ func checkNetDeadline() *Check {
 		Doc: "require a SetDeadline/SetReadDeadline/SetWriteDeadline call " +
 			"before any Read/Write on a net connection in the same function; " +
 			"unbounded network I/O turns a peer crash into a hung run",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(_ *Program, pkg *Package) []Diagnostic {
 			var out []Diagnostic
 			for _, f := range pkg.Files {
 				ast.Inspect(f, func(n ast.Node) bool {

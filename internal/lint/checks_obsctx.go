@@ -24,7 +24,7 @@ func checkObsCtx() *Check {
 			"multi-process layers must journal through EmitCtx so every " +
 			"record carries the run/trace/span correlation context and " +
 			"merged journals stay traceable",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(_ *Program, pkg *Package) []Diagnostic {
 			if !pathHasSeg(pkg.ImportPath, "internal/dist") && !pathHasSeg(pkg.ImportPath, "internal/serve") {
 				return nil
 			}

@@ -19,17 +19,24 @@ var readonlyMethods = map[string]bool{
 }
 
 // checkReadonlyForward flags writes to receiver state inside the
-// read-only method set (readonlyMethods).
+// read-only method set (readonlyMethods) — directly, and transitively
+// through the call graph: a readonly method that calls a
+// receiver-rooted helper which (at any depth, interface dispatch
+// included) mutates its receiver is flagged at the call site with the
+// full offending chain, so a mutation two hops away can no longer hide
+// behind a function boundary.
 func checkReadonlyForward() *Check {
 	const name = "readonly-forward"
 	return &Check{
 		Name: name,
 		Doc: "flag assignments to receiver state (fields, map/slice elements " +
 			"reached through the receiver) inside ApproxForward and " +
-			"Infer/InferForward/InferForwardLayers implementations; the probe's " +
+			"Infer/InferForward/InferForwardLayers implementations, including " +
+			"mutations reached transitively through receiver-rooted calls " +
+			"(the diagnostic prints the offending call chain); the probe's " +
 			"non-perturbation guarantee and the serving layer's concurrent " +
 			"prediction path both require a read-only forward",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
 			var out []Diagnostic
 			for _, f := range pkg.Files {
 				for _, decl := range f.Decls {
@@ -46,20 +53,20 @@ func checkReadonlyForward() *Check {
 						switch s := n.(type) {
 						case *ast.AssignStmt:
 							for _, lhs := range s.Lhs {
-								if receiverRooted(pkg, lhs, recv) {
+								if receiverRootedWrite(pkg, lhs, recv) {
 									out = append(out, diag(pkg, name, lhs.Pos(),
 										"%s must be read-only: assignment to receiver state", method))
 								}
 							}
 						case *ast.IncDecStmt:
-							if receiverRooted(pkg, s.X, recv) {
+							if receiverRootedWrite(pkg, s.X, recv) {
 								out = append(out, diag(pkg, name, s.X.Pos(),
 									"%s must be read-only: increment/decrement of receiver state", method))
 							}
 						case *ast.CallExpr:
 							if id, ok := s.Fun.(*ast.Ident); ok && len(s.Args) > 0 {
 								if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "delete" {
-									if receiverRooted(pkg, s.Args[0], recv) {
+									if receiverRootedWrite(pkg, s.Args[0], recv) {
 										out = append(out, diag(pkg, name, s.Pos(),
 											"%s must be read-only: delete from receiver-held map", method))
 									}
@@ -68,53 +75,33 @@ func checkReadonlyForward() *Check {
 						}
 						return true
 					})
+					// Transitive half: any receiver-rooted call edge whose
+					// callee reaches a receiver mutation.
+					fi := prog.InfoFor(pkg, fd)
+					if fi == nil {
+						continue
+					}
+					for _, cs := range fi.Calls {
+						if !cs.RecvRooted {
+							continue
+						}
+						for _, callee := range cs.Callees {
+							if !callee.Trans.Has(FactMutatesReceiver) {
+								continue
+							}
+							chain := append([]string{method}, prog.Chain(callee, FactMutatesReceiver)...)
+							verb := "calls"
+							if cs.Dispatch {
+								verb = "may dispatch to"
+							}
+							out = append(out, chainDiag(pkg, name, cs.Pos, chain,
+								"%s must be read-only: %s %s, which mutates receiver state",
+								method, verb, callee.DisplayName()))
+						}
+					}
 				}
 			}
 			return out
 		},
-	}
-}
-
-// receiverObjects returns the set of objects bound to fd's receiver
-// names (empty for an unnamed or blank receiver).
-func receiverObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
-	recv := make(map[types.Object]bool)
-	for _, field := range fd.Recv.List {
-		for _, nm := range field.Names {
-			if nm.Name == "_" {
-				continue
-			}
-			if obj := pkg.Info.Defs[nm]; obj != nil {
-				recv[obj] = true
-			}
-		}
-	}
-	return recv
-}
-
-// receiverRooted reports whether expr is a selector/index chain with at
-// least one step whose root identifier is the method receiver — i.e. a
-// write to it mutates state reachable from the receiver, not a local.
-// (A plain rebind of the receiver variable itself is a local and is not
-// flagged.)
-func receiverRooted(pkg *Package, expr ast.Expr, recv map[types.Object]bool) bool {
-	depth := 0
-	for {
-		switch e := expr.(type) {
-		case *ast.ParenExpr:
-			expr = e.X
-		case *ast.StarExpr:
-			expr = e.X
-		case *ast.SelectorExpr:
-			depth++
-			expr = e.X
-		case *ast.IndexExpr:
-			depth++
-			expr = e.X
-		case *ast.Ident:
-			return depth > 0 && recv[pkg.Info.Uses[e]]
-		default:
-			return false
-		}
 	}
 }

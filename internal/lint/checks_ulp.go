@@ -22,7 +22,7 @@ func checkULPBound() *Check {
 		Doc: "flag ULP-tolerance comparisons outside tests and internal/tensor; " +
 			"a ULP bound relaxes the bit-identity contract and each site must " +
 			"annotate which accuracy contract (DESIGN.md §13) licenses it",
-		Run: func(pkg *Package) []Diagnostic {
+		Run: func(_ *Program, pkg *Package) []Diagnostic {
 			// internal/tensor defines the helpers; internal/lint defines
 			// this analyzer (whose own constructor mentions ULP).
 			if pathHasSeg(pkg.ImportPath, "internal/tensor") || pathHasSeg(pkg.ImportPath, "internal/lint") {

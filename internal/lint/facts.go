@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// A Fact is one bit of the per-function lattice the interprocedural
+// checks consume. Facts are violation-grade: a site only contributes a
+// fact when the corresponding direct check would flag it (scope
+// exemptions respected) and no //lint:ignore directive waives it — a
+// sanctioned clock read in internal/obs or a waived telemetry read in
+// a Step method is not a fact, so it does not cascade into every
+// transitive caller.
+type Fact uint8
+
+const (
+	// FactMutatesReceiver: a method writes state reachable from its
+	// receiver. Propagates only through receiver-rooted call edges
+	// (s.helper() from a method on s), because only then does the
+	// callee's receiver alias the caller's.
+	FactMutatesReceiver Fact = iota
+	// FactSpawnsGoroutine: a raw go statement outside internal/pool.
+	FactSpawnsGoroutine
+	// FactReadsWallClock: time.Now/time.Since in internal/* outside
+	// the clock-owning internal/obs and internal/bench.
+	FactReadsWallClock
+	// FactUnseededRand: a math/rand (or /v2) reference in internal/*
+	// outside internal/rng.
+	FactUnseededRand
+	// FactRawWrite: os.Create/os.WriteFile/os.Rename outside
+	// internal/atomicfile.
+	FactRawWrite
+	// FactAccumulatesFloats: the function accumulates floats into
+	// state that outlives the call (receiver fields, pointer/slice/map
+	// parameters, package-level variables) — feeding it map-ordered
+	// values makes the sum order-dependent. Unlike the others this
+	// fact is not itself a violation; it only arms map-order-taint.
+	FactAccumulatesFloats
+
+	numFacts
+)
+
+var factNames = [numFacts]string{
+	"mutates-receiver",
+	"spawns-goroutine",
+	"reads-wall-clock",
+	"uses-unseeded-rand",
+	"performs-raw-write",
+	"accumulates-floats",
+}
+
+func (f Fact) String() string { return factNames[f] }
+
+// A FactSet is a bitmask over the facts.
+type FactSet uint8
+
+func (s FactSet) Has(f Fact) bool        { return s&(1<<f) != 0 }
+func (s *FactSet) Add(f Fact)            { *s |= 1 << f }
+func (s FactSet) Without(f Fact) FactSet { return s &^ (1 << f) }
+
+func (s FactSet) String() string {
+	var parts []string
+	for f := Fact(0); f < numFacts; f++ {
+		if s.Has(f) {
+			parts = append(parts, factNames[f])
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Scope predicates shared by the direct checks and the fact extractor:
+// the set of packages where each invariant applies. Keeping them in one
+// place guarantees a fact is assigned exactly where the direct check
+// would fire.
+
+func wallClockInScope(ip string) bool {
+	return pathHasSeg(ip, "internal") &&
+		!pathHasSeg(ip, "internal/obs") && !pathHasSeg(ip, "internal/bench")
+}
+
+func mathRandInScope(ip string) bool {
+	return pathHasSeg(ip, "internal") && !pathHasSeg(ip, "internal/rng")
+}
+
+func rawGoroutineInScope(ip string) bool {
+	return !pathHasSeg(ip, "internal/pool")
+}
+
+func atomicWriteInScope(ip string) bool {
+	return !pathHasSeg(ip, "internal/atomicfile")
+}
+
+// computeFacts extracts each function's local facts, then propagates
+// them over the call graph to fixpoint. The iteration is deterministic
+// (functions in position order, call sites in source order), so the
+// `via` back-pointers — and therefore the chains printed in
+// diagnostics — are stable across runs. Recursion and mutual recursion
+// converge because the lattice is finite and propagation is monotone.
+func computeFacts(prog *Program) {
+	sups := make(map[*Package]*suppressor)
+	for _, pkg := range prog.Pkgs {
+		sups[pkg] = newSuppressor(collectIgnores(pkg))
+	}
+	for _, fi := range prog.sorted {
+		localFacts(fi, sups[fi.Pkg])
+		fi.Trans = fi.Local
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range prog.sorted {
+			for _, cs := range fi.Calls {
+				for _, callee := range cs.Callees {
+					add := callee.Trans
+					if !cs.RecvRooted {
+						add = add.Without(FactMutatesReceiver)
+					}
+					add &^= fi.Trans
+					if add != 0 {
+						fi.Trans |= add
+						for f := Fact(0); f < numFacts; f++ {
+							if add.Has(f) {
+								fi.via[f] = callee
+							}
+						}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// waivedAt reports whether a //lint:ignore directive for check covers
+// the site at pos.
+func waivedAt(pkg *Package, sup *suppressor, check string, pos token.Pos) bool {
+	p := pkg.Fset.Position(pos)
+	_, ok := sup.peek(Diagnostic{Check: check, File: p.Filename, Line: p.Line})
+	return ok
+}
+
+// localFacts scans fi's body (closures included — they are attributed
+// lexically) and records the facts its own statements contribute.
+func localFacts(fi *FuncInfo, sup *suppressor) {
+	pkg := fi.Pkg
+	ip := pkg.ImportPath
+	params := paramObjects(pkg, fi.Decl)
+
+	// A waiver on the math/rand import covers every use in the file,
+	// mirroring how the direct check reports at the import site.
+	randImportWaived := false
+	for _, imp := range fi.File.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil &&
+			(path == "math/rand" || path == "math/rand/v2") &&
+			waivedAt(pkg, sup, "math-rand", imp.Pos()) {
+			randImportWaived = true
+		}
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			if rawGoroutineInScope(ip) && !waivedAt(pkg, sup, "raw-goroutine", e.Pos()) {
+				fi.Local.Add(FactSpawnsGoroutine)
+			}
+		case *ast.SelectorExpr:
+			if wallClockInScope(ip) && isPkgSel(pkg, e, "time", "Now", "Since") &&
+				!waivedAt(pkg, sup, "wall-clock", e.Pos()) {
+				fi.Local.Add(FactReadsWallClock)
+			}
+			if atomicWriteInScope(ip) && isPkgSel(pkg, e, "os", "Create", "WriteFile", "Rename") &&
+				!waivedAt(pkg, sup, "atomic-write", e.Pos()) {
+				fi.Local.Add(FactRawWrite)
+			}
+			if mathRandInScope(ip) && !randImportWaived && !waivedAt(pkg, sup, "math-rand", e.Pos()) {
+				if id, ok := e.X.(*ast.Ident); ok {
+					if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+						p := pn.Imported().Path()
+						if p == "math/rand" || p == "math/rand/v2" {
+							fi.Local.Add(FactUnseededRand)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				if len(fi.Recv) > 0 && receiverRootedWrite(pkg, lhs, fi.Recv) &&
+					!waivedAt(pkg, sup, "readonly-forward", lhs.Pos()) {
+					fi.Local.Add(FactMutatesReceiver)
+				}
+				if isFloatAccum(pkg, e, i) && persistentTarget(pkg, lhs, fi.Recv, params) {
+					fi.Local.Add(FactAccumulatesFloats)
+				}
+			}
+		case *ast.IncDecStmt:
+			if len(fi.Recv) > 0 && receiverRootedWrite(pkg, e.X, fi.Recv) &&
+				!waivedAt(pkg, sup, "readonly-forward", e.X.Pos()) {
+				fi.Local.Add(FactMutatesReceiver)
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && len(e.Args) > 0 {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "delete" {
+					if len(fi.Recv) > 0 && receiverRootedWrite(pkg, e.Args[0], fi.Recv) &&
+						!waivedAt(pkg, sup, "readonly-forward", e.Pos()) {
+						fi.Local.Add(FactMutatesReceiver)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloatAccum reports whether the i-th assignment target of as is a
+// float accumulation: an op-assign (+= -= *= /=) or a self-referential
+// plain assignment (x = x + v).
+func isFloatAccum(pkg *Package, as *ast.AssignStmt, i int) bool {
+	lhs := as.Lhs[i]
+	if !isFloatType(pkg.Info.TypeOf(lhs)) {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	case token.ASSIGN:
+		return len(as.Lhs) == len(as.Rhs) && exprContains(as.Rhs[i], lhs)
+	}
+	return false
+}
+
+// paramObjects collects the objects bound to fd's parameter names.
+func paramObjects(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return params
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, nm := range field.Names {
+			if obj := pkg.Info.Defs[nm]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+// persistentTarget reports whether the accumulation target outlives the
+// call: receiver-rooted state, storage reached through a parameter
+// (pointer/slice/map indirection), or a package-level variable. A plain
+// local accumulator is invisible to callers and contributes no fact.
+func persistentTarget(pkg *Package, lhs ast.Expr, recv, params map[types.Object]bool) bool {
+	if len(recv) > 0 && receiverRootedWrite(pkg, lhs, recv) {
+		return true
+	}
+	depth := 0
+	expr := lhs
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			depth++
+			expr = e.X
+		case *ast.SelectorExpr:
+			depth++
+			expr = e.X
+		case *ast.IndexExpr:
+			depth++
+			expr = e.X
+		case *ast.Ident:
+			obj := pkg.Info.Uses[e]
+			if obj == nil {
+				return false
+			}
+			if params[obj] {
+				return depth > 0
+			}
+			// Package-level accumulator.
+			if v, ok := obj.(*types.Var); ok && v.Parent() == pkg.Types.Scope() {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// launderedCalls implements the transitive half of the syntactic bans
+// (wall-clock, math-rand, raw-goroutine, atomic-write): inside every
+// function of an in-scope package, a call whose callee transitively
+// carries fact is flagged with the chain from the caller down to the
+// fact's origin. Because facts are violation-grade, a sanctioned or
+// waived origin contributes nothing — the chain always ends at a site
+// the direct check would flag, making the laundering auditable without
+// cascading through the existing waivers.
+func launderedCalls(prog *Program, pkg *Package, check string, fact Fact, what string) []Diagnostic {
+	var out []Diagnostic
+	for _, fi := range prog.sorted {
+		if fi.Pkg != pkg {
+			continue
+		}
+		for _, cs := range fi.Calls {
+			for _, callee := range cs.Callees {
+				if !callee.Trans.Has(fact) {
+					continue
+				}
+				chain := append([]string{fi.DisplayName()}, prog.Chain(callee, fact)...)
+				out = append(out, chainDiag(pkg, check, cs.Pos, chain,
+					"call to %s %s", callee.DisplayName(), what))
+			}
+		}
+	}
+	return out
+}
+
+// WriteFacts renders the transitive fact table (repolint -facts): every
+// function carrying at least one fact, in position order, with the
+// acquisition chain for facts that arrived from a callee.
+func (p *Program) WriteFacts(w io.Writer, modRoot string) {
+	n := 0
+	for _, fi := range p.sorted {
+		if fi.Trans == 0 {
+			continue
+		}
+		n++
+		pos := fi.Pkg.Fset.Position(fi.Decl.Pos())
+		fmt.Fprintf(w, "%s:%d: %s:", relTo(modRoot, pos.Filename), pos.Line, fi.DisplayName())
+		for f := Fact(0); f < numFacts; f++ {
+			if !fi.Trans.Has(f) {
+				continue
+			}
+			if fi.Local.Has(f) {
+				fmt.Fprintf(w, " %s", f)
+			} else {
+				fmt.Fprintf(w, " %s(%s)", f, strings.Join(p.Chain(fi, f), " → "))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "repolint: %d function(s) carry facts\n", n)
+}

@@ -66,40 +66,50 @@ func renderResult(res *Result) string {
 	return b.String()
 }
 
+// goldenCases is the shared fixture table: TestGoldenFixtures pins each
+// case's full output, and TestEveryCheckHasBadFixture unions the diag
+// kinds fired across all of them. Adding a check therefore requires
+// adding a fixture here, or the coverage test fails.
+var goldenCases = []struct {
+	name string // also the golden file stem
+	dir  string // fixture directory under testdata/src
+	path string // synthetic import path (controls check scoping)
+}{
+	{"mathrand", "mathrand", "samplednn/internal/fixture/mathrand"},
+	{"mathrand_exempt_rng", "mathrand", "samplednn/internal/rng/fixture"},
+	{"mathrand_exempt_cmd", "mathrand", "samplednn/cmd/fixture"},
+	{"wallclock", "wallclock", "samplednn/internal/fixture/wallclock"},
+	{"wallclock_exempt_obs", "wallclock", "samplednn/internal/obs/fixture"},
+	{"wallclock_exempt_bench", "wallclock", "samplednn/internal/bench/fixture"},
+	{"rawgoroutine", "rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
+	{"rawgoroutine_exempt_pool", "rawgoroutine", "samplednn/internal/pool/fixture"},
+	{"netdeadline", "netdeadline", "samplednn/internal/fixture/netdeadline"},
+	{"httptimeout", "httptimeout", "samplednn/internal/fixture/httptimeout"},
+	{"atomicwrite", "atomicwrite", "samplednn/internal/fixture/atomicwrite"},
+	{"atomicwrite_exempt", "atomicwrite", "samplednn/internal/atomicfile/fixture"},
+	{"readonlyforward", "readonlyforward", "samplednn/internal/fixture/readonlyforward"},
+	{"readonlychain", "readonlychain", "samplednn/internal/fixture/readonlychain"},
+	{"launder", "launder", "samplednn/internal/fixture/launder"},
+	{"floateq", "floateq", "samplednn/internal/fixture/floateq"},
+	{"maporderfloat", "maporderfloat", "samplednn/internal/fixture/maporderfloat"},
+	{"maportaint", "maportaint", "samplednn/internal/fixture/maportaint"},
+	{"ulpbound", "ulpbound", "samplednn/internal/fixture/ulpbound"},
+	{"ulpbound_exempt_tensor", "ulpbound", "samplednn/internal/tensor/fixture"},
+	{"suppress", "suppress", "samplednn/internal/fixture/suppress"},
+	{"suppressedge", "suppressedge", "samplednn/internal/fixture/suppressedge"},
+	{"unuseddirective", "unuseddirective", "samplednn/internal/fixture/unuseddirective"},
+	{"obsctx", "obsctx", "samplednn/internal/dist/fixture"},
+	{"obsctx_serve", "obsctx", "samplednn/internal/serve/fixture"},
+	{"obsctx_exempt", "obsctx", "samplednn/internal/fixture/obsctx"},
+}
+
 // TestGoldenFixtures runs the full analyzer suite over every fixture
 // package — each check's known-bad code, plus the same code re-homed
 // into the package that owns the corresponding exemption — and compares
 // against golden files. Regenerate with REPOLINT_GOLDEN_UPDATE=1,
 // matching the journal/trace golden convention.
 func TestGoldenFixtures(t *testing.T) {
-	cases := []struct {
-		name string // also the golden file stem
-		dir  string // fixture directory under testdata/src
-		path string // synthetic import path (controls check scoping)
-	}{
-		{"mathrand", "mathrand", "samplednn/internal/fixture/mathrand"},
-		{"mathrand_exempt_rng", "mathrand", "samplednn/internal/rng/fixture"},
-		{"mathrand_exempt_cmd", "mathrand", "samplednn/cmd/fixture"},
-		{"wallclock", "wallclock", "samplednn/internal/fixture/wallclock"},
-		{"wallclock_exempt_obs", "wallclock", "samplednn/internal/obs/fixture"},
-		{"wallclock_exempt_bench", "wallclock", "samplednn/internal/bench/fixture"},
-		{"rawgoroutine", "rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
-		{"rawgoroutine_exempt_pool", "rawgoroutine", "samplednn/internal/pool/fixture"},
-		{"netdeadline", "netdeadline", "samplednn/internal/fixture/netdeadline"},
-		{"httptimeout", "httptimeout", "samplednn/internal/fixture/httptimeout"},
-		{"atomicwrite", "atomicwrite", "samplednn/internal/fixture/atomicwrite"},
-		{"atomicwrite_exempt", "atomicwrite", "samplednn/internal/atomicfile/fixture"},
-		{"readonlyforward", "readonlyforward", "samplednn/internal/fixture/readonlyforward"},
-		{"floateq", "floateq", "samplednn/internal/fixture/floateq"},
-		{"maporderfloat", "maporderfloat", "samplednn/internal/fixture/maporderfloat"},
-		{"ulpbound", "ulpbound", "samplednn/internal/fixture/ulpbound"},
-		{"ulpbound_exempt_tensor", "ulpbound", "samplednn/internal/tensor/fixture"},
-		{"suppress", "suppress", "samplednn/internal/fixture/suppress"},
-		{"obsctx", "obsctx", "samplednn/internal/dist/fixture"},
-		{"obsctx_serve", "obsctx", "samplednn/internal/serve/fixture"},
-		{"obsctx_exempt", "obsctx", "samplednn/internal/fixture/obsctx"},
-	}
-	for _, tc := range cases {
+	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
 			pkg := loadFixture(t, tc.dir, tc.path)
 			res := Run(filepath.Join("testdata", "src"), []*Package{pkg}, Checks())
@@ -126,36 +136,52 @@ func TestGoldenFixtures(t *testing.T) {
 }
 
 // TestEveryCheckHasBadFixture pins the acceptance requirement directly:
-// each analyzer in the suite fires on at least one known-bad fixture.
+// every diag kind the runner can emit — each analyzer in Checks() plus
+// the runner's own pseudo-kinds (lint-directive for malformed waivers,
+// unused-directive for stale ones) — fires on at least one fixture in
+// the shared goldenCases table. A new check without a known-bad
+// fixture fails here automatically.
 func TestEveryCheckHasBadFixture(t *testing.T) {
 	fired := map[string]bool{}
-	// Each fixture loads under the import path where its check applies;
-	// scoped checks (obs-ctx) need an in-scope path, the rest use the
-	// neutral fixture prefix.
-	fixtures := []struct{ dir, path string }{
-		{"mathrand", "samplednn/internal/fixture/mathrand"},
-		{"wallclock", "samplednn/internal/fixture/wallclock"},
-		{"rawgoroutine", "samplednn/internal/fixture/rawgoroutine"},
-		{"netdeadline", "samplednn/internal/fixture/netdeadline"},
-		{"httptimeout", "samplednn/internal/fixture/httptimeout"},
-		{"atomicwrite", "samplednn/internal/fixture/atomicwrite"},
-		{"readonlyforward", "samplednn/internal/fixture/readonlyforward"},
-		{"floateq", "samplednn/internal/fixture/floateq"},
-		{"maporderfloat", "samplednn/internal/fixture/maporderfloat"},
-		{"ulpbound", "samplednn/internal/fixture/ulpbound"},
-		{"obsctx", "samplednn/internal/dist/fixture"},
-	}
-	for _, fx := range fixtures {
-		pkg := loadFixture(t, fx.dir, fx.path)
+	for _, tc := range goldenCases {
+		pkg := loadFixture(t, tc.dir, tc.path)
 		res := Run("", []*Package{pkg}, Checks())
 		for _, d := range res.Diagnostics {
 			fired[d.Check] = true
 		}
 	}
+	want := []string{"lint-directive", "unused-directive"}
 	for _, c := range Checks() {
-		if !fired[c.Name] {
-			t.Errorf("check %s never fired on any known-bad fixture", c.Name)
+		want = append(want, c.Name)
+	}
+	for _, name := range want {
+		if !fired[name] {
+			t.Errorf("diag kind %s never fired on any known-bad fixture", name)
 		}
+	}
+}
+
+// TestTransitiveReadonlyChain pins the headline interprocedural case in
+// code (not just goldens): ApproxForward calling a mutating helper two
+// hops away is flagged, and the diagnostic carries the full call chain.
+func TestTransitiveReadonlyChain(t *testing.T) {
+	pkg := loadFixture(t, "readonlychain", "samplednn/internal/fixture/readonlychain")
+	res := Run("", []*Package{pkg}, Checks())
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Check != "readonly-forward" {
+			continue
+		}
+		if len(d.Chain) >= 3 && d.Chain[0] == "ApproxForward" &&
+			strings.Contains(d.Chain[1], "gatherCols") && strings.Contains(d.Chain[2], "markVisited") {
+			found = true
+			if !strings.Contains(d.Message, "ApproxForward → (*Sampler).gatherCols → (*Sampler).markVisited") {
+				t.Errorf("chain not rendered in message: %q", d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no readonly-forward diagnostic with chain ApproxForward → gatherCols → markVisited; got %v", res.Diagnostics)
 	}
 }
 

@@ -11,10 +11,16 @@ import (
 // and their types, suppressed entries carrying their reason, and empty
 // slices encoding as [] rather than null.
 func TestJSONSchema(t *testing.T) {
-	pkg := loadFixture(t, "suppress", "samplednn/internal/fixture/jsonschema")
-	res := Run("", []*Package{pkg}, Checks())
+	// Two fixtures in one run: suppress produces kept + suppressed
+	// diagnostics, readonlychain produces interprocedural diagnostics
+	// carrying the schema-v2 chain field.
+	pkgs := []*Package{
+		loadFixture(t, "suppress", "samplednn/internal/fixture/jsonschema"),
+		loadFixture(t, "readonlychain", "samplednn/internal/fixture/readonlychain"),
+	}
+	res := Run("", pkgs, Checks())
 	if len(res.Diagnostics) == 0 || len(res.Suppressed) == 0 {
-		t.Fatalf("fixture must produce both kept (%d) and suppressed (%d) diagnostics",
+		t.Fatalf("fixtures must produce both kept (%d) and suppressed (%d) diagnostics",
 			len(res.Diagnostics), len(res.Suppressed))
 	}
 
@@ -27,13 +33,18 @@ func TestJSONSchema(t *testing.T) {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
 
-	for _, key := range []string{"module", "checks", "diagnostics", "suppressed"} {
+	for _, key := range []string{"schema", "module", "checks", "diagnostics", "suppressed"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("missing top-level key %q", key)
 		}
 	}
-	if len(doc) != 4 {
-		t.Errorf("top-level keys = %d, want exactly 4 (schema change needs a deliberate test update)", len(doc))
+	if len(doc) != 5 {
+		t.Errorf("top-level keys = %d, want exactly 5 (schema change needs a deliberate test update)", len(doc))
+	}
+	// Schema v2 = v1 plus the top-level version and the per-diagnostic
+	// chain field; every v1 field is unchanged.
+	if v, ok := doc["schema"].(float64); !ok || v != 2 {
+		t.Errorf("schema = %v, want 2", doc["schema"])
 	}
 
 	checks, ok := doc["checks"].([]any)
@@ -54,6 +65,7 @@ func TestJSONSchema(t *testing.T) {
 	if !ok {
 		t.Fatalf("diagnostics is %T, want array", doc["diagnostics"])
 	}
+	sawChain := false
 	for _, d := range diags {
 		m := d.(map[string]any)
 		for _, key := range []string{"check", "file", "message"} {
@@ -69,6 +81,24 @@ func TestJSONSchema(t *testing.T) {
 		if _, ok := m["suppress_reason"]; ok {
 			t.Errorf("kept diagnostic must not carry suppress_reason: %v", m)
 		}
+		// chain is omitted on intra-procedural diagnostics and is a
+		// non-empty string array on interprocedural ones.
+		if c, ok := m["chain"]; ok {
+			arr, ok := c.([]any)
+			if !ok || len(arr) < 2 {
+				t.Errorf("chain must be an array of at least caller and callee: %v", m)
+				continue
+			}
+			for _, hop := range arr {
+				if _, ok := hop.(string); !ok {
+					t.Errorf("chain hop must be a string: %v", m)
+				}
+			}
+			sawChain = true
+		}
+	}
+	if !sawChain {
+		t.Error("no diagnostic carried a chain; the readonlychain fixture should produce one")
 	}
 
 	supp, ok := doc["suppressed"].([]any)

@@ -9,6 +9,15 @@
 // comparisons, and the map-iteration-order-into-float-accumulation bug
 // class that PR 4 caught by hand.
 //
+// Since the interprocedural upgrade, the suite analyzes the module as a
+// whole: a call graph over every package (static calls plus a
+// conservative interface-dispatch approximation) carries per-function
+// facts — mutates-receiver, spawns-goroutine, reads-wall-clock,
+// uses-unseeded-rand, performs-raw-write, accumulates-floats — to
+// fixpoint, so a violation laundered through helpers is flagged at the
+// call site with the full offending chain
+// (ApproxForward → gatherCols → markVisited).
+//
 // Diagnostics can be suppressed at a single site with
 //
 //	//lint:ignore <check> <reason>
@@ -19,17 +28,21 @@
 //	//lint:file-ignore <check> <reason>
 //
 // A non-empty reason is mandatory: the directive is the audit trail for
-// why the invariant is deliberately waived at that site.
+// why the invariant is deliberately waived at that site. A directive
+// that suppresses nothing in a run is itself reported
+// (unused-directive), so waivers cannot outlive the code they excuse.
 package lint
 
 import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // A Check is one analyzer: a named invariant plus the function that
-// walks a type-checked package and reports violations.
+// walks a type-checked package and reports violations. Checks receive
+// the whole-module Program so they can consult call-graph facts.
 type Check struct {
 	// Name is the stable identifier used in diagnostics and in
 	// //lint:ignore directives.
@@ -37,9 +50,10 @@ type Check struct {
 	// Doc is a one-paragraph description of the invariant and why the
 	// repo cares about it.
 	Doc string
-	// Run reports all violations in pkg. Suppression is applied by the
-	// runner, not by the check.
-	Run func(pkg *Package) []Diagnostic
+	// Run reports all violations in pkg, consulting prog for
+	// interprocedural facts. Suppression is applied by the runner, not
+	// by the check.
+	Run func(prog *Program, pkg *Package) []Diagnostic
 }
 
 // A Diagnostic is one reported violation at a source position.
@@ -49,6 +63,9 @@ type Diagnostic struct {
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Message string `json:"message"`
+	// Chain is the offending call chain for interprocedural findings,
+	// outermost function first (schema v2).
+	Chain []string `json:"chain,omitempty"`
 	// SuppressReason is the justification from the matching
 	// //lint:ignore directive; set only on suppressed diagnostics.
 	SuppressReason string `json:"suppress_reason,omitempty"`
@@ -56,6 +73,17 @@ type Diagnostic struct {
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// diagKey is the comparable identity used for dedup (Diagnostic itself
+// is not comparable once it carries the chain slice).
+type diagKey struct {
+	check, file, message string
+	line, col            int
+}
+
+func (d Diagnostic) key() diagKey {
+	return diagKey{d.Check, d.File, d.Message, d.Line, d.Col}
 }
 
 // diag builds a Diagnostic for pkg at pos.
@@ -70,6 +98,16 @@ func diag(pkg *Package, check string, pos token.Pos, format string, args ...any)
 	}
 }
 
+// chainDiag builds an interprocedural Diagnostic whose message carries
+// the rendered call chain and whose Chain field carries it structurally
+// for the JSON consumers.
+func chainDiag(pkg *Package, check string, pos token.Pos, chain []string, format string, args ...any) Diagnostic {
+	d := diag(pkg, check, pos, format, args...)
+	d.Chain = chain
+	d.Message += " (" + strings.Join(chain, " → ") + ")"
+	return d
+}
+
 // Checks returns the full analyzer suite in stable order.
 func Checks() []*Check {
 	return []*Check{
@@ -82,6 +120,7 @@ func Checks() []*Check {
 		checkReadonlyForward(),
 		checkFloatEquality(),
 		checkMapOrderFloat(),
+		checkMapOrderTaint(),
 		checkULPBound(),
 		checkObsCtx(),
 	}
@@ -109,6 +148,9 @@ func sortDiags(ds []Diagnostic) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 }

@@ -38,7 +38,7 @@ func TestCheckNamesStable(t *testing.T) {
 	// a check silently un-suppresses every waiver for it.
 	want := []string{"math-rand", "wall-clock", "raw-goroutine", "net-deadline",
 		"http-timeout", "atomic-write", "readonly-forward", "float-equality",
-		"map-order-float", "ulp-bound", "obs-ctx"}
+		"map-order-float", "map-order-taint", "ulp-bound", "obs-ctx"}
 	got := Checks()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d checks, want %d", len(got), len(want))

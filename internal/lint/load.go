@@ -11,7 +11,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+
+	"samplednn/internal/pool"
 )
 
 // A Package is one parsed and type-checked (non-test) package, the unit
@@ -52,8 +56,13 @@ type Loader struct {
 	ModRoot string
 	ModPath string
 
-	fset    *token.FileSet
-	std     types.Importer
+	fset *token.FileSet
+	std  types.Importer
+	// mu guards pkgs and loading; stdMu serializes the source importer,
+	// which is not safe for concurrent use. token.FileSet methods are
+	// internally synchronized, so fset needs no guard.
+	mu      sync.Mutex
+	stdMu   sync.Mutex
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -121,6 +130,17 @@ func modulePath(gomod string) (string, error) {
 // LoadModule loads every non-test package under the module root,
 // skipping testdata, hidden directories, and directories without Go
 // files. Returned packages are sorted by import path.
+//
+// Parsing runs serially in directory order so the shared FileSet is
+// populated deterministically; type-checking is then scheduled in
+// dependency waves (Kahn's algorithm over the module-internal import
+// graph) with each wave's packages checked concurrently over
+// internal/pool. A package is only ever checked after every module
+// package it imports has finished, so the importer sees nothing but
+// cache hits during a wave; the standard-library importer is serialized
+// behind its own mutex. Diagnostics are identical to a serial load:
+// positions come from the serially-built FileSet and all downstream
+// ordering sorts by (filename, offset).
 func (l *Loader) LoadModule() ([]*Package, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
@@ -142,7 +162,14 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
+
+	// Phase 1: parse everything serially.
+	type parsed struct {
+		dir, ipath string
+		files      []*ast.File
+	}
+	var ps []*parsed
+	byPath := make(map[string]*parsed)
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(l.ModRoot, dir)
 		if err != nil {
@@ -152,10 +179,78 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 		if rel != "." {
 			ipath = l.ModPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.LoadDir(dir, ipath)
+		files, _, err := l.parseDir(dir)
 		if err != nil {
 			return nil, fmt.Errorf("lint: loading %s: %w", ipath, err)
 		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("lint: loading %s: no non-test Go files in %s", ipath, dir)
+		}
+		p := &parsed{dir: dir, ipath: ipath, files: files}
+		ps = append(ps, p)
+		byPath[ipath] = p
+	}
+
+	// Phase 2: the module-internal import graph, straight from the ASTs
+	// the type-checker will see — a module import absent here is
+	// impossible.
+	indeg := make(map[string]int, len(ps))
+	dependents := make(map[string][]string)
+	for _, p := range ps {
+		seen := make(map[string]bool)
+		for _, f := range p.files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || seen[path] {
+					continue
+				}
+				if _, ok := byPath[path]; ok && path != p.ipath {
+					seen[path] = true
+					dependents[path] = append(dependents[path], p.ipath)
+					indeg[p.ipath]++
+				}
+			}
+		}
+	}
+
+	// Phase 3: type-check in waves.
+	checked := make(map[string]bool, len(ps))
+	var wave []*parsed
+	for _, p := range ps {
+		if indeg[p.ipath] == 0 {
+			wave = append(wave, p)
+		}
+	}
+	for len(wave) > 0 {
+		sort.Slice(wave, func(i, j int) bool { return wave[i].ipath < wave[j].ipath })
+		w := wave
+		pool.Default().ParallelRows(len(w), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				l.typeCheck(w[i].dir, w[i].ipath, w[i].files)
+			}
+		})
+		wave = nil
+		for _, p := range w {
+			checked[p.ipath] = true
+			for _, dep := range dependents[p.ipath] {
+				if indeg[dep]--; indeg[dep] == 0 {
+					wave = append(wave, byPath[dep])
+				}
+			}
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range ps {
+		if !checked[p.ipath] {
+			// Left over means an import cycle; the serial path reports it.
+			if _, err := l.LoadDir(p.dir, p.ipath); err != nil {
+				return nil, fmt.Errorf("lint: loading %s: %w", p.ipath, err)
+			}
+		}
+		l.mu.Lock()
+		pkg := l.pkgs[p.ipath]
+		l.mu.Unlock()
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
@@ -164,25 +259,43 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 
 // LoadDir parses and type-checks the single package in dir, presenting
 // it under importPath. Tests use explicit import paths to place fixture
-// packages inside (or outside) a check's scope.
+// packages inside (or outside) a check's scope. Unlike the wave
+// scheduler, this path loads module-internal imports by recursing on
+// demand; it is the serial entry point and must not be called
+// concurrently for the same uncached import path.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	l.mu.Lock()
 	if pkg, ok := l.pkgs[importPath]; ok {
+		l.mu.Unlock()
 		return pkg, nil
 	}
 	if l.loading[importPath] {
+		l.mu.Unlock()
 		return nil, fmt.Errorf("import cycle through %s", importPath)
 	}
 	l.loading[importPath] = true
-	defer delete(l.loading, importPath)
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, importPath)
+		l.mu.Unlock()
+	}()
 
-	files, names, err := l.parseDir(dir)
+	files, _, err := l.parseDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("no non-test Go files in %s", dir)
 	}
+	return l.typeCheck(dir, importPath, files), nil
+}
 
+// typeCheck runs the type checker over an already-parsed package and
+// caches the result. Safe to call concurrently for distinct import
+// paths whose module-internal imports are all cached already (the wave
+// scheduler's invariant).
+func (l *Loader) typeCheck(dir, importPath string, files []*ast.File) *Package {
 	pkg := &Package{
 		ImportPath: importPath,
 		Dir:        dir,
@@ -205,9 +318,10 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	// it also reports errors; checks degrade gracefully on nil types.
 	tpkg, _ := conf.Check(importPath, l.fset, files, pkg.Info)
 	pkg.Types = tpkg
-	_ = names
+	l.mu.Lock()
 	l.pkgs[importPath] = pkg
-	return pkg, nil
+	l.mu.Unlock()
+	return pkg
 }
 
 func (l *Loader) parseDir(dir string) ([]*ast.File, []string, error) {
@@ -264,5 +378,7 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.Import(path)
 }

@@ -8,10 +8,16 @@ import (
 	"strings"
 )
 
+// JSONSchemaVersion is the pinned -json output schema. v2 added the
+// top-level "schema" field itself and the per-diagnostic "chain" array
+// carried by interprocedural findings; every v1 field is unchanged.
+const JSONSchemaVersion = 2
+
 // A Result is the outcome of running the analyzer suite over a set of
 // packages. Diagnostics and Suppressed are each sorted by position;
 // file paths are relative to the module root when possible.
 type Result struct {
+	Schema int    `json:"schema"`
 	Module string `json:"module"`
 	// Checks lists every analyzer that ran, so downstream tooling can
 	// tell "check passed" from "check didn't exist yet".
@@ -30,12 +36,22 @@ type CheckInfo struct {
 	Doc  string `json:"doc"`
 }
 
-// Run executes checks over pkgs and splits the findings into kept and
-// suppressed diagnostics. Malformed //lint:ignore directives are
-// reported as diagnostics of the pseudo-check "lint-directive" so a
-// typo cannot silently disable an invariant.
+// Run builds the interprocedural Program over pkgs, executes checks,
+// and splits the findings into kept and suppressed diagnostics.
+// Malformed //lint:ignore directives are reported as diagnostics of the
+// pseudo-check "lint-directive" so a typo cannot silently disable an
+// invariant; well-formed directives that suppressed nothing are
+// reported as "unused-directive" so stale waivers cannot rot silently
+// (neither pseudo-kind is itself suppressible).
 func Run(modRoot string, pkgs []*Package, checks []*Check) *Result {
-	res := &Result{Module: filepath.Base(modRoot)}
+	return RunProgram(modRoot, NewProgram(pkgs), checks)
+}
+
+// RunProgram is Run over an already-built Program (cmd/repolint builds
+// it once to also serve -facts).
+func RunProgram(modRoot string, prog *Program, checks []*Check) *Result {
+	pkgs := prog.Pkgs
+	res := &Result{Schema: JSONSchemaVersion, Module: filepath.Base(modRoot)}
 	if len(pkgs) > 0 {
 		// Prefer the module path over the directory basename.
 		if i := pkgIndexShortestPath(pkgs); i >= 0 {
@@ -45,39 +61,59 @@ func Run(modRoot string, pkgs []*Package, checks []*Check) *Result {
 	for _, c := range checks {
 		res.Checks = append(res.Checks, CheckInfo{Name: c.Name, Doc: c.Doc})
 	}
-	seen := make(map[Diagnostic]bool)
+	seen := make(map[diagKey]bool)
 	for _, pkg := range pkgs {
 		dirs := collectIgnores(pkg)
 		sup := newSuppressor(dirs)
 		var ds []Diagnostic
-		for _, d := range dirs {
-			if d.Malformed != "" {
+		for i := range dirs {
+			if dirs[i].Malformed != "" {
 				ds = append(ds, Diagnostic{
 					Check:   "lint-directive",
-					File:    d.File,
-					Line:    d.Line,
+					File:    dirs[i].File,
+					Line:    dirs[i].Line,
 					Col:     1,
-					Message: "malformed lint directive: " + d.Malformed,
+					Message: "malformed lint directive: " + dirs[i].Malformed,
 				})
 			}
 		}
 		for _, c := range checks {
-			ds = append(ds, c.Run(pkg)...)
+			ds = append(ds, c.Run(prog, pkg)...)
 		}
 		for _, d := range ds {
 			if reason, ok := sup.match(d); ok {
 				d.SuppressReason = reason
 				d.File = relTo(modRoot, d.File)
-				if !seen[d] {
-					seen[d] = true
+				if !seen[d.key()] {
+					seen[d.key()] = true
 					res.Suppressed = append(res.Suppressed, d)
 				}
 				continue
 			}
 			d.File = relTo(modRoot, d.File)
-			if !seen[d] {
-				seen[d] = true
+			if !seen[d.key()] {
+				seen[d.key()] = true
 				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+		// Stale-suppression audit: every well-formed directive must have
+		// earned its keep this run.
+		for i := range dirs {
+			d := &dirs[i]
+			if d.Malformed != "" || d.used {
+				continue
+			}
+			ud := Diagnostic{
+				Check: "unused-directive",
+				File:  relTo(modRoot, d.File),
+				Line:  d.Line,
+				Col:   1,
+				Message: fmt.Sprintf("lint directive for %q suppressed no diagnostics this run: "+
+					"remove the stale waiver or fix the directive placement", d.Check),
+			}
+			if !seen[ud.key()] {
+				seen[ud.key()] = true
+				res.Diagnostics = append(res.Diagnostics, ud)
 			}
 		}
 	}
@@ -129,6 +165,7 @@ func (r *Result) WriteText(w io.Writer) {
 func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	r.Schema = JSONSchemaVersion
 	// Encode empty slices as [], not null: consumers should not need
 	// null checks.
 	if r.Diagnostics == nil {

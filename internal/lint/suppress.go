@@ -22,6 +22,11 @@ type ignoreDirective struct {
 	// Malformed holds the problem when the directive could not be
 	// parsed; malformed directives are themselves reported.
 	Malformed string
+	// used is set when the directive suppresses at least one
+	// diagnostic in a run; a well-formed directive that stays unused
+	// is reported as unused-directive so stale waivers cannot rot
+	// silently.
+	used bool
 }
 
 // collectIgnores extracts every lint directive from pkg's comments.
@@ -80,17 +85,20 @@ type suppressor struct {
 	// line directive suppresses matching diagnostics on its own line
 	// (trailing comment) and on the line directly below it (comment on
 	// its own line above the offending statement).
-	byLine map[string]map[int][]ignoreDirective
+	byLine map[string]map[int][]*ignoreDirective
 	// byFile maps file -> file-wide directives.
-	byFile map[string][]ignoreDirective
+	byFile map[string][]*ignoreDirective
 }
 
+// newSuppressor indexes dirs. The directives are referenced in place,
+// so usage recorded by match is visible to the caller's slice.
 func newSuppressor(dirs []ignoreDirective) *suppressor {
 	s := &suppressor{
-		byLine: make(map[string]map[int][]ignoreDirective),
-		byFile: make(map[string][]ignoreDirective),
+		byLine: make(map[string]map[int][]*ignoreDirective),
+		byFile: make(map[string][]*ignoreDirective),
 	}
-	for _, d := range dirs {
+	for i := range dirs {
+		d := &dirs[i]
 		if d.Malformed != "" {
 			continue
 		}
@@ -100,7 +108,7 @@ func newSuppressor(dirs []ignoreDirective) *suppressor {
 		}
 		m := s.byLine[d.File]
 		if m == nil {
-			m = make(map[int][]ignoreDirective)
+			m = make(map[int][]*ignoreDirective)
 			s.byLine[d.File] = m
 		}
 		m[d.Line] = append(m[d.Line], d)
@@ -108,19 +116,42 @@ func newSuppressor(dirs []ignoreDirective) *suppressor {
 	return s
 }
 
-// match returns the suppressing directive's reason, if any.
-func (s *suppressor) match(d Diagnostic) (string, bool) {
+// lookup returns the first directive covering d: file-wide directives
+// win over line directives, so a redundant line directive under a
+// file-ignore for the same check stays unused (and is reported as
+// such).
+func (s *suppressor) lookup(d Diagnostic) *ignoreDirective {
 	for _, dir := range s.byFile[d.File] {
 		if dir.Check == d.Check {
-			return dir.Reason, true
+			return dir
 		}
 	}
 	for _, line := range [2]int{d.Line, d.Line - 1} {
 		for _, dir := range s.byLine[d.File][line] {
 			if dir.Check == d.Check {
-				return dir.Reason, true
+				return dir
 			}
 		}
+	}
+	return nil
+}
+
+// match returns the suppressing directive's reason, if any, and records
+// the directive as used.
+func (s *suppressor) match(d Diagnostic) (string, bool) {
+	if dir := s.lookup(d); dir != nil {
+		dir.used = true
+		return dir.Reason, true
+	}
+	return "", false
+}
+
+// peek is match without the usage side effect — the fact extractor uses
+// it to drop waived sites from the fact lattice without making a
+// directive look used when no diagnostic actually landed on it.
+func (s *suppressor) peek(d Diagnostic) (string, bool) {
+	if dir := s.lookup(d); dir != nil {
+		return dir.Reason, true
 	}
 	return "", false
 }

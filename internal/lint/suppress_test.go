@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressEdgeCases pins the suppression corner cases on the
+// suppressedge fixture: a file-ignore and a line-ignore for the same
+// check in one file (file-wide wins, the line form is stale), a
+// trailing directive sharing its line with the offending code, and a
+// directive on the literal last line of a file.
+func TestSuppressEdgeCases(t *testing.T) {
+	pkg := loadFixture(t, "suppressedge", "samplednn/internal/fixture/suppressedge")
+	res := Run("", []*Package{pkg}, Checks())
+
+	// Both violations are waived: nothing kept except the stale-line
+	// report below.
+	for _, d := range res.Diagnostics {
+		if d.Check == "float-equality" || d.Check == "wall-clock" {
+			t.Errorf("waived diagnostic leaked: %s", d)
+		}
+	}
+
+	suppressed := map[string]string{}
+	for _, d := range res.Suppressed {
+		suppressed[d.Check] = d.SuppressReason
+	}
+	// File-wide beats the redundant line directive: the recorded reason
+	// must be the file-ignore's.
+	if r := suppressed["float-equality"]; !strings.Contains(r, "file-wide waiver") {
+		t.Errorf("float-equality must be suppressed by the file-ignore, got reason %q", r)
+	}
+	// Trailing directive on the last line of the file, on a line that
+	// also carries code.
+	if r := suppressed["wall-clock"]; !strings.Contains(r, "last line of the file") {
+		t.Errorf("wall-clock must be suppressed by the trailing last-line directive, got reason %q", r)
+	}
+
+	// The redundant line directive suppressed nothing and is reported
+	// stale; the two directives that did fire are not.
+	var unused []Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Check == "unused-directive" {
+			unused = append(unused, d)
+		}
+	}
+	if len(unused) != 1 {
+		t.Fatalf("want exactly 1 unused-directive, got %v", unused)
+	}
+	if d := unused[0]; !strings.Contains(d.File, "edge1.go") || !strings.Contains(d.Message, "float-equality") {
+		t.Errorf("unused-directive must point at edge1.go's redundant line directive, got %s", d)
+	}
+}
+
+// TestSuppressorUsageTracking pins the used-flag mechanics directly:
+// peek must not consume a directive, match must.
+func TestSuppressorUsageTracking(t *testing.T) {
+	dirs := []ignoreDirective{
+		{File: "f.go", Line: 3, Check: "wall-clock", Reason: "r", FileWide: false},
+	}
+	sup := newSuppressor(dirs)
+	d := Diagnostic{Check: "wall-clock", File: "f.go", Line: 3}
+
+	if _, ok := sup.peek(d); !ok {
+		t.Fatal("peek must see the directive")
+	}
+	if dirs[0].used {
+		t.Error("peek must not mark the directive used")
+	}
+	if _, ok := sup.match(d); !ok {
+		t.Fatal("match must see the directive")
+	}
+	if !dirs[0].used {
+		t.Error("match must mark the directive used")
+	}
+
+	// Line-above form: a diagnostic on line 4 is covered by the
+	// directive on line 3.
+	if _, ok := sup.peek(Diagnostic{Check: "wall-clock", File: "f.go", Line: 4}); !ok {
+		t.Error("directive must cover the line below it")
+	}
+	if _, ok := sup.peek(Diagnostic{Check: "wall-clock", File: "f.go", Line: 5}); ok {
+		t.Error("directive must not cover two lines below")
+	}
+	if _, ok := sup.peek(Diagnostic{Check: "math-rand", File: "f.go", Line: 3}); ok {
+		t.Error("directive must not cover a different check")
+	}
+}

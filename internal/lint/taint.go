@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkMapOrderTaint is the cross-function generalization of
+// map-order-float: an intra-procedural dataflow pass that tracks values
+// produced under `range` over a map — the loop variables and everything
+// derived from them, including slices built by appending in map order —
+// and reports them flowing into float accumulation or into calls whose
+// call-graph facts say they accumulate floats into persistent state.
+// This is the PR 4 ALSH bug class across a call boundary: collecting an
+// active set in map order and handing it to a kernel that sums makes
+// the reduction order (and therefore the float result) differ
+// bit-for-bit between runs.
+//
+// Sorting launders the taint: passing a tainted value to sort.* /
+// slices.Sort* re-establishes a deterministic order, which is exactly
+// the sanctioned fix ("extract and sort the keys first").
+func checkMapOrderTaint() *Check {
+	const name = "map-order-taint"
+	return &Check{
+		Name: name,
+		Doc: "track values produced under range-over-map (loop variables and " +
+			"everything derived from them) and flag them flowing into float " +
+			"accumulation or into callees whose facts say they accumulate " +
+			"floats; sort the values first to re-establish a deterministic order",
+		Run: func(prog *Program, pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, fi := range prog.sorted {
+				if fi.Pkg == pkg {
+					out = append(out, taintFunc(prog, fi)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// taintFunc runs the dataflow pass over one function. The walk is a
+// single source-order traversal (flow-insensitive within loop bodies is
+// acceptable: derivations appear before uses in idiomatic code, and the
+// conservative direction only over-taints).
+func taintFunc(prog *Program, fi *FuncInfo) []Diagnostic {
+	const name = "map-order-taint"
+	pkg := fi.Pkg
+	tainted := make(map[types.Object]bool)
+	// Spans of map-range bodies: direct accumulation inside them is
+	// map-order-float's finding, not repeated here.
+	type span struct{ lo, hi token.Pos }
+	var mapBodies []span
+	inMapBody := func(pos token.Pos) bool {
+		for _, s := range mapBodies {
+			if pos >= s.lo && pos <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+
+	taintObj := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			tainted[obj] = true
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			tainted[obj] = true
+		}
+	}
+	refsTainted := func(e ast.Expr) *ast.Ident {
+		var hit *ast.Ident
+		ast.Inspect(e, func(n ast.Node) bool {
+			if hit != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && tainted[obj] {
+					hit = id
+					return false
+				}
+			}
+			return true
+		})
+		return hit
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			t := pkg.Info.TypeOf(e.X)
+			if t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					if e.Body != nil {
+						mapBodies = append(mapBodies, span{e.Body.Pos(), e.Body.End()})
+					}
+					taintObj(identOf(e.Key))
+					taintObj(identOf(e.Value))
+					return true
+				}
+			}
+			// Ranging over a tainted collection keeps iterating in the
+			// order the map produced it; its loop variables are tainted.
+			if refsTainted(e.X) != nil {
+				taintObj(identOf(e.Key))
+				taintObj(identOf(e.Value))
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				var rhs ast.Expr
+				if len(e.Rhs) == len(e.Lhs) {
+					rhs = e.Rhs[i]
+				} else if len(e.Rhs) == 1 {
+					rhs = e.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if hit := refsTainted(rhs); hit != nil {
+					// Derived value: propagate the taint to the target.
+					if id := rootIdent(lhs); id != nil {
+						taintObj(id)
+					}
+					// Accumulating tainted floats outside the map body is
+					// the laundered form of map-order-float.
+					if isFloatAccum(pkg, e, i) && !inMapBody(e.Pos()) {
+						out = append(out, diag(pkg, name, e.Pos(),
+							"float accumulation over map-order-tainted %s: the reduction order follows the randomized map iteration; sort first", hit.Name))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sortsTainted(pkg, e, tainted) {
+				// sort.Slice(keys, ...) etc: order is deterministic again.
+				for _, arg := range e.Args {
+					if id := rootIdent(arg); id != nil {
+						if obj := pkg.Info.Uses[id]; obj != nil {
+							delete(tainted, obj)
+						}
+					}
+				}
+				return true
+			}
+			callees, dispatch, _ := prog.CalleesAt(pkg, e)
+			for _, arg := range e.Args {
+				hit := refsTainted(arg)
+				if hit == nil {
+					continue
+				}
+				for _, callee := range callees {
+					if !callee.Trans.Has(FactAccumulatesFloats) {
+						continue
+					}
+					chain := append([]string{fi.DisplayName()}, prog.Chain(callee, FactAccumulatesFloats)...)
+					verb := "flows into"
+					if dispatch {
+						verb = "may flow into"
+					}
+					out = append(out, chainDiag(pkg, name, e.Pos(), chain,
+						"map-order-tainted %s %s %s, which accumulates floats into persistent state; sort before the call",
+						hit.Name, verb, callee.DisplayName()))
+				}
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := e.(*ast.Ident)
+	return id
+}
+
+// sortsTainted reports whether call is a sort.* / slices.* invocation
+// over a tainted argument — the sanctioned way to re-establish a
+// deterministic order.
+func sortsTainted(pkg *Package, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if rid := rootIdent(arg); rid != nil {
+			if obj := pkg.Info.Uses[rid]; obj != nil && tainted[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}

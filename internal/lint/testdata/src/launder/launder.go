@@ -1,0 +1,48 @@
+// Package launder is the known-bad fixture for fact laundering: each
+// banned primitive (wall clock, unseeded rand, raw goroutine,
+// non-atomic write) hides inside a helper, and every call site reaching
+// the helper must be flagged with the offending chain. The waived
+// helper at the bottom pins the other half of the contract: a
+// //lint:ignore at the origin sanctions the site, so the fact must NOT
+// cascade into its callers.
+package launder
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// nowNanos is the direct wall-clock violation.
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+// seedOfDay launders it one hop.
+func seedOfDay() int64 { return nowNanos() }
+
+// Jitter draws from unseeded math/rand (the import is the direct
+// diagnostic) and reaches the clock two hops down.
+func Jitter() float64 { return rand.Float64() * float64(seedOfDay()%7) }
+
+// Draw reaches both the rand draw and the clock transitively.
+func Draw() float64 { return Jitter() }
+
+// spawn is the direct raw-goroutine violation.
+func spawn(f func()) { go f() }
+
+// Fire launders the spawn.
+func Fire(f func()) { spawn(f) }
+
+// dump is the direct non-atomic write.
+func dump(path string, b []byte) error { return os.WriteFile(path, b, 0o600) }
+
+// Save launders the write.
+func Save(b []byte) error { return dump("out.bin", b) }
+
+// stamp is a sanctioned (waived) clock read: the waiver stops the fact,
+// so Stamped below must stay clean.
+func stamp() int64 {
+	return time.Now().UnixNano() //lint:ignore wall-clock fixture: telemetry-only read, the cascade must stop here
+}
+
+// Stamped calls a waived origin and must produce no diagnostic.
+func Stamped() int64 { return stamp() }

@@ -1,0 +1,66 @@
+// Package maportaint is the known-bad fixture for map-order-taint: the
+// PR 4 bug class across a call boundary. Values produced under range
+// over a map flow into callees that accumulate floats into persistent
+// state (order-dependent sums), or are collected into a slice and
+// summed after the loop. Sorting the collected values launders the
+// taint — that path must stay clean, as must calls into callees that
+// only accumulate locally.
+package maportaint
+
+import "sort"
+
+// sumInto accumulates through a pointer parameter: persistent state,
+// so it carries the accumulates-floats fact.
+func sumInto(acc *float64, v float64) { *acc += v }
+
+// record launders sumInto one hop.
+func record(acc *float64, v float64) { sumInto(acc, v) }
+
+// addAll accumulates only into a local: calling it with map-ordered
+// values is harmless and must stay clean.
+func addAll(vs ...float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// Total mixes tainted flows (flagged) with laundered-by-sort and
+// local-accumulation flows (clean).
+func Total(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		sumInto(&total, v) // tainted v into a persistent float accumulator
+		_ = addAll(v, 1)   // clean: addAll's accumulation is call-local
+	}
+
+	var t2 float64
+	for _, v := range m {
+		w := v * 2     // derived taint
+		record(&t2, w) // tainted w, two hops into the accumulator
+	}
+
+	// Collecting keys in map order and summing after the loop is the
+	// laundered form of map-order-float.
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	var sum3 float64
+	for _, k := range keys {
+		sum3 += m[k] // accumulation follows the randomized map order
+	}
+
+	// Sorting re-establishes a deterministic order: clean.
+	sorted := make([]int, 0, len(m))
+	for k := range m {
+		sorted = append(sorted, k)
+	}
+	sort.Ints(sorted)
+	var sum4 float64
+	for _, k := range sorted {
+		sum4 += m[k]
+	}
+	return total + t2 + sum3 + sum4
+}

@@ -1,0 +1,85 @@
+// Package readonlychain is the known-bad fixture for the transitive
+// half of readonly-forward: the mutation hides two call hops below
+// ApproxForward, behind mutual recursion, and behind an interface
+// dispatch — each must be flagged at the call site with the full chain.
+package readonlychain
+
+// visitor is dispatched through a receiver-held field, so the
+// conservative approximation must consider every implementation.
+type visitor interface {
+	visit(i int)
+}
+
+// recorder is the mutating implementation.
+type recorder struct{ seen []int }
+
+func (r *recorder) visit(i int) { r.seen = append(r.seen, i) }
+
+// silent is the clean implementation.
+type silent struct{}
+
+func (silent) visit(i int) {}
+
+// Sampler mimics a sampled training method with helper-laundered
+// mutation.
+type Sampler struct {
+	visited map[int]bool
+	cols    []int
+	h       visitor
+}
+
+// markVisited is the mutation two hops down. It is not itself a
+// readonly method, so the old intra-procedural check never saw it.
+func (s *Sampler) markVisited(i int) { s.visited[i] = true }
+
+// gatherCols launders the mutation through one call hop.
+func (s *Sampler) gatherCols(x []float64) []int {
+	for i := range x {
+		s.markVisited(i)
+	}
+	return s.cols
+}
+
+// lookup is a genuinely read-only helper; calling it must stay clean.
+func (s *Sampler) lookup(i int) bool { return s.visited[i] }
+
+// ApproxForward reaches the mutation through gatherCols: flagged with
+// the chain ApproxForward → gatherCols → markVisited.
+func (s *Sampler) ApproxForward(x []float64) []float64 {
+	cols := s.gatherCols(x)
+	_ = cols
+	if s.lookup(0) {
+		return x
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// pingPong and pongPing are mutually recursive; the fixpoint must
+// converge and still see pongPing's mutation.
+func (s *Sampler) pingPong(n int) {
+	if n > 0 {
+		s.pongPing(n - 1)
+	}
+}
+
+func (s *Sampler) pongPing(n int) {
+	if n > 0 {
+		s.pingPong(n - 1)
+	}
+	s.cols = nil
+}
+
+// InferForward reaches the mutation through the recursive pair.
+func (s *Sampler) InferForward(x []float64) []float64 {
+	s.pingPong(3)
+	return x
+}
+
+// Infer calls through the receiver-held interface: any implementation
+// could be the dynamic target, so the mutating recorder flags it.
+func (s *Sampler) Infer(x []float64) []float64 {
+	s.h.visit(0)
+	return x
+}

@@ -1,0 +1,14 @@
+// Package suppressedge exercises suppression corner cases: a file-wide
+// and a line directive for the same check in one file (the file-wide
+// form wins, so the line form is reported unused), and a directive
+// sharing its line with code.
+//
+//lint:file-ignore float-equality fixture: file-wide waiver; the redundant line form below stays unused
+package suppressedge
+
+// Cmp's trailing directive is redundant with the file-ignore above:
+// lookup prefers the file-wide directive, so the line directive
+// suppresses nothing and is reported unused.
+func Cmp(a, b float64) bool {
+	return a == b //lint:ignore float-equality fixture: redundant with the file-ignore above
+}

@@ -1,0 +1,8 @@
+// edge2.go pins the boundary case: a trailing directive on the very
+// last line of the file, on a line that also carries the offending
+// code.
+package suppressedge
+
+import "time"
+
+func LastLine() int64 { return time.Now().UnixNano() } //lint:ignore wall-clock fixture: trailing directive on the last line of the file

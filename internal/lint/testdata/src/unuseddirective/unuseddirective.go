@@ -1,0 +1,21 @@
+// Package unuseddirective is the known-bad fixture for the
+// stale-suppression audit: well-formed directives that suppress nothing
+// in a run are reported as unused-directive, while a directive that
+// earns its keep stays silent (it shows up in the suppressed list
+// instead).
+package unuseddirective
+
+import "time"
+
+//lint:file-ignore raw-goroutine fixture: stale — no goroutine ever appears in this file
+
+// Now carries a waived wall-clock read: that directive is used.
+func Now() int64 {
+	return time.Now().UnixNano() //lint:ignore wall-clock fixture: telemetry-only read
+}
+
+//lint:ignore float-equality fixture: stale — the next line compares nothing
+
+// Nop exists so the stale line directive above has code to fail to
+// cover.
+func Nop() {}
